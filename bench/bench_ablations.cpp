@@ -1,0 +1,288 @@
+// Ablation studies for the design choices DESIGN.md calls out:
+//  (a) MAJ-based MUX replacement vs exact MUX (accuracy vs select prob.)
+//  (b) generic 5n greater-than schedule vs XAG constant folding (op count)
+//  (c) correlation control: correlated vs independent inputs for XOR / CORDIV
+//  (d) TRNG segment size M sweep at app level
+//  (e) IMSNG-naive vs IMSNG-opt write traffic and endurance impact
+#include <cmath>
+#include <random>
+#include <cstdio>
+
+#include "core/accelerator.hpp"
+#include "energy/calibration.hpp"
+#include "energy/cost_model.hpp"
+#include "core/pipeline.hpp"
+#include "bincim/aritpim.hpp"
+#include "energy/area.hpp"
+#include "reram/scrimp.hpp"
+#include "energy/report.hpp"
+#include "logic/synth.hpp"
+#include "sc/cordiv.hpp"
+#include "sc/correlation.hpp"
+#include "sc/ops.hpp"
+#include "sc/sng.hpp"
+
+namespace {
+
+using namespace aimsc;
+
+void ablationMajVsMux() {
+  std::puts("(a) MAJ-as-MUX approximation error vs exact MUX, N = 4096");
+  energy::Table t({"P(sel)", "exact MUX err", "MAJ err",
+                   "analytic bound pb(1-pa)|2ps-1|"});
+  sc::Mt19937Source src(1);
+  const double pa = 0.8, pb = 0.35;
+  for (const double ps : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    double muxErr = 0, majErr = 0;
+    constexpr int kReps = 40;
+    for (int r = 0; r < kReps; ++r) {
+      const sc::Bitstream a = sc::generateSbsFromProb(src, pa, 8, 4096);
+      const sc::Bitstream b = sc::generateSbsFromProb(src, pb, 8, 4096);
+      const sc::Bitstream s = sc::generateSbsFromProb(src, ps, 8, 4096);
+      const double expect = ps * pa + (1 - ps) * pb;
+      muxErr += std::abs(sc::scScaledAddMux(a, b, s).value() - expect);
+      majErr += std::abs(sc::scScaledAddMaj(a, b, s).value() - expect);
+    }
+    t.addRow({energy::fmt(ps, 1), energy::fmt(muxErr / kReps, 4),
+              energy::fmt(majErr / kReps, 4),
+              energy::fmt(pb * (1 - pa) * std::abs(2 * ps - 1), 4)});
+  }
+  std::fputs(t.toString().c_str(), stdout);
+  std::puts("MAJ costs 1 scouting cycle vs 3 (AND,AND,OR) for the exact MUX;"
+            " error vanishes at P(sel)=0.5.\n");
+}
+
+void ablationFolding() {
+  std::puts("(b) greater-than network: generic 5n schedule vs XAG folding");
+  energy::Table t({"M bits", "generic ops (5n)", "folded avg", "folded worst",
+                   "latency generic (ns)", "latency folded avg (ns)"});
+  for (const int m : {5, 6, 7, 8, 9}) {
+    double total = 0;
+    std::size_t worst = 0;
+    const std::uint32_t full = 1u << m;
+    for (std::uint32_t a = 0; a < full; ++a) {
+      const auto net = logic::buildGreaterThanConst(a, m);
+      const std::size_t steps = logic::scheduleForSl(net.xag).sensingSteps;
+      total += static_cast<double>(steps);
+      worst = std::max(worst, steps);
+    }
+    const double avg = total / full;
+    t.addRow({std::to_string(m), std::to_string(5 * m), energy::fmt(avg, 1),
+              std::to_string(worst),
+              energy::fmt(5 * m * energy::cal::kTSlReadNs, 1),
+              energy::fmt(avg * energy::cal::kTSlReadNs, 1)});
+  }
+  std::fputs(t.toString().c_str(), stdout);
+  std::puts("Constant folding (the paper's logic-synthesis step [30]) cuts"
+            " the sensing steps per conversion ~3.5x on average.\n");
+}
+
+void ablationCorrelation() {
+  std::puts("(c) correlation control: correlated vs independent inputs");
+  energy::Table t({"op", "inputs", "measured", "expected", "abs err"});
+  sc::Mt19937Source src(3);
+  const double px = 0.3, py = 0.6;
+  {
+    const auto [x, y] = sc::makeCorrelatedPair(src, px, py, 8, 8192);
+    const double v = sc::scAbsSub(x, y).value();
+    t.addRow({"XOR |x-y|", "correlated", energy::fmt(v, 3),
+              energy::fmt(std::abs(px - py), 3),
+              energy::fmt(std::abs(v - std::abs(px - py)), 3)});
+  }
+  {
+    const auto [x, y] = sc::makeIndependentPair(src, px, py, 8, 8192);
+    const double v = sc::scAbsSub(x, y).value();
+    t.addRow({"XOR |x-y|", "independent", energy::fmt(v, 3),
+              energy::fmt(std::abs(px - py), 3),
+              energy::fmt(std::abs(v - std::abs(px - py)), 3)});
+  }
+  {
+    const auto [x, y] = sc::makeCorrelatedPair(src, px, py, 8, 8192);
+    const double v = sc::cordivDivide(x, y).value();
+    t.addRow({"CORDIV x/y", "correlated", energy::fmt(v, 3),
+              energy::fmt(px / py, 3), energy::fmt(std::abs(v - px / py), 3)});
+  }
+  {
+    const auto [x, y] = sc::makeIndependentPair(src, px, py, 8, 8192);
+    const double v = sc::cordivDivide(x, y).value();
+    t.addRow({"CORDIV x/y", "independent", energy::fmt(v, 3),
+              energy::fmt(px / py, 3), energy::fmt(std::abs(v - px / py), 3)});
+  }
+  std::fputs(t.toString().c_str(), stdout);
+  std::puts("Prior in-memory SC designs lack correlation control (Sec. II-C);"
+            " without it XOR/CORDIV are useless.\n");
+}
+
+void ablationSegmentSize() {
+  std::puts("(d) IMSNG segment size M: SBS value RMSE at N = 1024");
+  energy::Table t({"M", "RMSE", "quantization floor 1/(2^M*sqrt(12))"});
+  for (const int m : {4, 5, 6, 7, 8, 9, 10}) {
+    core::AcceleratorConfig cfg;
+    cfg.streamLength = 1024;
+    cfg.mBits = m;
+    cfg.device = reram::DeviceParams::ideal();
+    cfg.seed = 100 + static_cast<std::uint64_t>(m);
+    core::Accelerator acc(cfg);
+    double se = 0;
+    constexpr int kReps = 300;
+    std::mt19937_64 eng(m);
+    std::uniform_real_distribution<double> unit(0, 1);
+    for (int r = 0; r < kReps; ++r) {
+      const double p = unit(eng);
+      const double v = acc.encodeProb(p).value();
+      se += (v - p) * (v - p);
+    }
+    t.addRow({std::to_string(m), energy::fmt(std::sqrt(se / kReps), 4),
+              energy::fmt(1.0 / ((1 << m) * std::sqrt(12.0)), 4)});
+  }
+  std::fputs(t.toString().c_str(), stdout);
+  std::puts("Beyond M ~ 8 the binomial sampling noise of N dominates the"
+            " quantization floor (diminishing returns, matches Table I).\n");
+}
+
+void ablationWriteTraffic() {
+  std::puts("(e) IMSNG-naive vs IMSNG-opt: write traffic per 1000 conversions");
+  energy::Table t({"variant", "row writes", "endurance cycles on output row",
+                   "energy (nJ)"});
+  for (const auto variant : {core::ImsngConfig::Variant::Naive,
+                             core::ImsngConfig::Variant::Opt}) {
+    core::AcceleratorConfig cfg;
+    cfg.streamLength = 256;
+    cfg.device = reram::DeviceParams::ideal();
+    cfg.imsngVariant = variant;
+    core::Accelerator acc(cfg);
+    acc.encodeProb(0.5);
+    acc.resetEvents();
+    for (int i = 0; i < 1000; ++i) acc.encodeProbCorrelated(0.5);
+    const auto& ev = acc.events();
+    const auto cost = energy::CostModel(256).cost(ev);
+    t.addRow({variant == core::ImsngConfig::Variant::Naive ? "naive" : "opt",
+              std::to_string(ev.rowWrites),
+              std::to_string(acc.array().rowWriteCycles(0)),
+              energy::fmt(cost.totalEnergyNJ(), 1)});
+  }
+  std::fputs(t.toString().c_str(), stdout);
+  std::puts("Intermediate writes both burn energy and consume the limited"
+            " ReRAM write endurance (Sec. II-A) - the motivation for the"
+            " latch-based IMSNG-opt.");
+}
+
+void ablationPipelining() {
+  std::puts("\n(f) mat-level pipelining: SNG array count vs throughput"
+            " (discrete-event model, compositing profile, N = 256)");
+  energy::Table t({"SNG arrays", "throughput (Melem/s)", "SNG util",
+                   "op util", "bottleneck"});
+  for (const std::size_t arrays : {1u, 2u, 3u, 4u, 6u}) {
+    const auto sim = core::makeScFlowPipeline(arrays, 3.0, 1.0, 256);
+    const auto r = sim.run(400);
+    t.addRow({std::to_string(arrays),
+              energy::fmt(r.throughputElemsPerSec / 1e6, 2),
+              energy::fmt(r.utilization[0], 2), energy::fmt(r.utilization[1], 2),
+              sim.stages()[r.bottleneckStage].name});
+  }
+  std::fputs(t.toString().c_str(), stdout);
+  std::puts("Throughput scales with SNG arrays until the single op array"
+            " saturates - the quantitative form of Sec. III's \"multiple"
+            " arrays to parallelize and pipeline\".");
+}
+
+void ablationScrimp() {
+  std::puts("\n(g) IMSNG vs write-based SBS generation (SCRIMP [13] class)");
+  energy::Table t({"metric", "IMSNG-opt", "SCRIMP-style"});
+  // Accuracy over random targets at N = 256.
+  std::mt19937_64 eng(2);
+  std::uniform_real_distribution<double> unit(0, 1);
+  double mseI = 0, mseS = 0;
+  constexpr int kSamples = 400;
+  core::AcceleratorConfig cfg;
+  cfg.streamLength = 256;
+  cfg.device = reram::DeviceParams::ideal();
+  core::Accelerator acc(cfg);
+  reram::CrossbarArray sArr(4, 256, reram::DeviceParams::ideal());
+  reram::ScrimpSng scrimp(sArr);
+  for (int i = 0; i < kSamples; ++i) {
+    const double p = unit(eng);
+    const double vi = acc.encodeProb(p).value();
+    const double vs = scrimp.generateProb(p, 0).value();
+    mseI += (vi - p) * (vi - p);
+    mseS += (vs - p) * (vs - p);
+  }
+  t.addRow({"SBS MSE (%)", energy::fmt(mseI / kSamples * 100, 3),
+            energy::fmt(mseS / kSamples * 100, 3)});
+  // Cost per conversion.
+  t.addRow({"cell writes / conversion", "0 (read-based)", "~N/2 (every bit)"});
+  t.addRow({"conversion latency (ns)", energy::fmt(40 * energy::cal::kTSlReadNs, 1),
+            energy::fmt(energy::cal::kTWriteNs, 1) + " (+pulse setup)"});
+  t.addRow({"correlation control", "yes (shared planes)", "no"});
+  std::fputs(t.toString().c_str(), stdout);
+  std::puts("Write-based generation burns endurance on every stream and"
+            " cannot produce the correlated inputs XOR/CORDIV need"
+            " (Sec. II-C).");
+}
+
+void ablationProtectionCost() {
+  std::puts("\n(h) protecting binary CIM vs relying on SC robustness");
+  reram::DeviceParams dev;
+  dev.sigmaLrs = 0.15;
+  dev.sigmaHrs = 1.4;
+  reram::FaultModel fm(dev, 21, 30000);
+  energy::Table t({"engine", "mul errors / 300", "gate cycles / mul"});
+  for (const auto prot : {bincim::MagicEngine::Protection::None,
+                          bincim::MagicEngine::Protection::Dmr}) {
+    bincim::MagicEngine eng2(&fm, 23);
+    eng2.setProtection(prot);
+    bincim::AritPim pim(eng2);
+    int errors = 0;
+    for (int i = 0; i < 300; ++i) {
+      if (pim.mul(200, 200, 8) != 40000u) ++errors;
+    }
+    t.addRow({prot == bincim::MagicEngine::Protection::None ? "unprotected"
+                                                            : "DMR + retry",
+              std::to_string(errors),
+              energy::fmt(static_cast<double>(eng2.gateOps()) / 300.0, 0)});
+  }
+  std::fputs(t.toString().c_str(), stdout);
+  std::puts("Binary CIM needs ~2x gate cycles to tolerate the same devices"
+            " that SC absorbs for free (Sec. IV-C / [41]).");
+}
+
+void ablationArea() {
+  std::puts("\n(i) area shares: the paper's 80%-SNG claim and the"
+            " 'minimal periphery changes' claim");
+  energy::Table t({"CMOS lane", "SNG GE", "logic GE", "counter GE",
+                   "SNG share"});
+  for (const auto sng : {energy::CmosSng::Lfsr, energy::CmosSng::Sobol}) {
+    const auto a = energy::cmosScArea(sng, energy::ScOpKind::Multiplication, 256);
+    t.addRow({energy::cmosSngName(sng), energy::fmt(a.sngGe, 0),
+              energy::fmt(a.logicGe, 0), energy::fmt(a.counterGe, 0),
+              energy::fmt(a.sngShare() * 100, 1) + " %"});
+  }
+  std::fputs(t.toString().c_str(), stdout);
+  const auto r = energy::reramPeripheryArea(256);
+  std::printf(
+      "ReRAM periphery additions per 256-column mat: %.0f GE on a %.0f GE"
+      " baseline mat = %.1f %% overhead\n"
+      "  of which the 8-bit ADC is %.0f GE - a component 'common in other"
+      " CIM designs' (ISAAC [37]); the SC-specific\n  additions (SA"
+      " references + feedback drivers) are %.0f GE = %.1f %% - the paper's"
+      " 'minimal changes to the memory periphery'.\n",
+      r.totalExtraGe(), r.baselineMatGe, r.overheadShare() * 100, r.adcGe,
+      r.extraSaRefsGe + r.feedbackGe,
+      (r.extraSaRefsGe + r.feedbackGe) / r.baselineMatGe * 100);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Ablation studies\n================\n");
+  ablationMajVsMux();
+  ablationFolding();
+  ablationCorrelation();
+  ablationSegmentSize();
+  ablationWriteTraffic();
+  ablationPipelining();
+  ablationScrimp();
+  ablationProtectionCost();
+  ablationArea();
+  return 0;
+}

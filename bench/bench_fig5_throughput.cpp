@@ -1,0 +1,57 @@
+// Reproduces paper Fig. 5: normalized throughput of the CMOS-based and
+// ReRAM-based SC designs over the binary CIM reference (ref = 1.0).
+#include <cstdio>
+
+#include "apps/runner.hpp"
+#include "energy/report.hpp"
+#include "energy/system_model.hpp"
+
+int main() {
+  using namespace aimsc;
+
+  std::puts(
+      "Fig. 5: normalized throughput vs binary CIM (reference = 1.0)\n");
+
+  const apps::AppKind appList[] = {apps::AppKind::Compositing,
+                                   apps::AppKind::Bilinear,
+                                   apps::AppKind::Matting};
+  const std::size_t lengths[] = {32, 64, 128, 256};
+
+  double avgReram = 0;
+  double avgCmos = 0;
+  int cells = 0;
+
+  for (const auto app : appList) {
+    const energy::AppProfile profile = apps::profileFor(app);
+    std::printf("-- %s (binary CIM: %.1f Melem/s) --\n", profile.name.c_str(),
+                energy::evaluateSystem(energy::Design::BinaryCim, profile, 256)
+                        .throughputElemsPerSec /
+                    1e6);
+    energy::Table t({"Design", "N=32", "N=64", "N=128", "N=256"});
+    for (const auto design :
+         {energy::Design::CmosScLfsr, energy::Design::ReramSc}) {
+      std::vector<std::string> row{energy::designName(design)};
+      for (const std::size_t n : lengths) {
+        const double s = energy::throughputImprovement(design, profile, n);
+        row.push_back(energy::fmt(s, 2));
+        if (design == energy::Design::ReramSc) {
+          avgReram += s;
+        } else {
+          avgCmos += s;
+        }
+      }
+      t.addRow(row);
+    }
+    std::fputs(t.toString().c_str(), stdout);
+    cells += 4;
+  }
+
+  avgReram /= cells;
+  avgCmos /= cells;
+  std::printf(
+      "\nAverage throughput vs binary CIM: ReRAM-SC %.2fx, CMOS-SC %.2fx"
+      "\n=> ReRAM-SC vs binary CIM: %.2fx (paper: 2.16x); vs CMOS-SC: %.2fx"
+      " (paper: 1.39x)\n",
+      avgReram, avgCmos, avgReram, avgReram / avgCmos);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// The paper's reliability headline (Sec. IV-C) as a demo: run compositing
+// on increasingly unreliable devices and watch SC degrade gracefully while
+// binary CIM collapses.
+//
+// Usage: fault_tolerance_demo [size]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/runner.hpp"
+#include "energy/report.hpp"
+#include "reram/fault_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aimsc;
+
+  const std::size_t size = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 40;
+
+  std::puts("Fault tolerance: ReRAM-SC vs binary CIM under HRS instability\n");
+  energy::Table t({"sigma_HRS", "worst p_fail (2-row op)", "SC SSIM %",
+                   "binary SSIM %"});
+
+  for (const double sigmaHrs : {0.6, 0.9, 1.1, 1.3}) {
+    reram::DeviceParams dev;
+    dev.sigmaLrs = 0.12;
+    dev.sigmaHrs = sigmaHrs;
+
+    reram::FaultModel fm(dev, 1, 40000);
+    double worst = 0;
+    for (const auto op : {reram::SlOp::And, reram::SlOp::Or, reram::SlOp::Xor}) {
+      worst = std::max(worst, fm.worstCase(op, 2));
+    }
+
+    apps::RunConfig cfg;
+    cfg.width = size;
+    cfg.height = size;
+    cfg.streamLength = 128;
+    cfg.injectFaults = true;
+    cfg.device = dev;
+    const apps::Quality sc = apps::runReramSc(apps::AppKind::Compositing, cfg);
+    const apps::Quality bin = apps::runBinaryCim(apps::AppKind::Compositing, cfg);
+
+    char pfail[32];
+    std::snprintf(pfail, sizeof(pfail), "%.2e", worst);
+    t.addRow({energy::fmt(sigmaHrs, 1), pfail, energy::fmt(sc.ssimPct, 1),
+              energy::fmt(bin.ssimPct, 1)});
+  }
+  std::fputs(t.toString().c_str(), stdout);
+  std::puts("\nSC needs no fault-protection hardware: every bit carries the"
+            " same weight,\nso misdecisions perturb the value by 1/N instead"
+            " of 2^k (Sec. IV-C).");
+  return 0;
+}

@@ -1,0 +1,44 @@
+/// \file bilinear.hpp
+/// \brief Bilinear interpolation up-scaling (paper Fig. 3b).
+///
+/// Each output pixel blends its four source neighbours weighted by the
+/// fractional distances (dx, dy) — a 4-to-1 MUX in the SC domain with the
+/// dx/dy streams on the select ports; the in-memory variant uses a tree of
+/// three MAJ cycles.
+#pragma once
+
+#include <cstdint>
+
+#include "bincim/aritpim.hpp"
+#include "core/accelerator.hpp"
+#include "energy/cmos_baseline.hpp"
+#include "img/image.hpp"
+
+namespace aimsc::apps {
+
+/// Floating-point reference up-scaling by integer \p factor.
+img::Image upscaleReference(const img::Image& src, std::size_t factor);
+
+/// Conventional CMOS SC pipeline (exact 4-to-1 MUX).
+img::Image upscaleSwSc(const img::Image& src, std::size_t factor, std::size_t n,
+                       energy::CmosSng sng, std::uint64_t seed);
+
+/// This work: IMSNG + MAJ tree + ADC.
+img::Image upscaleReramSc(const img::Image& src, std::size_t factor,
+                          core::Accelerator& acc);
+
+/// Binary CIM baseline (three integer lerps).
+img::Image upscaleBinaryCim(const img::Image& src, std::size_t factor,
+                            bincim::MagicEngine& engine);
+
+/// Shared source-coordinate mapping: output X -> source coordinate
+/// (integer base index and 8-bit fractional weight).
+struct SampleCoord {
+  std::size_t i0;
+  std::size_t i1;
+  std::uint8_t frac;  ///< 0..255 weight of i1
+};
+SampleCoord mapCoord(std::size_t outIndex, std::size_t outSize,
+                     std::size_t srcSize);
+
+}  // namespace aimsc::apps

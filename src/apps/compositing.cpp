@@ -1,0 +1,122 @@
+#include "apps/compositing.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "img/synth.hpp"
+#include "sc/ops.hpp"
+#include "sc/rng.hpp"
+#include "sc/sng.hpp"
+
+namespace aimsc::apps {
+
+CompositingScene makeCompositingScene(std::size_t w, std::size_t h,
+                                      std::uint64_t seed) {
+  CompositingScene scene;
+  scene.background = img::naturalScene(w, h, seed);
+  scene.foreground = img::foregroundObject(w, h, seed ^ 0xf0);
+  scene.alpha = img::softDisk(w, h, static_cast<double>(w) * 0.55,
+                              static_cast<double>(h) * 0.45,
+                              static_cast<double>(std::min(w, h)) * 0.28,
+                              static_cast<double>(std::min(w, h)) * 0.08);
+  return scene;
+}
+
+img::Image compositeReference(const CompositingScene& scene) {
+  img::Image out(scene.background.width(), scene.background.height());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double f = scene.foreground[i] / 255.0;
+    const double b = scene.background[i] / 255.0;
+    const double a = scene.alpha[i] / 255.0;
+    out[i] = img::Image::fromProb(f * a + b * (1.0 - a));
+  }
+  return out;
+}
+
+img::Image compositeSwSc(const CompositingScene& scene, std::size_t n,
+                         energy::CmosSng sng, std::uint64_t seed) {
+  // Three independent SNG sources: different LFSR seeds / Sobol dimensions.
+  std::unique_ptr<sc::RandomSource> s1;
+  std::unique_ptr<sc::RandomSource> s2;
+  std::unique_ptr<sc::RandomSource> s3;
+  if (sng == energy::CmosSng::Lfsr) {
+    s1 = std::make_unique<sc::Lfsr>(sc::Lfsr::paper8Bit(
+        static_cast<std::uint32_t>(seed % 254 + 1)));
+    s2 = std::make_unique<sc::Lfsr>(sc::Lfsr::paper8Bit(
+        static_cast<std::uint32_t>((seed >> 8) % 254 + 1)));
+    s3 = std::make_unique<sc::Lfsr>(sc::Lfsr::paper8Bit(
+        static_cast<std::uint32_t>((seed >> 16) % 254 + 1)));
+  } else {
+    s1 = std::make_unique<sc::Sobol>(0, 1 + (seed & 0xff));
+    s2 = std::make_unique<sc::Sobol>(1, 1 + (seed & 0xff));
+    s3 = std::make_unique<sc::Sobol>(2, 1 + (seed & 0xff));
+  }
+
+  img::Image out(scene.background.width(), scene.background.height());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const sc::Bitstream f =
+        sc::generateSbsFromProb(*s1, scene.foreground[i] / 255.0, 8, n);
+    const sc::Bitstream b =
+        sc::generateSbsFromProb(*s2, scene.background[i] / 255.0, 8, n);
+    const sc::Bitstream a =
+        sc::generateSbsFromProb(*s3, scene.alpha[i] / 255.0, 8, n);
+    const sc::Bitstream c = sc::Bitstream::mux(f, b, a);  // a=1 -> foreground
+    out[i] = img::Image::fromProb(c.value());
+  }
+  return out;
+}
+
+img::Image compositeReramSc(const CompositingScene& scene,
+                            core::Accelerator& acc) {
+  img::Image out(scene.background.width(), scene.background.height());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    // Correlation control makes the single-cycle MAJ accurate: with F and B
+    // *correlated* (shared planes) and alpha independent,
+    //   P(MAJ(F,B,S)) = min(pF,pB) + pS * |pF - pB|,
+    // which is exactly pS*pF + (1-pS)*pB whenever pF >= pB (and its
+    // alpha-mirrored blend otherwise) — Sec. III-A correlation control is
+    // what makes the MUX->MAJ substitution viable.
+    const sc::Bitstream f = acc.encodePixel(scene.foreground[i]);
+    const sc::Bitstream b = acc.encodePixelCorrelated(scene.background[i]);
+    const sc::Bitstream a = acc.encodePixel(scene.alpha[i]);  // fresh planes
+    const sc::Bitstream c = acc.ops().majMux(f, b, a);  // MAJ ~ MUX, 1 cycle
+    out[i] = acc.decodePixel(c);
+  }
+  return out;
+}
+
+img::Image compositeReramScParallel(const CompositingScene& scene,
+                                    core::MatGroup& mats) {
+  img::Image out(scene.background.width(), scene.background.height());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    core::Accelerator& acc = mats.forItem(i);
+    const sc::Bitstream f = acc.encodePixel(scene.foreground[i]);
+    const sc::Bitstream b = acc.encodePixelCorrelated(scene.background[i]);
+    const sc::Bitstream a = acc.encodePixel(scene.alpha[i]);
+    out[i] = acc.decodePixel(acc.ops().majMux(f, b, a));
+  }
+  return out;
+}
+
+img::Image compositeBinaryCim(const CompositingScene& scene,
+                              bincim::MagicEngine& engine) {
+  bincim::AritPim pim(engine);
+  img::Image out(scene.background.width(), scene.background.height());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::uint32_t f = scene.foreground[i];
+    const std::uint32_t b = scene.background[i];
+    const std::uint32_t a = scene.alpha[i];
+    const std::uint32_t na = pim.subSaturating(255, a, 8);
+    const std::uint32_t t1 = pim.mul(f, a, 8);
+    const std::uint32_t t2 = pim.mul(b, na, 8);
+    const std::uint32_t sum = pim.add(t1, t2, 16);  // 17-bit
+    // Scale by 1/256 (wiring shift; the 255-vs-256 bias is < 0.5 LSB after
+    // the +128 rounding term).
+    const std::uint32_t rounded = pim.add(sum, 128, 17);
+    const std::uint32_t v = rounded >> 8;
+    out[i] = static_cast<std::uint8_t>(v > 255 ? 255 : v);
+  }
+  return out;
+}
+
+}  // namespace aimsc::apps

@@ -1,0 +1,56 @@
+/// \file compositing.hpp
+/// \brief Image compositing C = F*alpha + B*(1-alpha) (paper Fig. 3a).
+///
+/// In the SC domain the compositing formula is a 2-to-1 MUX with the alpha
+/// stream on the select input; the in-memory design approximates the MUX
+/// with a single MAJ scouting-logic cycle.  Four implementations:
+///  * reference  — floating point (the Table IV comparison baseline);
+///  * SW-SC      — CMOS-style serial SC with LFSR/Sobol SNGs + exact MUX;
+///  * ReRAM-SC   — this work: IMSNG + in-memory MAJ + ADC S-to-B;
+///  * binary CIM — AritPIM-style integer arithmetic with gate-level faults.
+#pragma once
+
+#include <cstdint>
+
+#include "bincim/aritpim.hpp"
+#include "core/accelerator.hpp"
+#include "core/mat_group.hpp"
+#include "energy/cmos_baseline.hpp"
+#include "img/image.hpp"
+
+namespace aimsc::apps {
+
+/// Scene bundle for compositing / matting workloads.
+struct CompositingScene {
+  img::Image background;
+  img::Image foreground;
+  img::Image alpha;
+};
+
+/// Procedurally generates a scene (textured background, bright foreground
+/// object, soft-edged alpha matte).
+CompositingScene makeCompositingScene(std::size_t w, std::size_t h,
+                                      std::uint64_t seed);
+
+/// Floating-point reference composite.
+img::Image compositeReference(const CompositingScene& scene);
+
+/// Conventional CMOS SC pipeline (serial streams, exact MUX, counter S2B).
+img::Image compositeSwSc(const CompositingScene& scene, std::size_t n,
+                         energy::CmosSng sng, std::uint64_t seed);
+
+/// This work: all-in-memory SC.  \p acc must be configured with the wanted
+/// stream length / fault mode; events accumulate in the accelerator.
+img::Image compositeReramSc(const CompositingScene& scene,
+                            core::Accelerator& acc);
+
+/// Binary CIM baseline; gate ops accumulate in \p engine.
+img::Image compositeBinaryCim(const CompositingScene& scene,
+                              bincim::MagicEngine& engine);
+
+/// Multi-mat variant: pixels distributed round-robin over the group's
+/// lanes (Sec. III: "multiple arrays to parallelize and pipeline").
+img::Image compositeReramScParallel(const CompositingScene& scene,
+                                    core::MatGroup& mats);
+
+}  // namespace aimsc::apps

@@ -1,0 +1,160 @@
+#include "apps/filters.hpp"
+
+#include "sc/bernstein.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aimsc::apps {
+
+namespace {
+
+/// Offsets of the 8 neighbours, paired so the MAJ tree averages them as
+/// ((a+b)/2 + (c+d)/2)/2 ... with three levels of scaled addition.
+constexpr int kNeighbour[8][2] = {{-1, -1}, {1, 1}, {-1, 1}, {1, -1},
+                                  {-1, 0},  {1, 0}, {0, -1}, {0, 1}};
+
+}  // namespace
+
+img::Image smoothReference(const img::Image& src) {
+  img::Image out = src;
+  for (std::size_t y = 1; y + 1 < src.height(); ++y) {
+    for (std::size_t x = 1; x + 1 < src.width(); ++x) {
+      double acc = 0;
+      for (const auto& d : kNeighbour) {
+        acc += src.at(x + static_cast<std::size_t>(d[0]),
+                      y + static_cast<std::size_t>(d[1]));
+      }
+      out.at(x, y) = static_cast<std::uint8_t>(std::lround(acc / 8.0));
+    }
+  }
+  return out;
+}
+
+img::Image smoothReramSc(const img::Image& src, core::Accelerator& acc) {
+  img::Image out = src;
+  for (std::size_t y = 1; y + 1 < src.height(); ++y) {
+    for (std::size_t x = 1; x + 1 < src.width(); ++x) {
+      // Encode the 8 neighbours as one correlated family (cheap: one plane
+      // set) — scaled addition tolerates any input correlation since the
+      // MAJ select stream is independent.
+      sc::Bitstream n[8];
+      for (int i = 0; i < 8; ++i) {
+        const std::uint8_t v = src.at(x + static_cast<std::size_t>(kNeighbour[i][0]),
+                                      y + static_cast<std::size_t>(kNeighbour[i][1]));
+        n[i] = i == 0 ? acc.encodePixel(v) : acc.encodePixelCorrelated(v);
+      }
+      // Three MAJ levels with fresh 0.5 selects.
+      sc::Bitstream l1[4];
+      for (int i = 0; i < 4; ++i) {
+        l1[i] = acc.ops().scaledAdd(n[2 * i], n[2 * i + 1], acc.halfStream());
+      }
+      const sc::Bitstream l2a = acc.ops().scaledAdd(l1[0], l1[1], acc.halfStream());
+      const sc::Bitstream l2b = acc.ops().scaledAdd(l1[2], l1[3], acc.halfStream());
+      const sc::Bitstream mean = acc.ops().scaledAdd(l2a, l2b, acc.halfStream());
+      out.at(x, y) = acc.decodePixel(mean);
+    }
+  }
+  return out;
+}
+
+img::Image smoothBinaryCim(const img::Image& src, bincim::MagicEngine& engine) {
+  bincim::AritPim pim(engine);
+  img::Image out = src;
+  for (std::size_t y = 1; y + 1 < src.height(); ++y) {
+    for (std::size_t x = 1; x + 1 < src.width(); ++x) {
+      std::uint32_t acc = 0;
+      for (const auto& d : kNeighbour) {
+        acc = pim.add(acc,
+                      src.at(x + static_cast<std::size_t>(d[0]),
+                             y + static_cast<std::size_t>(d[1])),
+                      11) &
+              0x7ff;
+      }
+      acc = pim.add(acc, 4, 11);  // rounding
+      out.at(x, y) = static_cast<std::uint8_t>(std::min<std::uint32_t>(acc >> 3, 255));
+    }
+  }
+  return out;
+}
+
+img::Image edgeReference(const img::Image& src) {
+  img::Image out(src.width(), src.height(), 0);
+  for (std::size_t y = 0; y + 1 < src.height(); ++y) {
+    for (std::size_t x = 0; x + 1 < src.width(); ++x) {
+      const int a = src.at(x, y);
+      const int b = src.at(x + 1, y);
+      const int c = src.at(x, y + 1);
+      const int d = src.at(x + 1, y + 1);
+      out.at(x, y) = static_cast<std::uint8_t>(
+          std::lround((std::abs(a - d) + std::abs(b - c)) / 2.0));
+    }
+  }
+  return out;
+}
+
+img::Image edgeReramSc(const img::Image& src, core::Accelerator& acc) {
+  img::Image out(src.width(), src.height(), 0);
+  for (std::size_t y = 0; y + 1 < src.height(); ++y) {
+    for (std::size_t x = 0; x + 1 < src.width(); ++x) {
+      // One correlated family for the four pixels: XOR then measures the
+      // absolute differences exactly (monotone streams).
+      const sc::Bitstream a = acc.encodePixel(src.at(x, y));
+      const sc::Bitstream d = acc.encodePixelCorrelated(src.at(x + 1, y + 1));
+      const sc::Bitstream b = acc.encodePixelCorrelated(src.at(x + 1, y));
+      const sc::Bitstream c = acc.encodePixelCorrelated(src.at(x, y + 1));
+      const sc::Bitstream g1 = acc.ops().absSub(a, d);
+      const sc::Bitstream g2 = acc.ops().absSub(b, c);
+      const sc::Bitstream mag = acc.ops().scaledAdd(g1, g2, acc.halfStream());
+      out.at(x, y) = acc.decodePixel(mag);
+    }
+  }
+  return out;
+}
+
+img::Image edgeBinaryCim(const img::Image& src, bincim::MagicEngine& engine) {
+  bincim::AritPim pim(engine);
+  img::Image out(src.width(), src.height(), 0);
+  for (std::size_t y = 0; y + 1 < src.height(); ++y) {
+    for (std::size_t x = 0; x + 1 < src.width(); ++x) {
+      const std::uint32_t a = src.at(x, y);
+      const std::uint32_t b = src.at(x + 1, y);
+      const std::uint32_t c = src.at(x, y + 1);
+      const std::uint32_t d = src.at(x + 1, y + 1);
+      const std::uint32_t g1 = pim.subSaturating(a, d, 8) | pim.subSaturating(d, a, 8);
+      const std::uint32_t g2 = pim.subSaturating(b, c, 8) | pim.subSaturating(c, b, 8);
+      std::uint32_t sum = pim.add(g1, g2, 9);
+      sum = pim.add(sum, 1, 10);  // rounding
+      out.at(x, y) = static_cast<std::uint8_t>(std::min<std::uint32_t>(sum >> 1, 255));
+    }
+  }
+  return out;
+}
+
+img::Image gammaReference(const img::Image& src, double gamma) {
+  img::Image out(src.width(), src.height());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = img::Image::fromProb(std::pow(src[i] / 255.0, gamma));
+  }
+  return out;
+}
+
+img::Image gammaReramSc(const img::Image& src, double gamma,
+                        core::Accelerator& acc, int degree) {
+  const std::vector<double> b = sc::bernsteinCoefficientsOf(
+      [gamma](double t) { return std::pow(t, gamma); }, degree);
+  img::Image out(src.width(), src.height());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    // degree independent encodings of the pixel + degree+1 coefficients.
+    std::vector<sc::Bitstream> xCopies;
+    xCopies.reserve(static_cast<std::size_t>(degree));
+    for (int j = 0; j < degree; ++j) xCopies.push_back(acc.encodePixel(src[i]));
+    std::vector<sc::Bitstream> coeffs;
+    coeffs.reserve(b.size());
+    for (const double bk : b) coeffs.push_back(acc.encodeProb(bk));
+    out[i] = acc.decodePixel(acc.ops().bernsteinSelect(xCopies, coeffs));
+  }
+  return out;
+}
+
+}  // namespace aimsc::apps

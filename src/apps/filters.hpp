@@ -1,0 +1,38 @@
+/// \file filters.hpp
+/// \brief Extension applications: the classic SC image-processing kernels
+///        the paper's introduction motivates via Li et al. [5] — noise
+///        smoothing (8-neighbour mean through a MAJ tree) and Roberts-cross
+///        edge detection (correlated XOR + scaled add).
+///
+/// Both kernels compose the same in-memory primitives as the paper's three
+/// evaluation apps and serve as additional end-to-end exercisers:
+///  * smoothing: three levels of scaled addition (select = 0.5) — the pure
+///    MAJ-tree data path;
+///  * edge detection: |a - d| and |b - c| on correlated streams, combined
+///    by one more scaled addition: the XOR window op at app level.
+#pragma once
+
+#include "bincim/aritpim.hpp"
+#include "core/accelerator.hpp"
+#include "img/image.hpp"
+
+namespace aimsc::apps {
+
+/// 8-neighbour mean smoothing (border pixels are copied through).
+img::Image smoothReference(const img::Image& src);
+img::Image smoothReramSc(const img::Image& src, core::Accelerator& acc);
+img::Image smoothBinaryCim(const img::Image& src, bincim::MagicEngine& engine);
+
+/// Roberts-cross edge magnitude: (|I(x,y)-I(x+1,y+1)| + |I(x+1,y)-I(x,y+1)|)/2.
+img::Image edgeReference(const img::Image& src);
+img::Image edgeReramSc(const img::Image& src, core::Accelerator& acc);
+img::Image edgeBinaryCim(const img::Image& src, bincim::MagicEngine& engine);
+
+/// Gamma correction v' = v^gamma via Bernstein synthesis (sc/bernstein.hpp):
+/// the in-memory flow computes the degree-n Bernstein approximation with
+/// coefficients b_k = (k/n)^gamma.
+img::Image gammaReference(const img::Image& src, double gamma);
+img::Image gammaReramSc(const img::Image& src, double gamma,
+                        core::Accelerator& acc, int degree = 4);
+
+}  // namespace aimsc::apps

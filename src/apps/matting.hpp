@@ -1,0 +1,48 @@
+/// \file matting.hpp
+/// \brief Image matting: alpha estimation alpha^ = (I - B) / (F - B)
+///        (paper Fig. 3c).
+///
+/// The SC realisation uses *correlated* streams: encoding I, B, F against
+/// the same random planes makes |I-B| (XOR) and |F-B| (XOR) correlated with
+/// each other (for B <= I <= F the numerator stream is bitwise contained in
+/// the denominator stream), which is exactly the precondition of CORDIV.
+/// Following Table IV's protocol, quality is judged on the *re-blended*
+/// composite: blend(F, B, alpha^) vs blend(F, B, alpha_true).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/compositing.hpp"
+
+namespace aimsc::apps {
+
+/// Matting scene: observed composite + known background/foreground + truth.
+struct MattingScene {
+  img::Image composite;   ///< I (reference composite of the scene)
+  img::Image background;  ///< B
+  img::Image foreground;  ///< F
+  img::Image trueAlpha;   ///< ground-truth alpha for evaluation
+};
+
+MattingScene makeMattingScene(std::size_t w, std::size_t h, std::uint64_t seed);
+
+/// Floating-point alpha estimate (clamped to [0,1]; undefined where F = B).
+img::Image mattingReference(const MattingScene& scene);
+
+/// CMOS-style SC: correlated software streams + CORDIV.
+img::Image mattingSwSc(const MattingScene& scene, std::size_t n,
+                       energy::CmosSng sng, std::uint64_t seed);
+
+/// This work: correlated IMSNG streams + in-memory XOR + CORDIV + ADC
+/// (resistance-mode S-to-B, Sec. IV-B).
+img::Image mattingReramSc(const MattingScene& scene, core::Accelerator& acc);
+
+/// Binary CIM baseline: integer subtract + multiply + restoring division —
+/// the paper's most fault-vulnerable kernel.
+img::Image mattingBinaryCim(const MattingScene& scene,
+                            bincim::MagicEngine& engine);
+
+/// Re-blend used by the Table IV evaluation.
+img::Image blendWithAlpha(const MattingScene& scene, const img::Image& alpha);
+
+}  // namespace aimsc::apps

@@ -1,0 +1,56 @@
+/// \file runner.hpp
+/// \brief Unified application harness for Table IV and Figs. 4/5: runs each
+///        (application, design) pair on a synthetic scene and scores it
+///        against the floating-point reference.
+///
+/// Table IV protocol: compositing and bilinear interpolation are compared
+/// directly against the software reference output; matting is compared on
+/// the *re-blended* composite (blend with estimated alpha vs blend with the
+/// original alpha).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/bilinear.hpp"
+#include "apps/compositing.hpp"
+#include "apps/matting.hpp"
+#include "energy/system_model.hpp"
+
+namespace aimsc::apps {
+
+enum class AppKind { Compositing, Bilinear, Matting };
+
+const char* appName(AppKind app);
+
+struct Quality {
+  double ssimPct = 0;  ///< mean SSIM * 100
+  double psnrDb = 0;
+};
+
+Quality compareQuality(const img::Image& test, const img::Image& ref);
+
+struct RunConfig {
+  std::size_t width = 48;
+  std::size_t height = 48;
+  std::size_t streamLength = 256;  ///< N
+  bool injectFaults = false;
+  reram::DeviceParams device{};    ///< used when injectFaults
+  std::size_t upscaleFactor = 2;
+  std::uint64_t seed = 42;
+};
+
+/// Device corner used for the Table IV fault studies: HRS-instability
+/// dominated overlap ([39]) yielding per-gate misdecision rates in the
+/// 1e-4..1e-2 range depending on the op and pattern.
+reram::DeviceParams defaultFaultyDevice();
+
+/// Runs one (app, design) pair; returns quality vs the Table IV reference.
+Quality runReramSc(AppKind app, const RunConfig& cfg);
+Quality runBinaryCim(AppKind app, const RunConfig& cfg);
+Quality runSwSc(AppKind app, const RunConfig& cfg, energy::CmosSng sng);
+
+/// Per-element workload profile feeding the Fig. 4/5 system model; binary
+/// CIM gate counts are measured by running the kernels once (cached).
+energy::AppProfile profileFor(AppKind app);
+
+}  // namespace aimsc::apps

@@ -1,0 +1,86 @@
+#include "core/accelerator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aimsc::core {
+
+namespace {
+constexpr std::size_t kOutputRowOffset = 0;  ///< SBS row
+constexpr std::size_t kPlaneBaseOffset = 1;  ///< first random plane
+}  // namespace
+
+Accelerator::Accelerator(const AcceleratorConfig& config) : config_(config) {
+  if (config_.streamLength == 0) {
+    throw std::invalid_argument("Accelerator: zero stream length");
+  }
+  const auto m = static_cast<std::size_t>(config_.mBits);
+  // Geometry: output row, M random planes, plus spare operand rows.
+  const std::size_t rows = kPlaneBaseOffset + m + 8;
+  array_ = std::make_unique<reram::CrossbarArray>(
+      rows, config_.streamLength, config_.device, config_.seed);
+
+  if (config_.injectFaults) {
+    faultModel_ = std::make_unique<reram::FaultModel>(
+        config_.device, config_.seed ^ 0xf417, config_.faultModelSamples);
+    scouting_ = std::make_unique<reram::ScoutingLogic>(
+        *array_, reram::ScoutingLogic::Fidelity::Probabilistic,
+        faultModel_.get(), config_.seed ^ 0x5c);
+  } else {
+    scouting_ = std::make_unique<reram::ScoutingLogic>(
+        *array_, reram::ScoutingLogic::Fidelity::Ideal, nullptr,
+        config_.seed ^ 0x5c);
+  }
+
+  periphery_ = std::make_unique<reram::Periphery>(*array_);
+  trng_ = std::make_unique<reram::ReramTrng>(config_.seed ^ 0x7124,
+                                             config_.trngBias);
+
+  ImsngConfig ic;
+  ic.mBits = config_.mBits;
+  ic.variant = config_.imsngVariant;
+  ic.foldedNetwork = config_.foldedNetwork;
+  ic.randomPlaneBase = kPlaneBaseOffset;
+  ic.outputRow = kOutputRowOffset;
+  ic.commitResult = config_.commitSbs;
+  imsng_ = std::make_unique<Imsng>(*array_, *scouting_, *periphery_, *trng_, ic);
+
+  imops_ = std::make_unique<ImOps>(*scouting_, faultModel_.get(),
+                                   config_.seed ^ 0x1305);
+  ims2b_ = std::make_unique<ImS2B>(*array_, config_.adc, config_.seed ^ 0x52b);
+}
+
+sc::Bitstream Accelerator::encodeProb(double p) {
+  imsng_->refreshRandomness();
+  return imsng_->generateProb(p);
+}
+
+sc::Bitstream Accelerator::encodeProbCorrelated(double p) {
+  return imsng_->generateProb(p);
+}
+
+sc::Bitstream Accelerator::encodePixel(std::uint8_t v) {
+  return encodeProb(static_cast<double>(v) / 255.0);
+}
+
+sc::Bitstream Accelerator::encodePixelCorrelated(std::uint8_t v) {
+  return encodeProbCorrelated(static_cast<double>(v) / 255.0);
+}
+
+sc::Bitstream Accelerator::halfStream() { return encodeProb(0.5); }
+
+void Accelerator::refreshRandomness() { imsng_->refreshRandomness(); }
+
+double Accelerator::decodeProb(const sc::Bitstream& s) {
+  return ims2b_->toProbability(ims2b_->convert(s));
+}
+
+std::uint8_t Accelerator::decodePixel(const sc::Bitstream& s) {
+  return ims2b_->toPixel(ims2b_->convert(s));
+}
+
+std::uint8_t Accelerator::decodePixelStored(const sc::Bitstream& s) {
+  return ims2b_->toPixel(ims2b_->convertStored(s));
+}
+
+}  // namespace aimsc::core

@@ -1,0 +1,105 @@
+/// \file accelerator.hpp
+/// \brief Top-level all-in-memory SC accelerator — the public API tying the
+///        full flow together: TRNG -> IMSNG (B-to-S) -> SL arithmetic ->
+///        ADC S-to-B (paper Fig. 1 / Sec. III).
+///
+/// One Accelerator owns one crossbar mat (the paper parallelizes across
+/// mats; the system model in src/energy scales that out).  Stream length N
+/// equals the array column count.
+///
+/// Correlation control (Sec. II-B / III-A): encodeProb() deposits fresh
+/// TRNG planes first, so successive calls yield *independent* streams;
+/// encodeProbCorrelated() reuses the current planes, yielding maximally
+/// correlated streams (SCC = +1) as required by subtraction and CORDIV.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/imops.hpp"
+#include "core/ims2b.hpp"
+#include "core/imsng.hpp"
+#include "reram/adc.hpp"
+#include "reram/array.hpp"
+#include "reram/fault_model.hpp"
+#include "reram/periphery.hpp"
+#include "reram/scouting.hpp"
+#include "reram/trng.hpp"
+
+namespace aimsc::core {
+
+struct AcceleratorConfig {
+  std::size_t streamLength = 256;  ///< N = array columns
+  int mBits = 8;                   ///< TRNG segment size M
+  ImsngConfig::Variant imsngVariant = ImsngConfig::Variant::Opt;
+  bool foldedNetwork = false;      ///< charge folded XAG schedule (ablation)
+  reram::DeviceParams device{};    ///< device variability parameters
+  bool injectFaults = false;       ///< probabilistic CIM misdecisions
+  std::size_t faultModelSamples = 100000;
+  reram::AdcParams adc{};
+  double trngBias = 0.0;           ///< TRNG ones-bias (imperfection knob)
+  bool commitSbs = true;           ///< write generated SBS to its row
+  std::uint64_t seed = 0x5eed;
+};
+
+class Accelerator {
+ public:
+  explicit Accelerator(const AcceleratorConfig& config = AcceleratorConfig{});
+
+  std::size_t streamLength() const { return array_->cols(); }
+  const AcceleratorConfig& config() const { return config_; }
+
+  // --- stage 1: binary -> stochastic (IMSNG) ------------------------------
+
+  /// Independent stream encoding probability p (fresh random planes).
+  sc::Bitstream encodeProb(double p);
+
+  /// Stream correlated with the previous encode* call (shared planes).
+  sc::Bitstream encodeProbCorrelated(double p);
+
+  /// Independent / correlated 8-bit pixel encodings (p = v/255).
+  sc::Bitstream encodePixel(std::uint8_t v);
+  sc::Bitstream encodePixelCorrelated(std::uint8_t v);
+
+  /// Independent P=0.5 select stream (for MAJ scaled addition).
+  sc::Bitstream halfStream();
+
+  /// Force-refresh the TRNG planes.
+  void refreshRandomness();
+
+  // --- stage 2: SC arithmetic in memory -----------------------------------
+
+  ImOps& ops() { return *imops_; }
+
+  // --- stage 3: stochastic -> binary (ADC) --------------------------------
+
+  std::uint32_t decodeCode(const sc::Bitstream& s) { return ims2b_->convert(s); }
+  double decodeProb(const sc::Bitstream& s);
+  std::uint8_t decodePixel(const sc::Bitstream& s);
+
+  /// Resistance-mode decode for CORDIV outputs (charges the column write).
+  std::uint8_t decodePixelStored(const sc::Bitstream& s);
+
+  // --- accounting ----------------------------------------------------------
+
+  const reram::EventCounts& events() const { return array_->events().counts(); }
+  void resetEvents() { array_->events().reset(); }
+
+  reram::CrossbarArray& array() { return *array_; }
+  Imsng& imsng() { return *imsng_; }
+  const reram::FaultModel* faultModel() const { return faultModel_.get(); }
+
+ private:
+  AcceleratorConfig config_;
+  std::unique_ptr<reram::CrossbarArray> array_;
+  std::unique_ptr<reram::FaultModel> faultModel_;
+  std::unique_ptr<reram::ScoutingLogic> scouting_;
+  std::unique_ptr<reram::Periphery> periphery_;
+  std::unique_ptr<reram::ReramTrng> trng_;
+  std::unique_ptr<Imsng> imsng_;
+  std::unique_ptr<ImOps> imops_;
+  std::unique_ptr<ImS2B> ims2b_;
+};
+
+}  // namespace aimsc::core

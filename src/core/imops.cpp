@@ -1,0 +1,101 @@
+#include "core/imops.hpp"
+
+#include "sc/bernstein.hpp"
+
+#include <stdexcept>
+
+namespace aimsc::core {
+
+using reram::SlOp;
+
+ImOps::ImOps(reram::ScoutingLogic& scouting, const reram::FaultModel* faultModel,
+             std::uint64_t seed)
+    : scouting_(scouting), faultModel_(faultModel), eng_(seed) {}
+
+// Each bulk op charges one standalone SA-output latch capture (two for the
+// XOR/XNOR window gates, which latch both references [33]); the in-step SA
+// activity is already absorbed into the calibrated t_slRead.
+sc::Bitstream ImOps::multiply(const sc::Bitstream& x, const sc::Bitstream& y) {
+  scouting_.array().events().add(reram::EventKind::LatchOp);
+  return scouting_.op2(SlOp::And, x, y);
+}
+
+sc::Bitstream ImOps::scaledAdd(const sc::Bitstream& x, const sc::Bitstream& y,
+                               const sc::Bitstream& half) {
+  scouting_.array().events().add(reram::EventKind::LatchOp);
+  return scouting_.op3(SlOp::Maj3, x, y, half);
+}
+
+sc::Bitstream ImOps::addApprox(const sc::Bitstream& x, const sc::Bitstream& y) {
+  scouting_.array().events().add(reram::EventKind::LatchOp);
+  return scouting_.op2(SlOp::Or, x, y);
+}
+
+sc::Bitstream ImOps::absSub(const sc::Bitstream& x, const sc::Bitstream& y) {
+  scouting_.array().events().add(reram::EventKind::LatchOp, 2);  // window op: two refs
+  return scouting_.op2(SlOp::Xor, x, y);
+}
+
+sc::Bitstream ImOps::minimum(const sc::Bitstream& x, const sc::Bitstream& y) {
+  scouting_.array().events().add(reram::EventKind::LatchOp);
+  return scouting_.op2(SlOp::And, x, y);
+}
+
+sc::Bitstream ImOps::maximum(const sc::Bitstream& x, const sc::Bitstream& y) {
+  scouting_.array().events().add(reram::EventKind::LatchOp);
+  return scouting_.op2(SlOp::Or, x, y);
+}
+
+sc::Bitstream ImOps::divide(const sc::Bitstream& x, const sc::Bitstream& y,
+                            sc::CordivVariant variant) {
+  if (x.size() != y.size()) throw std::invalid_argument("ImOps::divide: length mismatch");
+  scouting_.array().events().add(reram::EventKind::CordivIteration, x.size());
+
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  sc::CordivUnit unit_ff(variant);
+  sc::Bitstream q(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    bool xb = x.get(i);
+    bool yb = y.get(i);
+    if (faultModel_ != nullptr) {
+      // Each iteration senses two terms: t = AND(x_i, y_i) and
+      // h = AND(d, NOT y_i); model their misdecisions as input-bit flips
+      // drawn from the corresponding AND pattern probabilities.
+      const int ones = (xb ? 1 : 0) + (yb ? 1 : 0);
+      const double pT = faultModel_->misdecisionProb(SlOp::And, ones, 2);
+      if (pT > 0.0 && unit(eng_) < pT) xb = !xb;
+      const double pH =
+          faultModel_->misdecisionProb(SlOp::And, yb ? 0 : 1, 2);
+      if (pH > 0.0 && unit(eng_) < pH) yb = !yb;
+    }
+    if (unit_ff.clock(xb, yb)) q.set(i, true);
+  }
+  return q;
+}
+
+sc::Bitstream ImOps::majMux(const sc::Bitstream& x, const sc::Bitstream& y,
+                            const sc::Bitstream& sel) {
+  scouting_.array().events().add(reram::EventKind::LatchOp);
+  return scouting_.op3(SlOp::Maj3, x, y, sel);
+}
+
+sc::Bitstream ImOps::bernsteinSelect(const std::vector<sc::Bitstream>& xCopies,
+                                     const std::vector<sc::Bitstream>& coeffs) {
+  auto& log = scouting_.array().events();
+  const std::uint64_t steps =
+      static_cast<std::uint64_t>(xCopies.size() + coeffs.size()) - 1;
+  log.add(reram::EventKind::SlRead, steps);
+  log.add(reram::EventKind::LatchOp, steps);
+  return sc::scBernsteinSelect(xCopies, coeffs);
+}
+
+sc::Bitstream ImOps::majMux4(const sc::Bitstream& i11, const sc::Bitstream& i12,
+                             const sc::Bitstream& i21, const sc::Bitstream& i22,
+                             const sc::Bitstream& sx, const sc::Bitstream& sy) {
+  scouting_.array().events().add(reram::EventKind::LatchOp, 3);
+  const sc::Bitstream top = scouting_.op3(SlOp::Maj3, i12, i11, sy);
+  const sc::Bitstream bottom = scouting_.op3(SlOp::Maj3, i22, i21, sy);
+  return scouting_.op3(SlOp::Maj3, bottom, top, sx);
+}
+
+}  // namespace aimsc::core

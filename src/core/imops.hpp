@@ -1,0 +1,81 @@
+/// \file imops.hpp
+/// \brief In-memory stochastic arithmetic on scouting logic (Sec. III-B).
+///
+/// Every operation maps to the bulk-bitwise SL gate of Fig. 2 and completes
+/// in O(1) sensing steps — except CORDIV division, which is serial in the
+/// stream position because of the flip-flop dependency (O(N), realised with
+/// the existing write-driver latches as a JK flip-flop; intermediate values
+/// are forwarded as bitline voltages, never written).
+///
+/// Faults: bulk ops run through ScoutingLogic, which injects per-column
+/// misdecisions; CORDIV iterations draw per-step misdecisions directly from
+/// the FaultModel (two sensed terms per iteration).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "reram/fault_model.hpp"
+#include "reram/scouting.hpp"
+#include "sc/cordiv.hpp"
+
+namespace aimsc::core {
+
+class ImOps {
+ public:
+  /// \param scouting   SL engine (fault injection & event accounting)
+  /// \param faultModel optional model for serial CORDIV faults; pass the
+  ///                   same instance the scouting engine uses
+  explicit ImOps(reram::ScoutingLogic& scouting,
+                 const reram::FaultModel* faultModel = nullptr,
+                 std::uint64_t seed = 0x1305);
+
+  /// Multiplication: AND, independent inputs, one sensing step.
+  sc::Bitstream multiply(const sc::Bitstream& x, const sc::Bitstream& y);
+
+  /// Scaled addition: 3-input MAJ with a P=0.5 select stream, one step.
+  sc::Bitstream scaledAdd(const sc::Bitstream& x, const sc::Bitstream& y,
+                          const sc::Bitstream& half);
+
+  /// Approximate addition: OR, inputs in [0, 0.5].
+  sc::Bitstream addApprox(const sc::Bitstream& x, const sc::Bitstream& y);
+
+  /// Absolute subtraction: XOR (window op), correlated inputs.
+  sc::Bitstream absSub(const sc::Bitstream& x, const sc::Bitstream& y);
+
+  /// Minimum / maximum over correlated inputs: AND / OR.
+  sc::Bitstream minimum(const sc::Bitstream& x, const sc::Bitstream& y);
+  sc::Bitstream maximum(const sc::Bitstream& x, const sc::Bitstream& y);
+
+  /// CORDIV division x / y over correlated streams (x <= y), serial O(N);
+  /// charges one cordivIteration per bit.
+  sc::Bitstream divide(const sc::Bitstream& x, const sc::Bitstream& y,
+                       sc::CordivVariant variant = sc::CordivVariant::JkFlipFlop);
+
+  /// MUX via MAJ tree (compositing / bilinear kernels); sel favours x.
+  sc::Bitstream majMux(const sc::Bitstream& x, const sc::Bitstream& y,
+                       const sc::Bitstream& sel);
+
+  /// 4-to-1 MUX via three MAJ steps (bilinear interpolation).
+  sc::Bitstream majMux4(const sc::Bitstream& i11, const sc::Bitstream& i12,
+                        const sc::Bitstream& i21, const sc::Bitstream& i22,
+                        const sc::Bitstream& sx, const sc::Bitstream& sy);
+
+  /// Bernstein selection network (extension; sc/bernstein.hpp): selects
+  /// among the coefficient streams by the ones-count of the x copies.
+  /// Charged as a MUX tree of (copies + coeffs - 1) sensing steps; faults
+  /// reach the result through the encoded input streams.
+  sc::Bitstream bernsteinSelect(const std::vector<sc::Bitstream>& xCopies,
+                                const std::vector<sc::Bitstream>& coeffs);
+
+  reram::ScoutingLogic& scouting() { return scouting_; }
+
+ private:
+  reram::ScoutingLogic& scouting_;
+  const reram::FaultModel* faultModel_;
+  std::mt19937_64 eng_;
+};
+
+}  // namespace aimsc::core

@@ -1,0 +1,128 @@
+#include "core/imsng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "logic/synth.hpp"
+#include "sc/sng.hpp"
+
+namespace aimsc::core {
+
+using reram::SlOp;
+
+Imsng::Imsng(reram::CrossbarArray& array, reram::ScoutingLogic& scouting,
+             reram::Periphery& periphery, reram::ReramTrng& trng,
+             const ImsngConfig& config)
+    : array_(array),
+      scouting_(scouting),
+      periphery_(periphery),
+      trng_(trng),
+      config_(config) {
+  if (config_.mBits < 1 || config_.mBits > 16) {
+    throw std::invalid_argument("Imsng: mBits out of range");
+  }
+  const std::size_t m = static_cast<std::size_t>(config_.mBits);
+  if (config_.randomPlaneBase + m > array_.rows() ||
+      config_.outputRow >= array_.rows()) {
+    throw std::invalid_argument("Imsng: rows do not fit the array");
+  }
+  if (config_.outputRow >= config_.randomPlaneBase &&
+      config_.outputRow < config_.randomPlaneBase + m) {
+    throw std::invalid_argument("Imsng: output row overlaps random planes");
+  }
+}
+
+void Imsng::refreshRandomness() {
+  trng_.fillRows(array_, config_.randomPlaneBase,
+                 static_cast<std::size_t>(config_.mBits));
+  planesReady_ = true;
+}
+
+std::size_t Imsng::sensingStepsPerConversion(std::uint32_t x) const {
+  const auto m = static_cast<std::size_t>(config_.mBits);
+  if (!config_.foldedNetwork) return 5 * m;
+  const auto net = logic::buildGreaterThanConst(
+      x > ((1u << config_.mBits) - 1) ? ((1u << config_.mBits) - 1) : x,
+      config_.mBits);
+  return logic::scheduleForSl(net.xag).sensingSteps;
+}
+
+sc::Bitstream Imsng::generateThreshold(std::uint32_t x) {
+  const std::size_t n = array_.cols();
+  const int m = config_.mBits;
+  const std::uint32_t full = std::uint32_t{1} << m;
+  if (x > full) throw std::invalid_argument("Imsng: threshold exceeds 2^M");
+  if (!planesReady_) refreshRandomness();
+
+  auto& log = array_.events();
+  const std::size_t chargedSteps = sensingStepsPerConversion(x >= full ? full - 1 : x);
+
+  sc::Bitstream result(n);
+  std::size_t dataflowReads = 0;
+
+  if (x == full) {
+    // p = 1.0: the comparator network degenerates to constant true.
+    result = sc::Bitstream(n, true);
+  } else {
+    // FFlag chain in L1 (starts all-equal = all ones), result accumulates
+    // in L0.  Per bit, MSB..LSB (planes stored MSB first):
+    //   A_i = 1: result |= FFlag AND NOT RN_i ;  FFlag &= RN_i
+    //   A_i = 0: FFlag &= NOT RN_i
+    // Each AND is one sensing step; complemented latch operands are free
+    // (the periphery drives the bitline voltage, Fig. 1c).
+    periphery_.captureL1(sc::Bitstream(n, true));
+    periphery_.captureL0(sc::Bitstream(n));
+    for (int i = 0; i < m; ++i) {
+      const bool aBit = (x >> (m - 1 - i)) & 1u;
+      const std::size_t plane = config_.randomPlaneBase + static_cast<std::size_t>(i);
+      const sc::Bitstream& rn = array_.row(plane);
+      const sc::Bitstream flag = periphery_.l1();
+      if (aBit) {
+        // term = FFlag AND NOT RN_i  ==  NOR(NOT FFlag, RN_i)
+        const sc::Bitstream notFlag = ~flag;
+        const sc::Bitstream term = scouting_.op2(SlOp::Nor, notFlag, rn);
+        ++dataflowReads;
+        periphery_.accumulateL0(term);
+        // FFlag = FFlag AND RN_i (predicated sensing in the latch pair)
+        const sc::Bitstream newFlag = scouting_.op2(SlOp::And, flag, rn);
+        ++dataflowReads;
+        periphery_.captureL1(newFlag);
+      } else {
+        // FFlag = FFlag AND NOT RN_i
+        const sc::Bitstream notFlag = ~flag;
+        const sc::Bitstream newFlag = scouting_.op2(SlOp::Nor, notFlag, rn);
+        ++dataflowReads;
+        periphery_.captureL1(newFlag);
+      }
+    }
+    result = periphery_.l0();
+  }
+
+  // Cost parity with the paper's operation count: the dataflow above issued
+  // `dataflowReads` sensing steps; top up to the charged schedule.
+  if (chargedSteps > dataflowReads) {
+    log.add(reram::EventKind::SlRead, chargedSteps - dataflowReads);
+  }
+  // Naive variant: intermediate results hit the cells (2 writes per bit
+  // even after the feedback mechanism, Sec. III-A).
+  if (config_.variant == ImsngConfig::Variant::Naive) {
+    log.add(reram::EventKind::RowWrite, 2 * static_cast<std::size_t>(m));
+  }
+
+  // Both variants commit the final SBS once ("at least one write").
+  if (config_.commitResult) {
+    periphery_.captureL0(result);
+    periphery_.commit(config_.outputRow);
+  }
+  return result;
+}
+
+sc::Bitstream Imsng::generateProb(double p) {
+  return generateThreshold(sc::quantizeProbability(p, config_.mBits));
+}
+
+sc::Bitstream Imsng::generatePixel(std::uint8_t v) {
+  return generateProb(static_cast<double>(v) / 255.0);
+}
+
+}  // namespace aimsc::core

@@ -1,0 +1,101 @@
+/// \file imsng.hpp
+/// \brief In-memory stochastic number generation (paper Sec. III-A) — the
+///        paper's central contribution.
+///
+/// True random M-bit numbers live in the array as M bit-plane rows (row r =
+/// bit r of the N per-column random numbers, MSB first).  Converting a
+/// binary operand A into an SBS is the bulk greater-than comparison
+/// A > RN executed with scouting logic: the flag chain (FFlag) lives in
+/// latch L1 and the accumulated result in latch L0, so one pass over the M
+/// bit-planes emits the whole N-bit stream at once.
+///
+/// Variants (Sec. III-A):
+///  * Naive — intermediate gate outputs are written back to ReRAM rows
+///            (2 writes per bit after the feedback mechanism removes the
+///            other three): charged 2·M intermediate rowWrites;
+///  * Opt   — the write-driver latch pair implements the FFlag AND as
+///            *predicated sensing*: zero intermediate writes.
+/// Both variants produce bit-identical streams; they differ only in cost.
+///
+/// Cost parity: by default each conversion charges the paper's generic
+/// 5·M sensing steps ("5n operations ... each logic gate requires one
+/// sensing step").  foldedNetwork = true instead charges the XAG
+/// constant-folded schedule (the logic-synthesis ablation).
+///
+/// Correlation control: streams generated against the same random planes
+/// are maximally correlated (SCC = +1); refreshRandomness() deposits fresh
+/// TRNG planes for independent streams.
+#pragma once
+
+#include <cstdint>
+
+#include "reram/adc.hpp"
+#include "reram/array.hpp"
+#include "reram/periphery.hpp"
+#include "reram/scouting.hpp"
+#include "reram/trng.hpp"
+
+namespace aimsc::core {
+
+struct ImsngConfig {
+  int mBits = 8;  ///< segment size M (random-number width), paper Table I: 5..9
+
+  enum class Variant { Naive, Opt };
+  Variant variant = Variant::Opt;
+
+  /// Charge the constant-folded XAG schedule instead of the generic 5M ops.
+  bool foldedNetwork = false;
+
+  /// Array row where the random bit-planes start.
+  std::size_t randomPlaneBase = 0;
+
+  /// Array row receiving the generated SBS.
+  std::size_t outputRow = 0;
+
+  /// Commit the generated SBS to the output row (one real write).  Table III
+  /// reports the conversion logic alone, so the hardware-cost bench disables
+  /// the commit; applications keep it on.
+  bool commitResult = true;
+};
+
+class Imsng {
+ public:
+  /// \param array     crossbar holding the random planes and the output row
+  /// \param scouting  SL engine bound to \p array (faults flow through it)
+  /// \param periphery latch pair of \p array
+  /// \param trng      random-plane source
+  Imsng(reram::CrossbarArray& array, reram::ScoutingLogic& scouting,
+        reram::Periphery& periphery, reram::ReramTrng& trng,
+        const ImsngConfig& config = ImsngConfig{});
+
+  /// Deposits fresh TRNG bit-planes (M rows).  Call between conversions
+  /// that must be *independent*; skip it to obtain correlated streams.
+  void refreshRandomness();
+
+  /// Converts integer threshold \p x in [0, 2^M] to an SBS: bit j = 1 iff
+  /// x > RN_j.  The stream is committed to the configured output row and
+  /// also returned.
+  sc::Bitstream generateThreshold(std::uint32_t x);
+
+  /// Converts probability \p p in [0,1] (quantized to M bits).
+  sc::Bitstream generateProb(double p);
+
+  /// Converts an 8-bit pixel value (p = v / 255).
+  sc::Bitstream generatePixel(std::uint8_t v);
+
+  std::size_t streamLength() const { return array_.cols(); }
+  const ImsngConfig& config() const { return config_; }
+
+  /// Sensing steps charged per conversion (5·M generic, fewer folded).
+  std::size_t sensingStepsPerConversion(std::uint32_t x) const;
+
+ private:
+  reram::CrossbarArray& array_;
+  reram::ScoutingLogic& scouting_;
+  reram::Periphery& periphery_;
+  reram::ReramTrng& trng_;
+  ImsngConfig config_;
+  bool planesReady_ = false;
+};
+
+}  // namespace aimsc::core

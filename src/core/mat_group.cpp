@@ -1,0 +1,38 @@
+#include "core/mat_group.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aimsc::core {
+
+MatGroup::MatGroup(const MatGroupConfig& config) : config_(config) {
+  if (config_.mats == 0) throw std::invalid_argument("MatGroup: zero mats");
+  mats_.reserve(config_.mats);
+  for (std::size_t i = 0; i < config_.mats; ++i) {
+    AcceleratorConfig mc = config_.mat;
+    // Distinct randomness per mat; identical seeds would correlate lanes.
+    mc.seed = config_.mat.seed + 0x9e3779b97f4a7c15ull * (i + 1);
+    mats_.push_back(std::make_unique<Accelerator>(mc));
+  }
+}
+
+reram::EventCounts MatGroup::totalEvents() const {
+  reram::EventCounts total;
+  for (const auto& m : mats_) total += m->events();
+  return total;
+}
+
+void MatGroup::resetEvents() {
+  for (auto& m : mats_) m->resetEvents();
+}
+
+double MatGroup::estimatedWallClockNs() const {
+  const energy::CostModel model(config_.mat.streamLength);
+  double worst = 0;
+  for (const auto& m : mats_) {
+    worst = std::max(worst, model.cost(m->events()).totalLatencyNs());
+  }
+  return worst;  // lanes run concurrently; the slowest mat finishes last
+}
+
+}  // namespace aimsc::core

@@ -1,0 +1,50 @@
+/// \file mat_group.hpp
+/// \brief Multi-mat orchestration ("we use multiple arrays to parallelize
+///        and pipeline the different stages", Sec. III).
+///
+/// A MatGroup owns K independently seeded accelerator mats.  Work items
+/// (pixels) are distributed round-robin; each mat runs its own TRNG planes,
+/// scouting engine and ADC, so the group behaves like K concurrent lanes.
+/// Event counts merge across mats; the wall-clock estimate divides the
+/// aggregate serial latency by the lane count (mats share nothing).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "energy/cost_model.hpp"
+
+namespace aimsc::core {
+
+struct MatGroupConfig {
+  std::size_t mats = 4;          ///< concurrent mats (lanes)
+  AcceleratorConfig mat{};       ///< per-mat configuration (seed is varied)
+};
+
+class MatGroup {
+ public:
+  explicit MatGroup(const MatGroupConfig& config);
+
+  std::size_t size() const { return mats_.size(); }
+
+  /// Mat assigned to work item \p index (round-robin).
+  Accelerator& forItem(std::size_t index) { return *mats_[index % mats_.size()]; }
+
+  Accelerator& mat(std::size_t i) { return *mats_.at(i); }
+
+  /// Merged event counts across all mats.
+  reram::EventCounts totalEvents() const;
+  void resetEvents();
+
+  /// Wall-clock estimate for the recorded events: aggregate serial latency
+  /// divided by the concurrent lane count.
+  double estimatedWallClockNs() const;
+
+ private:
+  MatGroupConfig config_;
+  std::vector<std::unique_ptr<Accelerator>> mats_;
+};
+
+}  // namespace aimsc::core

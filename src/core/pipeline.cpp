@@ -1,0 +1,107 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "energy/calibration.hpp"
+
+namespace aimsc::core {
+
+PipelineSimulator::PipelineSimulator(std::vector<PipelineStage> stages)
+    : stages_(std::move(stages)) {
+  if (stages_.empty()) throw std::invalid_argument("PipelineSimulator: no stages");
+  for (const auto& s : stages_) {
+    if (s.units == 0 || s.latencyNs < 0 || s.visitsPerElement < 0) {
+      throw std::invalid_argument("PipelineSimulator: bad stage " + s.name);
+    }
+  }
+}
+
+double PipelineSimulator::bottleneckNsPerElement() const {
+  double worst = 0;
+  for (const auto& s : stages_) {
+    worst = std::max(worst, s.visitsPerElement * s.latencyNs /
+                                static_cast<double>(s.units));
+  }
+  return worst;
+}
+
+PipelineResult PipelineSimulator::run(std::size_t elements) const {
+  // Greedy list scheduling: per stage, a min-heap of unit free times; an
+  // element's service at stage s starts at max(arrival, earliest unit).
+  std::vector<std::priority_queue<double, std::vector<double>,
+                                  std::greater<double>>>
+      freeAt(stages_.size());
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    for (std::size_t u = 0; u < stages_[s].units; ++u) freeAt[s].push(0.0);
+  }
+  std::vector<double> busy(stages_.size(), 0.0);
+  double makespan = 0.0;
+
+  for (std::size_t e = 0; e < elements; ++e) {
+    double ready = 0.0;  // element arrival time at the next stage
+    for (std::size_t s = 0; s < stages_.size(); ++s) {
+      const auto& st = stages_[s];
+      // visitsPerElement *independent* jobs (e.g. the F/B/alpha conversions
+      // of one pixel) fork across the stage's units and join before the
+      // next stage; fractional remainders model amortized shared work.
+      double remaining = st.visitsPerElement;
+      double joined = ready;
+      while (remaining > 1e-12) {
+        const double chunk = std::min(remaining, 1.0);
+        const double service = st.latencyNs * chunk;
+        const double unitFree = freeAt[s].top();
+        freeAt[s].pop();
+        const double start = std::max(ready, unitFree);
+        const double end = start + service;
+        freeAt[s].push(end);
+        busy[s] += service;
+        joined = std::max(joined, end);
+        remaining -= chunk;
+      }
+      ready = joined;
+    }
+    makespan = std::max(makespan, ready);
+  }
+
+  PipelineResult r;
+  r.makespanNs = makespan;
+  r.throughputElemsPerSec =
+      makespan > 0 ? static_cast<double>(elements) / makespan * 1e9 : 0.0;
+  r.utilization.resize(stages_.size());
+  double worstU = -1;
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    r.utilization[s] =
+        makespan > 0
+            ? busy[s] / (makespan * static_cast<double>(stages_[s].units))
+            : 0.0;
+    if (r.utilization[s] > worstU) {
+      worstU = r.utilization[s];
+      r.bottleneckStage = s;
+    }
+  }
+  return r;
+}
+
+PipelineSimulator makeScFlowPipeline(std::size_t sngArrays,
+                                     double conversionsPerElement,
+                                     double bulkOpsPerElement,
+                                     std::size_t streamLength,
+                                     bool usesCordiv) {
+  namespace cal = energy::cal;
+  const double nScale = static_cast<double>(streamLength) / cal::kRefColumns;
+  std::vector<PipelineStage> stages;
+  stages.push_back(PipelineStage{
+      "SNG", 40.0 * cal::kTSlReadNs * nScale, sngArrays, conversionsPerElement});
+  const double opLatency =
+      (cal::kTSlReadNs + cal::kTLatchNs) * nScale +
+      (usesCordiv
+           ? static_cast<double>(streamLength) * cal::kTCordivIterNs / 256.0
+           : 0.0);
+  stages.push_back(PipelineStage{"SL-op", opLatency, 1, bulkOpsPerElement});
+  stages.push_back(PipelineStage{"ADC", cal::kTAdcNs, 1, 1.0});
+  return PipelineSimulator(std::move(stages));
+}
+
+}  // namespace aimsc::core

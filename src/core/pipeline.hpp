@@ -1,0 +1,63 @@
+/// \file pipeline.hpp
+/// \brief Discrete-event model of multi-array stage pipelining.
+///
+/// The paper uses "multiple arrays to parallelize and pipeline the
+/// different stages" (Sec. III) but never quantifies the array count.  This
+/// simulator schedules elements through the three SC stages (SNG arrays ->
+/// op array -> ADC) with explicit resource pools, yielding makespan,
+/// per-stage utilization and steady-state throughput.  It generalizes the
+/// closed-form bottleneck rule used by energy/system_model (which assumes
+/// fully parallel conversions) and exposes the array-count sensitivity
+/// studied in bench_ablations.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace aimsc::core {
+
+/// One pipeline stage: a pool of identical units with fixed service time.
+struct PipelineStage {
+  std::string name;
+  double latencyNs = 0;   ///< service time per element per visit
+  std::size_t units = 1;  ///< parallel arrays / ADCs for this stage
+  /// Number of sequential visits an element makes to this stage (e.g. three
+  /// operand conversions when only one SNG array exists).
+  double visitsPerElement = 1.0;
+};
+
+struct PipelineResult {
+  double makespanNs = 0;                 ///< batch completion time
+  double throughputElemsPerSec = 0;      ///< elements / makespan
+  std::vector<double> utilization;       ///< busy fraction per stage
+  std::size_t bottleneckStage = 0;       ///< index of the busiest stage
+};
+
+class PipelineSimulator {
+ public:
+  explicit PipelineSimulator(std::vector<PipelineStage> stages);
+
+  /// Schedules \p elements through all stages in order (FIFO, greedy
+  /// earliest-unit assignment) and reports the makespan statistics.
+  PipelineResult run(std::size_t elements) const;
+
+  /// Analytic steady-state bound: max over stages of
+  /// visits * latency / units (ns per element).
+  double bottleneckNsPerElement() const;
+
+  const std::vector<PipelineStage>& stages() const { return stages_; }
+
+ private:
+  std::vector<PipelineStage> stages_;
+};
+
+/// Builds the canonical SC-flow pipeline for the calibrated stage costs:
+/// conversions on \p sngArrays arrays, one bulk-op array, one ADC.
+PipelineSimulator makeScFlowPipeline(std::size_t sngArrays,
+                                     double conversionsPerElement,
+                                     double bulkOpsPerElement,
+                                     std::size_t streamLength,
+                                     bool usesCordiv = false);
+
+}  // namespace aimsc::core

@@ -1,0 +1,53 @@
+/// \file area.hpp
+/// \brief Area accounting for the SC designs (paper Sec. I/II claims).
+///
+/// The paper motivates in-memory SNG with two area statements:
+///  * "CMOS-based bit-stream generation consumes up to 80% of the system's
+///    total hardware cost and energy" [4][9];
+///  * the proposed design "requires minimal changes to the memory
+///    periphery" (modified SA references, latch feedback path, one 8-bit
+///    ADC per mat — components common to other CIM designs anyway).
+///
+/// Component areas are gate-equivalent (GE) counts at the 45 nm class,
+/// assembled from the standard structures: an n-bit LFSR is n flip-flops +
+/// taps, a Sobol generator needs a direction-number table + XOR/priority
+/// logic, a comparator ~n GE, SC logic a handful of gates, the S-to-B
+/// counter log2(N) flip-flops.  Absolute GE values are order-of-magnitude
+/// literature numbers; the *shares* are what the bench reproduces.
+#pragma once
+
+#include <cstddef>
+
+#include "energy/cmos_baseline.hpp"
+
+namespace aimsc::energy {
+
+/// Gate-equivalent areas of one CMOS SC lane.
+struct CmosAreaBreakdown {
+  double sngGe = 0;      ///< RNG + comparator (per independent stream pair)
+  double logicGe = 0;    ///< SC arithmetic gates (AND/MUX/XOR/FF)
+  double counterGe = 0;  ///< log2(N)-bit output counter
+  double totalGe() const { return sngGe + logicGe + counterGe; }
+  double sngShare() const { return totalGe() > 0 ? sngGe / totalGe() : 0; }
+};
+
+/// CMOS SC lane area for the given SNG type, operation and stream length.
+CmosAreaBreakdown cmosScArea(CmosSng sng, ScOpKind op, std::size_t n);
+
+/// Peripheral additions of the ReRAM design, relative to a baseline CIM mat
+/// (which already has SAs, drivers and row decoders).
+struct ReramAreaBreakdown {
+  double extraSaRefsGe = 0;   ///< additional reference currents / mux
+  double feedbackGe = 0;      ///< latch-to-bitline feedback drivers
+  double adcGe = 0;           ///< one 8-bit SAR ADC per mat, amortized
+  double baselineMatGe = 0;   ///< the CIM mat the additions attach to
+  double totalExtraGe() const { return extraSaRefsGe + feedbackGe + adcGe; }
+  double overheadShare() const {
+    return baselineMatGe > 0 ? totalExtraGe() / baselineMatGe : 0;
+  }
+};
+
+/// Peripheral overhead of this work per mat of the given column count.
+ReramAreaBreakdown reramPeripheryArea(std::size_t columns);
+
+}  // namespace aimsc::energy

@@ -1,0 +1,59 @@
+/// \file calibration.hpp
+/// \brief Device/periphery cost constants calibrated against the paper's own
+///        published numbers (Table III and the IMSNG-naive/opt comparison in
+///        Sec. IV-B).  See DESIGN.md Sec. 4 for the derivations.
+///
+/// Reference bulk width: all bulk (row-wide) energies below are quoted for a
+/// 256-column row, the paper's N = 256 operating point; energy scales
+/// linearly with the active column count (bitline current sum), latency does
+/// not (rows activate in parallel).
+///
+/// Derivations (M = 8 random bits per conversion):
+///  * IMSNG-opt  = 5*M = 40 sensing steps = 78.2 ns, 3.42 nJ
+///      -> t_slRead = 78.2/40  = 1.955 ns ; e_slRead = 3.42/40 = 85.5 pJ
+///  * IMSNG-naive adds 2*M = 16 intermediate row writes:
+///      395.4 ns = 78.2 + 16 * t_write  -> t_write = 19.825 ns
+///      10.23 nJ = 3.42 + 16 * e_write  -> e_write = 425.6 pJ
+///  * Table III ReRAM multiplication = 80.8 ns = 78.2 + t_slRead + t_latch
+///      -> t_latch = 0.72 ns (SA output capture into L0/L1)
+///    subtraction = 81.6 ns = 78.2 + t_slRead + 2*t_latch (XOR = window op,
+///      two references, two latch events)  [consistent within 0.08 ns]
+///  * Table III ReRAM division = 12544 ns = 78.2 + 256 * t_cordivIter
+///      -> t_cordivIter = 48.69 ns ; 4.48 nJ = 3.42 + 256 * e_cordivIter
+///      -> e_cordivIter = 4.14 pJ
+///  * ADC: ISAAC-style 8-bit ADC [37]: 1.28 GS/s, ~16 mW
+///      -> t_adc = 0.78 ns ; e_adc = 12.5 pJ per conversion
+///  * TRNG: threshold-switching read-noise TRNG [21][25] — background
+///      operation, ~0.1 pJ/bit deposit (not part of Table III parity).
+#pragma once
+
+namespace aimsc::energy::cal {
+
+/// Reference column count for the bulk energies below.
+inline constexpr double kRefColumns = 256.0;
+
+// Scouting-logic sensing step (bulk over one row set).
+inline constexpr double kTSlReadNs = 1.955;
+inline constexpr double kESlReadNJ = 0.0855;  // at kRefColumns columns
+
+// Full-row ReRAM write (bulk).
+inline constexpr double kTWriteNs = 19.825;
+inline constexpr double kEWriteNJ = 0.4256;  // at kRefColumns columns
+
+// Peripheral latch capture/update.
+inline constexpr double kTLatchNs = 0.72;
+inline constexpr double kELatchNJ = 0.0023;  // at kRefColumns columns
+
+// Serial CORDIV iteration (latch forwarding, no cell writes).
+inline constexpr double kTCordivIterNs = 48.69;
+inline constexpr double kECordivIterNJ = 0.00414;
+
+// 8-bit ADC conversion (per mat) [37].
+inline constexpr double kTAdcNs = 0.78;
+inline constexpr double kEAdcNJ = 0.0125;
+
+// TRNG bit deposit (background single-step operation) [21].
+inline constexpr double kETrngBitNJ = 0.0001;
+inline constexpr double kTTrngRowNs = 10.0;  // amortized, overlapped
+
+}  // namespace aimsc::energy::cal

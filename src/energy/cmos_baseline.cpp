@@ -1,0 +1,70 @@
+#include "energy/cmos_baseline.hpp"
+
+#include <stdexcept>
+
+namespace aimsc::energy {
+
+namespace {
+
+/// Table III, CMOS-based design, N = 256 (latency ns / energy nJ).
+struct Row {
+  double latencyNs;
+  double energyNJ;
+};
+
+constexpr Row kLfsr[] = {
+    {122.88, 0.23},  // Multiplication
+    {130.56, 0.26},  // Addition
+    {130.56, 0.26},  // Approx addition (same MUX-class datapath)
+    {133.12, 0.16},  // Subtraction
+    {133.12, 0.18},  // Division
+    {122.88, 0.23},  // Minimum (AND datapath = multiplication row)
+    {122.88, 0.23},  // Maximum
+};
+
+constexpr Row kSobol[] = {
+    {125.44, 0.30},  // Multiplication
+    {130.56, 0.30},  // Addition
+    {130.56, 0.30},  // Approx addition
+    {133.12, 0.12},  // Subtraction
+    {130.56, 0.14},  // Division
+    {125.44, 0.30},  // Minimum
+    {125.44, 0.30},  // Maximum
+};
+
+const Row& lookup(CmosSng sng, ScOpKind op) {
+  const auto idx = static_cast<std::size_t>(op);
+  if (idx >= 7) throw std::invalid_argument("cmosScCost: bad op");
+  return sng == CmosSng::Lfsr ? kLfsr[idx] : kSobol[idx];
+}
+
+}  // namespace
+
+const char* scOpName(ScOpKind op) {
+  switch (op) {
+    case ScOpKind::Multiplication: return "Multiplication";
+    case ScOpKind::ScaledAddition: return "Scaled Addition";
+    case ScOpKind::ApproxAddition: return "Approx. Addition";
+    case ScOpKind::AbsSubtraction: return "Abs. Subtraction";
+    case ScOpKind::Division: return "Division";
+    case ScOpKind::Minimum: return "Minimum";
+    case ScOpKind::Maximum: return "Maximum";
+  }
+  return "?";
+}
+
+const char* cmosSngName(CmosSng sng) {
+  return sng == CmosSng::Lfsr ? "LFSR" : "Sobol";
+}
+
+CmosCost cmosScCost(CmosSng sng, ScOpKind op, std::size_t n) {
+  const Row& row = lookup(sng, op);
+  const double scale = static_cast<double>(n) / 256.0;
+  return CmosCost{row.latencyNs * scale, row.energyNJ * scale};
+}
+
+double cmosCriticalPathNs(CmosSng sng, ScOpKind op) {
+  return lookup(sng, op).latencyNs / 256.0;
+}
+
+}  // namespace aimsc::energy

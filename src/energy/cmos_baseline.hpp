@@ -1,0 +1,47 @@
+/// \file cmos_baseline.hpp
+/// \brief CMOS-based SC baseline costs (paper Table III, Synopsys DC 45 nm).
+///
+/// The paper synthesized the conventional CMOS SC pipeline — SNG (LFSR or
+/// Sobol generator + comparator), serial SC logic, and a log2(N)-bit output
+/// counter — and reports total latency (critical path x N) and energy at
+/// N = 256.  Those published numbers are transcribed here as the baseline
+/// dataset and scaled linearly in N (both latency and switching energy are
+/// proportional to the number of serial bit cycles).
+///
+/// Min/max are not separate rows in Table III; they use the same single-gate
+/// datapath as multiplication (AND/OR), so they inherit that row.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace aimsc::energy {
+
+enum class CmosSng { Lfsr, Sobol };
+
+enum class ScOpKind {
+  Multiplication,
+  ScaledAddition,
+  ApproxAddition,
+  AbsSubtraction,
+  Division,
+  Minimum,
+  Maximum,
+};
+
+const char* scOpName(ScOpKind op);
+
+struct CmosCost {
+  double latencyNs = 0;
+  double energyNJ = 0;
+};
+
+/// Cost of the full CMOS SC flow (SNG + op + counter) for stream length n.
+CmosCost cmosScCost(CmosSng sng, ScOpKind op, std::size_t n);
+
+/// Critical-path clock period implied by Table III (latency / 256) [ns].
+double cmosCriticalPathNs(CmosSng sng, ScOpKind op);
+
+const char* cmosSngName(CmosSng sng);
+
+}  // namespace aimsc::energy

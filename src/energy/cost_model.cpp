@@ -1,0 +1,37 @@
+#include "energy/cost_model.hpp"
+
+#include "energy/calibration.hpp"
+
+namespace aimsc::energy {
+
+CostModel::CostModel(std::size_t streamLength, bool includeTrng)
+    : streamLength_(streamLength), includeTrng_(includeTrng) {}
+
+CostBreakdown CostModel::cost(const reram::EventCounts& ev) const {
+  namespace c = cal;
+  const double widthScale = static_cast<double>(streamLength_) / c::kRefColumns;
+
+  CostBreakdown b;
+  b.readLatencyNs = static_cast<double>(ev.slReads) * c::kTSlReadNs;
+  b.readEnergyNJ = static_cast<double>(ev.slReads) * c::kESlReadNJ * widthScale;
+
+  b.writeLatencyNs = static_cast<double>(ev.rowWrites) * c::kTWriteNs;
+  b.writeEnergyNJ = static_cast<double>(ev.rowWrites) * c::kEWriteNJ * widthScale;
+
+  b.latchLatencyNs = static_cast<double>(ev.latchOps) * c::kTLatchNs;
+  b.latchEnergyNJ = static_cast<double>(ev.latchOps) * c::kELatchNJ * widthScale;
+
+  b.adcLatencyNs = static_cast<double>(ev.adcConversions) * c::kTAdcNs;
+  b.adcEnergyNJ = static_cast<double>(ev.adcConversions) * c::kEAdcNJ;
+
+  b.cordivLatencyNs = static_cast<double>(ev.cordivIterations) * c::kTCordivIterNs;
+  b.cordivEnergyNJ = static_cast<double>(ev.cordivIterations) * c::kECordivIterNJ;
+
+  if (includeTrng_) {
+    b.trngEnergyNJ = static_cast<double>(ev.trngBits) * c::kETrngBitNJ;
+    b.trngLatencyNs = 0.0;  // background generation, overlapped (Sec. III-A)
+  }
+  return b;
+}
+
+}  // namespace aimsc::energy

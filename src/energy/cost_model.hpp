@@ -1,0 +1,59 @@
+/// \file cost_model.hpp
+/// \brief Turns event counts into latency / energy (NVMain-style accounting).
+///
+/// The simulator counts primitive events (reads, writes, latch ops, ADC
+/// conversions, CORDIV iterations, TRNG bits); this model prices them with
+/// the calibrated constants of calibration.hpp.  Latency is the serial sum
+/// (one mat, no pipelining); system-level parallelism and off-chip traffic
+/// are handled by system_model.hpp.
+#pragma once
+
+#include <cstddef>
+
+#include "reram/events.hpp"
+
+namespace aimsc::energy {
+
+/// Per-category cost decomposition (ns / nJ).
+struct CostBreakdown {
+  double readLatencyNs = 0;
+  double writeLatencyNs = 0;
+  double latchLatencyNs = 0;
+  double adcLatencyNs = 0;
+  double cordivLatencyNs = 0;
+  double trngLatencyNs = 0;
+
+  double readEnergyNJ = 0;
+  double writeEnergyNJ = 0;
+  double latchEnergyNJ = 0;
+  double adcEnergyNJ = 0;
+  double cordivEnergyNJ = 0;
+  double trngEnergyNJ = 0;
+
+  double totalLatencyNs() const {
+    return readLatencyNs + writeLatencyNs + latchLatencyNs + adcLatencyNs +
+           cordivLatencyNs + trngLatencyNs;
+  }
+  double totalEnergyNJ() const {
+    return readEnergyNJ + writeEnergyNJ + latchEnergyNJ + adcEnergyNJ +
+           cordivEnergyNJ + trngEnergyNJ;
+  }
+};
+
+class CostModel {
+ public:
+  /// \param streamLength active columns per bulk op (energy scales with it)
+  /// \param includeTrng  charge TRNG background cost (excluded from Table III
+  ///                     parity; included in system-level accounting)
+  explicit CostModel(std::size_t streamLength = 256, bool includeTrng = false);
+
+  CostBreakdown cost(const reram::EventCounts& ev) const;
+
+  std::size_t streamLength() const { return streamLength_; }
+
+ private:
+  std::size_t streamLength_;
+  bool includeTrng_;
+};
+
+}  // namespace aimsc::energy

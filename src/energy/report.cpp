@@ -1,0 +1,69 @@
+#include "energy/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace aimsc::energy {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::addRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::addRule() { rows_.emplace_back(); }
+
+std::string Table::toString() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emitRule = [&] {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << '+' << std::string(width[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto emitRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << "| " << cell << std::string(width[c] - cell.size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  emitRule();
+  emitRow(headers_);
+  emitRule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emitRule();
+    } else {
+      emitRow(row);
+    }
+  }
+  emitRule();
+  return os.str();
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmtMsePercent(double v) {
+  if (v != 0.0 && v < 0.0005) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2e", v);
+    return buf;
+  }
+  return fmt(v, 3);
+}
+
+}  // namespace aimsc::energy

@@ -1,0 +1,35 @@
+/// \file report.hpp
+/// \brief Fixed-width table formatting for the reproduction benches.
+///
+/// Every bench binary prints the same rows/series the paper reports; this
+/// helper keeps the output aligned and diff-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aimsc::energy {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void addRow(std::vector<std::string> cells);
+
+  /// Horizontal separator row.
+  void addRule();
+
+  std::string toString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector = rule
+};
+
+/// Fixed-precision decimal formatting.
+std::string fmt(double v, int precision = 3);
+
+/// Scientific notation for very small MSE values (paper style, e.g. 2.9e-04).
+std::string fmtMsePercent(double v);
+
+}  // namespace aimsc::energy

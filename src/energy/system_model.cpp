@@ -1,0 +1,119 @@
+#include "energy/system_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "energy/calibration.hpp"
+
+namespace aimsc::energy {
+
+namespace {
+
+// --- free calibration constants (see header & EXPERIMENTS.md) -------------
+
+/// Off-chip transfer energy per byte for the CMOS design (DRAM-class random
+/// access including row activation amortization).
+constexpr double kEIoByteNJ = 1.0;
+
+/// Off-chip bus byte time at ~12.8 GB/s effective.
+constexpr double kTIoByteNs = 0.078;
+
+/// MAGIC gate cycle for binary CIM: energy per element per gate cycle
+/// (output cell programming + drivers) and cycle time (write-based
+/// stateful logic), element-parallel across kBincimLanes columns.
+constexpr double kEBincimGateNJ = 0.005;
+constexpr double kTBincimGateNs = 14.3;
+constexpr double kBincimLanes = 512.0;
+
+/// Lane width of one SC mat (CORDIV SIMD dimension, Sec. IV-B).
+constexpr double kLanes = 256.0;
+
+/// IMSNG conversion cost at N=256 (5*M sensing steps, M=8).
+constexpr double kConvLatencyNs256 = 40.0 * cal::kTSlReadNs;  // 78.2
+constexpr double kConvEnergyNJ256 = 40.0 * cal::kESlReadNJ;   // 3.42
+constexpr double kTrngBitsPerConv = 8.0 * 256.0;              // M x N at N=256
+
+}  // namespace
+
+const char* designName(Design d) {
+  switch (d) {
+    case Design::ReramSc: return "ReRAM-SC (this work)";
+    case Design::CmosScLfsr: return "CMOS-SC (LFSR)";
+    case Design::CmosScSobol: return "CMOS-SC (Sobol)";
+    case Design::BinaryCim: return "Binary CIM [35]";
+  }
+  return "?";
+}
+
+SystemPoint evaluateSystem(Design design, const AppProfile& app, std::size_t n) {
+  const double nScale = static_cast<double>(n) / 256.0;
+  SystemPoint pt;
+
+  switch (design) {
+    case Design::ReramSc: {
+      // Energy: conversions + bulk ops + CORDIV + ADC + SBS storage + TRNG.
+      const double convE = app.conversionsPerElement * kConvEnergyNJ256 * nScale;
+      const double opsE =
+          app.bulkOpsPerElement * (cal::kESlReadNJ + cal::kELatchNJ) * nScale;
+      const double divE =
+          app.usesCordiv ? static_cast<double>(n) * cal::kECordivIterNJ : 0.0;
+      const double adcE = cal::kEAdcNJ;
+      const double storeE = app.sbsWritesPerElement * cal::kEWriteNJ * nScale;
+      const double trngE = app.conversionsPerElement * kTrngBitsPerConv *
+                           nScale * cal::kETrngBitNJ;
+      pt.energyPerElemNJ = convE + opsE + divE + adcE + storeE + trngE;
+
+      // Throughput: stages pipeline across mats; the bottleneck stage sets
+      // the rate.  Conversions for different operands run in parallel mats;
+      // CORDIV is SIMD across the lane dimension (Sec. IV-B).
+      const double sngStage = kConvLatencyNs256 * nScale;
+      const double opStage = app.bulkOpsPerElement *
+                             (cal::kTSlReadNs + cal::kTLatchNs) * nScale;
+      const double divStage =
+          app.usesCordiv ? static_cast<double>(n) * cal::kTCordivIterNs / kLanes
+                         : 0.0;
+      const double storeStage =
+          app.sbsWritesPerElement > 0 ? cal::kTWriteNs * nScale : 0.0;
+      const double bottleneckNs =
+          std::max({sngStage, opStage, divStage, storeStage, cal::kTAdcNs});
+      pt.throughputElemsPerSec = 1e9 / bottleneckNs;
+      break;
+    }
+    case Design::CmosScLfsr:
+    case Design::CmosScSobol: {
+      const CmosSng sng =
+          design == Design::CmosScLfsr ? CmosSng::Lfsr : CmosSng::Sobol;
+      const CmosCost logic = cmosScCost(sng, app.cmosOpClass, n);
+      pt.energyPerElemNJ = logic.energyNJ * app.cmosOpPasses +
+                           app.ioBytesPerElement * kEIoByteNJ;
+      // Throughput: the multi-stage datapaths pipeline, so the rate is set
+      // by one serial N-cycle pass (passes affect energy, not rate).
+      const double latencyNs =
+          std::max(logic.latencyNs, app.ioBytesPerElement * kTIoByteNs);
+      pt.throughputElemsPerSec = 1e9 / latencyNs;
+      break;
+    }
+    case Design::BinaryCim: {
+      // N-independent: binary arithmetic on 8-bit operands in place.
+      pt.energyPerElemNJ = app.bincimGateOps * kEBincimGateNJ;
+      pt.throughputElemsPerSec =
+          1e9 / (app.bincimGateOps * kTBincimGateNs / kBincimLanes);
+      break;
+    }
+  }
+  return pt;
+}
+
+double energySavings(Design design, const AppProfile& app, std::size_t n) {
+  const SystemPoint ref = evaluateSystem(Design::BinaryCim, app, n);
+  const SystemPoint pt = evaluateSystem(design, app, n);
+  return ref.energyPerElemNJ / pt.energyPerElemNJ;
+}
+
+double throughputImprovement(Design design, const AppProfile& app, std::size_t n) {
+  const SystemPoint ref = evaluateSystem(Design::BinaryCim, app, n);
+  const SystemPoint pt = evaluateSystem(design, app, n);
+  return pt.throughputElemsPerSec / ref.throughputElemsPerSec;
+}
+
+}  // namespace aimsc::energy

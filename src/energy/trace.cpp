@@ -1,0 +1,77 @@
+#include "energy/trace.hpp"
+
+#include <array>
+#include <sstream>
+#include <stdexcept>
+
+namespace aimsc::energy {
+
+namespace {
+
+constexpr std::array<reram::EventKind, 7> kAllKinds = {
+    reram::EventKind::SlRead,        reram::EventKind::RowWrite,
+    reram::EventKind::CellWrite,     reram::EventKind::LatchOp,
+    reram::EventKind::AdcConversion, reram::EventKind::TrngBit,
+    reram::EventKind::CordivIteration,
+};
+
+reram::EventKind kindFromName(const std::string& name) {
+  for (const auto k : kAllKinds) {
+    if (name == reram::eventKindName(k)) return k;
+  }
+  throw std::runtime_error("TraceReplayer: unknown event kind '" + name + "'");
+}
+
+}  // namespace
+
+void TraceRecorder::onEvent(reram::EventKind kind, std::uint64_t count) {
+  // Merge runs of the same kind (keeps app-scale traces compact while
+  // preserving ordering across kind changes).
+  if (!records_.empty() && records_.back().kind == kind) {
+    records_.back().count += count;
+    return;
+  }
+  records_.push_back(TraceRecord{kind, count});
+}
+
+reram::EventCounts TraceRecorder::totals() const {
+  return TraceReplayer::aggregate(records_);
+}
+
+void TraceRecorder::write(std::ostream& os) const {
+  for (const auto& r : records_) {
+    os << reram::eventKindName(r.kind) << ' ' << r.count << '\n';
+  }
+}
+
+std::string TraceRecorder::toString() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+std::vector<TraceRecord> TraceReplayer::parse(std::istream& is) {
+  std::vector<TraceRecord> trace;
+  std::string name;
+  std::uint64_t count = 0;
+  while (is >> name >> count) {
+    trace.push_back(TraceRecord{kindFromName(name), count});
+  }
+  if (!is.eof() && is.fail()) {
+    throw std::runtime_error("TraceReplayer: malformed trace line");
+  }
+  return trace;
+}
+
+std::vector<TraceRecord> TraceReplayer::parse(const std::string& text) {
+  std::istringstream is(text);
+  return parse(is);
+}
+
+reram::EventCounts TraceReplayer::aggregate(const std::vector<TraceRecord>& trace) {
+  reram::EventCounts c;
+  for (const auto& r : trace) c.of(r.kind) += r.count;
+  return c;
+}
+
+}  // namespace aimsc::energy

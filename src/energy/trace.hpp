@@ -1,0 +1,59 @@
+/// \file trace.hpp
+/// \brief Operation-trace recording and replay — the paper's NVMain
+///        methodology ("we generate traces for the SBS generation, the SC
+///        circuits in Table II, and image processing applications",
+///        Sec. IV).
+///
+/// A TraceRecorder attaches to an array's EventLog and captures the
+/// time-ordered primitive-event stream.  Traces serialize to a plain-text
+/// format (one `KIND count` line per record) so they can be inspected,
+/// diffed, or fed to an external memory simulator; TraceReplayer
+/// re-aggregates a trace into EventCounts, which the CostModel prices —
+/// replayed cost must equal live cost (enforced by tests).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "reram/events.hpp"
+
+namespace aimsc::energy {
+
+struct TraceRecord {
+  reram::EventKind kind;
+  std::uint64_t count;
+
+  bool operator==(const TraceRecord&) const = default;
+};
+
+class TraceRecorder final : public reram::TraceSink {
+ public:
+  void onEvent(reram::EventKind kind, std::uint64_t count) override;
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+  /// Total events by kind (what a replayer would reconstruct).
+  reram::EventCounts totals() const;
+
+  /// Serializes as one "KIND count" line per record.
+  void write(std::ostream& os) const;
+  std::string toString() const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+class TraceReplayer {
+ public:
+  /// Parses the text format produced by TraceRecorder::write.  Throws
+  /// std::runtime_error on malformed input.
+  static std::vector<TraceRecord> parse(std::istream& is);
+  static std::vector<TraceRecord> parse(const std::string& text);
+
+  /// Aggregates a trace into event counts.
+  static reram::EventCounts aggregate(const std::vector<TraceRecord>& trace);
+};
+
+}  // namespace aimsc::energy

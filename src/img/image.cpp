@@ -1,0 +1,35 @@
+#include "img/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace aimsc::img {
+
+Image::Image(std::size_t width, std::size_t height, std::uint8_t fill)
+    : width_(width), height_(height), pixels_(width * height, fill) {
+  if (width == 0 || height == 0) {
+    throw std::invalid_argument("Image: empty geometry");
+  }
+}
+
+std::uint8_t& Image::at(std::size_t x, std::size_t y) {
+  if (x >= width_ || y >= height_) throw std::out_of_range("Image::at");
+  return pixels_[y * width_ + x];
+}
+
+std::uint8_t Image::at(std::size_t x, std::size_t y) const {
+  if (x >= width_ || y >= height_) throw std::out_of_range("Image::at");
+  return pixels_[y * width_ + x];
+}
+
+double Image::prob(std::size_t x, std::size_t y) const {
+  return static_cast<double>(at(x, y)) / 255.0;
+}
+
+std::uint8_t Image::fromProb(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return static_cast<std::uint8_t>(std::lround(p * 255.0));
+}
+
+}  // namespace aimsc::img

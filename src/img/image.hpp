@@ -1,0 +1,46 @@
+/// \file image.hpp
+/// \brief 8-bit grayscale image container used by the paper's three
+///        image-processing applications (Sec. IV-A).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace aimsc::img {
+
+class Image {
+ public:
+  Image() = default;
+  Image(std::size_t width, std::size_t height, std::uint8_t fill = 0);
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+  std::size_t size() const { return pixels_.size(); }
+  bool empty() const { return pixels_.empty(); }
+
+  std::uint8_t& at(std::size_t x, std::size_t y);
+  std::uint8_t at(std::size_t x, std::size_t y) const;
+
+  std::uint8_t& operator[](std::size_t i) { return pixels_[i]; }
+  std::uint8_t operator[](std::size_t i) const { return pixels_[i]; }
+
+  std::vector<std::uint8_t>& pixels() { return pixels_; }
+  const std::vector<std::uint8_t>& pixels() const { return pixels_; }
+
+  bool sameShape(const Image& o) const {
+    return width_ == o.width_ && height_ == o.height_;
+  }
+
+  /// Pixel as probability in [0,1] (v / 255).
+  double prob(std::size_t x, std::size_t y) const;
+
+  /// Clamped construction from a double in [0,1].
+  static std::uint8_t fromProb(double p);
+
+ private:
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  std::vector<std::uint8_t> pixels_;
+};
+
+}  // namespace aimsc::img

@@ -1,0 +1,131 @@
+#include "img/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace aimsc::img {
+
+namespace {
+
+void checkShapes(const Image& a, const Image& b) {
+  if (!a.sameShape(b) || a.empty()) {
+    throw std::invalid_argument("metrics: shape mismatch or empty image");
+  }
+}
+
+/// 11-tap Gaussian kernel, sigma 1.5, normalized.
+std::vector<double> gaussianKernel() {
+  constexpr int kRadius = 5;
+  constexpr double kSigma = 1.5;
+  std::vector<double> k(2 * kRadius + 1);
+  double sum = 0.0;
+  for (int i = -kRadius; i <= kRadius; ++i) {
+    const double v = std::exp(-(i * i) / (2.0 * kSigma * kSigma));
+    k[static_cast<std::size_t>(i + kRadius)] = v;
+    sum += v;
+  }
+  for (auto& v : k) v /= sum;
+  return k;
+}
+
+/// Separable Gaussian blur with clamped borders on a double image.
+std::vector<double> blur(const std::vector<double>& src, std::size_t w,
+                         std::size_t h) {
+  static const std::vector<double> kernel = gaussianKernel();
+  const int radius = static_cast<int>(kernel.size() / 2);
+  std::vector<double> tmp(src.size());
+  std::vector<double> dst(src.size());
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      double acc = 0.0;
+      for (int k = -radius; k <= radius; ++k) {
+        int xi = static_cast<int>(x) + k;
+        xi = std::max(0, std::min(static_cast<int>(w) - 1, xi));
+        acc += kernel[static_cast<std::size_t>(k + radius)] *
+               src[y * w + static_cast<std::size_t>(xi)];
+      }
+      tmp[y * w + x] = acc;
+    }
+  }
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      double acc = 0.0;
+      for (int k = -radius; k <= radius; ++k) {
+        int yi = static_cast<int>(y) + k;
+        yi = std::max(0, std::min(static_cast<int>(h) - 1, yi));
+        acc += kernel[static_cast<std::size_t>(k + radius)] *
+               tmp[static_cast<std::size_t>(yi) * w + x];
+      }
+      dst[y * w + x] = acc;
+    }
+  }
+  return dst;
+}
+
+}  // namespace
+
+double mse(const Image& a, const Image& b) {
+  checkShapes(a, b);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return acc / static_cast<double>(a.size());
+}
+
+double meanAbsError(const Image& a, const Image& b) {
+  checkShapes(a, b);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+  }
+  return acc / static_cast<double>(a.size());
+}
+
+double psnrDb(const Image& a, const Image& b) {
+  const double m = mse(a, b);
+  if (m <= 0.0) return 99.0;
+  return 10.0 * std::log10(255.0 * 255.0 / m);
+}
+
+double ssim(const Image& a, const Image& b) {
+  checkShapes(a, b);
+  const std::size_t w = a.width();
+  const std::size_t h = a.height();
+  const std::size_t n = a.size();
+
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  std::vector<double> xx(n);
+  std::vector<double> yy(n);
+  std::vector<double> xy(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<double>(a[i]);
+    y[i] = static_cast<double>(b[i]);
+    xx[i] = x[i] * x[i];
+    yy[i] = y[i] * y[i];
+    xy[i] = x[i] * y[i];
+  }
+  const auto mx = blur(x, w, h);
+  const auto my = blur(y, w, h);
+  const auto mxx = blur(xx, w, h);
+  const auto myy = blur(yy, w, h);
+  const auto mxy = blur(xy, w, h);
+
+  constexpr double kC1 = (0.01 * 255) * (0.01 * 255);
+  constexpr double kC2 = (0.03 * 255) * (0.03 * 255);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double varX = mxx[i] - mx[i] * mx[i];
+    const double varY = myy[i] - my[i] * my[i];
+    const double cov = mxy[i] - mx[i] * my[i];
+    const double num = (2 * mx[i] * my[i] + kC1) * (2 * cov + kC2);
+    const double den = (mx[i] * mx[i] + my[i] * my[i] + kC1) * (varX + varY + kC2);
+    acc += num / den;
+  }
+  return acc / static_cast<double>(n);
+}
+
+}  // namespace aimsc::img

@@ -1,0 +1,24 @@
+/// \file metrics.hpp
+/// \brief Image quality metrics used in Table IV: PSNR (dB) and SSIM (%).
+#pragma once
+
+#include "img/image.hpp"
+
+namespace aimsc::img {
+
+/// Mean squared error over 8-bit pixel values.
+double mse(const Image& a, const Image& b);
+
+/// Mean absolute error over 8-bit pixel values.
+double meanAbsError(const Image& a, const Image& b);
+
+/// Peak signal-to-noise ratio in dB (L = 255).  Identical images return
+/// +infinity represented as 99.0 dB (display convention).
+double psnrDb(const Image& a, const Image& b);
+
+/// Mean structural similarity (Wang et al.): 11x11 Gaussian window,
+/// sigma = 1.5, k1 = 0.01, k2 = 0.03, L = 255.  Returns a value in [-1, 1];
+/// multiply by 100 for the paper's percentage convention.
+double ssim(const Image& a, const Image& b);
+
+}  // namespace aimsc::img

@@ -1,0 +1,92 @@
+#include "img/pgm.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace aimsc::img {
+
+namespace {
+
+/// Reads the next whitespace/comment-delimited token of a PGM header.
+std::string nextToken(std::istream& in) {
+  std::string tok;
+  while (in) {
+    const int c = in.get();
+    if (c == EOF) break;
+    if (c == '#') {
+      std::string line;
+      std::getline(in, line);
+      continue;
+    }
+    if (std::isspace(c)) {
+      if (!tok.empty()) break;
+      continue;
+    }
+    tok.push_back(static_cast<char>(c));
+  }
+  if (tok.empty()) throw std::runtime_error("PGM: truncated header");
+  return tok;
+}
+
+}  // namespace
+
+Image readPgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("PGM: cannot open " + path);
+  const std::string magic = nextToken(in);
+  if (magic != "P5" && magic != "P2") {
+    throw std::runtime_error("PGM: unsupported magic " + magic);
+  }
+  const auto width = static_cast<std::size_t>(std::stoul(nextToken(in)));
+  const auto height = static_cast<std::size_t>(std::stoul(nextToken(in)));
+  const auto maxval = static_cast<unsigned long>(std::stoul(nextToken(in)));
+  if (width == 0 || height == 0 || maxval == 0 || maxval > 65535) {
+    throw std::runtime_error("PGM: bad dimensions/maxval");
+  }
+  Image img(width, height);
+  const std::size_t count = width * height;
+  if (magic == "P2") {
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto v = std::stoul(nextToken(in));
+      img[i] = static_cast<std::uint8_t>(v * 255 / maxval);
+    }
+    return img;
+  }
+  if (maxval < 256) {
+    std::vector<unsigned char> buf(count);
+    in.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(count));
+    if (static_cast<std::size_t>(in.gcount()) != count) {
+      throw std::runtime_error("PGM: truncated pixel data");
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      img[i] = static_cast<std::uint8_t>(buf[i] * 255ul / maxval);
+    }
+  } else {
+    std::vector<unsigned char> buf(count * 2);
+    in.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(count * 2));
+    if (static_cast<std::size_t>(in.gcount()) != count * 2) {
+      throw std::runtime_error("PGM: truncated pixel data");
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      const unsigned long v =
+          (static_cast<unsigned long>(buf[2 * i]) << 8) | buf[2 * i + 1];
+      img[i] = static_cast<std::uint8_t>(v * 255ul / maxval);
+    }
+  }
+  return img;
+}
+
+void writePgm(const std::string& path, const Image& image) {
+  if (image.empty()) throw std::invalid_argument("writePgm: empty image");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("PGM: cannot write " + path);
+  out << "P5\n" << image.width() << " " << image.height() << "\n255\n";
+  out.write(reinterpret_cast<const char*>(image.pixels().data()),
+            static_cast<std::streamsize>(image.size()));
+  if (!out) throw std::runtime_error("PGM: write failed for " + path);
+}
+
+}  // namespace aimsc::img

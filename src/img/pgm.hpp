@@ -1,0 +1,19 @@
+/// \file pgm.hpp
+/// \brief Portable GrayMap (PGM) I/O so users can run the example apps on
+///        their own images and inspect the SC outputs.
+#pragma once
+
+#include <string>
+
+#include "img/image.hpp"
+
+namespace aimsc::img {
+
+/// Reads a binary (P5) or ASCII (P2) PGM file.  Throws std::runtime_error
+/// on malformed input; 16-bit maxval is rescaled to 8 bits.
+Image readPgm(const std::string& path);
+
+/// Writes a binary (P5) PGM file.
+void writePgm(const std::string& path, const Image& image);
+
+}  // namespace aimsc::img

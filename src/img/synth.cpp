@@ -1,0 +1,125 @@
+#include "img/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace aimsc::img {
+
+Image gradient(std::size_t w, std::size_t h, double angleDeg, std::uint8_t lo,
+               std::uint8_t hi) {
+  Image img(w, h);
+  const double rad = angleDeg * M_PI / 180.0;
+  const double dx = std::cos(rad);
+  const double dy = std::sin(rad);
+  // Project each pixel onto the gradient axis and normalize to [0,1].
+  double minP = 0.0;
+  double maxP = dx * static_cast<double>(w - 1) + dy * static_cast<double>(h - 1);
+  if (maxP < minP) std::swap(minP, maxP);
+  const double span = std::max(1e-9, maxP - minP);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      const double p = (dx * static_cast<double>(x) + dy * static_cast<double>(y) -
+                        minP) / span;
+      img.at(x, y) = static_cast<std::uint8_t>(
+          std::lround(lo + p * (static_cast<double>(hi) - lo)));
+    }
+  }
+  return img;
+}
+
+Image checkerboard(std::size_t w, std::size_t h, std::size_t cell,
+                   std::uint8_t dark, std::uint8_t light) {
+  Image img(w, h);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      const bool on = ((x / cell) + (y / cell)) % 2 == 0;
+      img.at(x, y) = on ? light : dark;
+    }
+  }
+  return img;
+}
+
+Image gaussianBlobs(std::size_t w, std::size_t h, int count, std::uint64_t seed) {
+  std::mt19937_64 eng(seed);
+  std::uniform_real_distribution<double> ux(0.0, static_cast<double>(w));
+  std::uniform_real_distribution<double> uy(0.0, static_cast<double>(h));
+  std::uniform_real_distribution<double> us(
+      static_cast<double>(std::min(w, h)) / 12.0,
+      static_cast<double>(std::min(w, h)) / 4.0);
+  std::uniform_real_distribution<double> ua(-80.0, 80.0);
+
+  std::vector<double> acc(w * h, 128.0);
+  for (int b = 0; b < count; ++b) {
+    const double cx = ux(eng);
+    const double cy = uy(eng);
+    const double s = us(eng);
+    const double amp = ua(eng);
+    for (std::size_t y = 0; y < h; ++y) {
+      for (std::size_t x = 0; x < w; ++x) {
+        const double d2 = (static_cast<double>(x) - cx) * (static_cast<double>(x) - cx) +
+                          (static_cast<double>(y) - cy) * (static_cast<double>(y) - cy);
+        acc[y * w + x] += amp * std::exp(-d2 / (2 * s * s));
+      }
+    }
+  }
+  Image img(w, h);
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    img[i] = static_cast<std::uint8_t>(std::lround(std::clamp(acc[i], 0.0, 255.0)));
+  }
+  return img;
+}
+
+Image softDisk(std::size_t w, std::size_t h, double cx, double cy, double radius,
+               double feather) {
+  Image img(w, h);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      const double d = std::hypot(static_cast<double>(x) - cx,
+                                  static_cast<double>(y) - cy);
+      double a;
+      if (d <= radius - feather) {
+        a = 1.0;
+      } else if (d >= radius + feather) {
+        a = 0.0;
+      } else {
+        a = 0.5 - (d - radius) / (2.0 * feather);
+      }
+      img.at(x, y) = Image::fromProb(a);
+    }
+  }
+  return img;
+}
+
+Image naturalScene(std::size_t w, std::size_t h, std::uint64_t seed) {
+  const Image grad = gradient(w, h, 35.0, 30, 220);
+  const Image blobs = gaussianBlobs(w, h, 6, seed);
+  Image img(w, h);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      // Deterministic fine texture to avoid perfectly flat regions.
+      const double texture =
+          8.0 * std::sin(0.55 * static_cast<double>(x)) *
+          std::cos(0.41 * static_cast<double>(y));
+      const double v = 0.55 * grad.at(x, y) + 0.45 * blobs.at(x, y) + texture;
+      img.at(x, y) = static_cast<std::uint8_t>(
+          std::lround(std::clamp(v, 0.0, 255.0)));
+    }
+  }
+  return img;
+}
+
+Image foregroundObject(std::size_t w, std::size_t h, std::uint64_t seed) {
+  const Image blobs = gaussianBlobs(w, h, 4, seed ^ 0x99);
+  Image img(w, h);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      const double v = 140.0 + 0.45 * blobs.at(x, y);
+      img.at(x, y) = static_cast<std::uint8_t>(
+          std::lround(std::clamp(v, 0.0, 255.0)));
+    }
+  }
+  return img;
+}
+
+}  // namespace aimsc::img

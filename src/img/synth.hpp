@@ -1,0 +1,40 @@
+/// \file synth.hpp
+/// \brief Procedural test-scene generation.
+///
+/// The paper evaluates on natural test images; those are not redistributable
+/// here, so the benches synthesize scenes with comparable structure:
+/// smooth gradients, textured backgrounds, soft-edged foreground objects and
+/// alpha mattes (the compositing/matting workload of Fig. 3).  Quality
+/// metrics in Table IV compare each design against the floating-point
+/// reference on the *same* scene, so relative degradation trends carry over.
+#pragma once
+
+#include <cstdint>
+
+#include "img/image.hpp"
+
+namespace aimsc::img {
+
+/// Linear gradient; angleDeg 0 = left-to-right, 90 = top-to-bottom.
+Image gradient(std::size_t w, std::size_t h, double angleDeg = 0.0,
+               std::uint8_t lo = 0, std::uint8_t hi = 255);
+
+/// Checkerboard with the given cell size.
+Image checkerboard(std::size_t w, std::size_t h, std::size_t cell,
+                   std::uint8_t dark = 40, std::uint8_t light = 215);
+
+/// Sum of smooth random Gaussian blobs on a mid-gray base (texture-like).
+Image gaussianBlobs(std::size_t w, std::size_t h, int count, std::uint64_t seed);
+
+/// Soft-edged disk alpha matte: 255 inside, 0 outside, feathered border.
+Image softDisk(std::size_t w, std::size_t h, double cx, double cy, double radius,
+               double feather);
+
+/// "Natural-ish" scene: gradient + blobs + mild deterministic texture.
+Image naturalScene(std::size_t w, std::size_t h, std::uint64_t seed);
+
+/// Foreground object image matching the softDisk matte (bright textured
+/// object on black).
+Image foregroundObject(std::size_t w, std::size_t h, std::uint64_t seed);
+
+}  // namespace aimsc::img

@@ -1,0 +1,43 @@
+/// \file synth.hpp
+/// \brief Synthesis of the in-memory greater-than comparison network
+///        (paper Fig. 1b / Sec. III-A) and its scouting-logic schedule.
+///
+/// Comparison proceeds MSB to LSB, tracking an equality flag (FFlag): the
+/// output is 1 at the first position where A_i = 1 and RN_i = 0 while all
+/// higher positions were equal.  The generic network (A as inputs) costs
+/// 5 gates per bit — the "5n operations" of the paper; folding a constant
+/// operand A through the XAG builder (the logic-synthesis optimization the
+/// paper delegates to [30]) leaves ~3 gates per one-bit and ~1 per
+/// zero-bit of A.
+#pragma once
+
+#include <cstdint>
+
+#include "logic/xag.hpp"
+
+namespace aimsc::logic {
+
+/// Greater-than network A > R over two n-bit operands (MSB-first inputs).
+struct GreaterThanNetwork {
+  Xag xag;
+  std::vector<Literal> aInputs;  ///< MSB first; empty if A was folded
+  std::vector<Literal> rInputs;  ///< MSB first
+  Literal output = 0;
+};
+
+/// Builds the generic network with both operands symbolic.
+GreaterThanNetwork buildGreaterThan(int nbits);
+
+/// Builds the network with A fixed to \p aValue (constant folded).
+GreaterThanNetwork buildGreaterThanConst(std::uint32_t aValue, int nbits);
+
+/// Scouting-logic schedule statistics: every XAG gate is one sensing step
+/// (complemented edges are free — NAND/NOR/XNOR references).
+struct SlSchedule {
+  std::size_t sensingSteps = 0;  ///< total SL reads
+  std::size_t depth = 0;         ///< critical path in sensing steps
+};
+
+SlSchedule scheduleForSl(const Xag& xag);
+
+}  // namespace aimsc::logic

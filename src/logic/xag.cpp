@@ -1,0 +1,152 @@
+#include "logic/xag.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aimsc::logic {
+
+Xag::Xag() {
+  nodes_.push_back(Node{NodeType::Constant, 0, 0});  // node 0 = constant false
+}
+
+Literal Xag::addInput(std::string name) {
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{NodeType::Input, 0, 0});
+  inputs_.push_back(id);
+  inputNames_.push_back(std::move(name));
+  return makeLiteral(id, false);
+}
+
+Literal Xag::lookupOrInsert(NodeType t, Literal a, Literal b) {
+  if (a > b) std::swap(a, b);  // canonical order
+  const std::uint64_t key = (static_cast<std::uint64_t>(t) << 62) |
+                            (static_cast<std::uint64_t>(a) << 31) |
+                            static_cast<std::uint64_t>(b);
+  const auto it = structural_.find(key);
+  if (it != structural_.end()) return makeLiteral(it->second, false);
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{t, a, b});
+  structural_.emplace(key, id);
+  if (t == NodeType::And) {
+    ++andCount_;
+  } else {
+    ++xorCount_;
+  }
+  return makeLiteral(id, false);
+}
+
+Literal Xag::addAnd(Literal a, Literal b) {
+  // Constant folding.
+  if (a == constantFalse() || b == constantFalse()) return constantFalse();
+  if (a == constantTrue()) return b;
+  if (b == constantTrue()) return a;
+  if (a == b) return a;
+  if (a == complementLiteral(b)) return constantFalse();
+  return lookupOrInsert(NodeType::And, a, b);
+}
+
+Literal Xag::addXor(Literal a, Literal b) {
+  if (a == constantFalse()) return b;
+  if (b == constantFalse()) return a;
+  if (a == constantTrue()) return complementLiteral(b);
+  if (b == constantTrue()) return complementLiteral(a);
+  if (a == b) return constantFalse();
+  if (a == complementLiteral(b)) return constantTrue();
+  // Normalize complements out of XOR inputs (XOR(~a, b) = ~XOR(a, b)).
+  bool outCompl = false;
+  if (literalComplemented(a)) {
+    a = complementLiteral(a);
+    outCompl = !outCompl;
+  }
+  if (literalComplemented(b)) {
+    b = complementLiteral(b);
+    outCompl = !outCompl;
+  }
+  Literal r = lookupOrInsert(NodeType::Xor, a, b);
+  return outCompl ? complementLiteral(r) : r;
+}
+
+std::size_t Xag::depth() const {
+  std::vector<std::size_t> d(nodes_.size(), 0);
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.type == NodeType::And || n.type == NodeType::Xor) {
+      d[i] = 1 + std::max(d[literalNode(n.a)], d[literalNode(n.b)]);
+    }
+  }
+  std::size_t out = 0;
+  for (const Literal l : outputs_) out = std::max(out, d[literalNode(l)]);
+  return out;
+}
+
+std::size_t Xag::numGatesInCone() const {
+  std::vector<bool> reachable(nodes_.size(), false);
+  // Nodes are in topological order (children precede parents), so one
+  // reverse sweep marks the whole cone.
+  for (const Literal l : outputs_) reachable[literalNode(l)] = true;
+  std::size_t count = 0;
+  for (std::size_t i = nodes_.size(); i-- > 1;) {
+    if (!reachable[i]) continue;
+    const Node& n = nodes_[i];
+    if (n.type == NodeType::And || n.type == NodeType::Xor) {
+      ++count;
+      reachable[literalNode(n.a)] = true;
+      reachable[literalNode(n.b)] = true;
+    }
+  }
+  return count;
+}
+
+std::vector<bool> Xag::evaluate(const std::vector<bool>& inputs) const {
+  if (inputs.size() != inputs_.size()) {
+    throw std::invalid_argument("Xag::evaluate: input count mismatch");
+  }
+  std::vector<bool> val(nodes_.size(), false);
+  for (std::size_t i = 0; i < inputs_.size(); ++i) val[inputs_[i]] = inputs[i];
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.type != NodeType::And && n.type != NodeType::Xor) continue;
+    const bool a = val[literalNode(n.a)] ^ literalComplemented(n.a);
+    const bool b = val[literalNode(n.b)] ^ literalComplemented(n.b);
+    val[i] = n.type == NodeType::And ? (a && b) : (a != b);
+  }
+  std::vector<bool> out;
+  out.reserve(outputs_.size());
+  for (const Literal l : outputs_) {
+    out.push_back(val[literalNode(l)] ^ literalComplemented(l));
+  }
+  return out;
+}
+
+std::vector<sc::Bitstream> Xag::simulate(
+    const std::vector<sc::Bitstream>& inputs) const {
+  if (inputs.size() != inputs_.size()) {
+    throw std::invalid_argument("Xag::simulate: input count mismatch");
+  }
+  const std::size_t width = inputs.empty() ? 0 : inputs.front().size();
+  for (const auto& s : inputs) {
+    if (s.size() != width) {
+      throw std::invalid_argument("Xag::simulate: input width mismatch");
+    }
+  }
+  std::vector<sc::Bitstream> val(nodes_.size(), sc::Bitstream(width));
+  for (std::size_t i = 0; i < inputs_.size(); ++i) val[inputs_[i]] = inputs[i];
+
+  auto resolve = [&](Literal l) {
+    return literalComplemented(l) ? ~val[literalNode(l)] : val[literalNode(l)];
+  };
+
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.type != NodeType::And && n.type != NodeType::Xor) continue;
+    const sc::Bitstream a = resolve(n.a);
+    const sc::Bitstream b = resolve(n.b);
+    val[i] = n.type == NodeType::And ? (a & b) : (a ^ b);
+  }
+  std::vector<sc::Bitstream> out;
+  out.reserve(outputs_.size());
+  for (const Literal l : outputs_) out.push_back(resolve(l));
+  return out;
+}
+
+}  // namespace aimsc::logic

@@ -1,0 +1,99 @@
+/// \file xag.hpp
+/// \brief XOR-AND-Inverter graph (XAG) — the logic representation the paper
+///        uses for manipulating/optimizing the in-memory comparison network
+///        (Sec. III-A, [30]).
+///
+/// Nodes are AND/XOR gates over complementable literals; inversion is free
+/// (a complemented edge), matching scouting logic where NAND/NOR/XNOR cost
+/// the same sensing step as AND/OR/XOR.  The builder performs structural
+/// hashing and constant folding, which is the "optimization using logic
+/// synthesis tools" step: folding the constant operand bits of the
+/// greater-than network shrinks it from ~5n to ~2n gates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sc/bitstream.hpp"
+
+namespace aimsc::logic {
+
+/// Complementable edge: (node index << 1) | complement bit.
+using Literal = std::uint32_t;
+
+constexpr Literal makeLiteral(std::uint32_t node, bool complemented) {
+  return (node << 1) | (complemented ? 1u : 0u);
+}
+constexpr std::uint32_t literalNode(Literal l) { return l >> 1; }
+constexpr bool literalComplemented(Literal l) { return (l & 1u) != 0; }
+constexpr Literal complementLiteral(Literal l) { return l ^ 1u; }
+
+class Xag {
+ public:
+  enum class NodeType { Constant, Input, And, Xor };
+
+  struct Node {
+    NodeType type;
+    Literal a = 0;
+    Literal b = 0;
+  };
+
+  Xag();
+
+  /// Constant-false literal (complement for true).
+  Literal constantFalse() const { return makeLiteral(0, false); }
+  Literal constantTrue() const { return makeLiteral(0, true); }
+
+  /// Adds a primary input.
+  Literal addInput(std::string name);
+
+  /// Adds an AND gate with constant folding and structural hashing.
+  Literal addAnd(Literal a, Literal b);
+
+  /// Adds an XOR gate with constant folding and structural hashing.
+  Literal addXor(Literal a, Literal b);
+
+  /// OR through De Morgan (free complements).
+  Literal addOr(Literal a, Literal b) {
+    return complementLiteral(addAnd(complementLiteral(a), complementLiteral(b)));
+  }
+
+  void addOutput(Literal l) { outputs_.push_back(l); }
+
+  std::size_t numInputs() const { return inputs_.size(); }
+  std::size_t numGates() const { return andCount_ + xorCount_; }
+  std::size_t numAnds() const { return andCount_; }
+  std::size_t numXors() const { return xorCount_; }
+  const std::vector<Literal>& outputs() const { return outputs_; }
+  const std::string& inputName(std::size_t i) const { return inputNames_[i]; }
+
+  /// Longest input-to-output gate path (scouting-logic critical depth).
+  std::size_t depth() const;
+
+  /// Gates reachable from the outputs (dead logic excluded) — the count a
+  /// synthesis tool would report and the one the SL schedule executes.
+  std::size_t numGatesInCone() const;
+
+  /// Scalar evaluation: inputs[i] is the value of the i-th added input.
+  std::vector<bool> evaluate(const std::vector<bool>& inputs) const;
+
+  /// Bulk simulation: one Bitstream per input, all equal length; returns
+  /// one stream per output (this is exactly what bulk-bitwise SL executes).
+  std::vector<sc::Bitstream> simulate(
+      const std::vector<sc::Bitstream>& inputs) const;
+
+ private:
+  Literal lookupOrInsert(NodeType t, Literal a, Literal b);
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> inputs_;  ///< node ids of inputs, in add order
+  std::vector<std::string> inputNames_;
+  std::vector<Literal> outputs_;
+  std::size_t andCount_ = 0;
+  std::size_t xorCount_ = 0;
+  std::unordered_map<std::uint64_t, std::uint32_t> structural_;
+};
+
+}  // namespace aimsc::logic

@@ -1,0 +1,36 @@
+#include "reram/adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace aimsc::reram {
+
+AdcModel::AdcModel(const AdcParams& params, std::uint64_t seed)
+    : params_(params), eng_(seed) {
+  if (params_.bits < 1 || params_.bits > 16) {
+    throw std::invalid_argument("AdcModel: bits out of range");
+  }
+  if (params_.noiseLsbSigma < 0) {
+    throw std::invalid_argument("AdcModel: negative noise");
+  }
+}
+
+std::uint32_t AdcModel::convert(std::size_t popcount, std::size_t streamLength) {
+  if (streamLength == 0) throw std::invalid_argument("AdcModel: empty stream");
+  if (popcount > streamLength) throw std::invalid_argument("AdcModel: bad popcount");
+  const double full = static_cast<double>(maxCode());
+  double code = static_cast<double>(popcount) /
+                static_cast<double>(streamLength) * full;
+  if (params_.noiseLsbSigma > 0) code += params_.noiseLsbSigma * gauss_(eng_);
+  code = std::clamp(code, 0.0, full);
+  return static_cast<std::uint32_t>(std::lround(code));
+}
+
+double AdcModel::convertToProbability(std::size_t popcount,
+                                      std::size_t streamLength) {
+  return static_cast<double>(convert(popcount, streamLength)) /
+         static_cast<double>(maxCode());
+}
+
+}  // namespace aimsc::reram

@@ -1,0 +1,44 @@
+/// \file adc.hpp
+/// \brief ADC-based stochastic-to-binary conversion (paper Sec. III-C, [37]).
+///
+/// The output bit-stream is applied as read voltages to a reference column
+/// whose cells are pre-programmed to LRS; the summed bitline current is
+/// proportional to the number of '1's (the population count) and is
+/// digitized by one 8-bit ISAAC-style ADC per mat.  This converts an N-bit
+/// stream in a single step instead of the N-cycle CMOS counter.
+///
+/// Model: code = round(popcount * (2^bits - 1) / N) plus optional Gaussian
+/// noise in LSB units (thermal/quantization noise of the ADC front end).
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace aimsc::reram {
+
+struct AdcParams {
+  int bits = 8;              ///< resolution (paper: 8-bit ADC from ISAAC [37])
+  double noiseLsbSigma = 0;  ///< Gaussian noise sigma in LSB units
+};
+
+class AdcModel {
+ public:
+  explicit AdcModel(const AdcParams& params = AdcParams{},
+                    std::uint64_t seed = 0xadc);
+
+  /// Digitizes a popcount of an N-bit stream into a code in [0, 2^bits-1].
+  std::uint32_t convert(std::size_t popcount, std::size_t streamLength);
+
+  /// Reconstructed probability estimate code / (2^bits - 1).
+  double convertToProbability(std::size_t popcount, std::size_t streamLength);
+
+  const AdcParams& params() const { return params_; }
+  std::uint32_t maxCode() const { return (1u << params_.bits) - 1; }
+
+ private:
+  AdcParams params_;
+  std::mt19937_64 eng_;
+  std::normal_distribution<double> gauss_{0.0, 1.0};
+};
+
+}  // namespace aimsc::reram

@@ -1,0 +1,73 @@
+#include "reram/array.hpp"
+
+#include <stdexcept>
+
+namespace aimsc::reram {
+
+CrossbarArray::CrossbarArray(std::size_t rows, std::size_t cols,
+                             const DeviceParams& params, std::uint64_t seed)
+    : numRows_(rows),
+      numCols_(cols),
+      data_(rows, sc::Bitstream(cols)),
+      writeCycles_(rows, 0),
+      device_(params, seed),
+      events_(std::make_unique<EventLog>()) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("CrossbarArray: empty geometry");
+  }
+}
+
+void CrossbarArray::checkRow(std::size_t r) const {
+  if (r >= numRows_) throw std::out_of_range("CrossbarArray: row out of range");
+}
+
+void CrossbarArray::writeRow(std::size_t r, const sc::Bitstream& data) {
+  checkRow(r);
+  if (data.size() != numCols_) {
+    throw std::invalid_argument("CrossbarArray::writeRow: width mismatch");
+  }
+  // Differential write: L1 masks unchanged cells (Fig. 1c).  The driver
+  // latch activity is part of the write path and priced inside t_write.
+  const sc::Bitstream changed = data_[r] ^ data;
+  events_->add(EventKind::RowWrite);
+  events_->add(EventKind::CellWrite, changed.popcount());
+  data_[r] = data;
+  writeCycles_[r] += 1;
+}
+
+const sc::Bitstream& CrossbarArray::row(std::size_t r) const {
+  checkRow(r);
+  return data_[r];
+}
+
+void CrossbarArray::writeCell(std::size_t r, std::size_t c, bool v) {
+  checkRow(r);
+  if (c >= numCols_) throw std::out_of_range("CrossbarArray: col out of range");
+  if (data_[r].get(c) != v) {
+    events_->add(EventKind::CellWrite);
+    data_[r].set(c, v);
+  }
+  writeCycles_[r] += 1;
+}
+
+void CrossbarArray::depositTrngRow(std::size_t r, const sc::Bitstream& data) {
+  checkRow(r);
+  if (data.size() != numCols_) {
+    throw std::invalid_argument("CrossbarArray::depositTrngRow: width mismatch");
+  }
+  events_->add(EventKind::TrngBit, numCols_);
+  data_[r] = data;
+  writeCycles_[r] += 1;
+}
+
+std::uint64_t CrossbarArray::rowWriteCycles(std::size_t r) const {
+  checkRow(r);
+  return writeCycles_[r];
+}
+
+bool CrossbarArray::rowWornOut(std::size_t r) const {
+  checkRow(r);
+  return writeCycles_[r] >= device_.params().enduranceCycles;
+}
+
+}  // namespace aimsc::reram

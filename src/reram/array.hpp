@@ -1,0 +1,72 @@
+/// \file array.hpp
+/// \brief 1T1R ReRAM crossbar array (paper Fig. 1a).
+///
+/// The array is a 2D grid of cells addressed by wordlines (rows) and
+/// bitlines (columns).  Rows hold either binary operand bit-planes, TRNG
+/// random bits, or stochastic bit-streams.  Writes are full-row events (a
+/// differential write only programs cells whose value changes — the
+/// write-driver latch pair L0/L1 of Fig. 1c); every write is charged to the
+/// event log and to per-row endurance counters.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "reram/device.hpp"
+#include "reram/events.hpp"
+#include "sc/bitstream.hpp"
+
+namespace aimsc::reram {
+
+class CrossbarArray {
+ public:
+  /// \param rows,cols array geometry (e.g. 64 x 256 per mat)
+  /// \param params    device parameters shared by all cells
+  /// \param seed      seed for the per-array device-variability stream
+  CrossbarArray(std::size_t rows, std::size_t cols,
+                const DeviceParams& params = DeviceParams{},
+                std::uint64_t seed = 0xa44a1);
+
+  std::size_t rows() const { return numRows_; }
+  std::size_t cols() const { return numCols_; }
+
+  /// Writes a full row.  Differential: only changed cells are programmed
+  /// (counted in cellWrites); the row write itself counts once.
+  void writeRow(std::size_t r, const sc::Bitstream& data);
+
+  /// Reads a stored row (plain memory read; no SL decision involved).
+  const sc::Bitstream& row(std::size_t r) const;
+
+  /// Writes a single cell (used by serial CORDIV quotient deposit).
+  void writeCell(std::size_t r, std::size_t c, bool v);
+
+  /// Deposits a TRNG row.  The ReRAM TRNG [21] programs cells through
+  /// threshold switching as a single-step background operation, so it is
+  /// charged to the trngBits counter instead of the regular write path.
+  void depositTrngRow(std::size_t r, const sc::Bitstream& data);
+
+  /// Number of write cycles row \p r has absorbed (endurance tracking).
+  std::uint64_t rowWriteCycles(std::size_t r) const;
+
+  /// True when any cell of row \p r exceeded the endurance budget.
+  bool rowWornOut(std::size_t r) const;
+
+  EventLog& events() { return *events_; }
+  const EventLog& events() const { return *events_; }
+
+  DeviceModel& device() { return device_; }
+  const DeviceParams& params() const { return device_.params(); }
+
+ private:
+  void checkRow(std::size_t r) const;
+
+  std::size_t numRows_;
+  std::size_t numCols_;
+  std::vector<sc::Bitstream> data_;
+  std::vector<std::uint64_t> writeCycles_;
+  DeviceModel device_;
+  std::unique_ptr<EventLog> events_;
+};
+
+}  // namespace aimsc::reram

@@ -1,0 +1,111 @@
+/// \file events.hpp
+/// \brief NVMain-style event accounting for the in-memory design.
+///
+/// The paper extracts latency/energy from scouting-logic literature [24] and
+/// integrates them into NVMain [36] via traces.  We reproduce the same
+/// accounting by counting the primitive events each array performs; the
+/// cost model (src/energy) turns counts into ns / nJ using the calibrated
+/// constants in energy/calibration.hpp.  An optional TraceSink receives the
+/// time-ordered event stream (the "trace" of the paper's methodology) —
+/// see energy/trace.hpp for the recorder/replayer.
+#pragma once
+
+#include <cstdint>
+
+namespace aimsc::reram {
+
+/// Primitive hardware event kinds.
+enum class EventKind {
+  SlRead,          ///< scouting-logic sensing step (bulk, one row set)
+  RowWrite,        ///< full-row ReRAM write (incl. intermediate writes)
+  CellWrite,       ///< individual cells actually programmed
+  LatchOp,         ///< standalone peripheral latch capture (L0/L1)
+  AdcConversion,   ///< 8-bit ADC S-to-B conversion
+  TrngBit,         ///< true-random bit deposited by the TRNG
+  CordivIteration, ///< serial CORDIV bit iteration
+};
+
+inline const char* eventKindName(EventKind k) {
+  switch (k) {
+    case EventKind::SlRead: return "SLREAD";
+    case EventKind::RowWrite: return "ROWWRITE";
+    case EventKind::CellWrite: return "CELLWRITE";
+    case EventKind::LatchOp: return "LATCH";
+    case EventKind::AdcConversion: return "ADC";
+    case EventKind::TrngBit: return "TRNGBIT";
+    case EventKind::CordivIteration: return "CORDIV";
+  }
+  return "?";
+}
+
+/// Aggregated event counters.
+struct EventCounts {
+  std::uint64_t slReads = 0;
+  std::uint64_t rowWrites = 0;
+  std::uint64_t cellWrites = 0;
+  std::uint64_t latchOps = 0;
+  std::uint64_t adcConversions = 0;
+  std::uint64_t trngBits = 0;
+  std::uint64_t cordivIterations = 0;
+
+  std::uint64_t& of(EventKind k) {
+    switch (k) {
+      case EventKind::SlRead: return slReads;
+      case EventKind::RowWrite: return rowWrites;
+      case EventKind::CellWrite: return cellWrites;
+      case EventKind::LatchOp: return latchOps;
+      case EventKind::AdcConversion: return adcConversions;
+      case EventKind::TrngBit: return trngBits;
+      case EventKind::CordivIteration: return cordivIterations;
+    }
+    return slReads;  // unreachable
+  }
+  std::uint64_t of(EventKind k) const {
+    return const_cast<EventCounts*>(this)->of(k);
+  }
+
+  EventCounts& operator+=(const EventCounts& o) {
+    slReads += o.slReads;
+    rowWrites += o.rowWrites;
+    cellWrites += o.cellWrites;
+    latchOps += o.latchOps;
+    adcConversions += o.adcConversions;
+    trngBits += o.trngBits;
+    cordivIterations += o.cordivIterations;
+    return *this;
+  }
+  friend EventCounts operator+(EventCounts a, const EventCounts& b) {
+    a += b;
+    return a;
+  }
+  void reset() { *this = EventCounts{}; }
+};
+
+/// Receives the time-ordered event stream (implemented by TraceRecorder).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void onEvent(EventKind kind, std::uint64_t count) = 0;
+};
+
+/// Mutable event sink shared by array / scouting / periphery components.
+class EventLog {
+ public:
+  /// Records \p count events of \p kind (counters + optional trace).
+  void add(EventKind kind, std::uint64_t count = 1) {
+    counts_.of(kind) += count;
+    if (sink_ != nullptr && count > 0) sink_->onEvent(kind, count);
+  }
+
+  const EventCounts& counts() const { return counts_; }
+  void reset() { counts_.reset(); }
+
+  /// Attaches (or detaches with nullptr) a trace sink; not owned.
+  void attachSink(TraceSink* sink) { sink_ = sink; }
+
+ private:
+  EventCounts counts_;
+  TraceSink* sink_ = nullptr;
+};
+
+}  // namespace aimsc::reram

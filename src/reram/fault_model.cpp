@@ -1,0 +1,56 @@
+#include "reram/fault_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aimsc::reram {
+
+FaultModel::FaultModel(const DeviceParams& params, std::uint64_t seed,
+                       std::size_t samples)
+    : params_(params), seed_(seed), samples_(samples) {
+  if (samples_ == 0) throw std::invalid_argument("FaultModel: zero samples");
+}
+
+double FaultModel::misdecisionProb(SlOp op, int onesCount, int numRows) const {
+  if (onesCount < 0 || onesCount > numRows || numRows < 1) {
+    throw std::invalid_argument("FaultModel: bad pattern");
+  }
+  const auto key = std::make_tuple(op, onesCount, numRows);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  const double p = compute(op, onesCount, numRows);
+  cache_.emplace(key, p);
+  return p;
+}
+
+double FaultModel::compute(SlOp op, int onesCount, int numRows) const {
+  if (params_.sigmaLrs == 0.0 && params_.sigmaHrs == 0.0) return 0.0;
+
+  // Deterministic per-entry seed so the table does not depend on query order.
+  const std::uint64_t entrySeed =
+      seed_ ^ (static_cast<std::uint64_t>(op) << 48) ^
+      (static_cast<std::uint64_t>(onesCount) << 24) ^
+      static_cast<std::uint64_t>(numRows);
+  DeviceModel dev(params_, entrySeed);
+  SenseAmp sa(params_);
+
+  const bool expected = slIdeal(op, onesCount, numRows);
+  std::size_t wrong = 0;
+  for (std::size_t s = 0; s < samples_; ++s) {
+    double current = 0.0;
+    for (int i = 0; i < onesCount; ++i) current += dev.sampleCurrent(true);
+    for (int i = onesCount; i < numRows; ++i) current += dev.sampleCurrent(false);
+    if (sa.decide(op, numRows, current) != expected) ++wrong;
+  }
+  return static_cast<double>(wrong) / static_cast<double>(samples_);
+}
+
+double FaultModel::worstCase(SlOp op, int numRows) const {
+  double worst = 0.0;
+  for (int ones = 0; ones <= numRows; ++ones) {
+    worst = std::max(worst, misdecisionProb(op, ones, numRows));
+  }
+  return worst;
+}
+
+}  // namespace aimsc::reram

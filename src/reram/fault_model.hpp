@@ -1,0 +1,48 @@
+/// \file fault_model.hpp
+/// \brief CIM misdecision probabilities from device variability (Sec. IV).
+///
+/// The paper runs the VCM ReRAM model [39] to find the LRS/HRS distributions
+/// and from them "the probability of obtaining incorrect outputs in CIM
+/// operation"; those failure rates drive the fault injection of Table IV.
+/// We reproduce the chain: for each (op, input pattern) the summed bitline
+/// current distribution is sampled Monte-Carlo from the log-normal device
+/// model, the sense-amp decision is taken, and the misdecision probability
+/// is the fraction of samples on the wrong side of the reference(s).
+/// Results are cached per pattern; a run with sigma = 0 yields 0 everywhere.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "reram/device.hpp"
+#include "reram/sense_amp.hpp"
+
+namespace aimsc::reram {
+
+class FaultModel {
+ public:
+  /// \param params  device parameters (the variability source)
+  /// \param samples Monte-Carlo sample count per (op, pattern) entry
+  explicit FaultModel(const DeviceParams& params = DeviceParams{},
+                      std::uint64_t seed = 0xfa017, std::size_t samples = 100000);
+
+  /// Probability that the SL output for \p op is wrong when \p onesCount of
+  /// the \p numRows activated cells on a bitline store '1'.
+  double misdecisionProb(SlOp op, int onesCount, int numRows) const;
+
+  /// Worst case over all input patterns (reported in diagnostics).
+  double worstCase(SlOp op, int numRows) const;
+
+  const DeviceParams& params() const { return params_; }
+
+ private:
+  double compute(SlOp op, int onesCount, int numRows) const;
+
+  DeviceParams params_;
+  std::uint64_t seed_;
+  std::size_t samples_;
+  mutable std::map<std::tuple<SlOp, int, int>, double> cache_;
+};
+
+}  // namespace aimsc::reram

@@ -1,0 +1,212 @@
+#include "reram/scouting.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace aimsc::reram {
+
+namespace {
+
+/// Returns the bit index of the \p nth set bit (0-based) of \p s.
+std::size_t selectNthSetBit(const sc::Bitstream& s, std::size_t nth) {
+  const auto& words = s.words();
+  std::size_t seen = 0;
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    const auto pc = static_cast<std::size_t>(std::popcount(words[w]));
+    if (seen + pc <= nth) {
+      seen += pc;
+      continue;
+    }
+    std::uint64_t word = words[w];
+    for (std::size_t rank = nth - seen;; --rank) {
+      const int bit = std::countr_zero(word);
+      if (rank == 0) return w * 64 + static_cast<std::size_t>(bit);
+      word &= word - 1;  // clear lowest set bit
+    }
+  }
+  throw std::out_of_range("selectNthSetBit: not enough set bits");
+}
+
+/// Pattern masks: masks[k] has a 1 in column c iff exactly k of the
+/// operands have a 1 there.  Supports 1..3 operands with word-level ops.
+std::vector<sc::Bitstream> patternMasks(
+    const std::vector<const sc::Bitstream*>& ops) {
+  const std::size_t n = ops.front()->size();
+  switch (ops.size()) {
+    case 1: {
+      const sc::Bitstream& a = *ops[0];
+      return {~a, a};
+    }
+    case 2: {
+      const sc::Bitstream& a = *ops[0];
+      const sc::Bitstream& b = *ops[1];
+      return {~(a | b), a ^ b, a & b};
+    }
+    case 3: {
+      const sc::Bitstream& a = *ops[0];
+      const sc::Bitstream& b = *ops[1];
+      const sc::Bitstream& c = *ops[2];
+      const sc::Bitstream all = a & b & c;
+      const sc::Bitstream maj = sc::Bitstream::majority(a, b, c);
+      const sc::Bitstream any = a | b | c;
+      return {~any, any & ~maj, maj & ~all, all};
+    }
+    default: {
+      // Generic (rare) path: count per column.
+      std::vector<sc::Bitstream> masks(ops.size() + 1, sc::Bitstream(n));
+      for (std::size_t col = 0; col < n; ++col) {
+        int ones = 0;
+        for (const auto* o : ops) ones += o->get(col) ? 1 : 0;
+        masks[static_cast<std::size_t>(ones)].set(col, true);
+      }
+      return masks;
+    }
+  }
+}
+
+}  // namespace
+
+ScoutingLogic::ScoutingLogic(CrossbarArray& array, Fidelity fidelity,
+                             const FaultModel* faultModel, std::uint64_t seed,
+                             int votes)
+    : array_(array),
+      fidelity_(fidelity),
+      faultModel_(faultModel),
+      senseAmp_(array.params()),
+      eng_(seed),
+      votes_(votes) {
+  if (fidelity_ == Fidelity::Probabilistic && faultModel_ == nullptr) {
+    throw std::invalid_argument(
+        "ScoutingLogic: Probabilistic mode needs a FaultModel");
+  }
+  if (votes_ < 1 || votes_ % 2 == 0 || votes_ > 7) {
+    throw std::invalid_argument("ScoutingLogic: votes must be odd, 1..7");
+  }
+}
+
+sc::Bitstream ScoutingLogic::opRows(SlOp op, std::span<const std::size_t> rows) {
+  std::vector<const sc::Bitstream*> operands;
+  operands.reserve(rows.size());
+  for (const std::size_t r : rows) operands.push_back(&array_.row(r));
+  return execute(op, operands);
+}
+
+sc::Bitstream ScoutingLogic::opStreams(
+    SlOp op, const std::vector<const sc::Bitstream*>& operands) {
+  return execute(op, operands);
+}
+
+sc::Bitstream ScoutingLogic::op2(SlOp op, const sc::Bitstream& a,
+                                 const sc::Bitstream& b) {
+  return execute(op, {&a, &b});
+}
+
+sc::Bitstream ScoutingLogic::op3(SlOp op, const sc::Bitstream& a,
+                                 const sc::Bitstream& b, const sc::Bitstream& c) {
+  return execute(op, {&a, &b, &c});
+}
+
+sc::Bitstream ScoutingLogic::opNot(const sc::Bitstream& a) {
+  return execute(SlOp::Not, {&a});
+}
+
+sc::Bitstream ScoutingLogic::execute(
+    SlOp op, const std::vector<const sc::Bitstream*>& operands) {
+  if (operands.empty()) throw std::invalid_argument("ScoutingLogic: no operands");
+  const std::size_t width = operands.front()->size();
+  for (const auto* o : operands) {
+    if (o->size() != width) {
+      throw std::invalid_argument("ScoutingLogic: operand width mismatch");
+    }
+  }
+  const int numRows = static_cast<int>(operands.size());
+  if (op == SlOp::Maj3 && numRows != 3) {
+    throw std::invalid_argument("ScoutingLogic: MAJ3 needs three operands");
+  }
+  if ((op == SlOp::Xor || op == SlOp::Xnor) && numRows != 2) {
+    throw std::invalid_argument("ScoutingLogic: XOR/XNOR are two-operand ops");
+  }
+  if (op == SlOp::Not && numRows != 1) {
+    throw std::invalid_argument("ScoutingLogic: NOT is single-operand");
+  }
+
+  // `votes_` sensing steps (1 = plain).  The in-step SA latch is part of
+  // t_slRead (the IMSNG calibration 78.2 ns = 40 * t_slRead absorbs it);
+  // standalone output captures are charged by the caller (ImOps).
+  array_.events().add(reram::EventKind::SlRead,
+                      static_cast<std::uint64_t>(votes_));
+
+  const std::vector<sc::Bitstream> masks =
+      fidelity_ == Fidelity::MonteCarlo ? std::vector<sc::Bitstream>{}
+                                        : patternMasks(operands);
+
+  if (votes_ == 1 || fidelity_ == Fidelity::Ideal) {
+    return senseOnce(op, operands, masks, numRows, width);
+  }
+
+  // Temporal redundancy: vote per column over `votes_` independent senses.
+  std::vector<sc::Bitstream> outcomes;
+  outcomes.reserve(static_cast<std::size_t>(votes_));
+  for (int v = 0; v < votes_; ++v) {
+    outcomes.push_back(senseOnce(op, operands, masks, numRows, width));
+  }
+  if (votes_ == 3) {
+    return sc::Bitstream::majority(outcomes[0], outcomes[1], outcomes[2]);
+  }
+  sc::Bitstream voted(width);
+  for (std::size_t c = 0; c < width; ++c) {
+    int ones = 0;
+    for (const auto& o : outcomes) ones += o.get(c) ? 1 : 0;
+    if (2 * ones > votes_) voted.set(c, true);
+  }
+  return voted;
+}
+
+sc::Bitstream ScoutingLogic::senseOnce(
+    SlOp op, const std::vector<const sc::Bitstream*>& operands,
+    const std::vector<sc::Bitstream>& masks, int numRows, std::size_t width) {
+  if (fidelity_ == Fidelity::MonteCarlo) {
+    sc::Bitstream out(width);
+    auto& dev = array_.device();
+    for (std::size_t c = 0; c < width; ++c) {
+      double current = 0.0;
+      for (const auto* o : operands) current += dev.sampleCurrent(o->get(c));
+      if (senseAmp_.decide(op, numRows, current)) out.set(c, true);
+    }
+    return out;
+  }
+
+  // Ideal result from per-pattern masks (word-level).
+  sc::Bitstream out(width);
+  for (int ones = 0; ones <= numRows; ++ones) {
+    if (slIdeal(op, ones, numRows)) {
+      out |= masks[static_cast<std::size_t>(ones)];
+    }
+  }
+  if (fidelity_ == Fidelity::Ideal) return out;
+
+  // Probabilistic mode: per pattern class, flip a Binomial(count, p) number
+  // of uniformly chosen columns.  Equivalent in distribution to per-column
+  // Bernoulli flips but O(words + flips) instead of O(columns).
+  for (int ones = 0; ones <= numRows; ++ones) {
+    const sc::Bitstream& mask = masks[static_cast<std::size_t>(ones)];
+    const std::size_t cnt = mask.popcount();
+    if (cnt == 0) continue;
+    const double p = faultModel_->misdecisionProb(op, ones, numRows);
+    if (p <= 0.0) continue;
+    std::binomial_distribution<std::size_t> binom(cnt, p);
+    const std::size_t flips = binom(eng_);
+    if (flips == 0) continue;
+    std::unordered_set<std::size_t> chosen;
+    std::uniform_int_distribution<std::size_t> pick(0, cnt - 1);
+    while (chosen.size() < flips) chosen.insert(pick(eng_));
+    for (const std::size_t nth : chosen) {
+      const std::size_t col = selectNthSetBit(mask, nth);
+      out.set(col, !out.get(col));
+    }
+  }
+  return out;
+}
+
+}  // namespace aimsc::reram

@@ -1,0 +1,81 @@
+/// \file scouting.hpp
+/// \brief Scouting-logic execution engine (paper Sec. II-A / III-B, [24][33]).
+///
+/// Scouting logic realises Boolean operations as ReRAM *reads*: several rows
+/// are activated simultaneously and the summed bitline current is compared
+/// with reference current(s) by the modified sense amplifier.  All basic
+/// gates complete in a single sensing cycle, bulk over every bitline.
+///
+/// Three fidelity modes:
+///  * Ideal         — exact Boolean result (sigma irrelevant);
+///  * Probabilistic — exact result, then per-column misdecision flips drawn
+///                    from the FaultModel table (fast; used for Table IV);
+///  * MonteCarlo    — per-column current sampling through DeviceModel and a
+///                    real SenseAmp decision (slow; validates Probabilistic).
+///
+/// Operands can be stored rows (activated wordlines) or *latched* streams
+/// driven onto the bitlines through the periphery feedback path of Fig. 1c
+/// — the mechanism that lets IMSNG-opt avoid intermediate writes.  Either
+/// way one call = one sensing step = one slReads event.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "reram/array.hpp"
+#include "reram/fault_model.hpp"
+#include "reram/sense_amp.hpp"
+
+namespace aimsc::reram {
+
+class ScoutingLogic {
+ public:
+  enum class Fidelity { Ideal, Probabilistic, MonteCarlo };
+
+  /// \param array      host array (event accounting, device model)
+  /// \param fidelity   see class comment
+  /// \param faultModel required for Probabilistic mode (not owned)
+  /// \param votes      temporal redundancy: each op is sensed \p votes times
+  ///                   (odd, 1/3/5) and majority-voted per column.  Charged
+  ///                   as \p votes sensing steps — the "costly protection
+  ///                   scheme" of Sec. IV-C that SC renders unnecessary.
+  ScoutingLogic(CrossbarArray& array, Fidelity fidelity = Fidelity::Ideal,
+                const FaultModel* faultModel = nullptr,
+                std::uint64_t seed = 0x5c007, int votes = 1);
+
+  /// One sensing step over stored rows.
+  sc::Bitstream opRows(SlOp op, std::span<const std::size_t> rows);
+
+  /// One sensing step over explicit operand streams (stored rows read out
+  /// and/or latched feedback values).  All streams must be array-width.
+  sc::Bitstream opStreams(SlOp op, const std::vector<const sc::Bitstream*>& operands);
+
+  /// Convenience two/three-operand forms.
+  sc::Bitstream op2(SlOp op, const sc::Bitstream& a, const sc::Bitstream& b);
+  sc::Bitstream op3(SlOp op, const sc::Bitstream& a, const sc::Bitstream& b,
+                    const sc::Bitstream& c);
+
+  /// Single-row NOT (inverted read).
+  sc::Bitstream opNot(const sc::Bitstream& a);
+
+  Fidelity fidelity() const { return fidelity_; }
+  int votes() const { return votes_; }
+  CrossbarArray& array() { return array_; }
+
+ private:
+  sc::Bitstream execute(SlOp op, const std::vector<const sc::Bitstream*>& operands);
+  sc::Bitstream senseOnce(SlOp op, const std::vector<const sc::Bitstream*>& operands,
+                          const std::vector<sc::Bitstream>& masks, int numRows,
+                          std::size_t width);
+
+  CrossbarArray& array_;
+  Fidelity fidelity_;
+  const FaultModel* faultModel_;
+  SenseAmp senseAmp_;
+  std::mt19937_64 eng_;
+  int votes_;
+};
+
+}  // namespace aimsc::reram

@@ -1,0 +1,42 @@
+#include "reram/scrimp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace aimsc::reram {
+
+ScrimpSng::ScrimpSng(CrossbarArray& array, const ScrimpConfig& config,
+                     std::uint64_t seed)
+    : array_(array), config_(config), eng_(seed) {
+  if (config_.pulseLevels < 2) {
+    throw std::invalid_argument("ScrimpSng: need at least 2 pulse levels");
+  }
+  if (config_.controlSigma < 0) {
+    throw std::invalid_argument("ScrimpSng: negative control sigma");
+  }
+}
+
+sc::Bitstream ScrimpSng::generateProb(double p, std::size_t row) {
+  p = std::clamp(p, 0.0, 1.0);
+  // Pulse DAC quantization: only pulseLevels distinct switching
+  // probabilities are reachable.
+  const double levels = static_cast<double>(config_.pulseLevels - 1);
+  double pEff = std::round(p * levels) / levels;
+  // Run-to-run control error (temperature, device state, pulse jitter).
+  if (config_.controlSigma > 0) {
+    std::normal_distribution<double> err(0.0, config_.controlSigma);
+    pEff = std::clamp(pEff + err(eng_), 0.0, 1.0);
+  }
+  // One stochastic programming pulse per cell.
+  sc::Bitstream bits(array_.cols());
+  std::bernoulli_distribution flip(pEff);
+  for (std::size_t c = 0; c < bits.size(); ++c) {
+    if (flip(eng_)) bits.set(c, true);
+  }
+  // Full write path: this is the cost the paper's IMSNG avoids.
+  array_.writeRow(row, bits);
+  return bits;
+}
+
+}  // namespace aimsc::reram

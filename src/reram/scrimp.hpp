@@ -1,0 +1,49 @@
+/// \file scrimp.hpp
+/// \brief Write-based SBS generation baseline (SCRIMP [13] and the
+///        probabilistic-switching approaches [29]) — the paper's closest
+///        prior work, reimplemented for comparison.
+///
+/// These designs exploit the stochasticity of the ReRAM *write* operation:
+/// a programming pulse switches each cell with probability p controlled by
+/// pulse amplitude/width.  Consequences the paper criticizes (Sec. II-C):
+///  * every generated bit is a cell write — "extremely slow" and it burns
+///    write endurance;
+///  * the pulse DAC has limited resolution and run-to-run control error, so
+///    target probabilities are imprecise;
+///  * there is **no correlation control**: each write is independent, so
+///    XOR-subtraction and CORDIV cannot be built on top.
+/// bench_ablations study (g) quantifies all three against IMSNG.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "reram/array.hpp"
+
+namespace aimsc::reram {
+
+struct ScrimpConfig {
+  /// Distinguishable programming-pulse settings (probability DAC levels).
+  int pulseLevels = 32;
+  /// Run-to-run control error of the switching probability (1 sigma).
+  double controlSigma = 0.04;
+};
+
+class ScrimpSng {
+ public:
+  ScrimpSng(CrossbarArray& array, const ScrimpConfig& config = ScrimpConfig{},
+            std::uint64_t seed = 0x5c2177);
+
+  /// Generates an SBS with target probability \p p into array row \p row.
+  /// Charges the full write path (one row write, ~p*N programmed cells).
+  sc::Bitstream generateProb(double p, std::size_t row);
+
+  const ScrimpConfig& config() const { return config_; }
+
+ private:
+  CrossbarArray& array_;
+  ScrimpConfig config_;
+  std::mt19937_64 eng_;
+};
+
+}  // namespace aimsc::reram

@@ -1,0 +1,84 @@
+#include "reram/sense_amp.hpp"
+
+#include <stdexcept>
+
+namespace aimsc::reram {
+
+bool isWindowOp(SlOp op) { return op == SlOp::Xor || op == SlOp::Xnor; }
+
+const char* slOpName(SlOp op) {
+  switch (op) {
+    case SlOp::And: return "AND";
+    case SlOp::Nand: return "NAND";
+    case SlOp::Or: return "OR";
+    case SlOp::Nor: return "NOR";
+    case SlOp::Xor: return "XOR";
+    case SlOp::Xnor: return "XNOR";
+    case SlOp::Maj3: return "MAJ3";
+    case SlOp::Not: return "NOT";
+  }
+  return "?";
+}
+
+bool slIdeal(SlOp op, int onesCount, int numRows) {
+  if (onesCount < 0 || onesCount > numRows) {
+    throw std::invalid_argument("slIdeal: bad ones count");
+  }
+  switch (op) {
+    case SlOp::And: return onesCount == numRows;
+    case SlOp::Nand: return onesCount != numRows;
+    case SlOp::Or: return onesCount >= 1;
+    case SlOp::Nor: return onesCount == 0;
+    case SlOp::Xor: return onesCount == 1;  // current-window semantics
+    case SlOp::Xnor: return onesCount != 1;
+    case SlOp::Maj3: return 2 * onesCount > numRows;
+    case SlOp::Not: return onesCount == 0;  // single-row inverted read
+  }
+  return false;
+}
+
+double SenseAmp::irefLow(SlOp op, int numRows) const {
+  const double iLrs = params_.nominalCurrent(true);
+  switch (op) {
+    case SlOp::And:
+    case SlOp::Nand:
+      return (numRows - 0.5) * iLrs;
+    case SlOp::Or:
+    case SlOp::Nor:
+    case SlOp::Not:
+    case SlOp::Xor:
+    case SlOp::Xnor:
+      return 0.5 * iLrs;
+    case SlOp::Maj3:
+      // Same reference as the 2-input AND gate (paper Sec. III-B): detects
+      // "at least two of three inputs high".
+      return 1.5 * iLrs;
+  }
+  throw std::invalid_argument("SenseAmp::irefLow: bad op");
+}
+
+double SenseAmp::irefHigh(SlOp op, int /*numRows*/) const {
+  const double iLrs = params_.nominalCurrent(true);
+  if (!isWindowOp(op)) {
+    throw std::invalid_argument("SenseAmp::irefHigh: not a window op");
+  }
+  return 1.5 * iLrs;
+}
+
+bool SenseAmp::decide(SlOp op, int numRows, double currentA) const {
+  switch (op) {
+    case SlOp::And: return currentA > irefLow(op, numRows);
+    case SlOp::Nand: return !(currentA > irefLow(op, numRows));
+    case SlOp::Or: return currentA > irefLow(op, numRows);
+    case SlOp::Nor: return !(currentA > irefLow(op, numRows));
+    case SlOp::Maj3: return currentA > irefLow(op, numRows);
+    case SlOp::Not: return !(currentA > irefLow(op, numRows));
+    case SlOp::Xor:
+      return currentA > irefLow(op, numRows) && currentA < irefHigh(op, numRows);
+    case SlOp::Xnor:
+      return !(currentA > irefLow(op, numRows) && currentA < irefHigh(op, numRows));
+  }
+  return false;
+}
+
+}  // namespace aimsc::reram

@@ -1,0 +1,57 @@
+/// \file sense_amp.hpp
+/// \brief Modified sense amplifier for scouting logic (paper Sec. III-B).
+///
+/// During a scouting-logic (SL) operation two or more rows are activated
+/// simultaneously and the summed bitline current is compared against one or
+/// two reference currents (Fig. 1c).  The reference choice selects the
+/// Boolean function:
+///   * OR  : Iref = 0.5 I_LRS            (any activated cell in LRS)
+///   * AND : Iref = (k - 0.5) I_LRS      (all k cells in LRS)
+///   * MAJ3: Iref = 1.5 I_LRS            (same reference as 2-input AND —
+///                                        "at least two of three high")
+///   * XOR : window (0.5, 1.5) I_LRS     (exactly one high; 2-input)
+///   * NOT : single row, output inverted at Iref = 0.5 I_LRS
+/// NAND/NOR/XNOR invert the latched output for free.
+#pragma once
+
+#include <span>
+
+#include "reram/device.hpp"
+
+namespace aimsc::reram {
+
+/// Boolean operations realisable in one SL sensing step.
+enum class SlOp { And, Nand, Or, Nor, Xor, Xnor, Maj3, Not };
+
+/// Returns true if \p op requires a two-reference window comparison
+/// (enhanced scouting logic [33]); such ops cost two latch events.
+bool isWindowOp(SlOp op);
+
+/// Human-readable op name.
+const char* slOpName(SlOp op);
+
+/// Ideal (fault-free) SL truth function given the number of activated rows
+/// in LRS ('1') among \p numRows activated rows.
+bool slIdeal(SlOp op, int onesCount, int numRows);
+
+/// Reference-current comparator model.
+class SenseAmp {
+ public:
+  explicit SenseAmp(const DeviceParams& params) : params_(params) {}
+
+  /// Primary reference current for \p op with \p numRows activated rows [A].
+  double irefLow(SlOp op, int numRows) const;
+
+  /// Secondary reference for window ops (XOR/XNOR); unused otherwise.
+  double irefHigh(SlOp op, int numRows) const;
+
+  /// Decides the Boolean output from the summed bitline current.
+  bool decide(SlOp op, int numRows, double currentA) const;
+
+  const DeviceParams& params() const { return params_; }
+
+ private:
+  DeviceParams params_;
+};
+
+}  // namespace aimsc::reram

@@ -1,0 +1,16 @@
+#include "reram/trng.hpp"
+
+namespace aimsc::reram {
+
+sc::Bitstream ReramTrng::randomRow(std::size_t width) {
+  return source_.randomBits(width);
+}
+
+void ReramTrng::fillRows(CrossbarArray& array, std::size_t firstRow,
+                         std::size_t numRows) {
+  for (std::size_t r = 0; r < numRows; ++r) {
+    array.depositTrngRow(firstRow + r, randomRow(array.cols()));
+  }
+}
+
+}  // namespace aimsc::reram

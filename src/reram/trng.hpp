@@ -1,0 +1,36 @@
+/// \file trng.hpp
+/// \brief In-array true random number generation (paper Sec. III-A, [21][25]).
+///
+/// Threshold-switching memristors produce true random bits; the paper treats
+/// TRNG as "a single-step operation that stores random sequences directly in
+/// ReRAM arrays".  ReramTrng deposits Bernoulli(0.5 + bias) rows into a
+/// crossbar; the bias knob models imperfect TRNG calibration and feeds the
+/// robustness studies (IMSNG is RNG-agnostic, Sec. I contribution 3).
+#pragma once
+
+#include <cstdint>
+
+#include "reram/array.hpp"
+#include "sc/rng.hpp"
+
+namespace aimsc::reram {
+
+class ReramTrng {
+ public:
+  explicit ReramTrng(std::uint64_t seed = 0x7124, double onesBias = 0.0)
+      : source_(seed, onesBias) {}
+
+  /// Generates one random row of \p width bits.
+  sc::Bitstream randomRow(std::size_t width);
+
+  /// Deposits random rows [firstRow, firstRow+numRows) into \p array.
+  void fillRows(CrossbarArray& array, std::size_t firstRow, std::size_t numRows);
+
+  /// Underlying bit source (resettable for reproducibility / correlation).
+  sc::TrngSource& source() { return source_; }
+
+ private:
+  sc::TrngSource source_;
+};
+
+}  // namespace aimsc::reram

@@ -1,0 +1,38 @@
+#include "reram/wear.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aimsc::reram {
+
+WearLeveler::WearLeveler(std::size_t firstRow, std::size_t windowRows,
+                         std::size_t planeRows)
+    : firstRow_(firstRow), planeRows_(planeRows) {
+  if (planeRows == 0 || windowRows < planeRows) {
+    throw std::invalid_argument("WearLeveler: window smaller than plane set");
+  }
+  // Stride by planeRows so plane sets never straddle two positions.
+  positions_ = windowRows / planeRows;
+  currentBase_ = firstRow_;
+}
+
+std::size_t WearLeveler::nextBase() {
+  currentBase_ = firstRow_ + (nextIndex_ % positions_) * planeRows_;
+  ++nextIndex_;
+  return currentBase_;
+}
+
+std::uint64_t WearLeveler::wearSpread(const CrossbarArray& array,
+                                      std::size_t firstRow,
+                                      std::size_t windowRows) {
+  std::uint64_t lo = ~std::uint64_t{0};
+  std::uint64_t hi = 0;
+  for (std::size_t r = firstRow; r < firstRow + windowRows; ++r) {
+    const std::uint64_t c = array.rowWriteCycles(r);
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  return hi - lo;
+}
+
+}  // namespace aimsc::reram

@@ -1,0 +1,47 @@
+/// \file wear.hpp
+/// \brief Wear-leveling rotation for the TRNG plane region.
+///
+/// ReRAM write endurance is limited (Sec. II-A); the random planes are
+/// rewritten on every independent conversion, which concentrates wear on M
+/// fixed rows.  WearLeveler rotates the plane base address across a larger
+/// row window so refresh traffic spreads evenly — an engineering extension
+/// the paper's endurance discussion motivates but does not spell out.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "reram/array.hpp"
+
+namespace aimsc::reram {
+
+class WearLeveler {
+ public:
+  /// \param firstRow   first row of the rotation window
+  /// \param windowRows total rows available for rotation
+  /// \param planeRows  rows a plane set occupies (M)
+  WearLeveler(std::size_t firstRow, std::size_t windowRows, std::size_t planeRows);
+
+  /// Base row for the next plane deposit; advances the rotation.
+  std::size_t nextBase();
+
+  /// Base row that the previous nextBase() call returned.
+  std::size_t currentBase() const { return currentBase_; }
+
+  /// Number of distinct base positions in the rotation.
+  std::size_t positions() const { return positions_; }
+
+  /// Max/min write-cycle spread across the window of \p array (diagnostic;
+  /// 0 means perfectly even wear).
+  static std::uint64_t wearSpread(const CrossbarArray& array,
+                                  std::size_t firstRow, std::size_t windowRows);
+
+ private:
+  std::size_t firstRow_;
+  std::size_t planeRows_;
+  std::size_t positions_;
+  std::size_t nextIndex_ = 0;
+  std::size_t currentBase_;
+};
+
+}  // namespace aimsc::reram

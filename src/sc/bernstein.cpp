@@ -1,0 +1,69 @@
+#include "sc/bernstein.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sc/sng.hpp"
+
+namespace aimsc::sc {
+
+Bitstream scBernsteinSelect(const std::vector<Bitstream>& xCopies,
+                            const std::vector<Bitstream>& coeffs) {
+  if (xCopies.empty()) {
+    throw std::invalid_argument("scBernsteinSelect: no x copies");
+  }
+  if (coeffs.size() != xCopies.size() + 1) {
+    throw std::invalid_argument("scBernsteinSelect: need degree+1 coefficients");
+  }
+  const std::size_t width = xCopies.front().size();
+  for (const auto& s : xCopies) {
+    if (s.size() != width) {
+      throw std::invalid_argument("scBernsteinSelect: width mismatch");
+    }
+  }
+  for (const auto& s : coeffs) {
+    if (s.size() != width) {
+      throw std::invalid_argument("scBernsteinSelect: width mismatch");
+    }
+  }
+  Bitstream out(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    std::size_t ones = 0;
+    for (const auto& s : xCopies) ones += s.get(i) ? 1 : 0;
+    if (coeffs[ones].get(i)) out.set(i, true);
+  }
+  return out;
+}
+
+double bernsteinValue(const std::vector<double>& b, double x) {
+  if (b.empty()) throw std::invalid_argument("bernsteinValue: no coefficients");
+  const int n = static_cast<int>(b.size()) - 1;
+  double value = 0.0;
+  double binom = 1.0;  // C(n, k), updated incrementally
+  for (int k = 0; k <= n; ++k) {
+    value += b[static_cast<std::size_t>(k)] * binom * std::pow(x, k) *
+             std::pow(1.0 - x, n - k);
+    binom = binom * (n - k) / (k + 1);
+  }
+  return value;
+}
+
+Bitstream scBernsteinEvaluate(RandomSource& src, double x,
+                              const std::vector<double>& b, int bits,
+                              std::size_t n) {
+  if (b.size() < 2) throw std::invalid_argument("scBernsteinEvaluate: degree < 1");
+  const int degree = static_cast<int>(b.size()) - 1;
+  std::vector<Bitstream> xCopies;
+  xCopies.reserve(static_cast<std::size_t>(degree));
+  for (int j = 0; j < degree; ++j) {
+    xCopies.push_back(generateSbsFromProb(src, x, bits, n));
+  }
+  std::vector<Bitstream> coeffs;
+  coeffs.reserve(b.size());
+  for (const double bk : b) {
+    coeffs.push_back(generateSbsFromProb(src, bk, bits, n));
+  }
+  return scBernsteinSelect(xCopies, coeffs);
+}
+
+}  // namespace aimsc::sc

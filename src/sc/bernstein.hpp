@@ -1,0 +1,52 @@
+/// \file bernstein.hpp
+/// \brief Bernstein-polynomial stochastic synthesis (Qian & Riedel; the
+///        fault-tolerant-computation architecture of the paper's ref [26]).
+///
+/// Any continuous f: [0,1] -> [0,1] is approximated by its Bernstein form
+///   B_n(f)(x) = sum_k f(k/n) * C(n,k) x^k (1-x)^(n-k),
+/// and the SC realisation is strikingly simple: take n *independent*
+/// encodings of x; at stream position i, count the ones K_i (a binomial
+/// sample with success probability x) and output bit i of the coefficient
+/// stream encoding b_{K_i} = f(K_i / n).  Expected output probability is
+/// exactly B_n(f)(x).
+///
+/// This generalizes the paper's fixed gate repertoire to arbitrary
+/// polynomial kernels (gamma correction, contrast curves, ...) on the same
+/// in-memory substrate — an extension module beyond the paper's scope.
+#pragma once
+
+#include <vector>
+
+#include "sc/bitstream.hpp"
+#include "sc/rng.hpp"
+
+namespace aimsc::sc {
+
+/// Selects per position among coefficient streams by the ones-count of the
+/// x copies: out[i] = coeffs[popcount_i(xCopies)][i].
+/// \param xCopies n independent encodings of the same x (n >= 1)
+/// \param coeffs  n+1 streams encoding b_0 .. b_n (independent of xCopies)
+Bitstream scBernsteinSelect(const std::vector<Bitstream>& xCopies,
+                            const std::vector<Bitstream>& coeffs);
+
+/// Exact Bernstein value sum_k b_k C(n,k) x^k (1-x)^(n-k).
+double bernsteinValue(const std::vector<double>& b, double x);
+
+/// Bernstein coefficients b_k = f(k/n) for a callable f on [0,1].
+template <typename F>
+std::vector<double> bernsteinCoefficientsOf(F&& f, int degree) {
+  std::vector<double> b;
+  b.reserve(static_cast<std::size_t>(degree) + 1);
+  for (int k = 0; k <= degree; ++k) {
+    b.push_back(f(static_cast<double>(k) / static_cast<double>(degree)));
+  }
+  return b;
+}
+
+/// End-to-end helper: synthesizes B_n(f)(x) from a source (draws n
+/// independent x encodings and n+1 coefficient encodings).
+Bitstream scBernsteinEvaluate(RandomSource& src, double x,
+                              const std::vector<double>& b, int bits,
+                              std::size_t n);
+
+}  // namespace aimsc::sc

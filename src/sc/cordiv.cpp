@@ -1,0 +1,50 @@
+#include "sc/cordiv.hpp"
+
+#include <stdexcept>
+
+namespace aimsc::sc {
+
+bool CordivUnit::clock(bool x, bool y) {
+  bool q = false;
+  switch (variant_) {
+    case CordivVariant::DFlipFlop: {
+      // MUX: divisor bit selects dividend bit, else held state; the D-FF
+      // samples the dividend whenever the divisor bit is 1.
+      q = y ? x : state_;
+      if (y) state_ = x;
+      break;
+    }
+    case CordivVariant::JkFlipFlop: {
+      // JK with J = x AND y, K = NOT(x) AND y:
+      //   J=1,K=0 -> set; J=0,K=1 -> reset; J=0,K=0 -> hold.
+      // (J=K=1 cannot occur since J and K are disjoint.)  The output MUX is
+      // the same as above; the latch update is expressed through J/K, which
+      // is what the ReRAM write-driver latches implement natively.
+      const bool j = x && y;
+      const bool k = !x && y;
+      q = y ? x : state_;
+      if (j) {
+        state_ = true;
+      } else if (k) {
+        state_ = false;
+      }
+      break;
+    }
+  }
+  return q;
+}
+
+Bitstream cordivDivide(const Bitstream& x, const Bitstream& y,
+                       CordivVariant variant) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("cordivDivide: length mismatch");
+  }
+  CordivUnit unit(variant);
+  Bitstream q(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (unit.clock(x.get(i), y.get(i))) q.set(i, true);
+  }
+  return q;
+}
+
+}  // namespace aimsc::sc

@@ -1,0 +1,55 @@
+/// \file cordiv.hpp
+/// \brief CORDIV stochastic division (Chen & Hayes, ISVLSI'16; paper Fig. 2).
+///
+/// CORDIV computes q = x / y for *correlated* streams with px <= py: a
+/// 2-to-1 MUX selects the dividend bit when the divisor bit is 1 and the
+/// content of a flip-flop otherwise; the flip-flop tracks the most recent
+/// dividend bit observed at a divisor-1 position.  Because the streams are
+/// correlated (SCC=+1), P(x=1 | y=1) = px / py, which is exactly what the
+/// flip-flop samples.
+///
+/// Two flip-flop realisations are modelled:
+///  * DFlipFlop  — the original CMOS design (D-FF samples x when y = 1);
+///  * JkFlipFlop — the paper's in-ReRAM mapping (Sec. III-B): the JK truth
+///    table is realised with the existing write-driver latches, J = x AND y,
+///    K = NOT(x) AND y.  Functionally identical output, different hardware
+///    cost (no intermediate ReRAM writes; latency dominated by the serial
+///    per-bit loop).
+#pragma once
+
+#include "sc/bitstream.hpp"
+
+namespace aimsc::sc {
+
+enum class CordivVariant {
+  DFlipFlop,   ///< CMOS D flip-flop design
+  JkFlipFlop,  ///< in-memory latch/JK realisation (same truth table)
+};
+
+/// Stateful CORDIV unit processing one bit per clock; exposed for tests
+/// that exercise the sequential behaviour and the initial-state transient.
+class CordivUnit {
+ public:
+  explicit CordivUnit(CordivVariant variant = CordivVariant::DFlipFlop,
+                      bool initialState = false)
+      : variant_(variant), state_(initialState), initial_(initialState) {}
+
+  /// Clocks one (dividend, divisor) bit pair and returns the quotient bit.
+  bool clock(bool x, bool y);
+
+  void reset() { state_ = initial_; }
+  bool state() const { return state_; }
+  CordivVariant variant() const { return variant_; }
+
+ private:
+  CordivVariant variant_;
+  bool state_;
+  bool initial_;
+};
+
+/// Divides correlated streams: returns a stream with value ~ px / py
+/// (px <= py expected; py = 0 positions fall back to the flip-flop state).
+Bitstream cordivDivide(const Bitstream& x, const Bitstream& y,
+                       CordivVariant variant = CordivVariant::DFlipFlop);
+
+}  // namespace aimsc::sc

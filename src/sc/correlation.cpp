@@ -1,0 +1,42 @@
+#include "sc/correlation.hpp"
+
+#include <algorithm>
+
+#include "sc/sng.hpp"
+
+namespace aimsc::sc {
+
+double scc(const Bitstream& a, const Bitstream& b) {
+  const double n = static_cast<double>(a.size());
+  if (n == 0) return 0.0;
+  const double pa = a.value();
+  const double pb = b.value();
+  const double pab = (a & b).value();
+  const double delta = pab - pa * pb;
+  if (delta > 0) {
+    const double denom = std::min(pa, pb) - pa * pb;
+    return denom <= 0 ? 0.0 : delta / denom;
+  }
+  const double denom = pa * pb - std::max(pa + pb - 1.0, 0.0);
+  return denom <= 0 ? 0.0 : delta / denom;
+}
+
+std::pair<Bitstream, Bitstream> makeCorrelatedPair(RandomSource& src, double pa,
+                                                   double pb, int bits,
+                                                   std::size_t n) {
+  src.reset();
+  Bitstream a = generateSbsFromProb(src, pa, bits, n);
+  src.reset();
+  Bitstream b = generateSbsFromProb(src, pb, bits, n);
+  return {std::move(a), std::move(b)};
+}
+
+std::pair<Bitstream, Bitstream> makeIndependentPair(RandomSource& src, double pa,
+                                                    double pb, int bits,
+                                                    std::size_t n) {
+  Bitstream a = generateSbsFromProb(src, pa, bits, n);
+  Bitstream b = generateSbsFromProb(src, pb, bits, n);
+  return {std::move(a), std::move(b)};
+}
+
+}  // namespace aimsc::sc

@@ -1,0 +1,40 @@
+/// \file correlation.hpp
+/// \brief Stochastic cross-correlation (SCC) and correlation-controlled
+///        stream-pair generation.
+///
+/// SCC (Alaghi & Hayes) measures the correlation between two SBS:
+///  * SCC = +1  : maximally correlated (overlap as much as possible) —
+///                required by XOR subtraction, AND-min, OR-max and CORDIV;
+///  * SCC =  0  : independent — required by AND-multiply and MUX/MAJ-add;
+///  * SCC = -1  : maximally anti-correlated.
+///
+/// The paper's IMSNG achieves correlation control by reusing (shared) or
+/// advancing (independent) the in-memory random rows; the same policy is
+/// expressed here through RandomSource::reset().
+#pragma once
+
+#include <utility>
+
+#include "sc/bitstream.hpp"
+#include "sc/rng.hpp"
+
+namespace aimsc::sc {
+
+/// Stochastic cross-correlation of two equal-length streams, in [-1, +1].
+/// Returns 0 when either stream is degenerate (all zeros or all ones),
+/// where SCC is undefined.
+double scc(const Bitstream& a, const Bitstream& b);
+
+/// Generates a correlated pair (SCC ~ +1) encoding pa and pb using one
+/// shared random sequence (source is reset before each stream).
+std::pair<Bitstream, Bitstream> makeCorrelatedPair(RandomSource& src, double pa,
+                                                   double pb, int bits,
+                                                   std::size_t n);
+
+/// Generates an independent pair (SCC ~ 0) by letting the source run on
+/// between the two streams.
+std::pair<Bitstream, Bitstream> makeIndependentPair(RandomSource& src, double pa,
+                                                    double pb, int bits,
+                                                    std::size_t n);
+
+}  // namespace aimsc::sc

@@ -1,0 +1,53 @@
+#include "sc/lds.hpp"
+
+#include <stdexcept>
+
+namespace aimsc::sc {
+
+std::uint32_t reverseBits32(std::uint32_t v) {
+  v = ((v >> 1) & 0x55555555u) | ((v & 0x55555555u) << 1);
+  v = ((v >> 2) & 0x33333333u) | ((v & 0x33333333u) << 2);
+  v = ((v >> 4) & 0x0F0F0F0Fu) | ((v & 0x0F0F0F0Fu) << 4);
+  v = ((v >> 8) & 0x00FF00FFu) | ((v & 0x00FF00FFu) << 8);
+  return (v >> 16) | (v << 16);
+}
+
+namespace {
+
+/// Per-stream XOR scramble masks.  A mask only permutes values within each
+/// dyadic block, so stratification (and hence discrepancy) is unchanged;
+/// different masks decorrelate the streams.  Derived from a Weyl sequence
+/// over the golden-ratio constant for good bit mixing.
+std::uint32_t maskFor(std::uint32_t streamIndex) {
+  if (streamIndex == 0) return 0;
+  return streamIndex * 0x9E3779B9u;
+}
+
+}  // namespace
+
+P2lsg::P2lsg(std::uint32_t streamIndex, std::uint64_t skip)
+    : streamIndex_(streamIndex), mask_(maskFor(streamIndex)), skip_(skip) {
+  reset();
+}
+
+std::uint32_t P2lsg::next32() {
+  const auto c = static_cast<std::uint32_t>(counter_++);
+  return reverseBits32(c) ^ mask_;
+}
+
+std::uint32_t P2lsg::next(int bits) {
+  if (bits < 1 || bits > 32) throw std::invalid_argument("P2lsg::next: bad bits");
+  return next32() >> (32 - bits);
+}
+
+void P2lsg::reset() { counter_ = skip_; }
+
+std::string P2lsg::name() const {
+  return "P2LSG stream" + std::to_string(streamIndex_);
+}
+
+std::unique_ptr<RandomSource> P2lsg::clone() const {
+  return std::make_unique<P2lsg>(streamIndex_, skip_);
+}
+
+}  // namespace aimsc::sc

@@ -1,0 +1,48 @@
+/// \file lds.hpp
+/// \brief P2LSG-style powers-of-2 low-discrepancy sequence generator
+///        (paper ref [27], Moghadam et al., ASP-DAC'24) — extension beyond
+///        the four Table I sources.
+///
+/// P2LSG generates Van-der-Corput-class low-discrepancy sequences from a
+/// plain binary counter: the LDS value is the bit-reversed counter, which
+/// costs only wiring in hardware (no comparator tree or direction-number
+/// storage like Sobol).  Distinct streams come from XOR digit scrambling
+/// with per-stream masks, which preserves the low-discrepancy property
+/// (each 2^k-aligned block still visits every k-bit prefix exactly once).
+#pragma once
+
+#include <cstdint>
+
+#include "sc/rng.hpp"
+
+namespace aimsc::sc {
+
+class P2lsg final : public RandomSource {
+ public:
+  /// \param streamIndex selects the scramble mask (0 = plain bit reversal)
+  /// \param skip        initial points to discard (default 0; unlike Sobol
+  ///                    the first point is a valid mid-range value for
+  ///                    streamIndex > 0)
+  explicit P2lsg(std::uint32_t streamIndex = 0, std::uint64_t skip = 0);
+
+  std::uint32_t next(int bits) override;
+  void reset() override;
+  std::string name() const override;
+  std::unique_ptr<RandomSource> clone() const override;
+
+  /// Next raw 32-bit LDS value.
+  std::uint32_t next32();
+
+  std::uint32_t scrambleMask() const { return mask_; }
+
+ private:
+  std::uint32_t streamIndex_;
+  std::uint32_t mask_;
+  std::uint64_t skip_;
+  std::uint64_t counter_ = 0;
+};
+
+/// Bit-reversal of a 32-bit word (the powers-of-2 radical inverse).
+std::uint32_t reverseBits32(std::uint32_t v);
+
+}  // namespace aimsc::sc

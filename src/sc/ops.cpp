@@ -1,0 +1,44 @@
+#include "sc/ops.hpp"
+
+namespace aimsc::sc {
+
+Bitstream scMultiply(const Bitstream& x, const Bitstream& y) { return x & y; }
+
+Bitstream scScaledAddMux(const Bitstream& x, const Bitstream& y,
+                         const Bitstream& sel) {
+  return Bitstream::mux(x, y, sel);
+}
+
+Bitstream scScaledAddMaj(const Bitstream& x, const Bitstream& y,
+                         const Bitstream& sel) {
+  return Bitstream::majority(x, y, sel);
+}
+
+Bitstream scAddOr(const Bitstream& x, const Bitstream& y) { return x | y; }
+
+Bitstream scAbsSub(const Bitstream& x, const Bitstream& y) { return x ^ y; }
+
+Bitstream scMin(const Bitstream& x, const Bitstream& y) { return x & y; }
+
+Bitstream scMax(const Bitstream& x, const Bitstream& y) { return x | y; }
+
+Bitstream scMux4(const Bitstream& i11, const Bitstream& i12,
+                 const Bitstream& i21, const Bitstream& i22,
+                 const Bitstream& sx, const Bitstream& sy) {
+  const Bitstream top = Bitstream::mux(i12, i11, sy);     // sy=1 -> i12
+  const Bitstream bottom = Bitstream::mux(i22, i21, sy);  // sy=1 -> i22
+  return Bitstream::mux(bottom, top, sx);                 // sx=1 -> bottom row
+}
+
+Bitstream scMux4Maj(const Bitstream& i11, const Bitstream& i12,
+                    const Bitstream& i21, const Bitstream& i22,
+                    const Bitstream& sx, const Bitstream& sy) {
+  // MAJ(a, b, s) approximates MUX(a, b, s) with error pb(1-pa)(2ps-1),
+  // exact at ps = 0.5 (paper Sec. III-B).  A tree of three MAJ gates
+  // approximates the 4-to-1 MUX in three scouting-logic cycles.
+  const Bitstream top = Bitstream::majority(i12, i11, sy);     // sy favours i12
+  const Bitstream bottom = Bitstream::majority(i22, i21, sy);  // sy favours i22
+  return Bitstream::majority(bottom, top, sx);                 // sx favours bottom
+}
+
+}  // namespace aimsc::sc

@@ -1,0 +1,67 @@
+/// \file ops.hpp
+/// \brief Software-level stochastic arithmetic (paper Fig. 2 / Sec. III-B).
+///
+/// Each operation documents its correlation requirement; the in-memory
+/// versions in src/core/imops.* execute the same logic through scouting
+/// logic with fault injection and event accounting.
+///
+///  op                 | gate          | inputs        | result probability
+///  -------------------+---------------+---------------+--------------------
+///  multiply           | AND           | independent   | px * py
+///  scaled add (exact) | MUX(sel=0.5)  | independent   | (px + py) / 2
+///  scaled add (CIM)   | MAJ3(s=0.5)   | independent   | ~(px + py) / 2
+///  approximate add    | OR            | independent   | px + py - px*py
+///  absolute subtract  | XOR           | correlated    | |px - py|
+///  divide (CORDIV)    | MUX + FF      | correlated    | px / py  (px <= py)
+///  minimum            | AND           | correlated    | min(px, py)
+///  maximum            | OR            | correlated    | max(px, py)
+#pragma once
+
+#include "sc/bitstream.hpp"
+
+namespace aimsc::sc {
+
+/// AND of two *independent* streams: P(out) = px * py.
+Bitstream scMultiply(const Bitstream& x, const Bitstream& y);
+
+/// Exact scaled addition with a 2-to-1 MUX and select stream \p sel
+/// (P(sel)=0.5): P(out) = (px + py) / 2.  This is the conventional CMOS
+/// design; it needs sel independent of both inputs.
+Bitstream scScaledAddMux(const Bitstream& x, const Bitstream& y,
+                         const Bitstream& sel);
+
+/// CIM-friendly scaled addition with a 3-input majority gate; single
+/// scouting-logic cycle in memory (paper Sec. III-B).  MAJ(x,y,s) with
+/// P(s)=0.5 approximates (px+py)/2 with error |(2ps-1)| * covariance terms;
+/// exact when ps = 0.5 and x,y,s independent.
+Bitstream scScaledAddMaj(const Bitstream& x, const Bitstream& y,
+                         const Bitstream& sel);
+
+/// Approximate (unscaled) addition with OR: P(out) = px + py - px*py.
+/// Accurate for inputs in [0, 0.5] (paper Fig. 2 note).
+Bitstream scAddOr(const Bitstream& x, const Bitstream& y);
+
+/// Absolute subtraction with XOR of *correlated* streams: P(out)=|px - py|.
+Bitstream scAbsSub(const Bitstream& x, const Bitstream& y);
+
+/// Minimum with AND of *correlated* streams: P(out) = min(px, py).
+Bitstream scMin(const Bitstream& x, const Bitstream& y);
+
+/// Maximum with OR of *correlated* streams: P(out) = max(px, py).
+Bitstream scMax(const Bitstream& x, const Bitstream& y);
+
+/// 4-to-1 MUX (bilinear interpolation kernel, paper Fig. 3b):
+/// out = MUX(MUX(i11,i12,sy), MUX(i21,i22,sy), sx) so that
+/// P(out) = (1-sx)(1-sy) p11 + (1-sx) sy p12 + sx (1-sy) p21 + sx sy p22
+/// with select streams sx, sy independent of the data streams.
+Bitstream scMux4(const Bitstream& i11, const Bitstream& i12,
+                 const Bitstream& i21, const Bitstream& i22,
+                 const Bitstream& sx, const Bitstream& sy);
+
+/// MAJ-tree approximation of the 4-to-1 MUX (CIM-friendly variant used by
+/// the in-memory bilinear interpolation; ablation subject).
+Bitstream scMux4Maj(const Bitstream& i11, const Bitstream& i12,
+                    const Bitstream& i21, const Bitstream& i22,
+                    const Bitstream& sx, const Bitstream& sy);
+
+}  // namespace aimsc::sc

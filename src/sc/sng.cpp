@@ -1,0 +1,38 @@
+#include "sc/sng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aimsc::sc {
+
+std::uint32_t quantizeProbability(double p, int bits) {
+  if (bits < 1 || bits > 31) throw std::invalid_argument("quantizeProbability: bad bits");
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const double scale = static_cast<double>(std::uint32_t{1} << bits);
+  const auto x = static_cast<std::uint32_t>(std::lround(p * scale));
+  return x;
+}
+
+Bitstream generateSbs(RandomSource& src, std::uint32_t x, int bits, std::size_t n) {
+  Bitstream s(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (src.next(bits) < x) s.set(i, true);
+  }
+  return s;
+}
+
+Bitstream generateSbsFromProb(RandomSource& src, double p, int bits, std::size_t n) {
+  return generateSbs(src, quantizeProbability(p, bits), bits, n);
+}
+
+Bitstream ComparatorSng::generate(double p, std::size_t n) {
+  if (mode_ == CorrelationMode::Shared) src_.reset();
+  return generateSbsFromProb(src_, p, bits_, n);
+}
+
+Bitstream ComparatorSng::generatePixel(std::uint8_t v, std::size_t n) {
+  return generate(static_cast<double>(v) / 255.0, n);
+}
+
+}  // namespace aimsc::sc

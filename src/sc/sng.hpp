@@ -1,0 +1,60 @@
+/// \file sng.hpp
+/// \brief Stochastic number generation (binary -> SBS conversion).
+///
+/// Conversion follows the comparator construction of Sec. II-B: to encode an
+/// n-bit binary value X as an N-bit stream, draw N random numbers R_i and
+/// emit bit i = (R_i < X).  The construction is *monotone*: for a fixed
+/// random sequence, X1 <= X2 implies SBS(X1) is bitwise contained in
+/// SBS(X2).  That monotonicity is what gives shared-RNG streams SCC = +1
+/// (maximal correlation), the property required by subtraction and CORDIV.
+#pragma once
+
+#include <cstdint>
+
+#include "sc/bitstream.hpp"
+#include "sc/rng.hpp"
+
+namespace aimsc::sc {
+
+/// Quantizes probability p in [0,1] to the integer comparator threshold in
+/// [0, 2^bits] (2^bits means "always 1").
+std::uint32_t quantizeProbability(double p, int bits);
+
+/// Generates an N-bit SBS for integer threshold \p x in [0, 2^bits] by
+/// drawing N numbers of \p bits bits from \p src.
+Bitstream generateSbs(RandomSource& src, std::uint32_t x, int bits, std::size_t n);
+
+/// Generates an N-bit SBS for probability \p p in [0,1].
+Bitstream generateSbsFromProb(RandomSource& src, double p, int bits, std::size_t n);
+
+/// Comparator-based SNG bound to one randomness source.
+///
+/// CorrelationMode controls whether successive generate() calls restart the
+/// source (Shared: maximally correlated output streams, used for
+/// subtraction/division/min/max) or keep consuming it (Independent:
+/// uncorrelated streams, used for multiplication/addition) — Sec. II-B,
+/// "the desired amount of correlation is guaranteed by using shared RNGs".
+class ComparatorSng {
+ public:
+  enum class CorrelationMode { Independent, Shared };
+
+  ComparatorSng(RandomSource& src, int bits,
+                CorrelationMode mode = CorrelationMode::Independent)
+      : src_(src), bits_(bits), mode_(mode) {}
+
+  /// Generates an SBS of length \p n encoding probability \p p.
+  Bitstream generate(double p, std::size_t n);
+
+  /// Generates an SBS of length \p n for an 8-bit pixel value (v/255).
+  Bitstream generatePixel(std::uint8_t v, std::size_t n);
+
+  int bits() const { return bits_; }
+  CorrelationMode mode() const { return mode_; }
+
+ private:
+  RandomSource& src_;
+  int bits_;
+  CorrelationMode mode_;
+};
+
+}  // namespace aimsc::sc

@@ -1,0 +1,109 @@
+// Crossbar array: storage, differential writes, endurance, TRNG deposits.
+#include <gtest/gtest.h>
+
+#include "reram/array.hpp"
+
+namespace aimsc::reram {
+namespace {
+
+TEST(CrossbarArray, GeometryAndInitialState) {
+  CrossbarArray arr(8, 64);
+  EXPECT_EQ(arr.rows(), 8u);
+  EXPECT_EQ(arr.cols(), 64u);
+  for (std::size_t r = 0; r < arr.rows(); ++r) {
+    EXPECT_EQ(arr.row(r).popcount(), 0u);
+  }
+  EXPECT_THROW(CrossbarArray(0, 4), std::invalid_argument);
+  EXPECT_THROW(CrossbarArray(4, 0), std::invalid_argument);
+}
+
+TEST(CrossbarArray, WriteReadRoundTrip) {
+  CrossbarArray arr(4, 16);
+  const auto data = sc::Bitstream::fromString("1010101010101010");
+  arr.writeRow(2, data);
+  EXPECT_EQ(arr.row(2), data);
+  EXPECT_EQ(arr.row(1).popcount(), 0u);
+}
+
+TEST(CrossbarArray, BoundsChecking) {
+  CrossbarArray arr(4, 16);
+  EXPECT_THROW(arr.row(4), std::out_of_range);
+  EXPECT_THROW(arr.writeRow(4, sc::Bitstream(16)), std::out_of_range);
+  EXPECT_THROW(arr.writeRow(0, sc::Bitstream(15)), std::invalid_argument);
+  EXPECT_THROW(arr.writeCell(0, 16, true), std::out_of_range);
+}
+
+TEST(CrossbarArray, WriteEventsCounted) {
+  CrossbarArray arr(4, 16);
+  arr.writeRow(0, sc::Bitstream(16, true));
+  EXPECT_EQ(arr.events().counts().rowWrites, 1u);
+  EXPECT_EQ(arr.events().counts().cellWrites, 16u);  // all flipped 0 -> 1
+}
+
+TEST(CrossbarArray, DifferentialWriteOnlyProgramsChangedCells) {
+  CrossbarArray arr(4, 16);
+  arr.writeRow(0, sc::Bitstream::fromString("1111000011110000"));
+  arr.events().reset();
+  arr.writeRow(0, sc::Bitstream::fromString("1111000011110011"));
+  EXPECT_EQ(arr.events().counts().rowWrites, 1u);
+  EXPECT_EQ(arr.events().counts().cellWrites, 2u);
+}
+
+TEST(CrossbarArray, IdenticalRewriteProgramsNothing) {
+  CrossbarArray arr(4, 16);
+  const auto data = sc::Bitstream::fromString("1100110011001100");
+  arr.writeRow(1, data);
+  arr.events().reset();
+  arr.writeRow(1, data);
+  EXPECT_EQ(arr.events().counts().cellWrites, 0u);
+  EXPECT_EQ(arr.events().counts().rowWrites, 1u);
+}
+
+TEST(CrossbarArray, WriteCellTracksState) {
+  CrossbarArray arr(2, 8);
+  arr.writeCell(0, 3, true);
+  EXPECT_TRUE(arr.row(0).get(3));
+  EXPECT_EQ(arr.events().counts().cellWrites, 1u);
+  arr.writeCell(0, 3, true);  // no change
+  EXPECT_EQ(arr.events().counts().cellWrites, 1u);
+}
+
+TEST(CrossbarArray, EnduranceCounters) {
+  DeviceParams p;
+  p.enduranceCycles = 3;
+  CrossbarArray arr(2, 8, p);
+  EXPECT_FALSE(arr.rowWornOut(0));
+  for (int i = 0; i < 3; ++i) arr.writeRow(0, sc::Bitstream(8, i % 2 == 0));
+  EXPECT_EQ(arr.rowWriteCycles(0), 3u);
+  EXPECT_TRUE(arr.rowWornOut(0));
+  EXPECT_FALSE(arr.rowWornOut(1));
+}
+
+TEST(CrossbarArray, TrngDepositChargesTrngCounterNotWrites) {
+  CrossbarArray arr(4, 32);
+  arr.depositTrngRow(2, sc::Bitstream(32, true));
+  const auto& ev = arr.events().counts();
+  EXPECT_EQ(ev.trngBits, 32u);
+  EXPECT_EQ(ev.rowWrites, 0u);
+  EXPECT_EQ(arr.row(2).popcount(), 32u);
+  EXPECT_EQ(arr.rowWriteCycles(2), 1u);  // still wears the cells
+}
+
+TEST(EventCounts, Accumulation) {
+  EventCounts a;
+  a.slReads = 3;
+  a.rowWrites = 1;
+  EventCounts b;
+  b.slReads = 2;
+  b.adcConversions = 5;
+  const EventCounts c = a + b;
+  EXPECT_EQ(c.slReads, 5u);
+  EXPECT_EQ(c.rowWrites, 1u);
+  EXPECT_EQ(c.adcConversions, 5u);
+  EventCounts d = c;
+  d.reset();
+  EXPECT_EQ(d.slReads, 0u);
+}
+
+}  // namespace
+}  // namespace aimsc::reram

@@ -1,0 +1,172 @@
+// Binary CIM baseline: gate engine + AritPIM arithmetic (exactness when
+// fault-free, gate-count complexity, fault vulnerability).
+#include <gtest/gtest.h>
+
+#include "bincim/aritpim.hpp"
+
+namespace aimsc::bincim {
+namespace {
+
+TEST(MagicEngine, PrimitiveGateTruth) {
+  MagicEngine e;
+  EXPECT_TRUE(e.norGate(false, false));
+  EXPECT_FALSE(e.norGate(true, false));
+  EXPECT_FALSE(e.norGate(false, true));
+  EXPECT_FALSE(e.norGate(true, true));
+  EXPECT_TRUE(e.notGate(false));
+  EXPECT_FALSE(e.notGate(true));
+}
+
+TEST(MagicEngine, CompositeGateTruth) {
+  MagicEngine e;
+  for (const bool a : {false, true}) {
+    for (const bool b : {false, true}) {
+      EXPECT_EQ(e.orGate(a, b), a || b);
+      EXPECT_EQ(e.andGate(a, b), a && b);
+      EXPECT_EQ(e.xorGate(a, b), a != b);
+    }
+  }
+}
+
+TEST(MagicEngine, FullAdderExhaustive) {
+  MagicEngine e;
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      for (int c = 0; c <= 1; ++c) {
+        const auto fa = e.fullAdder(a, b, c);
+        const int total = a + b + c;
+        EXPECT_EQ(fa.sum, total % 2 == 1);
+        EXPECT_EQ(fa.carry, total >= 2);
+      }
+    }
+  }
+}
+
+TEST(MagicEngine, GateOpsCounted) {
+  MagicEngine e;
+  e.norGate(true, false);
+  EXPECT_EQ(e.gateOps(), 1u);
+  e.xorGate(true, false);  // 5 primitives (4-NOR XNOR + inverter)
+  EXPECT_EQ(e.gateOps(), 6u);
+  e.resetCounter();
+  EXPECT_EQ(e.gateOps(), 0u);
+}
+
+TEST(AritPim, AddExhaustive6Bit) {
+  MagicEngine e;
+  AritPim pim(e);
+  for (std::uint32_t a = 0; a < 64; a += 3) {
+    for (std::uint32_t b = 0; b < 64; b += 5) {
+      EXPECT_EQ(pim.add(a, b, 6), a + b);
+    }
+  }
+}
+
+TEST(AritPim, SubSaturatingExhaustive6Bit) {
+  MagicEngine e;
+  AritPim pim(e);
+  for (std::uint32_t a = 0; a < 64; a += 3) {
+    for (std::uint32_t b = 0; b < 64; b += 5) {
+      EXPECT_EQ(pim.subSaturating(a, b, 6), a >= b ? a - b : 0u);
+    }
+  }
+}
+
+TEST(AritPim, MulExhaustive5Bit) {
+  MagicEngine e;
+  AritPim pim(e);
+  for (std::uint32_t a = 0; a < 32; a += 3) {
+    for (std::uint32_t b = 0; b < 32; b += 2) {
+      EXPECT_EQ(pim.mul(a, b, 5), a * b);
+    }
+  }
+}
+
+TEST(AritPim, Mul8BitSampled) {
+  MagicEngine e;
+  AritPim pim(e);
+  for (std::uint32_t a = 0; a < 256; a += 37) {
+    for (std::uint32_t b = 0; b < 256; b += 29) {
+      EXPECT_EQ(pim.mul(a, b, 8), a * b);
+    }
+  }
+}
+
+TEST(AritPim, DivRestoringSampled) {
+  MagicEngine e;
+  AritPim pim(e);
+  for (std::uint32_t num = 0; num < 4096; num += 123) {
+    for (std::uint32_t den = 1; den < 256; den += 31) {
+      const std::uint32_t q = pim.div(num, den, 16, 8);
+      EXPECT_EQ(q, std::min(num / den, 0xffffu)) << num << "/" << den;
+    }
+  }
+}
+
+TEST(AritPim, DivByZeroSaturates) {
+  MagicEngine e;
+  AritPim pim(e);
+  EXPECT_EQ(pim.div(100, 0, 16, 8), 0xffffu);
+}
+
+TEST(AritPim, MattingStyleDivision) {
+  // alpha = num * 255 / den clamped — the matting kernel path.
+  MagicEngine e;
+  AritPim pim(e);
+  const std::uint32_t num16 = pim.mul(60, 255, 8);
+  const std::uint32_t q = pim.div(num16, 120, 16, 8);
+  EXPECT_EQ(q, 60u * 255u / 120u);
+}
+
+TEST(AritPim, ComplexityOrdering) {
+  // Paper Sec. III-B: addition O(n), multiplication / division O(n^2).
+  MagicEngine e;
+  AritPim pim(e);
+  e.resetCounter();
+  pim.add(170, 85, 8);
+  const auto addOps = e.gateOps();
+  e.resetCounter();
+  pim.mul(170, 85, 8);
+  const auto mulOps = e.gateOps();
+  e.resetCounter();
+  pim.div(43350, 170, 16, 8);
+  const auto divOps = e.gateOps();
+  EXPECT_GT(mulOps, addOps * 5);
+  EXPECT_GT(divOps, addOps * 5);
+}
+
+TEST(AritPim, WidthValidation) {
+  MagicEngine e;
+  AritPim pim(e);
+  EXPECT_THROW(pim.add(1, 1, 0), std::invalid_argument);
+  EXPECT_THROW(pim.add(1, 1, 32), std::invalid_argument);
+  EXPECT_THROW(pim.mul(1, 1, 16), std::invalid_argument);
+  EXPECT_THROW(pim.div(1, 1, 25, 8), std::invalid_argument);
+}
+
+TEST(AritPim, FaultsCorruptHighBits) {
+  // With gate faults enabled, binary results occasionally take large jumps
+  // (MSB errors) — the mechanism behind the 47% quality drop in Table IV.
+  reram::DeviceParams p;
+  p.sigmaLrs = 0.12;
+  p.sigmaHrs = 1.2;
+  reram::FaultModel fm(p, 4, 20000);
+  MagicEngine e(&fm, 5);
+  AritPim pim(e);
+  int bigErrors = 0;
+  for (int i = 0; i < 400; ++i) {
+    const std::uint32_t r = pim.mul(200, 200, 8);
+    const int err = std::abs(static_cast<int>(r) - 40000);
+    if (err > 4096) ++bigErrors;  // an error in bit 12+
+  }
+  EXPECT_GT(bigErrors, 0);
+}
+
+TEST(AritPim, FaultFreeWithNullModel) {
+  MagicEngine e(nullptr);
+  AritPim pim(e);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(pim.mul(123, 45, 8), 123u * 45u);
+}
+
+}  // namespace
+}  // namespace aimsc::bincim

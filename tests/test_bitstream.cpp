@@ -1,0 +1,210 @@
+// Unit and property tests for the packed bit-stream container.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sc/bitstream.hpp"
+
+namespace aimsc::sc {
+namespace {
+
+TEST(Bitstream, DefaultIsEmpty) {
+  Bitstream s;
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.popcount(), 0u);
+  EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Bitstream, ZeroInitialized) {
+  Bitstream s(130);
+  EXPECT_EQ(s.size(), 130u);
+  EXPECT_EQ(s.popcount(), 0u);
+  for (std::size_t i = 0; i < s.size(); ++i) EXPECT_FALSE(s.get(i));
+}
+
+TEST(Bitstream, FillConstructor) {
+  Bitstream s(100, true);
+  EXPECT_EQ(s.popcount(), 100u);
+  EXPECT_DOUBLE_EQ(s.value(), 1.0);
+}
+
+TEST(Bitstream, FillConstructorKeepsTailClear) {
+  Bitstream s(70, true);  // crosses a word boundary
+  EXPECT_EQ(s.popcount(), 70u);
+  EXPECT_EQ(s.words().back() >> 6, 0u);  // bits 70..127 must be zero
+}
+
+TEST(Bitstream, SetGetRoundTrip) {
+  Bitstream s(200);
+  s.set(0, true);
+  s.set(63, true);
+  s.set(64, true);
+  s.set(199, true);
+  EXPECT_TRUE(s.get(0));
+  EXPECT_TRUE(s.get(63));
+  EXPECT_TRUE(s.get(64));
+  EXPECT_TRUE(s.get(199));
+  EXPECT_FALSE(s.get(1));
+  EXPECT_EQ(s.popcount(), 4u);
+  s.set(63, false);
+  EXPECT_FALSE(s.get(63));
+  EXPECT_EQ(s.popcount(), 3u);
+}
+
+TEST(Bitstream, OutOfRangeThrows) {
+  Bitstream s(10);
+  EXPECT_THROW(s.get(10), std::out_of_range);
+  EXPECT_THROW(s.set(10, true), std::out_of_range);
+}
+
+TEST(Bitstream, FromStringAndToString) {
+  const Bitstream s = Bitstream::fromString("10101");
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.popcount(), 3u);
+  EXPECT_DOUBLE_EQ(s.value(), 3.0 / 5.0);  // the paper's Sec. I example
+  EXPECT_EQ(s.toString(), "10101");
+}
+
+TEST(Bitstream, FromStringRejectsJunk) {
+  EXPECT_THROW(Bitstream::fromString("10x"), std::invalid_argument);
+}
+
+TEST(Bitstream, FromBits) {
+  const Bitstream s = Bitstream::fromBits({true, false, true});
+  EXPECT_EQ(s.toString(), "101");
+}
+
+TEST(Bitstream, LogicAnd) {
+  const Bitstream a = Bitstream::fromString("1100");
+  const Bitstream b = Bitstream::fromString("1010");
+  EXPECT_EQ((a & b).toString(), "1000");
+}
+
+TEST(Bitstream, LogicOr) {
+  const Bitstream a = Bitstream::fromString("1100");
+  const Bitstream b = Bitstream::fromString("1010");
+  EXPECT_EQ((a | b).toString(), "1110");
+}
+
+TEST(Bitstream, LogicXor) {
+  const Bitstream a = Bitstream::fromString("1100");
+  const Bitstream b = Bitstream::fromString("1010");
+  EXPECT_EQ((a ^ b).toString(), "0110");
+}
+
+TEST(Bitstream, LogicNotKeepsTailClear) {
+  const Bitstream a(70);
+  const Bitstream n = ~a;
+  EXPECT_EQ(n.popcount(), 70u);
+  EXPECT_EQ((~n).popcount(), 0u);
+}
+
+TEST(Bitstream, LengthMismatchThrows) {
+  Bitstream a(10);
+  Bitstream b(11);
+  EXPECT_THROW(a & b, std::invalid_argument);
+  EXPECT_THROW(a | b, std::invalid_argument);
+  EXPECT_THROW(a ^ b, std::invalid_argument);
+}
+
+TEST(Bitstream, Majority) {
+  const Bitstream a = Bitstream::fromString("11110000");
+  const Bitstream b = Bitstream::fromString("11001100");
+  const Bitstream c = Bitstream::fromString("10101010");
+  EXPECT_EQ(Bitstream::majority(a, b, c).toString(), "11101000");
+}
+
+TEST(Bitstream, Mux) {
+  const Bitstream a = Bitstream::fromString("1111");
+  const Bitstream b = Bitstream::fromString("0000");
+  const Bitstream sel = Bitstream::fromString("0101");
+  EXPECT_EQ(Bitstream::mux(a, b, sel).toString(), "0101");
+}
+
+TEST(Bitstream, ExactlyOne) {
+  const Bitstream a = Bitstream::fromString("1100");
+  const Bitstream b = Bitstream::fromString("1010");
+  const Bitstream x = Bitstream::exactlyOne({&a, &b});
+  EXPECT_EQ(x.toString(), (a ^ b).toString());
+}
+
+TEST(Bitstream, ExactlyOneThreeRows) {
+  const Bitstream a = Bitstream::fromString("1110");
+  const Bitstream b = Bitstream::fromString("1100");
+  const Bitstream c = Bitstream::fromString("1000");
+  EXPECT_EQ(Bitstream::exactlyOne({&a, &b, &c}).toString(), "0010");
+}
+
+TEST(Bitstream, Equality) {
+  EXPECT_EQ(Bitstream::fromString("101"), Bitstream::fromString("101"));
+  EXPECT_NE(Bitstream::fromString("101"), Bitstream::fromString("100"));
+  EXPECT_NE(Bitstream::fromString("101"), Bitstream::fromString("1010"));
+}
+
+// --- property tests over random streams -----------------------------------
+
+class BitstreamProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitstreamProperty, DeMorgan) {
+  std::mt19937_64 eng(GetParam());
+  const std::size_t n = 64 + GetParam() % 200;
+  Bitstream a(n);
+  Bitstream b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.set(i, eng() & 1);
+    b.set(i, eng() & 1);
+  }
+  EXPECT_EQ((~(a & b)), (~a | ~b));
+  EXPECT_EQ((~(a | b)), (~a & ~b));
+}
+
+TEST_P(BitstreamProperty, XorIsAddWithoutCarry) {
+  std::mt19937_64 eng(GetParam() ^ 0x9e37);
+  const std::size_t n = 64 + GetParam() % 200;
+  Bitstream a(n);
+  Bitstream b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.set(i, eng() & 1);
+    b.set(i, eng() & 1);
+  }
+  EXPECT_EQ((a ^ b), ((a | b) & ~(a & b)));
+}
+
+TEST_P(BitstreamProperty, MajorityIsMedian) {
+  std::mt19937_64 eng(GetParam() ^ 0x51);
+  const std::size_t n = 64 + GetParam() % 200;
+  Bitstream a(n);
+  Bitstream b(n);
+  Bitstream c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.set(i, eng() & 1);
+    b.set(i, eng() & 1);
+    c.set(i, eng() & 1);
+  }
+  const Bitstream m = Bitstream::majority(a, b, c);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int ones = a.get(i) + b.get(i) + c.get(i);
+    EXPECT_EQ(m.get(i), ones >= 2);
+  }
+}
+
+TEST_P(BitstreamProperty, PopcountMatchesBitScan) {
+  std::mt19937_64 eng(GetParam() ^ 0xabc);
+  const std::size_t n = 1 + GetParam() % 300;
+  Bitstream a(n);
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool v = eng() & 1;
+    a.set(i, v);
+    expected += v;
+  }
+  EXPECT_EQ(a.popcount(), expected);
+  EXPECT_DOUBLE_EQ(a.value(), static_cast<double>(expected) / n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitstreamProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace aimsc::sc

@@ -1,0 +1,79 @@
+// SCC metric and correlation-controlled stream-pair generation.
+#include <gtest/gtest.h>
+
+#include "sc/correlation.hpp"
+#include "sc/sng.hpp"
+
+namespace aimsc::sc {
+namespace {
+
+TEST(Scc, IdenticalStreamsAreMaximallyCorrelated) {
+  const Bitstream a = Bitstream::fromString("11010010");
+  EXPECT_DOUBLE_EQ(scc(a, a), 1.0);
+}
+
+TEST(Scc, ComplementaryStreamsAreAnticorrelated) {
+  const Bitstream a = Bitstream::fromString("11110000");
+  const Bitstream b = ~a;
+  EXPECT_DOUBLE_EQ(scc(a, b), -1.0);
+}
+
+TEST(Scc, ContainedStreamsAreMaximallyCorrelated) {
+  // Monotone containment (a subset of b) is SCC = +1 even with pa != pb.
+  const Bitstream a = Bitstream::fromString("1100000000");
+  const Bitstream b = Bitstream::fromString("1111110000");
+  EXPECT_DOUBLE_EQ(scc(a, b), 1.0);
+}
+
+TEST(Scc, DegenerateStreamsGiveZero) {
+  const Bitstream zeros(16);
+  const Bitstream ones(16, true);
+  const Bitstream mixed = Bitstream::fromString("1010101010101010");
+  EXPECT_DOUBLE_EQ(scc(zeros, mixed), 0.0);
+  EXPECT_DOUBLE_EQ(scc(ones, mixed), 0.0);
+  EXPECT_DOUBLE_EQ(scc(Bitstream(), Bitstream()), 0.0);
+}
+
+TEST(Scc, IndependentStreamsNearZero) {
+  Mt19937Source src(3);
+  const Bitstream a = generateSbsFromProb(src, 0.5, 8, 8192);
+  const Bitstream b = generateSbsFromProb(src, 0.5, 8, 8192);
+  EXPECT_NEAR(scc(a, b), 0.0, 0.06);
+}
+
+TEST(MakeCorrelatedPair, SccIsPlusOne) {
+  Mt19937Source src(11);
+  for (const auto& [pa, pb] : {std::pair{0.3, 0.8}, {0.5, 0.5}, {0.1, 0.9}}) {
+    const auto [a, b] = makeCorrelatedPair(src, pa, pb, 8, 1024);
+    EXPECT_NEAR(scc(a, b), 1.0, 1e-9);
+    EXPECT_NEAR(a.value(), pa, 0.05);
+    EXPECT_NEAR(b.value(), pb, 0.05);
+  }
+}
+
+TEST(MakeIndependentPair, SccNearZero) {
+  Mt19937Source src(13);
+  const auto [a, b] = makeIndependentPair(src, 0.4, 0.6, 8, 8192);
+  EXPECT_NEAR(scc(a, b), 0.0, 0.08);
+}
+
+TEST(MakeCorrelatedPair, XorMeasuresAbsDifferenceExactly) {
+  // With SCC=+1 monotone streams, XOR value = |pa - pb| up to SNG noise.
+  Mt19937Source src(17);
+  const auto [a, b] = makeCorrelatedPair(src, 0.25, 0.65, 8, 4096);
+  EXPECT_NEAR((a ^ b).value(), 0.40, 0.04);
+}
+
+TEST(MakeCorrelatedPair, WorksWithEverySourceKind) {
+  Lfsr lfsr = Lfsr::paper8Bit(5);
+  Sobol sobol(1, 1);
+  TrngSource trng(23);
+  for (RandomSource* src :
+       std::initializer_list<RandomSource*>{&lfsr, &sobol, &trng}) {
+    const auto [a, b] = makeCorrelatedPair(*src, 0.2, 0.7, 8, 512);
+    EXPECT_GT(scc(a, b), 0.99) << "source: " << src->name();
+  }
+}
+
+}  // namespace
+}  // namespace aimsc::sc

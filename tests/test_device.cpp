@@ -1,0 +1,101 @@
+// ReRAM device model: log-normal resistance sampling, HRS instability.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "reram/device.hpp"
+
+namespace aimsc::reram {
+namespace {
+
+TEST(DeviceParams, NominalCurrents) {
+  DeviceParams p;
+  EXPECT_DOUBLE_EQ(p.nominalCurrent(true), p.vRead / p.rLrsOhm);
+  EXPECT_DOUBLE_EQ(p.nominalCurrent(false), p.vRead / p.rHrsOhm);
+  EXPECT_GT(p.nominalCurrent(true), p.nominalCurrent(false) * 10);
+}
+
+TEST(DeviceModel, IdealHasNoVariability) {
+  DeviceModel dev(DeviceParams::ideal(), 1);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(dev.sampleResistance(true), DeviceParams{}.rLrsOhm);
+    EXPECT_DOUBLE_EQ(dev.sampleResistance(false), DeviceParams{}.rHrsOhm);
+  }
+}
+
+TEST(DeviceModel, RejectsBadParams) {
+  DeviceParams p;
+  p.rLrsOhm = -1;
+  EXPECT_THROW(DeviceModel{p}, std::invalid_argument);
+  p = DeviceParams{};
+  p.rLrsOhm = p.rHrsOhm;  // LRS must be below HRS
+  EXPECT_THROW(DeviceModel{p}, std::invalid_argument);
+  p = DeviceParams{};
+  p.sigmaHrs = -0.1;
+  EXPECT_THROW(DeviceModel{p}, std::invalid_argument);
+}
+
+TEST(DeviceModel, LogNormalMedianMatchesNominal) {
+  DeviceParams p;
+  p.sigmaLrs = 0.2;
+  DeviceModel dev(p, 7);
+  std::vector<double> samples;
+  for (int i = 0; i < 20001; ++i) samples.push_back(dev.sampleResistance(true));
+  std::nth_element(samples.begin(), samples.begin() + 10000, samples.end());
+  EXPECT_NEAR(samples[10000] / p.rLrsOhm, 1.0, 0.03);
+}
+
+TEST(DeviceModel, SigmaControlsSpread) {
+  DeviceParams narrow;
+  narrow.sigmaHrs = 0.1;
+  DeviceParams wide;
+  wide.sigmaHrs = 1.0;
+  DeviceModel dn(narrow, 3);
+  DeviceModel dw(wide, 3);
+  auto logSpread = [](DeviceModel& d) {
+    double minV = 1e18, maxV = 0;
+    for (int i = 0; i < 5000; ++i) {
+      const double r = d.sampleResistance(false);
+      minV = std::min(minV, r);
+      maxV = std::max(maxV, r);
+    }
+    return std::log(maxV / minV);
+  };
+  EXPECT_GT(logSpread(dw), logSpread(dn) * 3);
+}
+
+TEST(DeviceModel, HrsInstabilityCreatesLowResistanceTail) {
+  // The failure mechanism of [39]: with wide HRS sigma, a visible fraction
+  // of HRS reads falls below a few x LRS, confusing the sense amplifier.
+  DeviceParams p;
+  p.sigmaLrs = 0.12;
+  p.sigmaHrs = 1.1;
+  DeviceModel dev(p, 11);
+  int tail = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (dev.sampleResistance(false) < 4 * p.rLrsOhm) ++tail;
+  }
+  const double frac = static_cast<double>(tail) / kSamples;
+  EXPECT_GT(frac, 1e-4);
+  EXPECT_LT(frac, 0.05);
+}
+
+TEST(DeviceModel, CurrentIsVOverR) {
+  DeviceModel dev(DeviceParams::ideal(), 5);
+  DeviceParams p;
+  EXPECT_DOUBLE_EQ(dev.sampleCurrent(true), p.vRead / p.rLrsOhm);
+}
+
+TEST(DeviceModel, ReseedReproduces) {
+  DeviceParams p;  // default sigmas > 0
+  DeviceModel dev(p, 42);
+  std::vector<double> a;
+  for (int i = 0; i < 8; ++i) a.push_back(dev.sampleResistance(true));
+  dev.reseed(42);
+  for (int i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(dev.sampleResistance(true), a[i]);
+}
+
+}  // namespace
+}  // namespace aimsc::reram

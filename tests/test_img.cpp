@@ -1,0 +1,155 @@
+// Image container, PGM I/O, metrics, synthetic scenes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <random>
+
+#include "img/image.hpp"
+#include "img/metrics.hpp"
+#include "img/pgm.hpp"
+#include "img/synth.hpp"
+
+namespace aimsc::img {
+namespace {
+
+TEST(Image, BasicAccess) {
+  Image img(4, 3, 7);
+  EXPECT_EQ(img.width(), 4u);
+  EXPECT_EQ(img.height(), 3u);
+  EXPECT_EQ(img.size(), 12u);
+  EXPECT_EQ(img.at(0, 0), 7);
+  img.at(3, 2) = 200;
+  EXPECT_EQ(img[2 * 4 + 3], 200);
+  EXPECT_THROW(img.at(4, 0), std::out_of_range);
+  EXPECT_THROW(Image(0, 5), std::invalid_argument);
+}
+
+TEST(Image, ProbConversion) {
+  Image img(2, 1);
+  img.at(0, 0) = 255;
+  EXPECT_DOUBLE_EQ(img.prob(0, 0), 1.0);
+  EXPECT_EQ(Image::fromProb(0.5), 128);
+  EXPECT_EQ(Image::fromProb(-1.0), 0);
+  EXPECT_EQ(Image::fromProb(2.0), 255);
+}
+
+TEST(Pgm, RoundTrip) {
+  const Image img = naturalScene(17, 9, 5);
+  const auto path = std::filesystem::temp_directory_path() / "aimsc_test.pgm";
+  writePgm(path.string(), img);
+  const Image back = readPgm(path.string());
+  ASSERT_TRUE(back.sameShape(img));
+  EXPECT_EQ(back.pixels(), img.pixels());
+  std::filesystem::remove(path);
+}
+
+TEST(Pgm, ReadsAsciiP2) {
+  const auto path = std::filesystem::temp_directory_path() / "aimsc_p2.pgm";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("P2\n# comment\n2 2\n255\n0 128\n255 64\n", f);
+    std::fclose(f);
+  }
+  const Image img = readPgm(path.string());
+  EXPECT_EQ(img.at(0, 0), 0);
+  EXPECT_EQ(img.at(1, 0), 128);
+  EXPECT_EQ(img.at(0, 1), 255);
+  EXPECT_EQ(img.at(1, 1), 64);
+  std::filesystem::remove(path);
+}
+
+TEST(Pgm, RejectsMissingFileAndBadMagic) {
+  EXPECT_THROW(readPgm("/nonexistent/file.pgm"), std::runtime_error);
+  const auto path = std::filesystem::temp_directory_path() / "aimsc_bad.pgm";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("P6\n2 2\n255\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(readPgm(path.string()), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Metrics, IdenticalImages) {
+  const Image img = naturalScene(32, 32, 1);
+  EXPECT_DOUBLE_EQ(mse(img, img), 0.0);
+  EXPECT_DOUBLE_EQ(psnrDb(img, img), 99.0);
+  EXPECT_NEAR(ssim(img, img), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(meanAbsError(img, img), 0.0);
+}
+
+TEST(Metrics, KnownMse) {
+  Image a(2, 2, 10);
+  Image b(2, 2, 10);
+  b.at(0, 0) = 14;  // one pixel off by 4 -> MSE = 16/4
+  EXPECT_DOUBLE_EQ(mse(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(meanAbsError(a, b), 1.0);
+  EXPECT_NEAR(psnrDb(a, b), 10 * std::log10(255.0 * 255.0 / 4.0), 1e-9);
+}
+
+TEST(Metrics, ShapeMismatchThrows) {
+  EXPECT_THROW(mse(Image(2, 2), Image(2, 3)), std::invalid_argument);
+  EXPECT_THROW(ssim(Image(2, 2), Image(3, 2)), std::invalid_argument);
+}
+
+TEST(Metrics, SsimOrdersDegradations) {
+  const Image ref = naturalScene(48, 48, 3);
+  Image mild = ref;
+  Image severe = ref;
+  std::mt19937_64 eng(9);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    mild[i] = static_cast<std::uint8_t>(
+        std::clamp<int>(mild[i] + static_cast<int>(eng() % 11) - 5, 0, 255));
+    severe[i] = static_cast<std::uint8_t>(
+        std::clamp<int>(severe[i] + static_cast<int>(eng() % 121) - 60, 0, 255));
+  }
+  EXPECT_GT(ssim(ref, mild), ssim(ref, severe));
+  EXPECT_GT(psnrDb(ref, mild), psnrDb(ref, severe));
+  EXPECT_GT(ssim(ref, mild), 0.8);
+  EXPECT_LT(ssim(ref, severe), 0.8);
+}
+
+TEST(Synth, GradientSpansRange) {
+  const Image g = gradient(64, 8, 0.0);
+  EXPECT_EQ(g.at(0, 0), 0);
+  EXPECT_EQ(g.at(63, 0), 255);
+  EXPECT_LT(g.at(20, 4), g.at(40, 4));
+}
+
+TEST(Synth, CheckerboardAlternates) {
+  const Image c = checkerboard(8, 8, 2);
+  EXPECT_EQ(c.at(0, 0), c.at(1, 1));
+  EXPECT_NE(c.at(0, 0), c.at(2, 0));
+}
+
+TEST(Synth, SoftDiskAlphaStructure) {
+  const Image a = softDisk(64, 64, 32, 32, 16, 4);
+  EXPECT_EQ(a.at(32, 32), 255);  // deep inside
+  EXPECT_EQ(a.at(0, 0), 0);      // far outside
+  // Feathered border holds intermediate values.
+  bool sawIntermediate = false;
+  for (std::size_t x = 0; x < 64; ++x) {
+    const auto v = a.at(x, 32);
+    if (v > 20 && v < 235) sawIntermediate = true;
+  }
+  EXPECT_TRUE(sawIntermediate);
+}
+
+TEST(Synth, ScenesAreDeterministicPerSeed) {
+  EXPECT_EQ(naturalScene(16, 16, 7).pixels(), naturalScene(16, 16, 7).pixels());
+  EXPECT_NE(naturalScene(16, 16, 7).pixels(), naturalScene(16, 16, 8).pixels());
+}
+
+TEST(Synth, BlobsStayInRange) {
+  const Image b = gaussianBlobs(32, 32, 10, 4);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_GE(b[i], 0);
+    EXPECT_LE(b[i], 255);
+  }
+}
+
+}  // namespace
+}  // namespace aimsc::img

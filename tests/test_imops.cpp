@@ -1,0 +1,120 @@
+// In-memory SC arithmetic layer: semantics + event accounting + faults.
+#include <gtest/gtest.h>
+
+#include "core/imops.hpp"
+#include "sc/correlation.hpp"
+#include "sc/ops.hpp"
+#include "sc/rng.hpp"
+#include "sc/sng.hpp"
+
+namespace aimsc::core {
+namespace {
+
+struct Rig {
+  explicit Rig(std::size_t n = 4096)
+      : array(4, n, reram::DeviceParams::ideal()), scouting(array), ops(scouting) {}
+  reram::CrossbarArray array;
+  reram::ScoutingLogic scouting;
+  ImOps ops;
+};
+
+TEST(ImOps, MultiplyMatchesSoftwareAnd) {
+  Rig rig;
+  sc::Mt19937Source src(1);
+  const auto [x, y] = sc::makeIndependentPair(src, 0.4, 0.6, 8, 4096);
+  EXPECT_EQ(rig.ops.multiply(x, y), (x & y));
+  EXPECT_EQ(rig.array.events().counts().slReads, 1u);
+  EXPECT_EQ(rig.array.events().counts().latchOps, 1u);
+}
+
+TEST(ImOps, ScaledAddIsMaj) {
+  Rig rig;
+  sc::Mt19937Source src(2);
+  const auto [x, y] = sc::makeIndependentPair(src, 0.3, 0.7, 8, 4096);
+  const sc::Bitstream half = sc::generateSbsFromProb(src, 0.5, 8, 4096);
+  const auto r = rig.ops.scaledAdd(x, y, half);
+  EXPECT_EQ(r, sc::Bitstream::majority(x, y, half));
+  EXPECT_NEAR(r.value(), 0.5, 0.03);
+}
+
+TEST(ImOps, AbsSubChargesWindowLatches) {
+  Rig rig;
+  sc::Mt19937Source src(3);
+  const auto [x, y] = sc::makeCorrelatedPair(src, 0.2, 0.9, 8, 4096);
+  const auto r = rig.ops.absSub(x, y);
+  EXPECT_NEAR(r.value(), 0.7, 0.03);
+  EXPECT_EQ(rig.array.events().counts().latchOps, 2u);  // two references
+}
+
+TEST(ImOps, MinMaxApproxAdd) {
+  Rig rig;
+  sc::Mt19937Source src(4);
+  const auto [x, y] = sc::makeCorrelatedPair(src, 0.35, 0.55, 8, 4096);
+  EXPECT_NEAR(rig.ops.minimum(x, y).value(), 0.35, 0.03);
+  EXPECT_NEAR(rig.ops.maximum(x, y).value(), 0.55, 0.03);
+  const auto [u, v] = sc::makeIndependentPair(src, 0.2, 0.25, 8, 4096);
+  EXPECT_NEAR(rig.ops.addApprox(u, v).value(), 0.2 + 0.25 - 0.05, 0.03);
+}
+
+TEST(ImOps, DivideMatchesSoftwareCordiv) {
+  Rig rig;
+  sc::Mt19937Source src(5);
+  const auto [x, y] = sc::makeCorrelatedPair(src, 0.3, 0.6, 8, 4096);
+  const auto q = rig.ops.divide(x, y);
+  EXPECT_EQ(q, sc::cordivDivide(x, y, sc::CordivVariant::JkFlipFlop));
+  EXPECT_NEAR(q.value(), 0.5, 0.05);
+  EXPECT_EQ(rig.array.events().counts().cordivIterations, 4096u);
+}
+
+TEST(ImOps, DivideLengthMismatchThrows) {
+  Rig rig;
+  EXPECT_THROW(rig.ops.divide(sc::Bitstream(8), sc::Bitstream(16)),
+               std::invalid_argument);
+}
+
+TEST(ImOps, MajMuxTracksCompositingFormula) {
+  Rig rig;
+  sc::Mt19937Source src(6);
+  const double pf = 0.8, pb = 0.3, pa = 0.5;  // alpha=0.5: MAJ == MUX exactly
+  const sc::Bitstream f = sc::generateSbsFromProb(src, pf, 8, 4096);
+  const sc::Bitstream b = sc::generateSbsFromProb(src, pb, 8, 4096);
+  const sc::Bitstream a = sc::generateSbsFromProb(src, pa, 8, 4096);
+  EXPECT_NEAR(rig.ops.majMux(f, b, a).value(), pa * pf + (1 - pa) * pb, 0.03);
+}
+
+TEST(ImOps, MajMux4CostsThreeCycles) {
+  Rig rig;
+  sc::Mt19937Source src(7);
+  auto gen = [&](double p) { return sc::generateSbsFromProb(src, p, 8, 4096); };
+  const auto r = rig.ops.majMux4(gen(0.2), gen(0.4), gen(0.6), gen(0.8),
+                                 gen(0.5), gen(0.5));
+  EXPECT_EQ(rig.array.events().counts().slReads, 3u);
+  EXPECT_NEAR(r.value(), 0.5, 0.04);  // centroid at 0.5/0.5 selects
+}
+
+TEST(ImOps, FaultyDivisionDegradesButBounded) {
+  reram::DeviceParams p;
+  p.sigmaLrs = 0.12;
+  p.sigmaHrs = 1.1;
+  reram::CrossbarArray arr(4, 4096, p);
+  reram::FaultModel fm(p, 1, 30000);
+  reram::ScoutingLogic sl(arr, reram::ScoutingLogic::Fidelity::Probabilistic,
+                          &fm, 2);
+  ImOps ops(sl, &fm, 3);
+  sc::Mt19937Source src(8);
+  const auto [x, y] = sc::makeCorrelatedPair(src, 0.3, 0.6, 8, 4096);
+  const double q = ops.divide(x, y).value();
+  EXPECT_NEAR(q, 0.5, 0.12);  // degraded but not destroyed (SC robustness)
+}
+
+TEST(ImOps, FaultFreeDivisionUnchangedWithNullFaultModel) {
+  Rig rig;
+  sc::Mt19937Source src(9);
+  const auto [x, y] = sc::makeCorrelatedPair(src, 0.4, 0.8, 8, 2048);
+  const auto q1 = rig.ops.divide(x, y);
+  const auto q2 = rig.ops.divide(x, y);
+  EXPECT_EQ(q1, q2);  // deterministic without faults
+}
+
+}  // namespace
+}  // namespace aimsc::core

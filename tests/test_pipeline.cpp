@@ -1,0 +1,99 @@
+// Discrete-event pipeline model for multi-array stage parallelism.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "energy/calibration.hpp"
+
+namespace aimsc::core {
+namespace {
+
+TEST(Pipeline, SingleStageSerial) {
+  PipelineSimulator sim({PipelineStage{"s", 10.0, 1, 1.0}});
+  const auto r = sim.run(5);
+  EXPECT_DOUBLE_EQ(r.makespanNs, 50.0);
+  EXPECT_DOUBLE_EQ(r.utilization[0], 1.0);
+}
+
+TEST(Pipeline, SingleStageParallelUnits) {
+  PipelineSimulator sim({PipelineStage{"s", 10.0, 4, 1.0}});
+  const auto r = sim.run(8);
+  EXPECT_DOUBLE_EQ(r.makespanNs, 20.0);
+  EXPECT_DOUBLE_EQ(r.utilization[0], 1.0);
+}
+
+TEST(Pipeline, TwoStageSteadyState) {
+  // Stage A 10 ns, stage B 2 ns: bottleneck A; makespan ~ n*10 + 2.
+  PipelineSimulator sim({PipelineStage{"a", 10.0, 1, 1.0},
+                         PipelineStage{"b", 2.0, 1, 1.0}});
+  const auto r = sim.run(100);
+  EXPECT_NEAR(r.makespanNs, 100 * 10.0 + 2.0, 1e-9);
+  EXPECT_EQ(r.bottleneckStage, 0u);
+  EXPECT_GT(r.utilization[0], 0.99);
+  EXPECT_LT(r.utilization[1], 0.25);
+}
+
+TEST(Pipeline, ThroughputMatchesBottleneckBound) {
+  PipelineSimulator sim({PipelineStage{"sng", 78.2, 3, 3.0},
+                         PipelineStage{"op", 2.7, 1, 1.0},
+                         PipelineStage{"adc", 0.78, 1, 1.0}});
+  EXPECT_NEAR(sim.bottleneckNsPerElement(), 78.2, 1e-9);
+  const auto r = sim.run(500);
+  const double nsPerElem = r.makespanNs / 500.0;
+  EXPECT_NEAR(nsPerElem, sim.bottleneckNsPerElement(), 1.5);
+}
+
+TEST(Pipeline, FractionalVisitsAmortize) {
+  PipelineSimulator whole({PipelineStage{"s", 10.0, 1, 1.0}});
+  PipelineSimulator half({PipelineStage{"s", 10.0, 1, 0.5}});
+  EXPECT_NEAR(half.run(100).makespanNs, whole.run(100).makespanNs / 2.0, 1.0);
+}
+
+TEST(Pipeline, MoreSngArraysRaiseThroughputUntilOpBound) {
+  // Array-count sensitivity: 3 conversions per element, so throughput
+  // scales until the SNG stage stops being the bottleneck.
+  double prev = 0;
+  for (const std::size_t arrays : {1u, 2u, 3u}) {
+    const auto sim = makeScFlowPipeline(arrays, 3.0, 1.0, 256);
+    const auto r = sim.run(200);
+    EXPECT_GT(r.throughputElemsPerSec, prev);
+    prev = r.throughputElemsPerSec;
+  }
+  // Scaling is ~linear in the SNG-bound regime.
+  const auto r1 = makeScFlowPipeline(1, 3.0, 1.0, 256).run(200);
+  const auto r3 = makeScFlowPipeline(3, 3.0, 1.0, 256).run(200);
+  EXPECT_NEAR(r3.throughputElemsPerSec / r1.throughputElemsPerSec, 3.0, 0.3);
+}
+
+TEST(Pipeline, CordivDominatesAtLongStreams) {
+  const auto noDiv = makeScFlowPipeline(3, 3.0, 2.0, 256, false);
+  const auto withDiv = makeScFlowPipeline(3, 3.0, 2.0, 256, true);
+  EXPECT_GT(withDiv.bottleneckNsPerElement(),
+            noDiv.bottleneckNsPerElement());
+}
+
+TEST(Pipeline, UtilizationNeverExceedsOne) {
+  const auto sim = makeScFlowPipeline(2, 3.0, 1.0, 128, true);
+  const auto r = sim.run(64);
+  for (const double u : r.utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-9);
+  }
+}
+
+TEST(Pipeline, Validation) {
+  EXPECT_THROW(PipelineSimulator({}), std::invalid_argument);
+  EXPECT_THROW(PipelineSimulator({PipelineStage{"s", -1.0, 1, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(PipelineSimulator({PipelineStage{"s", 1.0, 0, 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(Pipeline, ZeroElements) {
+  PipelineSimulator sim({PipelineStage{"s", 10.0, 1, 1.0}});
+  const auto r = sim.run(0);
+  EXPECT_DOUBLE_EQ(r.makespanNs, 0.0);
+  EXPECT_DOUBLE_EQ(r.throughputElemsPerSec, 0.0);
+}
+
+}  // namespace
+}  // namespace aimsc::core

@@ -1,0 +1,146 @@
+// Reliability extensions: voting redundancy in scouting logic and DMR
+// protection for the binary CIM baseline (Sec. IV-C's "protection schemes
+// exist but are costly").
+#include <gtest/gtest.h>
+
+#include "bincim/aritpim.hpp"
+#include "reram/scouting.hpp"
+
+namespace aimsc {
+namespace {
+
+reram::DeviceParams leakyDevice() {
+  reram::DeviceParams p;
+  p.sigmaLrs = 0.15;
+  p.sigmaHrs = 1.4;
+  return p;
+}
+
+TEST(Voting, RejectsInvalidVoteCounts) {
+  reram::CrossbarArray arr(4, 64, reram::DeviceParams::ideal());
+  EXPECT_THROW(reram::ScoutingLogic(arr, reram::ScoutingLogic::Fidelity::Ideal,
+                                    nullptr, 1, 2),
+               std::invalid_argument);
+  EXPECT_THROW(reram::ScoutingLogic(arr, reram::ScoutingLogic::Fidelity::Ideal,
+                                    nullptr, 1, 9),
+               std::invalid_argument);
+}
+
+TEST(Voting, ChargesVotesSensingSteps) {
+  reram::CrossbarArray arr(4, 64, reram::DeviceParams::ideal());
+  reram::ScoutingLogic sl(arr, reram::ScoutingLogic::Fidelity::Ideal, nullptr,
+                          1, 3);
+  const sc::Bitstream a(64, true);
+  const sc::Bitstream b(64);
+  sl.op2(reram::SlOp::And, a, b);
+  EXPECT_EQ(arr.events().counts().slReads, 3u);
+}
+
+TEST(Voting, IdealModeUnchanged) {
+  reram::CrossbarArray arr(4, 256, reram::DeviceParams::ideal());
+  reram::ScoutingLogic plain(arr, reram::ScoutingLogic::Fidelity::Ideal);
+  reram::ScoutingLogic voted(arr, reram::ScoutingLogic::Fidelity::Ideal,
+                             nullptr, 1, 5);
+  std::mt19937_64 eng(1);
+  sc::Bitstream a(256);
+  sc::Bitstream b(256);
+  for (std::size_t i = 0; i < 256; ++i) {
+    a.set(i, eng() & 1);
+    b.set(i, eng() & 1);
+  }
+  EXPECT_EQ(voted.op2(reram::SlOp::Xor, a, b), plain.op2(reram::SlOp::Xor, a, b));
+}
+
+TEST(Voting, TripleVoteSuppressesMisdecisions) {
+  const reram::DeviceParams dev = leakyDevice();
+  reram::CrossbarArray arr(4, 8192, dev);
+  reram::FaultModel fm(dev, 3, 40000);
+  reram::ScoutingLogic v1(arr, reram::ScoutingLogic::Fidelity::Probabilistic,
+                          &fm, 7, 1);
+  reram::ScoutingLogic v3(arr, reram::ScoutingLogic::Fidelity::Probabilistic,
+                          &fm, 7, 3);
+  const sc::Bitstream ones(8192, true);
+  const sc::Bitstream zeros(8192);
+  // AND(1,0) = 0 ideally; count spurious ones over repetitions.
+  std::size_t err1 = 0;
+  std::size_t err3 = 0;
+  for (int r = 0; r < 30; ++r) {
+    err1 += v1.op2(reram::SlOp::And, ones, zeros).popcount();
+    err3 += v3.op2(reram::SlOp::And, ones, zeros).popcount();
+  }
+  EXPECT_GT(err1, 0u);
+  // Voting error ~ 3p^2 << p: at least an order of magnitude better here.
+  EXPECT_LT(err3 * 10, err1);
+}
+
+TEST(Voting, FiveVotesAtLeastAsGoodAsThree) {
+  const reram::DeviceParams dev = leakyDevice();
+  reram::CrossbarArray arr(4, 8192, dev);
+  reram::FaultModel fm(dev, 5, 40000);
+  reram::ScoutingLogic v3(arr, reram::ScoutingLogic::Fidelity::Probabilistic,
+                          &fm, 9, 3);
+  reram::ScoutingLogic v5(arr, reram::ScoutingLogic::Fidelity::Probabilistic,
+                          &fm, 9, 5);
+  const sc::Bitstream ones(8192, true);
+  const sc::Bitstream zeros(8192);
+  std::size_t err3 = 0;
+  std::size_t err5 = 0;
+  for (int r = 0; r < 30; ++r) {
+    err3 += v3.op2(reram::SlOp::Xor, ones, zeros).size() -
+            v3.op2(reram::SlOp::Xor, ones, zeros).popcount();
+    err5 += v5.op2(reram::SlOp::Xor, ones, zeros).size() -
+            v5.op2(reram::SlOp::Xor, ones, zeros).popcount();
+  }
+  EXPECT_LE(err5, err3 + 50);
+}
+
+TEST(DmrProtection, FaultFreeBehaviourUnchangedButCostlier) {
+  bincim::MagicEngine plain(nullptr);
+  bincim::MagicEngine dmr(nullptr);
+  dmr.setProtection(bincim::MagicEngine::Protection::Dmr);
+  bincim::AritPim pPlain(plain);
+  bincim::AritPim pDmr(dmr);
+  EXPECT_EQ(pPlain.mul(123, 45, 8), pDmr.mul(123, 45, 8));
+  // Fault-free DMR executes each gate exactly twice (no tiebreaks).
+  EXPECT_EQ(dmr.gateOps(), 2 * plain.gateOps());
+}
+
+TEST(DmrProtection, ReducesArithmeticErrors) {
+  const reram::DeviceParams dev = leakyDevice();
+  reram::FaultModel fm(dev, 11, 30000);
+  auto countErrors = [&](bincim::MagicEngine::Protection prot) {
+    bincim::MagicEngine eng(&fm, 13);
+    eng.setProtection(prot);
+    bincim::AritPim pim(eng);
+    int errors = 0;
+    for (int i = 0; i < 300; ++i) {
+      if (pim.mul(200, 200, 8) != 40000u) ++errors;
+    }
+    return errors;
+  };
+  const int unprotected = countErrors(bincim::MagicEngine::Protection::None);
+  const int protectedErrs = countErrors(bincim::MagicEngine::Protection::Dmr);
+  EXPECT_GT(unprotected, 0);
+  EXPECT_LT(protectedErrs * 3, unprotected);
+}
+
+TEST(DmrProtection, GateCostApproximatelyDoubles) {
+  const reram::DeviceParams dev = leakyDevice();
+  reram::FaultModel fm(dev, 17, 30000);
+  bincim::MagicEngine eng(&fm, 19);
+  eng.setProtection(bincim::MagicEngine::Protection::Dmr);
+  bincim::AritPim pim(eng);
+  eng.resetCounter();
+  pim.mul(170, 85, 8);
+  const auto dmrOps = eng.gateOps();
+  bincim::MagicEngine plain(&fm, 19);
+  bincim::AritPim pPlain(plain);
+  pPlain.mul(170, 85, 8);
+  const double ratio = static_cast<double>(dmrOps) /
+                       static_cast<double>(plain.gateOps());
+  EXPECT_GT(ratio, 1.95);
+  EXPECT_LT(ratio, 2.2);  // tiebreaks are rare
+}
+
+}  // namespace
+}  // namespace aimsc

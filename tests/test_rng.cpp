@@ -1,0 +1,221 @@
+// Tests for the RNG sources: LFSR maximality, Sobol low-discrepancy
+// structure, software RNG uniformity, TRNG segment statistics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "sc/rng.hpp"
+
+namespace aimsc::sc {
+namespace {
+
+// --- LFSR -------------------------------------------------------------------
+
+TEST(Lfsr, Paper8BitIsMaximalLength) {
+  // The paper's printed polynomial x^8+x^5+x^3+1 is even-weight (reducible);
+  // the interpreted tap set {8,5,3,1} must give the full 2^8-1 period.
+  Lfsr lfsr = Lfsr::paper8Bit();
+  EXPECT_EQ(lfsr.period(), 255u);
+}
+
+TEST(Lfsr, VisitsEveryNonZeroState) {
+  Lfsr lfsr = Lfsr::paper8Bit(7);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 255; ++i) seen.insert(lfsr.step());
+  EXPECT_EQ(seen.size(), 255u);
+  EXPECT_EQ(seen.count(0), 0u);
+}
+
+TEST(Lfsr, ResetRestartsSequence) {
+  Lfsr lfsr = Lfsr::paper8Bit(42);
+  std::vector<std::uint32_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(lfsr.next(8));
+  lfsr.reset();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(lfsr.next(8), first[i]);
+}
+
+TEST(Lfsr, CloneReplaysFromStart) {
+  Lfsr lfsr = Lfsr::paper8Bit(42);
+  lfsr.next(8);
+  lfsr.next(8);
+  auto clone = lfsr.clone();
+  Lfsr fresh = Lfsr::paper8Bit(42);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(clone->next(8), fresh.next(8));
+}
+
+TEST(Lfsr, NarrowOutputTakesHighBits) {
+  Lfsr a = Lfsr::paper8Bit(99);
+  Lfsr b = Lfsr::paper8Bit(99);
+  for (int i = 0; i < 32; ++i) {
+    const std::uint32_t full = a.next(8);
+    EXPECT_EQ(b.next(4), full >> 4);
+  }
+}
+
+TEST(Lfsr, RejectsBadConstruction) {
+  EXPECT_THROW(Lfsr(8, {8, 5, 3, 1}, 0), std::invalid_argument);   // zero seed
+  EXPECT_THROW(Lfsr(8, {5, 3, 1}, 1), std::invalid_argument);      // no width tap
+  EXPECT_THROW(Lfsr(8, {9, 8}, 1), std::invalid_argument);         // tap > width
+  EXPECT_THROW(Lfsr(0, {}, 1), std::invalid_argument);
+  EXPECT_THROW(Lfsr(33, {33}, 1), std::invalid_argument);
+}
+
+TEST(Lfsr, SixteenBitMaximalTaps) {
+  // Standard maximal tap set {16,15,13,4}.
+  Lfsr lfsr(16, {16, 15, 13, 4}, 1);
+  EXPECT_EQ(lfsr.period(), 65535u);
+}
+
+// --- Sobol ------------------------------------------------------------------
+
+TEST(Sobol, Dim0IsVanDerCorput) {
+  Sobol s(0, /*skip=*/0);
+  // First points of the unscrambled Sobol dim-0 sequence: 0, 1/2, 3/4, 1/4...
+  EXPECT_EQ(s.next32(), 0u);
+  EXPECT_EQ(s.next32(), 0x80000000u);
+  EXPECT_EQ(s.next32(), 0xC0000000u);
+  EXPECT_EQ(s.next32(), 0x40000000u);
+}
+
+TEST(Sobol, EightBitOutputIsPerfectlyStratified) {
+  // 256 consecutive Sobol points quantized to 8 bits hit every value once —
+  // the property that makes QRNG-based SNG so accurate (Table I).
+  for (int dim = 0; dim < 4; ++dim) {
+    Sobol s(dim, 0);
+    std::set<std::uint32_t> seen;
+    for (int i = 0; i < 256; ++i) seen.insert(s.next(8));
+    EXPECT_EQ(seen.size(), 256u) << "dim " << dim;
+  }
+}
+
+TEST(Sobol, ResetWithSkipReproduces) {
+  Sobol s(1, 1);
+  std::vector<std::uint32_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(s.next32());
+  s.reset();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(s.next32(), first[i]);
+}
+
+TEST(Sobol, DimensionsDiffer) {
+  Sobol a(0, 1);
+  Sobol b(1, 1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next32() == b.next32()) ++equal;
+  }
+  EXPECT_LT(equal, 8);
+}
+
+TEST(Sobol, RejectsBadDimension) {
+  EXPECT_THROW(Sobol(-1), std::invalid_argument);
+  EXPECT_THROW(Sobol(Sobol::kMaxDimension), std::invalid_argument);
+}
+
+TEST(Sobol, UniformCoverageLowDiscrepancy) {
+  // Star-discrepancy proxy: with 1024 points in 16 bins, each bin must hold
+  // exactly 64 points for dim 0 (stratified) and near-64 for higher dims.
+  Sobol s(3, 0);
+  std::vector<int> bins(16, 0);
+  for (int i = 0; i < 1024; ++i) bins[s.next(4)]++;
+  for (const int b : bins) EXPECT_NEAR(b, 64, 4);
+}
+
+// --- software RNG -----------------------------------------------------------
+
+TEST(Mt19937Source, ResetReproduces) {
+  Mt19937Source s(123);
+  const auto a = s.next(16);
+  const auto b = s.next(16);
+  s.reset();
+  EXPECT_EQ(s.next(16), a);
+  EXPECT_EQ(s.next(16), b);
+}
+
+TEST(Mt19937Source, RoughlyUniform) {
+  Mt19937Source s(7);
+  std::vector<int> bins(8, 0);
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) bins[s.next(3)]++;
+  for (const int b : bins) EXPECT_NEAR(b, kDraws / 8, 500);
+}
+
+// --- TRNG model --------------------------------------------------------------
+
+TEST(TrngSource, UnbiasedOnesFraction) {
+  TrngSource t(11);
+  int ones = 0;
+  constexpr int kBits = 100000;
+  for (int i = 0; i < kBits; ++i) ones += t.nextBit();
+  EXPECT_NEAR(static_cast<double>(ones) / kBits, 0.5, 0.01);
+}
+
+TEST(TrngSource, BiasShiftsOnesFraction) {
+  TrngSource t(11, 0.1);
+  int ones = 0;
+  constexpr int kBits = 100000;
+  for (int i = 0; i < kBits; ++i) ones += t.nextBit();
+  EXPECT_NEAR(static_cast<double>(ones) / kBits, 0.6, 0.01);
+}
+
+TEST(TrngSource, RejectsBadBias) {
+  EXPECT_THROW(TrngSource(1, 0.6), std::invalid_argument);
+  EXPECT_THROW(TrngSource(1, -0.6), std::invalid_argument);
+}
+
+TEST(TrngSource, SegmentsAreUniform) {
+  // M-bit segments of raw bits must be uniform over [0, 2^M).
+  TrngSource t(5);
+  std::vector<int> bins(32, 0);
+  constexpr int kDraws = 64000;
+  for (int i = 0; i < kDraws; ++i) bins[t.next(5)]++;
+  for (const int b : bins) EXPECT_NEAR(b, kDraws / 32, 250);
+}
+
+TEST(TrngSource, RandomBitsFastPathMatchesLength) {
+  TrngSource t(9);
+  const Bitstream s = t.randomBits(1000);
+  EXPECT_EQ(s.size(), 1000u);
+  EXPECT_NEAR(s.value(), 0.5, 0.06);
+}
+
+TEST(TrngSource, RandomBitsBiasedPath) {
+  TrngSource t(9, 0.2);
+  const Bitstream s = t.randomBits(20000);
+  EXPECT_NEAR(s.value(), 0.7, 0.02);
+}
+
+TEST(TrngSource, ResetReproducesBits) {
+  TrngSource t(33);
+  const Bitstream a = t.randomBits(256);
+  t.reset();
+  const Bitstream b = t.randomBits(256);
+  EXPECT_EQ(a, b);
+}
+
+// --- shared interface --------------------------------------------------------
+
+TEST(RandomSource, NextUnitInRange) {
+  Mt19937Source m(1);
+  TrngSource t(2);
+  Lfsr l = Lfsr::paper8Bit();
+  Sobol s(0);
+  for (int i = 0; i < 100; ++i) {
+    for (RandomSource* src :
+         std::initializer_list<RandomSource*>{&m, &t, &l, &s}) {
+      const double u = src->nextUnit(8);
+      EXPECT_GE(u, 0.0);
+      EXPECT_LT(u, 1.0);
+    }
+  }
+}
+
+TEST(RandomSource, BadBitWidthThrows) {
+  Mt19937Source m(1);
+  EXPECT_THROW(m.next(0), std::invalid_argument);
+  EXPECT_THROW(m.next(33), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aimsc::sc

@@ -1,0 +1,133 @@
+// Scouting-logic engine: ideal exactness, event accounting, probabilistic
+// fault statistics, Monte-Carlo consistency.
+#include <gtest/gtest.h>
+
+#include "reram/fault_model.hpp"
+#include "reram/scouting.hpp"
+
+namespace aimsc::reram {
+namespace {
+
+sc::Bitstream randomStream(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 eng(seed);
+  sc::Bitstream s(n);
+  for (std::size_t i = 0; i < n; ++i) s.set(i, eng() & 1);
+  return s;
+}
+
+TEST(ScoutingIdeal, MatchesWordLevelOps) {
+  CrossbarArray arr(4, 256, DeviceParams::ideal());
+  ScoutingLogic sl(arr);
+  const auto a = randomStream(256, 1);
+  const auto b = randomStream(256, 2);
+  const auto c = randomStream(256, 3);
+  EXPECT_EQ(sl.op2(SlOp::And, a, b), (a & b));
+  EXPECT_EQ(sl.op2(SlOp::Or, a, b), (a | b));
+  EXPECT_EQ(sl.op2(SlOp::Xor, a, b), (a ^ b));
+  EXPECT_EQ(sl.op2(SlOp::Nand, a, b), ~(a & b));
+  EXPECT_EQ(sl.op2(SlOp::Nor, a, b), ~(a | b));
+  EXPECT_EQ(sl.op2(SlOp::Xnor, a, b), ~(a ^ b));
+  EXPECT_EQ(sl.op3(SlOp::Maj3, a, b, c), sc::Bitstream::majority(a, b, c));
+  EXPECT_EQ(sl.opNot(a), ~a);
+}
+
+TEST(ScoutingIdeal, OperatesOnStoredRows) {
+  CrossbarArray arr(4, 64, DeviceParams::ideal());
+  ScoutingLogic sl(arr);
+  arr.writeRow(0, randomStream(64, 4));
+  arr.writeRow(1, randomStream(64, 5));
+  const std::size_t rows[] = {0, 1};
+  EXPECT_EQ(sl.opRows(SlOp::And, rows), (arr.row(0) & arr.row(1)));
+}
+
+TEST(Scouting, EventAccounting) {
+  CrossbarArray arr(4, 64, DeviceParams::ideal());
+  ScoutingLogic sl(arr);
+  const auto a = randomStream(64, 6);
+  const auto b = randomStream(64, 7);
+  sl.op2(SlOp::And, a, b);
+  sl.op2(SlOp::Xor, a, b);
+  sl.opNot(a);
+  EXPECT_EQ(arr.events().counts().slReads, 3u);
+}
+
+TEST(Scouting, OperandValidation) {
+  CrossbarArray arr(4, 64, DeviceParams::ideal());
+  ScoutingLogic sl(arr);
+  const auto a = randomStream(64, 8);
+  const auto b = randomStream(32, 9);
+  const auto c = randomStream(64, 10);
+  EXPECT_THROW(sl.op2(SlOp::And, a, b), std::invalid_argument);       // width
+  EXPECT_THROW(sl.opStreams(SlOp::And, {}), std::invalid_argument);   // empty
+  EXPECT_THROW(sl.op2(SlOp::Maj3, a, c), std::invalid_argument);      // arity
+  EXPECT_THROW(sl.opStreams(SlOp::Xor, {&a, &c, &a}), std::invalid_argument);
+  EXPECT_THROW(sl.opStreams(SlOp::Not, {&a, &c}), std::invalid_argument);
+}
+
+TEST(Scouting, ProbabilisticNeedsFaultModel) {
+  CrossbarArray arr(4, 64);
+  EXPECT_THROW(
+      ScoutingLogic(arr, ScoutingLogic::Fidelity::Probabilistic, nullptr),
+      std::invalid_argument);
+}
+
+TEST(Scouting, ProbabilisticWithZeroSigmaIsExact) {
+  CrossbarArray arr(4, 256, DeviceParams::ideal());
+  FaultModel fm(DeviceParams::ideal(), 1, 1000);
+  ScoutingLogic sl(arr, ScoutingLogic::Fidelity::Probabilistic, &fm);
+  const auto a = randomStream(256, 11);
+  const auto b = randomStream(256, 12);
+  EXPECT_EQ(sl.op2(SlOp::And, a, b), (a & b));
+}
+
+TEST(Scouting, ProbabilisticFaultRateMatchesModel) {
+  // Statistical check: observed flip rate per pattern class tracks the
+  // model's misdecision probability.
+  DeviceParams p;
+  p.sigmaLrs = 0.12;
+  p.sigmaHrs = 1.1;
+  CrossbarArray arr(4, 4096, p);
+  FaultModel fm(p, 2, 40000);
+  ScoutingLogic sl(arr, ScoutingLogic::Fidelity::Probabilistic, &fm, 99);
+
+  const sc::Bitstream ones(4096, true);
+  const sc::Bitstream zeros(4096);
+  // Pattern: one LRS, one HRS -> AND ideal 0; flips with p(And,1,2).
+  std::size_t flips = 0;
+  constexpr int kReps = 50;
+  for (int r = 0; r < kReps; ++r) {
+    flips += sl.op2(SlOp::And, ones, zeros).popcount();
+  }
+  const double observed = static_cast<double>(flips) / (4096.0 * kReps);
+  const double expected = fm.misdecisionProb(SlOp::And, 1, 2);
+  EXPECT_NEAR(observed, expected, expected * 0.5 + 2e-5);
+}
+
+TEST(Scouting, MonteCarloAgreesWithIdealForTightDevices) {
+  DeviceParams p;  // default sigmas: negligible overlap
+  p.sigmaLrs = 0.02;
+  p.sigmaHrs = 0.05;
+  CrossbarArray arr(4, 512, p);
+  ScoutingLogic sl(arr, ScoutingLogic::Fidelity::MonteCarlo);
+  const auto a = randomStream(512, 13);
+  const auto b = randomStream(512, 14);
+  EXPECT_EQ(sl.op2(SlOp::And, a, b), (a & b));
+  EXPECT_EQ(sl.op2(SlOp::Or, a, b), (a | b));
+}
+
+TEST(Scouting, MonteCarloShowsFaultsForLeakyDevices) {
+  DeviceParams p;
+  p.sigmaLrs = 0.3;
+  p.sigmaHrs = 1.4;
+  CrossbarArray arr(4, 8192, p);
+  ScoutingLogic sl(arr, ScoutingLogic::Fidelity::MonteCarlo);
+  const sc::Bitstream ones(8192, true);
+  const sc::Bitstream zeros(8192);
+  std::size_t wrong = 0;
+  for (int r = 0; r < 10; ++r) wrong += sl.op2(SlOp::Xor, ones, zeros).popcount();
+  // XOR of (1,0) should be all ones; count misdecisions (zeros).
+  EXPECT_GT(10u * 8192u - wrong, 0u);
+}
+
+}  // namespace
+}  // namespace aimsc::reram

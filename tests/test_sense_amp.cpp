@@ -1,0 +1,96 @@
+// Sense amplifier: reference currents, ideal truth tables, decisions.
+#include <gtest/gtest.h>
+
+#include "reram/sense_amp.hpp"
+
+namespace aimsc::reram {
+namespace {
+
+TEST(SlIdeal, TwoInputTruthTables) {
+  // ones-count semantics over 2 activated rows.
+  EXPECT_FALSE(slIdeal(SlOp::And, 0, 2));
+  EXPECT_FALSE(slIdeal(SlOp::And, 1, 2));
+  EXPECT_TRUE(slIdeal(SlOp::And, 2, 2));
+
+  EXPECT_FALSE(slIdeal(SlOp::Or, 0, 2));
+  EXPECT_TRUE(slIdeal(SlOp::Or, 1, 2));
+  EXPECT_TRUE(slIdeal(SlOp::Or, 2, 2));
+
+  EXPECT_FALSE(slIdeal(SlOp::Xor, 0, 2));
+  EXPECT_TRUE(slIdeal(SlOp::Xor, 1, 2));
+  EXPECT_FALSE(slIdeal(SlOp::Xor, 2, 2));
+
+  for (int ones = 0; ones <= 2; ++ones) {
+    EXPECT_NE(slIdeal(SlOp::Nand, ones, 2), slIdeal(SlOp::And, ones, 2));
+    EXPECT_NE(slIdeal(SlOp::Nor, ones, 2), slIdeal(SlOp::Or, ones, 2));
+    EXPECT_NE(slIdeal(SlOp::Xnor, ones, 2), slIdeal(SlOp::Xor, ones, 2));
+  }
+}
+
+TEST(SlIdeal, Maj3) {
+  EXPECT_FALSE(slIdeal(SlOp::Maj3, 0, 3));
+  EXPECT_FALSE(slIdeal(SlOp::Maj3, 1, 3));
+  EXPECT_TRUE(slIdeal(SlOp::Maj3, 2, 3));
+  EXPECT_TRUE(slIdeal(SlOp::Maj3, 3, 3));
+}
+
+TEST(SlIdeal, NotSingleRow) {
+  EXPECT_TRUE(slIdeal(SlOp::Not, 0, 1));
+  EXPECT_FALSE(slIdeal(SlOp::Not, 1, 1));
+}
+
+TEST(SlIdeal, RejectsBadPattern) {
+  EXPECT_THROW(slIdeal(SlOp::And, 3, 2), std::invalid_argument);
+  EXPECT_THROW(slIdeal(SlOp::And, -1, 2), std::invalid_argument);
+}
+
+TEST(SenseAmp, ReferenceOrdering) {
+  const DeviceParams p;
+  const SenseAmp sa(p);
+  const double iLrs = p.nominalCurrent(true);
+  EXPECT_DOUBLE_EQ(sa.irefLow(SlOp::Or, 2), 0.5 * iLrs);
+  EXPECT_DOUBLE_EQ(sa.irefLow(SlOp::And, 2), 1.5 * iLrs);
+  EXPECT_DOUBLE_EQ(sa.irefLow(SlOp::And, 3), 2.5 * iLrs);
+  // Paper: MAJ3 reuses the 2-input AND reference.
+  EXPECT_DOUBLE_EQ(sa.irefLow(SlOp::Maj3, 3), sa.irefLow(SlOp::And, 2));
+  EXPECT_DOUBLE_EQ(sa.irefHigh(SlOp::Xor, 2), 1.5 * iLrs);
+  EXPECT_THROW(sa.irefHigh(SlOp::And, 2), std::invalid_argument);
+}
+
+TEST(SenseAmp, WindowOpClassification) {
+  EXPECT_TRUE(isWindowOp(SlOp::Xor));
+  EXPECT_TRUE(isWindowOp(SlOp::Xnor));
+  EXPECT_FALSE(isWindowOp(SlOp::And));
+  EXPECT_FALSE(isWindowOp(SlOp::Maj3));
+}
+
+TEST(SenseAmp, DecisionsMatchIdealAtNominalCurrents) {
+  // Exhaustive: for each op and each ones-count pattern, the SA decision on
+  // *nominal* currents must equal the ideal truth function.
+  const DeviceParams p;
+  const SenseAmp sa(p);
+  const double iL = p.nominalCurrent(true);
+  const double iH = p.nominalCurrent(false);
+  const struct {
+    SlOp op;
+    int rows;
+  } cases[] = {{SlOp::And, 2}, {SlOp::Nand, 2}, {SlOp::Or, 2},  {SlOp::Nor, 2},
+               {SlOp::Xor, 2}, {SlOp::Xnor, 2}, {SlOp::Maj3, 3}, {SlOp::Not, 1},
+               {SlOp::And, 3}, {SlOp::Or, 3}};
+  for (const auto& c : cases) {
+    for (int ones = 0; ones <= c.rows; ++ones) {
+      const double current = ones * iL + (c.rows - ones) * iH;
+      EXPECT_EQ(sa.decide(c.op, c.rows, current), slIdeal(c.op, ones, c.rows))
+          << slOpName(c.op) << " ones=" << ones << "/" << c.rows;
+    }
+  }
+}
+
+TEST(SenseAmp, OpNames) {
+  EXPECT_STREQ(slOpName(SlOp::And), "AND");
+  EXPECT_STREQ(slOpName(SlOp::Maj3), "MAJ3");
+  EXPECT_STREQ(slOpName(SlOp::Xnor), "XNOR");
+}
+
+}  // namespace
+}  // namespace aimsc::reram

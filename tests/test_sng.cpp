@@ -1,0 +1,167 @@
+// Stochastic number generation: quantization, comparator construction,
+// monotone-family property, accuracy across RNG sources (Table I trends).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sc/rng.hpp"
+#include "sc/sng.hpp"
+
+namespace aimsc::sc {
+namespace {
+
+TEST(Quantize, Endpoints) {
+  EXPECT_EQ(quantizeProbability(0.0, 8), 0u);
+  EXPECT_EQ(quantizeProbability(1.0, 8), 256u);
+  EXPECT_EQ(quantizeProbability(0.5, 8), 128u);
+}
+
+TEST(Quantize, ClampsOutOfRange) {
+  EXPECT_EQ(quantizeProbability(-0.3, 8), 0u);
+  EXPECT_EQ(quantizeProbability(1.7, 8), 256u);
+}
+
+TEST(Quantize, RoundsToNearest) {
+  EXPECT_EQ(quantizeProbability(0.5, 1), 1u);
+  EXPECT_EQ(quantizeProbability(0.26, 2), 1u);
+  EXPECT_EQ(quantizeProbability(0.24, 2), 1u);
+  EXPECT_EQ(quantizeProbability(0.1, 2), 0u);
+}
+
+TEST(Quantize, RejectsBadBits) {
+  EXPECT_THROW(quantizeProbability(0.5, 0), std::invalid_argument);
+  EXPECT_THROW(quantizeProbability(0.5, 32), std::invalid_argument);
+}
+
+TEST(GenerateSbs, ZeroThresholdGivesAllZeros) {
+  Mt19937Source src(1);
+  EXPECT_EQ(generateSbs(src, 0, 8, 128).popcount(), 0u);
+}
+
+TEST(GenerateSbs, FullThresholdGivesAllOnes) {
+  Mt19937Source src(1);
+  EXPECT_EQ(generateSbs(src, 256, 8, 128).popcount(), 128u);
+}
+
+TEST(GenerateSbs, ValueTracksProbability) {
+  Mt19937Source src(2);
+  for (const double p : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const Bitstream s = generateSbsFromProb(src, p, 8, 4096);
+    EXPECT_NEAR(s.value(), p, 0.03) << "p=" << p;
+  }
+}
+
+TEST(GenerateSbs, MonotoneFamilyProperty) {
+  // For a fixed random sequence, SBS(x1) must be bitwise contained in
+  // SBS(x2) whenever x1 <= x2 — the invariant behind SCC=+1 correlation
+  // control (DESIGN.md Sec. 6).
+  for (std::uint32_t x1 = 0; x1 <= 256; x1 += 32) {
+    for (std::uint32_t x2 = x1; x2 <= 256; x2 += 32) {
+      Mt19937Source src(77);
+      const Bitstream a = generateSbs(src, x1, 8, 256);
+      src.reset();
+      const Bitstream b = generateSbs(src, x2, 8, 256);
+      EXPECT_EQ((a & ~b).popcount(), 0u) << x1 << " !<= " << x2;
+    }
+  }
+}
+
+TEST(GenerateSbs, SobolIsExactAtFullPeriod) {
+  // 256 Sobol points hit each 8-bit value exactly once, so the SBS value is
+  // exactly x/256 — why QRNG MSE is orders of magnitude lower in Table I.
+  for (const std::uint32_t x : {32u, 100u, 128u, 200u}) {
+    Sobol src(0, 0);
+    const Bitstream s = generateSbs(src, x, 8, 256);
+    EXPECT_EQ(s.popcount(), x);
+  }
+}
+
+TEST(GenerateSbs, LfsrIsNearExactAtFullPeriod) {
+  // A maximal LFSR visits every non-zero 8-bit state once per period, so a
+  // 255-bit stream counts |{v in 1..255 : v < x}| = x-1 ones (for x >= 1).
+  for (const std::uint32_t x : {16u, 128u, 255u}) {
+    Lfsr src = Lfsr::paper8Bit();
+    const Bitstream s = generateSbs(src, x, 8, 255);
+    EXPECT_EQ(s.popcount(), x - 1);
+  }
+}
+
+TEST(ComparatorSng, SharedModeProducesCorrelatedStreams) {
+  Mt19937Source src(5);
+  ComparatorSng sng(src, 8, ComparatorSng::CorrelationMode::Shared);
+  const Bitstream a = sng.generate(0.3, 512);
+  const Bitstream b = sng.generate(0.7, 512);
+  EXPECT_EQ((a & ~b).popcount(), 0u);  // monotone containment
+}
+
+TEST(ComparatorSng, IndependentModeStreamsDiffer) {
+  Mt19937Source src(5);
+  ComparatorSng sng(src, 8, ComparatorSng::CorrelationMode::Independent);
+  const Bitstream a = sng.generate(0.5, 512);
+  const Bitstream b = sng.generate(0.5, 512);
+  EXPECT_NE(a, b);
+  // Overlap should be near the independent expectation 0.25, not 0.5.
+  EXPECT_NEAR((a & b).value(), 0.25, 0.08);
+}
+
+TEST(ComparatorSng, PixelEncoding) {
+  Mt19937Source src(9);
+  ComparatorSng sng(src, 8);
+  const Bitstream s = sng.generatePixel(255, 2048);
+  EXPECT_EQ(s.popcount(), 2048u);
+  const Bitstream z = sng.generatePixel(0, 2048);
+  EXPECT_EQ(z.popcount(), 0u);
+}
+
+// --- Table I trend checks (statistical) --------------------------------------
+
+/// MSE (in %, paper convention) of SBS generation over random targets.
+double sbsMsePercent(RandomSource& src, int mBits, std::size_t n, int samples,
+                     std::uint64_t seed) {
+  std::mt19937_64 eng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  double acc = 0.0;
+  for (int s = 0; s < samples; ++s) {
+    const double p = unit(eng);
+    const Bitstream bs = generateSbsFromProb(src, p, mBits, n);
+    const double err = bs.value() - p;
+    acc += err * err;
+  }
+  return acc / samples * 100.0;
+}
+
+TEST(SngAccuracy, MseShrinksWithStreamLength) {
+  Mt19937Source src(13);
+  const double mse32 = sbsMsePercent(src, 8, 32, 1500, 1);
+  const double mse256 = sbsMsePercent(src, 8, 256, 1500, 2);
+  EXPECT_GT(mse32, mse256 * 3);
+}
+
+TEST(SngAccuracy, SoftwareMseMatchesBinomialTheory) {
+  // For an ideal RNG, E[(value - p)^2] = E[p(1-p)]/N + quantization; with
+  // p ~ U(0,1): E[p(1-p)] = 1/6, so MSE% ~ 100/(6N).
+  Mt19937Source src(17);
+  const std::size_t n = 64;
+  const double mse = sbsMsePercent(src, 8, n, 4000, 3);
+  EXPECT_NEAR(mse, 100.0 / (6.0 * static_cast<double>(n)), 0.08);
+}
+
+TEST(SngAccuracy, SobolBeatsLfsrBeatsNothing) {
+  Sobol qrng(0, 1);
+  Lfsr prng = Lfsr::paper8Bit();
+  const double mseQ = sbsMsePercent(qrng, 8, 64, 1200, 4);
+  const double mseP = sbsMsePercent(prng, 8, 64, 1200, 4);
+  EXPECT_LT(mseQ, mseP / 5);  // Table I: Sobol ~0.008 vs LFSR ~0.554 at N=64
+}
+
+TEST(SngAccuracy, SmallerSegmentsAddQuantizationError) {
+  // Table I: M=5 rows have higher MSE than M=8/9 at long N.
+  TrngSource t5(21);
+  TrngSource t9(21);
+  const double mse5 = sbsMsePercent(t5, 5, 512, 1500, 5);
+  const double mse9 = sbsMsePercent(t9, 9, 512, 1500, 5);
+  EXPECT_GT(mse5, mse9);
+}
+
+}  // namespace
+}  // namespace aimsc::sc

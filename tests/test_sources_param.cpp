@@ -1,0 +1,127 @@
+// Cross-source property suite: every RandomSource implementation must
+// satisfy the same SNG contract (uniformity, value tracking, monotone
+// families, reset/clone reproducibility, correlation control).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "sc/correlation.hpp"
+#include "sc/lds.hpp"
+#include "sc/rng.hpp"
+#include "sc/sng.hpp"
+
+namespace aimsc::sc {
+namespace {
+
+enum class Kind { Lfsr, Sobol, Mt, Trng, P2lsg };
+
+const char* kindName(Kind k) {
+  switch (k) {
+    case Kind::Lfsr: return "Lfsr";
+    case Kind::Sobol: return "Sobol";
+    case Kind::Mt: return "Mt19937";
+    case Kind::Trng: return "Trng";
+    case Kind::P2lsg: return "P2lsg";
+  }
+  return "?";
+}
+
+std::unique_ptr<RandomSource> make(Kind k) {
+  switch (k) {
+    case Kind::Lfsr: return std::make_unique<Lfsr>(Lfsr::paper8Bit(91));
+    case Kind::Sobol: return std::make_unique<Sobol>(1, 1);
+    case Kind::Mt: return std::make_unique<Mt19937Source>(77);
+    case Kind::Trng: return std::make_unique<TrngSource>(77);
+    case Kind::P2lsg: return std::make_unique<P2lsg>(2, 0);
+  }
+  return nullptr;
+}
+
+class SourceContract : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(SourceContract, OutputsStayInRange) {
+  auto src = make(GetParam());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(src->next(8), 256u);
+    EXPECT_LT(src->next(4), 16u);
+  }
+}
+
+TEST_P(SourceContract, MeanIsCentered) {
+  auto src = make(GetParam());
+  double acc = 0;
+  constexpr int kDraws = 4096;
+  for (int i = 0; i < kDraws; ++i) acc += src->next(8);
+  const double mean = acc / kDraws;
+  // LFSR skips 0 and bit-reversal sequences start low; tolerance covers all.
+  EXPECT_NEAR(mean, 127.5, 4.0) << kindName(GetParam());
+}
+
+TEST_P(SourceContract, ResetReplaysSequence) {
+  auto src = make(GetParam());
+  std::vector<std::uint32_t> first;
+  for (int i = 0; i < 64; ++i) first.push_back(src->next(8));
+  src->reset();
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(src->next(8), first[i]);
+}
+
+TEST_P(SourceContract, CloneReplaysFromStart) {
+  auto src = make(GetParam());
+  for (int i = 0; i < 10; ++i) src->next(8);  // advance the original
+  auto clone = src->clone();
+  auto fresh = make(GetParam());
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(clone->next(8), fresh->next(8));
+}
+
+TEST_P(SourceContract, SbsValueTracksProbability) {
+  auto src = make(GetParam());
+  for (const double p : {0.2, 0.5, 0.8}) {
+    const Bitstream s = generateSbsFromProb(*src, p, 8, 4096);
+    EXPECT_NEAR(s.value(), p, 0.05) << kindName(GetParam()) << " p=" << p;
+  }
+}
+
+TEST_P(SourceContract, MonotoneFamilyUnderSharedSequence) {
+  auto src = make(GetParam());
+  for (std::uint32_t lo = 32; lo <= 192; lo += 64) {
+    src->reset();
+    const Bitstream a = generateSbs(*src, lo, 8, 512);
+    src->reset();
+    const Bitstream b = generateSbs(*src, lo + 64, 8, 512);
+    EXPECT_EQ((a & ~b).popcount(), 0u) << kindName(GetParam());
+  }
+}
+
+TEST_P(SourceContract, SharedSequenceGivesSccPlusOne) {
+  auto src = make(GetParam());
+  const auto [a, b] = makeCorrelatedPair(*src, 0.35, 0.75, 8, 1024);
+  EXPECT_GT(scc(a, b), 0.999) << kindName(GetParam());
+}
+
+TEST_P(SourceContract, NameIsNonEmpty) {
+  EXPECT_FALSE(make(GetParam())->name().empty());
+}
+
+TEST_P(SourceContract, NextUnitIsHalfOpenUnitInterval) {
+  auto src = make(GetParam());
+  double minV = 1.0;
+  double maxV = 0.0;
+  for (int i = 0; i < 2048; ++i) {
+    const double u = src->nextUnit(8);
+    minV = std::min(minV, u);
+    maxV = std::max(maxV, u);
+  }
+  EXPECT_GE(minV, 0.0);
+  EXPECT_LT(maxV, 1.0);
+  EXPECT_LT(minV, 0.05);  // reaches near both ends
+  EXPECT_GT(maxV, 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSources, SourceContract,
+                         ::testing::Values(Kind::Lfsr, Kind::Sobol, Kind::Mt,
+                                           Kind::Trng, Kind::P2lsg),
+                         [](const auto& info) { return kindName(info.param); });
+
+}  // namespace
+}  // namespace aimsc::sc

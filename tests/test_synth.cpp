@@ -1,0 +1,128 @@
+// Greater-than network synthesis: correctness (exhaustive), operation
+// counts (the paper's 5n bound), constant-folding gains.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "logic/synth.hpp"
+
+namespace aimsc::logic {
+namespace {
+
+std::vector<bool> bitsMsbFirst(std::uint32_t v, int n) {
+  std::vector<bool> out;
+  for (int i = n - 1; i >= 0; --i) out.push_back((v >> i) & 1u);
+  return out;
+}
+
+TEST(GreaterThan, GenericExhaustive4Bit) {
+  const GreaterThanNetwork net = buildGreaterThan(4);
+  for (std::uint32_t a = 0; a < 16; ++a) {
+    for (std::uint32_t r = 0; r < 16; ++r) {
+      std::vector<bool> in = bitsMsbFirst(a, 4);
+      const auto rb = bitsMsbFirst(r, 4);
+      in.insert(in.end(), rb.begin(), rb.end());
+      EXPECT_EQ(net.xag.evaluate(in)[0], a > r) << a << " > " << r;
+    }
+  }
+}
+
+TEST(GreaterThan, GenericExhaustive8BitSampled) {
+  const GreaterThanNetwork net = buildGreaterThan(8);
+  for (std::uint32_t a = 0; a < 256; a += 7) {
+    for (std::uint32_t r = 0; r < 256; r += 5) {
+      std::vector<bool> in = bitsMsbFirst(a, 8);
+      const auto rb = bitsMsbFirst(r, 8);
+      in.insert(in.end(), rb.begin(), rb.end());
+      EXPECT_EQ(net.xag.evaluate(in)[0], a > r);
+    }
+  }
+}
+
+TEST(GreaterThan, GenericCostIsFiveGatesPerBit) {
+  // Paper Sec. III-A: "implementing this network requires 5n operations".
+  for (const int n : {4, 8, 12}) {
+    const GreaterThanNetwork net = buildGreaterThan(n);
+    const SlSchedule sched = scheduleForSl(net.xag);
+    EXPECT_LE(sched.sensingSteps, static_cast<std::size_t>(5 * n));
+    EXPECT_GE(sched.sensingSteps, static_cast<std::size_t>(5 * n - 5));
+  }
+}
+
+TEST(GreaterThanConst, ExhaustiveAllThresholds8Bit) {
+  for (std::uint32_t a = 0; a < 256; a += 3) {
+    const GreaterThanNetwork net = buildGreaterThanConst(a, 8);
+    EXPECT_TRUE(net.aInputs.empty());
+    for (std::uint32_t r = 0; r < 256; r += 11) {
+      EXPECT_EQ(net.xag.evaluate(bitsMsbFirst(r, 8))[0], a > r)
+          << a << " > " << r;
+    }
+  }
+}
+
+TEST(GreaterThanConst, ZeroThresholdFoldsToConstantFalse) {
+  const GreaterThanNetwork net = buildGreaterThanConst(0, 8);
+  // 0 > r is never true: the whole output cone folds away (only dead
+  // flag-chain gates remain in the node table).
+  EXPECT_EQ(net.xag.numGatesInCone(), 0u);
+  EXPECT_EQ(scheduleForSl(net.xag).sensingSteps, 0u);
+  for (std::uint32_t r = 0; r < 256; r += 17) {
+    EXPECT_FALSE(net.xag.evaluate(bitsMsbFirst(r, 8))[0]);
+  }
+}
+
+TEST(GreaterThanConst, FoldingBeatsGenericSchedule) {
+  // The logic-synthesis ablation: constant folding must cut the sensing
+  // steps substantially below 5n for every threshold.
+  double total = 0;
+  for (std::uint32_t a = 0; a < 256; ++a) {
+    const GreaterThanNetwork net = buildGreaterThanConst(a, 8);
+    const std::size_t steps = scheduleForSl(net.xag).sensingSteps;
+    EXPECT_LT(steps, 40u) << "a=" << a;
+    total += static_cast<double>(steps);
+  }
+  EXPECT_LT(total / 256.0, 24.0);  // average well under 3n
+}
+
+TEST(GreaterThanConst, MaxThresholdMatchesComparator) {
+  const GreaterThanNetwork net = buildGreaterThanConst(255, 8);
+  // 255 > r for all r < 255.
+  EXPECT_TRUE(net.xag.evaluate(bitsMsbFirst(0, 8))[0]);
+  EXPECT_TRUE(net.xag.evaluate(bitsMsbFirst(254, 8))[0]);
+  EXPECT_FALSE(net.xag.evaluate(bitsMsbFirst(255, 8))[0]);
+}
+
+TEST(GreaterThan, DepthIsLinearChain) {
+  const GreaterThanNetwork net = buildGreaterThan(8);
+  const SlSchedule sched = scheduleForSl(net.xag);
+  EXPECT_GE(sched.depth, 8u);   // flag chain forces >= n depth
+  EXPECT_LE(sched.depth, 17u);  // ~2 levels per bit
+}
+
+TEST(GreaterThan, Validation) {
+  EXPECT_THROW(buildGreaterThan(0), std::invalid_argument);
+  EXPECT_THROW(buildGreaterThan(32), std::invalid_argument);
+  EXPECT_THROW(buildGreaterThanConst(16, 4), std::invalid_argument);
+}
+
+TEST(GreaterThan, BulkSimulationMatchesComparator) {
+  // Simulate the network over bit-plane inputs exactly as the in-memory
+  // engine does: 256 columns of random 8-bit numbers.
+  const GreaterThanNetwork net = buildGreaterThanConst(100, 8);
+  std::mt19937_64 eng(3);
+  std::vector<sc::Bitstream> planes(8, sc::Bitstream(256));
+  std::vector<std::uint32_t> rn(256);
+  for (std::size_t c = 0; c < 256; ++c) {
+    rn[c] = static_cast<std::uint32_t>(eng() & 0xff);
+    for (int bit = 0; bit < 8; ++bit) {
+      planes[static_cast<std::size_t>(bit)].set(c, (rn[c] >> (7 - bit)) & 1u);
+    }
+  }
+  const auto out = net.xag.simulate(planes);
+  for (std::size_t c = 0; c < 256; ++c) {
+    EXPECT_EQ(out[0].get(c), 100u > rn[c]) << "col " << c;
+  }
+}
+
+}  // namespace
+}  // namespace aimsc::logic

@@ -1,0 +1,106 @@
+// Operation traces: recording, serialization, replay-cost equivalence.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/accelerator.hpp"
+#include "energy/cost_model.hpp"
+#include "energy/trace.hpp"
+
+namespace aimsc::energy {
+namespace {
+
+TEST(TraceRecorder, CapturesAndMergesRuns) {
+  TraceRecorder rec;
+  rec.onEvent(reram::EventKind::SlRead, 1);
+  rec.onEvent(reram::EventKind::SlRead, 2);   // merged with previous
+  rec.onEvent(reram::EventKind::RowWrite, 1); // new record
+  rec.onEvent(reram::EventKind::SlRead, 1);   // new record (kind changed)
+  ASSERT_EQ(rec.records().size(), 3u);
+  EXPECT_EQ(rec.records()[0].count, 3u);
+  EXPECT_EQ(rec.records()[1].kind, reram::EventKind::RowWrite);
+  EXPECT_EQ(rec.totals().slReads, 4u);
+  EXPECT_EQ(rec.totals().rowWrites, 1u);
+}
+
+TEST(TraceRecorder, TextRoundTrip) {
+  TraceRecorder rec;
+  rec.onEvent(reram::EventKind::TrngBit, 2048);
+  rec.onEvent(reram::EventKind::SlRead, 40);
+  rec.onEvent(reram::EventKind::AdcConversion, 1);
+  const std::string text = rec.toString();
+  EXPECT_NE(text.find("TRNGBIT 2048"), std::string::npos);
+  const auto parsed = TraceReplayer::parse(text);
+  EXPECT_EQ(parsed, rec.records());
+}
+
+TEST(TraceReplayer, RejectsUnknownKind) {
+  EXPECT_THROW(TraceReplayer::parse("BOGUS 3\n"), std::runtime_error);
+}
+
+TEST(TraceReplayer, EmptyTrace) {
+  EXPECT_TRUE(TraceReplayer::parse("").empty());
+}
+
+TEST(Trace, AttachedRecorderSeesAcceleratorFlow) {
+  core::AcceleratorConfig cfg;
+  cfg.streamLength = 256;
+  cfg.device = reram::DeviceParams::ideal();
+  core::Accelerator acc(cfg);
+
+  TraceRecorder rec;
+  acc.array().events().attachSink(&rec);
+  const sc::Bitstream x = acc.encodeProb(0.4);
+  const sc::Bitstream y = acc.encodeProb(0.6);
+  acc.decodeCode(acc.ops().multiply(x, y));
+  acc.array().events().attachSink(nullptr);
+
+  // Trace ordering: TRNG fill precedes sensing, ADC comes last.
+  ASSERT_FALSE(rec.records().empty());
+  EXPECT_EQ(rec.records().front().kind, reram::EventKind::TrngBit);
+  EXPECT_EQ(rec.records().back().kind, reram::EventKind::AdcConversion);
+}
+
+TEST(Trace, ReplayedCostEqualsLiveCost) {
+  // The paper's trace-driven methodology: pricing a replayed trace must
+  // agree with live accounting exactly.
+  core::AcceleratorConfig cfg;
+  cfg.streamLength = 128;
+  cfg.device = reram::DeviceParams::ideal();
+  core::Accelerator acc(cfg);
+
+  TraceRecorder rec;
+  acc.array().events().attachSink(&rec);
+  acc.resetEvents();
+  const sc::Bitstream x = acc.encodeProb(0.3);
+  const sc::Bitstream y = acc.encodeProbCorrelated(0.8);
+  acc.decodePixelStored(acc.ops().divide(x, y));
+  acc.array().events().attachSink(nullptr);
+
+  const CostModel model(128);
+  const auto live = model.cost(acc.events());
+
+  // Round-trip through the text format, then price the replay.
+  const auto replayCounts =
+      TraceReplayer::aggregate(TraceReplayer::parse(rec.toString()));
+  const auto replayed = model.cost(replayCounts);
+  EXPECT_DOUBLE_EQ(replayed.totalLatencyNs(), live.totalLatencyNs());
+  EXPECT_DOUBLE_EQ(replayed.totalEnergyNJ(), live.totalEnergyNJ());
+}
+
+TEST(Trace, DetachStopsRecording) {
+  core::AcceleratorConfig cfg;
+  cfg.streamLength = 64;
+  cfg.device = reram::DeviceParams::ideal();
+  core::Accelerator acc(cfg);
+  TraceRecorder rec;
+  acc.array().events().attachSink(&rec);
+  acc.encodeProb(0.5);
+  const std::size_t before = rec.records().size();
+  acc.array().events().attachSink(nullptr);
+  acc.encodeProb(0.5);
+  EXPECT_EQ(rec.records().size(), before);
+}
+
+}  // namespace
+}  // namespace aimsc::energy

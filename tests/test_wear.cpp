@@ -1,0 +1,84 @@
+// Wear-leveling rotation of the TRNG plane region.
+#include <gtest/gtest.h>
+
+#include "reram/trng.hpp"
+#include "reram/wear.hpp"
+
+namespace aimsc::reram {
+namespace {
+
+TEST(WearLeveler, RotatesOverAlignedBases) {
+  WearLeveler wl(/*firstRow=*/2, /*windowRows=*/24, /*planeRows=*/8);
+  EXPECT_EQ(wl.positions(), 3u);
+  EXPECT_EQ(wl.nextBase(), 2u);
+  EXPECT_EQ(wl.nextBase(), 10u);
+  EXPECT_EQ(wl.nextBase(), 18u);
+  EXPECT_EQ(wl.nextBase(), 2u);  // wraps
+}
+
+TEST(WearLeveler, PlaneSetsNeverStraddlePositions) {
+  WearLeveler wl(0, 20, 8);  // only 2 full positions fit
+  EXPECT_EQ(wl.positions(), 2u);
+  for (int i = 0; i < 8; ++i) {
+    const std::size_t base = wl.nextBase();
+    EXPECT_LE(base + 8, 20u);
+    EXPECT_EQ(base % 8, 0u);
+  }
+}
+
+TEST(WearLeveler, Validation) {
+  EXPECT_THROW(WearLeveler(0, 4, 8), std::invalid_argument);
+  EXPECT_THROW(WearLeveler(0, 8, 0), std::invalid_argument);
+}
+
+TEST(WearLeveler, SpreadsRefreshTrafficEvenly) {
+  CrossbarArray arr(26, 64, DeviceParams::ideal());
+  ReramTrng trng(1);
+  WearLeveler wl(2, 24, 8);
+  // 90 refreshes over 3 positions: each window row absorbs exactly 30.
+  for (int i = 0; i < 90; ++i) trng.fillRows(arr, wl.nextBase(), 8);
+  EXPECT_EQ(WearLeveler::wearSpread(arr, 2, 24), 0u);
+  EXPECT_EQ(arr.rowWriteCycles(2), 30u);
+  EXPECT_EQ(arr.rowWriteCycles(25), 30u);
+}
+
+TEST(WearLeveler, UnleveledBaselineConcentratesWear) {
+  CrossbarArray arr(26, 64, DeviceParams::ideal());
+  ReramTrng trng(1);
+  for (int i = 0; i < 90; ++i) trng.fillRows(arr, 2, 8);  // fixed base
+  // Rows 2..9 take all 90 cycles, rows 10..25 none.
+  EXPECT_EQ(WearLeveler::wearSpread(arr, 2, 24), 90u);
+}
+
+TEST(WearLeveler, PartialRotationSpreadBound) {
+  CrossbarArray arr(26, 64, DeviceParams::ideal());
+  ReramTrng trng(1);
+  WearLeveler wl(2, 24, 8);
+  // 91 refreshes: one position gets one extra pass.
+  for (int i = 0; i < 91; ++i) trng.fillRows(arr, wl.nextBase(), 8);
+  EXPECT_EQ(WearLeveler::wearSpread(arr, 2, 24), 1u);
+}
+
+TEST(WearLeveler, ExtendsLifetimeProportionally) {
+  // With E endurance cycles per row and P rotation positions, the region
+  // sustains P*E refreshes instead of E.
+  DeviceParams p;
+  p.enduranceCycles = 10;
+  CrossbarArray arr(16, 16, p);
+  ReramTrng trng(3);
+  WearLeveler wl(0, 16, 4);  // 4 positions
+  int refreshes = 0;
+  while (true) {
+    const std::size_t base = wl.nextBase();
+    bool worn = false;
+    for (std::size_t r = base; r < base + 4; ++r) worn |= arr.rowWornOut(r);
+    if (worn) break;
+    trng.fillRows(arr, base, 4);
+    ++refreshes;
+    ASSERT_LT(refreshes, 1000);
+  }
+  EXPECT_EQ(refreshes, 4 * 10);
+}
+
+}  // namespace
+}  // namespace aimsc::reram

@@ -1,0 +1,130 @@
+// XAG logic representation: folding, hashing, evaluation, bulk simulation.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "logic/xag.hpp"
+
+namespace aimsc::logic {
+namespace {
+
+TEST(Xag, ConstantsAndInputs) {
+  Xag g;
+  EXPECT_EQ(g.numInputs(), 0u);
+  const Literal a = g.addInput("a");
+  const Literal b = g.addInput("b");
+  EXPECT_EQ(g.numInputs(), 2u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(g.inputName(0), "a");
+  EXPECT_EQ(g.constantTrue(), complementLiteral(g.constantFalse()));
+}
+
+TEST(Xag, AndConstantFolding) {
+  Xag g;
+  const Literal a = g.addInput("a");
+  EXPECT_EQ(g.addAnd(a, g.constantFalse()), g.constantFalse());
+  EXPECT_EQ(g.addAnd(g.constantTrue(), a), a);
+  EXPECT_EQ(g.addAnd(a, a), a);
+  EXPECT_EQ(g.addAnd(a, complementLiteral(a)), g.constantFalse());
+  EXPECT_EQ(g.numGates(), 0u);  // everything folded
+}
+
+TEST(Xag, XorConstantFolding) {
+  Xag g;
+  const Literal a = g.addInput("a");
+  EXPECT_EQ(g.addXor(a, g.constantFalse()), a);
+  EXPECT_EQ(g.addXor(a, g.constantTrue()), complementLiteral(a));
+  EXPECT_EQ(g.addXor(a, a), g.constantFalse());
+  EXPECT_EQ(g.addXor(a, complementLiteral(a)), g.constantTrue());
+  EXPECT_EQ(g.numGates(), 0u);
+}
+
+TEST(Xag, StructuralHashing) {
+  Xag g;
+  const Literal a = g.addInput("a");
+  const Literal b = g.addInput("b");
+  const Literal x1 = g.addAnd(a, b);
+  const Literal x2 = g.addAnd(b, a);  // commuted -> same node
+  EXPECT_EQ(x1, x2);
+  EXPECT_EQ(g.numAnds(), 1u);
+  const Literal y1 = g.addXor(a, b);
+  const Literal y2 = g.addXor(complementLiteral(a), b);  // = ~XOR(a,b)
+  EXPECT_EQ(y2, complementLiteral(y1));
+  EXPECT_EQ(g.numXors(), 1u);
+}
+
+TEST(Xag, EvaluateBasicGates) {
+  Xag g;
+  const Literal a = g.addInput("a");
+  const Literal b = g.addInput("b");
+  g.addOutput(g.addAnd(a, b));
+  g.addOutput(g.addXor(a, b));
+  g.addOutput(g.addOr(a, b));
+  for (const bool va : {false, true}) {
+    for (const bool vb : {false, true}) {
+      const auto out = g.evaluate({va, vb});
+      EXPECT_EQ(out[0], va && vb);
+      EXPECT_EQ(out[1], va != vb);
+      EXPECT_EQ(out[2], va || vb);
+    }
+  }
+}
+
+TEST(Xag, EvaluateInputCountMismatch) {
+  Xag g;
+  g.addInput("a");
+  g.addOutput(g.constantTrue());
+  EXPECT_THROW(g.evaluate({}), std::invalid_argument);
+}
+
+TEST(Xag, Depth) {
+  Xag g;
+  const Literal a = g.addInput("a");
+  const Literal b = g.addInput("b");
+  const Literal c = g.addInput("c");
+  const Literal t1 = g.addAnd(a, b);
+  const Literal t2 = g.addAnd(t1, c);
+  g.addOutput(t2);
+  EXPECT_EQ(g.depth(), 2u);
+}
+
+TEST(Xag, SimulateMatchesEvaluate) {
+  // Bulk simulation over 64 columns == 64 scalar evaluations.
+  Xag g;
+  const Literal a = g.addInput("a");
+  const Literal b = g.addInput("b");
+  const Literal c = g.addInput("c");
+  g.addOutput(g.addXor(g.addAnd(a, complementLiteral(b)), c));
+  std::mt19937_64 eng(5);
+  std::vector<sc::Bitstream> ins(3, sc::Bitstream(64));
+  for (auto& s : ins) {
+    for (std::size_t i = 0; i < 64; ++i) s.set(i, eng() & 1);
+  }
+  const auto outs = g.simulate(ins);
+  ASSERT_EQ(outs.size(), 1u);
+  for (std::size_t i = 0; i < 64; ++i) {
+    const auto scalar = g.evaluate({ins[0].get(i), ins[1].get(i), ins[2].get(i)});
+    EXPECT_EQ(outs[0].get(i), scalar[0]) << "col " << i;
+  }
+}
+
+TEST(Xag, SimulateValidatesWidths) {
+  Xag g;
+  g.addInput("a");
+  g.addInput("b");
+  g.addOutput(g.constantTrue());
+  EXPECT_THROW(g.simulate({sc::Bitstream(8)}), std::invalid_argument);
+  EXPECT_THROW(g.simulate({sc::Bitstream(8), sc::Bitstream(9)}),
+               std::invalid_argument);
+}
+
+TEST(Literals, Encoding) {
+  EXPECT_EQ(literalNode(makeLiteral(5, true)), 5u);
+  EXPECT_TRUE(literalComplemented(makeLiteral(5, true)));
+  EXPECT_FALSE(literalComplemented(makeLiteral(5, false)));
+  EXPECT_EQ(complementLiteral(complementLiteral(makeLiteral(7, false))),
+            makeLiteral(7, false));
+}
+
+}  // namespace
+}  // namespace aimsc::logic
