@@ -1,10 +1,115 @@
 // Reproduces paper Fig. 5: normalized throughput of the CMOS-based and
 // ReRAM-based SC designs over the binary CIM reference (ref = 1.0).
+//
+// Part 2 measures the *simulator's* wall-clock throughput: the serial
+// per-pixel path vs the tile-parallel engine (batched IMSNG + lane-pinned
+// row tiles) across worker-thread counts, verifying that the tiled output
+// is bit-identical at every thread count.  Results are also written to
+// BENCH_throughput.json so the perf trajectory is machine-trackable.
+#include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "apps/runner.hpp"
 #include "energy/report.hpp"
 #include "energy/system_model.hpp"
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct SweepPoint {
+  std::size_t threads;
+  double pixelsPerSec;
+  double speedup;
+};
+
+void measuredSweep() {
+  using namespace aimsc;
+  constexpr std::size_t kW = 256;
+  constexpr std::size_t kH = 256;
+  constexpr std::size_t kPixels = kW * kH;
+
+  apps::RunConfig cfg;
+  cfg.width = kW;
+  cfg.height = kH;
+  cfg.streamLength = 256;
+
+  const apps::CompositingScene scene =
+      apps::makeCompositingScene(kW, kH, cfg.seed);
+
+  std::printf(
+      "\nMeasured simulator throughput: %zux%zu compositing, N=%zu\n",
+      kW, kH, cfg.streamLength);
+
+  // Serial baseline: the per-pixel path (fresh planes per operand set),
+  // configured exactly like the tiled lanes (device params included).
+  core::Accelerator serialAcc(apps::tileConfigFor(cfg, apps::ParallelConfig{}).mat);
+  const auto t0 = std::chrono::steady_clock::now();
+  const img::Image serialOut = apps::compositeReramSc(scene, serialAcc);
+  const double serialSec = secondsSince(t0);
+  const double serialPps = static_cast<double>(kPixels) / serialSec;
+  std::printf("  serial per-pixel path: %8.0f pixels/s (%.2fs)\n", serialPps,
+              serialSec);
+
+  apps::ParallelConfig par;  // lanes=8, rowsPerTile=4
+  std::vector<SweepPoint> sweep;
+  img::Image firstTiled;
+  bool bitIdentical = true;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}, std::size_t{8}}) {
+    par.threads = threads;
+    core::TileExecutor exec(apps::tileConfigFor(cfg, par));
+    const auto t1 = std::chrono::steady_clock::now();
+    const img::Image tiled = apps::compositeReramScTiled(scene, exec);
+    const double sec = secondsSince(t1);
+    const double pps = static_cast<double>(kPixels) / sec;
+    sweep.push_back({threads, pps, pps / serialPps});
+    if (firstTiled.empty()) {
+      firstTiled = tiled;
+    } else if (tiled.pixels() != firstTiled.pixels()) {
+      bitIdentical = false;
+    }
+    std::printf("  tiled engine, %zu thread%s: %8.0f pixels/s (%.2fx serial)\n",
+                threads, threads == 1 ? " " : "s", pps, pps / serialPps);
+  }
+  std::printf("  bit-identical across thread counts: %s\n",
+              bitIdentical ? "yes" : "NO (BUG)");
+
+  // Machine-readable trajectory for future PRs.
+  FILE* f = std::fopen("BENCH_throughput.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"app\": \"compositing\",\n"
+                 "  \"width\": %zu,\n"
+                 "  \"height\": %zu,\n"
+                 "  \"stream_length\": %zu,\n"
+                 "  \"lanes\": %zu,\n"
+                 "  \"rows_per_tile\": %zu,\n"
+                 "  \"serial_pixels_per_sec\": %.1f,\n"
+                 "  \"bit_identical_across_threads\": %s,\n"
+                 "  \"tiled\": [\n",
+                 kW, kH, cfg.streamLength, par.lanes, par.rowsPerTile,
+                 serialPps, bitIdentical ? "true" : "false");
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"threads\": %zu, \"pixels_per_sec\": %.1f, "
+                   "\"speedup_vs_serial\": %.2f}%s\n",
+                   sweep[i].threads, sweep[i].pixelsPerSec, sweep[i].speedup,
+                   i + 1 < sweep.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::puts("  wrote BENCH_throughput.json");
+  }
+}
+
+}  // namespace
 
 int main() {
   using namespace aimsc;
@@ -53,5 +158,7 @@ int main() {
       "\n=> ReRAM-SC vs binary CIM: %.2fx (paper: 2.16x); vs CMOS-SC: %.2fx"
       " (paper: 1.39x)\n",
       avgReram, avgCmos, avgReram, avgReram / avgCmos);
+
+  measuredSweep();
   return 0;
 }

@@ -110,6 +110,41 @@ img::Image upscaleReramSc(const img::Image& src, std::size_t factor,
   return out;
 }
 
+img::Image upscaleReramScTiled(const img::Image& src, std::size_t factor,
+                               core::TileExecutor& exec) {
+  if (factor < 1) throw std::invalid_argument("upscale: bad factor");
+  const std::size_t W = src.width() * factor;
+  const std::size_t H = src.height() * factor;
+  img::Image out(W, H);
+  exec.forEachTile(H, [&](core::Accelerator& acc, std::size_t r0,
+                          std::size_t r1) {
+    // Batch layout: the four neighbour planes stacked [i11 | i12 | i21 | i22]
+    // so the whole family shares one epoch (each MAJ stage needs its data
+    // inputs correlated); dx selects take a second epoch, dy a third.
+    std::vector<std::uint8_t> data(4 * W);
+    std::vector<std::uint8_t> dxRow(W);
+    for (std::size_t Y = r0; Y < r1; ++Y) {
+      const SampleCoord cy = mapCoord(Y, H, src.height());
+      for (std::size_t X = 0; X < W; ++X) {
+        const SampleCoord cx = mapCoord(X, W, src.width());
+        data[X] = src.at(cx.i0, cy.i0);
+        data[W + X] = src.at(cx.i0, cy.i1);
+        data[2 * W + X] = src.at(cx.i1, cy.i0);
+        data[3 * W + X] = src.at(cx.i1, cy.i1);
+        dxRow[X] = cx.frac;
+      }
+      const auto ds = acc.encodePixels(data);
+      const auto sxs = acc.encodePixels(dxRow);
+      const sc::Bitstream sy = acc.encodePixel(cy.frac);
+      for (std::size_t X = 0; X < W; ++X) {
+        out.at(X, Y) = acc.decodePixel(acc.ops().majMux4(
+            ds[X], ds[W + X], ds[2 * W + X], ds[3 * W + X], sxs[X], sy));
+      }
+    }
+  });
+  return out;
+}
+
 img::Image upscaleBinaryCim(const img::Image& src, std::size_t factor,
                             bincim::MagicEngine& engine) {
   bincim::AritPim pim(engine);

@@ -11,6 +11,7 @@
 
 #include "bincim/aritpim.hpp"
 #include "core/accelerator.hpp"
+#include "core/tile_executor.hpp"
 #include "energy/cmos_baseline.hpp"
 #include "img/image.hpp"
 
@@ -30,6 +31,12 @@ img::Image upscaleReramSc(const img::Image& src, std::size_t factor,
 /// Binary CIM baseline (three integer lerps).
 img::Image upscaleBinaryCim(const img::Image& src, std::size_t factor,
                             bincim::MagicEngine& engine);
+
+/// Tile-parallel variant: output rows sharded over the engine's lanes; per
+/// row one epoch carries the four correlated source streams (batched
+/// IMSNG), one epoch the dx selects and one the row-constant dy select.
+img::Image upscaleReramScTiled(const img::Image& src, std::size_t factor,
+                               core::TileExecutor& exec);
 
 /// Shared source-coordinate mapping: output X -> source coordinate
 /// (integer base index and 8-bit fractional weight).

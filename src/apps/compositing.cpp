@@ -98,6 +98,35 @@ img::Image compositeReramScParallel(const CompositingScene& scene,
   return out;
 }
 
+img::Image compositeReramScTiled(const CompositingScene& scene,
+                                 core::TileExecutor& exec) {
+  const std::size_t w = scene.background.width();
+  img::Image out(w, scene.background.height());
+  exec.forEachTile(out.height(), [&](core::Accelerator& acc, std::size_t r0,
+                                     std::size_t r1) {
+    std::vector<std::uint8_t> frow(w);
+    std::vector<std::uint8_t> brow(w);
+    std::vector<std::uint8_t> arow(w);
+    for (std::size_t y = r0; y < r1; ++y) {
+      for (std::size_t x = 0; x < w; ++x) {
+        frow[x] = scene.foreground.at(x, y);
+        brow[x] = scene.background.at(x, y);
+        arow[x] = scene.alpha.at(x, y);
+      }
+      // Correlation exactly as the scalar path, amortized over the row:
+      // F and B share one epoch (MAJ ~ MUX needs them correlated), alpha
+      // gets its own (the select must be independent).
+      const auto fs = acc.encodePixels(frow);
+      const auto bs = acc.encodePixelsCorrelated(brow);
+      const auto as = acc.encodePixels(arow);
+      for (std::size_t x = 0; x < w; ++x) {
+        out.at(x, y) = acc.decodePixel(acc.ops().majMux(fs[x], bs[x], as[x]));
+      }
+    }
+  });
+  return out;
+}
+
 img::Image compositeBinaryCim(const CompositingScene& scene,
                               bincim::MagicEngine& engine) {
   bincim::AritPim pim(engine);

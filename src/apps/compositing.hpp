@@ -15,6 +15,7 @@
 #include "bincim/aritpim.hpp"
 #include "core/accelerator.hpp"
 #include "core/mat_group.hpp"
+#include "core/tile_executor.hpp"
 #include "energy/cmos_baseline.hpp"
 #include "img/image.hpp"
 
@@ -52,5 +53,12 @@ img::Image compositeBinaryCim(const CompositingScene& scene,
 /// lanes (Sec. III: "multiple arrays to parallelize and pipeline").
 img::Image compositeReramScParallel(const CompositingScene& scene,
                                     core::MatGroup& mats);
+
+/// Tile-parallel variant on the execution engine: row tiles pinned to
+/// lanes, one randomness epoch per image row for the correlated F/B pair
+/// and one for alpha (batched IMSNG).  Output is bit-identical for any
+/// thread count of \p exec.
+img::Image compositeReramScTiled(const CompositingScene& scene,
+                                 core::TileExecutor& exec);
 
 }  // namespace aimsc::apps

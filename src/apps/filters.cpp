@@ -58,6 +58,46 @@ img::Image smoothReramSc(const img::Image& src, core::Accelerator& acc) {
   return out;
 }
 
+img::Image smoothReramScTiled(const img::Image& src, core::TileExecutor& exec) {
+  img::Image out = src;  // borders copy through
+  if (src.width() < 3 || src.height() < 3) return out;
+  const std::size_t iw = src.width() - 2;  // interior columns [1, w-1)
+  exec.forEachTile(src.height(), [&](core::Accelerator& acc, std::size_t r0,
+                                     std::size_t r1) {
+    std::vector<std::uint8_t> data(8 * iw);
+    const std::size_t yBegin = std::max<std::size_t>(r0, 1);
+    const std::size_t yEnd = std::min(r1, src.height() - 1);
+    for (std::size_t y = yBegin; y < yEnd; ++y) {
+      for (std::size_t x = 1; x + 1 < src.width(); ++x) {
+        for (int i = 0; i < 8; ++i) {
+          data[static_cast<std::size_t>(i) * iw + (x - 1)] =
+              src.at(x + static_cast<std::size_t>(kNeighbour[i][0]),
+                     y + static_cast<std::size_t>(kNeighbour[i][1]));
+        }
+      }
+      // One epoch for the 8-neighbour family (scaled addition tolerates any
+      // input correlation); seven independent select epochs, each shared by
+      // the whole row.
+      const auto ns = acc.encodePixels(data);
+      sc::Bitstream half[7];
+      for (auto& h : half) h = acc.halfStream();
+      for (std::size_t x = 1; x + 1 < src.width(); ++x) {
+        const std::size_t c = x - 1;
+        sc::Bitstream l1[4];
+        for (std::size_t i = 0; i < 4; ++i) {
+          l1[i] = acc.ops().scaledAdd(ns[2 * i * iw + c], ns[(2 * i + 1) * iw + c],
+                                      half[i]);
+        }
+        const sc::Bitstream l2a = acc.ops().scaledAdd(l1[0], l1[1], half[4]);
+        const sc::Bitstream l2b = acc.ops().scaledAdd(l1[2], l1[3], half[5]);
+        const sc::Bitstream mean = acc.ops().scaledAdd(l2a, l2b, half[6]);
+        out.at(x, y) = acc.decodePixel(mean);
+      }
+    }
+  });
+  return out;
+}
+
 img::Image smoothBinaryCim(const img::Image& src, bincim::MagicEngine& engine) {
   bincim::AritPim pim(engine);
   img::Image out = src;
@@ -109,6 +149,36 @@ img::Image edgeReramSc(const img::Image& src, core::Accelerator& acc) {
       out.at(x, y) = acc.decodePixel(mag);
     }
   }
+  return out;
+}
+
+img::Image edgeReramScTiled(const img::Image& src, core::TileExecutor& exec) {
+  img::Image out(src.width(), src.height(), 0);
+  if (src.width() < 2 || src.height() < 2) return out;
+  const std::size_t iw = src.width() - 1;  // windows start at x in [0, w-1)
+  exec.forEachTile(src.height(), [&](core::Accelerator& acc, std::size_t r0,
+                                     std::size_t r1) {
+    std::vector<std::uint8_t> data(4 * iw);
+    const std::size_t yEnd = std::min(r1, src.height() - 1);
+    for (std::size_t y = r0; y < yEnd; ++y) {
+      for (std::size_t x = 0; x + 1 < src.width(); ++x) {
+        data[x] = src.at(x, y);                  // a
+        data[iw + x] = src.at(x + 1, y + 1);     // d
+        data[2 * iw + x] = src.at(x + 1, y);     // b
+        data[3 * iw + x] = src.at(x, y + 1);     // c
+      }
+      // One correlated family per row (XOR measures |.| exactly on
+      // monotone streams) + one independent select epoch.
+      const auto ws = acc.encodePixels(data);
+      const sc::Bitstream half = acc.halfStream();
+      for (std::size_t x = 0; x + 1 < src.width(); ++x) {
+        const sc::Bitstream g1 = acc.ops().absSub(ws[x], ws[iw + x]);
+        const sc::Bitstream g2 = acc.ops().absSub(ws[2 * iw + x], ws[3 * iw + x]);
+        const sc::Bitstream mag = acc.ops().scaledAdd(g1, g2, half);
+        out.at(x, y) = acc.decodePixel(mag);
+      }
+    }
+  });
   return out;
 }
 

@@ -14,6 +14,7 @@
 
 #include "bincim/aritpim.hpp"
 #include "core/accelerator.hpp"
+#include "core/tile_executor.hpp"
 #include "img/image.hpp"
 
 namespace aimsc::apps {
@@ -23,10 +24,19 @@ img::Image smoothReference(const img::Image& src);
 img::Image smoothReramSc(const img::Image& src, core::Accelerator& acc);
 img::Image smoothBinaryCim(const img::Image& src, bincim::MagicEngine& engine);
 
+/// Tile-parallel smoothing: per row one epoch carries the 8 correlated
+/// neighbour batches; the seven MAJ selects are seven fresh epochs shared
+/// across the row (batched IMSNG on the tile's lane).
+img::Image smoothReramScTiled(const img::Image& src, core::TileExecutor& exec);
+
 /// Roberts-cross edge magnitude: (|I(x,y)-I(x+1,y+1)| + |I(x+1,y)-I(x,y+1)|)/2.
 img::Image edgeReference(const img::Image& src);
 img::Image edgeReramSc(const img::Image& src, core::Accelerator& acc);
 img::Image edgeBinaryCim(const img::Image& src, bincim::MagicEngine& engine);
+
+/// Tile-parallel edge detection: one epoch per row for the correlated
+/// 4-pixel window family plus one fresh select epoch.
+img::Image edgeReramScTiled(const img::Image& src, core::TileExecutor& exec);
 
 /// Gamma correction v' = v^gamma via Bernstein synthesis (sc/bernstein.hpp):
 /// the in-memory flow computes the degree-n Bernstein approximation with

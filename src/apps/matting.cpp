@@ -84,6 +84,36 @@ img::Image mattingReramSc(const MattingScene& scene, core::Accelerator& acc) {
   return out;
 }
 
+img::Image mattingReramScTiled(const MattingScene& scene,
+                               core::TileExecutor& exec) {
+  const std::size_t w = scene.composite.width();
+  img::Image out(w, scene.composite.height());
+  exec.forEachTile(out.height(), [&](core::Accelerator& acc, std::size_t r0,
+                                     std::size_t r1) {
+    std::vector<std::uint8_t> irow(w);
+    std::vector<std::uint8_t> brow(w);
+    std::vector<std::uint8_t> frow(w);
+    for (std::size_t y = r0; y < r1; ++y) {
+      for (std::size_t x = 0; x < w; ++x) {
+        irow[x] = scene.composite.at(x, y);
+        brow[x] = scene.background.at(x, y);
+        frow[x] = scene.foreground.at(x, y);
+      }
+      // One epoch, three correlated batches: the CORDIV precondition.
+      const auto is = acc.encodePixels(irow);
+      const auto bs = acc.encodePixelsCorrelated(brow);
+      const auto fs = acc.encodePixelsCorrelated(frow);
+      for (std::size_t x = 0; x < w; ++x) {
+        const sc::Bitstream num = acc.ops().absSub(is[x], bs[x]);
+        const sc::Bitstream den = acc.ops().absSub(fs[x], bs[x]);
+        const sc::Bitstream q = acc.ops().divide(num, den);
+        out.at(x, y) = acc.decodePixelStored(q);
+      }
+    }
+  });
+  return out;
+}
+
 img::Image mattingBinaryCim(const MattingScene& scene,
                             bincim::MagicEngine& engine) {
   bincim::AritPim pim(engine);

@@ -42,6 +42,12 @@ img::Image mattingReramSc(const MattingScene& scene, core::Accelerator& acc);
 img::Image mattingBinaryCim(const MattingScene& scene,
                             bincim::MagicEngine& engine);
 
+/// Tile-parallel variant: one epoch per row carries the correlated I/B/F
+/// triple (batched IMSNG); XOR, CORDIV and the resistance-mode decode run
+/// per pixel on the tile's lane.
+img::Image mattingReramScTiled(const MattingScene& scene,
+                               core::TileExecutor& exec);
+
 /// Re-blend used by the Table IV evaluation.
 img::Image blendWithAlpha(const MattingScene& scene, const img::Image& alpha);
 

@@ -70,6 +70,41 @@ Quality runReramSc(AppKind app, const RunConfig& cfg) {
   throw std::invalid_argument("runReramSc: bad app");
 }
 
+core::TileExecutorConfig tileConfigFor(const RunConfig& cfg,
+                                       const ParallelConfig& par) {
+  core::TileExecutorConfig tc;
+  tc.lanes = par.lanes;
+  tc.threads = par.threads;
+  tc.rowsPerTile = par.rowsPerTile;
+  tc.mat = accelConfigFor(cfg);
+  return tc;
+}
+
+Quality runReramScTiled(AppKind app, const RunConfig& cfg,
+                        const ParallelConfig& par) {
+  core::TileExecutor exec(tileConfigFor(cfg, par));
+  switch (app) {
+    case AppKind::Compositing: {
+      const CompositingScene scene =
+          makeCompositingScene(cfg.width, cfg.height, cfg.seed);
+      return compareQuality(compositeReramScTiled(scene, exec),
+                            compositeReference(scene));
+    }
+    case AppKind::Bilinear: {
+      const img::Image src = srcImageFor(cfg);
+      return compareQuality(upscaleReramScTiled(src, cfg.upscaleFactor, exec),
+                            upscaleReference(src, cfg.upscaleFactor));
+    }
+    case AppKind::Matting: {
+      const MattingScene scene =
+          makeMattingScene(cfg.width, cfg.height, cfg.seed);
+      const img::Image alpha = mattingReramScTiled(scene, exec);
+      return compareQuality(blendWithAlpha(scene, alpha), scene.composite);
+    }
+  }
+  throw std::invalid_argument("runReramScTiled: bad app");
+}
+
 Quality runBinaryCim(AppKind app, const RunConfig& cfg) {
   std::unique_ptr<reram::FaultModel> fm;
   if (cfg.injectFaults) {

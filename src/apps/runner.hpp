@@ -14,6 +14,7 @@
 #include "apps/bilinear.hpp"
 #include "apps/compositing.hpp"
 #include "apps/matting.hpp"
+#include "core/tile_executor.hpp"
 #include "energy/system_model.hpp"
 
 namespace aimsc::apps {
@@ -48,6 +49,23 @@ reram::DeviceParams defaultFaultyDevice();
 Quality runReramSc(AppKind app, const RunConfig& cfg);
 Quality runBinaryCim(AppKind app, const RunConfig& cfg);
 Quality runSwSc(AppKind app, const RunConfig& cfg, energy::CmosSng sng);
+
+/// Tile engine knobs for the parallel runs.
+struct ParallelConfig {
+  std::size_t lanes = 8;        ///< fixed mat count (determinism anchor)
+  std::size_t threads = 0;      ///< worker threads; 0 = inline
+  std::size_t rowsPerTile = 4;  ///< tile granularity
+};
+
+/// Runs the ReRAM-SC design on the tile-parallel engine.  Output quality is
+/// in the same class as runReramSc; results are bit-identical for any
+/// `threads` value given fixed `lanes`/`rowsPerTile`.
+Quality runReramScTiled(AppKind app, const RunConfig& cfg,
+                        const ParallelConfig& par);
+
+/// Builds the tile executor the parallel runs use (exposed for benches).
+core::TileExecutorConfig tileConfigFor(const RunConfig& cfg,
+                                       const ParallelConfig& par);
 
 /// Per-element workload profile feeding the Fig. 4/5 system model; binary
 /// CIM gate counts are measured by running the kernels once (cached).

@@ -67,6 +67,17 @@ sc::Bitstream Accelerator::encodePixelCorrelated(std::uint8_t v) {
   return encodeProbCorrelated(static_cast<double>(v) / 255.0);
 }
 
+std::vector<sc::Bitstream> Accelerator::encodePixels(
+    std::span<const std::uint8_t> values) {
+  imsng_->refreshRandomness();
+  return imsng_->encodePixelBatch(values);
+}
+
+std::vector<sc::Bitstream> Accelerator::encodePixelsCorrelated(
+    std::span<const std::uint8_t> values) {
+  return imsng_->encodePixelBatch(values);
+}
+
 sc::Bitstream Accelerator::halfStream() { return encodeProb(0.5); }
 
 void Accelerator::refreshRandomness() { imsng_->refreshRandomness(); }

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "core/imops.hpp"
 #include "core/ims2b.hpp"
@@ -61,6 +63,19 @@ class Accelerator {
   /// Independent / correlated 8-bit pixel encodings (p = v/255).
   sc::Bitstream encodePixel(std::uint8_t v);
   sc::Bitstream encodePixelCorrelated(std::uint8_t v);
+
+  /// Batched pixel encoding: deposits ONE fresh set of TRNG planes, then
+  /// converts every value against it (one randomness epoch).  All returned
+  /// streams are mutually correlated; the epoch is independent of any
+  /// earlier encode.  Amortizes the M-row plane deposit and the per-pixel
+  /// allocations of the scalar path — the hot path of the tile engine.
+  std::vector<sc::Bitstream> encodePixels(std::span<const std::uint8_t> values);
+
+  /// Same, but re-uses the CURRENT planes: the batch is maximally
+  /// correlated with the previous encode* call (e.g. foreground/background
+  /// operand pairs, Sec. II-B correlation control).
+  std::vector<sc::Bitstream> encodePixelsCorrelated(
+      std::span<const std::uint8_t> values);
 
   /// Independent P=0.5 select stream (for MAJ scaled addition).
   sc::Bitstream halfStream();

@@ -1,5 +1,7 @@
 #include "core/imsng.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
@@ -115,6 +117,110 @@ sc::Bitstream Imsng::generateThreshold(std::uint32_t x) {
     periphery_.commit(config_.outputRow);
   }
   return result;
+}
+
+sc::Bitstream Imsng::computeThresholdStream(std::uint32_t x) {
+  // Word-level rendition of the FFlag dataflow above (Ideal sensing only):
+  //   A_i = 1: result |= flag & ~RN_i ;  flag &= RN_i
+  //   A_i = 0: flag &= ~RN_i
+  // which is exactly what the NOR/AND scouting steps compute.
+  const std::size_t n = array_.cols();
+  const int m = config_.mBits;
+  sc::Bitstream result(n);
+  flagScratch_.assign(n, true);
+  auto& rw = result.mutableWords();
+  auto& fw = flagScratch_.mutableWords();
+  for (int i = 0; i < m; ++i) {
+    const bool aBit = (x >> (m - 1 - i)) & 1u;
+    const auto& rn =
+        array_.row(config_.randomPlaneBase + static_cast<std::size_t>(i)).words();
+    if (aBit) {
+      for (std::size_t w = 0; w < rw.size(); ++w) {
+        rw[w] |= fw[w] & ~rn[w];
+        fw[w] &= rn[w];
+      }
+    } else {
+      for (std::size_t w = 0; w < fw.size(); ++w) fw[w] &= ~rn[w];
+    }
+  }
+  return result;  // tail stays clear: flag's tail is zero from assign()
+}
+
+void Imsng::chargeConversion(std::uint32_t x, const sc::Bitstream& result) {
+  const std::uint32_t full = std::uint32_t{1} << config_.mBits;
+  auto& log = array_.events();
+  // Mirror generateThreshold(): the dataflow issues one read per plane plus
+  // one extra per set threshold bit, and the schedule only tops *up* — so
+  // the serial path charges max(schedule, dataflow reads).  The folded
+  // schedule can be smaller than the dataflow.
+  const std::size_t dataflowReads =
+      x == full ? 0
+                : static_cast<std::size_t>(config_.mBits) +
+                      static_cast<std::size_t>(std::popcount(x));
+  log.add(reram::EventKind::SlRead,
+          std::max(sensingStepsPerConversion(x >= full ? full - 1 : x),
+                   dataflowReads));
+  if (config_.variant == ImsngConfig::Variant::Naive) {
+    log.add(reram::EventKind::RowWrite,
+            2 * static_cast<std::size_t>(config_.mBits));
+  }
+  if (config_.commitResult) {
+    periphery_.captureL0(result);
+    periphery_.commit(config_.outputRow);
+  }
+}
+
+std::vector<sc::Bitstream> Imsng::encodeBatch(
+    std::span<const std::uint32_t> thresholds) {
+  if (!planesReady_) refreshRandomness();
+  std::vector<sc::Bitstream> out;
+  out.reserve(thresholds.size());
+
+  if (scouting_.fidelity() != reram::ScoutingLogic::Fidelity::Ideal ||
+      scouting_.votes() != 1) {
+    // Fault-injecting fidelities draw per-step misdecisions from the lane's
+    // RNG streams, and temporal-redundancy voting charges votes() reads per
+    // step; run the real dataflow so statistics and accounting stay
+    // faithful.
+    for (const std::uint32_t x : thresholds) out.push_back(generateThreshold(x));
+    return out;
+  }
+
+  const std::uint32_t full = std::uint32_t{1} << config_.mBits;
+  // One epoch shares one plane set, so a threshold seen twice yields the
+  // same stream: memoize per distinct value (the conversion is still
+  // charged — the hardware runs it — only the simulator skips the
+  // recompute).  The table is an epoch-stamped member so repeated batch
+  // calls don't re-initialize 2^M entries.
+  if (memoStamp_.size() != static_cast<std::size_t>(full) + 1) {
+    memoStamp_.assign(static_cast<std::size_t>(full) + 1, 0);
+    memoIndex_.assign(static_cast<std::size_t>(full) + 1, 0);
+  }
+  ++memoEpoch_;
+  for (const std::uint32_t x : thresholds) {
+    if (x > full) throw std::invalid_argument("Imsng: threshold exceeds 2^M");
+    if (memoStamp_[x] == memoEpoch_) {
+      out.push_back(out[memoIndex_[x]]);
+    } else {
+      memoStamp_[x] = memoEpoch_;
+      memoIndex_[x] = out.size();
+      out.push_back(x == full ? sc::Bitstream(array_.cols(), true)
+                              : computeThresholdStream(x));
+    }
+    chargeConversion(x, out.back());
+  }
+  return out;
+}
+
+std::vector<sc::Bitstream> Imsng::encodePixelBatch(
+    std::span<const std::uint8_t> values) {
+  std::vector<std::uint32_t> thresholds;
+  thresholds.reserve(values.size());
+  for (const std::uint8_t v : values) {
+    thresholds.push_back(sc::quantizeProbability(
+        static_cast<double>(v) / 255.0, config_.mBits));
+  }
+  return encodeBatch(thresholds);
 }
 
 sc::Bitstream Imsng::generateProb(double p) {

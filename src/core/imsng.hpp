@@ -28,6 +28,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "reram/adc.hpp"
 #include "reram/array.hpp"
@@ -83,6 +85,22 @@ class Imsng {
   /// Converts an 8-bit pixel value (p = v / 255).
   sc::Bitstream generatePixel(std::uint8_t v);
 
+  /// Batched conversion: every threshold is converted against the CURRENT
+  /// random planes — one randomness epoch for the whole batch, so streams
+  /// within it are mutually correlated, exactly as repeated
+  /// generateThreshold() calls without an intervening refresh.  Event
+  /// accounting is identical to the per-call path (each conversion charges
+  /// its 5·M sensing schedule and its commit write); under Ideal sensing the
+  /// streams are bit-identical to the per-call path, produced by a
+  /// word-level comparator with per-epoch threshold memoization (duplicate
+  /// pixel values re-use the computed stream but still charge their
+  /// conversion).  Non-ideal fidelities fall back to the scouting dataflow
+  /// per element so fault injection stays faithful.
+  std::vector<sc::Bitstream> encodeBatch(std::span<const std::uint32_t> thresholds);
+
+  /// Batched 8-bit pixel conversion (p = v / 255), same epoch semantics.
+  std::vector<sc::Bitstream> encodePixelBatch(std::span<const std::uint8_t> values);
+
   std::size_t streamLength() const { return array_.cols(); }
   const ImsngConfig& config() const { return config_; }
 
@@ -90,12 +108,23 @@ class Imsng {
   std::size_t sensingStepsPerConversion(std::uint32_t x) const;
 
  private:
+  /// Word-level comparator identical to the Ideal scouting dataflow.
+  sc::Bitstream computeThresholdStream(std::uint32_t x);
+  /// Charges the per-conversion schedule + commit for threshold \p x.
+  void chargeConversion(std::uint32_t x, const sc::Bitstream& result);
+
   reram::CrossbarArray& array_;
   reram::ScoutingLogic& scouting_;
   reram::Periphery& periphery_;
   reram::ReramTrng& trng_;
   ImsngConfig config_;
   bool planesReady_ = false;
+  sc::Bitstream flagScratch_;  ///< FFlag chain buffer for the batch path
+  // Per-epoch threshold memo: memoStamp_[x] == memoEpoch_ marks a valid
+  // entry, so batch calls reuse the table without clearing 2^M slots.
+  std::vector<std::uint64_t> memoStamp_;
+  std::vector<std::size_t> memoIndex_;
+  std::uint64_t memoEpoch_ = 0;
 };
 
 }  // namespace aimsc::core

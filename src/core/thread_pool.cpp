@@ -1,0 +1,82 @@
+#include "core/thread_pool.hpp"
+
+#include <utility>
+
+namespace aimsc::core {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wakeWorkers_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::recordException() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!firstError_) firstError_ = std::current_exception();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    try {
+      task();
+    } catch (...) {
+      recordException();
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++inFlight_;
+  }
+  wakeWorkers_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  allDone_.wait(lock, [this] { return inFlight_ == 0; });
+  if (firstError_) {
+    std::exception_ptr err = std::exchange(firstError_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::run(std::vector<std::function<void()>> tasks) {
+  for (auto& t : tasks) submit(std::move(t));
+  wait();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wakeWorkers_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      recordException();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--inFlight_ == 0) allDone_.notify_all();
+    }
+  }
+}
+
+}  // namespace aimsc::core

@@ -1,0 +1,60 @@
+/// \file thread_pool.hpp
+/// \brief Minimal fixed-size worker pool for the tile execution engine.
+///
+/// The simulator's unit of parallelism is a *lane* (an independently seeded
+/// Accelerator mat); the pool only supplies OS threads to drain lane task
+/// queues.  Determinism therefore never depends on scheduling: a task is a
+/// self-contained closure whose result ordering is fixed by the caller.
+///
+/// threads == 0 selects inline execution (submit runs the task on the
+/// calling thread) — the degenerate pool used for single-threaded runs and
+/// for bit-exactness tests, with zero thread startup cost.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aimsc::core {
+
+class ThreadPool {
+ public:
+  /// \param threads worker count; 0 = inline (no threads spawned).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t threadCount() const { return workers_.size(); }
+
+  /// Enqueues one task.  Inline pools run it immediately.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.  The first exception
+  /// thrown by any task is rethrown here (subsequent ones are dropped).
+  void wait();
+
+  /// submit() each task, then wait().
+  void run(std::vector<std::function<void()>> tasks);
+
+ private:
+  void workerLoop();
+  void recordException();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wakeWorkers_;
+  std::condition_variable allDone_;
+  std::size_t inFlight_ = 0;
+  std::exception_ptr firstError_;
+  bool stopping_ = false;
+};
+
+}  // namespace aimsc::core

@@ -1,0 +1,54 @@
+#include "core/tile_executor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aimsc::core {
+
+namespace {
+
+MatGroupConfig groupConfigFor(const TileExecutorConfig& cfg) {
+  if (cfg.lanes == 0) throw std::invalid_argument("TileExecutor: zero lanes");
+  if (cfg.rowsPerTile == 0) {
+    throw std::invalid_argument("TileExecutor: zero rowsPerTile");
+  }
+  MatGroupConfig gc;
+  gc.mats = cfg.lanes;
+  gc.mat = cfg.mat;
+  return gc;
+}
+
+}  // namespace
+
+TileExecutor::TileExecutor(const TileExecutorConfig& config)
+    : config_(config),
+      group_(groupConfigFor(config)),
+      pool_(std::make_unique<ThreadPool>(
+          std::min(config.threads, config.lanes))) {}
+
+void TileExecutor::forEachTile(std::size_t imageHeight,
+                               const TileKernel& kernel) {
+  if (imageHeight == 0) return;
+  const std::size_t numTiles =
+      (imageHeight + config_.rowsPerTile - 1) / config_.rowsPerTile;
+
+  std::vector<std::function<void()>> laneTasks;
+  laneTasks.reserve(group_.size());
+  for (std::size_t laneIdx = 0; laneIdx < group_.size(); ++laneIdx) {
+    if (laneIdx >= numTiles) break;  // more lanes than tiles
+    laneTasks.push_back([this, laneIdx, numTiles, imageHeight, &kernel] {
+      Accelerator& acc = group_.mat(laneIdx);
+      // Ascending tile order per lane: the lane's TRNG/fault/ADC streams
+      // advance in a schedule-independent sequence.
+      for (std::size_t t = laneIdx; t < numTiles; t += group_.size()) {
+        const std::size_t rowBegin = t * config_.rowsPerTile;
+        const std::size_t rowEnd =
+            std::min(rowBegin + config_.rowsPerTile, imageHeight);
+        kernel(acc, rowBegin, rowEnd);
+      }
+    });
+  }
+  pool_->run(std::move(laneTasks));
+}
+
+}  // namespace aimsc::core

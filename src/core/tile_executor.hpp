@@ -1,0 +1,85 @@
+/// \file tile_executor.hpp
+/// \brief Tile-parallel execution engine over a MatGroup (paper Sec. III:
+///        "we use multiple arrays to parallelize and pipeline the different
+///        stages").
+///
+/// An image is sharded into horizontal row tiles.  Tile t is *pinned* to
+/// lane t % lanes of an underlying MatGroup, and every lane processes its
+/// tiles in ascending tile order inside a single pool task.  Because each
+/// lane owns an independently seeded Accelerator (its own TRNG, scouting
+/// engine, ADC and event log) and its tile sequence is fixed by the pinning
+/// rule — never by thread scheduling — the output image and the merged
+/// EventCounts are bit-identical for ANY thread count, including the inline
+/// (threads = 0) pool.  That determinism contract is what allows the engine
+/// to fan out onto however many cores exist without changing results.
+///
+/// Event accounting is lock-free by construction: counters accumulate in
+/// per-lane EventLogs that no other thread touches, and totalEvents() sums
+/// them after the join barrier.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "core/mat_group.hpp"
+#include "core/thread_pool.hpp"
+
+namespace aimsc::core {
+
+struct TileExecutorConfig {
+  /// Lane (mat) count.  Fixed independently of `threads` so results do not
+  /// depend on how many OS threads happen to execute the lanes.
+  std::size_t lanes = 8;
+
+  /// Worker threads draining the lane queues; 0 = run inline (serial).
+  /// Clamped to `lanes` (extra threads would idle).
+  std::size_t threads = 0;
+
+  /// Image rows per tile.  Smaller tiles interleave lanes more finely
+  /// (better load balance); larger tiles amortize per-tile overhead.
+  std::size_t rowsPerTile = 4;
+
+  /// Per-lane accelerator configuration (the seed is varied per lane,
+  /// exactly as MatGroup does).
+  AcceleratorConfig mat{};
+};
+
+class TileExecutor {
+ public:
+  /// Kernel invoked once per tile: \p lane is the accelerator pinned to the
+  /// tile, rows [rowBegin, rowEnd) are the tile's image rows.  Kernels for
+  /// different tiles of the SAME lane run sequentially in tile order on one
+  /// thread; kernels on different lanes may run concurrently and must only
+  /// touch disjoint output rows.
+  using TileKernel =
+      std::function<void(Accelerator& lane, std::size_t rowBegin,
+                         std::size_t rowEnd)>;
+
+  explicit TileExecutor(const TileExecutorConfig& config);
+
+  /// Shards [0, imageHeight) into tiles and runs \p kernel over all of them
+  /// with the lane-pinned schedule.  Rethrows the first kernel exception
+  /// after all lanes have drained.
+  void forEachTile(std::size_t imageHeight, const TileKernel& kernel);
+
+  std::size_t lanes() const { return group_.size(); }
+  std::size_t threads() const { return pool_->threadCount(); }
+  std::size_t rowsPerTile() const { return config_.rowsPerTile; }
+  Accelerator& lane(std::size_t i) { return group_.mat(i); }
+  MatGroup& group() { return group_; }
+
+  /// Merged event counts across lanes (sum after join; lock-free).
+  reram::EventCounts totalEvents() const { return group_.totalEvents(); }
+  void resetEvents() { group_.resetEvents(); }
+
+  /// Wall-clock estimate under concurrent lanes (slowest lane finishes last).
+  double estimatedWallClockNs() const { return group_.estimatedWallClockNs(); }
+
+ private:
+  TileExecutorConfig config_;
+  MatGroup group_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace aimsc::core

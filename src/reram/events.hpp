@@ -78,6 +78,19 @@ struct EventCounts {
     a += b;
     return a;
   }
+
+  /// Field-wise equality — the contract the tile engine's determinism tests
+  /// assert: merged lane counts must be identical at any thread count.
+  friend bool operator==(const EventCounts& a, const EventCounts& b) {
+    return a.slReads == b.slReads && a.rowWrites == b.rowWrites &&
+           a.cellWrites == b.cellWrites && a.latchOps == b.latchOps &&
+           a.adcConversions == b.adcConversions && a.trngBits == b.trngBits &&
+           a.cordivIterations == b.cordivIterations;
+  }
+  friend bool operator!=(const EventCounts& a, const EventCounts& b) {
+    return !(a == b);
+  }
+
   void reset() { *this = EventCounts{}; }
 };
 

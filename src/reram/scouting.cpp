@@ -28,44 +28,61 @@ std::size_t selectNthSetBit(const sc::Bitstream& s, std::size_t nth) {
   throw std::out_of_range("selectNthSetBit: not enough set bits");
 }
 
-/// Pattern masks: masks[k] has a 1 in column c iff exactly k of the
-/// operands have a 1 there.  Supports 1..3 operands with word-level ops.
-std::vector<sc::Bitstream> patternMasks(
+}  // namespace
+
+/// Pattern masks: maskScratch_[k] gets a 1 in column c iff exactly k of the
+/// operands have a 1 there.  1..3 operands run word-level into the reused
+/// scratch buffers (no allocation once warm).
+void ScoutingLogic::patternMasksInto(
     const std::vector<const sc::Bitstream*>& ops) {
+  using sc::Bitstream;
   const std::size_t n = ops.front()->size();
+  maskScratch_.resize(ops.size() + 1);
   switch (ops.size()) {
     case 1: {
-      const sc::Bitstream& a = *ops[0];
-      return {~a, a};
+      const Bitstream& a = *ops[0];
+      Bitstream::notInto(maskScratch_[0], a);
+      maskScratch_[1] = a;
+      return;
     }
     case 2: {
-      const sc::Bitstream& a = *ops[0];
-      const sc::Bitstream& b = *ops[1];
-      return {~(a | b), a ^ b, a & b};
+      const Bitstream& a = *ops[0];
+      const Bitstream& b = *ops[1];
+      Bitstream::orInto(tmpA_, a, b);
+      Bitstream::notInto(maskScratch_[0], tmpA_);
+      Bitstream::xorInto(maskScratch_[1], a, b);
+      Bitstream::andInto(maskScratch_[2], a, b);
+      return;
     }
     case 3: {
-      const sc::Bitstream& a = *ops[0];
-      const sc::Bitstream& b = *ops[1];
-      const sc::Bitstream& c = *ops[2];
-      const sc::Bitstream all = a & b & c;
-      const sc::Bitstream maj = sc::Bitstream::majority(a, b, c);
-      const sc::Bitstream any = a | b | c;
-      return {~any, any & ~maj, maj & ~all, all};
+      const Bitstream& a = *ops[0];
+      const Bitstream& b = *ops[1];
+      const Bitstream& c = *ops[2];
+      Bitstream::andInto(tmpA_, a, b);
+      Bitstream::andInto(tmpA_, tmpA_, c);        // all
+      Bitstream::majorityInto(tmpB_, a, b, c);    // maj
+      Bitstream::orInto(tmpC_, a, b);
+      Bitstream::orInto(tmpC_, tmpC_, c);         // any
+      Bitstream::notInto(maskScratch_[0], tmpC_);
+      Bitstream::notInto(maskScratch_[1], tmpB_);
+      Bitstream::andInto(maskScratch_[1], tmpC_, maskScratch_[1]);  // any & ~maj
+      Bitstream::notInto(maskScratch_[2], tmpA_);
+      Bitstream::andInto(maskScratch_[2], tmpB_, maskScratch_[2]);  // maj & ~all
+      maskScratch_[3] = tmpA_;
+      return;
     }
     default: {
       // Generic (rare) path: count per column.
-      std::vector<sc::Bitstream> masks(ops.size() + 1, sc::Bitstream(n));
+      for (auto& m : maskScratch_) m.assign(n, false);
       for (std::size_t col = 0; col < n; ++col) {
         int ones = 0;
         for (const auto* o : ops) ones += o->get(col) ? 1 : 0;
-        masks[static_cast<std::size_t>(ones)].set(col, true);
+        maskScratch_[static_cast<std::size_t>(ones)].set(col, true);
       }
-      return masks;
+      return;
     }
   }
 }
-
-}  // namespace
 
 ScoutingLogic::ScoutingLogic(CrossbarArray& array, Fidelity fidelity,
                              const FaultModel* faultModel, std::uint64_t seed,
@@ -137,9 +154,8 @@ sc::Bitstream ScoutingLogic::execute(
   array_.events().add(reram::EventKind::SlRead,
                       static_cast<std::uint64_t>(votes_));
 
-  const std::vector<sc::Bitstream> masks =
-      fidelity_ == Fidelity::MonteCarlo ? std::vector<sc::Bitstream>{}
-                                        : patternMasks(operands);
+  if (fidelity_ != Fidelity::MonteCarlo) patternMasksInto(operands);
+  const std::vector<sc::Bitstream>& masks = maskScratch_;
 
   if (votes_ == 1 || fidelity_ == Fidelity::Ideal) {
     return senseOnce(op, operands, masks, numRows, width);

@@ -69,6 +69,8 @@ class ScoutingLogic {
   sc::Bitstream senseOnce(SlOp op, const std::vector<const sc::Bitstream*>& operands,
                           const std::vector<sc::Bitstream>& masks, int numRows,
                           std::size_t width);
+  /// Fills maskScratch_ with the per-pattern column masks of \p operands.
+  void patternMasksInto(const std::vector<const sc::Bitstream*>& operands);
 
   CrossbarArray& array_;
   Fidelity fidelity_;
@@ -76,6 +78,13 @@ class ScoutingLogic {
   SenseAmp senseAmp_;
   std::mt19937_64 eng_;
   int votes_;
+  // Per-call scratch (a ScoutingLogic instance is single-threaded — each
+  // tile-engine lane owns its own): pattern masks + expression temporaries,
+  // reused across sensing steps to keep the bulk-op path allocation-free.
+  std::vector<sc::Bitstream> maskScratch_;
+  sc::Bitstream tmpA_;
+  sc::Bitstream tmpB_;
+  sc::Bitstream tmpC_;
 };
 
 }  // namespace aimsc::reram

@@ -22,21 +22,35 @@ Bitstream::Bitstream(std::size_t n, bool fill) : size_(n), words_(wordCount(n), 
 
 Bitstream Bitstream::fromBits(const std::vector<bool>& bits) {
   Bitstream s(bits.size());
+  std::uint64_t word = 0;
+  std::size_t w = 0;
   for (std::size_t i = 0; i < bits.size(); ++i) {
-    if (bits[i]) s.set(i, true);
+    if (bits[i]) word |= std::uint64_t{1} << (i % kWordBits);
+    if ((i + 1) % kWordBits == 0) {
+      s.words_[w++] = word;
+      word = 0;
+    }
   }
+  if (bits.size() % kWordBits != 0) s.words_[w] = word;
   return s;
 }
 
 Bitstream Bitstream::fromString(const std::string& str) {
   Bitstream s(str.size());
+  std::uint64_t word = 0;
+  std::size_t w = 0;
   for (std::size_t i = 0; i < str.size(); ++i) {
     const char c = str[i];
     if (c != '0' && c != '1') {
       throw std::invalid_argument("Bitstream::fromString: invalid character");
     }
-    if (c == '1') s.set(i, true);
+    if (c == '1') word |= std::uint64_t{1} << (i % kWordBits);
+    if ((i + 1) % kWordBits == 0) {
+      s.words_[w++] = word;
+      word = 0;
+    }
   }
+  if (str.size() % kWordBits != 0) s.words_[w] = word;
   return s;
 }
 
@@ -145,6 +159,75 @@ Bitstream Bitstream::mux(const Bitstream& a, const Bitstream& b,
   }
   r.clearTail();
   return r;
+}
+
+namespace {
+void resizeFor(Bitstream& dst, const Bitstream& shape) {
+  if (dst.size() != shape.size()) dst.assign(shape.size(), false);
+}
+}  // namespace
+
+void Bitstream::assign(std::size_t n, bool v) {
+  size_ = n;
+  words_.assign(wordCount(n), v ? ~std::uint64_t{0} : 0);
+  if (v) clearTail();
+}
+
+void Bitstream::andInto(Bitstream& dst, const Bitstream& a, const Bitstream& b) {
+  a.checkSameSize(b);
+  resizeFor(dst, a);
+  for (std::size_t i = 0; i < dst.words_.size(); ++i) {
+    dst.words_[i] = a.words_[i] & b.words_[i];
+  }
+}
+
+void Bitstream::orInto(Bitstream& dst, const Bitstream& a, const Bitstream& b) {
+  a.checkSameSize(b);
+  resizeFor(dst, a);
+  for (std::size_t i = 0; i < dst.words_.size(); ++i) {
+    dst.words_[i] = a.words_[i] | b.words_[i];
+  }
+}
+
+void Bitstream::xorInto(Bitstream& dst, const Bitstream& a, const Bitstream& b) {
+  a.checkSameSize(b);
+  resizeFor(dst, a);
+  for (std::size_t i = 0; i < dst.words_.size(); ++i) {
+    dst.words_[i] = a.words_[i] ^ b.words_[i];
+  }
+}
+
+void Bitstream::notInto(Bitstream& dst, const Bitstream& a) {
+  resizeFor(dst, a);
+  for (std::size_t i = 0; i < dst.words_.size(); ++i) {
+    dst.words_[i] = ~a.words_[i];
+  }
+  dst.clearTail();
+}
+
+void Bitstream::majorityInto(Bitstream& dst, const Bitstream& a,
+                             const Bitstream& b, const Bitstream& c) {
+  a.checkSameSize(b);
+  a.checkSameSize(c);
+  resizeFor(dst, a);
+  for (std::size_t i = 0; i < dst.words_.size(); ++i) {
+    const std::uint64_t x = a.words_[i];
+    const std::uint64_t y = b.words_[i];
+    const std::uint64_t z = c.words_[i];
+    dst.words_[i] = (x & y) | (x & z) | (y & z);
+  }
+}
+
+void Bitstream::muxInto(Bitstream& dst, const Bitstream& a, const Bitstream& b,
+                        const Bitstream& sel) {
+  a.checkSameSize(b);
+  a.checkSameSize(sel);
+  resizeFor(dst, a);
+  for (std::size_t i = 0; i < dst.words_.size(); ++i) {
+    dst.words_[i] =
+        (sel.words_[i] & a.words_[i]) | (~sel.words_[i] & b.words_[i]);
+  }
+  dst.clearTail();
 }
 
 Bitstream Bitstream::exactlyOne(const std::vector<const Bitstream*>& rows) {

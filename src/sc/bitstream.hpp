@@ -71,6 +71,28 @@ class Bitstream {
   static Bitstream mux(const Bitstream& a, const Bitstream& b,
                        const Bitstream& sel);
 
+  // --- allocation-free variants for hot loops -------------------------------
+  // All *Into forms resize \p dst to the operand length (reusing its buffer
+  // when capacities match) and may alias any operand.
+
+  /// dst = a & b.
+  static void andInto(Bitstream& dst, const Bitstream& a, const Bitstream& b);
+  /// dst = a | b.
+  static void orInto(Bitstream& dst, const Bitstream& a, const Bitstream& b);
+  /// dst = a ^ b.
+  static void xorInto(Bitstream& dst, const Bitstream& a, const Bitstream& b);
+  /// dst = ~a.
+  static void notInto(Bitstream& dst, const Bitstream& a);
+  /// dst = MAJ(a, b, c).
+  static void majorityInto(Bitstream& dst, const Bitstream& a,
+                           const Bitstream& b, const Bitstream& c);
+  /// dst = sel ? a : b.
+  static void muxInto(Bitstream& dst, const Bitstream& a, const Bitstream& b,
+                      const Bitstream& sel);
+
+  /// Resizes to \p n bits and sets every bit to \p v, reusing the buffer.
+  void assign(std::size_t n, bool v);
+
   /// Returns a stream whose bit i is 1 iff exactly one of a[i], b[i] is 1
   /// among k activated rows — provided for k-row generalizations in tests.
   static Bitstream exactlyOne(const std::vector<const Bitstream*>& rows);

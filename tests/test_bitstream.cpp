@@ -75,6 +75,72 @@ TEST(Bitstream, FromBits) {
   EXPECT_EQ(s.toString(), "101");
 }
 
+TEST(Bitstream, FromStringCrossesWordBoundaries) {
+  // Exercise the word-at-a-time builder: 64-bit multiples and ragged tails.
+  std::string pattern;
+  std::mt19937 rng(99);
+  for (int len : {63, 64, 65, 128, 200}) {
+    pattern.clear();
+    for (int i = 0; i < len; ++i) pattern.push_back(rng() % 2 ? '1' : '0');
+    const Bitstream s = Bitstream::fromString(pattern);
+    EXPECT_EQ(s.toString(), pattern);
+    std::vector<bool> bits;
+    for (const char c : pattern) bits.push_back(c == '1');
+    EXPECT_EQ(Bitstream::fromBits(bits), s);
+    if (len % 64 != 0) {
+      EXPECT_EQ(s.words().back() >> (len % 64), 0u);  // tail invariant
+    }
+  }
+}
+
+TEST(Bitstream, IntoOpsMatchOperators) {
+  std::mt19937 rng(7);
+  std::vector<bool> va, vb, vc;
+  for (int i = 0; i < 150; ++i) {
+    va.push_back(rng() % 2);
+    vb.push_back(rng() % 2);
+    vc.push_back(rng() % 2);
+  }
+  const Bitstream a = Bitstream::fromBits(va);
+  const Bitstream b = Bitstream::fromBits(vb);
+  const Bitstream c = Bitstream::fromBits(vc);
+  Bitstream dst;
+  Bitstream::andInto(dst, a, b);
+  EXPECT_EQ(dst, a & b);
+  Bitstream::orInto(dst, a, b);
+  EXPECT_EQ(dst, a | b);
+  Bitstream::xorInto(dst, a, b);
+  EXPECT_EQ(dst, a ^ b);
+  Bitstream::notInto(dst, a);
+  EXPECT_EQ(dst, ~a);
+  Bitstream::majorityInto(dst, a, b, c);
+  EXPECT_EQ(dst, Bitstream::majority(a, b, c));
+  Bitstream::muxInto(dst, a, b, c);
+  EXPECT_EQ(dst, Bitstream::mux(a, b, c));
+}
+
+TEST(Bitstream, IntoOpsAllowAliasing) {
+  const Bitstream a = Bitstream::fromString("110010");
+  const Bitstream b = Bitstream::fromString("101001");
+  Bitstream x = a;
+  Bitstream::andInto(x, x, b);  // dst aliases operand a
+  EXPECT_EQ(x, a & b);
+  Bitstream y = a;
+  Bitstream::notInto(y, y);
+  EXPECT_EQ(y, ~a);
+}
+
+TEST(Bitstream, AssignReusesBuffer) {
+  Bitstream s(70, true);
+  s.assign(40, false);
+  EXPECT_EQ(s.size(), 40u);
+  EXPECT_EQ(s.popcount(), 0u);
+  s.assign(90, true);
+  EXPECT_EQ(s.size(), 90u);
+  EXPECT_EQ(s.popcount(), 90u);
+  EXPECT_EQ(s.words().back() >> (90 % 64), 0u);
+}
+
 TEST(Bitstream, LogicAnd) {
   const Bitstream a = Bitstream::fromString("1100");
   const Bitstream b = Bitstream::fromString("1010");

@@ -1,0 +1,321 @@
+// Tile-parallel execution engine: thread pool, lane-pinned determinism,
+// batched IMSNG equivalence and event-count merging.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "apps/compositing.hpp"
+#include "apps/filters.hpp"
+#include "apps/runner.hpp"
+#include "core/thread_pool.hpp"
+#include "core/tile_executor.hpp"
+#include "img/metrics.hpp"
+#include "img/synth.hpp"
+
+namespace aimsc::core {
+namespace {
+
+TileExecutorConfig idealTileConfig(std::size_t lanes, std::size_t threads,
+                                   std::size_t rowsPerTile = 2,
+                                   std::size_t n = 256) {
+  TileExecutorConfig cfg;
+  cfg.lanes = lanes;
+  cfg.threads = threads;
+  cfg.rowsPerTile = rowsPerTile;
+  cfg.mat.streamLength = n;
+  cfg.mat.device = reram::DeviceParams::ideal();
+  return cfg;
+}
+
+// --- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPool, InlinePoolRunsTasksOnSubmit) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.threadCount(), 0u);
+  int calls = 0;
+  pool.submit([&] { ++calls; });
+  pool.submit([&] { ++calls; });
+  pool.wait();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(ThreadPool, WorkersDrainAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 64; ++i) tasks.push_back([&] { ++calls; });
+  pool.run(std::move(tasks));
+  EXPECT_EQ(calls.load(), 64);
+}
+
+TEST(ThreadPool, FirstTaskExceptionIsRethrownOnWait) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.submit([&] { ++calls; });
+  pool.submit([] { throw std::runtime_error("boom"); });
+  pool.submit([&] { ++calls; });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  EXPECT_EQ(calls.load(), 2);  // other tasks still ran
+  // The pool is reusable after an error.
+  pool.submit([&] { ++calls; });
+  pool.wait();
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPool, InlinePoolPropagatesException) {
+  ThreadPool pool(0);
+  pool.submit([] { throw std::logic_error("inline"); });
+  EXPECT_THROW(pool.wait(), std::logic_error);
+}
+
+// --- TileExecutor scheduling ----------------------------------------------
+
+TEST(TileExecutor, CoversEveryRowExactlyOnce) {
+  TileExecutor exec(idealTileConfig(3, 2, 4));
+  const std::size_t height = 29;  // not a multiple of rowsPerTile
+  std::vector<std::atomic<int>> visits(height);
+  exec.forEachTile(height, [&](Accelerator&, std::size_t r0, std::size_t r1) {
+    EXPECT_LT(r0, r1);
+    for (std::size_t y = r0; y < r1; ++y) ++visits[y];
+  });
+  for (std::size_t y = 0; y < height; ++y) EXPECT_EQ(visits[y].load(), 1);
+}
+
+TEST(TileExecutor, TilePinningIsThreadCountInvariant) {
+  // Record which lane got which tile at two thread counts.
+  auto pinning = [](std::size_t threads) {
+    TileExecutor exec(idealTileConfig(4, threads, 2));
+    std::vector<int> laneOfRow(32, -1);
+    exec.forEachTile(32, [&](Accelerator& lane, std::size_t r0, std::size_t r1) {
+      std::ptrdiff_t idx = -1;
+      for (std::size_t i = 0; i < exec.lanes(); ++i) {
+        if (&exec.lane(i) == &lane) idx = static_cast<std::ptrdiff_t>(i);
+      }
+      for (std::size_t y = r0; y < r1; ++y) {
+        laneOfRow[y] = static_cast<int>(idx);
+      }
+    });
+    return laneOfRow;
+  };
+  EXPECT_EQ(pinning(0), pinning(3));
+}
+
+TEST(TileExecutor, KernelExceptionPropagates) {
+  TileExecutor exec(idealTileConfig(2, 2));
+  EXPECT_THROW(exec.forEachTile(8,
+                                [](Accelerator&, std::size_t, std::size_t) {
+                                  throw std::runtime_error("kernel");
+                                }),
+               std::runtime_error);
+}
+
+TEST(TileExecutor, RejectsBadConfig) {
+  const TileExecutorConfig zeroLanes = idealTileConfig(0, 1);
+  EXPECT_THROW({ TileExecutor t(zeroLanes); }, std::invalid_argument);
+  TileExecutorConfig cfg = idealTileConfig(2, 1);
+  cfg.rowsPerTile = 0;
+  EXPECT_THROW({ TileExecutor t(cfg); }, std::invalid_argument);
+}
+
+// --- Determinism across thread counts (the engine's core contract) --------
+
+TEST(TileExecutor, CompositingBitIdenticalAt1And2And8Threads) {
+  const apps::CompositingScene scene = apps::makeCompositingScene(24, 24, 7);
+
+  img::Image ref;
+  reram::EventCounts refEvents;
+  bool first = true;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    TileExecutor exec(idealTileConfig(4, threads));
+    const img::Image out = apps::compositeReramScTiled(scene, exec);
+    const reram::EventCounts events = exec.totalEvents();
+    if (first) {
+      ref = out;
+      refEvents = events;
+      first = false;
+      EXPECT_GT(events.slReads, 0u);
+      EXPECT_GT(events.trngBits, 0u);
+    } else {
+      EXPECT_EQ(out.pixels(), ref.pixels());
+      EXPECT_EQ(events, refEvents);
+    }
+  }
+}
+
+TEST(TileExecutor, TiledCompositingMatchesSerialQualityClass) {
+  const apps::CompositingScene scene = apps::makeCompositingScene(20, 20, 5);
+  const img::Image ref = apps::compositeReference(scene);
+
+  AcceleratorConfig single;
+  single.streamLength = 256;
+  single.device = reram::DeviceParams::ideal();
+  Accelerator acc(single);
+  const double psnrSerial =
+      img::psnrDb(apps::compositeReramSc(scene, acc), ref);
+
+  TileExecutor exec(idealTileConfig(4, 2));
+  const double psnrTiled =
+      img::psnrDb(apps::compositeReramScTiled(scene, exec), ref);
+  EXPECT_NEAR(psnrTiled, psnrSerial, 3.0);
+}
+
+TEST(TileExecutor, RunnerTiledAppsLandInQualityClass) {
+  apps::RunConfig cfg;
+  cfg.width = 16;
+  cfg.height = 16;
+  cfg.device = reram::DeviceParams::ideal();
+  apps::ParallelConfig par;
+  par.lanes = 4;
+  par.threads = 2;
+  for (const auto app : {apps::AppKind::Compositing, apps::AppKind::Bilinear,
+                         apps::AppKind::Matting}) {
+    const apps::Quality qSerial = apps::runReramSc(app, cfg);
+    const apps::Quality qTiled = apps::runReramScTiled(app, cfg, par);
+    EXPECT_GT(qTiled.psnrDb, 0.0);
+    EXPECT_NEAR(qTiled.psnrDb, qSerial.psnrDb, 6.0) << apps::appName(app);
+  }
+}
+
+// --- Batched IMSNG ---------------------------------------------------------
+
+TEST(TileExecutor, EncodeBatchMatchesSerialCorrelatedEncodes) {
+  AcceleratorConfig cfg;
+  cfg.streamLength = 256;
+  cfg.device = reram::DeviceParams::ideal();
+  Accelerator batched(cfg);
+  Accelerator serial(cfg);  // same seed -> same TRNG stream
+
+  const std::vector<std::uint8_t> values{0, 255, 17, 17, 128, 91, 91, 3};
+  const auto streams = batched.encodePixels(values);
+  ASSERT_EQ(streams.size(), values.size());
+
+  serial.refreshRandomness();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const sc::Bitstream expect = serial.imsng().generatePixel(values[i]);
+    EXPECT_EQ(streams[i], expect) << "value " << int(values[i]);
+  }
+  // Identical event accounting: batch charges every conversion, including
+  // the memoized duplicates.
+  EXPECT_EQ(batched.events(), serial.events());
+}
+
+TEST(TileExecutor, EncodeBatchMatchesSerialEventsWithFoldedNetwork) {
+  // The folded XAG schedule can charge FEWER steps than the dataflow
+  // issues; the batch path must replicate the serial max(schedule,
+  // dataflow) accounting.
+  AcceleratorConfig cfg;
+  cfg.streamLength = 64;
+  cfg.device = reram::DeviceParams::ideal();
+  cfg.foldedNetwork = true;
+  Accelerator batched(cfg);
+  Accelerator serial(cfg);
+
+  std::vector<std::uint8_t> values;
+  for (int v = 0; v < 256; v += 5) values.push_back(static_cast<std::uint8_t>(v));
+  const auto streams = batched.encodePixels(values);
+
+  serial.refreshRandomness();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(streams[i], serial.imsng().generatePixel(values[i]));
+  }
+  EXPECT_EQ(batched.events(), serial.events());
+}
+
+TEST(TileExecutor, TiledFiltersDeterministicAndInQualityClass) {
+  const img::Image src = img::naturalScene(20, 20, 11);
+  AcceleratorConfig single;
+  single.streamLength = 256;
+  single.device = reram::DeviceParams::ideal();
+
+  for (const bool smooth : {true, false}) {
+    Accelerator acc(single);
+    const img::Image serial = smooth ? apps::smoothReramSc(src, acc)
+                                     : apps::edgeReramSc(src, acc);
+    img::Image ref;
+    reram::EventCounts refEvents;
+    bool first = true;
+    for (const std::size_t threads : {std::size_t{0}, std::size_t{2},
+                                      std::size_t{8}}) {
+      TileExecutor exec(idealTileConfig(4, threads));
+      const img::Image out = smooth ? apps::smoothReramScTiled(src, exec)
+                                    : apps::edgeReramScTiled(src, exec);
+      if (first) {
+        ref = out;
+        refEvents = exec.totalEvents();
+        first = false;
+        // Same accuracy class as the serial per-pixel kernel.
+        EXPECT_GT(img::psnrDb(out, serial), 20.0)
+            << (smooth ? "smooth" : "edge");
+      } else {
+        EXPECT_EQ(out.pixels(), ref.pixels()) << (smooth ? "smooth" : "edge");
+        EXPECT_EQ(exec.totalEvents(), refEvents);
+      }
+    }
+  }
+}
+
+TEST(TileExecutor, EncodeBatchChargesEveryConversion) {
+  AcceleratorConfig cfg;
+  cfg.streamLength = 128;
+  cfg.device = reram::DeviceParams::ideal();
+  Accelerator acc(cfg);
+  const std::vector<std::uint8_t> values(50, 42);  // all duplicates
+  acc.encodePixels(values);
+  // 5*M sensing steps per conversion regardless of memoization.
+  EXPECT_EQ(acc.events().slReads, 50u * 40u);
+  // One plane refresh for the whole epoch: M rows of N TRNG bits.
+  EXPECT_EQ(acc.events().trngBits, 8u * 128u);
+}
+
+TEST(TileExecutor, CorrelatedBatchSharesEpoch) {
+  AcceleratorConfig cfg;
+  cfg.streamLength = 512;
+  cfg.device = reram::DeviceParams::ideal();
+  Accelerator acc(cfg);
+  const std::vector<std::uint8_t> a{100};
+  const std::vector<std::uint8_t> b{200};
+  const auto sa = acc.encodePixels(a);
+  const auto sb = acc.encodePixelsCorrelated(b);
+  // Same planes: the smaller threshold's stream is contained in the larger's
+  // (maximal correlation), so AND(sa, sb) == sa.
+  EXPECT_EQ(sa[0] & sb[0], sa[0]);
+  // A fresh batch breaks the containment with overwhelming probability.
+  const auto sc2 = acc.encodePixels(b);
+  EXPECT_NE(sc2[0] & sa[0], sa[0]);
+}
+
+TEST(TileExecutor, EncodeBatchFaultyFidelityFallsBackFaithfully) {
+  AcceleratorConfig cfg;
+  cfg.streamLength = 256;
+  cfg.injectFaults = true;
+  cfg.device = apps::defaultFaultyDevice();
+  cfg.faultModelSamples = 20000;
+  Accelerator acc(cfg);
+  const std::vector<std::uint8_t> values{10, 10, 250, 250};
+  const auto streams = acc.encodePixels(values);
+  ASSERT_EQ(streams.size(), 4u);
+  // Faulty lanes draw fresh misdecisions per conversion: duplicates are NOT
+  // memoized (streams may differ), and values remain near the encoded p.
+  EXPECT_NEAR(streams[2].value(), 250.0 / 255.0, 0.1);
+  EXPECT_EQ(acc.events().slReads, 4u * 40u);
+}
+
+TEST(TileExecutor, EventMergeEqualsLaneSum) {
+  TileExecutor exec(idealTileConfig(3, 2));
+  const apps::CompositingScene scene = apps::makeCompositingScene(12, 12, 9);
+  apps::compositeReramScTiled(scene, exec);
+  reram::EventCounts sum;
+  for (std::size_t i = 0; i < exec.lanes(); ++i) {
+    sum += exec.lane(i).events();
+  }
+  EXPECT_EQ(exec.totalEvents(), sum);
+  exec.resetEvents();
+  EXPECT_EQ(exec.totalEvents(), reram::EventCounts{});
+}
+
+}  // namespace
+}  // namespace aimsc::core
