@@ -2,16 +2,21 @@
 // ReRAM-based SC designs over the binary CIM reference (ref = 1.0).
 //
 // Part 2 measures the *simulator's* wall-clock throughput: the serial
-// per-pixel path vs the tile-parallel engine (batched IMSNG + lane-pinned
-// row tiles) across worker-thread counts, verifying that the tiled output
-// is bit-identical at every thread count.  Results are also written to
-// BENCH_throughput.json so the perf trajectory is machine-trackable.
+// backend-generic kernel vs the same kernel on the tile-parallel engine
+// (batched IMSNG + lane-pinned row tiles) across worker-thread counts,
+// verifying that the tiled output is bit-identical at every thread count.
+// Results are also written to BENCH_throughput.json so the perf trajectory
+// is machine-trackable.
+//
+// Usage: bench_fig5_throughput [size]   (default 256; CI smoke uses 32)
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "apps/runner.hpp"
+#include "core/backend_reram.hpp"
 #include "energy/report.hpp"
 #include "energy/system_model.hpp"
 
@@ -28,33 +33,33 @@ struct SweepPoint {
   double speedup;
 };
 
-void measuredSweep() {
+void measuredSweep(std::size_t size) {
   using namespace aimsc;
-  constexpr std::size_t kW = 256;
-  constexpr std::size_t kH = 256;
-  constexpr std::size_t kPixels = kW * kH;
+  const std::size_t kPixels = size * size;
 
   apps::RunConfig cfg;
-  cfg.width = kW;
-  cfg.height = kH;
+  cfg.width = size;
+  cfg.height = size;
   cfg.streamLength = 256;
 
   const apps::CompositingScene scene =
-      apps::makeCompositingScene(kW, kH, cfg.seed);
+      apps::makeCompositingScene(size, size, cfg.seed);
 
   std::printf(
       "\nMeasured simulator throughput: %zux%zu compositing, N=%zu\n",
-      kW, kH, cfg.streamLength);
+      size, size, cfg.streamLength);
 
-  // Serial baseline: the per-pixel path (fresh planes per operand set),
-  // configured exactly like the tiled lanes (device params included).
-  core::Accelerator serialAcc(apps::tileConfigFor(cfg, apps::ParallelConfig{}).mat);
+  // Serial baseline: the SAME backend-generic kernel on one ReRAM-SC
+  // backend, configured exactly like the tiled lanes (device params
+  // included).
+  core::ReramScBackend serialBackend(
+      apps::tileConfigFor(cfg, apps::ParallelConfig{}).mat);
   const auto t0 = std::chrono::steady_clock::now();
-  const img::Image serialOut = apps::compositeReramSc(scene, serialAcc);
+  const img::Image serialOut = apps::compositeKernel(scene, serialBackend);
   const double serialSec = secondsSince(t0);
   const double serialPps = static_cast<double>(kPixels) / serialSec;
-  std::printf("  serial per-pixel path: %8.0f pixels/s (%.2fs)\n", serialPps,
-              serialSec);
+  std::printf("  serial kernel (1 backend): %8.0f pixels/s (%.2fs)\n",
+              serialPps, serialSec);
 
   apps::ParallelConfig par;  // lanes=8, rowsPerTile=4
   std::vector<SweepPoint> sweep;
@@ -65,7 +70,7 @@ void measuredSweep() {
     par.threads = threads;
     core::TileExecutor exec(apps::tileConfigFor(cfg, par));
     const auto t1 = std::chrono::steady_clock::now();
-    const img::Image tiled = apps::compositeReramScTiled(scene, exec);
+    const img::Image tiled = apps::compositeKernelTiled(scene, exec);
     const double sec = secondsSince(t1);
     const double pps = static_cast<double>(kPixels) / sec;
     sweep.push_back({threads, pps, pps / serialPps});
@@ -94,7 +99,7 @@ void measuredSweep() {
                  "  \"serial_pixels_per_sec\": %.1f,\n"
                  "  \"bit_identical_across_threads\": %s,\n"
                  "  \"tiled\": [\n",
-                 kW, kH, cfg.streamLength, par.lanes, par.rowsPerTile,
+                 size, size, cfg.streamLength, par.lanes, par.rowsPerTile,
                  serialPps, bitIdentical ? "true" : "false");
     for (std::size_t i = 0; i < sweep.size(); ++i) {
       std::fprintf(f,
@@ -111,8 +116,14 @@ void measuredSweep() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aimsc;
+  const long sizeArg = argc > 1 ? std::atol(argv[1]) : 256;
+  if (sizeArg < 1 || sizeArg > 1 << 14) {
+    std::fprintf(stderr, "usage: bench_fig5_throughput [size in 1..16384]\n");
+    return 1;
+  }
+  const auto size = static_cast<std::size_t>(sizeArg);
 
   std::puts(
       "Fig. 5: normalized throughput vs binary CIM (reference = 1.0)\n");
@@ -159,6 +170,6 @@ int main() {
       " (paper: 1.39x)\n",
       avgReram, avgCmos, avgReram, avgReram / avgCmos);
 
-  measuredSweep();
+  measuredSweep(size);
   return 0;
 }

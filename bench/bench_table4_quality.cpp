@@ -78,11 +78,13 @@ int main(int argc, char** argv) {
     for (const auto app : appList) {
       const Cell clean = averaged(
           [&](int r) {
-            return apps::runBinaryCim(app, makeCfg(256, false, r));
+            return apps::runApp(app, apps::DesignKind::BinaryCim,
+                                 makeCfg(256, false, r));
           },
           1);  // deterministic when fault-free
       const Cell faulty = averaged(
-          [&](int r) { return apps::runBinaryCim(app, makeCfg(256, true, r)); },
+          [&](int r) { return apps::runApp(app, apps::DesignKind::BinaryCim,
+                               makeCfg(256, true, r)); },
           runs);
       row.push_back(fmtCell(clean));
       row.push_back(fmtCell(faulty));
@@ -96,10 +98,12 @@ int main(int argc, char** argv) {
     std::vector<std::string> row{"ReRAM-SC N=" + std::to_string(n)};
     for (const auto app : appList) {
       const Cell clean = averaged(
-          [&](int r) { return apps::runReramSc(app, makeCfg(n, false, r)); },
+          [&](int r) { return apps::runApp(app, apps::DesignKind::ReramSc,
+                               makeCfg(n, false, r)); },
           runs);
       const Cell faulty = averaged(
-          [&](int r) { return apps::runReramSc(app, makeCfg(n, true, r)); },
+          [&](int r) { return apps::runApp(app, apps::DesignKind::ReramSc,
+                               makeCfg(n, true, r)); },
           runs);
       row.push_back(fmtCell(clean));
       row.push_back(fmtCell(faulty));
@@ -114,16 +118,20 @@ int main(int argc, char** argv) {
   int cells = 0;
   for (const auto app : appList) {
     const Cell bc = averaged(
-        [&](int r) { return apps::runBinaryCim(app, makeCfg(256, false, r)); }, 1);
+        [&](int r) { return apps::runApp(app, apps::DesignKind::BinaryCim,
+                                 makeCfg(256, false, r)); }, 1);
     const Cell bf = averaged(
-        [&](int r) { return apps::runBinaryCim(app, makeCfg(256, true, r)); },
+        [&](int r) { return apps::runApp(app, apps::DesignKind::BinaryCim,
+                               makeCfg(256, true, r)); },
         runs);
     binDrop += (bc.ssim - bf.ssim) / std::max(bc.ssim, 1.0) * 100.0;
     const Cell sc = averaged(
-        [&](int r) { return apps::runReramSc(app, makeCfg(128, false, r)); },
+        [&](int r) { return apps::runApp(app, apps::DesignKind::ReramSc,
+                             makeCfg(128, false, r)); },
         runs);
     const Cell sf = averaged(
-        [&](int r) { return apps::runReramSc(app, makeCfg(128, true, r)); },
+        [&](int r) { return apps::runApp(app, apps::DesignKind::ReramSc,
+                             makeCfg(128, true, r)); },
         runs);
     scDrop += (sc.ssim - sf.ssim) / std::max(sc.ssim, 1.0) * 100.0;
     ++cells;

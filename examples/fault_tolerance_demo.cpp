@@ -36,8 +36,10 @@ int main(int argc, char** argv) {
     cfg.streamLength = 128;
     cfg.injectFaults = true;
     cfg.device = dev;
-    const apps::Quality sc = apps::runReramSc(apps::AppKind::Compositing, cfg);
-    const apps::Quality bin = apps::runBinaryCim(apps::AppKind::Compositing, cfg);
+    const apps::Quality sc =
+        apps::runApp(apps::AppKind::Compositing, apps::DesignKind::ReramSc, cfg);
+    const apps::Quality bin = apps::runApp(apps::AppKind::Compositing,
+                                           apps::DesignKind::BinaryCim, cfg);
 
     char pfail[32];
     std::snprintf(pfail, sizeof(pfail), "%.2e", worst);

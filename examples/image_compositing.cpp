@@ -8,6 +8,7 @@
 
 #include "apps/compositing.hpp"
 #include "apps/runner.hpp"
+#include "core/backend_reram.hpp"
 #include "img/metrics.hpp"
 #include "img/pgm.hpp"
 
@@ -22,14 +23,14 @@ int main(int argc, char** argv) {
 
   core::AcceleratorConfig cfg;
   cfg.streamLength = n;
-  core::Accelerator acc(cfg);
-  const img::Image out = apps::compositeReramSc(scene, acc);
+  core::ReramScBackend backend(cfg);  // one kernel, pluggable substrate
+  const img::Image out = apps::compositeKernel(scene, backend);
 
   std::printf("Image compositing, %zux%zu, N = %zu\n", size, size, n);
   std::printf("SSIM  vs reference: %.2f %%\n", img::ssim(out, ref) * 100.0);
   std::printf("PSNR  vs reference: %.2f dB\n", img::psnrDb(out, ref));
 
-  const auto& ev = acc.events();
+  const auto ev = backend.events();
   std::printf("memory events: %llu SL reads, %llu row writes, %llu ADC convs\n",
               static_cast<unsigned long long>(ev.slReads),
               static_cast<unsigned long long>(ev.rowWrites),

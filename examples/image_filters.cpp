@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "apps/filters.hpp"
+#include "core/backend_reram.hpp"
 #include "img/metrics.hpp"
 #include "img/pgm.hpp"
 #include "img/synth.hpp"
@@ -21,14 +22,15 @@ int main(int argc, char** argv) {
   core::AcceleratorConfig cfg;
   cfg.streamLength = n;
   core::Accelerator acc(cfg);
+  core::ReramScBackend backend(acc);
 
   const img::Image smoothRef = apps::smoothReference(src);
-  const img::Image smoothSc = apps::smoothReramSc(src, acc);
+  const img::Image smoothSc = apps::smoothKernel(src, backend);
   std::printf("smoothing : PSNR vs reference %.2f dB (N = %zu)\n",
               img::psnrDb(smoothSc, smoothRef), n);
 
   const img::Image edgeRef = apps::edgeReference(src);
-  const img::Image edgeSc = apps::edgeReramSc(src, acc);
+  const img::Image edgeSc = apps::edgeKernel(src, backend);
   std::printf("edges     : PSNR vs reference %.2f dB\n",
               img::psnrDb(edgeSc, edgeRef));
 

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "apps/matting.hpp"
+#include "core/backend_reram.hpp"
 #include "img/metrics.hpp"
 #include "img/pgm.hpp"
 
@@ -19,8 +20,8 @@ int main(int argc, char** argv) {
 
   core::AcceleratorConfig cfg;
   cfg.streamLength = n;
-  core::Accelerator acc(cfg);
-  const img::Image alpha = apps::mattingReramSc(scene, acc);
+  core::ReramScBackend backend(cfg);
+  const img::Image alpha = apps::mattingKernel(scene, backend);
   const img::Image blend = apps::blendWithAlpha(scene, alpha);
 
   std::printf("image matting, %zux%zu, N = %zu\n", size, size, n);
@@ -31,7 +32,7 @@ int main(int argc, char** argv) {
   std::printf("re-blend PSNR vs composite: %.2f dB\n",
               img::psnrDb(blend, scene.composite));
 
-  const auto& ev = acc.events();
+  const auto ev = backend.events();
   std::printf("CORDIV iterations executed in memory: %llu\n",
               static_cast<unsigned long long>(ev.cordivIterations));
 

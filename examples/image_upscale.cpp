@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "apps/bilinear.hpp"
+#include "core/backend_reram.hpp"
 #include "img/metrics.hpp"
 #include "img/pgm.hpp"
 #include "img/synth.hpp"
@@ -24,8 +25,8 @@ int main(int argc, char** argv) {
 
   core::AcceleratorConfig cfg;
   cfg.streamLength = n;
-  core::Accelerator acc(cfg);
-  const img::Image out = apps::upscaleReramSc(src, 2, acc);
+  core::ReramScBackend backend(cfg);
+  const img::Image out = apps::upscaleKernel(src, 2, backend);
 
   std::printf("bilinear x2 up-scaling, N = %zu\n", n);
   std::printf("SSIM vs float reference: %.2f %%\n", img::ssim(out, ref) * 100.0);

@@ -1,13 +1,13 @@
 #include "apps/bilinear.hpp"
 
-#include <algorithm>
 #include <cmath>
-#include <memory>
 #include <stdexcept>
+#include <vector>
 
-#include "sc/ops.hpp"
-#include "sc/rng.hpp"
-#include "sc/sng.hpp"
+#include "core/backend_bincim.hpp"
+#include "core/backend_reference.hpp"
+#include "core/backend_reram.hpp"
+#include "core/backend_swsc.hpp"
 
 namespace aimsc::apps {
 
@@ -25,160 +25,89 @@ SampleCoord mapCoord(std::size_t outIndex, std::size_t outSize,
                      static_cast<std::uint8_t>(std::lround(frac * 255.0))};
 }
 
-img::Image upscaleReference(const img::Image& src, std::size_t factor) {
+void upscaleKernelRows(const img::Image& src, std::size_t factor,
+                       core::ScBackend& b, img::Image& out,
+                       std::size_t rowBegin, std::size_t rowEnd) {
   if (factor < 1) throw std::invalid_argument("upscale: bad factor");
-  const std::size_t W = src.width() * factor;
-  const std::size_t H = src.height() * factor;
-  img::Image out(W, H);
-  for (std::size_t Y = 0; Y < H; ++Y) {
+  const std::size_t W = out.width();
+  const std::size_t H = out.height();
+  // Batch layout: the four neighbour planes stacked [i11 | i12 | i21 | i22]
+  // so the whole family shares one epoch (each MAJ stage needs its data
+  // inputs correlated); dx selects take a second epoch, dy a third.
+  std::vector<std::uint8_t> data(4 * W);
+  std::vector<std::uint8_t> dxRow(W);
+  std::vector<core::ScValue> blended(W);
+  for (std::size_t Y = rowBegin; Y < rowEnd; ++Y) {
     const SampleCoord cy = mapCoord(Y, H, src.height());
     for (std::size_t X = 0; X < W; ++X) {
       const SampleCoord cx = mapCoord(X, W, src.width());
-      const double dx = cx.frac / 255.0;
-      const double dy = cy.frac / 255.0;
-      const double v = (1 - dx) * (1 - dy) * src.at(cx.i0, cy.i0) +
-                       (1 - dx) * dy * src.at(cx.i0, cy.i1) +
-                       dx * (1 - dy) * src.at(cx.i1, cy.i0) +
-                       dx * dy * src.at(cx.i1, cy.i1);
-      out.at(X, Y) = static_cast<std::uint8_t>(std::lround(v));
+      data[X] = src.at(cx.i0, cy.i0);
+      data[W + X] = src.at(cx.i0, cy.i1);
+      data[2 * W + X] = src.at(cx.i1, cy.i0);
+      data[3 * W + X] = src.at(cx.i1, cy.i1);
+      dxRow[X] = cx.frac;
     }
-  }
-  return out;
-}
-
-img::Image upscaleSwSc(const img::Image& src, std::size_t factor, std::size_t n,
-                       energy::CmosSng sng, std::uint64_t seed) {
-  const std::size_t W = src.width() * factor;
-  const std::size_t H = src.height() * factor;
-  img::Image out(W, H);
-
-  auto makeSource = [&](int idx) -> std::unique_ptr<sc::RandomSource> {
-    if (sng == energy::CmosSng::Lfsr) {
-      return std::make_unique<sc::Lfsr>(sc::Lfsr::paper8Bit(
-          static_cast<std::uint32_t>((seed >> (8 * idx)) % 254 + 1)));
-    }
-    return std::make_unique<sc::Sobol>(idx, 1 + (seed & 0xff));
-  };
-  // Six independent sources: four data streams + dx + dy selects.
-  std::vector<std::unique_ptr<sc::RandomSource>> srcs;
-  for (int i = 0; i < 6; ++i) srcs.push_back(makeSource(i));
-
-  for (std::size_t Y = 0; Y < H; ++Y) {
-    const SampleCoord cy = mapCoord(Y, H, src.height());
+    const auto ds = b.encodePixels(data);
+    const auto sxs = b.encodePixels(dxRow);
+    const core::ScValue sy = b.encodePixel(cy.frac);
     for (std::size_t X = 0; X < W; ++X) {
-      const SampleCoord cx = mapCoord(X, W, src.width());
-      const sc::Bitstream i11 = sc::generateSbsFromProb(
-          *srcs[0], src.at(cx.i0, cy.i0) / 255.0, 8, n);
-      const sc::Bitstream i12 = sc::generateSbsFromProb(
-          *srcs[1], src.at(cx.i0, cy.i1) / 255.0, 8, n);
-      const sc::Bitstream i21 = sc::generateSbsFromProb(
-          *srcs[2], src.at(cx.i1, cy.i0) / 255.0, 8, n);
-      const sc::Bitstream i22 = sc::generateSbsFromProb(
-          *srcs[3], src.at(cx.i1, cy.i1) / 255.0, 8, n);
-      const sc::Bitstream sx =
-          sc::generateSbsFromProb(*srcs[4], cx.frac / 255.0, 8, n);
-      const sc::Bitstream sy =
-          sc::generateSbsFromProb(*srcs[5], cy.frac / 255.0, 8, n);
-      const sc::Bitstream o = sc::scMux4(i11, i12, i21, i22, sx, sy);
-      out.at(X, Y) = img::Image::fromProb(o.value());
+      blended[X] = b.majMux4(ds[X], ds[W + X], ds[2 * W + X], ds[3 * W + X],
+                             sxs[X], sy);
     }
+    const auto row = b.decodePixels(blended);
+    for (std::size_t X = 0; X < W; ++X) out.at(X, Y) = row[X];
   }
-  return out;
 }
 
-img::Image upscaleReramSc(const img::Image& src, std::size_t factor,
-                          core::Accelerator& acc) {
-  const std::size_t W = src.width() * factor;
-  const std::size_t H = src.height() * factor;
-  img::Image out(W, H);
-  for (std::size_t Y = 0; Y < H; ++Y) {
-    const SampleCoord cy = mapCoord(Y, H, src.height());
-    for (std::size_t X = 0; X < W; ++X) {
-      const SampleCoord cx = mapCoord(X, W, src.width());
-      // Data streams correlated (shared planes) so each MAJ stage blends
-      // exactly (see compositeReramSc); selects on fresh planes.
-      const sc::Bitstream i11 = acc.encodePixel(src.at(cx.i0, cy.i0));
-      const sc::Bitstream i12 = acc.encodePixelCorrelated(src.at(cx.i0, cy.i1));
-      const sc::Bitstream i21 = acc.encodePixelCorrelated(src.at(cx.i1, cy.i0));
-      const sc::Bitstream i22 = acc.encodePixelCorrelated(src.at(cx.i1, cy.i1));
-      const sc::Bitstream sx = acc.encodePixel(cx.frac);
-      const sc::Bitstream sy = acc.encodePixel(cy.frac);
-      const sc::Bitstream o = acc.ops().majMux4(i11, i12, i21, i22, sx, sy);
-      out.at(X, Y) = acc.decodePixel(o);
-    }
-  }
-  return out;
-}
-
-img::Image upscaleReramScTiled(const img::Image& src, std::size_t factor,
-                               core::TileExecutor& exec) {
+img::Image upscaleKernel(const img::Image& src, std::size_t factor,
+                         core::ScBackend& b) {
   if (factor < 1) throw std::invalid_argument("upscale: bad factor");
-  const std::size_t W = src.width() * factor;
-  const std::size_t H = src.height() * factor;
-  img::Image out(W, H);
-  exec.forEachTile(H, [&](core::Accelerator& acc, std::size_t r0,
-                          std::size_t r1) {
-    // Batch layout: the four neighbour planes stacked [i11 | i12 | i21 | i22]
-    // so the whole family shares one epoch (each MAJ stage needs its data
-    // inputs correlated); dx selects take a second epoch, dy a third.
-    std::vector<std::uint8_t> data(4 * W);
-    std::vector<std::uint8_t> dxRow(W);
-    for (std::size_t Y = r0; Y < r1; ++Y) {
-      const SampleCoord cy = mapCoord(Y, H, src.height());
-      for (std::size_t X = 0; X < W; ++X) {
-        const SampleCoord cx = mapCoord(X, W, src.width());
-        data[X] = src.at(cx.i0, cy.i0);
-        data[W + X] = src.at(cx.i0, cy.i1);
-        data[2 * W + X] = src.at(cx.i1, cy.i0);
-        data[3 * W + X] = src.at(cx.i1, cy.i1);
-        dxRow[X] = cx.frac;
-      }
-      const auto ds = acc.encodePixels(data);
-      const auto sxs = acc.encodePixels(dxRow);
-      const sc::Bitstream sy = acc.encodePixel(cy.frac);
-      for (std::size_t X = 0; X < W; ++X) {
-        out.at(X, Y) = acc.decodePixel(acc.ops().majMux4(
-            ds[X], ds[W + X], ds[2 * W + X], ds[3 * W + X], sxs[X], sy));
-      }
-    }
+  img::Image out(src.width() * factor, src.height() * factor);
+  upscaleKernelRows(src, factor, b, out, 0, out.height());
+  return out;
+}
+
+img::Image upscaleKernelTiled(const img::Image& src, std::size_t factor,
+                              core::TileExecutor& exec) {
+  if (factor < 1) throw std::invalid_argument("upscale: bad factor");
+  img::Image out(src.width() * factor, src.height() * factor);
+  exec.forEachTile(out.height(), [&](core::ScBackend& lane, std::size_t r0,
+                                     std::size_t r1) {
+    upscaleKernelRows(src, factor, lane, out, r0, r1);
   });
   return out;
 }
 
+img::Image upscaleReference(const img::Image& src, std::size_t factor) {
+  core::ReferenceBackend b;
+  return upscaleKernel(src, factor, b);
+}
+
+img::Image upscaleSwSc(const img::Image& src, std::size_t factor, std::size_t n,
+                       energy::CmosSng sng, std::uint64_t seed) {
+  core::SwScConfig cfg;
+  cfg.streamLength = n;
+  cfg.sng = sng;
+  cfg.seed = seed;
+  core::SwScBackend b(cfg);
+  return upscaleKernel(src, factor, b);
+}
+
+img::Image upscaleReramSc(const img::Image& src, std::size_t factor,
+                          core::Accelerator& acc) {
+  core::ReramScBackend b(acc);
+  return upscaleKernel(src, factor, b);
+}
+
+img::Image upscaleReramScTiled(const img::Image& src, std::size_t factor,
+                               core::TileExecutor& exec) {
+  return upscaleKernelTiled(src, factor, exec);
+}
+
 img::Image upscaleBinaryCim(const img::Image& src, std::size_t factor,
                             bincim::MagicEngine& engine) {
-  bincim::AritPim pim(engine);
-  const std::size_t W = src.width() * factor;
-  const std::size_t H = src.height() * factor;
-  img::Image out(W, H);
-
-  // lerp(a, b, t) = ((255 - t) * a + t * b + 127) / 255, computed with
-  // in-memory gates; the /255 is realised as >>8 after a +128 rounding term
-  // with the t scaled to 256ths (sub-LSB bias).
-  auto lerp = [&](std::uint32_t a, std::uint32_t b,
-                  std::uint32_t t) -> std::uint32_t {
-    const std::uint32_t nt = pim.subSaturating(255, t, 8);
-    const std::uint32_t t1 = pim.mul(a, nt, 8);
-    const std::uint32_t t2 = pim.mul(b, t, 8);
-    std::uint32_t sum = pim.add(t1, t2, 16);
-    sum = pim.add(sum, 128, 17);
-    const std::uint32_t v = sum >> 8;
-    return v > 255 ? 255 : v;
-  };
-
-  for (std::size_t Y = 0; Y < H; ++Y) {
-    const SampleCoord cy = mapCoord(Y, H, src.height());
-    for (std::size_t X = 0; X < W; ++X) {
-      const SampleCoord cx = mapCoord(X, W, src.width());
-      const std::uint32_t top =
-          lerp(src.at(cx.i0, cy.i0), src.at(cx.i1, cy.i0), cx.frac);
-      const std::uint32_t bottom =
-          lerp(src.at(cx.i0, cy.i1), src.at(cx.i1, cy.i1), cx.frac);
-      const std::uint32_t v = lerp(top, bottom, cy.frac);
-      out.at(X, Y) = static_cast<std::uint8_t>(v);
-    }
-  }
-  return out;
+  core::BinaryCimBackend b(engine);
+  return upscaleKernel(src, factor, b);
 }
 
 }  // namespace aimsc::apps

@@ -5,17 +5,53 @@
 /// fractional distances (dx, dy) — a 4-to-1 MUX in the SC domain with the
 /// dx/dy streams on the select ports; the in-memory variant uses a tree of
 /// three MAJ cycles.
+///
+/// ONE backend-generic kernel (`upscaleKernel`) serves every execution
+/// substrate through the `ScBackend` interface; the per-design entry points
+/// below are thin shims kept for one release.
 #pragma once
 
 #include <cstdint>
 
 #include "bincim/aritpim.hpp"
 #include "core/accelerator.hpp"
+#include "core/backend.hpp"
 #include "core/tile_executor.hpp"
 #include "energy/cmos_baseline.hpp"
 #include "img/image.hpp"
 
 namespace aimsc::apps {
+
+/// Shared source-coordinate mapping: output X -> source coordinate
+/// (integer base index and 8-bit fractional weight).
+struct SampleCoord {
+  std::size_t i0;
+  std::size_t i1;
+  std::uint8_t frac;  ///< 0..255 weight of i1
+};
+SampleCoord mapCoord(std::size_t outIndex, std::size_t outSize,
+                     std::size_t srcSize);
+
+// --- the backend-generic kernel -------------------------------------------
+
+/// Row-range form: upscales output rows [rowBegin, rowEnd) into \p out
+/// (whose dimensions are src * factor).  Per row one epoch carries the four
+/// correlated source streams (each MAJ stage needs its data inputs
+/// correlated), one epoch the dx selects and one the row-constant dy
+/// select; decode is batched per row.
+void upscaleKernelRows(const img::Image& src, std::size_t factor,
+                       core::ScBackend& b, img::Image& out,
+                       std::size_t rowBegin, std::size_t rowEnd);
+
+/// Whole-image form on a single backend.
+img::Image upscaleKernel(const img::Image& src, std::size_t factor,
+                         core::ScBackend& b);
+
+/// Tile-parallel form: the SAME kernel sharded over the executor's lanes.
+img::Image upscaleKernelTiled(const img::Image& src, std::size_t factor,
+                              core::TileExecutor& exec);
+
+// --- deprecated per-design shims (one release) ----------------------------
 
 /// Floating-point reference up-scaling by integer \p factor.
 img::Image upscaleReference(const img::Image& src, std::size_t factor);
@@ -32,20 +68,8 @@ img::Image upscaleReramSc(const img::Image& src, std::size_t factor,
 img::Image upscaleBinaryCim(const img::Image& src, std::size_t factor,
                             bincim::MagicEngine& engine);
 
-/// Tile-parallel variant: output rows sharded over the engine's lanes; per
-/// row one epoch carries the four correlated source streams (batched
-/// IMSNG), one epoch the dx selects and one the row-constant dy select.
+/// Tile-parallel ReRAM-SC (upscaleKernelTiled shim).
 img::Image upscaleReramScTiled(const img::Image& src, std::size_t factor,
                                core::TileExecutor& exec);
-
-/// Shared source-coordinate mapping: output X -> source coordinate
-/// (integer base index and 8-bit fractional weight).
-struct SampleCoord {
-  std::size_t i0;
-  std::size_t i1;
-  std::uint8_t frac;  ///< 0..255 weight of i1
-};
-SampleCoord mapCoord(std::size_t outIndex, std::size_t outSize,
-                     std::size_t srcSize);
 
 }  // namespace aimsc::apps

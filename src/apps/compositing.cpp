@@ -1,12 +1,13 @@
 #include "apps/compositing.hpp"
 
 #include <algorithm>
-#include <memory>
+#include <vector>
 
+#include "core/backend_bincim.hpp"
+#include "core/backend_reference.hpp"
+#include "core/backend_reram.hpp"
+#include "core/backend_swsc.hpp"
 #include "img/synth.hpp"
-#include "sc/ops.hpp"
-#include "sc/rng.hpp"
-#include "sc/sng.hpp"
 
 namespace aimsc::apps {
 
@@ -22,67 +23,84 @@ CompositingScene makeCompositingScene(std::size_t w, std::size_t h,
   return scene;
 }
 
-img::Image compositeReference(const CompositingScene& scene) {
-  img::Image out(scene.background.width(), scene.background.height());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const double f = scene.foreground[i] / 255.0;
-    const double b = scene.background[i] / 255.0;
-    const double a = scene.alpha[i] / 255.0;
-    out[i] = img::Image::fromProb(f * a + b * (1.0 - a));
+void compositeKernelRows(const CompositingScene& scene, core::ScBackend& b,
+                         img::Image& out, std::size_t rowBegin,
+                         std::size_t rowEnd) {
+  const std::size_t w = scene.background.width();
+  std::vector<std::uint8_t> frow(w);
+  std::vector<std::uint8_t> brow(w);
+  std::vector<std::uint8_t> arow(w);
+  std::vector<core::ScValue> blended(w);
+  for (std::size_t y = rowBegin; y < rowEnd; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      frow[x] = scene.foreground.at(x, y);
+      brow[x] = scene.background.at(x, y);
+      arow[x] = scene.alpha.at(x, y);
+    }
+    // Correlation control (Sec. III-A): F and B share one epoch — with
+    // them correlated and alpha independent,
+    //   P(MAJ(F,B,S)) = min(pF,pB) + pS * |pF - pB|,
+    // which is exactly pS*pF + (1-pS)*pB whenever pF >= pB (and its
+    // alpha-mirrored blend otherwise) — what makes the MUX->MAJ
+    // substitution viable.  Alpha gets its own fresh epoch (the select
+    // must be independent).
+    const auto fs = b.encodePixels(frow);
+    const auto bs = b.encodePixelsCorrelated(brow);
+    const auto as = b.encodePixels(arow);
+    for (std::size_t x = 0; x < w; ++x) {
+      blended[x] = b.majMux(fs[x], bs[x], as[x]);
+    }
+    const auto row = b.decodePixels(blended);
+    for (std::size_t x = 0; x < w; ++x) out.at(x, y) = row[x];
   }
+}
+
+img::Image compositeKernel(const CompositingScene& scene, core::ScBackend& b) {
+  img::Image out(scene.background.width(), scene.background.height());
+  compositeKernelRows(scene, b, out, 0, out.height());
   return out;
+}
+
+img::Image compositeKernelTiled(const CompositingScene& scene,
+                                core::TileExecutor& exec) {
+  img::Image out(scene.background.width(), scene.background.height());
+  exec.forEachTile(out.height(), [&](core::ScBackend& lane, std::size_t r0,
+                                     std::size_t r1) {
+    compositeKernelRows(scene, lane, out, r0, r1);
+  });
+  return out;
+}
+
+img::Image compositeReference(const CompositingScene& scene) {
+  core::ReferenceBackend b;
+  return compositeKernel(scene, b);
 }
 
 img::Image compositeSwSc(const CompositingScene& scene, std::size_t n,
                          energy::CmosSng sng, std::uint64_t seed) {
-  // Three independent SNG sources: different LFSR seeds / Sobol dimensions.
-  std::unique_ptr<sc::RandomSource> s1;
-  std::unique_ptr<sc::RandomSource> s2;
-  std::unique_ptr<sc::RandomSource> s3;
-  if (sng == energy::CmosSng::Lfsr) {
-    s1 = std::make_unique<sc::Lfsr>(sc::Lfsr::paper8Bit(
-        static_cast<std::uint32_t>(seed % 254 + 1)));
-    s2 = std::make_unique<sc::Lfsr>(sc::Lfsr::paper8Bit(
-        static_cast<std::uint32_t>((seed >> 8) % 254 + 1)));
-    s3 = std::make_unique<sc::Lfsr>(sc::Lfsr::paper8Bit(
-        static_cast<std::uint32_t>((seed >> 16) % 254 + 1)));
-  } else {
-    s1 = std::make_unique<sc::Sobol>(0, 1 + (seed & 0xff));
-    s2 = std::make_unique<sc::Sobol>(1, 1 + (seed & 0xff));
-    s3 = std::make_unique<sc::Sobol>(2, 1 + (seed & 0xff));
-  }
-
-  img::Image out(scene.background.width(), scene.background.height());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const sc::Bitstream f =
-        sc::generateSbsFromProb(*s1, scene.foreground[i] / 255.0, 8, n);
-    const sc::Bitstream b =
-        sc::generateSbsFromProb(*s2, scene.background[i] / 255.0, 8, n);
-    const sc::Bitstream a =
-        sc::generateSbsFromProb(*s3, scene.alpha[i] / 255.0, 8, n);
-    const sc::Bitstream c = sc::Bitstream::mux(f, b, a);  // a=1 -> foreground
-    out[i] = img::Image::fromProb(c.value());
-  }
-  return out;
+  core::SwScConfig cfg;
+  cfg.streamLength = n;
+  cfg.sng = sng;
+  cfg.seed = seed;
+  core::SwScBackend b(cfg);
+  return compositeKernel(scene, b);
 }
 
 img::Image compositeReramSc(const CompositingScene& scene,
                             core::Accelerator& acc) {
-  img::Image out(scene.background.width(), scene.background.height());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    // Correlation control makes the single-cycle MAJ accurate: with F and B
-    // *correlated* (shared planes) and alpha independent,
-    //   P(MAJ(F,B,S)) = min(pF,pB) + pS * |pF - pB|,
-    // which is exactly pS*pF + (1-pS)*pB whenever pF >= pB (and its
-    // alpha-mirrored blend otherwise) — Sec. III-A correlation control is
-    // what makes the MUX->MAJ substitution viable.
-    const sc::Bitstream f = acc.encodePixel(scene.foreground[i]);
-    const sc::Bitstream b = acc.encodePixelCorrelated(scene.background[i]);
-    const sc::Bitstream a = acc.encodePixel(scene.alpha[i]);  // fresh planes
-    const sc::Bitstream c = acc.ops().majMux(f, b, a);  // MAJ ~ MUX, 1 cycle
-    out[i] = acc.decodePixel(c);
-  }
-  return out;
+  core::ReramScBackend b(acc);
+  return compositeKernel(scene, b);
+}
+
+img::Image compositeReramScTiled(const CompositingScene& scene,
+                                 core::TileExecutor& exec) {
+  return compositeKernelTiled(scene, exec);
+}
+
+img::Image compositeBinaryCim(const CompositingScene& scene,
+                              bincim::MagicEngine& engine) {
+  core::BinaryCimBackend b(engine);
+  return compositeKernel(scene, b);
 }
 
 img::Image compositeReramScParallel(const CompositingScene& scene,
@@ -94,56 +112,6 @@ img::Image compositeReramScParallel(const CompositingScene& scene,
     const sc::Bitstream b = acc.encodePixelCorrelated(scene.background[i]);
     const sc::Bitstream a = acc.encodePixel(scene.alpha[i]);
     out[i] = acc.decodePixel(acc.ops().majMux(f, b, a));
-  }
-  return out;
-}
-
-img::Image compositeReramScTiled(const CompositingScene& scene,
-                                 core::TileExecutor& exec) {
-  const std::size_t w = scene.background.width();
-  img::Image out(w, scene.background.height());
-  exec.forEachTile(out.height(), [&](core::Accelerator& acc, std::size_t r0,
-                                     std::size_t r1) {
-    std::vector<std::uint8_t> frow(w);
-    std::vector<std::uint8_t> brow(w);
-    std::vector<std::uint8_t> arow(w);
-    for (std::size_t y = r0; y < r1; ++y) {
-      for (std::size_t x = 0; x < w; ++x) {
-        frow[x] = scene.foreground.at(x, y);
-        brow[x] = scene.background.at(x, y);
-        arow[x] = scene.alpha.at(x, y);
-      }
-      // Correlation exactly as the scalar path, amortized over the row:
-      // F and B share one epoch (MAJ ~ MUX needs them correlated), alpha
-      // gets its own (the select must be independent).
-      const auto fs = acc.encodePixels(frow);
-      const auto bs = acc.encodePixelsCorrelated(brow);
-      const auto as = acc.encodePixels(arow);
-      for (std::size_t x = 0; x < w; ++x) {
-        out.at(x, y) = acc.decodePixel(acc.ops().majMux(fs[x], bs[x], as[x]));
-      }
-    }
-  });
-  return out;
-}
-
-img::Image compositeBinaryCim(const CompositingScene& scene,
-                              bincim::MagicEngine& engine) {
-  bincim::AritPim pim(engine);
-  img::Image out(scene.background.width(), scene.background.height());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const std::uint32_t f = scene.foreground[i];
-    const std::uint32_t b = scene.background[i];
-    const std::uint32_t a = scene.alpha[i];
-    const std::uint32_t na = pim.subSaturating(255, a, 8);
-    const std::uint32_t t1 = pim.mul(f, a, 8);
-    const std::uint32_t t2 = pim.mul(b, na, 8);
-    const std::uint32_t sum = pim.add(t1, t2, 16);  // 17-bit
-    // Scale by 1/256 (wiring shift; the 255-vs-256 bias is < 0.5 LSB after
-    // the +128 rounding term).
-    const std::uint32_t rounded = pim.add(sum, 128, 17);
-    const std::uint32_t v = rounded >> 8;
-    out[i] = static_cast<std::uint8_t>(v > 255 ? 255 : v);
   }
   return out;
 }

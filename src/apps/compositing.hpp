@@ -3,17 +3,18 @@
 ///
 /// In the SC domain the compositing formula is a 2-to-1 MUX with the alpha
 /// stream on the select input; the in-memory design approximates the MUX
-/// with a single MAJ scouting-logic cycle.  Four implementations:
-///  * reference  — floating point (the Table IV comparison baseline);
-///  * SW-SC      — CMOS-style serial SC with LFSR/Sobol SNGs + exact MUX;
-///  * ReRAM-SC   — this work: IMSNG + in-memory MAJ + ADC S-to-B;
-///  * binary CIM — AritPIM-style integer arithmetic with gate-level faults.
+/// with a single MAJ scouting-logic cycle.
+///
+/// ONE backend-generic kernel (`compositeKernel`) serves every execution
+/// substrate through the `ScBackend` interface; the per-design entry points
+/// below are thin shims kept for one release (see README migration notes).
 #pragma once
 
 #include <cstdint>
 
 #include "bincim/aritpim.hpp"
 #include "core/accelerator.hpp"
+#include "core/backend.hpp"
 #include "core/mat_group.hpp"
 #include "core/tile_executor.hpp"
 #include "energy/cmos_baseline.hpp"
@@ -33,31 +34,48 @@ struct CompositingScene {
 CompositingScene makeCompositingScene(std::size_t w, std::size_t h,
                                       std::uint64_t seed);
 
-/// Floating-point reference composite.
+// --- the backend-generic kernel -------------------------------------------
+
+/// Row-range form: composites rows [rowBegin, rowEnd) into \p out.  Per row
+/// one randomness epoch carries the correlated F/B pair (MAJ ~ MUX needs
+/// them correlated, Sec. III-A) and one fresh epoch the alpha selects;
+/// decode is batched per row.
+void compositeKernelRows(const CompositingScene& scene, core::ScBackend& b,
+                         img::Image& out, std::size_t rowBegin,
+                         std::size_t rowEnd);
+
+/// Whole-image form on a single backend.
+img::Image compositeKernel(const CompositingScene& scene, core::ScBackend& b);
+
+/// Tile-parallel form: the SAME kernel sharded over the executor's lanes;
+/// bit-identical for any thread count.
+img::Image compositeKernelTiled(const CompositingScene& scene,
+                                core::TileExecutor& exec);
+
+// --- deprecated per-design shims (one release) ----------------------------
+
+/// Floating point (ReferenceBackend).
 img::Image compositeReference(const CompositingScene& scene);
 
-/// Conventional CMOS SC pipeline (serial streams, exact MUX, counter S2B).
+/// Conventional CMOS SC pipeline (SwScBackend).
 img::Image compositeSwSc(const CompositingScene& scene, std::size_t n,
                          energy::CmosSng sng, std::uint64_t seed);
 
-/// This work: all-in-memory SC.  \p acc must be configured with the wanted
-/// stream length / fault mode; events accumulate in the accelerator.
+/// This work (ReramScBackend over \p acc); events accumulate in the
+/// accelerator.
 img::Image compositeReramSc(const CompositingScene& scene,
                             core::Accelerator& acc);
 
-/// Binary CIM baseline; gate ops accumulate in \p engine.
+/// Binary CIM baseline (BinaryCimBackend over \p engine).
 img::Image compositeBinaryCim(const CompositingScene& scene,
                               bincim::MagicEngine& engine);
 
 /// Multi-mat variant: pixels distributed round-robin over the group's
-/// lanes (Sec. III: "multiple arrays to parallelize and pipeline").
+/// lanes (pre-tile-engine; superseded by compositeKernelTiled).
 img::Image compositeReramScParallel(const CompositingScene& scene,
                                     core::MatGroup& mats);
 
-/// Tile-parallel variant on the execution engine: row tiles pinned to
-/// lanes, one randomness epoch per image row for the correlated F/B pair
-/// and one for alpha (batched IMSNG).  Output is bit-identical for any
-/// thread count of \p exec.
+/// Tile-parallel ReRAM-SC (compositeKernelTiled shim).
 img::Image compositeReramScTiled(const CompositingScene& scene,
                                  core::TileExecutor& exec);
 

@@ -1,9 +1,13 @@
 #include "apps/filters.hpp"
 
-#include "sc/bernstein.hpp"
-
 #include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "core/backend_bincim.hpp"
+#include "core/backend_reference.hpp"
+#include "core/backend_reram.hpp"
+#include "sc/bernstein.hpp"
 
 namespace aimsc::apps {
 
@@ -16,86 +20,119 @@ constexpr int kNeighbour[8][2] = {{-1, -1}, {1, 1}, {-1, 1}, {1, -1},
 
 }  // namespace
 
-img::Image smoothReference(const img::Image& src) {
-  img::Image out = src;
-  for (std::size_t y = 1; y + 1 < src.height(); ++y) {
+void smoothKernelRows(const img::Image& src, core::ScBackend& b,
+                      img::Image& out, std::size_t rowBegin,
+                      std::size_t rowEnd) {
+  if (src.width() < 3 || src.height() < 3) return;
+  const std::size_t iw = src.width() - 2;  // interior columns [1, w-1)
+  std::vector<std::uint8_t> data(8 * iw);
+  std::vector<core::ScValue> means(iw);
+  const std::size_t yBegin = std::max<std::size_t>(rowBegin, 1);
+  const std::size_t yEnd = std::min(rowEnd, src.height() - 1);
+  for (std::size_t y = yBegin; y < yEnd; ++y) {
     for (std::size_t x = 1; x + 1 < src.width(); ++x) {
-      double acc = 0;
-      for (const auto& d : kNeighbour) {
-        acc += src.at(x + static_cast<std::size_t>(d[0]),
-                      y + static_cast<std::size_t>(d[1]));
+      for (int i = 0; i < 8; ++i) {
+        data[static_cast<std::size_t>(i) * iw + (x - 1)] =
+            src.at(x + static_cast<std::size_t>(kNeighbour[i][0]),
+                   y + static_cast<std::size_t>(kNeighbour[i][1]));
       }
-      out.at(x, y) = static_cast<std::uint8_t>(std::lround(acc / 8.0));
+    }
+    // One epoch for the 8-neighbour family (scaled addition tolerates any
+    // input correlation); seven independent select epochs, each shared by
+    // the whole row.
+    const auto ns = b.encodePixels(data);
+    core::ScValue half[7];
+    for (auto& h : half) h = b.halfStream();
+    for (std::size_t x = 1; x + 1 < src.width(); ++x) {
+      const std::size_t c = x - 1;
+      core::ScValue l1[4];
+      for (std::size_t i = 0; i < 4; ++i) {
+        l1[i] = b.scaledAdd(ns[2 * i * iw + c], ns[(2 * i + 1) * iw + c],
+                            half[i]);
+      }
+      const core::ScValue l2a = b.scaledAdd(l1[0], l1[1], half[4]);
+      const core::ScValue l2b = b.scaledAdd(l1[2], l1[3], half[5]);
+      means[c] = b.scaledAdd(l2a, l2b, half[6]);
+    }
+    const auto row = b.decodePixels(means);
+    for (std::size_t x = 1; x + 1 < src.width(); ++x) {
+      out.at(x, y) = row[x - 1];
     }
   }
+}
+
+img::Image smoothKernel(const img::Image& src, core::ScBackend& b) {
+  img::Image out = src;  // borders copy through
+  smoothKernelRows(src, b, out, 0, src.height());
   return out;
+}
+
+img::Image smoothKernelTiled(const img::Image& src, core::TileExecutor& exec) {
+  img::Image out = src;
+  if (src.width() < 3 || src.height() < 3) return out;
+  exec.forEachTile(src.height(), [&](core::ScBackend& lane, std::size_t r0,
+                                     std::size_t r1) {
+    smoothKernelRows(src, lane, out, r0, r1);
+  });
+  return out;
+}
+
+void edgeKernelRows(const img::Image& src, core::ScBackend& b, img::Image& out,
+                    std::size_t rowBegin, std::size_t rowEnd) {
+  if (src.width() < 2 || src.height() < 2) return;
+  const std::size_t iw = src.width() - 1;  // windows start at x in [0, w-1)
+  std::vector<std::uint8_t> data(4 * iw);
+  std::vector<core::ScValue> mags(iw);
+  const std::size_t yEnd = std::min(rowEnd, src.height() - 1);
+  for (std::size_t y = rowBegin; y < yEnd; ++y) {
+    for (std::size_t x = 0; x + 1 < src.width(); ++x) {
+      data[x] = src.at(x, y);                  // a
+      data[iw + x] = src.at(x + 1, y + 1);     // d
+      data[2 * iw + x] = src.at(x + 1, y);     // b
+      data[3 * iw + x] = src.at(x, y + 1);     // c
+    }
+    // One correlated family per row (XOR measures |.| exactly on
+    // monotone streams) + one independent select epoch.
+    const auto ws = b.encodePixels(data);
+    const core::ScValue half = b.halfStream();
+    for (std::size_t x = 0; x + 1 < src.width(); ++x) {
+      const core::ScValue g1 = b.absSub(ws[x], ws[iw + x]);
+      const core::ScValue g2 = b.absSub(ws[2 * iw + x], ws[3 * iw + x]);
+      mags[x] = b.scaledAdd(g1, g2, half);
+    }
+    const auto row = b.decodePixels(mags);
+    for (std::size_t x = 0; x + 1 < src.width(); ++x) out.at(x, y) = row[x];
+  }
+}
+
+img::Image edgeKernel(const img::Image& src, core::ScBackend& b) {
+  img::Image out(src.width(), src.height(), 0);
+  edgeKernelRows(src, b, out, 0, src.height());
+  return out;
+}
+
+img::Image edgeKernelTiled(const img::Image& src, core::TileExecutor& exec) {
+  img::Image out(src.width(), src.height(), 0);
+  if (src.width() < 2 || src.height() < 2) return out;
+  exec.forEachTile(src.height(), [&](core::ScBackend& lane, std::size_t r0,
+                                     std::size_t r1) {
+    edgeKernelRows(src, lane, out, r0, r1);
+  });
+  return out;
+}
+
+img::Image smoothReference(const img::Image& src) {
+  core::ReferenceBackend b;
+  return smoothKernel(src, b);
 }
 
 img::Image smoothReramSc(const img::Image& src, core::Accelerator& acc) {
-  img::Image out = src;
-  for (std::size_t y = 1; y + 1 < src.height(); ++y) {
-    for (std::size_t x = 1; x + 1 < src.width(); ++x) {
-      // Encode the 8 neighbours as one correlated family (cheap: one plane
-      // set) — scaled addition tolerates any input correlation since the
-      // MAJ select stream is independent.
-      sc::Bitstream n[8];
-      for (int i = 0; i < 8; ++i) {
-        const std::uint8_t v = src.at(x + static_cast<std::size_t>(kNeighbour[i][0]),
-                                      y + static_cast<std::size_t>(kNeighbour[i][1]));
-        n[i] = i == 0 ? acc.encodePixel(v) : acc.encodePixelCorrelated(v);
-      }
-      // Three MAJ levels with fresh 0.5 selects.
-      sc::Bitstream l1[4];
-      for (int i = 0; i < 4; ++i) {
-        l1[i] = acc.ops().scaledAdd(n[2 * i], n[2 * i + 1], acc.halfStream());
-      }
-      const sc::Bitstream l2a = acc.ops().scaledAdd(l1[0], l1[1], acc.halfStream());
-      const sc::Bitstream l2b = acc.ops().scaledAdd(l1[2], l1[3], acc.halfStream());
-      const sc::Bitstream mean = acc.ops().scaledAdd(l2a, l2b, acc.halfStream());
-      out.at(x, y) = acc.decodePixel(mean);
-    }
-  }
-  return out;
+  core::ReramScBackend b(acc);
+  return smoothKernel(src, b);
 }
 
 img::Image smoothReramScTiled(const img::Image& src, core::TileExecutor& exec) {
-  img::Image out = src;  // borders copy through
-  if (src.width() < 3 || src.height() < 3) return out;
-  const std::size_t iw = src.width() - 2;  // interior columns [1, w-1)
-  exec.forEachTile(src.height(), [&](core::Accelerator& acc, std::size_t r0,
-                                     std::size_t r1) {
-    std::vector<std::uint8_t> data(8 * iw);
-    const std::size_t yBegin = std::max<std::size_t>(r0, 1);
-    const std::size_t yEnd = std::min(r1, src.height() - 1);
-    for (std::size_t y = yBegin; y < yEnd; ++y) {
-      for (std::size_t x = 1; x + 1 < src.width(); ++x) {
-        for (int i = 0; i < 8; ++i) {
-          data[static_cast<std::size_t>(i) * iw + (x - 1)] =
-              src.at(x + static_cast<std::size_t>(kNeighbour[i][0]),
-                     y + static_cast<std::size_t>(kNeighbour[i][1]));
-        }
-      }
-      // One epoch for the 8-neighbour family (scaled addition tolerates any
-      // input correlation); seven independent select epochs, each shared by
-      // the whole row.
-      const auto ns = acc.encodePixels(data);
-      sc::Bitstream half[7];
-      for (auto& h : half) h = acc.halfStream();
-      for (std::size_t x = 1; x + 1 < src.width(); ++x) {
-        const std::size_t c = x - 1;
-        sc::Bitstream l1[4];
-        for (std::size_t i = 0; i < 4; ++i) {
-          l1[i] = acc.ops().scaledAdd(ns[2 * i * iw + c], ns[(2 * i + 1) * iw + c],
-                                      half[i]);
-        }
-        const sc::Bitstream l2a = acc.ops().scaledAdd(l1[0], l1[1], half[4]);
-        const sc::Bitstream l2b = acc.ops().scaledAdd(l1[2], l1[3], half[5]);
-        const sc::Bitstream mean = acc.ops().scaledAdd(l2a, l2b, half[6]);
-        out.at(x, y) = acc.decodePixel(mean);
-      }
-    }
-  });
-  return out;
+  return smoothKernelTiled(src, exec);
 }
 
 img::Image smoothBinaryCim(const img::Image& src, bincim::MagicEngine& engine) {
@@ -119,86 +156,22 @@ img::Image smoothBinaryCim(const img::Image& src, bincim::MagicEngine& engine) {
 }
 
 img::Image edgeReference(const img::Image& src) {
-  img::Image out(src.width(), src.height(), 0);
-  for (std::size_t y = 0; y + 1 < src.height(); ++y) {
-    for (std::size_t x = 0; x + 1 < src.width(); ++x) {
-      const int a = src.at(x, y);
-      const int b = src.at(x + 1, y);
-      const int c = src.at(x, y + 1);
-      const int d = src.at(x + 1, y + 1);
-      out.at(x, y) = static_cast<std::uint8_t>(
-          std::lround((std::abs(a - d) + std::abs(b - c)) / 2.0));
-    }
-  }
-  return out;
+  core::ReferenceBackend b;
+  return edgeKernel(src, b);
 }
 
 img::Image edgeReramSc(const img::Image& src, core::Accelerator& acc) {
-  img::Image out(src.width(), src.height(), 0);
-  for (std::size_t y = 0; y + 1 < src.height(); ++y) {
-    for (std::size_t x = 0; x + 1 < src.width(); ++x) {
-      // One correlated family for the four pixels: XOR then measures the
-      // absolute differences exactly (monotone streams).
-      const sc::Bitstream a = acc.encodePixel(src.at(x, y));
-      const sc::Bitstream d = acc.encodePixelCorrelated(src.at(x + 1, y + 1));
-      const sc::Bitstream b = acc.encodePixelCorrelated(src.at(x + 1, y));
-      const sc::Bitstream c = acc.encodePixelCorrelated(src.at(x, y + 1));
-      const sc::Bitstream g1 = acc.ops().absSub(a, d);
-      const sc::Bitstream g2 = acc.ops().absSub(b, c);
-      const sc::Bitstream mag = acc.ops().scaledAdd(g1, g2, acc.halfStream());
-      out.at(x, y) = acc.decodePixel(mag);
-    }
-  }
-  return out;
+  core::ReramScBackend b(acc);
+  return edgeKernel(src, b);
 }
 
 img::Image edgeReramScTiled(const img::Image& src, core::TileExecutor& exec) {
-  img::Image out(src.width(), src.height(), 0);
-  if (src.width() < 2 || src.height() < 2) return out;
-  const std::size_t iw = src.width() - 1;  // windows start at x in [0, w-1)
-  exec.forEachTile(src.height(), [&](core::Accelerator& acc, std::size_t r0,
-                                     std::size_t r1) {
-    std::vector<std::uint8_t> data(4 * iw);
-    const std::size_t yEnd = std::min(r1, src.height() - 1);
-    for (std::size_t y = r0; y < yEnd; ++y) {
-      for (std::size_t x = 0; x + 1 < src.width(); ++x) {
-        data[x] = src.at(x, y);                  // a
-        data[iw + x] = src.at(x + 1, y + 1);     // d
-        data[2 * iw + x] = src.at(x + 1, y);     // b
-        data[3 * iw + x] = src.at(x, y + 1);     // c
-      }
-      // One correlated family per row (XOR measures |.| exactly on
-      // monotone streams) + one independent select epoch.
-      const auto ws = acc.encodePixels(data);
-      const sc::Bitstream half = acc.halfStream();
-      for (std::size_t x = 0; x + 1 < src.width(); ++x) {
-        const sc::Bitstream g1 = acc.ops().absSub(ws[x], ws[iw + x]);
-        const sc::Bitstream g2 = acc.ops().absSub(ws[2 * iw + x], ws[3 * iw + x]);
-        const sc::Bitstream mag = acc.ops().scaledAdd(g1, g2, half);
-        out.at(x, y) = acc.decodePixel(mag);
-      }
-    }
-  });
-  return out;
+  return edgeKernelTiled(src, exec);
 }
 
 img::Image edgeBinaryCim(const img::Image& src, bincim::MagicEngine& engine) {
-  bincim::AritPim pim(engine);
-  img::Image out(src.width(), src.height(), 0);
-  for (std::size_t y = 0; y + 1 < src.height(); ++y) {
-    for (std::size_t x = 0; x + 1 < src.width(); ++x) {
-      const std::uint32_t a = src.at(x, y);
-      const std::uint32_t b = src.at(x + 1, y);
-      const std::uint32_t c = src.at(x, y + 1);
-      const std::uint32_t d = src.at(x + 1, y + 1);
-      const std::uint32_t g1 = pim.subSaturating(a, d, 8) | pim.subSaturating(d, a, 8);
-      const std::uint32_t g2 = pim.subSaturating(b, c, 8) | pim.subSaturating(c, b, 8);
-      std::uint32_t sum = pim.add(g1, g2, 9);
-      sum = pim.add(sum, 1, 10);  // rounding
-      out.at(x, y) = static_cast<std::uint8_t>(std::min<std::uint32_t>(sum >> 1, 255));
-    }
-  }
-  return out;
+  core::BinaryCimBackend b(engine);
+  return edgeKernel(src, b);
 }
 
 img::Image gammaReference(const img::Image& src, double gamma) {

@@ -4,43 +4,72 @@
 ///        smoothing (8-neighbour mean through a MAJ tree) and Roberts-cross
 ///        edge detection (correlated XOR + scaled add).
 ///
-/// Both kernels compose the same in-memory primitives as the paper's three
-/// evaluation apps and serve as additional end-to-end exercisers:
+/// Both kernels compose the same stage-1/2/3 primitives as the paper's
+/// three evaluation apps and are written once against `ScBackend`:
 ///  * smoothing: three levels of scaled addition (select = 0.5) — the pure
 ///    MAJ-tree data path;
 ///  * edge detection: |a - d| and |b - c| on correlated streams, combined
 ///    by one more scaled addition: the XOR window op at app level.
+/// The per-design entry points are thin shims kept for one release.
 #pragma once
 
 #include "bincim/aritpim.hpp"
 #include "core/accelerator.hpp"
+#include "core/backend.hpp"
 #include "core/tile_executor.hpp"
+#include "energy/cmos_baseline.hpp"
 #include "img/image.hpp"
 
 namespace aimsc::apps {
 
+// --- the backend-generic kernels ------------------------------------------
+
+/// Row-range smoothing: per row one epoch carries the 8 correlated
+/// neighbour batches (scaled addition tolerates any input correlation);
+/// the seven MAJ selects are seven fresh epochs shared across the row.
+/// Rows are clamped to the interior; border pixels must be pre-filled.
+void smoothKernelRows(const img::Image& src, core::ScBackend& b,
+                      img::Image& out, std::size_t rowBegin,
+                      std::size_t rowEnd);
+
+/// Whole-image smoothing (border pixels copy through).
+img::Image smoothKernel(const img::Image& src, core::ScBackend& b);
+
+/// Tile-parallel smoothing: the SAME kernel over the executor's lanes.
+img::Image smoothKernelTiled(const img::Image& src, core::TileExecutor& exec);
+
+/// Row-range Roberts-cross edge magnitude
+/// (|I(x,y)-I(x+1,y+1)| + |I(x+1,y)-I(x,y+1)|)/2: per row one epoch for the
+/// correlated 4-pixel window family plus one fresh select epoch.
+void edgeKernelRows(const img::Image& src, core::ScBackend& b, img::Image& out,
+                    std::size_t rowBegin, std::size_t rowEnd);
+
+/// Whole-image edge magnitude (last row/column are zero).
+img::Image edgeKernel(const img::Image& src, core::ScBackend& b);
+
+/// Tile-parallel edge detection: the SAME kernel over the executor's lanes.
+img::Image edgeKernelTiled(const img::Image& src, core::TileExecutor& exec);
+
+// --- deprecated per-design shims (one release) ----------------------------
+
 /// 8-neighbour mean smoothing (border pixels are copied through).
 img::Image smoothReference(const img::Image& src);
 img::Image smoothReramSc(const img::Image& src, core::Accelerator& acc);
+/// Direct integer 8-neighbour mean (NOT the MAJ-tree decomposition; kept
+/// as the historical gate-count baseline).
 img::Image smoothBinaryCim(const img::Image& src, bincim::MagicEngine& engine);
-
-/// Tile-parallel smoothing: per row one epoch carries the 8 correlated
-/// neighbour batches; the seven MAJ selects are seven fresh epochs shared
-/// across the row (batched IMSNG on the tile's lane).
 img::Image smoothReramScTiled(const img::Image& src, core::TileExecutor& exec);
 
-/// Roberts-cross edge magnitude: (|I(x,y)-I(x+1,y+1)| + |I(x+1,y)-I(x,y+1)|)/2.
+/// Roberts-cross edge magnitude.
 img::Image edgeReference(const img::Image& src);
 img::Image edgeReramSc(const img::Image& src, core::Accelerator& acc);
 img::Image edgeBinaryCim(const img::Image& src, bincim::MagicEngine& engine);
-
-/// Tile-parallel edge detection: one epoch per row for the correlated
-/// 4-pixel window family plus one fresh select epoch.
 img::Image edgeReramScTiled(const img::Image& src, core::TileExecutor& exec);
 
 /// Gamma correction v' = v^gamma via Bernstein synthesis (sc/bernstein.hpp):
 /// the in-memory flow computes the degree-n Bernstein approximation with
-/// coefficients b_k = (k/n)^gamma.
+/// coefficients b_k = (k/n)^gamma.  (Accelerator-specific: the Bernstein
+/// selection network is beyond the portable ScBackend op vocabulary.)
 img::Image gammaReference(const img::Image& src, double gamma);
 img::Image gammaReramSc(const img::Image& src, double gamma,
                         core::Accelerator& acc, int degree = 4);

@@ -1,13 +1,11 @@
 #include "apps/matting.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <memory>
+#include <vector>
 
-#include "sc/cordiv.hpp"
-#include "sc/ops.hpp"
-#include "sc/rng.hpp"
-#include "sc/sng.hpp"
+#include "core/backend_bincim.hpp"
+#include "core/backend_reference.hpp"
+#include "core/backend_reram.hpp"
+#include "core/backend_swsc.hpp"
 
 namespace aimsc::apps {
 
@@ -21,121 +19,80 @@ MattingScene makeMattingScene(std::size_t w, std::size_t h, std::uint64_t seed) 
   return scene;
 }
 
-img::Image mattingReference(const MattingScene& scene) {
-  img::Image out(scene.composite.width(), scene.composite.height());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const double num = static_cast<double>(scene.composite[i]) -
-                       static_cast<double>(scene.background[i]);
-    const double den = static_cast<double>(scene.foreground[i]) -
-                       static_cast<double>(scene.background[i]);
-    double a;
-    if (std::abs(den) < 1.0) {
-      a = 0.0;  // alpha unspecified where F == B; blend is insensitive there
-    } else {
-      a = std::clamp(num / den, 0.0, 1.0);
-    }
-    out[i] = img::Image::fromProb(a);
-  }
-  return out;
-}
-
-img::Image mattingSwSc(const MattingScene& scene, std::size_t n,
-                       energy::CmosSng sng, std::uint64_t seed) {
-  std::unique_ptr<sc::RandomSource> shared;
-  if (sng == energy::CmosSng::Lfsr) {
-    shared = std::make_unique<sc::Lfsr>(
-        sc::Lfsr::paper8Bit(static_cast<std::uint32_t>(seed % 254 + 1)));
-  } else {
-    shared = std::make_unique<sc::Sobol>(0, 1 + (seed & 0xff));
-  }
-  img::Image out(scene.composite.width(), scene.composite.height());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    // Correlated streams: shared RNG restarted per stream (Sec. II-B).
-    shared->reset();
-    const sc::Bitstream si =
-        sc::generateSbsFromProb(*shared, scene.composite[i] / 255.0, 8, n);
-    shared->reset();
-    const sc::Bitstream sb =
-        sc::generateSbsFromProb(*shared, scene.background[i] / 255.0, 8, n);
-    shared->reset();
-    const sc::Bitstream sf =
-        sc::generateSbsFromProb(*shared, scene.foreground[i] / 255.0, 8, n);
-    const sc::Bitstream num = sc::scAbsSub(si, sb);
-    const sc::Bitstream den = sc::scAbsSub(sf, sb);
-    const sc::Bitstream q = sc::cordivDivide(num, den);
-    out[i] = img::Image::fromProb(q.value());
-  }
-  return out;
-}
-
-img::Image mattingReramSc(const MattingScene& scene, core::Accelerator& acc) {
-  img::Image out(scene.composite.width(), scene.composite.height());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    // One fresh plane set, three correlated conversions against it.
-    const sc::Bitstream si = acc.encodePixel(scene.composite[i]);
-    const sc::Bitstream sb = acc.encodePixelCorrelated(scene.background[i]);
-    const sc::Bitstream sf = acc.encodePixelCorrelated(scene.foreground[i]);
-    const sc::Bitstream num = acc.ops().absSub(si, sb);
-    const sc::Bitstream den = acc.ops().absSub(sf, sb);
-    const sc::Bitstream q = acc.ops().divide(num, den);
-    // CORDIV output is deposited as resistances; ADC senses the column.
-    out[i] = acc.decodePixelStored(q);
-  }
-  return out;
-}
-
-img::Image mattingReramScTiled(const MattingScene& scene,
-                               core::TileExecutor& exec) {
+void mattingKernelRows(const MattingScene& scene, core::ScBackend& b,
+                       img::Image& out, std::size_t rowBegin,
+                       std::size_t rowEnd) {
   const std::size_t w = scene.composite.width();
-  img::Image out(w, scene.composite.height());
-  exec.forEachTile(out.height(), [&](core::Accelerator& acc, std::size_t r0,
-                                     std::size_t r1) {
-    std::vector<std::uint8_t> irow(w);
-    std::vector<std::uint8_t> brow(w);
-    std::vector<std::uint8_t> frow(w);
-    for (std::size_t y = r0; y < r1; ++y) {
-      for (std::size_t x = 0; x < w; ++x) {
-        irow[x] = scene.composite.at(x, y);
-        brow[x] = scene.background.at(x, y);
-        frow[x] = scene.foreground.at(x, y);
-      }
-      // One epoch, three correlated batches: the CORDIV precondition.
-      const auto is = acc.encodePixels(irow);
-      const auto bs = acc.encodePixelsCorrelated(brow);
-      const auto fs = acc.encodePixelsCorrelated(frow);
-      for (std::size_t x = 0; x < w; ++x) {
-        const sc::Bitstream num = acc.ops().absSub(is[x], bs[x]);
-        const sc::Bitstream den = acc.ops().absSub(fs[x], bs[x]);
-        const sc::Bitstream q = acc.ops().divide(num, den);
-        out.at(x, y) = acc.decodePixelStored(q);
-      }
+  std::vector<std::uint8_t> irow(w);
+  std::vector<std::uint8_t> brow(w);
+  std::vector<std::uint8_t> frow(w);
+  std::vector<core::ScValue> quotients(w);
+  for (std::size_t y = rowBegin; y < rowEnd; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      irow[x] = scene.composite.at(x, y);
+      brow[x] = scene.background.at(x, y);
+      frow[x] = scene.foreground.at(x, y);
     }
+    // One epoch, three correlated batches: the CORDIV precondition.
+    const auto is = b.encodePixels(irow);
+    const auto bs = b.encodePixelsCorrelated(brow);
+    const auto fs = b.encodePixelsCorrelated(frow);
+    for (std::size_t x = 0; x < w; ++x) {
+      const core::ScValue num = b.absSub(is[x], bs[x]);
+      const core::ScValue den = b.absSub(fs[x], bs[x]);
+      quotients[x] = b.divide(num, den);
+    }
+    // CORDIV outputs exist as resistances; the ADC senses the column.
+    const auto row = b.decodePixelsStored(quotients);
+    for (std::size_t x = 0; x < w; ++x) out.at(x, y) = row[x];
+  }
+}
+
+img::Image mattingKernel(const MattingScene& scene, core::ScBackend& b) {
+  img::Image out(scene.composite.width(), scene.composite.height());
+  mattingKernelRows(scene, b, out, 0, out.height());
+  return out;
+}
+
+img::Image mattingKernelTiled(const MattingScene& scene,
+                              core::TileExecutor& exec) {
+  img::Image out(scene.composite.width(), scene.composite.height());
+  exec.forEachTile(out.height(), [&](core::ScBackend& lane, std::size_t r0,
+                                     std::size_t r1) {
+    mattingKernelRows(scene, lane, out, r0, r1);
   });
   return out;
 }
 
+img::Image mattingReference(const MattingScene& scene) {
+  core::ReferenceBackend b;
+  return mattingKernel(scene, b);
+}
+
+img::Image mattingSwSc(const MattingScene& scene, std::size_t n,
+                       energy::CmosSng sng, std::uint64_t seed) {
+  core::SwScConfig cfg;
+  cfg.streamLength = n;
+  cfg.sng = sng;
+  cfg.seed = seed;
+  core::SwScBackend b(cfg);
+  return mattingKernel(scene, b);
+}
+
+img::Image mattingReramSc(const MattingScene& scene, core::Accelerator& acc) {
+  core::ReramScBackend b(acc);
+  return mattingKernel(scene, b);
+}
+
+img::Image mattingReramScTiled(const MattingScene& scene,
+                               core::TileExecutor& exec) {
+  return mattingKernelTiled(scene, exec);
+}
+
 img::Image mattingBinaryCim(const MattingScene& scene,
                             bincim::MagicEngine& engine) {
-  bincim::AritPim pim(engine);
-  img::Image out(scene.composite.width(), scene.composite.height());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const std::uint32_t iv = scene.composite[i];
-    const std::uint32_t bv = scene.background[i];
-    const std::uint32_t fv = scene.foreground[i];
-    // |I - B| and |F - B| via saturating subtraction both ways.
-    const std::uint32_t n1 = pim.subSaturating(iv, bv, 8);
-    const std::uint32_t n2 = pim.subSaturating(bv, iv, 8);
-    const std::uint32_t num8 = n1 | n2;  // one side is zero
-    const std::uint32_t d1 = pim.subSaturating(fv, bv, 8);
-    const std::uint32_t d2 = pim.subSaturating(bv, fv, 8);
-    const std::uint32_t den8 = d1 | d2;
-    // alpha = num * 255 / den, 16-bit numerator, restoring division.
-    const std::uint32_t num16 = pim.mul(num8, 255, 8);
-    std::uint32_t a = pim.div(num16, den8, 16, 8);
-    a = std::min<std::uint32_t>(a, 255);
-    out[i] = static_cast<std::uint8_t>(a);
-  }
-  return out;
+  core::BinaryCimBackend b(engine);
+  return mattingKernel(scene, b);
 }
 
 img::Image blendWithAlpha(const MattingScene& scene, const img::Image& alpha) {

@@ -8,6 +8,10 @@
 /// the denominator stream), which is exactly the precondition of CORDIV.
 /// Following Table IV's protocol, quality is judged on the *re-blended*
 /// composite: blend(F, B, alpha^) vs blend(F, B, alpha_true).
+///
+/// ONE backend-generic kernel (`mattingKernel`) serves every execution
+/// substrate; the per-design entry points are thin shims kept for one
+/// release.
 #pragma once
 
 #include <cstdint>
@@ -26,7 +30,27 @@ struct MattingScene {
 
 MattingScene makeMattingScene(std::size_t w, std::size_t h, std::uint64_t seed);
 
-/// Floating-point alpha estimate (clamped to [0,1]; undefined where F = B).
+// --- the backend-generic kernel -------------------------------------------
+
+/// Row-range form: estimates alpha for rows [rowBegin, rowEnd).  Per row
+/// one epoch carries the correlated I/B/F triple (the CORDIV
+/// precondition); the quotient is decoded through the resistance-mode
+/// S-to-B path, batched per row.
+void mattingKernelRows(const MattingScene& scene, core::ScBackend& b,
+                       img::Image& out, std::size_t rowBegin,
+                       std::size_t rowEnd);
+
+/// Whole-image form on a single backend.
+img::Image mattingKernel(const MattingScene& scene, core::ScBackend& b);
+
+/// Tile-parallel form: the SAME kernel sharded over the executor's lanes.
+img::Image mattingKernelTiled(const MattingScene& scene,
+                              core::TileExecutor& exec);
+
+// --- deprecated per-design shims (one release) ----------------------------
+
+/// Floating-point alpha estimate (ReferenceBackend; |.|-based ratio,
+/// clamped to [0,1]; zero where F = B).
 img::Image mattingReference(const MattingScene& scene);
 
 /// CMOS-style SC: correlated software streams + CORDIV.
@@ -42,9 +66,7 @@ img::Image mattingReramSc(const MattingScene& scene, core::Accelerator& acc);
 img::Image mattingBinaryCim(const MattingScene& scene,
                             bincim::MagicEngine& engine);
 
-/// Tile-parallel variant: one epoch per row carries the correlated I/B/F
-/// triple (batched IMSNG); XOR, CORDIV and the resistance-mode decode run
-/// per pixel on the tile's lane.
+/// Tile-parallel ReRAM-SC (mattingKernelTiled shim).
 img::Image mattingReramScTiled(const MattingScene& scene,
                                core::TileExecutor& exec);
 

@@ -1,8 +1,8 @@
 #include "apps/runner.hpp"
 
-#include <memory>
 #include <stdexcept>
 
+#include "core/backend_reram.hpp"
 #include "img/metrics.hpp"
 #include "img/synth.hpp"
 
@@ -13,6 +13,7 @@ const char* appName(AppKind app) {
     case AppKind::Compositing: return "Image Compositing";
     case AppKind::Bilinear: return "Bilinear Interpolation";
     case AppKind::Matting: return "Image Matting";
+    case AppKind::Filters: return "Image Filters";
   }
   return "?";
 }
@@ -44,120 +45,97 @@ img::Image srcImageFor(const RunConfig& cfg) {
   return img::naturalScene(cfg.width, cfg.height, cfg.seed ^ 0xb111);
 }
 
-}  // namespace
-
-Quality runReramSc(AppKind app, const RunConfig& cfg) {
-  core::Accelerator acc(accelConfigFor(cfg));
+/// Runs the app's backend-generic kernel serially (\p backend) or tiled
+/// (\p exec; exactly one of the two is non-null) and scores it per the
+/// Table IV protocol.
+Quality runAppOn(AppKind app, const RunConfig& cfg, core::ScBackend* backend,
+                 core::TileExecutor* exec) {
   switch (app) {
     case AppKind::Compositing: {
       const CompositingScene scene =
           makeCompositingScene(cfg.width, cfg.height, cfg.seed);
-      return compareQuality(compositeReramSc(scene, acc),
-                            compositeReference(scene));
+      const img::Image out = exec != nullptr
+                                 ? compositeKernelTiled(scene, *exec)
+                                 : compositeKernel(scene, *backend);
+      return compareQuality(out, compositeReference(scene));
     }
     case AppKind::Bilinear: {
       const img::Image src = srcImageFor(cfg);
-      return compareQuality(upscaleReramSc(src, cfg.upscaleFactor, acc),
-                            upscaleReference(src, cfg.upscaleFactor));
+      const img::Image out =
+          exec != nullptr ? upscaleKernelTiled(src, cfg.upscaleFactor, *exec)
+                          : upscaleKernel(src, cfg.upscaleFactor, *backend);
+      return compareQuality(out, upscaleReference(src, cfg.upscaleFactor));
     }
     case AppKind::Matting: {
       const MattingScene scene =
           makeMattingScene(cfg.width, cfg.height, cfg.seed);
-      const img::Image alpha = mattingReramSc(scene, acc);
+      const img::Image alpha = exec != nullptr
+                                   ? mattingKernelTiled(scene, *exec)
+                                   : mattingKernel(scene, *backend);
       return compareQuality(blendWithAlpha(scene, alpha), scene.composite);
     }
+    case AppKind::Filters: {
+      const img::Image src = srcImageFor(cfg);
+      const img::Image out = exec != nullptr ? smoothKernelTiled(src, *exec)
+                                             : smoothKernel(src, *backend);
+      return compareQuality(out, smoothReference(src));
+    }
   }
-  throw std::invalid_argument("runReramSc: bad app");
+  throw std::invalid_argument("runApp: bad app");
+}
+
+}  // namespace
+
+core::BackendFactoryConfig backendConfigFor(const RunConfig& cfg) {
+  core::BackendFactoryConfig bc;
+  bc.streamLength = cfg.streamLength;
+  bc.seed = cfg.seed;
+  bc.injectFaults = cfg.injectFaults;
+  bc.device = cfg.device;
+  bc.faultModelSamples = 40000;
+  return bc;
 }
 
 core::TileExecutorConfig tileConfigFor(const RunConfig& cfg,
                                        const ParallelConfig& par) {
   core::TileExecutorConfig tc;
-  tc.lanes = par.lanes;
-  tc.threads = par.threads;
-  tc.rowsPerTile = par.rowsPerTile;
+  static_cast<core::ParallelConfig&>(tc) = par;
   tc.mat = accelConfigFor(cfg);
   return tc;
 }
 
+Quality runApp(AppKind app, DesignKind design, const RunConfig& cfg,
+               const ParallelConfig& par) {
+  if (design == DesignKind::ReramSc) {
+    // This work runs on the tile-parallel engine: same kernel, lane-pinned
+    // schedule, bit-identical for any thread count.
+    core::TileExecutor exec(tileConfigFor(cfg, par));
+    return runAppOn(app, cfg, nullptr, &exec);
+  }
+  const auto backend = core::makeBackend(design, backendConfigFor(cfg));
+  return runAppOn(app, cfg, backend.get(), nullptr);
+}
+
+Quality runReramSc(AppKind app, const RunConfig& cfg) {
+  core::Accelerator acc(accelConfigFor(cfg));
+  core::ReramScBackend backend(acc);
+  return runAppOn(app, cfg, &backend, nullptr);
+}
+
 Quality runReramScTiled(AppKind app, const RunConfig& cfg,
                         const ParallelConfig& par) {
-  core::TileExecutor exec(tileConfigFor(cfg, par));
-  switch (app) {
-    case AppKind::Compositing: {
-      const CompositingScene scene =
-          makeCompositingScene(cfg.width, cfg.height, cfg.seed);
-      return compareQuality(compositeReramScTiled(scene, exec),
-                            compositeReference(scene));
-    }
-    case AppKind::Bilinear: {
-      const img::Image src = srcImageFor(cfg);
-      return compareQuality(upscaleReramScTiled(src, cfg.upscaleFactor, exec),
-                            upscaleReference(src, cfg.upscaleFactor));
-    }
-    case AppKind::Matting: {
-      const MattingScene scene =
-          makeMattingScene(cfg.width, cfg.height, cfg.seed);
-      const img::Image alpha = mattingReramScTiled(scene, exec);
-      return compareQuality(blendWithAlpha(scene, alpha), scene.composite);
-    }
-  }
-  throw std::invalid_argument("runReramScTiled: bad app");
+  return runApp(app, DesignKind::ReramSc, cfg, par);
 }
 
 Quality runBinaryCim(AppKind app, const RunConfig& cfg) {
-  std::unique_ptr<reram::FaultModel> fm;
-  if (cfg.injectFaults) {
-    fm = std::make_unique<reram::FaultModel>(cfg.device, cfg.seed ^ 0xb1f, 40000);
-  }
-  // Equal-fault-surface scale: see MagicEngine doc (our decomposition has
-  // ~4x the gate cycles of an optimized AritPIM mapping).
-  bincim::MagicEngine engine(fm.get(), cfg.seed ^ 0xe6, 0.25);
-  switch (app) {
-    case AppKind::Compositing: {
-      const CompositingScene scene =
-          makeCompositingScene(cfg.width, cfg.height, cfg.seed);
-      return compareQuality(compositeBinaryCim(scene, engine),
-                            compositeReference(scene));
-    }
-    case AppKind::Bilinear: {
-      const img::Image src = srcImageFor(cfg);
-      return compareQuality(upscaleBinaryCim(src, cfg.upscaleFactor, engine),
-                            upscaleReference(src, cfg.upscaleFactor));
-    }
-    case AppKind::Matting: {
-      const MattingScene scene =
-          makeMattingScene(cfg.width, cfg.height, cfg.seed);
-      const img::Image alpha = mattingBinaryCim(scene, engine);
-      return compareQuality(blendWithAlpha(scene, alpha), scene.composite);
-    }
-  }
-  throw std::invalid_argument("runBinaryCim: bad app");
+  return runApp(app, DesignKind::BinaryCim, cfg);
 }
 
 Quality runSwSc(AppKind app, const RunConfig& cfg, energy::CmosSng sng) {
-  switch (app) {
-    case AppKind::Compositing: {
-      const CompositingScene scene =
-          makeCompositingScene(cfg.width, cfg.height, cfg.seed);
-      return compareQuality(
-          compositeSwSc(scene, cfg.streamLength, sng, cfg.seed),
-          compositeReference(scene));
-    }
-    case AppKind::Bilinear: {
-      const img::Image src = srcImageFor(cfg);
-      return compareQuality(
-          upscaleSwSc(src, cfg.upscaleFactor, cfg.streamLength, sng, cfg.seed),
-          upscaleReference(src, cfg.upscaleFactor));
-    }
-    case AppKind::Matting: {
-      const MattingScene scene =
-          makeMattingScene(cfg.width, cfg.height, cfg.seed);
-      const img::Image alpha = mattingSwSc(scene, cfg.streamLength, sng, cfg.seed);
-      return compareQuality(blendWithAlpha(scene, alpha), scene.composite);
-    }
-  }
-  throw std::invalid_argument("runSwSc: bad app");
+  return runApp(app,
+                sng == energy::CmosSng::Lfsr ? DesignKind::SwScLfsr
+                                             : DesignKind::SwScSobol,
+                cfg);
 }
 
 namespace {
@@ -169,6 +147,7 @@ namespace {
 /// optimized counts a real AritPIM deployment would see, while the fault
 /// study uses the gate-accurate engine.
 constexpr double kAritAdd8 = 130.0;
+constexpr double kAritAdd11 = 180.0;
 constexpr double kAritSub8 = 130.0;
 constexpr double kAritMul8 = 416.0;   // 6.5 * 64
 constexpr double kAritDiv16x8 = 1400.0;
@@ -212,6 +191,18 @@ energy::AppProfile profileFor(AppKind app) {
       p.ioBytesPerElement = 4.0;      // I, B, F in; alpha out
       // |I-B|, |F-B| (two subs each), num*255, restoring 16/8 division.
       p.bincimGateOps = 4 * kAritSub8 + kAritMul8 + kAritDiv16x8;
+      break;
+    case AppKind::Filters:
+      // 8-neighbour smoothing: 8 data conversions + 7 row-shared selects
+      // (amortized over the row width) per interior pixel.
+      p.conversionsPerElement = 8.2;
+      p.bulkOpsPerElement = 7.0;      // three MAJ-tree levels
+      p.sbsWritesPerElement = 8.2;
+      p.cmosOpClass = energy::ScOpKind::ScaledAddition;
+      p.cmosOpPasses = 7.0;           // seven serial MUX passes
+      p.ioBytesPerElement = 2.0;      // overlapping reads cache; 1 in, 1 out
+      // Eight 11-bit accumulating adds + rounding add.
+      p.bincimGateOps = 9 * kAritAdd11;
       break;
   }
   return p;

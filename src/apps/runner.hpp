@@ -1,10 +1,11 @@
 /// \file runner.hpp
-/// \brief Unified application harness for Table IV and Figs. 4/5: runs each
-///        (application, design) pair on a synthetic scene and scores it
-///        against the floating-point reference.
+/// \brief Unified application harness for Table IV and Figs. 4/5: one entry
+///        point, `runApp(app, design, ...)`, dispatches any application
+///        kernel onto any execution backend and scores it against the
+///        floating-point reference.
 ///
-/// Table IV protocol: compositing and bilinear interpolation are compared
-/// directly against the software reference output; matting is compared on
+/// Table IV protocol: compositing, bilinear interpolation and filters are
+/// compared directly against the reference output; matting is compared on
 /// the *re-blended* composite (blend with estimated alpha vs blend with the
 /// original alpha).
 #pragma once
@@ -13,15 +14,20 @@
 
 #include "apps/bilinear.hpp"
 #include "apps/compositing.hpp"
+#include "apps/filters.hpp"
 #include "apps/matting.hpp"
+#include "core/backend.hpp"
 #include "core/tile_executor.hpp"
 #include "energy/system_model.hpp"
 
 namespace aimsc::apps {
 
-enum class AppKind { Compositing, Bilinear, Matting };
+enum class AppKind { Compositing, Bilinear, Matting, Filters };
 
 const char* appName(AppKind app);
+
+/// Execution substrate selector (re-exported from core for callers).
+using core::DesignKind;
 
 struct Quality {
   double ssimPct = 0;  ///< mean SSIM * 100
@@ -45,27 +51,34 @@ struct RunConfig {
 /// 1e-4..1e-2 range depending on the op and pattern.
 reram::DeviceParams defaultFaultyDevice();
 
-/// Runs one (app, design) pair; returns quality vs the Table IV reference.
+/// Tile engine knobs for the parallel runs (alias of the core struct — one
+/// source of truth for lanes/threads/rowsPerTile).
+using ParallelConfig = core::ParallelConfig;
+
+/// Runs one (app, design) pair through the backend-generic kernel and
+/// returns quality vs the Table IV reference.  The ReRAM-SC design runs on
+/// the tile-parallel engine under \p par (bit-identical for any `threads`
+/// given fixed `lanes`/`rowsPerTile`); the serial designs ignore \p par.
+Quality runApp(AppKind app, DesignKind design, const RunConfig& cfg,
+               const ParallelConfig& par = ParallelConfig{});
+
+/// Backend factory knobs derived from a run configuration.
+core::BackendFactoryConfig backendConfigFor(const RunConfig& cfg);
+
+/// Builds the tile executor the ReRAM-SC runs use (exposed for benches).
+core::TileExecutorConfig tileConfigFor(const RunConfig& cfg,
+                                       const ParallelConfig& par);
+
+// --- deprecated per-design shims (one release) ----------------------------
+
+/// Serial single-mat ReRAM-SC (the lanes = 1 case of runApp).
 Quality runReramSc(AppKind app, const RunConfig& cfg);
 Quality runBinaryCim(AppKind app, const RunConfig& cfg);
 Quality runSwSc(AppKind app, const RunConfig& cfg, energy::CmosSng sng);
 
-/// Tile engine knobs for the parallel runs.
-struct ParallelConfig {
-  std::size_t lanes = 8;        ///< fixed mat count (determinism anchor)
-  std::size_t threads = 0;      ///< worker threads; 0 = inline
-  std::size_t rowsPerTile = 4;  ///< tile granularity
-};
-
-/// Runs the ReRAM-SC design on the tile-parallel engine.  Output quality is
-/// in the same class as runReramSc; results are bit-identical for any
-/// `threads` value given fixed `lanes`/`rowsPerTile`.
+/// Tile-parallel ReRAM-SC (runApp shim).
 Quality runReramScTiled(AppKind app, const RunConfig& cfg,
                         const ParallelConfig& par);
-
-/// Builds the tile executor the parallel runs use (exposed for benches).
-core::TileExecutorConfig tileConfigFor(const RunConfig& cfg,
-                                       const ParallelConfig& par);
 
 /// Per-element workload profile feeding the Fig. 4/5 system model; binary
 /// CIM gate counts are measured by running the kernels once (cached).

@@ -94,4 +94,24 @@ std::uint8_t Accelerator::decodePixelStored(const sc::Bitstream& s) {
   return ims2b_->toPixel(ims2b_->convertStored(s));
 }
 
+std::vector<std::uint8_t> Accelerator::decodePixels(
+    std::span<const sc::Bitstream> streams) {
+  std::vector<std::uint8_t> out;
+  out.reserve(streams.size());
+  for (const sc::Bitstream& s : streams) {
+    out.push_back(ims2b_->toPixel(ims2b_->convert(s)));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Accelerator::decodePixelsStored(
+    std::span<const sc::Bitstream> streams) {
+  std::vector<std::uint8_t> out;
+  out.reserve(streams.size());
+  for (const sc::Bitstream& s : streams) {
+    out.push_back(ims2b_->toPixel(ims2b_->convertStored(s)));
+  }
+  return out;
+}
+
 }  // namespace aimsc::core

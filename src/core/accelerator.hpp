@@ -96,6 +96,17 @@ class Accelerator {
   /// Resistance-mode decode for CORDIV outputs (charges the column write).
   std::uint8_t decodePixelStored(const sc::Bitstream& s);
 
+  /// Batched pixel decode: every stream is digitized in sequence through
+  /// the mat's single ADC (symmetric to encodePixels; ReramScBackend routes
+  /// each kernel row through one such call).  Results and event accounting
+  /// are identical to per-stream decodePixel calls.
+  std::vector<std::uint8_t> decodePixels(std::span<const sc::Bitstream> streams);
+
+  /// Batched resistance-mode decode (CORDIV outputs; charges the column
+  /// writes exactly like per-stream decodePixelStored calls).
+  std::vector<std::uint8_t> decodePixelsStored(
+      std::span<const sc::Bitstream> streams);
+
   // --- accounting ----------------------------------------------------------
 
   const reram::EventCounts& events() const { return array_->events().counts(); }

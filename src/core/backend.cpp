@@ -1,0 +1,83 @@
+#include "core/backend.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "core/backend_bincim.hpp"
+#include "core/backend_reference.hpp"
+#include "core/backend_reram.hpp"
+#include "core/backend_swsc.hpp"
+
+namespace aimsc::core {
+
+const char* designKindName(DesignKind design) {
+  switch (design) {
+    case DesignKind::Reference: return "Reference";
+    case DesignKind::SwScLfsr: return "SW-SC (LFSR)";
+    case DesignKind::SwScSobol: return "SW-SC (Sobol)";
+    case DesignKind::ReramSc: return "ReRAM-SC";
+    case DesignKind::BinaryCim: return "Binary CIM";
+  }
+  return "?";
+}
+
+ScValue ScBackend::encodePixel(std::uint8_t v) {
+  const std::array<std::uint8_t, 1> one{v};
+  return std::move(encodePixels(one).front());
+}
+
+ScValue ScBackend::encodePixelCorrelated(std::uint8_t v) {
+  const std::array<std::uint8_t, 1> one{v};
+  return std::move(encodePixelsCorrelated(one).front());
+}
+
+std::vector<std::uint8_t> ScBackend::decodePixelsStored(
+    std::span<ScValue> values) {
+  return decodePixels(values);
+}
+
+std::uint8_t ScBackend::decodePixel(ScValue v) {
+  return decodePixels(std::span<ScValue>(&v, 1)).front();
+}
+
+std::uint8_t ScBackend::decodePixelStored(ScValue v) {
+  return decodePixelsStored(std::span<ScValue>(&v, 1)).front();
+}
+
+std::unique_ptr<ScBackend> makeBackend(DesignKind design,
+                                       const BackendFactoryConfig& config) {
+  switch (design) {
+    case DesignKind::Reference:
+      return std::make_unique<ReferenceBackend>();
+    case DesignKind::SwScLfsr:
+    case DesignKind::SwScSobol: {
+      SwScConfig sw;
+      sw.streamLength = config.streamLength;
+      sw.sng = design == DesignKind::SwScLfsr ? energy::CmosSng::Lfsr
+                                              : energy::CmosSng::Sobol;
+      sw.seed = config.seed;
+      return std::make_unique<SwScBackend>(sw);
+    }
+    case DesignKind::ReramSc: {
+      AcceleratorConfig ac;
+      ac.streamLength = config.streamLength;
+      ac.seed = config.seed;
+      ac.injectFaults = config.injectFaults;
+      if (config.injectFaults) ac.device = config.device;
+      ac.faultModelSamples = config.faultModelSamples;
+      return std::make_unique<ReramScBackend>(ac);
+    }
+    case DesignKind::BinaryCim: {
+      BinaryCimConfig bc;
+      bc.seed = config.seed;
+      bc.injectFaults = config.injectFaults;
+      bc.device = config.device;
+      bc.faultModelSamples = config.faultModelSamples;
+      bc.faultScale = config.bincimFaultScale;
+      return std::make_unique<BinaryCimBackend>(bc);
+    }
+  }
+  throw std::invalid_argument("makeBackend: bad design kind");
+}
+
+}  // namespace aimsc::core

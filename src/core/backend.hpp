@@ -1,0 +1,179 @@
+/// \file backend.hpp
+/// \brief Backend-agnostic SC kernel API: the stage-1/2/3 contract every
+///        application kernel is written against.
+///
+/// The paper's pipeline (TRNG -> IMSNG B-to-S -> scouting-logic arithmetic
+/// -> ADC S-to-B) is ONE dataflow executed on different substrates.  An
+/// `ScBackend` exposes exactly the contract the apps use:
+///
+///  * stage 1 — batched encode: `encodePixels` opens a fresh randomness
+///    epoch (all streams of the batch mutually correlated, the epoch
+///    independent of earlier encodes); `encodePixelsCorrelated` joins the
+///    current epoch (Sec. II-B correlation control);
+///  * stage 2 — the ImOps vocabulary: multiply / scaledAdd / absSub /
+///    majMux / majMux4 / divide;
+///  * stage 3 — batched decode, plus the resistance-mode variant CORDIV
+///    outputs need (Sec. IV-B);
+///  * accounting — ReRAM event counts and a backend-defined op counter.
+///
+/// Four substrates implement it (see the sibling backend_*.hpp files):
+///
+///  | DesignKind  | implementation   | value domain          |
+///  |-------------|------------------|-----------------------|
+///  | Reference   | ReferenceBackend | double probability    |
+///  | SwScLfsr/   | SwScBackend      | software Bitstream    |
+///  |  SwScSobol  |                  | (LFSR / Sobol SNG)    |
+///  | ReramSc     | ReramScBackend   | in-memory Bitstream   |
+///  | BinaryCim   | BinaryCimBackend | 8/16-bit integer word |
+///
+/// Writing an app once against this interface replaces the former
+/// O(apps x designs) matrix of hand-written variants with O(apps +
+/// designs): a new backend instantly runs every app, a new app instantly
+/// runs on every backend.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "reram/device.hpp"
+#include "reram/events.hpp"
+#include "sc/bitstream.hpp"
+
+namespace aimsc::core {
+
+/// Execution substrate selector (the paper's Table IV design axis).
+enum class DesignKind { Reference, SwScLfsr, SwScSobol, ReramSc, BinaryCim };
+
+const char* designKindName(DesignKind design);
+
+/// Opaque per-element value flowing through a backend's pipeline.  Exactly
+/// one member is live, fixed by the backend that produced the value:
+/// stream backends (ReRAM-SC, SW-SC) use `stream`, the floating-point
+/// reference uses `prob`, the binary CIM baseline uses `word`.  Values are
+/// only meaningful to the backend that created them and must not cross
+/// backends.
+struct ScValue {
+  sc::Bitstream stream;
+  double prob = 0.0;
+  std::uint32_t word = 0;
+
+  static ScValue ofStream(sc::Bitstream s) {
+    ScValue v;
+    v.stream = std::move(s);
+    return v;
+  }
+  static ScValue ofProb(double p) {
+    ScValue v;
+    v.prob = p;
+    return v;
+  }
+  static ScValue ofWord(std::uint32_t w) {
+    ScValue v;
+    v.word = w;
+    return v;
+  }
+};
+
+/// Abstract execution engine for the three-stage SC dataflow.  Backends are
+/// stateful (randomness epochs, event ledgers) and not thread-safe; the
+/// tile executor gives each lane its own instance.
+class ScBackend {
+ public:
+  virtual ~ScBackend() = default;
+
+  virtual const char* name() const = 0;
+
+  // --- stage 1: binary -> backend domain ----------------------------------
+
+  /// Opens a fresh randomness epoch and encodes the whole batch against it:
+  /// streams within the batch are mutually correlated, the epoch is
+  /// independent of any earlier encode.
+  virtual std::vector<ScValue> encodePixels(
+      std::span<const std::uint8_t> values) = 0;
+
+  /// Encodes the batch against the CURRENT epoch: maximally correlated with
+  /// the previous encode* call (operand families for XOR / CORDIV).
+  virtual std::vector<ScValue> encodePixelsCorrelated(
+      std::span<const std::uint8_t> values) = 0;
+
+  /// Fresh-epoch encode of an arbitrary probability (coefficients, selects).
+  virtual ScValue encodeProb(double p) = 0;
+
+  /// Independent P=0.5 select stream for MAJ scaled addition.
+  virtual ScValue halfStream() = 0;
+
+  /// Single-pixel conveniences (fresh epoch / current epoch).
+  virtual ScValue encodePixel(std::uint8_t v);
+  virtual ScValue encodePixelCorrelated(std::uint8_t v);
+
+  // --- stage 2: SC arithmetic (the ImOps vocabulary) ----------------------
+
+  /// Multiplication of independent inputs: p = px * py.
+  virtual ScValue multiply(const ScValue& x, const ScValue& y) = 0;
+
+  /// Scaled addition p = (px + py) / 2 with select stream \p half.
+  virtual ScValue scaledAdd(const ScValue& x, const ScValue& y,
+                            const ScValue& half) = 0;
+
+  /// Absolute subtraction of correlated inputs: p = |px - py|.
+  virtual ScValue absSub(const ScValue& x, const ScValue& y) = 0;
+
+  /// 2-to-1 blend, sel favours x: p = psel*px + (1-psel)*py.
+  virtual ScValue majMux(const ScValue& x, const ScValue& y,
+                         const ScValue& sel) = 0;
+
+  /// 4-to-1 blend (bilinear kernel): p = (1-sx)(1-sy) p11 + (1-sx) sy p12 +
+  /// sx (1-sy) p21 + sx sy p22.
+  virtual ScValue majMux4(const ScValue& i11, const ScValue& i12,
+                          const ScValue& i21, const ScValue& i22,
+                          const ScValue& sx, const ScValue& sy) = 0;
+
+  /// Division p = pnum / pden over a correlated pair (pnum <= pden).
+  virtual ScValue divide(const ScValue& num, const ScValue& den) = 0;
+
+  // --- stage 3: backend domain -> binary ----------------------------------
+
+  /// Batched pixel decode (ADC / counter / rounding, per backend).
+  /// CONSUMES the values: stream payloads may be moved out, so the batch is
+  /// dead after the call (kernels decode a row and discard it anyway).
+  virtual std::vector<std::uint8_t> decodePixels(std::span<ScValue> values) = 0;
+
+  /// Resistance-mode decode for CORDIV outputs; defaults to decodePixels.
+  /// Consumes the values like decodePixels.
+  virtual std::vector<std::uint8_t> decodePixelsStored(
+      std::span<ScValue> values);
+
+  std::uint8_t decodePixel(ScValue v);
+  std::uint8_t decodePixelStored(ScValue v);
+
+  // --- accounting ----------------------------------------------------------
+
+  /// ReRAM event ledger (zero for substrates without one).
+  virtual reram::EventCounts events() const { return reram::EventCounts{}; }
+  virtual void resetEvents() {}
+
+  /// Backend-defined cost counter: MAGIC gate cycles for binary CIM, serial
+  /// SC op passes for SW-SC, 0 where the event ledger is the cost source.
+  virtual std::uint64_t opCount() const { return 0; }
+};
+
+/// Knobs for the backend factory; a RunConfig-independent superset so the
+/// factory serves the runner, benches and tests alike.
+struct BackendFactoryConfig {
+  std::size_t streamLength = 256;  ///< N (stream backends)
+  std::uint64_t seed = 0x5eed;
+  bool injectFaults = false;
+  reram::DeviceParams device{};
+  std::size_t faultModelSamples = 40000;
+  /// Equal-fault-surface scale for the binary CIM gate decomposition (see
+  /// MagicEngine).
+  double bincimFaultScale = 0.25;
+};
+
+/// Creates an owning backend for \p design.
+std::unique_ptr<ScBackend> makeBackend(DesignKind design,
+                                       const BackendFactoryConfig& config);
+
+}  // namespace aimsc::core

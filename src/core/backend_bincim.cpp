@@ -1,0 +1,115 @@
+#include "core/backend_bincim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aimsc::core {
+
+BinaryCimBackend::BinaryCimBackend(bincim::MagicEngine& engine)
+    : engine_(&engine), pim_(engine) {}
+
+BinaryCimBackend::BinaryCimBackend(const BinaryCimConfig& config)
+    : ownedFaults_(config.injectFaults
+                       ? std::make_unique<reram::FaultModel>(
+                             config.device, config.seed ^ 0xb1f,
+                             config.faultModelSamples)
+                       : nullptr),
+      ownedEngine_(std::make_unique<bincim::MagicEngine>(
+          ownedFaults_.get(), config.seed ^ 0xe6, config.faultScale)),
+      engine_(ownedEngine_.get()),
+      pim_(*ownedEngine_) {}
+
+std::vector<ScValue> BinaryCimBackend::encodePixels(
+    std::span<const std::uint8_t> values) {
+  // Binary CIM computes on the 8-bit words directly — no conversion stage.
+  std::vector<ScValue> out;
+  out.reserve(values.size());
+  for (const std::uint8_t v : values) out.push_back(ScValue::ofWord(v));
+  return out;
+}
+
+std::vector<ScValue> BinaryCimBackend::encodePixelsCorrelated(
+    std::span<const std::uint8_t> values) {
+  return encodePixels(values);
+}
+
+ScValue BinaryCimBackend::encodeProb(double p) {
+  return ScValue::ofWord(static_cast<std::uint32_t>(
+      std::lround(std::clamp(p, 0.0, 1.0) * 255.0)));
+}
+
+ScValue BinaryCimBackend::multiply(const ScValue& x, const ScValue& y) {
+  // (x * y) / 255 with the wiring-shift /256 and +128 rounding term.
+  const std::uint32_t t = pim_.mul(x.word, y.word, 8);
+  const std::uint32_t rounded = pim_.add(t, 128, 16);
+  return ScValue::ofWord(std::min<std::uint32_t>(rounded >> 8, 255));
+}
+
+ScValue BinaryCimBackend::scaledAdd(const ScValue& x, const ScValue& y,
+                                    const ScValue& /*half*/) {
+  // (x + y + 1) / 2 — the gate sequence of the legacy edge kernel.
+  const std::uint32_t sum = pim_.add(x.word, y.word, 9);
+  const std::uint32_t rounded = pim_.add(sum, 1, 10);
+  return ScValue::ofWord(std::min<std::uint32_t>(rounded >> 1, 255));
+}
+
+ScValue BinaryCimBackend::absSub(const ScValue& x, const ScValue& y) {
+  // Saturating subtraction both ways; one side is zero.
+  const std::uint32_t a = pim_.subSaturating(x.word, y.word, 8);
+  const std::uint32_t b = pim_.subSaturating(y.word, x.word, 8);
+  return ScValue::ofWord(a | b);
+}
+
+ScValue BinaryCimBackend::majMux(const ScValue& x, const ScValue& y,
+                                 const ScValue& sel) {
+  // x*sel + y*(255-sel), /256 wiring shift after the +128 rounding term —
+  // the exact gate sequence of the legacy compositing kernel.
+  const std::uint32_t nsel = pim_.subSaturating(255, sel.word, 8);
+  const std::uint32_t t1 = pim_.mul(x.word, sel.word, 8);
+  const std::uint32_t t2 = pim_.mul(y.word, nsel, 8);
+  const std::uint32_t sum = pim_.add(t1, t2, 16);  // 17-bit
+  const std::uint32_t rounded = pim_.add(sum, 128, 17);
+  const std::uint32_t v = rounded >> 8;
+  return ScValue::ofWord(v > 255 ? 255 : v);
+}
+
+std::uint32_t BinaryCimBackend::lerp(std::uint32_t a, std::uint32_t b,
+                                     std::uint32_t t) {
+  // ((255 - t)*a + t*b + 128) >> 8 — operand order of the legacy bilinear
+  // kernel (which weights its FIRST operand by 1-t, unlike majMux).
+  const std::uint32_t nt = pim_.subSaturating(255, t, 8);
+  const std::uint32_t t1 = pim_.mul(a, nt, 8);
+  const std::uint32_t t2 = pim_.mul(b, t, 8);
+  std::uint32_t sum = pim_.add(t1, t2, 16);
+  sum = pim_.add(sum, 128, 17);
+  const std::uint32_t v = sum >> 8;
+  return v > 255 ? 255 : v;
+}
+
+ScValue BinaryCimBackend::majMux4(const ScValue& i11, const ScValue& i12,
+                                  const ScValue& i21, const ScValue& i22,
+                                  const ScValue& sx, const ScValue& sy) {
+  const std::uint32_t top = lerp(i11.word, i21.word, sx.word);
+  const std::uint32_t bottom = lerp(i12.word, i22.word, sx.word);
+  return ScValue::ofWord(lerp(top, bottom, sy.word));
+}
+
+ScValue BinaryCimBackend::divide(const ScValue& num, const ScValue& den) {
+  // alpha = num * 255 / den: 16-bit numerator, restoring division.
+  const std::uint32_t num16 = pim_.mul(num.word, 255, 8);
+  const std::uint32_t q = pim_.div(num16, den.word, 16, 8);
+  return ScValue::ofWord(q);
+}
+
+std::vector<std::uint8_t> BinaryCimBackend::decodePixels(
+    std::span<ScValue> values) {
+  std::vector<std::uint8_t> out;
+  out.reserve(values.size());
+  for (const ScValue& v : values) {
+    out.push_back(
+        static_cast<std::uint8_t>(std::min<std::uint32_t>(v.word, 255)));
+  }
+  return out;
+}
+
+}  // namespace aimsc::core

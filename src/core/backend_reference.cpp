@@ -1,0 +1,71 @@
+#include "core/backend_reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "img/image.hpp"
+
+namespace aimsc::core {
+
+std::vector<ScValue> ReferenceBackend::encodePixels(
+    std::span<const std::uint8_t> values) {
+  std::vector<ScValue> out;
+  out.reserve(values.size());
+  for (const std::uint8_t v : values) {
+    out.push_back(ScValue::ofProb(static_cast<double>(v) / 255.0));
+  }
+  return out;
+}
+
+std::vector<ScValue> ReferenceBackend::encodePixelsCorrelated(
+    std::span<const std::uint8_t> values) {
+  return encodePixels(values);  // exact values carry no randomness
+}
+
+ScValue ReferenceBackend::multiply(const ScValue& x, const ScValue& y) {
+  return ScValue::ofProb(x.prob * y.prob);
+}
+
+ScValue ReferenceBackend::scaledAdd(const ScValue& x, const ScValue& y,
+                                    const ScValue& /*half*/) {
+  return ScValue::ofProb((x.prob + y.prob) / 2.0);
+}
+
+ScValue ReferenceBackend::absSub(const ScValue& x, const ScValue& y) {
+  return ScValue::ofProb(std::abs(x.prob - y.prob));
+}
+
+ScValue ReferenceBackend::majMux(const ScValue& x, const ScValue& y,
+                                 const ScValue& sel) {
+  // Written exactly as the float compositing formula so the generic kernel
+  // reproduces the historic reference output bit for bit.
+  return ScValue::ofProb(x.prob * sel.prob + y.prob * (1.0 - sel.prob));
+}
+
+ScValue ReferenceBackend::majMux4(const ScValue& i11, const ScValue& i12,
+                                  const ScValue& i21, const ScValue& i22,
+                                  const ScValue& sx, const ScValue& sy) {
+  // The expanded four-term bilinear blend (same form as upscaleReference).
+  const double dx = sx.prob;
+  const double dy = sy.prob;
+  return ScValue::ofProb((1 - dx) * (1 - dy) * i11.prob +
+                         (1 - dx) * dy * i12.prob +
+                         dx * (1 - dy) * i21.prob + dx * dy * i22.prob);
+}
+
+ScValue ReferenceBackend::divide(const ScValue& num, const ScValue& den) {
+  // Alpha unspecified where the denominator vanishes (|F - B| < 1 LSB);
+  // downstream blends are insensitive there.
+  if (den.prob * 255.0 < 1.0) return ScValue::ofProb(0.0);
+  return ScValue::ofProb(std::clamp(num.prob / den.prob, 0.0, 1.0));
+}
+
+std::vector<std::uint8_t> ReferenceBackend::decodePixels(
+    std::span<ScValue> values) {
+  std::vector<std::uint8_t> out;
+  out.reserve(values.size());
+  for (const ScValue& v : values) out.push_back(img::Image::fromProb(v.prob));
+  return out;
+}
+
+}  // namespace aimsc::core

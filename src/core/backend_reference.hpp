@@ -1,0 +1,36 @@
+/// \file backend_reference.hpp
+/// \brief Floating-point reference ScBackend — the Table IV comparison
+///        baseline.  Values are exact probabilities; every op computes the
+///        ideal result the stochastic designs approximate.
+#pragma once
+
+#include "core/backend.hpp"
+
+namespace aimsc::core {
+
+class ReferenceBackend final : public ScBackend {
+ public:
+  const char* name() const override { return "Reference"; }
+
+  std::vector<ScValue> encodePixels(
+      std::span<const std::uint8_t> values) override;
+  std::vector<ScValue> encodePixelsCorrelated(
+      std::span<const std::uint8_t> values) override;
+  ScValue encodeProb(double p) override { return ScValue::ofProb(p); }
+  ScValue halfStream() override { return ScValue::ofProb(0.5); }
+
+  ScValue multiply(const ScValue& x, const ScValue& y) override;
+  ScValue scaledAdd(const ScValue& x, const ScValue& y,
+                    const ScValue& half) override;
+  ScValue absSub(const ScValue& x, const ScValue& y) override;
+  ScValue majMux(const ScValue& x, const ScValue& y,
+                 const ScValue& sel) override;
+  ScValue majMux4(const ScValue& i11, const ScValue& i12, const ScValue& i21,
+                  const ScValue& i22, const ScValue& sx,
+                  const ScValue& sy) override;
+  ScValue divide(const ScValue& num, const ScValue& den) override;
+
+  std::vector<std::uint8_t> decodePixels(std::span<ScValue> values) override;
+};
+
+}  // namespace aimsc::core

@@ -1,0 +1,96 @@
+#include "core/backend_reram.hpp"
+
+namespace aimsc::core {
+
+namespace {
+
+std::vector<ScValue> wrapStreams(std::vector<sc::Bitstream> streams) {
+  std::vector<ScValue> out;
+  out.reserve(streams.size());
+  for (auto& s : streams) out.push_back(ScValue::ofStream(std::move(s)));
+  return out;
+}
+
+}  // namespace
+
+std::vector<ScValue> ReramScBackend::encodePixels(
+    std::span<const std::uint8_t> values) {
+  return wrapStreams(acc_->encodePixels(values));
+}
+
+std::vector<ScValue> ReramScBackend::encodePixelsCorrelated(
+    std::span<const std::uint8_t> values) {
+  return wrapStreams(acc_->encodePixelsCorrelated(values));
+}
+
+ScValue ReramScBackend::encodeProb(double p) {
+  return ScValue::ofStream(acc_->encodeProb(p));
+}
+
+ScValue ReramScBackend::halfStream() {
+  return ScValue::ofStream(acc_->halfStream());
+}
+
+ScValue ReramScBackend::encodePixel(std::uint8_t v) {
+  return ScValue::ofStream(acc_->encodePixel(v));
+}
+
+ScValue ReramScBackend::encodePixelCorrelated(std::uint8_t v) {
+  return ScValue::ofStream(acc_->encodePixelCorrelated(v));
+}
+
+ScValue ReramScBackend::multiply(const ScValue& x, const ScValue& y) {
+  return ScValue::ofStream(acc_->ops().multiply(x.stream, y.stream));
+}
+
+ScValue ReramScBackend::scaledAdd(const ScValue& x, const ScValue& y,
+                                  const ScValue& half) {
+  return ScValue::ofStream(
+      acc_->ops().scaledAdd(x.stream, y.stream, half.stream));
+}
+
+ScValue ReramScBackend::absSub(const ScValue& x, const ScValue& y) {
+  return ScValue::ofStream(acc_->ops().absSub(x.stream, y.stream));
+}
+
+ScValue ReramScBackend::majMux(const ScValue& x, const ScValue& y,
+                               const ScValue& sel) {
+  return ScValue::ofStream(acc_->ops().majMux(x.stream, y.stream, sel.stream));
+}
+
+ScValue ReramScBackend::majMux4(const ScValue& i11, const ScValue& i12,
+                                const ScValue& i21, const ScValue& i22,
+                                const ScValue& sx, const ScValue& sy) {
+  return ScValue::ofStream(acc_->ops().majMux4(
+      i11.stream, i12.stream, i21.stream, i22.stream, sx.stream, sy.stream));
+}
+
+ScValue ReramScBackend::divide(const ScValue& num, const ScValue& den) {
+  return ScValue::ofStream(acc_->ops().divide(num.stream, den.stream));
+}
+
+namespace {
+
+// Decode consumes its batch, so the streams can be MOVED into the
+// contiguous span Accelerator's batched ADC entry expects — O(1) pointer
+// steals, no payload copies on the hot per-row path.
+std::vector<sc::Bitstream> takeStreams(std::span<ScValue> values) {
+  std::vector<sc::Bitstream> streams;
+  streams.reserve(values.size());
+  for (ScValue& v : values) streams.push_back(std::move(v.stream));
+  return streams;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> ReramScBackend::decodePixels(
+    std::span<ScValue> values) {
+  return acc_->decodePixels(takeStreams(values));
+}
+
+std::vector<std::uint8_t> ReramScBackend::decodePixelsStored(
+    std::span<ScValue> values) {
+  return acc_->decodePixelsStored(takeStreams(values));
+}
+
+}  // namespace aimsc::core

@@ -1,0 +1,64 @@
+/// \file backend_reram.hpp
+/// \brief ScBackend over the all-in-memory accelerator — this work's design
+///        (IMSNG B-to-S, scouting-logic arithmetic, ADC S-to-B).
+///
+/// A thin adapter: every call maps 1:1 onto the wrapped Accelerator, so a
+/// row-batched kernel running through this backend issues exactly the call
+/// sequence the former hand-written TILED ReRAM variants issued — which is
+/// what makes the generic tiled paths bit-identical to the pre-redesign
+/// outputs (tests/test_backend.cpp).  The former *serial* per-app functions
+/// used per-pixel randomness epochs; their shims now share the row-batched
+/// kernel (same quality class, different bits — see README migration notes).
+#pragma once
+
+#include "core/accelerator.hpp"
+#include "core/backend.hpp"
+
+namespace aimsc::core {
+
+class ReramScBackend final : public ScBackend {
+ public:
+  /// Non-owning wrap of an existing mat (tile-executor lanes, shims).
+  explicit ReramScBackend(Accelerator& acc) : acc_(&acc) {}
+
+  /// Owning construction from a mat configuration (factory path).
+  explicit ReramScBackend(const AcceleratorConfig& config)
+      : owned_(std::make_unique<Accelerator>(config)), acc_(owned_.get()) {}
+
+  const char* name() const override { return "ReRAM-SC"; }
+
+  std::vector<ScValue> encodePixels(
+      std::span<const std::uint8_t> values) override;
+  std::vector<ScValue> encodePixelsCorrelated(
+      std::span<const std::uint8_t> values) override;
+  ScValue encodeProb(double p) override;
+  ScValue halfStream() override;
+  ScValue encodePixel(std::uint8_t v) override;
+  ScValue encodePixelCorrelated(std::uint8_t v) override;
+
+  ScValue multiply(const ScValue& x, const ScValue& y) override;
+  ScValue scaledAdd(const ScValue& x, const ScValue& y,
+                    const ScValue& half) override;
+  ScValue absSub(const ScValue& x, const ScValue& y) override;
+  ScValue majMux(const ScValue& x, const ScValue& y,
+                 const ScValue& sel) override;
+  ScValue majMux4(const ScValue& i11, const ScValue& i12, const ScValue& i21,
+                  const ScValue& i22, const ScValue& sx,
+                  const ScValue& sy) override;
+  ScValue divide(const ScValue& num, const ScValue& den) override;
+
+  std::vector<std::uint8_t> decodePixels(std::span<ScValue> values) override;
+  std::vector<std::uint8_t> decodePixelsStored(
+      std::span<ScValue> values) override;
+
+  reram::EventCounts events() const override { return acc_->events(); }
+  void resetEvents() override { acc_->resetEvents(); }
+
+  Accelerator& accelerator() { return *acc_; }
+
+ private:
+  std::unique_ptr<Accelerator> owned_;
+  Accelerator* acc_;
+};
+
+}  // namespace aimsc::core

@@ -1,0 +1,115 @@
+#include "core/backend_swsc.hpp"
+
+#include "img/image.hpp"
+#include "sc/cordiv.hpp"
+#include "sc/ops.hpp"
+#include "sc/sng.hpp"
+
+namespace aimsc::core {
+
+SwScBackend::SwScBackend(const SwScConfig& config) : config_(config) {
+  newEpoch();
+}
+
+const char* SwScBackend::name() const {
+  return config_.sng == energy::CmosSng::Lfsr ? "SW-SC (LFSR)"
+                                              : "SW-SC (Sobol)";
+}
+
+void SwScBackend::newEpoch() {
+  ++epoch_;
+  if (config_.sng == energy::CmosSng::Lfsr) {
+    // A new LFSR phase per epoch; the golden-ratio stride decorrelates
+    // consecutive epochs over the 254 usable seeds.
+    const std::uint64_t mixed = config_.seed + 0x9e3779b97f4a7c15ull * epoch_;
+    epochSource_ = std::make_unique<sc::Lfsr>(
+        sc::Lfsr::paper8Bit(static_cast<std::uint32_t>(mixed % 254 + 1)));
+  } else {
+    // A new Sobol dimension per epoch; once the dimensions wrap, the phase
+    // offset keeps reused dimensions from replaying the same sequence.
+    const auto dim = static_cast<int>(epoch_ % sc::Sobol::kMaxDimension);
+    const std::uint64_t skip = 1 + (config_.seed & 0xff) +
+                               16 * (epoch_ / sc::Sobol::kMaxDimension);
+    epochSource_ = std::make_unique<sc::Sobol>(dim, skip);
+  }
+}
+
+sc::Bitstream SwScBackend::encodeWithEpoch(double p) {
+  // Restarting the source per stream yields maximal correlation within the
+  // epoch — the software analogue of converting against shared TRNG planes.
+  epochSource_->reset();
+  return sc::generateSbsFromProb(*epochSource_, p, 8, config_.streamLength);
+}
+
+std::vector<ScValue> SwScBackend::encodePixels(
+    std::span<const std::uint8_t> values) {
+  newEpoch();
+  return encodePixelsCorrelated(values);
+}
+
+std::vector<ScValue> SwScBackend::encodePixelsCorrelated(
+    std::span<const std::uint8_t> values) {
+  std::vector<ScValue> out;
+  out.reserve(values.size());
+  for (const std::uint8_t v : values) {
+    out.push_back(
+        ScValue::ofStream(encodeWithEpoch(static_cast<double>(v) / 255.0)));
+  }
+  return out;
+}
+
+ScValue SwScBackend::encodeProb(double p) {
+  newEpoch();
+  return ScValue::ofStream(encodeWithEpoch(p));
+}
+
+ScValue SwScBackend::halfStream() { return encodeProb(0.5); }
+
+ScValue SwScBackend::multiply(const ScValue& x, const ScValue& y) {
+  ++opPasses_;
+  return ScValue::ofStream(sc::scMultiply(x.stream, y.stream));
+}
+
+ScValue SwScBackend::scaledAdd(const ScValue& x, const ScValue& y,
+                               const ScValue& half) {
+  ++opPasses_;
+  return ScValue::ofStream(sc::scScaledAddMux(x.stream, y.stream, half.stream));
+}
+
+ScValue SwScBackend::absSub(const ScValue& x, const ScValue& y) {
+  ++opPasses_;
+  return ScValue::ofStream(sc::scAbsSub(x.stream, y.stream));
+}
+
+ScValue SwScBackend::majMux(const ScValue& x, const ScValue& y,
+                            const ScValue& sel) {
+  // The CMOS design uses an exact 2-to-1 MUX (sel = 1 selects x).
+  ++opPasses_;
+  return ScValue::ofStream(sc::Bitstream::mux(x.stream, y.stream, sel.stream));
+}
+
+ScValue SwScBackend::majMux4(const ScValue& i11, const ScValue& i12,
+                             const ScValue& i21, const ScValue& i22,
+                             const ScValue& sx, const ScValue& sy) {
+  opPasses_ += 3;  // three serial MUX stages
+  return ScValue::ofStream(sc::scMux4(i11.stream, i12.stream, i21.stream,
+                                      i22.stream, sx.stream, sy.stream));
+}
+
+ScValue SwScBackend::divide(const ScValue& num, const ScValue& den) {
+  ++opPasses_;
+  return ScValue::ofStream(sc::cordivDivide(num.stream, den.stream));
+}
+
+std::vector<std::uint8_t> SwScBackend::decodePixels(
+    std::span<ScValue> values) {
+  // log2(N)-bit output counter: popcount / N.
+  std::vector<std::uint8_t> out;
+  out.reserve(values.size());
+  for (const ScValue& v : values) {
+    out.push_back(img::Image::fromProb(v.stream.value()));
+  }
+  return out;
+}
+
+}  // namespace aimsc::core

@@ -1,0 +1,72 @@
+/// \file backend_swsc.hpp
+/// \brief ScBackend over the conventional CMOS SC pipeline: software SNGs
+///        (LFSR or Sobol + comparator), exact serial SC gates, counter
+///        S-to-B (the paper's Table III baseline design).
+///
+/// Randomness-epoch semantics mirror IMSNG's correlation control
+/// (Sec. II-B): each fresh-epoch encode instantiates a new random source
+/// (new LFSR seed / Sobol dimension+phase), and every stream of a batch is
+/// generated from that source *restarted*, so streams within an epoch are
+/// maximally correlated (SCC = +1) exactly like streams sharing TRNG
+/// planes — the precondition XOR subtraction and CORDIV need.
+///
+/// Cost accounting: `opCount()` counts serial SC op passes (each N bit
+/// cycles in hardware); conversions and decodes are charged by the system
+/// model, not here.
+#pragma once
+
+#include <memory>
+
+#include "core/backend.hpp"
+#include "energy/cmos_baseline.hpp"
+#include "sc/rng.hpp"
+
+namespace aimsc::core {
+
+struct SwScConfig {
+  std::size_t streamLength = 256;  ///< N
+  energy::CmosSng sng = energy::CmosSng::Lfsr;
+  std::uint64_t seed = 0x5eed;
+};
+
+class SwScBackend final : public ScBackend {
+ public:
+  explicit SwScBackend(const SwScConfig& config);
+
+  const char* name() const override;
+
+  std::vector<ScValue> encodePixels(
+      std::span<const std::uint8_t> values) override;
+  std::vector<ScValue> encodePixelsCorrelated(
+      std::span<const std::uint8_t> values) override;
+  ScValue encodeProb(double p) override;
+  ScValue halfStream() override;
+
+  ScValue multiply(const ScValue& x, const ScValue& y) override;
+  ScValue scaledAdd(const ScValue& x, const ScValue& y,
+                    const ScValue& half) override;
+  ScValue absSub(const ScValue& x, const ScValue& y) override;
+  ScValue majMux(const ScValue& x, const ScValue& y,
+                 const ScValue& sel) override;
+  ScValue majMux4(const ScValue& i11, const ScValue& i12, const ScValue& i21,
+                  const ScValue& i22, const ScValue& sx,
+                  const ScValue& sy) override;
+  ScValue divide(const ScValue& num, const ScValue& den) override;
+
+  std::vector<std::uint8_t> decodePixels(std::span<ScValue> values) override;
+
+  std::uint64_t opCount() const override { return opPasses_; }
+
+ private:
+  /// Starts a fresh randomness epoch (new source).
+  void newEpoch();
+  /// Encodes one value against the current epoch (source restarted).
+  sc::Bitstream encodeWithEpoch(double p);
+
+  SwScConfig config_;
+  std::unique_ptr<sc::RandomSource> epochSource_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t opPasses_ = 0;
+};
+
+}  // namespace aimsc::core

@@ -3,15 +3,20 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/backend_reram.hpp"
+
 namespace aimsc::core {
 
 namespace {
 
-MatGroupConfig groupConfigFor(const TileExecutorConfig& cfg) {
-  if (cfg.lanes == 0) throw std::invalid_argument("TileExecutor: zero lanes");
-  if (cfg.rowsPerTile == 0) {
+void validate(const ParallelConfig& par) {
+  if (par.lanes == 0) throw std::invalid_argument("TileExecutor: zero lanes");
+  if (par.rowsPerTile == 0) {
     throw std::invalid_argument("TileExecutor: zero rowsPerTile");
   }
+}
+
+MatGroupConfig groupConfigFor(const TileExecutorConfig& cfg) {
   MatGroupConfig gc;
   gc.mats = cfg.lanes;
   gc.mat = cfg.mat;
@@ -21,34 +26,100 @@ MatGroupConfig groupConfigFor(const TileExecutorConfig& cfg) {
 }  // namespace
 
 TileExecutor::TileExecutor(const TileExecutorConfig& config)
-    : config_(config),
-      group_(groupConfigFor(config)),
-      pool_(std::make_unique<ThreadPool>(
-          std::min(config.threads, config.lanes))) {}
+    : par_(config) {
+  validate(par_);
+  group_ = std::make_unique<MatGroup>(groupConfigFor(config));
+  backends_.reserve(group_->size());
+  for (std::size_t i = 0; i < group_->size(); ++i) {
+    backends_.push_back(std::make_unique<ReramScBackend>(group_->mat(i)));
+  }
+  pool_ = std::make_unique<ThreadPool>(std::min(par_.threads, par_.lanes));
+}
 
-void TileExecutor::forEachTile(std::size_t imageHeight,
-                               const TileKernel& kernel) {
+TileExecutor::TileExecutor(std::vector<std::unique_ptr<ScBackend>> lanes,
+                           const ParallelConfig& par)
+    : par_(par), backends_(std::move(lanes)) {
+  par_.lanes = backends_.size();
+  validate(par_);
+  for (const auto& b : backends_) {
+    if (b == nullptr) throw std::invalid_argument("TileExecutor: null lane");
+  }
+  pool_ = std::make_unique<ThreadPool>(std::min(par_.threads, par_.lanes));
+}
+
+Accelerator& TileExecutor::lane(std::size_t i) {
+  if (group_ == nullptr) {
+    throw std::logic_error("TileExecutor: lane() needs a ReRAM fleet");
+  }
+  return group_->mat(i);
+}
+
+MatGroup& TileExecutor::group() {
+  if (group_ == nullptr) {
+    throw std::logic_error("TileExecutor: group() needs a ReRAM fleet");
+  }
+  return *group_;
+}
+
+void TileExecutor::runTiles(
+    std::size_t imageHeight,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& tile) {
   if (imageHeight == 0) return;
   const std::size_t numTiles =
-      (imageHeight + config_.rowsPerTile - 1) / config_.rowsPerTile;
+      (imageHeight + par_.rowsPerTile - 1) / par_.rowsPerTile;
 
   std::vector<std::function<void()>> laneTasks;
-  laneTasks.reserve(group_.size());
-  for (std::size_t laneIdx = 0; laneIdx < group_.size(); ++laneIdx) {
+  laneTasks.reserve(backends_.size());
+  for (std::size_t laneIdx = 0; laneIdx < backends_.size(); ++laneIdx) {
     if (laneIdx >= numTiles) break;  // more lanes than tiles
-    laneTasks.push_back([this, laneIdx, numTiles, imageHeight, &kernel] {
-      Accelerator& acc = group_.mat(laneIdx);
+    laneTasks.push_back([this, laneIdx, numTiles, imageHeight, &tile] {
       // Ascending tile order per lane: the lane's TRNG/fault/ADC streams
       // advance in a schedule-independent sequence.
-      for (std::size_t t = laneIdx; t < numTiles; t += group_.size()) {
-        const std::size_t rowBegin = t * config_.rowsPerTile;
+      for (std::size_t t = laneIdx; t < numTiles; t += backends_.size()) {
+        const std::size_t rowBegin = t * par_.rowsPerTile;
         const std::size_t rowEnd =
-            std::min(rowBegin + config_.rowsPerTile, imageHeight);
-        kernel(acc, rowBegin, rowEnd);
+            std::min(rowBegin + par_.rowsPerTile, imageHeight);
+        tile(laneIdx, rowBegin, rowEnd);
       }
     });
   }
   pool_->run(std::move(laneTasks));
+}
+
+void TileExecutor::forEachTile(std::size_t imageHeight,
+                               const BackendTileKernel& kernel) {
+  runTiles(imageHeight, [this, &kernel](std::size_t lane, std::size_t r0,
+                                        std::size_t r1) {
+    kernel(*backends_[lane], r0, r1);
+  });
+}
+
+void TileExecutor::forEachTile(std::size_t imageHeight,
+                               const TileKernel& kernel) {
+  if (group_ == nullptr) {
+    throw std::logic_error(
+        "TileExecutor: Accelerator kernels need a ReRAM fleet");
+  }
+  runTiles(imageHeight, [this, &kernel](std::size_t lane, std::size_t r0,
+                                        std::size_t r1) {
+    kernel(group_->mat(lane), r0, r1);
+  });
+}
+
+reram::EventCounts TileExecutor::totalEvents() const {
+  // One path for every fleet: ReRAM lanes forward to their mats, so this
+  // equals the MatGroup sum for the default configuration.
+  reram::EventCounts total;
+  for (const auto& b : backends_) total += b->events();
+  return total;
+}
+
+void TileExecutor::resetEvents() {
+  for (auto& b : backends_) b->resetEvents();
+}
+
+double TileExecutor::estimatedWallClockNs() const {
+  return group_ != nullptr ? group_->estimatedWallClockNs() : 0.0;
 }
 
 }  // namespace aimsc::core

@@ -1,17 +1,23 @@
 /// \file tile_executor.hpp
-/// \brief Tile-parallel execution engine over a MatGroup (paper Sec. III:
-///        "we use multiple arrays to parallelize and pipeline the different
-///        stages").
+/// \brief Tile-parallel execution engine over ScBackend lanes (paper
+///        Sec. III: "we use multiple arrays to parallelize and pipeline the
+///        different stages").
 ///
 /// An image is sharded into horizontal row tiles.  Tile t is *pinned* to
-/// lane t % lanes of an underlying MatGroup, and every lane processes its
-/// tiles in ascending tile order inside a single pool task.  Because each
-/// lane owns an independently seeded Accelerator (its own TRNG, scouting
-/// engine, ADC and event log) and its tile sequence is fixed by the pinning
-/// rule — never by thread scheduling — the output image and the merged
-/// EventCounts are bit-identical for ANY thread count, including the inline
-/// (threads = 0) pool.  That determinism contract is what allows the engine
-/// to fan out onto however many cores exist without changing results.
+/// lane t % lanes, and every lane processes its tiles in ascending tile
+/// order inside a single pool task.  Because each lane is an independent
+/// backend instance (for ReRAM: its own TRNG, scouting engine, ADC and
+/// event log) and its tile sequence is fixed by the pinning rule — never by
+/// thread scheduling — the output image and the merged EventCounts are
+/// bit-identical for ANY thread count, including the inline (threads = 0)
+/// pool.  That determinism contract is what allows the engine to fan out
+/// onto however many cores exist without changing results.
+///
+/// Lanes are ScBackend instances, so the tile-parallel path runs the SAME
+/// backend-generic kernels as the serial path — parallelism is a property
+/// of the executor, not of the app.  The default configuration builds
+/// ReRAM-SC lanes over a MatGroup; any other backend fleet can be supplied
+/// through the lane-vector constructor.
 ///
 /// Event accounting is lock-free by construction: counters accumulate in
 /// per-lane EventLogs that no other thread touches, and totalEvents() sums
@@ -21,15 +27,19 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <vector>
 
+#include "core/backend.hpp"
 #include "core/mat_group.hpp"
 #include "core/thread_pool.hpp"
 
 namespace aimsc::core {
 
-struct TileExecutorConfig {
-  /// Lane (mat) count.  Fixed independently of `threads` so results do not
-  /// depend on how many OS threads happen to execute the lanes.
+/// Parallel-execution knobs — the single source of truth shared by the tile
+/// engine and the app runner (apps::ParallelConfig aliases this struct).
+struct ParallelConfig {
+  /// Lane count.  Fixed independently of `threads` so results do not depend
+  /// on how many OS threads happen to execute the lanes.
   std::size_t lanes = 8;
 
   /// Worker threads draining the lane queues; 0 = run inline (serial).
@@ -39,46 +49,74 @@ struct TileExecutorConfig {
   /// Image rows per tile.  Smaller tiles interleave lanes more finely
   /// (better load balance); larger tiles amortize per-tile overhead.
   std::size_t rowsPerTile = 4;
+};
 
-  /// Per-lane accelerator configuration (the seed is varied per lane,
-  /// exactly as MatGroup does).
+struct TileExecutorConfig : ParallelConfig {
+  /// Per-lane accelerator configuration for the default ReRAM-SC lane fleet
+  /// (the seed is varied per lane, exactly as MatGroup does).
   AcceleratorConfig mat{};
 };
 
 class TileExecutor {
  public:
-  /// Kernel invoked once per tile: \p lane is the accelerator pinned to the
-  /// tile, rows [rowBegin, rowEnd) are the tile's image rows.  Kernels for
-  /// different tiles of the SAME lane run sequentially in tile order on one
-  /// thread; kernels on different lanes may run concurrently and must only
-  /// touch disjoint output rows.
+  /// Backend-generic kernel invoked once per tile: \p lane is the backend
+  /// pinned to the tile, rows [rowBegin, rowEnd) are the tile's image rows.
+  /// Kernels for different tiles of the SAME lane run sequentially in tile
+  /// order on one thread; kernels on different lanes may run concurrently
+  /// and must only touch disjoint output rows.
+  using BackendTileKernel = std::function<void(
+      ScBackend& lane, std::size_t rowBegin, std::size_t rowEnd)>;
+
+  /// Accelerator-level kernel (ReRAM-SC lane fleets only; prefer the
+  /// backend form for new code).
   using TileKernel =
       std::function<void(Accelerator& lane, std::size_t rowBegin,
                          std::size_t rowEnd)>;
 
+  /// ReRAM-SC lane fleet over a MatGroup (the paper's configuration).
   explicit TileExecutor(const TileExecutorConfig& config);
+
+  /// Arbitrary backend lane fleet (each lane independently seeded by the
+  /// caller); \p par.lanes is taken from the vector size.
+  TileExecutor(std::vector<std::unique_ptr<ScBackend>> lanes,
+               const ParallelConfig& par);
 
   /// Shards [0, imageHeight) into tiles and runs \p kernel over all of them
   /// with the lane-pinned schedule.  Rethrows the first kernel exception
   /// after all lanes have drained.
+  void forEachTile(std::size_t imageHeight, const BackendTileKernel& kernel);
   void forEachTile(std::size_t imageHeight, const TileKernel& kernel);
 
-  std::size_t lanes() const { return group_.size(); }
+  std::size_t lanes() const { return backends_.size(); }
   std::size_t threads() const { return pool_->threadCount(); }
-  std::size_t rowsPerTile() const { return config_.rowsPerTile; }
-  Accelerator& lane(std::size_t i) { return group_.mat(i); }
-  MatGroup& group() { return group_; }
+  std::size_t rowsPerTile() const { return par_.rowsPerTile; }
+
+  /// Backend lane \p i (any fleet).
+  ScBackend& backend(std::size_t i) { return *backends_.at(i); }
+
+  /// Accelerator lane \p i; throws std::logic_error for non-ReRAM fleets.
+  Accelerator& lane(std::size_t i);
+
+  /// Underlying MatGroup; throws std::logic_error for non-ReRAM fleets.
+  MatGroup& group();
 
   /// Merged event counts across lanes (sum after join; lock-free).
-  reram::EventCounts totalEvents() const { return group_.totalEvents(); }
-  void resetEvents() { group_.resetEvents(); }
+  reram::EventCounts totalEvents() const;
+  void resetEvents();
 
-  /// Wall-clock estimate under concurrent lanes (slowest lane finishes last).
-  double estimatedWallClockNs() const { return group_.estimatedWallClockNs(); }
+  /// Wall-clock estimate under concurrent lanes (slowest lane finishes
+  /// last); 0 for fleets without an event-ledger cost model.
+  double estimatedWallClockNs() const;
 
  private:
-  TileExecutorConfig config_;
-  MatGroup group_;
+  /// Lane-pinned tile schedule shared by both kernel forms.
+  void runTiles(std::size_t imageHeight,
+                const std::function<void(std::size_t lane, std::size_t rowBegin,
+                                         std::size_t rowEnd)>& tile);
+
+  ParallelConfig par_;
+  std::unique_ptr<MatGroup> group_;  ///< ReRAM fleets only
+  std::vector<std::unique_ptr<ScBackend>> backends_;
   std::unique_ptr<ThreadPool> pool_;
 };
 
