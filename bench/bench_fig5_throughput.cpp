@@ -5,6 +5,12 @@
 // backend-generic kernel vs the same kernel on the tile-parallel engine
 // (batched IMSNG + lane-pinned row tiles) across worker-thread counts,
 // verifying that the tiled output is bit-identical at every thread count.
+//
+// Part 3 measures the software-SC substrate: the scalar SwScLfsr backend
+// (one virtual RNG call per stream bit) against the SIMD-batched SwScSimd
+// backend (bulk LFSR + packed comparator), verifying the two are
+// bit-identical per seed.  Target: >= 8x at 256x256, N = 256.
+//
 // Results are also written to BENCH_throughput.json so the perf trajectory
 // is machine-trackable.
 //
@@ -17,8 +23,11 @@
 
 #include "apps/runner.hpp"
 #include "core/backend_reram.hpp"
+#include "core/backend_swsc.hpp"
+#include "core/backend_swsc_simd.hpp"
 #include "energy/report.hpp"
 #include "energy/system_model.hpp"
+#include "sc/bulk_sng.hpp"
 
 namespace {
 
@@ -32,6 +41,61 @@ struct SweepPoint {
   double pixelsPerSec;
   double speedup;
 };
+
+struct SwScResult {
+  double scalarPps = 0;
+  double simdPps = 0;
+  double simdTiledPps = 0;
+  bool bitIdentical = false;
+};
+
+/// Part 3: the software-SC substrate, scalar vs SIMD-batched (same design
+/// point, same seed, bit-identical output by contract).
+SwScResult measuredSwScSweep(std::size_t size,
+                             const aimsc::apps::CompositingScene& scene) {
+  using namespace aimsc;
+  const auto kPixels = static_cast<double>(size * size);
+  SwScResult r;
+
+  core::SwScConfig scalarCfg;
+  scalarCfg.streamLength = 256;
+  core::SwScBackend scalar(scalarCfg);
+  auto t0 = std::chrono::steady_clock::now();
+  const img::Image scalarOut = apps::compositeKernel(scene, scalar);
+  r.scalarPps = kPixels / secondsSince(t0);
+
+  core::SwScSimdConfig simdCfg;
+  simdCfg.streamLength = 256;
+  core::SwScSimdBackend simd(simdCfg);
+  t0 = std::chrono::steady_clock::now();
+  const img::Image simdOut = apps::compositeKernel(scene, simd);
+  r.simdPps = kPixels / secondsSince(t0);
+  r.bitIdentical = simdOut.pixels() == scalarOut.pixels();
+
+  // SIMD x tile-parallel: the two speedup axes compose.
+  core::ParallelConfig par;
+  par.threads = 4;
+  core::BackendFactoryConfig fleetCfg;
+  fleetCfg.streamLength = 256;
+  fleetCfg.seed = scalarCfg.seed;
+  core::TileExecutor exec(
+      core::makeBackendLanes(core::DesignKind::SwScSimd, fleetCfg, par.lanes),
+      par);
+  t0 = std::chrono::steady_clock::now();
+  apps::compositeKernelTiled(scene, exec);
+  r.simdTiledPps = kPixels / secondsSince(t0);
+
+  std::printf(
+      "\nSoftware-SC substrate: %zux%zu compositing, N=256 (AVX2 %s)\n"
+      "  SwScLfsr scalar backend:  %10.0f pixels/s\n"
+      "  SwScSimd serial backend:  %10.0f pixels/s (%.1fx scalar)\n"
+      "  SwScSimd tiled, 4 threads:%10.0f pixels/s (%.1fx scalar)\n"
+      "  SIMD bit-identical to scalar: %s\n",
+      size, size, sc::cpuHasAvx2() ? "available" : "absent", r.scalarPps,
+      r.simdPps, r.simdPps / r.scalarPps, r.simdTiledPps,
+      r.simdTiledPps / r.scalarPps, r.bitIdentical ? "yes" : "NO (BUG)");
+  return r;
+}
 
 void measuredSweep(std::size_t size) {
   using namespace aimsc;
@@ -85,6 +149,8 @@ void measuredSweep(std::size_t size) {
   std::printf("  bit-identical across thread counts: %s\n",
               bitIdentical ? "yes" : "NO (BUG)");
 
+  const SwScResult sw = measuredSwScSweep(size, scene);
+
   // Machine-readable trajectory for future PRs.
   FILE* f = std::fopen("BENCH_throughput.json", "w");
   if (f != nullptr) {
@@ -108,7 +174,19 @@ void measuredSweep(std::size_t size) {
                    sweep[i].threads, sweep[i].pixelsPerSec, sweep[i].speedup,
                    i + 1 < sweep.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f,
+                 "  ],\n"
+                 "  \"swsc\": {\n"
+                 "    \"avx2\": %s,\n"
+                 "    \"scalar_pixels_per_sec\": %.1f,\n"
+                 "    \"simd_pixels_per_sec\": %.1f,\n"
+                 "    \"simd_speedup_vs_scalar\": %.2f,\n"
+                 "    \"simd_tiled4_pixels_per_sec\": %.1f,\n"
+                 "    \"simd_bit_identical_to_scalar\": %s\n"
+                 "  }\n}\n",
+                 aimsc::sc::cpuHasAvx2() ? "true" : "false", sw.scalarPps,
+                 sw.simdPps, sw.simdPps / sw.scalarPps, sw.simdTiledPps,
+                 sw.bitIdentical ? "true" : "false");
     std::fclose(f);
     std::puts("  wrote BENCH_throughput.json");
   }

@@ -9,6 +9,8 @@
 #include "apps/compositing.hpp"
 #include "apps/runner.hpp"
 #include "core/backend_reram.hpp"
+#include "core/backend_swsc.hpp"
+#include "core/backend_swsc_simd.hpp"
 #include "img/metrics.hpp"
 #include "img/pgm.hpp"
 
@@ -35,6 +37,21 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(ev.slReads),
               static_cast<unsigned long long>(ev.rowWrites),
               static_cast<unsigned long long>(ev.adcConversions));
+
+  // The same kernel on the software-SC substrates: the SIMD-batched
+  // backend reproduces the scalar CMOS baseline bit for bit.
+  core::SwScConfig swCfg;
+  swCfg.streamLength = n;
+  core::SwScBackend scalarSw(swCfg);
+  core::SwScSimdConfig simdCfg;
+  simdCfg.streamLength = n;
+  core::SwScSimdBackend simdSw(simdCfg);
+  const img::Image swOut = apps::compositeKernel(scene, scalarSw);
+  const img::Image simdOut = apps::compositeKernel(scene, simdSw);
+  std::printf("SW-SC (LFSR) PSNR vs reference: %.2f dB; SIMD backend %s\n",
+              img::psnrDb(swOut, ref),
+              simdOut.pixels() == swOut.pixels() ? "bit-identical"
+                                                 : "DIVERGED (bug)");
 
   img::writePgm("out_compositing_background.pgm", scene.background);
   img::writePgm("out_compositing_foreground.pgm", scene.foreground);

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Checks that relative links in the repo's markdown files resolve.
+
+Usage: python3 scripts/check_markdown_links.py [root]
+
+Scans every *.md file under the root (default: the repo root, i.e. the
+parent of this script's directory), extracts inline links `[text](target)`
+and reference definitions `[id]: target`, and verifies that non-URL
+targets exist on disk relative to the file containing them.  Fragment-only
+links (`#section`) and external schemes (http/https/mailto) are skipped;
+`path#fragment` checks only the path part.  Exits nonzero listing every
+broken link.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+SKIP_DIRS = {".git", "build", "build-asan", "related"}
+# Verbatim exemplar material quoted from other repositories; its links
+# point into those repos, not ours.
+SKIP_FILES = {"SNIPPETS.md"}
+INLINE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def targets(text):
+    yield from INLINE.findall(text)
+    yield from REFDEF.findall(text)
+
+
+def main():
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        __file__).resolve().parent.parent
+    broken = []
+    checked = 0
+    for md in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in md.relative_to(root).parts):
+            continue
+        if md.name in SKIP_FILES:
+            continue
+        text = md.read_text(encoding="utf-8", errors="replace")
+        for target in targets(text):
+            if target.startswith(SCHEMES) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            checked += 1
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                broken.append(f"{md.relative_to(root)}: broken link -> {target}")
+    for line in broken:
+        print(line, file=sys.stderr)
+    print(f"checked {checked} relative links, {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -112,6 +112,14 @@ Quality runApp(AppKind app, DesignKind design, const RunConfig& cfg,
     core::TileExecutor exec(tileConfigFor(cfg, par));
     return runAppOn(app, cfg, nullptr, &exec);
   }
+  if (par.threads > 0) {
+    // Any other design fans out the same way over an independently seeded
+    // backend lane fleet; results depend on lanes/rowsPerTile, never on
+    // the worker-thread count.
+    core::TileExecutor exec(
+        core::makeBackendLanes(design, backendConfigFor(cfg), par.lanes), par);
+    return runAppOn(app, cfg, nullptr, &exec);
+  }
   const auto backend = core::makeBackend(design, backendConfigFor(cfg));
   return runAppOn(app, cfg, backend.get(), nullptr);
 }

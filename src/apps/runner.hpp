@@ -56,9 +56,12 @@ reram::DeviceParams defaultFaultyDevice();
 using ParallelConfig = core::ParallelConfig;
 
 /// Runs one (app, design) pair through the backend-generic kernel and
-/// returns quality vs the Table IV reference.  The ReRAM-SC design runs on
-/// the tile-parallel engine under \p par (bit-identical for any `threads`
-/// given fixed `lanes`/`rowsPerTile`); the serial designs ignore \p par.
+/// returns quality vs the Table IV reference.  The ReRAM-SC design always
+/// runs on the tile-parallel engine under \p par; every other design runs
+/// serially when `par.threads == 0` (the default) and on an independently
+/// seeded backend lane fleet when `par.threads > 0`.  Tiled results are
+/// bit-identical for any nonzero `threads` given fixed
+/// `lanes`/`rowsPerTile` (lane-pinned schedule; see docs/ARCHITECTURE.md).
 Quality runApp(AppKind app, DesignKind design, const RunConfig& cfg,
                const ParallelConfig& par = ParallelConfig{});
 

@@ -7,6 +7,7 @@
 #include "core/backend_reference.hpp"
 #include "core/backend_reram.hpp"
 #include "core/backend_swsc.hpp"
+#include "core/backend_swsc_simd.hpp"
 
 namespace aimsc::core {
 
@@ -15,6 +16,7 @@ const char* designKindName(DesignKind design) {
     case DesignKind::Reference: return "Reference";
     case DesignKind::SwScLfsr: return "SW-SC (LFSR)";
     case DesignKind::SwScSobol: return "SW-SC (Sobol)";
+    case DesignKind::SwScSimd: return "SW-SC (SIMD)";
     case DesignKind::ReramSc: return "ReRAM-SC";
     case DesignKind::BinaryCim: return "Binary CIM";
   }
@@ -58,6 +60,13 @@ std::unique_ptr<ScBackend> makeBackend(DesignKind design,
       sw.seed = config.seed;
       return std::make_unique<SwScBackend>(sw);
     }
+    case DesignKind::SwScSimd: {
+      SwScSimdConfig sw;
+      sw.streamLength = config.streamLength;
+      sw.sng = energy::CmosSng::Lfsr;  // the SwScLfsr design point, batched
+      sw.seed = config.seed;
+      return std::make_unique<SwScSimdBackend>(sw);
+    }
     case DesignKind::ReramSc: {
       AcceleratorConfig ac;
       ac.streamLength = config.streamLength;
@@ -78,6 +87,20 @@ std::unique_ptr<ScBackend> makeBackend(DesignKind design,
     }
   }
   throw std::invalid_argument("makeBackend: bad design kind");
+}
+
+std::vector<std::unique_ptr<ScBackend>> makeBackendLanes(
+    DesignKind design, const BackendFactoryConfig& config, std::size_t lanes) {
+  std::vector<std::unique_ptr<ScBackend>> fleet;
+  fleet.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    BackendFactoryConfig laneCfg = config;
+    // Distinct randomness per lane; identical seeds would correlate lanes
+    // (the MatGroup stride).
+    laneCfg.seed = config.seed + 0x9e3779b97f4a7c15ull * (i + 1);
+    fleet.push_back(makeBackend(design, laneCfg));
+  }
+  return fleet;
 }
 
 }  // namespace aimsc::core

@@ -16,13 +16,16 @@
 ///    outputs need (Sec. IV-B);
 ///  * accounting — ReRAM event counts and a backend-defined op counter.
 ///
-/// Four substrates implement it (see the sibling backend_*.hpp files):
+/// Five substrates implement it (see the sibling backend_*.hpp files):
 ///
 ///  | DesignKind  | implementation   | value domain          |
 ///  |-------------|------------------|-----------------------|
 ///  | Reference   | ReferenceBackend | double probability    |
 ///  | SwScLfsr/   | SwScBackend      | software Bitstream    |
 ///  |  SwScSobol  |                  | (LFSR / Sobol SNG)    |
+///  | SwScSimd    | SwScSimdBackend  | software Bitstream    |
+///  |             |                  | (word/AVX2 SNG; bit-  |
+///  |             |                  | identical to SwScLfsr)|
 ///  | ReramSc     | ReramScBackend   | in-memory Bitstream   |
 ///  | BinaryCim   | BinaryCimBackend | 8/16-bit integer word |
 ///
@@ -41,11 +44,27 @@
 #include "reram/events.hpp"
 #include "sc/bitstream.hpp"
 
+/// \namespace aimsc
+/// \brief Root namespace of the all-in-memory SC reproduction.
+
+/// \namespace aimsc::core
+/// \brief Execution layer: the `ScBackend` contract, its substrates, the
+///        backend factory and the tile-parallel engine.
 namespace aimsc::core {
 
-/// Execution substrate selector (the paper's Table IV design axis).
-enum class DesignKind { Reference, SwScLfsr, SwScSobol, ReramSc, BinaryCim };
+/// Execution substrate selector (the paper's Table IV design axis, plus
+/// the SIMD-batched software-SC engine — same design point as SwScLfsr,
+/// executed word-parallel).
+enum class DesignKind {
+  Reference,  ///< exact floating-point probabilities
+  SwScLfsr,   ///< scalar software SC, LFSR SNG
+  SwScSobol,  ///< scalar software SC, Sobol SNG
+  SwScSimd,   ///< word/AVX2-batched software SC (bit-identical to SwScLfsr)
+  ReramSc,    ///< this work: in-memory SC on ReRAM
+  BinaryCim,  ///< binary CIM baseline (MAGIC/AritPIM)
+};
 
+/// Human-readable name of \p design (matches the backend's `name()`).
 const char* designKindName(DesignKind design);
 
 /// Opaque per-element value flowing through a backend's pipeline.  Exactly
@@ -55,20 +74,23 @@ const char* designKindName(DesignKind design);
 /// only meaningful to the backend that created them and must not cross
 /// backends.
 struct ScValue {
-  sc::Bitstream stream;
-  double prob = 0.0;
-  std::uint32_t word = 0;
+  sc::Bitstream stream;    ///< stream substrates (ReRAM-SC, SW-SC)
+  double prob = 0.0;       ///< floating-point reference
+  std::uint32_t word = 0;  ///< binary CIM integer domain
 
+  /// Wraps a bit-stream payload (stream substrates).
   static ScValue ofStream(sc::Bitstream s) {
     ScValue v;
     v.stream = std::move(s);
     return v;
   }
+  /// Wraps a probability payload (reference substrate).
   static ScValue ofProb(double p) {
     ScValue v;
     v.prob = p;
     return v;
   }
+  /// Wraps an integer-word payload (binary CIM substrate).
   static ScValue ofWord(std::uint32_t w) {
     ScValue v;
     v.word = w;
@@ -83,6 +105,8 @@ class ScBackend {
  public:
   virtual ~ScBackend() = default;
 
+  /// Human-readable substrate name (matches `designKindName` for
+  /// factory-built backends).
   virtual const char* name() const = 0;
 
   // --- stage 1: binary -> backend domain ----------------------------------
@@ -98,10 +122,16 @@ class ScBackend {
   virtual std::vector<ScValue> encodePixelsCorrelated(
       std::span<const std::uint8_t> values) = 0;
 
-  /// Fresh-epoch encode of an arbitrary probability (coefficients, selects).
+  /// Encodes an arbitrary constant probability (coefficients, selects),
+  /// independent of every data batch.  Repeated calls within one epoch
+  /// return mutually independent streams.  Constants never join the
+  /// current data epoch; the SW-SC backends serve them from a cached pool
+  /// without advancing the epoch counter (the ReRAM substrate still draws
+  /// fresh TRNG planes per constant).
   virtual ScValue encodeProb(double p) = 0;
 
-  /// Independent P=0.5 select stream for MAJ scaled addition.
+  /// Independent P=0.5 select stream for MAJ/MUX scaled addition
+  /// (equivalent to `encodeProb(0.5)`; same constant-pool semantics).
   virtual ScValue halfStream() = 0;
 
   /// Single-pixel conveniences (fresh epoch / current epoch).
@@ -145,13 +175,16 @@ class ScBackend {
   virtual std::vector<std::uint8_t> decodePixelsStored(
       std::span<ScValue> values);
 
+  /// Single-value convenience over decodePixels (consumes \p v).
   std::uint8_t decodePixel(ScValue v);
+  /// Single-value convenience over decodePixelsStored (consumes \p v).
   std::uint8_t decodePixelStored(ScValue v);
 
   // --- accounting ----------------------------------------------------------
 
   /// ReRAM event ledger (zero for substrates without one).
   virtual reram::EventCounts events() const { return reram::EventCounts{}; }
+  /// Clears the event ledger (no-op for substrates without one).
   virtual void resetEvents() {}
 
   /// Backend-defined cost counter: MAGIC gate cycles for binary CIM, serial
@@ -163,10 +196,10 @@ class ScBackend {
 /// factory serves the runner, benches and tests alike.
 struct BackendFactoryConfig {
   std::size_t streamLength = 256;  ///< N (stream backends)
-  std::uint64_t seed = 0x5eed;
-  bool injectFaults = false;
-  reram::DeviceParams device{};
-  std::size_t faultModelSamples = 40000;
+  std::uint64_t seed = 0x5eed;     ///< master randomness seed
+  bool injectFaults = false;       ///< enable the ReRAM/CIM fault models
+  reram::DeviceParams device{};    ///< device corner used when injecting
+  std::size_t faultModelSamples = 40000;  ///< Monte-Carlo resolution
   /// Equal-fault-surface scale for the binary CIM gate decomposition (see
   /// MagicEngine).
   double bincimFaultScale = 0.25;
@@ -175,5 +208,13 @@ struct BackendFactoryConfig {
 /// Creates an owning backend for \p design.
 std::unique_ptr<ScBackend> makeBackend(DesignKind design,
                                        const BackendFactoryConfig& config);
+
+/// Creates \p lanes independently seeded backends of \p design for a
+/// `TileExecutor` lane fleet (golden-ratio seed stride per lane, the
+/// MatGroup derivation — identical seeds would correlate lanes).  With the
+/// lane-pinned tile schedule this makes ANY design's tiled run
+/// bit-identical for every worker-thread count.
+std::vector<std::unique_ptr<ScBackend>> makeBackendLanes(
+    DesignKind design, const BackendFactoryConfig& config, std::size_t lanes);
 
 }  // namespace aimsc::core

@@ -7,38 +7,150 @@
 
 namespace aimsc::core {
 
-SwScBackend::SwScBackend(const SwScConfig& config) : config_(config) {
+namespace {
+
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ull;
+/// Offset separating the constant-stream seed space from the epoch space.
+constexpr std::uint64_t kConstSpace = 0x517ec0de'0000'0000ull;
+
+}  // namespace
+
+std::uint32_t swScLfsrSeedForEpoch(std::uint64_t seed, std::uint64_t epoch) {
+  // A new LFSR phase per epoch; the golden-ratio stride decorrelates
+  // consecutive epochs over the 254 usable seeds.
+  const std::uint64_t mixed = seed + kGolden * epoch;
+  return static_cast<std::uint32_t>(mixed % 254 + 1);
+}
+
+SwScSobolEpoch swScSobolForEpoch(std::uint64_t seed, std::uint64_t epoch) {
+  const auto dim = static_cast<int>(epoch % sc::Sobol::kMaxDimension);
+  const std::uint64_t skip =
+      1 + (seed & 0xff) + 16 * (epoch / sc::Sobol::kMaxDimension);
+  return SwScSobolEpoch{dim, skip};
+}
+
+std::unique_ptr<sc::RandomSource> swScConstantSource(const SwScConfig& config,
+                                                     std::uint32_t threshold,
+                                                     std::uint32_t ordinal) {
+  // Each (threshold, ordinal) pair owns one slot of a seed space disjoint
+  // from the epoch indices (the master seed is remixed with kConstSpace),
+  // so constants are independent of every data epoch and of each other.
+  const std::uint64_t slot = std::uint64_t{threshold} * 64 + ordinal;
+  if (config.sng == energy::CmosSng::Lfsr) {
+    return std::make_unique<sc::Lfsr>(sc::Lfsr::paper8Bit(
+        swScLfsrSeedForEpoch(config.seed ^ kConstSpace, slot)));
+  }
+  // Keep the Sobol skip moderate: reset() replays `skip` points.
+  const auto dim = static_cast<int>(slot % sc::Sobol::kMaxDimension);
+  const std::uint64_t skip = 1 + ((config.seed ^ kConstSpace) & 0xff) +
+                             16 * (1024 + slot / sc::Sobol::kMaxDimension);
+  return std::make_unique<sc::Sobol>(dim, skip);
+}
+
+sc::Bitstream SwScConstantPool::get(double p) {
+  const std::uint32_t x = sc::quantizeProbability(p, 8);
+  const std::size_t k = usedThisEpoch_[x]++;
+  auto& streams = pool_[x];
+  while (streams.size() <= k) {
+    const auto src = swScConstantSource(
+        config_, x, static_cast<std::uint32_t>(streams.size()));
+    streams.push_back(sc::generateSbs(*src, x, 8, config_.streamLength));
+  }
+  return streams[k];
+}
+
+void SwScConstantPool::onNewEpoch() { usedThisEpoch_.clear(); }
+
+// ---------------------------------------------------------------------------
+// SwScGateBackend: the shared gate set, constants and accounting
+// ---------------------------------------------------------------------------
+
+SwScGateBackend::SwScGateBackend(const SwScConfig& config)
+    : config_(config), constants_(config) {}
+
+ScValue SwScGateBackend::encodeProb(double p) {
+  return ScValue::ofStream(constants_.get(p));
+}
+
+ScValue SwScGateBackend::halfStream() { return encodeProb(0.5); }
+
+ScValue SwScGateBackend::multiply(const ScValue& x, const ScValue& y) {
+  ++opPasses_;
+  return ScValue::ofStream(sc::scMultiply(x.stream, y.stream));
+}
+
+ScValue SwScGateBackend::scaledAdd(const ScValue& x, const ScValue& y,
+                                   const ScValue& half) {
+  ++opPasses_;
+  return ScValue::ofStream(sc::scScaledAddMux(x.stream, y.stream, half.stream));
+}
+
+ScValue SwScGateBackend::absSub(const ScValue& x, const ScValue& y) {
+  ++opPasses_;
+  return ScValue::ofStream(sc::scAbsSub(x.stream, y.stream));
+}
+
+ScValue SwScGateBackend::majMux(const ScValue& x, const ScValue& y,
+                                const ScValue& sel) {
+  // The CMOS design uses an exact 2-to-1 MUX (sel = 1 selects x).
+  ++opPasses_;
+  return ScValue::ofStream(sc::Bitstream::mux(x.stream, y.stream, sel.stream));
+}
+
+ScValue SwScGateBackend::majMux4(const ScValue& i11, const ScValue& i12,
+                                 const ScValue& i21, const ScValue& i22,
+                                 const ScValue& sx, const ScValue& sy) {
+  opPasses_ += 3;  // three serial MUX stages
+  return ScValue::ofStream(sc::scMux4(i11.stream, i12.stream, i21.stream,
+                                      i22.stream, sx.stream, sy.stream));
+}
+
+ScValue SwScGateBackend::divide(const ScValue& num, const ScValue& den) {
+  ++opPasses_;
+  return ScValue::ofStream(divideStreams(num.stream, den.stream));
+}
+
+std::vector<std::uint8_t> SwScGateBackend::decodePixels(
+    std::span<ScValue> values) {
+  // log2(N)-bit output counter: popcount / N.
+  std::vector<std::uint8_t> out;
+  out.reserve(values.size());
+  for (const ScValue& v : values) {
+    out.push_back(img::Image::fromProb(v.stream.value()));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SwScBackend: scalar stage-1 encode + serial CORDIV
+// ---------------------------------------------------------------------------
+
+SwScBackend::SwScBackend(const SwScConfig& config) : SwScGateBackend(config) {
   newEpoch();
 }
 
 const char* SwScBackend::name() const {
-  return config_.sng == energy::CmosSng::Lfsr ? "SW-SC (LFSR)"
-                                              : "SW-SC (Sobol)";
+  return config().sng == energy::CmosSng::Lfsr ? "SW-SC (LFSR)"
+                                               : "SW-SC (Sobol)";
 }
 
 void SwScBackend::newEpoch() {
   ++epoch_;
-  if (config_.sng == energy::CmosSng::Lfsr) {
-    // A new LFSR phase per epoch; the golden-ratio stride decorrelates
-    // consecutive epochs over the 254 usable seeds.
-    const std::uint64_t mixed = config_.seed + 0x9e3779b97f4a7c15ull * epoch_;
+  if (config().sng == energy::CmosSng::Lfsr) {
     epochSource_ = std::make_unique<sc::Lfsr>(
-        sc::Lfsr::paper8Bit(static_cast<std::uint32_t>(mixed % 254 + 1)));
+        sc::Lfsr::paper8Bit(swScLfsrSeedForEpoch(config().seed, epoch_)));
   } else {
-    // A new Sobol dimension per epoch; once the dimensions wrap, the phase
-    // offset keeps reused dimensions from replaying the same sequence.
-    const auto dim = static_cast<int>(epoch_ % sc::Sobol::kMaxDimension);
-    const std::uint64_t skip = 1 + (config_.seed & 0xff) +
-                               16 * (epoch_ / sc::Sobol::kMaxDimension);
-    epochSource_ = std::make_unique<sc::Sobol>(dim, skip);
+    const SwScSobolEpoch p = swScSobolForEpoch(config().seed, epoch_);
+    epochSource_ = std::make_unique<sc::Sobol>(p.dimension, p.skip);
   }
+  SwScGateBackend::onNewEpoch();
 }
 
 sc::Bitstream SwScBackend::encodeWithEpoch(double p) {
   // Restarting the source per stream yields maximal correlation within the
   // epoch — the software analogue of converting against shared TRNG planes.
   epochSource_->reset();
-  return sc::generateSbsFromProb(*epochSource_, p, 8, config_.streamLength);
+  return sc::generateSbsFromProb(*epochSource_, p, 8, config().streamLength);
 }
 
 std::vector<ScValue> SwScBackend::encodePixels(
@@ -58,58 +170,9 @@ std::vector<ScValue> SwScBackend::encodePixelsCorrelated(
   return out;
 }
 
-ScValue SwScBackend::encodeProb(double p) {
-  newEpoch();
-  return ScValue::ofStream(encodeWithEpoch(p));
-}
-
-ScValue SwScBackend::halfStream() { return encodeProb(0.5); }
-
-ScValue SwScBackend::multiply(const ScValue& x, const ScValue& y) {
-  ++opPasses_;
-  return ScValue::ofStream(sc::scMultiply(x.stream, y.stream));
-}
-
-ScValue SwScBackend::scaledAdd(const ScValue& x, const ScValue& y,
-                               const ScValue& half) {
-  ++opPasses_;
-  return ScValue::ofStream(sc::scScaledAddMux(x.stream, y.stream, half.stream));
-}
-
-ScValue SwScBackend::absSub(const ScValue& x, const ScValue& y) {
-  ++opPasses_;
-  return ScValue::ofStream(sc::scAbsSub(x.stream, y.stream));
-}
-
-ScValue SwScBackend::majMux(const ScValue& x, const ScValue& y,
-                            const ScValue& sel) {
-  // The CMOS design uses an exact 2-to-1 MUX (sel = 1 selects x).
-  ++opPasses_;
-  return ScValue::ofStream(sc::Bitstream::mux(x.stream, y.stream, sel.stream));
-}
-
-ScValue SwScBackend::majMux4(const ScValue& i11, const ScValue& i12,
-                             const ScValue& i21, const ScValue& i22,
-                             const ScValue& sx, const ScValue& sy) {
-  opPasses_ += 3;  // three serial MUX stages
-  return ScValue::ofStream(sc::scMux4(i11.stream, i12.stream, i21.stream,
-                                      i22.stream, sx.stream, sy.stream));
-}
-
-ScValue SwScBackend::divide(const ScValue& num, const ScValue& den) {
-  ++opPasses_;
-  return ScValue::ofStream(sc::cordivDivide(num.stream, den.stream));
-}
-
-std::vector<std::uint8_t> SwScBackend::decodePixels(
-    std::span<ScValue> values) {
-  // log2(N)-bit output counter: popcount / N.
-  std::vector<std::uint8_t> out;
-  out.reserve(values.size());
-  for (const ScValue& v : values) {
-    out.push_back(img::Image::fromProb(v.stream.value()));
-  }
-  return out;
+sc::Bitstream SwScBackend::divideStreams(const sc::Bitstream& num,
+                                         const sc::Bitstream& den) {
+  return sc::cordivDivide(num, den);
 }
 
 }  // namespace aimsc::core

@@ -10,12 +10,23 @@
 /// maximally correlated (SCC = +1) exactly like streams sharing TRNG
 /// planes — the precondition XOR subtraction and CORDIV need.
 ///
+/// Constants (`encodeProb` / `halfStream`) do NOT burn randomness epochs:
+/// they are served from a `SwScConstantPool` — independently derived
+/// streams cached for the lifetime of the backend and rotated per epoch so
+/// repeated requests within one epoch stay mutually independent.  The
+/// epoch counter therefore advances only on data encodes, which keeps the
+/// scalar and SIMD SW-SC backends (`SwScSimdBackend`) in lock-step: both
+/// share the seed-derivation helpers below and produce bit-identical
+/// streams for the same `SwScConfig`.
+///
 /// Cost accounting: `opCount()` counts serial SC op passes (each N bit
 /// cycles in hardware); conversions and decodes are charged by the system
 /// model, not here.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <vector>
 
 #include "core/backend.hpp"
 #include "energy/cmos_baseline.hpp"
@@ -23,22 +34,73 @@
 
 namespace aimsc::core {
 
+/// Knobs shared by the scalar (`SwScBackend`) and SIMD (`SwScSimdBackend`)
+/// software-SC backends; identical configs yield bit-identical streams.
 struct SwScConfig {
-  std::size_t streamLength = 256;  ///< N
-  energy::CmosSng sng = energy::CmosSng::Lfsr;
-  std::uint64_t seed = 0x5eed;
+  std::size_t streamLength = 256;              ///< N (bits per stream)
+  energy::CmosSng sng = energy::CmosSng::Lfsr; ///< SNG randomness source
+  std::uint64_t seed = 0x5eed;                 ///< master seed
 };
 
-class SwScBackend final : public ScBackend {
+// --- seed derivation shared with the SIMD backend ---------------------------
+// One source of truth so the scalar and word-parallel paths cannot drift.
+
+/// LFSR seed for randomness epoch \p epoch (golden-ratio stride over the
+/// 254 usable nonzero seeds).
+std::uint32_t swScLfsrSeedForEpoch(std::uint64_t seed, std::uint64_t epoch);
+
+/// Sobol parameters for a randomness epoch: a fresh dimension per epoch
+/// and, once the dimensions wrap, a phase offset that keeps reused
+/// dimensions from replaying the same sequence.
+struct SwScSobolEpoch {
+  int dimension;
+  std::uint64_t skip;
+};
+SwScSobolEpoch swScSobolForEpoch(std::uint64_t seed, std::uint64_t epoch);
+
+/// Random source for the \p ordinal-th independent constant stream of
+/// comparator threshold \p threshold (see `SwScConstantPool`).  Constants
+/// draw from a seed space disjoint from the epoch derivation above.
+std::unique_ptr<sc::RandomSource> swScConstantSource(const SwScConfig& config,
+                                                     std::uint32_t threshold,
+                                                     std::uint32_t ordinal);
+
+/// Cache of constant streams (selects, coefficients, P=0.5 halves) shared
+/// by the scalar and SIMD SW-SC backends.
+///
+/// Streams are generated once per (threshold, ordinal) pair and reused for
+/// the backend's lifetime — the hardware analogy is a bank of dedicated
+/// select SNGs that free-run beside the data path.  Within one randomness
+/// epoch, successive requests for the same threshold return *successive*
+/// pool entries (kernels like the smoothing MUX tree need seven mutually
+/// independent halves per row); `onNewEpoch` rewinds the rotation so the
+/// next row reuses the same bank.
+class SwScConstantPool {
  public:
-  explicit SwScBackend(const SwScConfig& config);
+  explicit SwScConstantPool(const SwScConfig& config) : config_(config) {}
 
-  const char* name() const override;
+  /// Next pooled stream encoding probability \p p for the current epoch
+  /// (returned by value: the pool vector may grow on later requests).
+  sc::Bitstream get(double p);
 
-  std::vector<ScValue> encodePixels(
-      std::span<const std::uint8_t> values) override;
-  std::vector<ScValue> encodePixelsCorrelated(
-      std::span<const std::uint8_t> values) override;
+  /// Rewinds the per-epoch rotation (streams themselves are kept).
+  void onNewEpoch();
+
+ private:
+  SwScConfig config_;
+  std::map<std::uint32_t, std::vector<sc::Bitstream>> pool_;
+  std::map<std::uint32_t, std::size_t> usedThisEpoch_;
+};
+
+/// Common trunk of the scalar and SIMD SW-SC backends: the exact-MUX CMOS
+/// gate set over packed `Bitstream` words (already word-parallel), the
+/// pooled constants, the counter decode and the serial-pass accounting.
+/// Subclasses supply stage-1 encoding and the CORDIV realisation — the
+/// only places the two engines differ.
+class SwScGateBackend : public ScBackend {
+ public:
+  explicit SwScGateBackend(const SwScConfig& config);
+
   ScValue encodeProb(double p) override;
   ScValue halfStream() override;
 
@@ -57,16 +119,49 @@ class SwScBackend final : public ScBackend {
 
   std::uint64_t opCount() const override { return opPasses_; }
 
+ protected:
+  /// CORDIV realisation (serial flip-flop or word-level scan; both emit
+  /// the same bits).
+  virtual sc::Bitstream divideStreams(const sc::Bitstream& num,
+                                      const sc::Bitstream& den) = 0;
+
+  const SwScConfig& config() const { return config_; }
+  /// Rewinds the constant pool; subclasses call this from their epoch
+  /// rollover.
+  void onNewEpoch() { constants_.onNewEpoch(); }
+
+ private:
+  SwScConfig config_;
+  SwScConstantPool constants_;
+  std::uint64_t opPasses_ = 0;
+};
+
+/// Scalar software-SC execution engine (the Table III/IV "CMOS SC"
+/// baseline): one virtual RNG call per stream bit.  `SwScSimdBackend` is
+/// the word-parallel drop-in replacement with identical output.
+class SwScBackend final : public SwScGateBackend {
+ public:
+  explicit SwScBackend(const SwScConfig& config);
+
+  const char* name() const override;
+
+  std::vector<ScValue> encodePixels(
+      std::span<const std::uint8_t> values) override;
+  std::vector<ScValue> encodePixelsCorrelated(
+      std::span<const std::uint8_t> values) override;
+
+ protected:
+  sc::Bitstream divideStreams(const sc::Bitstream& num,
+                              const sc::Bitstream& den) override;
+
  private:
   /// Starts a fresh randomness epoch (new source).
   void newEpoch();
   /// Encodes one value against the current epoch (source restarted).
   sc::Bitstream encodeWithEpoch(double p);
 
-  SwScConfig config_;
   std::unique_ptr<sc::RandomSource> epochSource_;
   std::uint64_t epoch_ = 0;
-  std::uint64_t opPasses_ = 0;
 };
 
 }  // namespace aimsc::core

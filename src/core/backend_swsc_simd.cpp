@@ -1,0 +1,82 @@
+#include "core/backend_swsc_simd.hpp"
+
+#include <array>
+
+#include "sc/cordiv.hpp"
+#include "sc/sng.hpp"
+
+namespace aimsc::core {
+
+SwScSimdBackend::SwScSimdBackend(const SwScSimdConfig& config)
+    : SwScGateBackend(config), simd_(config.simd) {
+  newEpoch();
+}
+
+const char* SwScSimdBackend::name() const { return "SW-SC (SIMD)"; }
+
+void SwScSimdBackend::refillLfsrBlock(std::uint64_t epoch) {
+  const std::size_t n = config().streamLength;
+  std::array<std::uint8_t, sc::BulkLfsr8::kLanes> seeds;
+  for (std::size_t k = 0; k < seeds.size(); ++k) {
+    seeds[k] = static_cast<std::uint8_t>(
+        swScLfsrSeedForEpoch(config().seed, epoch + k));
+  }
+  lfsrBlock_.resize(seeds.size() * n);
+  sc::BulkLfsr8 bulk(seeds);
+  bulk.generate(n, lfsrBlock_.data());
+  blockBase_ = epoch;
+}
+
+void SwScSimdBackend::newEpoch() {
+  ++epoch_;
+  const std::size_t n = config().streamLength;
+  if (config().sng == energy::CmosSng::Lfsr) {
+    if (blockBase_ == 0 || epoch_ < blockBase_ ||
+        epoch_ >= blockBase_ + sc::BulkLfsr8::kLanes) {
+      refillLfsrBlock(epoch_);
+    }
+    planes_.assign(&lfsrBlock_[(epoch_ - blockBase_) * n], n);
+  } else {
+    const SwScSobolEpoch p = swScSobolForEpoch(config().seed, epoch_);
+    sc::Sobol sobol(p.dimension, p.skip);
+    sobolBytes_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      sobolBytes_[i] = static_cast<std::uint8_t>(sobol.next32() >> 24);
+    }
+    planes_.assign(sobolBytes_.data(), n);
+  }
+  SwScGateBackend::onNewEpoch();
+}
+
+std::vector<ScValue> SwScSimdBackend::encodePixels(
+    std::span<const std::uint8_t> values) {
+  newEpoch();
+  return encodePixelsCorrelated(values);
+}
+
+std::vector<ScValue> SwScSimdBackend::encodePixelsCorrelated(
+    std::span<const std::uint8_t> values) {
+  // Pixel thresholds quantize exactly like the scalar comparator path.
+  static const auto kThreshold = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::size_t v = 0; v < t.size(); ++v) {
+      t[v] = sc::quantizeProbability(static_cast<double>(v) / 255.0, 8);
+    }
+    return t;
+  }();
+  std::vector<ScValue> out;
+  out.reserve(values.size());
+  for (const std::uint8_t v : values) {
+    sc::Bitstream s;
+    planes_.encode(kThreshold[v], s, simd_);
+    out.push_back(ScValue::ofStream(std::move(s)));
+  }
+  return out;
+}
+
+sc::Bitstream SwScSimdBackend::divideStreams(const sc::Bitstream& num,
+                                             const sc::Bitstream& den) {
+  return sc::cordivDivideWordLevel(num, den);
+}
+
+}  // namespace aimsc::core

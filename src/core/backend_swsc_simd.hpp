@@ -1,0 +1,80 @@
+/// \file backend_swsc_simd.hpp
+/// \brief Word/SIMD-parallel software-SC backend (`DesignKind::SwScSimd`):
+///        the same CMOS SW-SC design as `SwScBackend`, executed with the
+///        batched SNG layer of sc/bulk_sng.hpp instead of one virtual RNG
+///        call per stream bit.
+///
+/// Output is **bit-identical, per seed, to the scalar backend** with the
+/// same `SwScConfig`: epochs derive their LFSR seeds / Sobol phases from
+/// the shared helpers in backend_swsc.hpp, constants come from the same
+/// `SwScConstantPool`, the stage-2 gates are the same packed-word Bitstream
+/// ops, and CORDIV uses the word-level scan proven equal to the serial
+/// flip-flop.  "SIMD" therefore changes only the instructions per bit:
+///
+///  * stage-1 encode: one `RandomPlanes` comparator pass per pixel
+///    (64 bits per word op, 32 bits per AVX2 compare) instead of N calls
+///    of `RandomSource::next`;
+///  * LFSR epochs are *prefetched in blocks*: one `BulkLfsr8` pass advances
+///    32 future epochs' registers in lock-step (stream-major state, the
+///    MT19937-SIMD layout idiom);
+///  * stage-3 decode and the op vocabulary were already word-parallel.
+///
+/// The AVX2 paths are runtime-dispatched; forcing `SimdMode::Portable`
+/// exercises the `uint64_t` fallback, which produces the same bits.
+#pragma once
+
+#include <vector>
+
+#include "core/backend_swsc.hpp"
+#include "sc/bulk_sng.hpp"
+
+namespace aimsc::core {
+
+/// Configuration of the SIMD SW-SC backend: the shared `SwScConfig` plus
+/// the instruction-set selector.
+struct SwScSimdConfig : SwScConfig {
+  /// `Portable` forces the uint64 fallback (testing, non-x86 hosts).
+  sc::SimdMode simd = sc::SimdMode::Auto;
+};
+
+/// Word-parallel software-SC execution engine; drop-in replacement for
+/// `SwScBackend` (see the file comment for the equivalence contract).
+/// Stage 2, constants, decode and accounting come from the shared
+/// `SwScGateBackend` trunk; this class supplies the batched stage-1 encode
+/// and the word-level CORDIV.
+class SwScSimdBackend final : public SwScGateBackend {
+ public:
+  explicit SwScSimdBackend(const SwScSimdConfig& config);
+
+  const char* name() const override;
+
+  std::vector<ScValue> encodePixels(
+      std::span<const std::uint8_t> values) override;
+  std::vector<ScValue> encodePixelsCorrelated(
+      std::span<const std::uint8_t> values) override;
+
+ protected:
+  sc::Bitstream divideStreams(const sc::Bitstream& num,
+                              const sc::Bitstream& den) override;
+
+ private:
+  /// Starts a fresh randomness epoch and rebuilds the comparator planes.
+  void newEpoch();
+  /// Refills the LFSR prefetch block so it covers \p epoch.
+  void refillLfsrBlock(std::uint64_t epoch);
+
+  sc::SimdMode simd_;
+  std::uint64_t epoch_ = 0;
+
+  sc::RandomPlanes planes_;  ///< current epoch's packed comparator state
+
+  /// LFSR epoch prefetch: comparator sequences for epochs
+  /// [blockBase_, blockBase_ + kLanes), stream-major (lane k = epoch
+  /// blockBase_ + k), produced by one BulkLfsr8 pass.
+  std::vector<std::uint8_t> lfsrBlock_;
+  std::uint64_t blockBase_ = 0;  ///< 0 = block not yet generated
+
+  std::vector<std::uint8_t> sobolBytes_;  ///< scratch for Sobol epochs
+};
+
+}  // namespace aimsc::core

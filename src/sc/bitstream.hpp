@@ -14,6 +14,9 @@
 #include <string>
 #include <vector>
 
+/// \namespace aimsc::sc
+/// \brief Stochastic-computing primitives: packed bit-streams, random
+///        sources, stochastic number generation and SC gate ops.
 namespace aimsc::sc {
 
 /// Fixed-length packed bit-stream.  Bit i of the stream is bit (i % 64) of
@@ -21,6 +24,7 @@ namespace aimsc::sc {
 /// invariant so popcount() can run over whole words.
 class Bitstream {
  public:
+  /// Creates an empty (zero-length) stream.
   Bitstream() = default;
 
   /// Creates an all-zero stream of \p n bits.
@@ -35,10 +39,14 @@ class Bitstream {
   /// Builds a stream from a '0'/'1' string, e.g. "10101".
   static Bitstream fromString(const std::string& s);
 
+  /// Stream length in bits.
   std::size_t size() const { return size_; }
+  /// True when the stream has zero length.
   bool empty() const { return size_ == 0; }
 
+  /// Bit \p i (0-based; \p i must be < size()).
   bool get(std::size_t i) const;
+  /// Sets bit \p i to \p v.
   void set(std::size_t i, bool v);
 
   /// Number of '1' bits.
@@ -47,17 +55,25 @@ class Bitstream {
   /// Estimated encoded value: popcount / size.  Returns 0 for empty streams.
   double value() const;
 
-  /// Bulk bitwise operations (new stream; throws on length mismatch).
+  /// Bulk bitwise AND (new stream; throws on length mismatch).
   Bitstream operator&(const Bitstream& o) const;
+  /// Bulk bitwise OR (new stream; throws on length mismatch).
   Bitstream operator|(const Bitstream& o) const;
+  /// Bulk bitwise XOR (new stream; throws on length mismatch).
   Bitstream operator^(const Bitstream& o) const;
+  /// Bulk bitwise NOT (new stream).
   Bitstream operator~() const;
 
+  /// In-place bulk AND (throws on length mismatch).
   Bitstream& operator&=(const Bitstream& o);
+  /// In-place bulk OR (throws on length mismatch).
   Bitstream& operator|=(const Bitstream& o);
+  /// In-place bulk XOR (throws on length mismatch).
   Bitstream& operator^=(const Bitstream& o);
 
+  /// Exact equality: same length and same bits.
   bool operator==(const Bitstream& o) const;
+  /// Negation of operator==.
   bool operator!=(const Bitstream& o) const { return !(*this == o); }
 
   /// Three-input majority: out[i] = 1 iff at least two of a,b,c are 1.
@@ -106,6 +122,8 @@ class Bitstream {
   /// Direct word access for high-throughput kernels.  The caller must
   /// preserve the zero-tail invariant; clearTail() re-establishes it.
   std::vector<std::uint64_t>& mutableWords() { return words_; }
+  /// Zeroes the bits beyond size() in the last word (the class invariant
+  /// mutableWords() writers must restore).
   void clearTail();
 
  private:

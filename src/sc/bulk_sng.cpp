@@ -1,0 +1,169 @@
+#include "sc/bulk_sng.hpp"
+
+#include <stdexcept>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define AIMSC_X86 1
+#else
+#define AIMSC_X86 0
+#endif
+
+namespace aimsc::sc {
+
+namespace {
+
+// Taps {8,5,3,1} (1-based from the output end) = state bits 7,4,2,0.
+constexpr std::uint64_t kTapMask = 0x9595959595959595ull;
+constexpr std::uint64_t kLowBits = 0x0101010101010101ull;
+constexpr std::uint64_t kShiftMask = 0xfefefefefefefefeull;
+
+/// Advances 8 packed LFSR lanes one step.  The parity of the tapped bits is
+/// folded into bit 0 of each byte: after t ^= t>>4 ^ t>>2 ^ t>>1, bit 8b of
+/// the word is the XOR of (masked) bits 8b..8b+7, which all belong to lane
+/// b — neighbouring lanes never contaminate the feedback bit.
+inline std::uint64_t stepWord(std::uint64_t w) {
+  std::uint64_t t = w & kTapMask;
+  t ^= t >> 4;
+  t ^= t >> 2;
+  t ^= t >> 1;
+  return ((w << 1) & kShiftMask) | (t & kLowBits);
+}
+
+}  // namespace
+
+bool cpuHasAvx2() {
+#if AIMSC_X86
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+BulkLfsr8::BulkLfsr8(const std::array<std::uint8_t, kLanes>& seeds) {
+  state_.fill(0);
+  for (std::size_t k = 0; k < kLanes; ++k) {
+    if (seeds[k] == 0) {
+      throw std::invalid_argument("BulkLfsr8: zero seed locks the register");
+    }
+    state_[k / 8] |= static_cast<std::uint64_t>(seeds[k]) << (8 * (k % 8));
+  }
+}
+
+void BulkLfsr8::step() {
+  for (auto& w : state_) w = stepWord(w);
+}
+
+std::uint8_t BulkLfsr8::lane(std::size_t k) const {
+  return static_cast<std::uint8_t>(state_[k / 8] >> (8 * (k % 8)));
+}
+
+void BulkLfsr8::generate(std::size_t n, std::uint8_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    step();
+    for (std::size_t k = 0; k < kLanes; ++k) out[k * n + i] = lane(k);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RandomPlanes
+// ---------------------------------------------------------------------------
+
+void RandomPlanes::assign(const std::uint8_t* r, std::size_t n) {
+  n_ = n;
+  words_ = (n + 63) / 64;
+  bytes_.assign(words_ * 64, 0xFF);
+  for (std::size_t i = 0; i < n; ++i) bytes_[i] = r[i];
+  planesBuilt_ = false;
+}
+
+void RandomPlanes::buildPlanes() const {
+  planes_.assign(8 * words_, 0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::uint64_t bit = std::uint64_t{1} << (i % 64);
+    const std::uint8_t v = bytes_[i];
+    for (int b = 0; b < 8; ++b) {
+      if ((v >> b) & 1u) {
+        planes_[static_cast<std::size_t>(b) * words_ + i / 64] |= bit;
+      }
+    }
+  }
+  planesBuilt_ = true;
+}
+
+namespace {
+
+#if AIMSC_X86
+
+/// AVX2 comparator: 32 stream bits per vpcmpgtb+vpmovmskb pair.  R < x
+/// (unsigned) is evaluated as (x ^ 0x80) > (R ^ 0x80) (signed), the
+/// standard bias trick.
+__attribute__((target("avx2"))) void encodeAvx2(const std::uint8_t* bytes,
+                                                std::size_t words,
+                                                std::uint32_t x,
+                                                std::uint64_t* out) {
+  const __m256i bias = _mm256_set1_epi8(static_cast<char>(0x80));
+  const __m256i xs = _mm256_set1_epi8(static_cast<char>(x ^ 0x80u));
+  for (std::size_t w = 0; w < words; ++w) {
+    const auto* p = reinterpret_cast<const __m256i*>(bytes + w * 64);
+    const __m256i lo = _mm256_xor_si256(_mm256_loadu_si256(p), bias);
+    const __m256i hi = _mm256_xor_si256(_mm256_loadu_si256(p + 1), bias);
+    const auto mlo = static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpgt_epi8(xs, lo)));
+    const auto mhi = static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpgt_epi8(xs, hi)));
+    out[w] = static_cast<std::uint64_t>(mlo) |
+             (static_cast<std::uint64_t>(mhi) << 32);
+  }
+}
+
+#endif  // AIMSC_X86
+
+/// Portable comparator: a ripple compare over the eight bit-planes decides
+/// R < x for 64 stream positions per pass (MSB-first; `lt` collects
+/// positions decided below x while `eq` tracks still-equal prefixes).
+void encodePortable(const std::uint64_t* planes, std::size_t words,
+                    std::uint32_t x, std::uint64_t* out) {
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t lt = 0;
+    std::uint64_t eq = ~std::uint64_t{0};
+    for (int b = 7; b >= 0; --b) {
+      const std::uint64_t pb = planes[static_cast<std::size_t>(b) * words + w];
+      if ((x >> b) & 1u) {
+        lt |= eq & ~pb;
+        eq &= pb;
+      } else {
+        eq &= ~pb;
+      }
+    }
+    out[w] = lt;
+  }
+}
+
+}  // namespace
+
+void RandomPlanes::encode(std::uint32_t x, Bitstream& out,
+                          SimdMode mode) const {
+  out.assign(n_, false);
+  if (n_ == 0) return;
+  auto& words = out.mutableWords();
+  if (x >= 256) {
+    out.assign(n_, true);  // threshold 2^8: the comparator always fires
+    return;
+  }
+  if (x == 0) return;  // nothing beats a zero threshold
+#if AIMSC_X86
+  if (mode == SimdMode::Auto && cpuHasAvx2()) {
+    encodeAvx2(bytes_.data(), words_, x, words.data());
+    out.clearTail();
+    return;
+  }
+#else
+  (void)mode;
+#endif
+  if (!planesBuilt_) buildPlanes();
+  encodePortable(planes_.data(), words_, x, words.data());
+  out.clearTail();
+}
+
+}  // namespace aimsc::sc

@@ -1,0 +1,123 @@
+/// \file bulk_sng.hpp
+/// \brief Word/SIMD-parallel stochastic number generation: a bulk LFSR that
+///        advances many registers per instruction and a packed bit-plane
+///        comparator that emits stream bits a word (or an AVX2 register) at
+///        a time.
+///
+/// The scalar SW-SC path pays one virtual RNG call **per stream bit**
+/// (`generateSbs`: N calls of `RandomSource::next` per pixel).  This layer
+/// restructures the same comparator construction (Sec. II-B: bit i =
+/// R_i < X) into two batched stages:
+///
+///  1. **Bulk PRNG** — `BulkLfsr8` keeps kLanes = 32 independent 8-bit
+///     Fibonacci LFSRs with the state laid out *stream-major* (lane k =
+///     byte k of the packed state words, the MT19937-SIMD state-layout
+///     idiom), so one SWAR word operation advances 8 registers and one
+///     vector operation advances 16 (SSE2) or 32 (AVX2) — the compiler
+///     vectorizes the four-word update loop on x86-64 baselines.  Each lane
+///     reproduces `Lfsr::paper8Bit` bit for bit.
+///  2. **Packed comparator** — `RandomPlanes` stores one randomness epoch's
+///     comparator sequence R both as raw bytes and as eight transposed
+///     bit-planes.  `encode` then evaluates R_i < X for 64 stream bits per
+///     plane pass (portable `uint64_t` path) or for 32 bytes per
+///     `vpcmpgtb`/`vpmovmskb` pair (runtime-dispatched AVX2 path).  Both
+///     paths compute the exact predicate, so their output is bit-identical;
+///     results never depend on which instruction set executed them.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sc/bitstream.hpp"
+
+namespace aimsc::sc {
+
+/// Instruction-set selector for the batched encode paths.
+enum class SimdMode {
+  Auto,      ///< use AVX2 when the CPU supports it, else the portable path
+  Portable,  ///< force the `uint64_t` word fallback (testing / non-x86)
+};
+
+/// True when the running CPU supports AVX2 (always false off x86).
+bool cpuHasAvx2();
+
+/// Batch of 32 independent 8-bit maximal LFSRs (taps {8,5,3,1}, matching
+/// `Lfsr::paper8Bit`) advanced in lock-step with word-parallel arithmetic.
+///
+/// State layout is stream-major: register k lives in byte k of the packed
+/// 4x`uint64_t` state, so the shift/parity update touches every register
+/// with the same handful of word ops.  Used by the SIMD SW-SC backend to
+/// prefetch the comparator sequences of the next `kLanes` randomness epochs
+/// in one pass.
+class BulkLfsr8 {
+ public:
+  /// Number of independent LFSR lanes advanced per step.
+  static constexpr std::size_t kLanes = 32;
+
+  /// Seeds lane k with `seeds[k]`; every seed must be in [1, 255]
+  /// (a zero seed locks a Fibonacci LFSR at zero; throws
+  /// std::invalid_argument).
+  explicit BulkLfsr8(const std::array<std::uint8_t, kLanes>& seeds);
+
+  /// Advances every lane one step (the SWAR equivalent of 32 calls to
+  /// `Lfsr::step`).
+  void step();
+
+  /// Post-step state of lane \p k (equals `Lfsr::step()`'s return value).
+  std::uint8_t lane(std::size_t k) const;
+
+  /// Runs \p n steps and writes the state sequences stream-major:
+  /// `out[k * n + i]` is lane k's state after step i+1 — exactly the
+  /// sequence `Lfsr::paper8Bit(seeds[k])` produces from n `next(8)` calls.
+  /// \p out must have room for `kLanes * n` bytes.
+  void generate(std::size_t n, std::uint8_t* out);
+
+ private:
+  std::array<std::uint64_t, kLanes / 8> state_;
+};
+
+/// One randomness epoch's comparator sequence R_0..R_{n-1}, stored packed
+/// for word-parallel encoding: the raw bytes (AVX2 compare path) plus the
+/// eight transposed bit-planes (portable comparator path).
+///
+/// `encode(x)` produces the stochastic bit-stream whose bit i is the exact
+/// comparator predicate R_i < x — the same construction as `generateSbs`,
+/// evaluated 64..256 bits per instruction instead of one.
+class RandomPlanes {
+ public:
+  RandomPlanes() = default;
+
+  /// Adopts the epoch sequence `r[0..n)` (8-bit comparator draws).
+  /// Reuses buffers across epochs; the transposed planes are built lazily
+  /// on the first portable-path encode (an AVX2 host never pays for them).
+  void assign(const std::uint8_t* r, std::size_t n);
+
+  /// Stream length (bits) this epoch encodes.
+  std::size_t length() const { return n_; }
+
+  /// Encodes integer threshold \p x in [0, 256] (256 = "always 1", the
+  /// `quantizeProbability` convention) into \p out: bit i = R_i < x.
+  /// \p out is resized to `length()`.  Portable and AVX2 paths are
+  /// bit-identical; \p mode only selects the instructions used.
+  void encode(std::uint32_t x, Bitstream& out,
+              SimdMode mode = SimdMode::Auto) const;
+
+ private:
+  /// Transposes bytes_ into planes_ (portable comparator path only).
+  void buildPlanes() const;
+
+  std::size_t n_ = 0;      ///< stream length in bits
+  std::size_t words_ = 0;  ///< ceil(n / 64)
+  /// Raw comparator bytes padded to words_*64 with 0xFF (padding never
+  /// satisfies R < x for x <= 255; the tail is cleared after encode).
+  std::vector<std::uint8_t> bytes_;
+  /// Eight bit-planes, plane b at [b * words_, (b+1) * words_): bit i of
+  /// plane b = bit b of R_i.  Built lazily (mutable cache; backends are
+  /// single-threaded by the ScBackend contract).
+  mutable std::vector<std::uint64_t> planes_;
+  mutable bool planesBuilt_ = false;
+};
+
+}  // namespace aimsc::sc

@@ -47,4 +47,35 @@ Bitstream cordivDivide(const Bitstream& x, const Bitstream& y,
   return q;
 }
 
+Bitstream cordivDivideWordLevel(const Bitstream& x, const Bitstream& y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("cordivDivideWordLevel: length mismatch");
+  }
+  Bitstream q(x.size());
+  auto& out = q.mutableWords();
+  const auto& xw = x.words();
+  const auto& yw = y.words();
+  std::uint64_t state = 0;  // flip-flop value entering the next word
+  for (std::size_t w = 0; w < xw.size(); ++w) {
+    // q_i = gen_i | (prop_i & q_{i-1}) resolved by a Kogge–Stone scan:
+    // after the passes, G_i ORs every generate that still propagates to i
+    // and P_i is set iff the whole prefix [0, i] propagates (carries the
+    // incoming flip-flop state).  Tail bits have gen = 0 / prop = 1, so
+    // they only smear the held state; clearTail() removes them below.
+    std::uint64_t g = xw[w] & yw[w];
+    std::uint64_t p = ~yw[w];
+    for (int k = 1; k < 64; k <<= 1) {
+      g |= p & (g << k);
+      // Shift ones into the low end: positions before the word propagate
+      // by definition (their carry is the incoming flip-flop state).
+      p &= (p << k) | ((std::uint64_t{1} << k) - 1);
+    }
+    const std::uint64_t qw = g | (p & (state ? ~std::uint64_t{0} : 0));
+    out[w] = qw;
+    state = qw >> 63;
+  }
+  q.clearTail();
+  return q;
+}
+
 }  // namespace aimsc::sc

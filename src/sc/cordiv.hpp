@@ -52,4 +52,14 @@ class CordivUnit {
 Bitstream cordivDivide(const Bitstream& x, const Bitstream& y,
                        CordivVariant variant = CordivVariant::DFlipFlop);
 
+/// Word-level CORDIV: bit-identical to `cordivDivide` (both flip-flop
+/// variants emit the same quotient sequence) but evaluated 64 bits per
+/// Kogge–Stone pass instead of one flip-flop clock per bit.
+///
+/// The sequential recurrence q_i = (x_i & y_i) | (~y_i & q_{i-1}) is a
+/// carry chain with generate = x & y and propagate = ~y; a logarithmic
+/// prefix scan resolves it per word, and the word's top bit carries the
+/// flip-flop state into the next word.
+Bitstream cordivDivideWordLevel(const Bitstream& x, const Bitstream& y);
+
 }  // namespace aimsc::sc

@@ -1,0 +1,319 @@
+// SIMD-batched SW-SC backend suite: the bulk SNG layer reproduces the
+// scalar sources bit for bit, the word-level CORDIV equals the serial
+// flip-flop, SwScSimd is bit-identical to the scalar SW-SC backends on all
+// four apps, AVX2 and the portable fallback agree, and tiled runs are
+// deterministic across worker-thread counts.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "apps/bilinear.hpp"
+#include "apps/compositing.hpp"
+#include "apps/filters.hpp"
+#include "apps/matting.hpp"
+#include "apps/runner.hpp"
+#include "core/backend.hpp"
+#include "core/backend_swsc.hpp"
+#include "core/backend_swsc_simd.hpp"
+#include "core/tile_executor.hpp"
+#include "img/synth.hpp"
+#include "sc/bulk_sng.hpp"
+#include "sc/cordiv.hpp"
+#include "sc/rng.hpp"
+#include "sc/sng.hpp"
+
+namespace aimsc {
+namespace {
+
+using core::DesignKind;
+using core::ScBackend;
+using core::SwScConfig;
+using core::SwScSimdBackend;
+using core::SwScSimdConfig;
+
+// --- bulk PRNG layer --------------------------------------------------------
+
+TEST(BulkLfsr8, EveryLaneMatchesScalarLfsr) {
+  std::array<std::uint8_t, sc::BulkLfsr8::kLanes> seeds;
+  for (std::size_t k = 0; k < seeds.size(); ++k) {
+    seeds[k] = static_cast<std::uint8_t>((k * 37 + 1) % 254 + 1);
+  }
+  const std::size_t n = 300;  // > the 255-step period: covers the wrap
+  std::vector<std::uint8_t> bulkOut(seeds.size() * n);
+  sc::BulkLfsr8 bulk(seeds);
+  bulk.generate(n, bulkOut.data());
+  for (std::size_t k = 0; k < seeds.size(); ++k) {
+    sc::Lfsr scalar = sc::Lfsr::paper8Bit(seeds[k]);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(bulkOut[k * n + i], scalar.next(8))
+          << "lane " << k << " step " << i;
+    }
+  }
+}
+
+TEST(BulkLfsr8, ZeroSeedThrows) {
+  std::array<std::uint8_t, sc::BulkLfsr8::kLanes> seeds;
+  seeds.fill(1);
+  seeds[13] = 0;
+  EXPECT_THROW(sc::BulkLfsr8 bulk(seeds), std::invalid_argument);
+}
+
+// --- packed comparator ------------------------------------------------------
+
+TEST(RandomPlanes, EncodeMatchesGenerateSbsForAllThresholds) {
+  // Odd length exercises the partial-word tail.
+  const std::size_t n = 200;
+  sc::Lfsr src = sc::Lfsr::paper8Bit(77);
+  std::vector<std::uint8_t> r(n);
+  for (auto& b : r) b = static_cast<std::uint8_t>(src.next(8));
+  sc::RandomPlanes planes;
+  planes.assign(r.data(), n);
+
+  for (std::uint32_t x = 0; x <= 256; ++x) {
+    src.reset();
+    const sc::Bitstream ref = sc::generateSbs(src, x, 8, n);
+    sc::Bitstream got;
+    planes.encode(x, got, sc::SimdMode::Portable);
+    ASSERT_EQ(got, ref) << "threshold " << x;
+  }
+}
+
+TEST(RandomPlanes, Avx2AndPortableAreBitIdentical) {
+  if (!sc::cpuHasAvx2()) GTEST_SKIP() << "host lacks AVX2";
+  std::mt19937 rng(123);
+  for (const std::size_t n : {std::size_t{64}, std::size_t{100},
+                              std::size_t{256}, std::size_t{1000}}) {
+    std::vector<std::uint8_t> r(n);
+    for (auto& b : r) b = static_cast<std::uint8_t>(rng());
+    sc::RandomPlanes planes;
+    planes.assign(r.data(), n);
+    for (std::uint32_t x = 0; x <= 256; ++x) {
+      sc::Bitstream fast;
+      sc::Bitstream slow;
+      planes.encode(x, fast, sc::SimdMode::Auto);
+      planes.encode(x, slow, sc::SimdMode::Portable);
+      ASSERT_EQ(fast, slow) << "n=" << n << " threshold " << x;
+    }
+  }
+}
+
+// --- word-level CORDIV ------------------------------------------------------
+
+TEST(CordivWordLevel, MatchesSerialFlipFlop) {
+  std::mt19937 rng(99);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                              std::size_t{65}, std::size_t{130},
+                              std::size_t{256}}) {
+    for (int trial = 0; trial < 40; ++trial) {
+      sc::Bitstream x(n);
+      sc::Bitstream y(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool yi = (rng() & 3u) != 0;  // mostly-1 divisor + zero runs
+        y.set(i, yi);
+        x.set(i, yi && (rng() & 1u));
+      }
+      ASSERT_EQ(sc::cordivDivideWordLevel(x, y), sc::cordivDivide(x, y))
+          << "n=" << n << " trial " << trial;
+    }
+  }
+}
+
+// --- SwScSimd vs scalar SW-SC: bit-identical apps ---------------------------
+
+std::unique_ptr<ScBackend> scalarBackend(energy::CmosSng sng,
+                                         std::uint64_t seed, std::size_t n) {
+  SwScConfig cfg;
+  cfg.streamLength = n;
+  cfg.sng = sng;
+  cfg.seed = seed;
+  return std::make_unique<core::SwScBackend>(cfg);
+}
+
+std::unique_ptr<ScBackend> simdBackend(energy::CmosSng sng, std::uint64_t seed,
+                                       std::size_t n,
+                                       sc::SimdMode mode = sc::SimdMode::Auto) {
+  SwScSimdConfig cfg;
+  cfg.streamLength = n;
+  cfg.sng = sng;
+  cfg.seed = seed;
+  cfg.simd = mode;
+  return std::make_unique<SwScSimdBackend>(cfg);
+}
+
+class SimdScalarEquivalence
+    : public ::testing::TestWithParam<energy::CmosSng> {};
+
+TEST_P(SimdScalarEquivalence, AllFourAppsBitIdenticalAt64) {
+  const auto sng = GetParam();
+  const std::uint64_t seed = 0x5eed;
+  const std::size_t n = 256;
+
+  const apps::CompositingScene scene = apps::makeCompositingScene(64, 64, 21);
+  EXPECT_EQ(apps::compositeKernel(scene, *simdBackend(sng, seed, n)).pixels(),
+            apps::compositeKernel(scene, *scalarBackend(sng, seed, n)).pixels());
+
+  const img::Image src = img::naturalScene(32, 32, 4);
+  EXPECT_EQ(apps::upscaleKernel(src, 2, *simdBackend(sng, seed, n)).pixels(),
+            apps::upscaleKernel(src, 2, *scalarBackend(sng, seed, n)).pixels());
+
+  const apps::MattingScene mat = apps::makeMattingScene(64, 64, 8);
+  EXPECT_EQ(apps::mattingKernel(mat, *simdBackend(sng, seed, n)).pixels(),
+            apps::mattingKernel(mat, *scalarBackend(sng, seed, n)).pixels());
+
+  EXPECT_EQ(apps::smoothKernel(src, *simdBackend(sng, seed, n)).pixels(),
+            apps::smoothKernel(src, *scalarBackend(sng, seed, n)).pixels());
+}
+
+INSTANTIATE_TEST_SUITE_P(LfsrAndSobol, SimdScalarEquivalence,
+                         ::testing::Values(energy::CmosSng::Lfsr,
+                                           energy::CmosSng::Sobol),
+                         [](const auto& info) {
+                           return info.param == energy::CmosSng::Lfsr
+                                      ? "Lfsr"
+                                      : "Sobol";
+                         });
+
+TEST(SwScSimdBackend, PortableFallbackBitIdenticalOnAnApp) {
+  const apps::CompositingScene scene = apps::makeCompositingScene(32, 32, 3);
+  const auto fast = apps::compositeKernel(
+      scene, *simdBackend(energy::CmosSng::Lfsr, 11, 256, sc::SimdMode::Auto));
+  const auto slow = apps::compositeKernel(
+      scene,
+      *simdBackend(energy::CmosSng::Lfsr, 11, 256, sc::SimdMode::Portable));
+  EXPECT_EQ(fast.pixels(), slow.pixels());
+}
+
+TEST(SwScSimdBackend, EpochPrefetchSurvivesManyEpochs) {
+  // > BulkLfsr8::kLanes fresh epochs forces at least two block refills.
+  const std::size_t n = 128;
+  const auto simd = simdBackend(energy::CmosSng::Lfsr, 5, n);
+  const auto scalar = scalarBackend(energy::CmosSng::Lfsr, 5, n);
+  for (int e = 0; e < 80; ++e) {
+    const std::vector<std::uint8_t> v{static_cast<std::uint8_t>(e * 3)};
+    auto a = simd->encodePixels(v);
+    auto b = scalar->encodePixels(v);
+    ASSERT_EQ(a[0].stream, b[0].stream) << "epoch " << e;
+  }
+}
+
+TEST(SwScSimdBackend, OpCountMatchesScalar) {
+  const apps::CompositingScene scene = apps::makeCompositingScene(16, 16, 2);
+  const auto simd = simdBackend(energy::CmosSng::Lfsr, 7, 128);
+  const auto scalar = scalarBackend(energy::CmosSng::Lfsr, 7, 128);
+  apps::compositeKernel(scene, *simd);
+  apps::compositeKernel(scene, *scalar);
+  EXPECT_GT(simd->opCount(), 0u);
+  EXPECT_EQ(simd->opCount(), scalar->opCount());
+}
+
+// --- constants / epoch-numbering fix ----------------------------------------
+
+TEST(SwScConstants, HalfStreamDoesNotDesynchronizeEpochs) {
+  // Constants between a fresh encode and its correlated follow-up must not
+  // advance the epoch: the pair stays maximally correlated and XOR still
+  // measures the exact difference.
+  for (const auto sng : {energy::CmosSng::Lfsr, energy::CmosSng::Sobol}) {
+    const auto b = scalarBackend(sng, 0x44, 2048);
+    const auto x = b->encodePixels(std::vector<std::uint8_t>{204});
+    (void)b->halfStream();
+    (void)b->encodeProb(0.25);
+    const auto y = b->encodePixelsCorrelated(std::vector<std::uint8_t>{51});
+    const auto d = b->decodePixel(b->absSub(x[0], y[0]));
+    EXPECT_NEAR(d / 255.0, (204.0 - 51.0) / 255.0, 0.02);
+  }
+}
+
+TEST(SwScConstants, RepeatedHalvesAreIndependentWithinAnEpoch) {
+  // The smoothing kernel draws seven halves per row; they must be mutually
+  // independent (a shared select stream would collapse the MUX tree).
+  const auto b = scalarBackend(energy::CmosSng::Lfsr, 0x7a, 2048);
+  const auto h1 = b->halfStream();
+  const auto h2 = b->halfStream();
+  EXPECT_NE(h1.stream, h2.stream);
+  const auto prod = b->decodePixel(b->multiply(h1, h2));
+  EXPECT_NEAR(prod / 255.0, 0.25, 0.06);  // p^2, not p
+}
+
+TEST(SwScConstants, PoolRewindsAcrossEpochsAndMatchesSimd) {
+  const auto scalar = scalarBackend(energy::CmosSng::Lfsr, 0x31, 512);
+  const auto simd = simdBackend(energy::CmosSng::Lfsr, 0x31, 512);
+  const auto a1 = scalar->halfStream();
+  (void)scalar->encodePixels(std::vector<std::uint8_t>{9});  // new epoch
+  const auto a2 = scalar->halfStream();
+  EXPECT_EQ(a1.stream, a2.stream);  // same pooled bank, rewound
+
+  const auto s1 = simd->halfStream();
+  EXPECT_EQ(s1.stream, a1.stream);  // shared derivation across backends
+}
+
+// --- factory / runner plumbing ----------------------------------------------
+
+TEST(SwScSimdBackend, MakeBackendCoverage) {
+  core::BackendFactoryConfig cfg;
+  cfg.streamLength = 128;
+  cfg.seed = 0xabc;
+  const auto b = core::makeBackend(DesignKind::SwScSimd, cfg);
+  ASSERT_NE(b, nullptr);
+  EXPECT_STREQ(b->name(), core::designKindName(DesignKind::SwScSimd));
+  EXPECT_STREQ(b->name(), "SW-SC (SIMD)");
+
+  // Factory-built SwScSimd is the batched SwScLfsr design point.
+  const auto scalar = core::makeBackend(DesignKind::SwScLfsr, cfg);
+  auto a = b->encodePixels(std::vector<std::uint8_t>{10, 100, 250});
+  auto s = scalar->encodePixels(std::vector<std::uint8_t>{10, 100, 250});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].stream, s[i].stream);
+  }
+}
+
+TEST(SwScSimdBackend, RunAppTiledDeterministicAcrossThreadCounts) {
+  apps::RunConfig cfg;
+  cfg.width = 32;
+  cfg.height = 32;
+  cfg.streamLength = 128;
+  for (const apps::AppKind app :
+       {apps::AppKind::Compositing, apps::AppKind::Matting}) {
+    apps::Quality first{};
+    bool have = false;
+    for (const std::size_t threads :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      apps::ParallelConfig par;
+      par.lanes = 4;
+      par.threads = threads;
+      par.rowsPerTile = 2;
+      const apps::Quality q =
+          apps::runApp(app, DesignKind::SwScSimd, cfg, par);
+      if (!have) {
+        first = q;
+        have = true;
+      } else {
+        EXPECT_EQ(q.psnrDb, first.psnrDb) << apps::appName(app) << " threads=" << threads;
+        EXPECT_EQ(q.ssimPct, first.ssimPct) << apps::appName(app) << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(SwScSimdBackend, TiledLaneFleetBitIdenticalToScalarFleet) {
+  // The same lane fleet built from scalar backends must reproduce the SIMD
+  // fleet bit for bit — parallelism and SIMD are orthogonal axes.
+  const apps::CompositingScene scene = apps::makeCompositingScene(24, 24, 17);
+  core::BackendFactoryConfig cfg;
+  cfg.streamLength = 128;
+  cfg.seed = 0x5eed;
+  core::ParallelConfig par;
+  par.threads = 2;
+  par.rowsPerTile = 3;
+  core::TileExecutor simdExec(
+      core::makeBackendLanes(DesignKind::SwScSimd, cfg, 3), par);
+  core::TileExecutor scalarExec(
+      core::makeBackendLanes(DesignKind::SwScLfsr, cfg, 3), par);
+  EXPECT_EQ(apps::compositeKernelTiled(scene, simdExec).pixels(),
+            apps::compositeKernelTiled(scene, scalarExec).pixels());
+}
+
+}  // namespace
+}  // namespace aimsc
