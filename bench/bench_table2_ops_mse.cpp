@@ -1,10 +1,14 @@
-// Reproduces paper Table II: MSE(%) of the seven SC arithmetic operations
-// under four SNG randomness sources (IMSNG M=8, software MT19937, 8-bit
-// LFSR, 8-bit Sobol) across stream lengths N in {32..512}.
+// Reproduces paper Table II: MSE(%) of the SC arithmetic operations under
+// four SNG randomness sources (IMSNG M=8, software MT19937, 8-bit LFSR,
+// 8-bit Sobol) across stream lengths N in {32..512} — the seven paper ops
+// plus the Bernstein selection network (the ScBackend vocabulary's
+// polynomial-synthesis op, measured on a degree-3 gamma curve).
 //
 // Correlation protocol follows Sec. II-B: multiplication and the additions
 // use independent streams; subtraction, division, min and max use
-// correlated (shared-RNG) streams.  Division uses CORDIV with px <= py.
+// correlated (shared-RNG) streams.  Division uses CORDIV with px <= py;
+// Bernstein draws its x copies and coefficient streams as successive
+// outputs of the shared generator (mutually independent phases).
 //
 // Usage: bench_table2_ops_mse [samples]   (default 4000; paper used 1e6)
 #include <algorithm>
@@ -16,6 +20,7 @@
 #include <random>
 
 #include "energy/report.hpp"
+#include "sc/bernstein.hpp"
 #include "sc/cordiv.hpp"
 #include "sc/correlation.hpp"
 #include "sc/ops.hpp"
@@ -26,7 +31,7 @@ namespace {
 
 using namespace aimsc;
 
-enum class Op { Mul, ScaledAdd, ApproxAdd, AbsSub, Div, Min, Max };
+enum class Op { Mul, ScaledAdd, ApproxAdd, AbsSub, Div, Min, Max, Bernstein };
 
 const char* opName(Op op) {
   switch (op) {
@@ -37,6 +42,7 @@ const char* opName(Op op) {
     case Op::Div: return "Division";
     case Op::Min: return "Minimum";
     case Op::Max: return "Maximum";
+    case Op::Bernstein: return "Bernstein (deg 3)";
   }
   return "?";
 }
@@ -106,6 +112,29 @@ SourcePair makeSources(Source s, std::uint64_t seed) {
   return p;
 }
 
+/// The \p j-th Bernstein coefficient source: a seed/dimension space
+/// disjoint from the a/b/c generators of `makeSources`, so coefficient
+/// streams stay independent of the x copies (the selection network's only
+/// cross-family requirement).
+std::unique_ptr<sc::RandomSource> makeCoeffSource(Source s, std::uint64_t seed,
+                                                  std::uint32_t j) {
+  switch (s) {
+    case Source::Imsng:
+      return std::make_unique<sc::TrngSource>(seed + 0x9e3779b9u * (j + 7));
+    case Source::Software:
+      return std::make_unique<sc::Mt19937Source>(seed + 0x9e3779b9u * (j + 7));
+    case Source::Lfsr:
+      // Phases offset far from the a/b/c seeds (seed, seed>>9, seed>>17).
+      return std::make_unique<sc::Lfsr>(sc::Lfsr::paper8Bit(
+          static_cast<std::uint32_t>(((seed >> 25) + 37 * (j + 1)) % 254 + 1)));
+    case Source::Sobol:
+      // Dimensions 3..6: disjoint from the copies' dimensions 0/1/2.
+      return std::make_unique<sc::Sobol>(static_cast<int>(3 + j),
+                                         1 + (seed & 0x3f));
+  }
+  return nullptr;
+}
+
 double opMsePercent(Op op, Source srcKind, std::size_t n, int samples) {
   constexpr int kBits = 8;
   std::mt19937_64 eng(0x7ab1e2 + static_cast<std::uint64_t>(op) * 131 +
@@ -166,6 +195,30 @@ double opMsePercent(Op op, Source srcKind, std::size_t n, int samples) {
         expected = px / py;
         break;
       }
+      case Op::Bernstein: {
+        // Degree-3 Bernstein form of the gamma curve t^2.2: the three x
+        // copies MUST be mutually independent (the per-position ones-count
+        // is a Binomial(3, px) sample), so each comes from one of the
+        // three independent generators a/b/c — never from successive
+        // segments of one generator (an 8-bit LFSR at N >= 255 would wrap
+        // into near-identical phases).  Coefficient streams come from a
+        // fourth seed/dimension space, disjoint from the copies.
+        static const std::vector<double> b = sc::bernsteinCoefficientsOf(
+            [](double t) { return std::pow(t, 2.2); }, 3);
+        const std::vector<sc::Bitstream> xCopies{
+            sc::generateSbsFromProb(*src.a, px, kBits, n),
+            sc::generateSbsFromProb(*src.b, px, kBits, n),
+            sc::generateSbsFromProb(*src.c, px, kBits, n)};
+        std::vector<sc::Bitstream> coeffs;
+        for (std::size_t j = 0; j < b.size(); ++j) {
+          const auto coeffSrc = makeCoeffSource(
+              srcKind, 0xbe57 + n * 131, static_cast<std::uint32_t>(j));
+          coeffs.push_back(sc::generateSbsFromProb(*coeffSrc, b[j], kBits, n));
+        }
+        out = sc::scBernsteinSelect(xCopies, coeffs);
+        expected = sc::bernsteinValue(b, px);
+        break;
+      }
       case Op::Min:
       case Op::Max: {
         src.reseed(s);
@@ -190,7 +243,7 @@ int main(int argc, char** argv) {
   const int samples = argc > 1 ? std::atoi(argv[1]) : 4000;
   const std::size_t lengths[] = {32, 64, 128, 256, 512};
   const Op ops[] = {Op::Mul, Op::ScaledAdd, Op::ApproxAdd, Op::AbsSub,
-                    Op::Div, Op::Min,       Op::Max};
+                    Op::Div, Op::Min,       Op::Max,       Op::Bernstein};
   const Source sources[] = {Source::Imsng, Source::Software, Source::Lfsr,
                             Source::Sobol};
 

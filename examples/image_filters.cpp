@@ -1,12 +1,16 @@
 // Extension kernels from classic SC image processing ([5]): 8-neighbour
-// noise smoothing and Roberts-cross edge detection, both all-in-memory.
+// noise smoothing, Roberts-cross edge detection, Bernstein gamma correction
+// and 3x3 morphological opening — all on any execution substrate.
 //
-// Usage: image_filters [N] [size]
+// Usage: image_filters [design] [N] [size]
+//   design: Reference | SwScLfsr | SwScSobol | SwScSimd | ReramSc | BinaryCim
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 
 #include "apps/filters.hpp"
-#include "core/backend_reram.hpp"
+#include "apps/morphology.hpp"
+#include "core/backend.hpp"
 #include "img/metrics.hpp"
 #include "img/pgm.hpp"
 #include "img/synth.hpp"
@@ -14,35 +18,51 @@
 int main(int argc, char** argv) {
   using namespace aimsc;
 
-  const std::size_t n = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 256;
-  const std::size_t size = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 64;
+  core::DesignKind design = core::DesignKind::ReramSc;
+  if (argc > 1) {
+    try {
+      design = core::parseDesignKind(argv[1]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  }
+  const std::size_t n = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 256;
+  const std::size_t size = argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 64;
 
   const img::Image src = img::naturalScene(size, size, 31);
 
-  core::AcceleratorConfig cfg;
+  core::BackendFactoryConfig cfg;
   cfg.streamLength = n;
-  core::Accelerator acc(cfg);
-  core::ReramScBackend backend(acc);
+  const auto backend = core::makeBackend(design, cfg);
+  std::printf("backend: %s, N = %zu, %zux%zu scene\n\n", backend->name(), n,
+              size, size);
 
   const img::Image smoothRef = apps::smoothReference(src);
-  const img::Image smoothSc = apps::smoothKernel(src, backend);
-  std::printf("smoothing : PSNR vs reference %.2f dB (N = %zu)\n",
-              img::psnrDb(smoothSc, smoothRef), n);
+  const img::Image smoothSc = apps::smoothKernel(src, *backend);
+  std::printf("smoothing : PSNR vs reference %.2f dB\n",
+              img::psnrDb(smoothSc, smoothRef));
 
   const img::Image edgeRef = apps::edgeReference(src);
-  const img::Image edgeSc = apps::edgeKernel(src, backend);
+  const img::Image edgeSc = apps::edgeKernel(src, *backend);
   std::printf("edges     : PSNR vs reference %.2f dB\n",
               img::psnrDb(edgeSc, edgeRef));
 
   const img::Image gammaRef = apps::gammaReference(src, 2.2);
-  const img::Image gammaSc = apps::gammaReramSc(src, 2.2, acc, 4);
+  const img::Image gammaSc = apps::gammaKernel(src, 2.2, *backend, 4);
   std::printf("gamma 2.2 : PSNR vs reference %.2f dB (Bernstein degree 4)\n",
               img::psnrDb(gammaSc, gammaRef));
+
+  const img::Image openRef = apps::openReference(src);
+  const img::Image openSc = apps::openKernel(src, *backend);
+  std::printf("opening   : PSNR vs reference %.2f dB (3x3 min/max trees)\n",
+              img::psnrDb(openSc, openRef));
 
   img::writePgm("out_filters_input.pgm", src);
   img::writePgm("out_filters_smooth.pgm", smoothSc);
   img::writePgm("out_filters_edges.pgm", edgeSc);
   img::writePgm("out_filters_gamma.pgm", gammaSc);
+  img::writePgm("out_filters_open.pgm", openSc);
   std::puts("wrote out_filters_*.pgm");
   return 0;
 }

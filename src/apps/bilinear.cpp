@@ -4,10 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
-#include "core/backend_bincim.hpp"
 #include "core/backend_reference.hpp"
-#include "core/backend_reram.hpp"
-#include "core/backend_swsc.hpp"
 
 namespace aimsc::apps {
 
@@ -80,33 +77,6 @@ img::Image upscaleKernelTiled(const img::Image& src, std::size_t factor,
 
 img::Image upscaleReference(const img::Image& src, std::size_t factor) {
   core::ReferenceBackend b;
-  return upscaleKernel(src, factor, b);
-}
-
-img::Image upscaleSwSc(const img::Image& src, std::size_t factor, std::size_t n,
-                       energy::CmosSng sng, std::uint64_t seed) {
-  core::SwScConfig cfg;
-  cfg.streamLength = n;
-  cfg.sng = sng;
-  cfg.seed = seed;
-  core::SwScBackend b(cfg);
-  return upscaleKernel(src, factor, b);
-}
-
-img::Image upscaleReramSc(const img::Image& src, std::size_t factor,
-                          core::Accelerator& acc) {
-  core::ReramScBackend b(acc);
-  return upscaleKernel(src, factor, b);
-}
-
-img::Image upscaleReramScTiled(const img::Image& src, std::size_t factor,
-                               core::TileExecutor& exec) {
-  return upscaleKernelTiled(src, factor, exec);
-}
-
-img::Image upscaleBinaryCim(const img::Image& src, std::size_t factor,
-                            bincim::MagicEngine& engine) {
-  core::BinaryCimBackend b(engine);
   return upscaleKernel(src, factor, b);
 }
 

@@ -7,17 +7,14 @@
 /// three MAJ cycles.
 ///
 /// ONE backend-generic kernel (`upscaleKernel`) serves every execution
-/// substrate through the `ScBackend` interface; the per-design entry points
-/// below are thin shims kept for one release.
+/// substrate through the `ScBackend` interface (per-design entry points:
+/// `makeBackend(design, ...)` + `upscaleKernel`, or `apps::runApp`).
 #pragma once
 
 #include <cstdint>
 
-#include "bincim/aritpim.hpp"
-#include "core/accelerator.hpp"
 #include "core/backend.hpp"
 #include "core/tile_executor.hpp"
-#include "energy/cmos_baseline.hpp"
 #include "img/image.hpp"
 
 namespace aimsc::apps {
@@ -51,25 +48,9 @@ img::Image upscaleKernel(const img::Image& src, std::size_t factor,
 img::Image upscaleKernelTiled(const img::Image& src, std::size_t factor,
                               core::TileExecutor& exec);
 
-// --- deprecated per-design shims (one release) ----------------------------
+// --- reference (quality oracle) -------------------------------------------
 
 /// Floating-point reference up-scaling by integer \p factor.
 img::Image upscaleReference(const img::Image& src, std::size_t factor);
-
-/// Conventional CMOS SC pipeline (exact 4-to-1 MUX).
-img::Image upscaleSwSc(const img::Image& src, std::size_t factor, std::size_t n,
-                       energy::CmosSng sng, std::uint64_t seed);
-
-/// This work: IMSNG + MAJ tree + ADC.
-img::Image upscaleReramSc(const img::Image& src, std::size_t factor,
-                          core::Accelerator& acc);
-
-/// Binary CIM baseline (three integer lerps).
-img::Image upscaleBinaryCim(const img::Image& src, std::size_t factor,
-                            bincim::MagicEngine& engine);
-
-/// Tile-parallel ReRAM-SC (upscaleKernelTiled shim).
-img::Image upscaleReramScTiled(const img::Image& src, std::size_t factor,
-                               core::TileExecutor& exec);
 
 }  // namespace aimsc::apps

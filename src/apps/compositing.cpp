@@ -3,10 +3,7 @@
 #include <algorithm>
 #include <vector>
 
-#include "core/backend_bincim.hpp"
 #include "core/backend_reference.hpp"
-#include "core/backend_reram.hpp"
-#include "core/backend_swsc.hpp"
 #include "img/synth.hpp"
 
 namespace aimsc::apps {
@@ -74,46 +71,6 @@ img::Image compositeKernelTiled(const CompositingScene& scene,
 img::Image compositeReference(const CompositingScene& scene) {
   core::ReferenceBackend b;
   return compositeKernel(scene, b);
-}
-
-img::Image compositeSwSc(const CompositingScene& scene, std::size_t n,
-                         energy::CmosSng sng, std::uint64_t seed) {
-  core::SwScConfig cfg;
-  cfg.streamLength = n;
-  cfg.sng = sng;
-  cfg.seed = seed;
-  core::SwScBackend b(cfg);
-  return compositeKernel(scene, b);
-}
-
-img::Image compositeReramSc(const CompositingScene& scene,
-                            core::Accelerator& acc) {
-  core::ReramScBackend b(acc);
-  return compositeKernel(scene, b);
-}
-
-img::Image compositeReramScTiled(const CompositingScene& scene,
-                                 core::TileExecutor& exec) {
-  return compositeKernelTiled(scene, exec);
-}
-
-img::Image compositeBinaryCim(const CompositingScene& scene,
-                              bincim::MagicEngine& engine) {
-  core::BinaryCimBackend b(engine);
-  return compositeKernel(scene, b);
-}
-
-img::Image compositeReramScParallel(const CompositingScene& scene,
-                                    core::MatGroup& mats) {
-  img::Image out(scene.background.width(), scene.background.height());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    core::Accelerator& acc = mats.forItem(i);
-    const sc::Bitstream f = acc.encodePixel(scene.foreground[i]);
-    const sc::Bitstream b = acc.encodePixelCorrelated(scene.background[i]);
-    const sc::Bitstream a = acc.encodePixel(scene.alpha[i]);
-    out[i] = acc.decodePixel(acc.ops().majMux(f, b, a));
-  }
-  return out;
 }
 
 }  // namespace aimsc::apps

@@ -6,18 +6,14 @@
 /// with a single MAJ scouting-logic cycle.
 ///
 /// ONE backend-generic kernel (`compositeKernel`) serves every execution
-/// substrate through the `ScBackend` interface; the per-design entry points
-/// below are thin shims kept for one release (see README migration notes).
+/// substrate through the `ScBackend` interface (per-design entry points:
+/// `makeBackend(design, ...)` + `compositeKernel`, or `apps::runApp`).
 #pragma once
 
 #include <cstdint>
 
-#include "bincim/aritpim.hpp"
-#include "core/accelerator.hpp"
 #include "core/backend.hpp"
-#include "core/mat_group.hpp"
 #include "core/tile_executor.hpp"
-#include "energy/cmos_baseline.hpp"
 #include "img/image.hpp"
 
 namespace aimsc::apps {
@@ -52,31 +48,9 @@ img::Image compositeKernel(const CompositingScene& scene, core::ScBackend& b);
 img::Image compositeKernelTiled(const CompositingScene& scene,
                                 core::TileExecutor& exec);
 
-// --- deprecated per-design shims (one release) ----------------------------
+// --- reference (quality oracle) -------------------------------------------
 
-/// Floating point (ReferenceBackend).
+/// Floating point (ReferenceBackend) — the Table IV comparison baseline.
 img::Image compositeReference(const CompositingScene& scene);
-
-/// Conventional CMOS SC pipeline (SwScBackend).
-img::Image compositeSwSc(const CompositingScene& scene, std::size_t n,
-                         energy::CmosSng sng, std::uint64_t seed);
-
-/// This work (ReramScBackend over \p acc); events accumulate in the
-/// accelerator.
-img::Image compositeReramSc(const CompositingScene& scene,
-                            core::Accelerator& acc);
-
-/// Binary CIM baseline (BinaryCimBackend over \p engine).
-img::Image compositeBinaryCim(const CompositingScene& scene,
-                              bincim::MagicEngine& engine);
-
-/// Multi-mat variant: pixels distributed round-robin over the group's
-/// lanes (pre-tile-engine; superseded by compositeKernelTiled).
-img::Image compositeReramScParallel(const CompositingScene& scene,
-                                    core::MatGroup& mats);
-
-/// Tile-parallel ReRAM-SC (compositeKernelTiled shim).
-img::Image compositeReramScTiled(const CompositingScene& scene,
-                                 core::TileExecutor& exec);
 
 }  // namespace aimsc::apps

@@ -4,7 +4,6 @@
 #include <cmath>
 #include <vector>
 
-#include "core/backend_bincim.hpp"
 #include "core/backend_reference.hpp"
 #include "core/backend_reram.hpp"
 #include "sc/bernstein.hpp"
@@ -121,56 +120,51 @@ img::Image edgeKernelTiled(const img::Image& src, core::TileExecutor& exec) {
   return out;
 }
 
+void gammaKernelRows(const img::Image& src, double gamma, core::ScBackend& b,
+                     img::Image& out, std::size_t rowBegin, std::size_t rowEnd,
+                     int degree) {
+  const std::vector<double> coeffValues = sc::bernsteinCoefficientsOf(
+      [gamma](double t) { return std::pow(t, gamma); }, degree);
+  const std::size_t w = src.width();
+  const std::size_t yEnd = std::min(rowEnd, src.height());
+  for (std::size_t y = rowBegin; y < yEnd; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      // degree independent pixel encodings (one fresh epoch each) select
+      // among degree+1 independent coefficient streams.
+      const auto xCopies =
+          b.encodeCopies(src.at(x, y), static_cast<std::size_t>(degree));
+      std::vector<core::ScValue> coeffs;
+      coeffs.reserve(coeffValues.size());
+      for (const double bk : coeffValues) coeffs.push_back(b.encodeProb(bk));
+      out.at(x, y) = b.decodePixel(b.bernsteinSelect(xCopies, coeffs));
+    }
+  }
+}
+
+img::Image gammaKernel(const img::Image& src, double gamma, core::ScBackend& b,
+                       int degree) {
+  img::Image out(src.width(), src.height());
+  gammaKernelRows(src, gamma, b, out, 0, src.height(), degree);
+  return out;
+}
+
+img::Image gammaKernelTiled(const img::Image& src, double gamma,
+                            core::TileExecutor& exec, int degree) {
+  img::Image out(src.width(), src.height());
+  exec.forEachTile(src.height(), [&](core::ScBackend& lane, std::size_t r0,
+                                     std::size_t r1) {
+    gammaKernelRows(src, gamma, lane, out, r0, r1, degree);
+  });
+  return out;
+}
+
 img::Image smoothReference(const img::Image& src) {
   core::ReferenceBackend b;
   return smoothKernel(src, b);
 }
 
-img::Image smoothReramSc(const img::Image& src, core::Accelerator& acc) {
-  core::ReramScBackend b(acc);
-  return smoothKernel(src, b);
-}
-
-img::Image smoothReramScTiled(const img::Image& src, core::TileExecutor& exec) {
-  return smoothKernelTiled(src, exec);
-}
-
-img::Image smoothBinaryCim(const img::Image& src, bincim::MagicEngine& engine) {
-  bincim::AritPim pim(engine);
-  img::Image out = src;
-  for (std::size_t y = 1; y + 1 < src.height(); ++y) {
-    for (std::size_t x = 1; x + 1 < src.width(); ++x) {
-      std::uint32_t acc = 0;
-      for (const auto& d : kNeighbour) {
-        acc = pim.add(acc,
-                      src.at(x + static_cast<std::size_t>(d[0]),
-                             y + static_cast<std::size_t>(d[1])),
-                      11) &
-              0x7ff;
-      }
-      acc = pim.add(acc, 4, 11);  // rounding
-      out.at(x, y) = static_cast<std::uint8_t>(std::min<std::uint32_t>(acc >> 3, 255));
-    }
-  }
-  return out;
-}
-
 img::Image edgeReference(const img::Image& src) {
   core::ReferenceBackend b;
-  return edgeKernel(src, b);
-}
-
-img::Image edgeReramSc(const img::Image& src, core::Accelerator& acc) {
-  core::ReramScBackend b(acc);
-  return edgeKernel(src, b);
-}
-
-img::Image edgeReramScTiled(const img::Image& src, core::TileExecutor& exec) {
-  return edgeKernelTiled(src, exec);
-}
-
-img::Image edgeBinaryCim(const img::Image& src, bincim::MagicEngine& engine) {
-  core::BinaryCimBackend b(engine);
   return edgeKernel(src, b);
 }
 
@@ -184,20 +178,8 @@ img::Image gammaReference(const img::Image& src, double gamma) {
 
 img::Image gammaReramSc(const img::Image& src, double gamma,
                         core::Accelerator& acc, int degree) {
-  const std::vector<double> b = sc::bernsteinCoefficientsOf(
-      [gamma](double t) { return std::pow(t, gamma); }, degree);
-  img::Image out(src.width(), src.height());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    // degree independent encodings of the pixel + degree+1 coefficients.
-    std::vector<sc::Bitstream> xCopies;
-    xCopies.reserve(static_cast<std::size_t>(degree));
-    for (int j = 0; j < degree; ++j) xCopies.push_back(acc.encodePixel(src[i]));
-    std::vector<sc::Bitstream> coeffs;
-    coeffs.reserve(b.size());
-    for (const double bk : b) coeffs.push_back(acc.encodeProb(bk));
-    out[i] = acc.decodePixel(acc.ops().bernsteinSelect(xCopies, coeffs));
-  }
-  return out;
+  core::ReramScBackend b(acc);
+  return gammaKernel(src, gamma, b, degree);
 }
 
 }  // namespace aimsc::apps

@@ -9,15 +9,15 @@
 ///  * smoothing: three levels of scaled addition (select = 0.5) — the pure
 ///    MAJ-tree data path;
 ///  * edge detection: |a - d| and |b - c| on correlated streams, combined
-///    by one more scaled addition: the XOR window op at app level.
-/// The per-design entry points are thin shims kept for one release.
+///    by one more scaled addition: the XOR window op at app level;
+///  * gamma correction: Bernstein polynomial synthesis (Qian & Riedel)
+///    through the backend-generic `bernsteinSelect` op — the former
+///    ReRAM-only path, now running on every substrate.
 #pragma once
 
-#include "bincim/aritpim.hpp"
 #include "core/accelerator.hpp"
 #include "core/backend.hpp"
 #include "core/tile_executor.hpp"
-#include "energy/cmos_baseline.hpp"
 #include "img/image.hpp"
 
 namespace aimsc::apps {
@@ -50,27 +50,38 @@ img::Image edgeKernel(const img::Image& src, core::ScBackend& b);
 /// Tile-parallel edge detection: the SAME kernel over the executor's lanes.
 img::Image edgeKernelTiled(const img::Image& src, core::TileExecutor& exec);
 
-// --- deprecated per-design shims (one release) ----------------------------
+/// Row-range gamma correction v' = v^gamma via Bernstein synthesis
+/// (sc/bernstein.hpp): per pixel, `degree` independent encodings of the
+/// pixel (`encodeCopies`) select among degree+1 coefficient streams
+/// b_k = (k/n)^gamma through the backend's `bernsteinSelect` network.
+void gammaKernelRows(const img::Image& src, double gamma, core::ScBackend& b,
+                     img::Image& out, std::size_t rowBegin, std::size_t rowEnd,
+                     int degree = 4);
+
+/// Whole-image gamma correction on any backend.
+img::Image gammaKernel(const img::Image& src, double gamma, core::ScBackend& b,
+                       int degree = 4);
+
+/// Tile-parallel gamma correction: the SAME kernel over the executor's
+/// lanes.
+img::Image gammaKernelTiled(const img::Image& src, double gamma,
+                            core::TileExecutor& exec, int degree = 4);
+
+// --- references (quality oracles) -----------------------------------------
 
 /// 8-neighbour mean smoothing (border pixels are copied through).
 img::Image smoothReference(const img::Image& src);
-img::Image smoothReramSc(const img::Image& src, core::Accelerator& acc);
-/// Direct integer 8-neighbour mean (NOT the MAJ-tree decomposition; kept
-/// as the historical gate-count baseline).
-img::Image smoothBinaryCim(const img::Image& src, bincim::MagicEngine& engine);
-img::Image smoothReramScTiled(const img::Image& src, core::TileExecutor& exec);
 
 /// Roberts-cross edge magnitude.
 img::Image edgeReference(const img::Image& src);
-img::Image edgeReramSc(const img::Image& src, core::Accelerator& acc);
-img::Image edgeBinaryCim(const img::Image& src, bincim::MagicEngine& engine);
-img::Image edgeReramScTiled(const img::Image& src, core::TileExecutor& exec);
 
-/// Gamma correction v' = v^gamma via Bernstein synthesis (sc/bernstein.hpp):
-/// the in-memory flow computes the degree-n Bernstein approximation with
-/// coefficients b_k = (k/n)^gamma.  (Accelerator-specific: the Bernstein
-/// selection network is beyond the portable ScBackend op vocabulary.)
+/// Exact gamma correction v' = v^gamma.
 img::Image gammaReference(const img::Image& src, double gamma);
+
+// --- deprecated shim (one release) ----------------------------------------
+
+/// [[deprecated]] `gammaKernel` on a `ReramScBackend` over \p acc —
+/// bit-identical per seed to the pre-refactor ReRAM-only implementation.
 img::Image gammaReramSc(const img::Image& src, double gamma,
                         core::Accelerator& acc, int degree = 4);
 

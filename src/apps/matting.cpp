@@ -2,10 +2,7 @@
 
 #include <vector>
 
-#include "core/backend_bincim.hpp"
 #include "core/backend_reference.hpp"
-#include "core/backend_reram.hpp"
-#include "core/backend_swsc.hpp"
 
 namespace aimsc::apps {
 
@@ -66,32 +63,6 @@ img::Image mattingKernelTiled(const MattingScene& scene,
 
 img::Image mattingReference(const MattingScene& scene) {
   core::ReferenceBackend b;
-  return mattingKernel(scene, b);
-}
-
-img::Image mattingSwSc(const MattingScene& scene, std::size_t n,
-                       energy::CmosSng sng, std::uint64_t seed) {
-  core::SwScConfig cfg;
-  cfg.streamLength = n;
-  cfg.sng = sng;
-  cfg.seed = seed;
-  core::SwScBackend b(cfg);
-  return mattingKernel(scene, b);
-}
-
-img::Image mattingReramSc(const MattingScene& scene, core::Accelerator& acc) {
-  core::ReramScBackend b(acc);
-  return mattingKernel(scene, b);
-}
-
-img::Image mattingReramScTiled(const MattingScene& scene,
-                               core::TileExecutor& exec) {
-  return mattingKernelTiled(scene, exec);
-}
-
-img::Image mattingBinaryCim(const MattingScene& scene,
-                            bincim::MagicEngine& engine) {
-  core::BinaryCimBackend b(engine);
   return mattingKernel(scene, b);
 }
 

@@ -10,8 +10,8 @@
 /// composite: blend(F, B, alpha^) vs blend(F, B, alpha_true).
 ///
 /// ONE backend-generic kernel (`mattingKernel`) serves every execution
-/// substrate; the per-design entry points are thin shims kept for one
-/// release.
+/// substrate (per-design entry points: `makeBackend(design, ...)` +
+/// `mattingKernel`, or `apps::runApp`).
 #pragma once
 
 #include <cstdint>
@@ -47,28 +47,11 @@ img::Image mattingKernel(const MattingScene& scene, core::ScBackend& b);
 img::Image mattingKernelTiled(const MattingScene& scene,
                               core::TileExecutor& exec);
 
-// --- deprecated per-design shims (one release) ----------------------------
+// --- reference (quality oracle) -------------------------------------------
 
 /// Floating-point alpha estimate (ReferenceBackend; |.|-based ratio,
 /// clamped to [0,1]; zero where F = B).
 img::Image mattingReference(const MattingScene& scene);
-
-/// CMOS-style SC: correlated software streams + CORDIV.
-img::Image mattingSwSc(const MattingScene& scene, std::size_t n,
-                       energy::CmosSng sng, std::uint64_t seed);
-
-/// This work: correlated IMSNG streams + in-memory XOR + CORDIV + ADC
-/// (resistance-mode S-to-B, Sec. IV-B).
-img::Image mattingReramSc(const MattingScene& scene, core::Accelerator& acc);
-
-/// Binary CIM baseline: integer subtract + multiply + restoring division —
-/// the paper's most fault-vulnerable kernel.
-img::Image mattingBinaryCim(const MattingScene& scene,
-                            bincim::MagicEngine& engine);
-
-/// Tile-parallel ReRAM-SC (mattingKernelTiled shim).
-img::Image mattingReramScTiled(const MattingScene& scene,
-                               core::TileExecutor& exec);
 
 /// Re-blend used by the Table IV evaluation.
 img::Image blendWithAlpha(const MattingScene& scene, const img::Image& alpha);

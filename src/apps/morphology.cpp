@@ -1,0 +1,175 @@
+#include "apps/morphology.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace aimsc::apps {
+
+namespace {
+
+/// The 3×3 window, centre first (the fold's seed), then the 8 neighbours.
+constexpr int kWindow[9][2] = {{0, 0},  {-1, -1}, {0, -1}, {1, -1}, {-1, 0},
+                               {1, 0},  {-1, 1},  {0, 1},  {1, 1}};
+
+/// Shared row-range form of erosion/dilation: one epoch per row carries the
+/// correlated 9-plane window family (batch layout [plane0 | plane1 | ...]),
+/// folded by an 8-deep `minimum`/`maximum` chain.  On monotone correlated
+/// streams each AND/OR step yields exactly the running window min/max, so
+/// the chain is exact up to decode noise.
+template <typename FoldOp>
+void morphKernelRows(const img::Image& src, core::ScBackend& b,
+                     img::Image& out, std::size_t rowBegin, std::size_t rowEnd,
+                     FoldOp&& fold) {
+  if (src.width() < 3 || src.height() < 3) return;
+  const std::size_t iw = src.width() - 2;  // interior columns [1, w-1)
+  std::vector<std::uint8_t> data(9 * iw);
+  std::vector<core::ScValue> folded(iw);
+  const std::size_t yBegin = std::max<std::size_t>(rowBegin, 1);
+  const std::size_t yEnd = std::min(rowEnd, src.height() - 1);
+  for (std::size_t y = yBegin; y < yEnd; ++y) {
+    for (std::size_t x = 1; x + 1 < src.width(); ++x) {
+      for (int i = 0; i < 9; ++i) {
+        data[static_cast<std::size_t>(i) * iw + (x - 1)] =
+            src.at(x + static_cast<std::size_t>(kWindow[i][0]),
+                   y + static_cast<std::size_t>(kWindow[i][1]));
+      }
+    }
+    const auto ws = b.encodePixels(data);
+    for (std::size_t x = 1; x + 1 < src.width(); ++x) {
+      const std::size_t c = x - 1;
+      core::ScValue acc = ws[c];
+      for (std::size_t i = 1; i < 9; ++i) acc = fold(b, acc, ws[i * iw + c]);
+      folded[c] = std::move(acc);
+    }
+    const auto row = b.decodePixels(folded);
+    for (std::size_t x = 1; x + 1 < src.width(); ++x) out.at(x, y) = row[x - 1];
+  }
+}
+
+const auto kMinFold = [](core::ScBackend& b, const core::ScValue& a,
+                         const core::ScValue& v) { return b.minimum(a, v); };
+const auto kMaxFold = [](core::ScBackend& b, const core::ScValue& a,
+                         const core::ScValue& v) { return b.maximum(a, v); };
+
+template <typename RowsFn>
+img::Image wholeImage(const img::Image& src, RowsFn&& rows) {
+  img::Image out = src;  // borders copy through
+  rows(out, std::size_t{0}, src.height());
+  return out;
+}
+
+template <typename RowsFn>
+img::Image tiled(const img::Image& src, core::TileExecutor& exec,
+                 RowsFn&& rows) {
+  img::Image out = src;
+  if (src.width() < 3 || src.height() < 3) return out;
+  exec.forEachTile(src.height(), [&](core::ScBackend& lane, std::size_t r0,
+                                     std::size_t r1) { rows(lane, out, r0, r1); });
+  return out;
+}
+
+/// Integer reference fold over the 3×3 window.
+template <typename Fold>
+img::Image morphReference(const img::Image& src, Fold&& fold) {
+  img::Image out = src;
+  if (src.width() < 3 || src.height() < 3) return out;
+  for (std::size_t y = 1; y + 1 < src.height(); ++y) {
+    for (std::size_t x = 1; x + 1 < src.width(); ++x) {
+      std::uint8_t acc = src.at(x, y);
+      for (int i = 1; i < 9; ++i) {
+        acc = fold(acc, src.at(x + static_cast<std::size_t>(kWindow[i][0]),
+                               y + static_cast<std::size_t>(kWindow[i][1])));
+      }
+      out.at(x, y) = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void erodeKernelRows(const img::Image& src, core::ScBackend& b,
+                     img::Image& out, std::size_t rowBegin,
+                     std::size_t rowEnd) {
+  morphKernelRows(src, b, out, rowBegin, rowEnd, kMinFold);
+}
+
+void dilateKernelRows(const img::Image& src, core::ScBackend& b,
+                      img::Image& out, std::size_t rowBegin,
+                      std::size_t rowEnd) {
+  morphKernelRows(src, b, out, rowBegin, rowEnd, kMaxFold);
+}
+
+img::Image erodeKernel(const img::Image& src, core::ScBackend& b) {
+  return wholeImage(src, [&](img::Image& out, std::size_t r0, std::size_t r1) {
+    erodeKernelRows(src, b, out, r0, r1);
+  });
+}
+
+img::Image dilateKernel(const img::Image& src, core::ScBackend& b) {
+  return wholeImage(src, [&](img::Image& out, std::size_t r0, std::size_t r1) {
+    dilateKernelRows(src, b, out, r0, r1);
+  });
+}
+
+img::Image openKernel(const img::Image& src, core::ScBackend& b) {
+  return dilateKernel(erodeKernel(src, b), b);
+}
+
+img::Image closeKernel(const img::Image& src, core::ScBackend& b) {
+  return erodeKernel(dilateKernel(src, b), b);
+}
+
+img::Image erodeKernelTiled(const img::Image& src, core::TileExecutor& exec) {
+  return tiled(src, exec,
+               [&](core::ScBackend& lane, img::Image& out, std::size_t r0,
+                   std::size_t r1) { erodeKernelRows(src, lane, out, r0, r1); });
+}
+
+img::Image dilateKernelTiled(const img::Image& src, core::TileExecutor& exec) {
+  return tiled(src, exec,
+               [&](core::ScBackend& lane, img::Image& out, std::size_t r0,
+                   std::size_t r1) { dilateKernelRows(src, lane, out, r0, r1); });
+}
+
+img::Image openKernelTiled(const img::Image& src, core::TileExecutor& exec) {
+  const img::Image eroded = erodeKernelTiled(src, exec);
+  img::Image out = eroded;
+  if (src.width() < 3 || src.height() < 3) return out;
+  exec.forEachTile(src.height(),
+                   [&](core::ScBackend& lane, std::size_t r0, std::size_t r1) {
+                     dilateKernelRows(eroded, lane, out, r0, r1);
+                   });
+  return out;
+}
+
+img::Image closeKernelTiled(const img::Image& src, core::TileExecutor& exec) {
+  const img::Image dilated = dilateKernelTiled(src, exec);
+  img::Image out = dilated;
+  if (src.width() < 3 || src.height() < 3) return out;
+  exec.forEachTile(src.height(),
+                   [&](core::ScBackend& lane, std::size_t r0, std::size_t r1) {
+                     erodeKernelRows(dilated, lane, out, r0, r1);
+                   });
+  return out;
+}
+
+img::Image erodeReference(const img::Image& src) {
+  return morphReference(
+      src, [](std::uint8_t a, std::uint8_t v) { return std::min(a, v); });
+}
+
+img::Image dilateReference(const img::Image& src) {
+  return morphReference(
+      src, [](std::uint8_t a, std::uint8_t v) { return std::max(a, v); });
+}
+
+img::Image openReference(const img::Image& src) {
+  return dilateReference(erodeReference(src));
+}
+
+img::Image closeReference(const img::Image& src) {
+  return erodeReference(dilateReference(src));
+}
+
+}  // namespace aimsc::apps

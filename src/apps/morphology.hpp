@@ -1,0 +1,63 @@
+/// \file morphology.hpp
+/// \brief Grayscale morphology — 3×3 erosion/dilation and the open/close
+///        compositions — the workload family unlocked by promoting
+///        `minimum`/`maximum` into the `ScBackend` vocabulary.
+///
+/// In the SC domain a 3×3 min (erosion) is an AND tree over a *correlated*
+/// 9-stream family and a 3×3 max (dilation) the matching OR tree: encoding
+/// the whole window against one randomness epoch makes every stream the
+/// monotone comparator image of its pixel value, so the AND/OR chains
+/// compute the exact window min/max up to decode noise (Sec. II-B
+/// correlation control, same precondition as XOR subtraction).
+///
+/// Opening (erode ∘ dilate) and closing (dilate ∘ erode) compose two full
+/// passes; the tiled forms run each pass through the executor's lane-pinned
+/// schedule, so the composition inherits the thread-count-invariant
+/// determinism contract.
+#pragma once
+
+#include "core/backend.hpp"
+#include "core/tile_executor.hpp"
+#include "img/image.hpp"
+
+namespace aimsc::apps {
+
+// --- the backend-generic kernels ------------------------------------------
+
+/// Row-range 3×3 erosion (window minimum): per row one epoch carries the
+/// correlated 9-neighbour family, folded by a `minimum` chain.  Rows clamp
+/// to the interior; border pixels must be pre-filled.
+void erodeKernelRows(const img::Image& src, core::ScBackend& b,
+                     img::Image& out, std::size_t rowBegin,
+                     std::size_t rowEnd);
+
+/// Row-range 3×3 dilation (window maximum): the mirrored `maximum` chain.
+void dilateKernelRows(const img::Image& src, core::ScBackend& b,
+                      img::Image& out, std::size_t rowBegin,
+                      std::size_t rowEnd);
+
+/// Whole-image erosion / dilation (border pixels copy through).
+img::Image erodeKernel(const img::Image& src, core::ScBackend& b);
+img::Image dilateKernel(const img::Image& src, core::ScBackend& b);
+
+/// Morphological opening (dilate(erode(src))) and closing
+/// (erode(dilate(src))) on a single backend.
+img::Image openKernel(const img::Image& src, core::ScBackend& b);
+img::Image closeKernel(const img::Image& src, core::ScBackend& b);
+
+/// Tile-parallel forms: the SAME kernels over the executor's lanes (the
+/// compositions run two lane-pinned passes with a full barrier between).
+img::Image erodeKernelTiled(const img::Image& src, core::TileExecutor& exec);
+img::Image dilateKernelTiled(const img::Image& src, core::TileExecutor& exec);
+img::Image openKernelTiled(const img::Image& src, core::TileExecutor& exec);
+img::Image closeKernelTiled(const img::Image& src, core::TileExecutor& exec);
+
+// --- integer references (quality oracles) ---------------------------------
+
+/// Exact integer window min / max (border pixels copy through).
+img::Image erodeReference(const img::Image& src);
+img::Image dilateReference(const img::Image& src);
+img::Image openReference(const img::Image& src);
+img::Image closeReference(const img::Image& src);
+
+}  // namespace aimsc::apps

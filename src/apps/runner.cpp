@@ -1,8 +1,8 @@
 #include "apps/runner.hpp"
 
 #include <stdexcept>
+#include <string>
 
-#include "core/backend_reram.hpp"
 #include "img/metrics.hpp"
 #include "img/synth.hpp"
 
@@ -14,8 +14,34 @@ const char* appName(AppKind app) {
     case AppKind::Bilinear: return "Bilinear Interpolation";
     case AppKind::Matting: return "Image Matting";
     case AppKind::Filters: return "Image Filters";
+    case AppKind::Gamma: return "Gamma Correction";
+    case AppKind::Morphology: return "Morphology";
   }
   return "?";
+}
+
+AppKind parseAppKind(std::string_view name) {
+  // Same spelling rules as parseDesignKind (shared fold).
+  const auto& normalize = core::normalizeSelector;
+  // Short CLI aliases beside the display names ("matting", "gamma", ...).
+  struct Alias {
+    AppKind app;
+    const char* alias;
+  };
+  constexpr Alias kAliases[] = {
+      {AppKind::Compositing, "compositing"}, {AppKind::Bilinear, "bilinear"},
+      {AppKind::Matting, "matting"},         {AppKind::Filters, "filters"},
+      {AppKind::Gamma, "gamma"},             {AppKind::Morphology, "morphology"},
+  };
+  const std::string wanted = normalize(name);
+  std::string valid;
+  for (const Alias& a : kAliases) {
+    if (wanted == normalize(appName(a.app)) || wanted == a.alias) return a.app;
+    if (!valid.empty()) valid += ", ";
+    valid += a.alias;
+  }
+  throw std::invalid_argument("parseAppKind: unknown app '" +
+                              std::string(name) + "' (valid: " + valid + ")");
 }
 
 Quality compareQuality(const img::Image& test, const img::Image& ref) {
@@ -30,6 +56,9 @@ reram::DeviceParams defaultFaultyDevice() {
 }
 
 namespace {
+
+/// Display gamma used by the Table IV gamma row (degree-4 Bernstein).
+constexpr double kGammaValue = 2.2;
 
 core::AcceleratorConfig accelConfigFor(const RunConfig& cfg) {
   core::AcceleratorConfig ac;
@@ -80,6 +109,19 @@ Quality runAppOn(AppKind app, const RunConfig& cfg, core::ScBackend* backend,
                                              : smoothKernel(src, *backend);
       return compareQuality(out, smoothReference(src));
     }
+    case AppKind::Gamma: {
+      const img::Image src = srcImageFor(cfg);
+      const img::Image out =
+          exec != nullptr ? gammaKernelTiled(src, kGammaValue, *exec)
+                          : gammaKernel(src, kGammaValue, *backend);
+      return compareQuality(out, gammaReference(src, kGammaValue));
+    }
+    case AppKind::Morphology: {
+      const img::Image src = srcImageFor(cfg);
+      const img::Image out = exec != nullptr ? openKernelTiled(src, *exec)
+                                             : openKernel(src, *backend);
+      return compareQuality(out, openReference(src));
+    }
   }
   throw std::invalid_argument("runApp: bad app");
 }
@@ -122,28 +164,6 @@ Quality runApp(AppKind app, DesignKind design, const RunConfig& cfg,
   }
   const auto backend = core::makeBackend(design, backendConfigFor(cfg));
   return runAppOn(app, cfg, backend.get(), nullptr);
-}
-
-Quality runReramSc(AppKind app, const RunConfig& cfg) {
-  core::Accelerator acc(accelConfigFor(cfg));
-  core::ReramScBackend backend(acc);
-  return runAppOn(app, cfg, &backend, nullptr);
-}
-
-Quality runReramScTiled(AppKind app, const RunConfig& cfg,
-                        const ParallelConfig& par) {
-  return runApp(app, DesignKind::ReramSc, cfg, par);
-}
-
-Quality runBinaryCim(AppKind app, const RunConfig& cfg) {
-  return runApp(app, DesignKind::BinaryCim, cfg);
-}
-
-Quality runSwSc(AppKind app, const RunConfig& cfg, energy::CmosSng sng) {
-  return runApp(app,
-                sng == energy::CmosSng::Lfsr ? DesignKind::SwScLfsr
-                                             : DesignKind::SwScSobol,
-                cfg);
 }
 
 namespace {
@@ -211,6 +231,31 @@ energy::AppProfile profileFor(AppKind app) {
       p.ioBytesPerElement = 2.0;      // overlapping reads cache; 1 in, 1 out
       // Eight 11-bit accumulating adds + rounding add.
       p.bincimGateOps = 9 * kAritAdd11;
+      break;
+    case AppKind::Gamma:
+      // Degree-4 Bernstein synthesis: 4 independent pixel copies + 5
+      // coefficient conversions per pixel; the selection network is an
+      // 8-level MUX/MAJ tree (copies + coeffs - 1 sensing steps).
+      p.conversionsPerElement = 9.0;
+      p.bulkOpsPerElement = 8.0;
+      p.sbsWritesPerElement = 9.0;
+      p.cmosOpClass = energy::ScOpKind::ScaledAddition;
+      p.cmosOpPasses = 8.0;
+      p.ioBytesPerElement = 2.0;  // 1 in, 1 out
+      // De Casteljau: 10 integer lerps, each (255-t), 2 muls, 2 adds.
+      p.bincimGateOps = 10 * (kAritSub8 + 2 * kAritMul8 + 2 * kAritAdd8);
+      break;
+    case AppKind::Morphology:
+      // Opening = erode + dilate: per pass 9 window conversions and an
+      // 8-deep AND/OR chain per interior pixel (correlated family).
+      p.conversionsPerElement = 18.0;
+      p.bulkOpsPerElement = 16.0;
+      p.sbsWritesPerElement = 18.0;
+      p.cmosOpClass = energy::ScOpKind::Minimum;
+      p.cmosOpPasses = 16.0;
+      p.ioBytesPerElement = 2.0;  // overlapping reads cache; 1 in, 1 out
+      // Integer min/max cost two saturating 8-bit sub/add passes each.
+      p.bincimGateOps = 16 * 2 * kAritSub8;
       break;
   }
   return p;

@@ -11,20 +11,31 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "apps/bilinear.hpp"
 #include "apps/compositing.hpp"
 #include "apps/filters.hpp"
 #include "apps/matting.hpp"
+#include "apps/morphology.hpp"
 #include "core/backend.hpp"
 #include "core/tile_executor.hpp"
 #include "energy/system_model.hpp"
 
 namespace aimsc::apps {
 
-enum class AppKind { Compositing, Bilinear, Matting, Filters };
+/// The workload axis of the Table IV matrix: the paper's three evaluation
+/// apps plus the extension kernels (filters, Bernstein gamma, morphology).
+enum class AppKind { Compositing, Bilinear, Matting, Filters, Gamma,
+                     Morphology };
 
 const char* appName(AppKind app);
+
+/// Inverse of `appName`: parses an app selector from CLI/args.  Matching is
+/// case-insensitive, ignores punctuation and accepts the short alias
+/// ("matting" for "Image Matting").  Throws std::invalid_argument (listing
+/// the valid names) on no match.
+AppKind parseAppKind(std::string_view name);
 
 /// Execution substrate selector (re-exported from core for callers).
 using core::DesignKind;
@@ -72,19 +83,7 @@ core::BackendFactoryConfig backendConfigFor(const RunConfig& cfg);
 core::TileExecutorConfig tileConfigFor(const RunConfig& cfg,
                                        const ParallelConfig& par);
 
-// --- deprecated per-design shims (one release) ----------------------------
-
-/// Serial single-mat ReRAM-SC (the lanes = 1 case of runApp).
-Quality runReramSc(AppKind app, const RunConfig& cfg);
-Quality runBinaryCim(AppKind app, const RunConfig& cfg);
-Quality runSwSc(AppKind app, const RunConfig& cfg, energy::CmosSng sng);
-
-/// Tile-parallel ReRAM-SC (runApp shim).
-Quality runReramScTiled(AppKind app, const RunConfig& cfg,
-                        const ParallelConfig& par);
-
-/// Per-element workload profile feeding the Fig. 4/5 system model; binary
-/// CIM gate counts are measured by running the kernels once (cached).
+/// Per-element workload profile feeding the Fig. 4/5 system model.
 energy::AppProfile profileFor(AppKind app);
 
 }  // namespace aimsc::apps

@@ -1,7 +1,9 @@
 #include "core/backend.hpp"
 
 #include <array>
+#include <cctype>
 #include <stdexcept>
+#include <string>
 
 #include "core/backend_bincim.hpp"
 #include "core/backend_reference.hpp"
@@ -23,6 +25,33 @@ const char* designKindName(DesignKind design) {
   return "?";
 }
 
+std::string normalizeSelector(std::string_view s) {
+  // Lowercase alphanumerics only, so the display name "SW-SC (LFSR)", the
+  // enum spelling "SwScLfsr" and CLI-friendly "swsc-lfsr" compare equal.
+  std::string out;
+  for (const char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      out.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  return out;
+}
+
+DesignKind parseDesignKind(std::string_view name) {
+  const std::string wanted = normalizeSelector(name);
+  std::string valid;
+  for (const DesignKind d :
+       {DesignKind::Reference, DesignKind::SwScLfsr, DesignKind::SwScSobol,
+        DesignKind::SwScSimd, DesignKind::ReramSc, DesignKind::BinaryCim}) {
+    if (wanted == normalizeSelector(designKindName(d))) return d;
+    if (!valid.empty()) valid += ", ";
+    valid += designKindName(d);
+  }
+  throw std::invalid_argument("parseDesignKind: unknown design '" +
+                              std::string(name) + "' (valid: " + valid + ")");
+}
+
 ScValue ScBackend::encodePixel(std::uint8_t v) {
   const std::array<std::uint8_t, 1> one{v};
   return std::move(encodePixels(one).front());
@@ -31,6 +60,27 @@ ScValue ScBackend::encodePixel(std::uint8_t v) {
 ScValue ScBackend::encodePixelCorrelated(std::uint8_t v) {
   const std::array<std::uint8_t, 1> one{v};
   return std::move(encodePixelsCorrelated(one).front());
+}
+
+ScValue ScBackend::bernsteinSelect(std::span<const ScValue> xCopies,
+                                   std::span<const ScValue> coeffSelects) {
+  // The documented contract, enforced once for every substrate: n x-copies
+  // select among n+1 coefficients.  Substrates may then index freely.
+  if (xCopies.empty() || coeffSelects.size() != xCopies.size() + 1) {
+    throw std::invalid_argument(
+        "ScBackend::bernsteinSelect: need n x-copies (n >= 1) and n+1 "
+        "coefficient selects");
+  }
+  return doBernsteinSelect(xCopies, coeffSelects);
+}
+
+std::vector<ScValue> ScBackend::encodeCopies(std::uint8_t v, std::size_t k) {
+  // One fresh epoch per copy: mutually independent encodings of the same
+  // value (the Bernstein binomial-sampling precondition).
+  std::vector<ScValue> copies;
+  copies.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) copies.push_back(encodePixel(v));
+  return copies;
 }
 
 std::vector<std::uint8_t> ScBackend::decodePixelsStored(

@@ -10,8 +10,9 @@
 ///    epoch (all streams of the batch mutually correlated, the epoch
 ///    independent of earlier encodes); `encodePixelsCorrelated` joins the
 ///    current epoch (Sec. II-B correlation control);
-///  * stage 2 — the ImOps vocabulary: multiply / scaledAdd / absSub /
-///    majMux / majMux4 / divide;
+///  * stage 2 — the full ImOps vocabulary: multiply / scaledAdd /
+///    addApprox / absSub / minimum / maximum / majMux / majMux4 / divide /
+///    bernsteinSelect (Qian & Riedel polynomial synthesis);
 ///  * stage 3 — batched decode, plus the resistance-mode variant CORDIV
 ///    outputs need (Sec. IV-B);
 ///  * accounting — ReRAM event counts and a backend-defined op counter.
@@ -38,6 +39,8 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "reram/device.hpp"
@@ -66,6 +69,17 @@ enum class DesignKind {
 
 /// Human-readable name of \p design (matches the backend's `name()`).
 const char* designKindName(DesignKind design);
+
+/// Lowercase-alphanumeric fold shared by the selector parsers
+/// (`parseDesignKind`, `apps::parseAppKind`): one definition so the two
+/// CLI surfaces cannot drift in what spellings they accept.
+std::string normalizeSelector(std::string_view s);
+
+/// Inverse of `designKindName`: parses a design selector from CLI/args.
+/// Matching is case-insensitive and ignores punctuation, so "SW-SC (LFSR)",
+/// "SwScLfsr" and "swsc-lfsr" all resolve to `DesignKind::SwScLfsr`.
+/// Throws std::invalid_argument (listing the valid names) on no match.
+DesignKind parseDesignKind(std::string_view name);
 
 /// Opaque per-element value flowing through a backend's pipeline.  Exactly
 /// one member is live, fixed by the backend that produced the value:
@@ -97,6 +111,16 @@ struct ScValue {
     return v;
   }
 };
+
+/// Borrows the stream payloads of a value batch (stream substrates' view
+/// of a `ScValue` span; the values must outlive the returned pointers).
+inline std::vector<const sc::Bitstream*> borrowStreams(
+    std::span<const ScValue> values) {
+  std::vector<const sc::Bitstream*> ptrs;
+  ptrs.reserve(values.size());
+  for (const ScValue& v : values) ptrs.push_back(&v.stream);
+  return ptrs;
+}
 
 /// Abstract execution engine for the three-stage SC dataflow.  Backends are
 /// stateful (randomness epochs, event ledgers) and not thread-safe; the
@@ -138,6 +162,18 @@ class ScBackend {
   virtual ScValue encodePixel(std::uint8_t v);
   virtual ScValue encodePixelCorrelated(std::uint8_t v);
 
+  /// \p k encodings of the same pixel value, each against its OWN fresh
+  /// randomness epoch: the returned copies are mutually independent and
+  /// independent of every earlier encode — the binomial-sampling
+  /// precondition of `bernsteinSelect` (each stream position must draw k
+  /// independent Bernoulli(x) trials).  Epoch semantics mirror
+  /// `encodeProb`'s independence rules, but unlike constants the copies DO
+  /// advance the epoch counter: after the call the current epoch is the
+  /// last copy's epoch (correlated follow-up encodes join it).  The default
+  /// issues k `encodePixel` calls; value-domain substrates (reference,
+  /// binary CIM) return k identical exact values.
+  virtual std::vector<ScValue> encodeCopies(std::uint8_t v, std::size_t k);
+
   // --- stage 2: SC arithmetic (the ImOps vocabulary) ----------------------
 
   /// Multiplication of independent inputs: p = px * py.
@@ -147,8 +183,20 @@ class ScBackend {
   virtual ScValue scaledAdd(const ScValue& x, const ScValue& y,
                             const ScValue& half) = 0;
 
+  /// Approximate (unscaled) addition of independent inputs: the OR gate,
+  /// p = px + py - px*py — accurate for inputs in [0, 0.5] (Fig. 2 note).
+  virtual ScValue addApprox(const ScValue& x, const ScValue& y) = 0;
+
   /// Absolute subtraction of correlated inputs: p = |px - py|.
   virtual ScValue absSub(const ScValue& x, const ScValue& y) = 0;
+
+  /// Minimum of CORRELATED inputs (AND on shared-epoch streams):
+  /// p = min(px, py).
+  virtual ScValue minimum(const ScValue& x, const ScValue& y) = 0;
+
+  /// Maximum of CORRELATED inputs (OR on shared-epoch streams):
+  /// p = max(px, py).
+  virtual ScValue maximum(const ScValue& x, const ScValue& y) = 0;
 
   /// 2-to-1 blend, sel favours x: p = psel*px + (1-psel)*py.
   virtual ScValue majMux(const ScValue& x, const ScValue& y,
@@ -162,6 +210,18 @@ class ScBackend {
 
   /// Division p = pnum / pden over a correlated pair (pnum <= pden).
   virtual ScValue divide(const ScValue& num, const ScValue& den) = 0;
+
+  /// Bernstein selection network (Qian & Riedel polynomial synthesis; the
+  /// gamma kernel's op): selects per stream position among the degree+1
+  /// coefficient values by the ones-count of the \p xCopies.  Preconditions
+  /// (validated here, once, for every substrate — throws
+  /// std::invalid_argument): `xCopies` non-empty and
+  /// `coeffSelects.size() == xCopies.size() + 1`.  The x copies must be
+  /// mutually independent (use `encodeCopies`) and the coefficient selects
+  /// independent of them and of each other (use `encodeProb`).  Expected
+  /// result is the Bernstein form B_n(x) = sum_k b_k C(n,k) x^k (1-x)^(n-k).
+  ScValue bernsteinSelect(std::span<const ScValue> xCopies,
+                          std::span<const ScValue> coeffSelects);
 
   // --- stage 3: backend domain -> binary ----------------------------------
 
@@ -190,6 +250,12 @@ class ScBackend {
   /// Backend-defined cost counter: MAGIC gate cycles for binary CIM, serial
   /// SC op passes for SW-SC, 0 where the event ledger is the cost source.
   virtual std::uint64_t opCount() const { return 0; }
+
+ protected:
+  /// Substrate realisation of `bernsteinSelect`; inputs are pre-validated
+  /// by the public wrapper, so implementations may index freely.
+  virtual ScValue doBernsteinSelect(std::span<const ScValue> xCopies,
+                                    std::span<const ScValue> coeffSelects) = 0;
 };
 
 /// Knobs for the backend factory; a RunConfig-independent superset so the

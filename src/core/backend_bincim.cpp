@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 namespace aimsc::core {
 
@@ -53,11 +54,33 @@ ScValue BinaryCimBackend::scaledAdd(const ScValue& x, const ScValue& y,
   return ScValue::ofWord(std::min<std::uint32_t>(rounded >> 1, 255));
 }
 
+ScValue BinaryCimBackend::addApprox(const ScValue& x, const ScValue& y) {
+  // x + y - x*y/255: the exact value the OR gate computes on independent
+  // streams (rounded product, saturating subtract).
+  const std::uint32_t sum = pim_.add(x.word, y.word, 9);
+  const std::uint32_t t = pim_.mul(x.word, y.word, 8);
+  const std::uint32_t prod = pim_.add(t, 128, 16) >> 8;
+  const std::uint32_t v = pim_.subSaturating(sum, prod, 9);
+  return ScValue::ofWord(std::min<std::uint32_t>(v, 255));
+}
+
 ScValue BinaryCimBackend::absSub(const ScValue& x, const ScValue& y) {
   // Saturating subtraction both ways; one side is zero.
   const std::uint32_t a = pim_.subSaturating(x.word, y.word, 8);
   const std::uint32_t b = pim_.subSaturating(y.word, x.word, 8);
   return ScValue::ofWord(a | b);
+}
+
+ScValue BinaryCimBackend::minimum(const ScValue& x, const ScValue& y) {
+  // min(x, y) = x - max(x - y, 0), two saturating subtractions.
+  const std::uint32_t d = pim_.subSaturating(x.word, y.word, 8);
+  return ScValue::ofWord(pim_.subSaturating(x.word, d, 8));
+}
+
+ScValue BinaryCimBackend::maximum(const ScValue& x, const ScValue& y) {
+  // max(x, y) = y + max(x - y, 0); the sum never exceeds 255.
+  const std::uint32_t d = pim_.subSaturating(x.word, y.word, 8);
+  return ScValue::ofWord(pim_.add(y.word, d, 8));
 }
 
 ScValue BinaryCimBackend::majMux(const ScValue& x, const ScValue& y,
@@ -99,6 +122,22 @@ ScValue BinaryCimBackend::divide(const ScValue& num, const ScValue& den) {
   const std::uint32_t num16 = pim_.mul(num.word, 255, 8);
   const std::uint32_t q = pim_.div(num16, den.word, 16, 8);
   return ScValue::ofWord(q);
+}
+
+ScValue BinaryCimBackend::doBernsteinSelect(
+    std::span<const ScValue> xCopies, std::span<const ScValue> coeffSelects) {
+  // De Casteljau on the coefficient words: n rounds of 8-bit lerps at
+  // t = x evaluate the degree-n Bernstein form exactly (modulo per-lerp
+  // rounding), and every lerp runs through the MAGIC gate engine so the
+  // cycle ledger charges the real integer decomposition.
+  const std::uint32_t t = xCopies.front().word;
+  std::vector<std::uint32_t> c;
+  c.reserve(coeffSelects.size());
+  for (const ScValue& v : coeffSelects) c.push_back(v.word);
+  for (std::size_t round = c.size() - 1; round > 0; --round) {
+    for (std::size_t k = 0; k < round; ++k) c[k] = lerp(c[k], c[k + 1], t);
+  }
+  return ScValue::ofWord(c[0]);
 }
 
 std::vector<std::uint8_t> BinaryCimBackend::decodePixels(

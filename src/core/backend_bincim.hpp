@@ -48,7 +48,10 @@ class BinaryCimBackend final : public ScBackend {
   ScValue multiply(const ScValue& x, const ScValue& y) override;
   ScValue scaledAdd(const ScValue& x, const ScValue& y,
                     const ScValue& half) override;
+  ScValue addApprox(const ScValue& x, const ScValue& y) override;
   ScValue absSub(const ScValue& x, const ScValue& y) override;
+  ScValue minimum(const ScValue& x, const ScValue& y) override;
+  ScValue maximum(const ScValue& x, const ScValue& y) override;
   ScValue majMux(const ScValue& x, const ScValue& y,
                  const ScValue& sel) override;
   ScValue majMux4(const ScValue& i11, const ScValue& i12, const ScValue& i21,
@@ -61,6 +64,10 @@ class BinaryCimBackend final : public ScBackend {
   std::uint64_t opCount() const override { return engine_->gateOps(); }
 
   bincim::MagicEngine& engine() { return *engine_; }
+
+ protected:
+  ScValue doBernsteinSelect(std::span<const ScValue> xCopies,
+                            std::span<const ScValue> coeffSelects) override;
 
  private:
   std::uint32_t lerp(std::uint32_t a, std::uint32_t b, std::uint32_t t);

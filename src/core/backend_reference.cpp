@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "img/image.hpp"
+#include "sc/bernstein.hpp"
 
 namespace aimsc::core {
 
@@ -31,8 +32,21 @@ ScValue ReferenceBackend::scaledAdd(const ScValue& x, const ScValue& y,
   return ScValue::ofProb((x.prob + y.prob) / 2.0);
 }
 
+ScValue ReferenceBackend::addApprox(const ScValue& x, const ScValue& y) {
+  // Exact probability of the OR gate on independent streams.
+  return ScValue::ofProb(x.prob + y.prob - x.prob * y.prob);
+}
+
 ScValue ReferenceBackend::absSub(const ScValue& x, const ScValue& y) {
   return ScValue::ofProb(std::abs(x.prob - y.prob));
+}
+
+ScValue ReferenceBackend::minimum(const ScValue& x, const ScValue& y) {
+  return ScValue::ofProb(std::min(x.prob, y.prob));
+}
+
+ScValue ReferenceBackend::maximum(const ScValue& x, const ScValue& y) {
+  return ScValue::ofProb(std::max(x.prob, y.prob));
 }
 
 ScValue ReferenceBackend::majMux(const ScValue& x, const ScValue& y,
@@ -58,6 +72,14 @@ ScValue ReferenceBackend::divide(const ScValue& num, const ScValue& den) {
   // downstream blends are insensitive there.
   if (den.prob * 255.0 < 1.0) return ScValue::ofProb(0.0);
   return ScValue::ofProb(std::clamp(num.prob / den.prob, 0.0, 1.0));
+}
+
+ScValue ReferenceBackend::doBernsteinSelect(
+    std::span<const ScValue> xCopies, std::span<const ScValue> coeffSelects) {
+  std::vector<double> b;
+  b.reserve(coeffSelects.size());
+  for (const ScValue& c : coeffSelects) b.push_back(c.prob);
+  return ScValue::ofProb(sc::bernsteinValue(b, xCopies.front().prob));
 }
 
 std::vector<std::uint8_t> ReferenceBackend::decodePixels(

@@ -22,7 +22,10 @@ class ReferenceBackend final : public ScBackend {
   ScValue multiply(const ScValue& x, const ScValue& y) override;
   ScValue scaledAdd(const ScValue& x, const ScValue& y,
                     const ScValue& half) override;
+  ScValue addApprox(const ScValue& x, const ScValue& y) override;
   ScValue absSub(const ScValue& x, const ScValue& y) override;
+  ScValue minimum(const ScValue& x, const ScValue& y) override;
+  ScValue maximum(const ScValue& x, const ScValue& y) override;
   ScValue majMux(const ScValue& x, const ScValue& y,
                  const ScValue& sel) override;
   ScValue majMux4(const ScValue& i11, const ScValue& i12, const ScValue& i21,
@@ -31,6 +34,10 @@ class ReferenceBackend final : public ScBackend {
   ScValue divide(const ScValue& num, const ScValue& den) override;
 
   std::vector<std::uint8_t> decodePixels(std::span<ScValue> values) override;
+
+ protected:
+  ScValue doBernsteinSelect(std::span<const ScValue> xCopies,
+                            std::span<const ScValue> coeffSelects) override;
 };
 
 }  // namespace aimsc::core

@@ -49,8 +49,20 @@ ScValue ReramScBackend::scaledAdd(const ScValue& x, const ScValue& y,
       acc_->ops().scaledAdd(x.stream, y.stream, half.stream));
 }
 
+ScValue ReramScBackend::addApprox(const ScValue& x, const ScValue& y) {
+  return ScValue::ofStream(acc_->ops().addApprox(x.stream, y.stream));
+}
+
 ScValue ReramScBackend::absSub(const ScValue& x, const ScValue& y) {
   return ScValue::ofStream(acc_->ops().absSub(x.stream, y.stream));
+}
+
+ScValue ReramScBackend::minimum(const ScValue& x, const ScValue& y) {
+  return ScValue::ofStream(acc_->ops().minimum(x.stream, y.stream));
+}
+
+ScValue ReramScBackend::maximum(const ScValue& x, const ScValue& y) {
+  return ScValue::ofStream(acc_->ops().maximum(x.stream, y.stream));
 }
 
 ScValue ReramScBackend::majMux(const ScValue& x, const ScValue& y,
@@ -67,6 +79,15 @@ ScValue ReramScBackend::majMux4(const ScValue& i11, const ScValue& i12,
 
 ScValue ReramScBackend::divide(const ScValue& num, const ScValue& den) {
   return ScValue::ofStream(acc_->ops().divide(num.stream, den.stream));
+}
+
+ScValue ReramScBackend::doBernsteinSelect(
+    std::span<const ScValue> xCopies, std::span<const ScValue> coeffSelects) {
+  const auto copies = borrowStreams(xCopies);
+  const auto coeffs = borrowStreams(coeffSelects);
+  return ScValue::ofStream(acc_->ops().bernsteinSelect(
+      std::span<const sc::Bitstream* const>(copies),
+      std::span<const sc::Bitstream* const>(coeffs)));
 }
 
 namespace {

@@ -39,7 +39,10 @@ class ReramScBackend final : public ScBackend {
   ScValue multiply(const ScValue& x, const ScValue& y) override;
   ScValue scaledAdd(const ScValue& x, const ScValue& y,
                     const ScValue& half) override;
+  ScValue addApprox(const ScValue& x, const ScValue& y) override;
   ScValue absSub(const ScValue& x, const ScValue& y) override;
+  ScValue minimum(const ScValue& x, const ScValue& y) override;
+  ScValue maximum(const ScValue& x, const ScValue& y) override;
   ScValue majMux(const ScValue& x, const ScValue& y,
                  const ScValue& sel) override;
   ScValue majMux4(const ScValue& i11, const ScValue& i12, const ScValue& i21,
@@ -55,6 +58,10 @@ class ReramScBackend final : public ScBackend {
   void resetEvents() override { acc_->resetEvents(); }
 
   Accelerator& accelerator() { return *acc_; }
+
+ protected:
+  ScValue doBernsteinSelect(std::span<const ScValue> xCopies,
+                            std::span<const ScValue> coeffSelects) override;
 
  private:
   std::unique_ptr<Accelerator> owned_;

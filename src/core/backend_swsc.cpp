@@ -1,6 +1,7 @@
 #include "core/backend_swsc.hpp"
 
 #include "img/image.hpp"
+#include "sc/bernstein.hpp"
 #include "sc/cordiv.hpp"
 #include "sc/ops.hpp"
 #include "sc/sng.hpp"
@@ -85,9 +86,24 @@ ScValue SwScGateBackend::scaledAdd(const ScValue& x, const ScValue& y,
   return ScValue::ofStream(sc::scScaledAddMux(x.stream, y.stream, half.stream));
 }
 
+ScValue SwScGateBackend::addApprox(const ScValue& x, const ScValue& y) {
+  ++opPasses_;
+  return ScValue::ofStream(sc::scAddOr(x.stream, y.stream));
+}
+
 ScValue SwScGateBackend::absSub(const ScValue& x, const ScValue& y) {
   ++opPasses_;
   return ScValue::ofStream(sc::scAbsSub(x.stream, y.stream));
+}
+
+ScValue SwScGateBackend::minimum(const ScValue& x, const ScValue& y) {
+  ++opPasses_;
+  return ScValue::ofStream(sc::scMin(x.stream, y.stream));
+}
+
+ScValue SwScGateBackend::maximum(const ScValue& x, const ScValue& y) {
+  ++opPasses_;
+  return ScValue::ofStream(sc::scMax(x.stream, y.stream));
 }
 
 ScValue SwScGateBackend::majMux(const ScValue& x, const ScValue& y,
@@ -108,6 +124,20 @@ ScValue SwScGateBackend::majMux4(const ScValue& i11, const ScValue& i12,
 ScValue SwScGateBackend::divide(const ScValue& num, const ScValue& den) {
   ++opPasses_;
   return ScValue::ofStream(divideStreams(num.stream, den.stream));
+}
+
+ScValue SwScGateBackend::doBernsteinSelect(
+    std::span<const ScValue> xCopies, std::span<const ScValue> coeffSelects) {
+  const auto copies = borrowStreams(xCopies);
+  const auto coeffs = borrowStreams(coeffSelects);
+  sc::Bitstream out = sc::scBernsteinSelect(
+      std::span<const sc::Bitstream* const>(copies),
+      std::span<const sc::Bitstream* const>(coeffs));
+  // A (copies + coeffs - 1)-deep select network, one serial pass per level
+  // (same charge as the in-memory MUX-tree realisation); charged after the
+  // width checks so a rejected call cannot corrupt the counter.
+  opPasses_ += xCopies.size() + coeffSelects.size() - 1;
+  return ScValue::ofStream(std::move(out));
 }
 
 std::vector<std::uint8_t> SwScGateBackend::decodePixels(

@@ -107,7 +107,10 @@ class SwScGateBackend : public ScBackend {
   ScValue multiply(const ScValue& x, const ScValue& y) override;
   ScValue scaledAdd(const ScValue& x, const ScValue& y,
                     const ScValue& half) override;
+  ScValue addApprox(const ScValue& x, const ScValue& y) override;
   ScValue absSub(const ScValue& x, const ScValue& y) override;
+  ScValue minimum(const ScValue& x, const ScValue& y) override;
+  ScValue maximum(const ScValue& x, const ScValue& y) override;
   ScValue majMux(const ScValue& x, const ScValue& y,
                  const ScValue& sel) override;
   ScValue majMux4(const ScValue& i11, const ScValue& i12, const ScValue& i21,
@@ -120,6 +123,9 @@ class SwScGateBackend : public ScBackend {
   std::uint64_t opCount() const override { return opPasses_; }
 
  protected:
+  ScValue doBernsteinSelect(std::span<const ScValue> xCopies,
+                            std::span<const ScValue> coeffSelects) override;
+
   /// CORDIV realisation (serial flip-flop or word-level scan; both emit
   /// the same bits).
   virtual sc::Bitstream divideStreams(const sc::Bitstream& num,

@@ -81,12 +81,27 @@ sc::Bitstream ImOps::majMux(const sc::Bitstream& x, const sc::Bitstream& y,
 
 sc::Bitstream ImOps::bernsteinSelect(const std::vector<sc::Bitstream>& xCopies,
                                      const std::vector<sc::Bitstream>& coeffs) {
+  std::vector<const sc::Bitstream*> copyPtrs;
+  copyPtrs.reserve(xCopies.size());
+  for (const auto& s : xCopies) copyPtrs.push_back(&s);
+  std::vector<const sc::Bitstream*> coeffPtrs;
+  coeffPtrs.reserve(coeffs.size());
+  for (const auto& s : coeffs) coeffPtrs.push_back(&s);
+  return bernsteinSelect(std::span<const sc::Bitstream* const>(copyPtrs),
+                         std::span<const sc::Bitstream* const>(coeffPtrs));
+}
+
+sc::Bitstream ImOps::bernsteinSelect(
+    std::span<const sc::Bitstream* const> xCopies,
+    std::span<const sc::Bitstream* const> coeffs) {
+  // Select first (validates and throws on a malformed call), charge after.
+  sc::Bitstream out = sc::scBernsteinSelect(xCopies, coeffs);
   auto& log = scouting_.array().events();
   const std::uint64_t steps =
       static_cast<std::uint64_t>(xCopies.size() + coeffs.size()) - 1;
   log.add(reram::EventKind::SlRead, steps);
   log.add(reram::EventKind::LatchOp, steps);
-  return sc::scBernsteinSelect(xCopies, coeffs);
+  return out;
 }
 
 sc::Bitstream ImOps::majMux4(const sc::Bitstream& i11, const sc::Bitstream& i12,

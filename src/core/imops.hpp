@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <optional>
 #include <random>
+#include <span>
 #include <vector>
 
 #include "reram/fault_model.hpp"
@@ -69,6 +70,11 @@ class ImOps {
   /// reach the result through the encoded input streams.
   sc::Bitstream bernsteinSelect(const std::vector<sc::Bitstream>& xCopies,
                                 const std::vector<sc::Bitstream>& coeffs);
+
+  /// Zero-copy form over borrowed streams (same charges; the ScBackend
+  /// adapter's per-pixel path).
+  sc::Bitstream bernsteinSelect(std::span<const sc::Bitstream* const> xCopies,
+                                std::span<const sc::Bitstream* const> coeffs);
 
   reram::ScoutingLogic& scouting() { return scouting_; }
 

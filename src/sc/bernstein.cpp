@@ -7,32 +7,49 @@
 
 namespace aimsc::sc {
 
-Bitstream scBernsteinSelect(const std::vector<Bitstream>& xCopies,
-                            const std::vector<Bitstream>& coeffs) {
+Bitstream scBernsteinSelect(std::span<const Bitstream* const> xCopies,
+                            std::span<const Bitstream* const> coeffs) {
   if (xCopies.empty()) {
     throw std::invalid_argument("scBernsteinSelect: no x copies");
   }
   if (coeffs.size() != xCopies.size() + 1) {
     throw std::invalid_argument("scBernsteinSelect: need degree+1 coefficients");
   }
-  const std::size_t width = xCopies.front().size();
-  for (const auto& s : xCopies) {
-    if (s.size() != width) {
+  const std::size_t width = xCopies.front()->size();
+  for (const auto* s : xCopies) {
+    if (s->size() != width) {
       throw std::invalid_argument("scBernsteinSelect: width mismatch");
     }
   }
-  for (const auto& s : coeffs) {
-    if (s.size() != width) {
+  for (const auto* s : coeffs) {
+    if (s->size() != width) {
       throw std::invalid_argument("scBernsteinSelect: width mismatch");
     }
   }
   Bitstream out(width);
   for (std::size_t i = 0; i < width; ++i) {
     std::size_t ones = 0;
-    for (const auto& s : xCopies) ones += s.get(i) ? 1 : 0;
-    if (coeffs[ones].get(i)) out.set(i, true);
+    for (const auto* s : xCopies) ones += s->get(i) ? 1 : 0;
+    if (coeffs[ones]->get(i)) out.set(i, true);
   }
   return out;
+}
+
+namespace {
+
+std::vector<const Bitstream*> borrowed(const std::vector<Bitstream>& streams) {
+  std::vector<const Bitstream*> ptrs;
+  ptrs.reserve(streams.size());
+  for (const Bitstream& s : streams) ptrs.push_back(&s);
+  return ptrs;
+}
+
+}  // namespace
+
+Bitstream scBernsteinSelect(const std::vector<Bitstream>& xCopies,
+                            const std::vector<Bitstream>& coeffs) {
+  return scBernsteinSelect(std::span<const Bitstream* const>(borrowed(xCopies)),
+                           std::span<const Bitstream* const>(borrowed(coeffs)));
 }
 
 double bernsteinValue(const std::vector<double>& b, double x) {

@@ -15,6 +15,7 @@
 /// in-memory substrate — an extension module beyond the paper's scope.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "sc/bitstream.hpp"
@@ -28,6 +29,11 @@ namespace aimsc::sc {
 /// \param coeffs  n+1 streams encoding b_0 .. b_n (independent of xCopies)
 Bitstream scBernsteinSelect(const std::vector<Bitstream>& xCopies,
                             const std::vector<Bitstream>& coeffs);
+
+/// Zero-copy form over borrowed streams (the backends' hot path: gamma
+/// calls the network once per pixel and must not clone its operands).
+Bitstream scBernsteinSelect(std::span<const Bitstream* const> xCopies,
+                            std::span<const Bitstream* const> coeffs);
 
 /// Exact Bernstein value sum_k b_k C(n,k) x^k (1-x)^(n-k).
 double bernsteinValue(const std::vector<double>& b, double x);

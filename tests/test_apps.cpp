@@ -2,7 +2,12 @@
 // functional checks; Table IV statistics live in the bench).
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "apps/runner.hpp"
+#include "core/backend_bincim.hpp"
+#include "core/backend_reram.hpp"
+#include "core/backend_swsc.hpp"
 #include "img/metrics.hpp"
 #include "img/synth.hpp"
 
@@ -47,7 +52,8 @@ TEST(Compositing, ReferenceInterpolatesBetweenLayers) {
 TEST(Compositing, BinaryCimMatchesReferenceFaultFree) {
   const CompositingScene s = makeCompositingScene(24, 24, 3);
   bincim::MagicEngine engine;
-  const img::Image out = compositeBinaryCim(s, engine);
+  core::BinaryCimBackend b(engine);
+  const img::Image out = compositeKernel(s, b);
   const img::Image ref = compositeReference(s);
   EXPECT_LE(img::meanAbsError(out, ref), 1.0);  // rounding only
   EXPECT_GT(img::ssim(out, ref), 0.995);
@@ -59,7 +65,8 @@ TEST(Compositing, ReramScTracksReference) {
   ac.streamLength = 256;
   ac.device = reram::DeviceParams::ideal();
   core::Accelerator acc(ac);
-  const img::Image out = compositeReramSc(s, acc);
+  core::ReramScBackend b(acc);
+  const img::Image out = compositeKernel(s, b);
   const img::Image ref = compositeReference(s);
   EXPECT_GT(img::psnrDb(out, ref), 18.0);
   EXPECT_GT(img::ssim(out, ref), 0.7);
@@ -68,8 +75,16 @@ TEST(Compositing, ReramScTracksReference) {
 TEST(Compositing, SwScLfsrAndSobolWork) {
   const CompositingScene s = makeCompositingScene(16, 16, 5);
   const img::Image ref = compositeReference(s);
-  const img::Image lfsr = compositeSwSc(s, 256, energy::CmosSng::Lfsr, 9);
-  const img::Image sobol = compositeSwSc(s, 256, energy::CmosSng::Sobol, 9);
+  auto swsc = [&](energy::CmosSng sng) {
+    core::SwScConfig cfg;
+    cfg.streamLength = 256;
+    cfg.sng = sng;
+    cfg.seed = 9;
+    core::SwScBackend b(cfg);
+    return compositeKernel(s, b);
+  };
+  const img::Image lfsr = swsc(energy::CmosSng::Lfsr);
+  const img::Image sobol = swsc(energy::CmosSng::Sobol);
   EXPECT_GT(img::psnrDb(lfsr, ref), 17.0);
   // Sobol streams are far more accurate (Table I).
   EXPECT_GT(img::psnrDb(sobol, ref), img::psnrDb(lfsr, ref));
@@ -104,7 +119,8 @@ TEST(Bilinear, ReferenceIsMonotoneOnGradient) {
 TEST(Bilinear, BinaryCimCloseToReference) {
   const img::Image src = img::naturalScene(16, 16, 6);
   bincim::MagicEngine engine;
-  const img::Image out = upscaleBinaryCim(src, 2, engine);
+  core::BinaryCimBackend b(engine);
+  const img::Image out = upscaleKernel(src, 2, b);
   const img::Image ref = upscaleReference(src, 2);
   EXPECT_LE(img::meanAbsError(out, ref), 2.0);
 }
@@ -115,7 +131,8 @@ TEST(Bilinear, ReramScTracksReference) {
   ac.streamLength = 256;
   ac.device = reram::DeviceParams::ideal();
   core::Accelerator acc(ac);
-  const img::Image out = upscaleReramSc(src, 2, acc);
+  core::ReramScBackend b(acc);
+  const img::Image out = upscaleKernel(src, 2, b);
   const img::Image ref = upscaleReference(src, 2);
   // The three-MAJ tree is an approximation of the exact 4-to-1 MUX (error
   // grows away from 0.5 selects), so the bar is lower than compositing's.
@@ -139,7 +156,8 @@ TEST(Matting, ReramScBlendQuality) {
   ac.streamLength = 256;
   ac.device = reram::DeviceParams::ideal();
   core::Accelerator acc(ac);
-  const img::Image alpha = mattingReramSc(s, acc);
+  core::ReramScBackend b(acc);
+  const img::Image alpha = mattingKernel(s, b);
   const img::Image blend = blendWithAlpha(s, alpha);
   EXPECT_GT(img::psnrDb(blend, s.composite), 20.0);
 }
@@ -147,7 +165,8 @@ TEST(Matting, ReramScBlendQuality) {
 TEST(Matting, BinaryCimFaultFreeIsAccurate) {
   const MattingScene s = makeMattingScene(20, 20, 10);
   bincim::MagicEngine engine;
-  const img::Image alpha = mattingBinaryCim(s, engine);
+  core::BinaryCimBackend b(engine);
+  const img::Image alpha = mattingKernel(s, b);
   const img::Image blend = blendWithAlpha(s, alpha);
   EXPECT_GT(img::psnrDb(blend, s.composite), 30.0);
 }
@@ -158,14 +177,35 @@ TEST(Runner, AppNames) {
   EXPECT_STREQ(appName(AppKind::Compositing), "Image Compositing");
   EXPECT_STREQ(appName(AppKind::Bilinear), "Bilinear Interpolation");
   EXPECT_STREQ(appName(AppKind::Matting), "Image Matting");
+  EXPECT_STREQ(appName(AppKind::Gamma), "Gamma Correction");
+  EXPECT_STREQ(appName(AppKind::Morphology), "Morphology");
+}
+
+TEST(Runner, ParseAppAndDesignKindAreInverses) {
+  for (const AppKind app :
+       {AppKind::Compositing, AppKind::Bilinear, AppKind::Matting,
+        AppKind::Filters, AppKind::Gamma, AppKind::Morphology}) {
+    EXPECT_EQ(parseAppKind(appName(app)), app);
+  }
+  EXPECT_EQ(parseAppKind("matting"), AppKind::Matting);
+  EXPECT_EQ(parseAppKind("MORPHOLOGY"), AppKind::Morphology);
+  EXPECT_THROW(parseAppKind("no-such-app"), std::invalid_argument);
+  for (const DesignKind d :
+       {DesignKind::Reference, DesignKind::SwScLfsr, DesignKind::SwScSobol,
+        DesignKind::SwScSimd, DesignKind::ReramSc, DesignKind::BinaryCim}) {
+    EXPECT_EQ(core::parseDesignKind(core::designKindName(d)), d);
+  }
+  EXPECT_EQ(core::parseDesignKind("swsc-lfsr"), DesignKind::SwScLfsr);
+  EXPECT_EQ(core::parseDesignKind("ReRAM-SC"), DesignKind::ReramSc);
+  EXPECT_THROW(core::parseDesignKind("gpu"), std::invalid_argument);
 }
 
 TEST(Runner, FaultFreeQualityOrdering) {
   // Binary CIM (exact arithmetic) must beat SC when fault-free.
   const RunConfig cfg = smallConfig(128);
   for (const AppKind app : {AppKind::Compositing, AppKind::Matting}) {
-    const Quality bin = runBinaryCim(app, cfg);
-    const Quality sc = runReramSc(app, cfg);
+    const Quality bin = runApp(app, DesignKind::BinaryCim, cfg);
+    const Quality sc = runApp(app, DesignKind::ReramSc, cfg);
     EXPECT_GT(bin.psnrDb, sc.psnrDb) << appName(app);
     EXPECT_GT(sc.ssimPct, 50.0) << appName(app);
   }
@@ -174,12 +214,15 @@ TEST(Runner, FaultFreeQualityOrdering) {
 TEST(Runner, FaultsHurtBinaryCimMoreThanSc) {
   // The core Table IV claim, in miniature.
   RunConfig cfg = smallConfig(128);
-  const Quality scClean = runReramSc(AppKind::Compositing, cfg);
-  const Quality binClean = runBinaryCim(AppKind::Compositing, cfg);
+  const Quality scClean = runApp(AppKind::Compositing, DesignKind::ReramSc, cfg);
+  const Quality binClean =
+      runApp(AppKind::Compositing, DesignKind::BinaryCim, cfg);
   cfg.injectFaults = true;
   cfg.device = defaultFaultyDevice();
-  const Quality scFaulty = runReramSc(AppKind::Compositing, cfg);
-  const Quality binFaulty = runBinaryCim(AppKind::Compositing, cfg);
+  const Quality scFaulty =
+      runApp(AppKind::Compositing, DesignKind::ReramSc, cfg);
+  const Quality binFaulty =
+      runApp(AppKind::Compositing, DesignKind::BinaryCim, cfg);
   const double scDrop = scClean.ssimPct - scFaulty.ssimPct;
   const double binDrop = binClean.ssimPct - binFaulty.ssimPct;
   EXPECT_LT(scDrop, binDrop + 1.0);
@@ -188,7 +231,8 @@ TEST(Runner, FaultsHurtBinaryCimMoreThanSc) {
 
 TEST(Runner, ProfilesHaveMeasuredGateCounts) {
   for (const AppKind app :
-       {AppKind::Compositing, AppKind::Bilinear, AppKind::Matting}) {
+       {AppKind::Compositing, AppKind::Bilinear, AppKind::Matting,
+        AppKind::Filters, AppKind::Gamma, AppKind::Morphology}) {
     const energy::AppProfile p = profileFor(app);
     EXPECT_GT(p.bincimGateOps, 100.0) << appName(app);
     EXPECT_GT(p.conversionsPerElement, 0.0);

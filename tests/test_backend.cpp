@@ -3,9 +3,12 @@
 // the pre-redesign per-app implementations.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <stdexcept>
 #include <vector>
+
+#include "sc/bernstein.hpp"
 
 #include "apps/bilinear.hpp"
 #include "apps/compositing.hpp"
@@ -125,6 +128,59 @@ TEST_P(BackendConformance, DivideCorrelatedPair) {
   ScValue q = b->divide(num[0], den[0]);
   const auto stored = b->decodePixelsStored(std::span<ScValue>(&q, 1));
   EXPECT_NEAR(stored[0] / 255.0, 0.5, GetParam().divTol) << b->name();
+}
+
+TEST_P(BackendConformance, AddApproxIsOrOfIndependentInputs) {
+  const auto b = make();
+  // Inputs in [0, 0.5] (the op's accuracy domain); expected value is the
+  // exact OR probability px + py - px*py the reference computes.
+  const ScValue x = b->encodePixel(64);
+  const ScValue y = b->encodePixel(102);
+  const double px = 64.0 / 255.0;
+  const double py = 102.0 / 255.0;
+  EXPECT_NEAR(decoded(*b, b->addApprox(x, y)), px + py - px * py, tol())
+      << b->name();
+}
+
+TEST_P(BackendConformance, MinimumMaximumOnCorrelatedPair) {
+  const auto b = make();
+  const auto x = b->encodePixels(std::vector<std::uint8_t>{204});
+  const auto y = b->encodePixelsCorrelated(std::vector<std::uint8_t>{51});
+  EXPECT_NEAR(decoded(*b, b->minimum(x[0], y[0])), 51.0 / 255.0, tol())
+      << b->name();
+  EXPECT_NEAR(decoded(*b, b->maximum(x[0], y[0])), 204.0 / 255.0, tol())
+      << b->name();
+}
+
+TEST_P(BackendConformance, BernsteinSelectTracksPolynomial) {
+  const auto b = make();
+  // f(t) = t^2 as its degree-3 Bernstein form: b_k = (k/3)^2.
+  const std::vector<double> coeffValues{0.0, 1.0 / 9.0, 4.0 / 9.0, 1.0};
+  const auto xCopies = b->encodeCopies(128, 3);
+  ASSERT_EQ(xCopies.size(), 3u);
+  std::vector<ScValue> coeffs;
+  for (const double bk : coeffValues) coeffs.push_back(b->encodeProb(bk));
+  const double out = decoded(*b, b->bernsteinSelect(xCopies, coeffs));
+  // The DEGREE-3 Bernstein form of t^2 (not t^2 itself):
+  // B_3(t^2)(x) = x^2 + x(1-x)/3.
+  const double x = 128.0 / 255.0;
+  const double expected = sc::bernsteinValue(coeffValues, x);
+  EXPECT_NEAR(expected, x * x + x * (1.0 - x) / 3.0, 1e-12);
+  EXPECT_NEAR(out, expected, tol() + 0.02) << b->name();
+  // Mismatched coefficient count is a contract violation everywhere.
+  std::vector<ScValue> tooFew;
+  tooFew.push_back(b->encodeProb(0.5));
+  EXPECT_THROW(b->bernsteinSelect(xCopies, tooFew), std::invalid_argument)
+      << b->name();
+}
+
+TEST_P(BackendConformance, EncodeCopiesAreMutuallyIndependent) {
+  const auto b = make();
+  // Two copies of the same value multiply like independent streams (p^2).
+  const auto copies = b->encodeCopies(128, 2);
+  ASSERT_EQ(copies.size(), 2u);
+  const double prod = decoded(*b, b->multiply(copies[0], copies[1]));
+  EXPECT_LT(prod, 0.35) << b->name();  // correlated AND would give ~0.5
 }
 
 TEST_P(BackendConformance, FreshEpochsAreIndependent) {
@@ -342,7 +398,8 @@ TEST(BackendEquivalence, BinaryCimCompositingBitIdenticalToSeedLoop) {
   }
 
   bincim::MagicEngine newEngine;
-  const img::Image out = apps::compositeBinaryCim(scene, newEngine);
+  BinaryCimBackend backend(newEngine);
+  const img::Image out = apps::compositeKernel(scene, backend);
   EXPECT_EQ(out.pixels(), seed.pixels());
   EXPECT_EQ(newEngine.gateOps(), seedEngine.gateOps());
 }
@@ -368,7 +425,8 @@ TEST(BackendEquivalence, RunAppReramScThreadCountInvariant) {
   apps::ParallelConfig par4{4, 4, 2};
   for (const apps::AppKind app :
        {apps::AppKind::Compositing, apps::AppKind::Bilinear,
-        apps::AppKind::Matting, apps::AppKind::Filters}) {
+        apps::AppKind::Matting, apps::AppKind::Filters, apps::AppKind::Gamma,
+        apps::AppKind::Morphology}) {
     const apps::Quality a = apps::runApp(app, DesignKind::ReramSc, cfg, par0);
     const apps::Quality b = apps::runApp(app, DesignKind::ReramSc, cfg, par4);
     EXPECT_EQ(a.psnrDb, b.psnrDb) << apps::appName(app);
@@ -383,7 +441,8 @@ TEST(BackendEquivalence, AllAppsRunOnAllDesigns) {
   cfg.streamLength = 64;
   for (const apps::AppKind app :
        {apps::AppKind::Compositing, apps::AppKind::Bilinear,
-        apps::AppKind::Matting, apps::AppKind::Filters}) {
+        apps::AppKind::Matting, apps::AppKind::Filters, apps::AppKind::Gamma,
+        apps::AppKind::Morphology}) {
     for (const DesignKind d :
          {DesignKind::Reference, DesignKind::SwScLfsr, DesignKind::SwScSobol,
           DesignKind::SwScSimd, DesignKind::ReramSc, DesignKind::BinaryCim}) {
@@ -392,6 +451,43 @@ TEST(BackendEquivalence, AllAppsRunOnAllDesigns) {
                                << designKindName(d);
     }
   }
+}
+
+TEST(BackendEquivalence, GammaKernelBitIdenticalToSeedReramPath) {
+  // Verbatim copy of the pre-refactor ReRAM-only gammaReramSc loop: the
+  // backend-generic gammaKernel must reproduce it bit for bit (and so must
+  // the deprecated shim).
+  const img::Image src = img::naturalScene(10, 8, 21);
+  const double gamma = 2.2;
+  const int degree = 4;
+
+  AcceleratorConfig cfg;
+  cfg.streamLength = 256;
+  cfg.device = reram::DeviceParams::ideal();
+
+  Accelerator seedAcc(cfg);
+  const std::vector<double> b = sc::bernsteinCoefficientsOf(
+      [gamma](double t) { return std::pow(t, gamma); }, degree);
+  img::Image seed(src.width(), src.height());
+  for (std::size_t i = 0; i < seed.size(); ++i) {
+    std::vector<sc::Bitstream> xCopies;
+    for (int j = 0; j < degree; ++j) {
+      xCopies.push_back(seedAcc.encodePixel(src[i]));
+    }
+    std::vector<sc::Bitstream> coeffs;
+    for (const double bk : b) coeffs.push_back(seedAcc.encodeProb(bk));
+    seed[i] = seedAcc.decodePixel(seedAcc.ops().bernsteinSelect(xCopies, coeffs));
+  }
+
+  Accelerator kernelAcc(cfg);
+  ReramScBackend backend(kernelAcc);
+  const img::Image out = apps::gammaKernel(src, gamma, backend, degree);
+  EXPECT_EQ(out.pixels(), seed.pixels());
+  EXPECT_EQ(kernelAcc.events(), seedAcc.events());
+
+  Accelerator shimAcc(cfg);
+  EXPECT_EQ(apps::gammaReramSc(src, gamma, shimAcc, degree).pixels(),
+            seed.pixels());
 }
 
 TEST(BackendEquivalence, AcceleratorBatchedDecodeMatchesScalar) {

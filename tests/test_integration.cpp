@@ -88,7 +88,8 @@ TEST(Integration, StreamLengthQualitySweep) {
   double prev = -1.0;
   for (const std::size_t n : {32u, 128u, 512u}) {
     cfg.streamLength = n;
-    const apps::Quality q = apps::runReramSc(apps::AppKind::Compositing, cfg);
+    const apps::Quality q =
+        apps::runApp(apps::AppKind::Compositing, apps::DesignKind::ReramSc, cfg);
     EXPECT_GT(q.psnrDb, prev - 1.5) << "N=" << n;  // allow small noise
     prev = q.psnrDb;
   }
@@ -112,7 +113,8 @@ TEST(Integration, FaultyFlowStillConverges) {
   cfg.streamLength = 64;
   cfg.injectFaults = true;
   cfg.device = apps::defaultFaultyDevice();
-  const apps::Quality q = apps::runReramSc(apps::AppKind::Matting, cfg);
+  const apps::Quality q =
+      apps::runApp(apps::AppKind::Matting, apps::DesignKind::ReramSc, cfg);
   EXPECT_GT(q.ssimPct, 40.0);  // degraded but far from destroyed
 }
 

@@ -3,7 +3,9 @@
 
 #include "apps/compositing.hpp"
 #include "apps/runner.hpp"
+#include "core/backend_reram.hpp"
 #include "core/mat_group.hpp"
+#include "core/tile_executor.hpp"
 #include "img/metrics.hpp"
 
 namespace aimsc::core {
@@ -68,22 +70,31 @@ TEST(MatGroup, ParallelCompositingMatchesQualityClass) {
   single.streamLength = 256;
   single.device = reram::DeviceParams::ideal();
   Accelerator acc(single);
-  const double psnrSingle = img::psnrDb(apps::compositeReramSc(scene, acc), ref);
+  ReramScBackend serialBackend(acc);
+  const double psnrSingle =
+      img::psnrDb(apps::compositeKernel(scene, serialBackend), ref);
 
-  MatGroup group(idealGroup(4));
-  const img::Image par = apps::compositeReramScParallel(scene, group);
+  // Four-lane MatGroup fleet behind the tile engine, one row per tile:
+  // each lane composites exactly a quarter of the 20 rows.
+  TileExecutorConfig cfg;
+  cfg.lanes = 4;
+  cfg.threads = 0;
+  cfg.rowsPerTile = 1;
+  cfg.mat = single;
+  TileExecutor exec(cfg);
+  const img::Image par = apps::compositeKernelTiled(scene, exec);
   const double psnrPar = img::psnrDb(par, ref);
   EXPECT_NEAR(psnrPar, psnrSingle, 3.0);  // same accuracy class
 
-  // Work spread across lanes: every mat did roughly a quarter of the pixels.
-  for (std::size_t m = 0; m < group.size(); ++m) {
-    const auto& ev = group.mat(m).events();
+  // Work spread across lanes: every mat decoded a quarter of the pixels.
+  for (std::size_t m = 0; m < exec.lanes(); ++m) {
+    const auto& ev = exec.lane(m).events();
     EXPECT_NEAR(static_cast<double>(ev.adcConversions), 400.0 / 4.0, 1.0);
   }
   // And the wall clock beats a single-lane estimate by ~the lane count.
   const energy::CostModel model(256);
-  const double serial = model.cost(group.totalEvents()).totalLatencyNs();
-  EXPECT_LT(group.estimatedWallClockNs(), serial / 3.0);
+  const double serial = model.cost(exec.totalEvents()).totalLatencyNs();
+  EXPECT_LT(exec.estimatedWallClockNs(), serial / 3.0);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include "apps/compositing.hpp"
 #include "apps/filters.hpp"
 #include "apps/runner.hpp"
+#include "core/backend_reram.hpp"
 #include "core/thread_pool.hpp"
 #include "core/tile_executor.hpp"
 #include "img/metrics.hpp"
@@ -131,7 +132,7 @@ TEST(TileExecutor, CompositingBitIdenticalAt1And2And8Threads) {
   for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
                                     std::size_t{8}}) {
     TileExecutor exec(idealTileConfig(4, threads));
-    const img::Image out = apps::compositeReramScTiled(scene, exec);
+    const img::Image out = apps::compositeKernelTiled(scene, exec);
     const reram::EventCounts events = exec.totalEvents();
     if (first) {
       ref = out;
@@ -154,12 +155,13 @@ TEST(TileExecutor, TiledCompositingMatchesSerialQualityClass) {
   single.streamLength = 256;
   single.device = reram::DeviceParams::ideal();
   Accelerator acc(single);
+  ReramScBackend serialBackend(acc);
   const double psnrSerial =
-      img::psnrDb(apps::compositeReramSc(scene, acc), ref);
+      img::psnrDb(apps::compositeKernel(scene, serialBackend), ref);
 
   TileExecutor exec(idealTileConfig(4, 2));
   const double psnrTiled =
-      img::psnrDb(apps::compositeReramScTiled(scene, exec), ref);
+      img::psnrDb(apps::compositeKernelTiled(scene, exec), ref);
   EXPECT_NEAR(psnrTiled, psnrSerial, 3.0);
 }
 
@@ -173,8 +175,10 @@ TEST(TileExecutor, RunnerTiledAppsLandInQualityClass) {
   par.threads = 2;
   for (const auto app : {apps::AppKind::Compositing, apps::AppKind::Bilinear,
                          apps::AppKind::Matting}) {
-    const apps::Quality qSerial = apps::runReramSc(app, cfg);
-    const apps::Quality qTiled = apps::runReramScTiled(app, cfg, par);
+    const apps::Quality qSerial =
+        apps::runApp(app, apps::DesignKind::ReramSc, cfg);
+    const apps::Quality qTiled =
+        apps::runApp(app, apps::DesignKind::ReramSc, cfg, par);
     EXPECT_GT(qTiled.psnrDb, 0.0);
     EXPECT_NEAR(qTiled.psnrDb, qSerial.psnrDb, 6.0) << apps::appName(app);
   }
@@ -233,16 +237,17 @@ TEST(TileExecutor, TiledFiltersDeterministicAndInQualityClass) {
 
   for (const bool smooth : {true, false}) {
     Accelerator acc(single);
-    const img::Image serial = smooth ? apps::smoothReramSc(src, acc)
-                                     : apps::edgeReramSc(src, acc);
+    ReramScBackend serialBackend(acc);
+    const img::Image serial = smooth ? apps::smoothKernel(src, serialBackend)
+                                     : apps::edgeKernel(src, serialBackend);
     img::Image ref;
     reram::EventCounts refEvents;
     bool first = true;
     for (const std::size_t threads : {std::size_t{0}, std::size_t{2},
                                       std::size_t{8}}) {
       TileExecutor exec(idealTileConfig(4, threads));
-      const img::Image out = smooth ? apps::smoothReramScTiled(src, exec)
-                                    : apps::edgeReramScTiled(src, exec);
+      const img::Image out = smooth ? apps::smoothKernelTiled(src, exec)
+                                    : apps::edgeKernelTiled(src, exec);
       if (first) {
         ref = out;
         refEvents = exec.totalEvents();
@@ -307,7 +312,7 @@ TEST(TileExecutor, EncodeBatchFaultyFidelityFallsBackFaithfully) {
 TEST(TileExecutor, EventMergeEqualsLaneSum) {
   TileExecutor exec(idealTileConfig(3, 2));
   const apps::CompositingScene scene = apps::makeCompositingScene(12, 12, 9);
-  apps::compositeReramScTiled(scene, exec);
+  apps::compositeKernelTiled(scene, exec);
   reram::EventCounts sum;
   for (std::size_t i = 0; i < exec.lanes(); ++i) {
     sum += exec.lane(i).events();
