@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Benchmark regression comparator for the committed BENCH_*.json baselines.
+
+Usage:
+    compare_bench.py CURRENT.json BASELINE.json [--max-drop 0.15]
+                     [--min-speedup X]
+
+Policy (documented in docs/BENCHMARKS.md):
+
+* Boolean contract keys (bit-identity, zero-steady-state-growth, ...) must
+  be true in CURRENT whenever they are true in BASELINE — a contract that
+  held may never regress.
+* Ratio keys (any numeric key containing "speedup") are machine-normalized
+  throughput signals.  When CURRENT and BASELINE were produced at the same
+  image size they must not drop more than --max-drop (default 15%) below
+  the baseline; at different sizes (e.g. the 32x32 CI smoke vs the
+  committed 256x256 baseline) only the --min-speedup floor applies
+  (default 1.0: the fused path must never be slower than the allocating
+  path, SIMD never slower than scalar).
+* Absolute pixels/s values are NOT compared: they measure the host, not
+  the code.
+
+Exit status 0 = pass, 1 = regression, 2 = usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def flatten(obj, prefix=""):
+    """Flattens nested dicts to dotted keys; lists are skipped (the tiled
+    sweep is host-dependent)."""
+    out = {}
+    for key, value in obj.items():
+        dotted = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.update(flatten(value, dotted + "."))
+        elif isinstance(value, (bool, int, float)):
+            out[dotted] = value
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--max-drop", type=float, default=0.15,
+                        help="max fractional ratio drop at matching size")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="ratio floor when sizes differ")
+    args = parser.parse_args()
+
+    try:
+        with open(args.current) as f:
+            current = flatten(json.load(f))
+        with open(args.baseline) as f:
+            baseline = flatten(json.load(f))
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"compare_bench: cannot load inputs: {e}", file=sys.stderr)
+        return 2
+
+    same_size = all(
+        key in current and key in baseline and current[key] == baseline[key]
+        for key in ("width", "height")
+    )
+
+    failures = []
+    checked = 0
+    # Boolean keys describing the HOST (capabilities, not contracts) are
+    # never compared — e.g. "swsc.avx2" legitimately differs per machine.
+    host_keys = {"swsc.avx2"}
+    for key, base in sorted(baseline.items()):
+        if key in host_keys:
+            continue
+        if isinstance(base, bool):
+            if base and current.get(key) is not True:
+                failures.append(
+                    f"boolean contract '{key}' regressed: baseline true, "
+                    f"current {current.get(key)!r}")
+            checked += 1
+            continue
+        if "speedup" not in key:
+            continue  # absolute throughput: host-dependent, skip
+        cur = current.get(key)
+        if cur is None:
+            failures.append(f"ratio key '{key}' missing from current run")
+            continue
+        checked += 1
+        if same_size:
+            floor = base * (1.0 - args.max_drop)
+            if cur < floor:
+                failures.append(
+                    f"'{key}' dropped >{args.max_drop:.0%}: "
+                    f"{cur:.2f} < {floor:.2f} (baseline {base:.2f})")
+        elif cur < args.min_speedup:
+            failures.append(
+                f"'{key}' below floor at mismatched size: "
+                f"{cur:.2f} < {args.min_speedup:.2f}")
+
+    mode = "matching-size" if same_size else "mismatched-size (floor-only)"
+    print(f"compare_bench: {checked} keys checked ({mode})")
+    if failures:
+        for f_ in failures:
+            print(f"  FAIL: {f_}", file=sys.stderr)
+        return 1
+    print("compare_bench: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 #include "apps/bilinear.hpp"
 
 #include <cmath>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -23,17 +24,22 @@ SampleCoord mapCoord(std::size_t outIndex, std::size_t outSize,
 }
 
 void upscaleKernelRows(const img::Image& src, std::size_t factor,
-                       core::ScBackend& b, img::Image& out,
-                       std::size_t rowBegin, std::size_t rowEnd) {
+                       core::ScBackend& b, core::StreamArena& arena,
+                       img::Image& out, std::size_t rowBegin,
+                       std::size_t rowEnd) {
   if (factor < 1) throw std::invalid_argument("upscale: bad factor");
   const std::size_t W = out.width();
   const std::size_t H = out.height();
   // Batch layout: the four neighbour planes stacked [i11 | i12 | i21 | i22]
   // so the whole family shares one epoch (each MAJ stage needs its data
   // inputs correlated); dx selects take a second epoch, dy a third.
-  std::vector<std::uint8_t> data(4 * W);
-  std::vector<std::uint8_t> dxRow(W);
-  std::vector<core::ScValue> blended(W);
+  auto& data = arena.bytes(4 * W);
+  auto& dxRow = arena.bytes(W);
+  auto& decoded = arena.bytes(W);
+  auto& ds = arena.batch(4 * W);
+  auto& sxs = arena.batch(W);
+  auto& blended = arena.batch(W);
+  core::ScValue& sy = arena.value();
   for (std::size_t Y = rowBegin; Y < rowEnd; ++Y) {
     const SampleCoord cy = mapCoord(Y, H, src.height());
     for (std::size_t X = 0; X < W; ++X) {
@@ -44,16 +50,26 @@ void upscaleKernelRows(const img::Image& src, std::size_t factor,
       data[3 * W + X] = src.at(cx.i1, cy.i1);
       dxRow[X] = cx.frac;
     }
-    const auto ds = b.encodePixels(data);
-    const auto sxs = b.encodePixels(dxRow);
-    const core::ScValue sy = b.encodePixel(cy.frac);
+    b.encodePixelsInto(data, ds);
+    b.encodePixelsInto(dxRow, sxs);
+    // Row-constant dy select: a fresh single-element epoch, exactly like
+    // the allocating kernel's encodePixel.
+    b.encodePixelsInto(std::span<const std::uint8_t>(&cy.frac, 1),
+                       std::span<core::ScValue>(&sy, 1));
     for (std::size_t X = 0; X < W; ++X) {
-      blended[X] = b.majMux4(ds[X], ds[W + X], ds[2 * W + X], ds[3 * W + X],
-                             sxs[X], sy);
+      b.majMux4Into(blended[X], ds[X], ds[W + X], ds[2 * W + X],
+                    ds[3 * W + X], sxs[X], sy);
     }
-    const auto row = b.decodePixels(blended);
-    for (std::size_t X = 0; X < W; ++X) out.at(X, Y) = row[X];
+    b.decodePixelsInto(blended, decoded);
+    for (std::size_t X = 0; X < W; ++X) out.at(X, Y) = decoded[X];
   }
+}
+
+void upscaleKernelRows(const img::Image& src, std::size_t factor,
+                       core::ScBackend& b, img::Image& out,
+                       std::size_t rowBegin, std::size_t rowEnd) {
+  core::StreamArena arena;
+  upscaleKernelRows(src, factor, b, arena, out, rowBegin, rowEnd);
 }
 
 img::Image upscaleKernel(const img::Image& src, std::size_t factor,
@@ -68,10 +84,11 @@ img::Image upscaleKernelTiled(const img::Image& src, std::size_t factor,
                               core::TileExecutor& exec) {
   if (factor < 1) throw std::invalid_argument("upscale: bad factor");
   img::Image out(src.width() * factor, src.height() * factor);
-  exec.forEachTile(out.height(), [&](core::ScBackend& lane, std::size_t r0,
-                                     std::size_t r1) {
-    upscaleKernelRows(src, factor, lane, out, r0, r1);
-  });
+  exec.forEachTile(
+      out.height(), [&](core::ScBackend& lane, core::StreamArena& arena,
+                        std::size_t r0, std::size_t r1) {
+        upscaleKernelRows(src, factor, lane, arena, out, r0, r1);
+      });
   return out;
 }
 

@@ -36,6 +36,15 @@ SampleCoord mapCoord(std::size_t outIndex, std::size_t outSize,
 /// correlated source streams (each MAJ stage needs its data inputs
 /// correlated), one epoch the dx selects and one the row-constant dy
 /// select; decode is batched per row.
+///
+/// FUSED: walks a fixed arena slot set through the *Into ops —
+/// bit-identical to the allocating call sequence, allocation-free when warm.
+void upscaleKernelRows(const img::Image& src, std::size_t factor,
+                       core::ScBackend& b, core::StreamArena& arena,
+                       img::Image& out, std::size_t rowBegin,
+                       std::size_t rowEnd);
+
+/// Convenience overload with a call-local arena.
 void upscaleKernelRows(const img::Image& src, std::size_t factor,
                        core::ScBackend& b, img::Image& out,
                        std::size_t rowBegin, std::size_t rowEnd);

@@ -21,13 +21,18 @@ CompositingScene makeCompositingScene(std::size_t w, std::size_t h,
 }
 
 void compositeKernelRows(const CompositingScene& scene, core::ScBackend& b,
-                         img::Image& out, std::size_t rowBegin,
-                         std::size_t rowEnd) {
+                         core::StreamArena& arena, img::Image& out,
+                         std::size_t rowBegin, std::size_t rowEnd) {
   const std::size_t w = scene.background.width();
-  std::vector<std::uint8_t> frow(w);
-  std::vector<std::uint8_t> brow(w);
-  std::vector<std::uint8_t> arow(w);
-  std::vector<core::ScValue> blended(w);
+  // Fixed arena slot set, acquired once per call and walked per row.
+  auto& frow = arena.bytes(w);
+  auto& brow = arena.bytes(w);
+  auto& arow = arena.bytes(w);
+  auto& decoded = arena.bytes(w);
+  auto& fs = arena.batch(w);
+  auto& bs = arena.batch(w);
+  auto& as = arena.batch(w);
+  auto& blended = arena.batch(w);
   for (std::size_t y = rowBegin; y < rowEnd; ++y) {
     for (std::size_t x = 0; x < w; ++x) {
       frow[x] = scene.foreground.at(x, y);
@@ -41,15 +46,22 @@ void compositeKernelRows(const CompositingScene& scene, core::ScBackend& b,
     // alpha-mirrored blend otherwise) — what makes the MUX->MAJ
     // substitution viable.  Alpha gets its own fresh epoch (the select
     // must be independent).
-    const auto fs = b.encodePixels(frow);
-    const auto bs = b.encodePixelsCorrelated(brow);
-    const auto as = b.encodePixels(arow);
+    b.encodePixelsInto(frow, fs);
+    b.encodePixelsCorrelatedInto(brow, bs);
+    b.encodePixelsInto(arow, as);
     for (std::size_t x = 0; x < w; ++x) {
-      blended[x] = b.majMux(fs[x], bs[x], as[x]);
+      b.majMuxInto(blended[x], fs[x], bs[x], as[x]);
     }
-    const auto row = b.decodePixels(blended);
-    for (std::size_t x = 0; x < w; ++x) out.at(x, y) = row[x];
+    b.decodePixelsInto(blended, decoded);
+    for (std::size_t x = 0; x < w; ++x) out.at(x, y) = decoded[x];
   }
+}
+
+void compositeKernelRows(const CompositingScene& scene, core::ScBackend& b,
+                         img::Image& out, std::size_t rowBegin,
+                         std::size_t rowEnd) {
+  core::StreamArena arena;
+  compositeKernelRows(scene, b, arena, out, rowBegin, rowEnd);
 }
 
 img::Image compositeKernel(const CompositingScene& scene, core::ScBackend& b) {
@@ -61,10 +73,11 @@ img::Image compositeKernel(const CompositingScene& scene, core::ScBackend& b) {
 img::Image compositeKernelTiled(const CompositingScene& scene,
                                 core::TileExecutor& exec) {
   img::Image out(scene.background.width(), scene.background.height());
-  exec.forEachTile(out.height(), [&](core::ScBackend& lane, std::size_t r0,
-                                     std::size_t r1) {
-    compositeKernelRows(scene, lane, out, r0, r1);
-  });
+  exec.forEachTile(
+      out.height(), [&](core::ScBackend& lane, core::StreamArena& arena,
+                        std::size_t r0, std::size_t r1) {
+        compositeKernelRows(scene, lane, arena, out, r0, r1);
+      });
   return out;
 }
 

@@ -36,6 +36,15 @@ CompositingScene makeCompositingScene(std::size_t w, std::size_t h,
 /// one randomness epoch carries the correlated F/B pair (MAJ ~ MUX needs
 /// them correlated, Sec. III-A) and one fresh epoch the alpha selects;
 /// decode is batched per row.
+///
+/// FUSED: the row loop walks a fixed set of \p arena slots through the
+/// backend's destination-passing *Into ops — bit-identical to the
+/// allocating call sequence, zero heap traffic once the arena is warm.
+void compositeKernelRows(const CompositingScene& scene, core::ScBackend& b,
+                         core::StreamArena& arena, img::Image& out,
+                         std::size_t rowBegin, std::size_t rowEnd);
+
+/// Convenience overload with a call-local arena (warm within the call).
 void compositeKernelRows(const CompositingScene& scene, core::ScBackend& b,
                          img::Image& out, std::size_t rowBegin,
                          std::size_t rowEnd);

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "core/backend_reference.hpp"
-#include "core/backend_reram.hpp"
 #include "sc/bernstein.hpp"
 
 namespace aimsc::apps {
@@ -20,12 +20,18 @@ constexpr int kNeighbour[8][2] = {{-1, -1}, {1, 1}, {-1, 1}, {1, -1},
 }  // namespace
 
 void smoothKernelRows(const img::Image& src, core::ScBackend& b,
-                      img::Image& out, std::size_t rowBegin,
-                      std::size_t rowEnd) {
+                      core::StreamArena& arena, img::Image& out,
+                      std::size_t rowBegin, std::size_t rowEnd) {
   if (src.width() < 3 || src.height() < 3) return;
   const std::size_t iw = src.width() - 2;  // interior columns [1, w-1)
-  std::vector<std::uint8_t> data(8 * iw);
-  std::vector<core::ScValue> means(iw);
+  auto& data = arena.bytes(8 * iw);
+  auto& decoded = arena.bytes(iw);
+  auto& ns = arena.batch(8 * iw);
+  auto& means = arena.batch(iw);
+  auto& half = arena.batch(7);
+  auto& l1 = arena.batch(4);
+  core::ScValue& l2a = arena.value();
+  core::ScValue& l2b = arena.value();
   const std::size_t yBegin = std::max<std::size_t>(rowBegin, 1);
   const std::size_t yEnd = std::min(rowEnd, src.height() - 1);
   for (std::size_t y = yBegin; y < yEnd; ++y) {
@@ -39,25 +45,30 @@ void smoothKernelRows(const img::Image& src, core::ScBackend& b,
     // One epoch for the 8-neighbour family (scaled addition tolerates any
     // input correlation); seven independent select epochs, each shared by
     // the whole row.
-    const auto ns = b.encodePixels(data);
-    core::ScValue half[7];
-    for (auto& h : half) h = b.halfStream();
+    b.encodePixelsInto(data, ns);
+    for (auto& h : half) b.halfStreamInto(h);
     for (std::size_t x = 1; x + 1 < src.width(); ++x) {
       const std::size_t c = x - 1;
-      core::ScValue l1[4];
       for (std::size_t i = 0; i < 4; ++i) {
-        l1[i] = b.scaledAdd(ns[2 * i * iw + c], ns[(2 * i + 1) * iw + c],
-                            half[i]);
+        b.scaledAddInto(l1[i], ns[2 * i * iw + c], ns[(2 * i + 1) * iw + c],
+                        half[i]);
       }
-      const core::ScValue l2a = b.scaledAdd(l1[0], l1[1], half[4]);
-      const core::ScValue l2b = b.scaledAdd(l1[2], l1[3], half[5]);
-      means[c] = b.scaledAdd(l2a, l2b, half[6]);
+      b.scaledAddInto(l2a, l1[0], l1[1], half[4]);
+      b.scaledAddInto(l2b, l1[2], l1[3], half[5]);
+      b.scaledAddInto(means[c], l2a, l2b, half[6]);
     }
-    const auto row = b.decodePixels(means);
+    b.decodePixelsInto(means, decoded);
     for (std::size_t x = 1; x + 1 < src.width(); ++x) {
-      out.at(x, y) = row[x - 1];
+      out.at(x, y) = decoded[x - 1];
     }
   }
+}
+
+void smoothKernelRows(const img::Image& src, core::ScBackend& b,
+                      img::Image& out, std::size_t rowBegin,
+                      std::size_t rowEnd) {
+  core::StreamArena arena;
+  smoothKernelRows(src, b, arena, out, rowBegin, rowEnd);
 }
 
 img::Image smoothKernel(const img::Image& src, core::ScBackend& b) {
@@ -69,19 +80,26 @@ img::Image smoothKernel(const img::Image& src, core::ScBackend& b) {
 img::Image smoothKernelTiled(const img::Image& src, core::TileExecutor& exec) {
   img::Image out = src;
   if (src.width() < 3 || src.height() < 3) return out;
-  exec.forEachTile(src.height(), [&](core::ScBackend& lane, std::size_t r0,
-                                     std::size_t r1) {
-    smoothKernelRows(src, lane, out, r0, r1);
-  });
+  exec.forEachTile(
+      src.height(), [&](core::ScBackend& lane, core::StreamArena& arena,
+                        std::size_t r0, std::size_t r1) {
+        smoothKernelRows(src, lane, arena, out, r0, r1);
+      });
   return out;
 }
 
-void edgeKernelRows(const img::Image& src, core::ScBackend& b, img::Image& out,
+void edgeKernelRows(const img::Image& src, core::ScBackend& b,
+                    core::StreamArena& arena, img::Image& out,
                     std::size_t rowBegin, std::size_t rowEnd) {
   if (src.width() < 2 || src.height() < 2) return;
   const std::size_t iw = src.width() - 1;  // windows start at x in [0, w-1)
-  std::vector<std::uint8_t> data(4 * iw);
-  std::vector<core::ScValue> mags(iw);
+  auto& data = arena.bytes(4 * iw);
+  auto& decoded = arena.bytes(iw);
+  auto& ws = arena.batch(4 * iw);
+  auto& mags = arena.batch(iw);
+  core::ScValue& half = arena.value();
+  core::ScValue& g1 = arena.value();
+  core::ScValue& g2 = arena.value();
   const std::size_t yEnd = std::min(rowEnd, src.height() - 1);
   for (std::size_t y = rowBegin; y < yEnd; ++y) {
     for (std::size_t x = 0; x + 1 < src.width(); ++x) {
@@ -92,16 +110,22 @@ void edgeKernelRows(const img::Image& src, core::ScBackend& b, img::Image& out,
     }
     // One correlated family per row (XOR measures |.| exactly on
     // monotone streams) + one independent select epoch.
-    const auto ws = b.encodePixels(data);
-    const core::ScValue half = b.halfStream();
+    b.encodePixelsInto(data, ws);
+    b.halfStreamInto(half);
     for (std::size_t x = 0; x + 1 < src.width(); ++x) {
-      const core::ScValue g1 = b.absSub(ws[x], ws[iw + x]);
-      const core::ScValue g2 = b.absSub(ws[2 * iw + x], ws[3 * iw + x]);
-      mags[x] = b.scaledAdd(g1, g2, half);
+      b.absSubInto(g1, ws[x], ws[iw + x]);
+      b.absSubInto(g2, ws[2 * iw + x], ws[3 * iw + x]);
+      b.scaledAddInto(mags[x], g1, g2, half);
     }
-    const auto row = b.decodePixels(mags);
-    for (std::size_t x = 0; x + 1 < src.width(); ++x) out.at(x, y) = row[x];
+    b.decodePixelsInto(mags, decoded);
+    for (std::size_t x = 0; x + 1 < src.width(); ++x) out.at(x, y) = decoded[x];
   }
+}
+
+void edgeKernelRows(const img::Image& src, core::ScBackend& b, img::Image& out,
+                    std::size_t rowBegin, std::size_t rowEnd) {
+  core::StreamArena arena;
+  edgeKernelRows(src, b, arena, out, rowBegin, rowEnd);
 }
 
 img::Image edgeKernel(const img::Image& src, core::ScBackend& b) {
@@ -113,32 +137,46 @@ img::Image edgeKernel(const img::Image& src, core::ScBackend& b) {
 img::Image edgeKernelTiled(const img::Image& src, core::TileExecutor& exec) {
   img::Image out(src.width(), src.height(), 0);
   if (src.width() < 2 || src.height() < 2) return out;
-  exec.forEachTile(src.height(), [&](core::ScBackend& lane, std::size_t r0,
-                                     std::size_t r1) {
-    edgeKernelRows(src, lane, out, r0, r1);
-  });
+  exec.forEachTile(
+      src.height(), [&](core::ScBackend& lane, core::StreamArena& arena,
+                        std::size_t r0, std::size_t r1) {
+        edgeKernelRows(src, lane, arena, out, r0, r1);
+      });
   return out;
 }
 
 void gammaKernelRows(const img::Image& src, double gamma, core::ScBackend& b,
-                     img::Image& out, std::size_t rowBegin, std::size_t rowEnd,
-                     int degree) {
+                     core::StreamArena& arena, img::Image& out,
+                     std::size_t rowBegin, std::size_t rowEnd, int degree) {
   const std::vector<double> coeffValues = sc::bernsteinCoefficientsOf(
       [gamma](double t) { return std::pow(t, gamma); }, degree);
   const std::size_t w = src.width();
+  auto& xCopies = arena.batch(static_cast<std::size_t>(degree));
+  auto& coeffs = arena.batch(coeffValues.size());
+  core::ScValue& selected = arena.value();
   const std::size_t yEnd = std::min(rowEnd, src.height());
   for (std::size_t y = rowBegin; y < yEnd; ++y) {
     for (std::size_t x = 0; x < w; ++x) {
       // degree independent pixel encodings (one fresh epoch each) select
       // among degree+1 independent coefficient streams.
-      const auto xCopies =
-          b.encodeCopies(src.at(x, y), static_cast<std::size_t>(degree));
-      std::vector<core::ScValue> coeffs;
-      coeffs.reserve(coeffValues.size());
-      for (const double bk : coeffValues) coeffs.push_back(b.encodeProb(bk));
-      out.at(x, y) = b.decodePixel(b.bernsteinSelect(xCopies, coeffs));
+      b.encodeCopiesInto(src.at(x, y), xCopies);
+      for (std::size_t k = 0; k < coeffValues.size(); ++k) {
+        b.encodeProbInto(coeffs[k], coeffValues[k]);
+      }
+      b.bernsteinSelectInto(selected, xCopies, coeffs);
+      std::uint8_t px = 0;
+      b.decodePixelsInto(std::span<core::ScValue>(&selected, 1),
+                         std::span<std::uint8_t>(&px, 1));
+      out.at(x, y) = px;
     }
   }
+}
+
+void gammaKernelRows(const img::Image& src, double gamma, core::ScBackend& b,
+                     img::Image& out, std::size_t rowBegin, std::size_t rowEnd,
+                     int degree) {
+  core::StreamArena arena;
+  gammaKernelRows(src, gamma, b, arena, out, rowBegin, rowEnd, degree);
 }
 
 img::Image gammaKernel(const img::Image& src, double gamma, core::ScBackend& b,
@@ -151,10 +189,11 @@ img::Image gammaKernel(const img::Image& src, double gamma, core::ScBackend& b,
 img::Image gammaKernelTiled(const img::Image& src, double gamma,
                             core::TileExecutor& exec, int degree) {
   img::Image out(src.width(), src.height());
-  exec.forEachTile(src.height(), [&](core::ScBackend& lane, std::size_t r0,
-                                     std::size_t r1) {
-    gammaKernelRows(src, gamma, lane, out, r0, r1, degree);
-  });
+  exec.forEachTile(
+      src.height(), [&](core::ScBackend& lane, core::StreamArena& arena,
+                        std::size_t r0, std::size_t r1) {
+        gammaKernelRows(src, gamma, lane, arena, out, r0, r1, degree);
+      });
   return out;
 }
 
@@ -174,12 +213,6 @@ img::Image gammaReference(const img::Image& src, double gamma) {
     out[i] = img::Image::fromProb(std::pow(src[i] / 255.0, gamma));
   }
   return out;
-}
-
-img::Image gammaReramSc(const img::Image& src, double gamma,
-                        core::Accelerator& acc, int degree) {
-  core::ReramScBackend b(acc);
-  return gammaKernel(src, gamma, b, degree);
 }
 
 }  // namespace aimsc::apps

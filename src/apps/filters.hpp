@@ -15,7 +15,6 @@
 ///    ReRAM-only path, now running on every substrate.
 #pragma once
 
-#include "core/accelerator.hpp"
 #include "core/backend.hpp"
 #include "core/tile_executor.hpp"
 #include "img/image.hpp"
@@ -28,6 +27,14 @@ namespace aimsc::apps {
 /// neighbour batches (scaled addition tolerates any input correlation);
 /// the seven MAJ selects are seven fresh epochs shared across the row.
 /// Rows are clamped to the interior; border pixels must be pre-filled.
+///
+/// FUSED: walks a fixed arena slot set through the *Into ops —
+/// bit-identical to the allocating call sequence, allocation-free when warm.
+void smoothKernelRows(const img::Image& src, core::ScBackend& b,
+                      core::StreamArena& arena, img::Image& out,
+                      std::size_t rowBegin, std::size_t rowEnd);
+
+/// Convenience overload with a call-local arena.
 void smoothKernelRows(const img::Image& src, core::ScBackend& b,
                       img::Image& out, std::size_t rowBegin,
                       std::size_t rowEnd);
@@ -40,7 +47,13 @@ img::Image smoothKernelTiled(const img::Image& src, core::TileExecutor& exec);
 
 /// Row-range Roberts-cross edge magnitude
 /// (|I(x,y)-I(x+1,y+1)| + |I(x+1,y)-I(x,y+1)|)/2: per row one epoch for the
-/// correlated 4-pixel window family plus one fresh select epoch.
+/// correlated 4-pixel window family plus one fresh select epoch.  FUSED
+/// (see smoothKernelRows).
+void edgeKernelRows(const img::Image& src, core::ScBackend& b,
+                    core::StreamArena& arena, img::Image& out,
+                    std::size_t rowBegin, std::size_t rowEnd);
+
+/// Convenience overload with a call-local arena.
 void edgeKernelRows(const img::Image& src, core::ScBackend& b, img::Image& out,
                     std::size_t rowBegin, std::size_t rowEnd);
 
@@ -54,6 +67,12 @@ img::Image edgeKernelTiled(const img::Image& src, core::TileExecutor& exec);
 /// (sc/bernstein.hpp): per pixel, `degree` independent encodings of the
 /// pixel (`encodeCopies`) select among degree+1 coefficient streams
 /// b_k = (k/n)^gamma through the backend's `bernsteinSelect` network.
+/// FUSED (see smoothKernelRows).
+void gammaKernelRows(const img::Image& src, double gamma, core::ScBackend& b,
+                     core::StreamArena& arena, img::Image& out,
+                     std::size_t rowBegin, std::size_t rowEnd, int degree = 4);
+
+/// Convenience overload with a call-local arena.
 void gammaKernelRows(const img::Image& src, double gamma, core::ScBackend& b,
                      img::Image& out, std::size_t rowBegin, std::size_t rowEnd,
                      int degree = 4);
@@ -77,12 +96,5 @@ img::Image edgeReference(const img::Image& src);
 
 /// Exact gamma correction v' = v^gamma.
 img::Image gammaReference(const img::Image& src, double gamma);
-
-// --- deprecated shim (one release) ----------------------------------------
-
-/// [[deprecated]] `gammaKernel` on a `ReramScBackend` over \p acc —
-/// bit-identical per seed to the pre-refactor ReRAM-only implementation.
-img::Image gammaReramSc(const img::Image& src, double gamma,
-                        core::Accelerator& acc, int degree = 4);
 
 }  // namespace aimsc::apps

@@ -17,13 +17,19 @@ MattingScene makeMattingScene(std::size_t w, std::size_t h, std::uint64_t seed) 
 }
 
 void mattingKernelRows(const MattingScene& scene, core::ScBackend& b,
-                       img::Image& out, std::size_t rowBegin,
-                       std::size_t rowEnd) {
+                       core::StreamArena& arena, img::Image& out,
+                       std::size_t rowBegin, std::size_t rowEnd) {
   const std::size_t w = scene.composite.width();
-  std::vector<std::uint8_t> irow(w);
-  std::vector<std::uint8_t> brow(w);
-  std::vector<std::uint8_t> frow(w);
-  std::vector<core::ScValue> quotients(w);
+  auto& irow = arena.bytes(w);
+  auto& brow = arena.bytes(w);
+  auto& frow = arena.bytes(w);
+  auto& decoded = arena.bytes(w);
+  auto& is = arena.batch(w);
+  auto& bs = arena.batch(w);
+  auto& fs = arena.batch(w);
+  auto& quotients = arena.batch(w);
+  core::ScValue& num = arena.value();
+  core::ScValue& den = arena.value();
   for (std::size_t y = rowBegin; y < rowEnd; ++y) {
     for (std::size_t x = 0; x < w; ++x) {
       irow[x] = scene.composite.at(x, y);
@@ -31,18 +37,25 @@ void mattingKernelRows(const MattingScene& scene, core::ScBackend& b,
       frow[x] = scene.foreground.at(x, y);
     }
     // One epoch, three correlated batches: the CORDIV precondition.
-    const auto is = b.encodePixels(irow);
-    const auto bs = b.encodePixelsCorrelated(brow);
-    const auto fs = b.encodePixelsCorrelated(frow);
+    b.encodePixelsInto(irow, is);
+    b.encodePixelsCorrelatedInto(brow, bs);
+    b.encodePixelsCorrelatedInto(frow, fs);
     for (std::size_t x = 0; x < w; ++x) {
-      const core::ScValue num = b.absSub(is[x], bs[x]);
-      const core::ScValue den = b.absSub(fs[x], bs[x]);
-      quotients[x] = b.divide(num, den);
+      b.absSubInto(num, is[x], bs[x]);
+      b.absSubInto(den, fs[x], bs[x]);
+      b.divideInto(quotients[x], num, den);
     }
     // CORDIV outputs exist as resistances; the ADC senses the column.
-    const auto row = b.decodePixelsStored(quotients);
-    for (std::size_t x = 0; x < w; ++x) out.at(x, y) = row[x];
+    b.decodePixelsStoredInto(quotients, decoded);
+    for (std::size_t x = 0; x < w; ++x) out.at(x, y) = decoded[x];
   }
+}
+
+void mattingKernelRows(const MattingScene& scene, core::ScBackend& b,
+                       img::Image& out, std::size_t rowBegin,
+                       std::size_t rowEnd) {
+  core::StreamArena arena;
+  mattingKernelRows(scene, b, arena, out, rowBegin, rowEnd);
 }
 
 img::Image mattingKernel(const MattingScene& scene, core::ScBackend& b) {
@@ -54,10 +67,11 @@ img::Image mattingKernel(const MattingScene& scene, core::ScBackend& b) {
 img::Image mattingKernelTiled(const MattingScene& scene,
                               core::TileExecutor& exec) {
   img::Image out(scene.composite.width(), scene.composite.height());
-  exec.forEachTile(out.height(), [&](core::ScBackend& lane, std::size_t r0,
-                                     std::size_t r1) {
-    mattingKernelRows(scene, lane, out, r0, r1);
-  });
+  exec.forEachTile(
+      out.height(), [&](core::ScBackend& lane, core::StreamArena& arena,
+                        std::size_t r0, std::size_t r1) {
+        mattingKernelRows(scene, lane, arena, out, r0, r1);
+      });
   return out;
 }
 

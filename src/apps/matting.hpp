@@ -36,6 +36,15 @@ MattingScene makeMattingScene(std::size_t w, std::size_t h, std::uint64_t seed);
 /// one epoch carries the correlated I/B/F triple (the CORDIV
 /// precondition); the quotient is decoded through the resistance-mode
 /// S-to-B path, batched per row.
+///
+/// FUSED: walks a fixed arena slot set through the *Into ops —
+/// bit-identical to the allocating call sequence, allocation-free when warm
+/// (the serial CORDIV recurrence itself writes into a warm slot too).
+void mattingKernelRows(const MattingScene& scene, core::ScBackend& b,
+                       core::StreamArena& arena, img::Image& out,
+                       std::size_t rowBegin, std::size_t rowEnd);
+
+/// Convenience overload with a call-local arena.
 void mattingKernelRows(const MattingScene& scene, core::ScBackend& b,
                        img::Image& out, std::size_t rowBegin,
                        std::size_t rowEnd);

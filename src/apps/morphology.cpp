@@ -15,15 +15,19 @@ constexpr int kWindow[9][2] = {{0, 0},  {-1, -1}, {0, -1}, {1, -1}, {-1, 0},
 /// correlated 9-plane window family (batch layout [plane0 | plane1 | ...]),
 /// folded by an 8-deep `minimum`/`maximum` chain.  On monotone correlated
 /// streams each AND/OR step yields exactly the running window min/max, so
-/// the chain is exact up to decode noise.
+/// the chain is exact up to decode noise.  The fold runs IN PLACE on the
+/// output slot (the *Into ops allow destination/operand aliasing), so a
+/// warm arena row is allocation-free.
 template <typename FoldOp>
 void morphKernelRows(const img::Image& src, core::ScBackend& b,
-                     img::Image& out, std::size_t rowBegin, std::size_t rowEnd,
-                     FoldOp&& fold) {
+                     core::StreamArena& arena, img::Image& out,
+                     std::size_t rowBegin, std::size_t rowEnd, FoldOp&& fold) {
   if (src.width() < 3 || src.height() < 3) return;
   const std::size_t iw = src.width() - 2;  // interior columns [1, w-1)
-  std::vector<std::uint8_t> data(9 * iw);
-  std::vector<core::ScValue> folded(iw);
+  auto& data = arena.bytes(9 * iw);
+  auto& decoded = arena.bytes(iw);
+  auto& ws = arena.batch(9 * iw);
+  auto& folded = arena.batch(iw);
   const std::size_t yBegin = std::max<std::size_t>(rowBegin, 1);
   const std::size_t yEnd = std::min(rowEnd, src.height() - 1);
   for (std::size_t y = yBegin; y < yEnd; ++y) {
@@ -34,22 +38,29 @@ void morphKernelRows(const img::Image& src, core::ScBackend& b,
                    y + static_cast<std::size_t>(kWindow[i][1]));
       }
     }
-    const auto ws = b.encodePixels(data);
+    b.encodePixelsInto(data, ws);
     for (std::size_t x = 1; x + 1 < src.width(); ++x) {
       const std::size_t c = x - 1;
-      core::ScValue acc = ws[c];
-      for (std::size_t i = 1; i < 9; ++i) acc = fold(b, acc, ws[i * iw + c]);
-      folded[c] = std::move(acc);
+      folded[c] = ws[c];
+      for (std::size_t i = 1; i < 9; ++i) {
+        fold(b, folded[c], folded[c], ws[i * iw + c]);
+      }
     }
-    const auto row = b.decodePixels(folded);
-    for (std::size_t x = 1; x + 1 < src.width(); ++x) out.at(x, y) = row[x - 1];
+    b.decodePixelsInto(folded, decoded);
+    for (std::size_t x = 1; x + 1 < src.width(); ++x) {
+      out.at(x, y) = decoded[x - 1];
+    }
   }
 }
 
-const auto kMinFold = [](core::ScBackend& b, const core::ScValue& a,
-                         const core::ScValue& v) { return b.minimum(a, v); };
-const auto kMaxFold = [](core::ScBackend& b, const core::ScValue& a,
-                         const core::ScValue& v) { return b.maximum(a, v); };
+const auto kMinFold = [](core::ScBackend& b, core::ScValue& dst,
+                         const core::ScValue& a, const core::ScValue& v) {
+  b.minimumInto(dst, a, v);
+};
+const auto kMaxFold = [](core::ScBackend& b, core::ScValue& dst,
+                         const core::ScValue& a, const core::ScValue& v) {
+  b.maximumInto(dst, a, v);
+};
 
 template <typename RowsFn>
 img::Image wholeImage(const img::Image& src, RowsFn&& rows) {
@@ -63,8 +74,11 @@ img::Image tiled(const img::Image& src, core::TileExecutor& exec,
                  RowsFn&& rows) {
   img::Image out = src;
   if (src.width() < 3 || src.height() < 3) return out;
-  exec.forEachTile(src.height(), [&](core::ScBackend& lane, std::size_t r0,
-                                     std::size_t r1) { rows(lane, out, r0, r1); });
+  exec.forEachTile(src.height(),
+                   [&](core::ScBackend& lane, core::StreamArena& arena,
+                       std::size_t r0, std::size_t r1) {
+                     rows(lane, arena, out, r0, r1);
+                   });
   return out;
 }
 
@@ -89,15 +103,29 @@ img::Image morphReference(const img::Image& src, Fold&& fold) {
 }  // namespace
 
 void erodeKernelRows(const img::Image& src, core::ScBackend& b,
+                     core::StreamArena& arena, img::Image& out,
+                     std::size_t rowBegin, std::size_t rowEnd) {
+  morphKernelRows(src, b, arena, out, rowBegin, rowEnd, kMinFold);
+}
+
+void erodeKernelRows(const img::Image& src, core::ScBackend& b,
                      img::Image& out, std::size_t rowBegin,
                      std::size_t rowEnd) {
-  morphKernelRows(src, b, out, rowBegin, rowEnd, kMinFold);
+  core::StreamArena arena;
+  erodeKernelRows(src, b, arena, out, rowBegin, rowEnd);
+}
+
+void dilateKernelRows(const img::Image& src, core::ScBackend& b,
+                      core::StreamArena& arena, img::Image& out,
+                      std::size_t rowBegin, std::size_t rowEnd) {
+  morphKernelRows(src, b, arena, out, rowBegin, rowEnd, kMaxFold);
 }
 
 void dilateKernelRows(const img::Image& src, core::ScBackend& b,
                       img::Image& out, std::size_t rowBegin,
                       std::size_t rowEnd) {
-  morphKernelRows(src, b, out, rowBegin, rowEnd, kMaxFold);
+  core::StreamArena arena;
+  dilateKernelRows(src, b, arena, out, rowBegin, rowEnd);
 }
 
 img::Image erodeKernel(const img::Image& src, core::ScBackend& b) {
@@ -122,14 +150,18 @@ img::Image closeKernel(const img::Image& src, core::ScBackend& b) {
 
 img::Image erodeKernelTiled(const img::Image& src, core::TileExecutor& exec) {
   return tiled(src, exec,
-               [&](core::ScBackend& lane, img::Image& out, std::size_t r0,
-                   std::size_t r1) { erodeKernelRows(src, lane, out, r0, r1); });
+               [&](core::ScBackend& lane, core::StreamArena& arena,
+                   img::Image& out, std::size_t r0, std::size_t r1) {
+                 erodeKernelRows(src, lane, arena, out, r0, r1);
+               });
 }
 
 img::Image dilateKernelTiled(const img::Image& src, core::TileExecutor& exec) {
   return tiled(src, exec,
-               [&](core::ScBackend& lane, img::Image& out, std::size_t r0,
-                   std::size_t r1) { dilateKernelRows(src, lane, out, r0, r1); });
+               [&](core::ScBackend& lane, core::StreamArena& arena,
+                   img::Image& out, std::size_t r0, std::size_t r1) {
+                 dilateKernelRows(src, lane, arena, out, r0, r1);
+               });
 }
 
 img::Image openKernelTiled(const img::Image& src, core::TileExecutor& exec) {
@@ -137,8 +169,9 @@ img::Image openKernelTiled(const img::Image& src, core::TileExecutor& exec) {
   img::Image out = eroded;
   if (src.width() < 3 || src.height() < 3) return out;
   exec.forEachTile(src.height(),
-                   [&](core::ScBackend& lane, std::size_t r0, std::size_t r1) {
-                     dilateKernelRows(eroded, lane, out, r0, r1);
+                   [&](core::ScBackend& lane, core::StreamArena& arena,
+                       std::size_t r0, std::size_t r1) {
+                     dilateKernelRows(eroded, lane, arena, out, r0, r1);
                    });
   return out;
 }
@@ -148,8 +181,9 @@ img::Image closeKernelTiled(const img::Image& src, core::TileExecutor& exec) {
   img::Image out = dilated;
   if (src.width() < 3 || src.height() < 3) return out;
   exec.forEachTile(src.height(),
-                   [&](core::ScBackend& lane, std::size_t r0, std::size_t r1) {
-                     erodeKernelRows(dilated, lane, out, r0, r1);
+                   [&](core::ScBackend& lane, core::StreamArena& arena,
+                       std::size_t r0, std::size_t r1) {
+                     erodeKernelRows(dilated, lane, arena, out, r0, r1);
                    });
   return out;
 }

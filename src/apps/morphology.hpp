@@ -27,11 +27,25 @@ namespace aimsc::apps {
 /// Row-range 3×3 erosion (window minimum): per row one epoch carries the
 /// correlated 9-neighbour family, folded by a `minimum` chain.  Rows clamp
 /// to the interior; border pixels must be pre-filled.
+///
+/// FUSED: the fold runs in place on a fixed arena slot set through the
+/// *Into ops (dst aliasing its first operand) — bit-identical to the
+/// allocating chain, allocation-free when warm.
+void erodeKernelRows(const img::Image& src, core::ScBackend& b,
+                     core::StreamArena& arena, img::Image& out,
+                     std::size_t rowBegin, std::size_t rowEnd);
+
+/// Convenience overload with a call-local arena.
 void erodeKernelRows(const img::Image& src, core::ScBackend& b,
                      img::Image& out, std::size_t rowBegin,
                      std::size_t rowEnd);
 
 /// Row-range 3×3 dilation (window maximum): the mirrored `maximum` chain.
+void dilateKernelRows(const img::Image& src, core::ScBackend& b,
+                      core::StreamArena& arena, img::Image& out,
+                      std::size_t rowBegin, std::size_t rowEnd);
+
+/// Convenience overload with a call-local arena.
 void dilateKernelRows(const img::Image& src, core::ScBackend& b,
                       img::Image& out, std::size_t rowBegin,
                       std::size_t rowEnd);

@@ -78,6 +78,18 @@ std::vector<sc::Bitstream> Accelerator::encodePixelsCorrelated(
   return imsng_->encodePixelBatch(values);
 }
 
+void Accelerator::encodePixelsInto(std::span<const std::uint8_t> values,
+                                   std::span<sc::Bitstream* const> outs) {
+  imsng_->refreshRandomness();
+  imsng_->encodePixelBatchInto(values, outs);
+}
+
+void Accelerator::encodePixelsCorrelatedInto(
+    std::span<const std::uint8_t> values,
+    std::span<sc::Bitstream* const> outs) {
+  imsng_->encodePixelBatchInto(values, outs);
+}
+
 sc::Bitstream Accelerator::halfStream() { return encodeProb(0.5); }
 
 void Accelerator::refreshRandomness() { imsng_->refreshRandomness(); }

@@ -77,6 +77,15 @@ class Accelerator {
   std::vector<sc::Bitstream> encodePixelsCorrelated(
       std::span<const std::uint8_t> values);
 
+  /// Destination-passing batch encodes: stream i lands in `*outs[i]`
+  /// (resized to N, buffer reused).  Bits, epoch semantics and event
+  /// accounting match the allocating forms; under Ideal sensing the steady
+  /// state performs no heap allocation — the tile engine's per-row path.
+  void encodePixelsInto(std::span<const std::uint8_t> values,
+                        std::span<sc::Bitstream* const> outs);
+  void encodePixelsCorrelatedInto(std::span<const std::uint8_t> values,
+                                  std::span<sc::Bitstream* const> outs);
+
   /// Independent P=0.5 select stream (for MAJ scaled addition).
   sc::Bitstream halfStream();
 

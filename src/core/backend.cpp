@@ -88,6 +88,128 @@ std::vector<std::uint8_t> ScBackend::decodePixelsStored(
   return decodePixels(values);
 }
 
+// --- destination-passing defaults: forward to the allocating forms ----------
+// These keep every substrate conformant (same bits, epochs, accounting);
+// hot substrates override them with genuinely in-place realisations.
+
+namespace {
+
+void checkSameSize(std::size_t values, std::size_t out, const char* who) {
+  if (values != out) {
+    throw std::invalid_argument(std::string(who) +
+                                ": destination size mismatch");
+  }
+}
+
+}  // namespace
+
+void ScBackend::encodePixelsInto(std::span<const std::uint8_t> values,
+                                 std::span<ScValue> out) {
+  checkSameSize(values.size(), out.size(), "ScBackend::encodePixelsInto");
+  auto encoded = encodePixels(values);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::move(encoded[i]);
+}
+
+void ScBackend::encodePixelsCorrelatedInto(std::span<const std::uint8_t> values,
+                                           std::span<ScValue> out) {
+  checkSameSize(values.size(), out.size(),
+                "ScBackend::encodePixelsCorrelatedInto");
+  auto encoded = encodePixelsCorrelated(values);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::move(encoded[i]);
+}
+
+void ScBackend::encodeProbInto(ScValue& dst, double p) { dst = encodeProb(p); }
+
+void ScBackend::halfStreamInto(ScValue& dst) { dst = halfStream(); }
+
+void ScBackend::encodeCopiesInto(std::uint8_t v, std::span<ScValue> out) {
+  // One fresh epoch per copy, exactly like encodeCopies: a single-element
+  // fresh-epoch batch per slot.
+  const std::array<std::uint8_t, 1> one{v};
+  for (ScValue& slot : out) {
+    encodePixelsInto(one, std::span<ScValue>(&slot, 1));
+  }
+}
+
+void ScBackend::multiplyInto(ScValue& dst, const ScValue& x, const ScValue& y) {
+  dst = multiply(x, y);
+}
+
+void ScBackend::scaledAddInto(ScValue& dst, const ScValue& x, const ScValue& y,
+                              const ScValue& half) {
+  dst = scaledAdd(x, y, half);
+}
+
+void ScBackend::addApproxInto(ScValue& dst, const ScValue& x,
+                              const ScValue& y) {
+  dst = addApprox(x, y);
+}
+
+void ScBackend::absSubInto(ScValue& dst, const ScValue& x, const ScValue& y) {
+  dst = absSub(x, y);
+}
+
+void ScBackend::minimumInto(ScValue& dst, const ScValue& x, const ScValue& y) {
+  dst = minimum(x, y);
+}
+
+void ScBackend::maximumInto(ScValue& dst, const ScValue& x, const ScValue& y) {
+  dst = maximum(x, y);
+}
+
+void ScBackend::majMuxInto(ScValue& dst, const ScValue& x, const ScValue& y,
+                           const ScValue& sel) {
+  dst = majMux(x, y, sel);
+}
+
+void ScBackend::majMux4Into(ScValue& dst, const ScValue& i11,
+                            const ScValue& i12, const ScValue& i21,
+                            const ScValue& i22, const ScValue& sx,
+                            const ScValue& sy) {
+  dst = majMux4(i11, i12, i21, i22, sx, sy);
+}
+
+void ScBackend::divideInto(ScValue& dst, const ScValue& num,
+                           const ScValue& den) {
+  dst = divide(num, den);
+}
+
+void ScBackend::bernsteinSelectInto(ScValue& dst,
+                                    std::span<const ScValue> xCopies,
+                                    std::span<const ScValue> coeffSelects) {
+  // Same contract enforcement as the allocating wrapper.
+  if (xCopies.empty() || coeffSelects.size() != xCopies.size() + 1) {
+    throw std::invalid_argument(
+        "ScBackend::bernsteinSelect: need n x-copies (n >= 1) and n+1 "
+        "coefficient selects");
+  }
+  doBernsteinSelectInto(dst, xCopies, coeffSelects);
+}
+
+void ScBackend::doBernsteinSelectInto(ScValue& dst,
+                                      std::span<const ScValue> xCopies,
+                                      std::span<const ScValue> coeffSelects) {
+  dst = doBernsteinSelect(xCopies, coeffSelects);
+}
+
+void ScBackend::decodePixelsInto(std::span<ScValue> values,
+                                 std::span<std::uint8_t> out) {
+  checkSameSize(values.size(), out.size(), "ScBackend::decodePixelsInto");
+  // The allocating form consumes the batch; arena destinations are reused
+  // by the caller afterwards, which is fine — their payload is dead either
+  // way until the next *Into write resizes it.
+  auto decoded = decodePixels(values);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = decoded[i];
+}
+
+void ScBackend::decodePixelsStoredInto(std::span<ScValue> values,
+                                       std::span<std::uint8_t> out) {
+  checkSameSize(values.size(), out.size(),
+                "ScBackend::decodePixelsStoredInto");
+  auto decoded = decodePixelsStored(values);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = decoded[i];
+}
+
 std::uint8_t ScBackend::decodePixel(ScValue v) {
   return decodePixels(std::span<ScValue>(&v, 1)).front();
 }

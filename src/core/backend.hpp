@@ -240,6 +240,71 @@ class ScBackend {
   /// Single-value convenience over decodePixelsStored (consumes \p v).
   std::uint8_t decodePixelStored(ScValue v);
 
+  // --- destination-passing forms (the allocation-free hot path) ------------
+  //
+  // Every *Into form produces EXACTLY the bits, randomness-epoch advance and
+  // cost/event accounting of its allocating counterpart — kernels may mix
+  // the two freely and the conformance suite compares them call for call.
+  // Destinations are resized in place (buffers reused), which is what makes
+  // a warm `StreamArena` row loop run without heap traffic.  Stage-2
+  // destinations MAY alias their operands (morphology folds in place);
+  // `divideInto` and `bernsteinSelectInto` are the exceptions — their
+  // serial recurrence / selection network reads inputs after output
+  // positions are written.  The default implementations fall back to the
+  // allocating forms, so every substrate is conformant by construction;
+  // performance-critical substrates override them natively.
+
+  /// In-place `encodePixels`: fresh epoch, stream i into `out[i]`.
+  /// Requires `out.size() == values.size()` (throws std::invalid_argument).
+  virtual void encodePixelsInto(std::span<const std::uint8_t> values,
+                                std::span<ScValue> out);
+  /// In-place `encodePixelsCorrelated` (current epoch).
+  virtual void encodePixelsCorrelatedInto(std::span<const std::uint8_t> values,
+                                          std::span<ScValue> out);
+  /// In-place `encodeProb` (constant-pool semantics preserved).
+  virtual void encodeProbInto(ScValue& dst, double p);
+  /// In-place `halfStream`.
+  virtual void halfStreamInto(ScValue& dst);
+  /// In-place `encodeCopies`: `out.size()` independent encodings of \p v,
+  /// one fresh epoch per copy (identical epoch walk to `encodeCopies`).
+  virtual void encodeCopiesInto(std::uint8_t v, std::span<ScValue> out);
+
+  /// dst = multiply(x, y).
+  virtual void multiplyInto(ScValue& dst, const ScValue& x, const ScValue& y);
+  /// dst = scaledAdd(x, y, half).
+  virtual void scaledAddInto(ScValue& dst, const ScValue& x, const ScValue& y,
+                             const ScValue& half);
+  /// dst = addApprox(x, y).
+  virtual void addApproxInto(ScValue& dst, const ScValue& x, const ScValue& y);
+  /// dst = absSub(x, y).
+  virtual void absSubInto(ScValue& dst, const ScValue& x, const ScValue& y);
+  /// dst = minimum(x, y).
+  virtual void minimumInto(ScValue& dst, const ScValue& x, const ScValue& y);
+  /// dst = maximum(x, y).
+  virtual void maximumInto(ScValue& dst, const ScValue& x, const ScValue& y);
+  /// dst = majMux(x, y, sel).
+  virtual void majMuxInto(ScValue& dst, const ScValue& x, const ScValue& y,
+                          const ScValue& sel);
+  /// dst = majMux4(i11, i12, i21, i22, sx, sy).
+  virtual void majMux4Into(ScValue& dst, const ScValue& i11, const ScValue& i12,
+                           const ScValue& i21, const ScValue& i22,
+                           const ScValue& sx, const ScValue& sy);
+  /// dst = divide(num, den); dst must not alias an operand.
+  virtual void divideInto(ScValue& dst, const ScValue& num, const ScValue& den);
+  /// dst = bernsteinSelect(xCopies, coeffSelects); same precondition
+  /// validation as the allocating wrapper; dst must not alias an operand.
+  void bernsteinSelectInto(ScValue& dst, std::span<const ScValue> xCopies,
+                           std::span<const ScValue> coeffSelects);
+
+  /// In-place batched decode.  Unlike `decodePixels` this BORROWS the
+  /// values (arena slots outlive the call and are reused next row); the
+  /// decoded bytes land in \p out (`out.size() == values.size()`).
+  virtual void decodePixelsInto(std::span<ScValue> values,
+                                std::span<std::uint8_t> out);
+  /// In-place resistance-mode decode (CORDIV outputs).
+  virtual void decodePixelsStoredInto(std::span<ScValue> values,
+                                      std::span<std::uint8_t> out);
+
   // --- accounting ----------------------------------------------------------
 
   /// ReRAM event ledger (zero for substrates without one).
@@ -256,6 +321,12 @@ class ScBackend {
   /// by the public wrapper, so implementations may index freely.
   virtual ScValue doBernsteinSelect(std::span<const ScValue> xCopies,
                                     std::span<const ScValue> coeffSelects) = 0;
+
+  /// Substrate realisation of `bernsteinSelectInto` (pre-validated inputs).
+  /// Default falls back to the allocating form.
+  virtual void doBernsteinSelectInto(ScValue& dst,
+                                     std::span<const ScValue> xCopies,
+                                     std::span<const ScValue> coeffSelects);
 };
 
 /// Knobs for the backend factory; a RunConfig-independent superset so the

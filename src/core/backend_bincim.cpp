@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 namespace aimsc::core {
@@ -149,6 +150,105 @@ std::vector<std::uint8_t> BinaryCimBackend::decodePixels(
         static_cast<std::uint8_t>(std::min<std::uint32_t>(v.word, 255)));
   }
   return out;
+}
+
+// --- destination-passing forms ----------------------------------------------
+
+void BinaryCimBackend::encodePixelsInto(std::span<const std::uint8_t> values,
+                                        std::span<ScValue> out) {
+  if (values.size() != out.size()) {
+    throw std::invalid_argument(
+        "BinaryCimBackend::encodePixelsInto: destination size mismatch");
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) out[i].word = values[i];
+}
+
+void BinaryCimBackend::encodePixelsCorrelatedInto(
+    std::span<const std::uint8_t> values, std::span<ScValue> out) {
+  encodePixelsInto(values, out);
+}
+
+void BinaryCimBackend::encodeProbInto(ScValue& dst, double p) {
+  dst.word = encodeProb(p).word;
+}
+
+void BinaryCimBackend::halfStreamInto(ScValue& dst) { dst.word = 128; }
+
+void BinaryCimBackend::multiplyInto(ScValue& dst, const ScValue& x,
+                                    const ScValue& y) {
+  dst.word = multiply(x, y).word;
+}
+
+void BinaryCimBackend::scaledAddInto(ScValue& dst, const ScValue& x,
+                                     const ScValue& y, const ScValue& half) {
+  dst.word = scaledAdd(x, y, half).word;
+}
+
+void BinaryCimBackend::addApproxInto(ScValue& dst, const ScValue& x,
+                                     const ScValue& y) {
+  dst.word = addApprox(x, y).word;
+}
+
+void BinaryCimBackend::absSubInto(ScValue& dst, const ScValue& x,
+                                  const ScValue& y) {
+  dst.word = absSub(x, y).word;
+}
+
+void BinaryCimBackend::minimumInto(ScValue& dst, const ScValue& x,
+                                   const ScValue& y) {
+  dst.word = minimum(x, y).word;
+}
+
+void BinaryCimBackend::maximumInto(ScValue& dst, const ScValue& x,
+                                   const ScValue& y) {
+  dst.word = maximum(x, y).word;
+}
+
+void BinaryCimBackend::majMuxInto(ScValue& dst, const ScValue& x,
+                                  const ScValue& y, const ScValue& sel) {
+  dst.word = majMux(x, y, sel).word;
+}
+
+void BinaryCimBackend::majMux4Into(ScValue& dst, const ScValue& i11,
+                                   const ScValue& i12, const ScValue& i21,
+                                   const ScValue& i22, const ScValue& sx,
+                                   const ScValue& sy) {
+  dst.word = majMux4(i11, i12, i21, i22, sx, sy).word;
+}
+
+void BinaryCimBackend::divideInto(ScValue& dst, const ScValue& num,
+                                  const ScValue& den) {
+  dst.word = divide(num, den).word;
+}
+
+void BinaryCimBackend::doBernsteinSelectInto(
+    ScValue& dst, std::span<const ScValue> xCopies,
+    std::span<const ScValue> coeffSelects) {
+  // Same de Casteljau lerp chain as doBernsteinSelect, staged through the
+  // reused coefficient scratch row.
+  const std::uint32_t t = xCopies.front().word;
+  bernScratch_.resize(coeffSelects.size());
+  for (std::size_t i = 0; i < coeffSelects.size(); ++i) {
+    bernScratch_[i] = coeffSelects[i].word;
+  }
+  for (std::size_t round = bernScratch_.size() - 1; round > 0; --round) {
+    for (std::size_t k = 0; k < round; ++k) {
+      bernScratch_[k] = lerp(bernScratch_[k], bernScratch_[k + 1], t);
+    }
+  }
+  dst.word = bernScratch_[0];
+}
+
+void BinaryCimBackend::decodePixelsInto(std::span<ScValue> values,
+                                        std::span<std::uint8_t> out) {
+  if (values.size() != out.size()) {
+    throw std::invalid_argument(
+        "BinaryCimBackend::decodePixelsInto: destination size mismatch");
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] =
+        static_cast<std::uint8_t>(std::min<std::uint32_t>(values[i].word, 255));
+  }
 }
 
 }  // namespace aimsc::core

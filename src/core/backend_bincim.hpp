@@ -61,6 +61,31 @@ class BinaryCimBackend final : public ScBackend {
 
   std::vector<std::uint8_t> decodePixels(std::span<ScValue> values) override;
 
+  // Destination-passing forms: integer words carry no buffers, so these are
+  // plain stores — the overrides only skip the defaults' vector round-trips
+  // (gate-cycle ledgers identical by construction).
+  void encodePixelsInto(std::span<const std::uint8_t> values,
+                        std::span<ScValue> out) override;
+  void encodePixelsCorrelatedInto(std::span<const std::uint8_t> values,
+                                  std::span<ScValue> out) override;
+  void encodeProbInto(ScValue& dst, double p) override;
+  void halfStreamInto(ScValue& dst) override;
+  void multiplyInto(ScValue& dst, const ScValue& x, const ScValue& y) override;
+  void scaledAddInto(ScValue& dst, const ScValue& x, const ScValue& y,
+                     const ScValue& half) override;
+  void addApproxInto(ScValue& dst, const ScValue& x, const ScValue& y) override;
+  void absSubInto(ScValue& dst, const ScValue& x, const ScValue& y) override;
+  void minimumInto(ScValue& dst, const ScValue& x, const ScValue& y) override;
+  void maximumInto(ScValue& dst, const ScValue& x, const ScValue& y) override;
+  void majMuxInto(ScValue& dst, const ScValue& x, const ScValue& y,
+                  const ScValue& sel) override;
+  void majMux4Into(ScValue& dst, const ScValue& i11, const ScValue& i12,
+                   const ScValue& i21, const ScValue& i22, const ScValue& sx,
+                   const ScValue& sy) override;
+  void divideInto(ScValue& dst, const ScValue& num, const ScValue& den) override;
+  void decodePixelsInto(std::span<ScValue> values,
+                        std::span<std::uint8_t> out) override;
+
   std::uint64_t opCount() const override { return engine_->gateOps(); }
 
   bincim::MagicEngine& engine() { return *engine_; }
@@ -68,6 +93,8 @@ class BinaryCimBackend final : public ScBackend {
  protected:
   ScValue doBernsteinSelect(std::span<const ScValue> xCopies,
                             std::span<const ScValue> coeffSelects) override;
+  void doBernsteinSelectInto(ScValue& dst, std::span<const ScValue> xCopies,
+                             std::span<const ScValue> coeffSelects) override;
 
  private:
   std::uint32_t lerp(std::uint32_t a, std::uint32_t b, std::uint32_t t);
@@ -76,6 +103,7 @@ class BinaryCimBackend final : public ScBackend {
   std::unique_ptr<bincim::MagicEngine> ownedEngine_;
   bincim::MagicEngine* engine_;
   bincim::AritPim pim_;
+  std::vector<std::uint32_t> bernScratch_;  ///< de Casteljau coefficient row
 };
 
 }  // namespace aimsc::core

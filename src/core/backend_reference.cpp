@@ -90,4 +90,92 @@ std::vector<std::uint8_t> ReferenceBackend::decodePixels(
   return out;
 }
 
+// --- destination-passing forms ----------------------------------------------
+
+void ReferenceBackend::encodePixelsInto(std::span<const std::uint8_t> values,
+                                        std::span<ScValue> out) {
+  if (values.size() != out.size()) {
+    throw std::invalid_argument(
+        "ReferenceBackend::encodePixelsInto: destination size mismatch");
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i].prob = static_cast<double>(values[i]) / 255.0;
+  }
+}
+
+void ReferenceBackend::encodePixelsCorrelatedInto(
+    std::span<const std::uint8_t> values, std::span<ScValue> out) {
+  encodePixelsInto(values, out);  // exact values carry no randomness
+}
+
+void ReferenceBackend::encodeProbInto(ScValue& dst, double p) { dst.prob = p; }
+
+void ReferenceBackend::halfStreamInto(ScValue& dst) { dst.prob = 0.5; }
+
+void ReferenceBackend::multiplyInto(ScValue& dst, const ScValue& x,
+                                    const ScValue& y) {
+  dst.prob = x.prob * y.prob;
+}
+
+void ReferenceBackend::scaledAddInto(ScValue& dst, const ScValue& x,
+                                     const ScValue& y,
+                                     const ScValue& /*half*/) {
+  dst.prob = (x.prob + y.prob) / 2.0;
+}
+
+void ReferenceBackend::addApproxInto(ScValue& dst, const ScValue& x,
+                                     const ScValue& y) {
+  dst.prob = x.prob + y.prob - x.prob * y.prob;
+}
+
+void ReferenceBackend::absSubInto(ScValue& dst, const ScValue& x,
+                                  const ScValue& y) {
+  dst.prob = std::abs(x.prob - y.prob);
+}
+
+void ReferenceBackend::minimumInto(ScValue& dst, const ScValue& x,
+                                   const ScValue& y) {
+  dst.prob = std::min(x.prob, y.prob);
+}
+
+void ReferenceBackend::maximumInto(ScValue& dst, const ScValue& x,
+                                   const ScValue& y) {
+  dst.prob = std::max(x.prob, y.prob);
+}
+
+void ReferenceBackend::majMuxInto(ScValue& dst, const ScValue& x,
+                                  const ScValue& y, const ScValue& sel) {
+  dst.prob = x.prob * sel.prob + y.prob * (1.0 - sel.prob);
+}
+
+void ReferenceBackend::majMux4Into(ScValue& dst, const ScValue& i11,
+                                   const ScValue& i12, const ScValue& i21,
+                                   const ScValue& i22, const ScValue& sx,
+                                   const ScValue& sy) {
+  const double dx = sx.prob;
+  const double dy = sy.prob;
+  dst.prob = (1 - dx) * (1 - dy) * i11.prob + (1 - dx) * dy * i12.prob +
+             dx * (1 - dy) * i21.prob + dx * dy * i22.prob;
+}
+
+void ReferenceBackend::divideInto(ScValue& dst, const ScValue& num,
+                                  const ScValue& den) {
+  if (den.prob * 255.0 < 1.0) {
+    dst.prob = 0.0;
+    return;
+  }
+  dst.prob = std::clamp(num.prob / den.prob, 0.0, 1.0);
+}
+
+void ReferenceBackend::decodePixelsInto(std::span<ScValue> values,
+                                        std::span<std::uint8_t> out) {
+  if (values.size() != out.size()) {
+    throw std::invalid_argument(
+        "ReferenceBackend::decodePixelsInto: destination size mismatch");
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = img::Image::fromProb(values[i].prob);
+  }
+}
+
 }  // namespace aimsc::core

@@ -35,6 +35,30 @@ class ReferenceBackend final : public ScBackend {
 
   std::vector<std::uint8_t> decodePixels(std::span<ScValue> values) override;
 
+  // Destination-passing forms: exact-probability math is allocation-free by
+  // nature; the overrides just skip the vector round-trips of the defaults.
+  void encodePixelsInto(std::span<const std::uint8_t> values,
+                        std::span<ScValue> out) override;
+  void encodePixelsCorrelatedInto(std::span<const std::uint8_t> values,
+                                  std::span<ScValue> out) override;
+  void encodeProbInto(ScValue& dst, double p) override;
+  void halfStreamInto(ScValue& dst) override;
+  void multiplyInto(ScValue& dst, const ScValue& x, const ScValue& y) override;
+  void scaledAddInto(ScValue& dst, const ScValue& x, const ScValue& y,
+                     const ScValue& half) override;
+  void addApproxInto(ScValue& dst, const ScValue& x, const ScValue& y) override;
+  void absSubInto(ScValue& dst, const ScValue& x, const ScValue& y) override;
+  void minimumInto(ScValue& dst, const ScValue& x, const ScValue& y) override;
+  void maximumInto(ScValue& dst, const ScValue& x, const ScValue& y) override;
+  void majMuxInto(ScValue& dst, const ScValue& x, const ScValue& y,
+                  const ScValue& sel) override;
+  void majMux4Into(ScValue& dst, const ScValue& i11, const ScValue& i12,
+                   const ScValue& i21, const ScValue& i22, const ScValue& sx,
+                   const ScValue& sy) override;
+  void divideInto(ScValue& dst, const ScValue& num, const ScValue& den) override;
+  void decodePixelsInto(std::span<ScValue> values,
+                        std::span<std::uint8_t> out) override;
+
  protected:
   ScValue doBernsteinSelect(std::span<const ScValue> xCopies,
                             std::span<const ScValue> coeffSelects) override;

@@ -54,6 +54,32 @@ class ReramScBackend final : public ScBackend {
   std::vector<std::uint8_t> decodePixelsStored(
       std::span<ScValue> values) override;
 
+  // Destination-passing forms: encode through the batched IMSNG Into path,
+  // stage-2 through the ScoutingLogic Into ops, decode through the
+  // per-stream ADC — bits and event ledgers identical to the allocating
+  // forms, zero steady-state heap traffic under Ideal sensing.
+  void encodePixelsInto(std::span<const std::uint8_t> values,
+                        std::span<ScValue> out) override;
+  void encodePixelsCorrelatedInto(std::span<const std::uint8_t> values,
+                                  std::span<ScValue> out) override;
+  void multiplyInto(ScValue& dst, const ScValue& x, const ScValue& y) override;
+  void scaledAddInto(ScValue& dst, const ScValue& x, const ScValue& y,
+                     const ScValue& half) override;
+  void addApproxInto(ScValue& dst, const ScValue& x, const ScValue& y) override;
+  void absSubInto(ScValue& dst, const ScValue& x, const ScValue& y) override;
+  void minimumInto(ScValue& dst, const ScValue& x, const ScValue& y) override;
+  void maximumInto(ScValue& dst, const ScValue& x, const ScValue& y) override;
+  void majMuxInto(ScValue& dst, const ScValue& x, const ScValue& y,
+                  const ScValue& sel) override;
+  void majMux4Into(ScValue& dst, const ScValue& i11, const ScValue& i12,
+                   const ScValue& i21, const ScValue& i22, const ScValue& sx,
+                   const ScValue& sy) override;
+  void divideInto(ScValue& dst, const ScValue& num, const ScValue& den) override;
+  void decodePixelsInto(std::span<ScValue> values,
+                        std::span<std::uint8_t> out) override;
+  void decodePixelsStoredInto(std::span<ScValue> values,
+                              std::span<std::uint8_t> out) override;
+
   reram::EventCounts events() const override { return acc_->events(); }
   void resetEvents() override { acc_->resetEvents(); }
 
@@ -62,10 +88,17 @@ class ReramScBackend final : public ScBackend {
  protected:
   ScValue doBernsteinSelect(std::span<const ScValue> xCopies,
                             std::span<const ScValue> coeffSelects) override;
+  void doBernsteinSelectInto(ScValue& dst, std::span<const ScValue> xCopies,
+                             std::span<const ScValue> coeffSelects) override;
 
  private:
   std::unique_ptr<Accelerator> owned_;
   Accelerator* acc_;
+  // Borrowed-pointer staging for the batched Into encode and the per-pixel
+  // Bernstein network (reused across rows; a backend is single-threaded).
+  std::vector<sc::Bitstream*> outPtrScratch_;
+  std::vector<const sc::Bitstream*> copyPtrScratch_;
+  std::vector<const sc::Bitstream*> coeffPtrScratch_;
 };
 
 }  // namespace aimsc::core

@@ -1,5 +1,8 @@
 #include "core/backend_swsc.hpp"
 
+#include <array>
+#include <stdexcept>
+
 #include "img/image.hpp"
 #include "sc/bernstein.hpp"
 #include "sc/cordiv.hpp"
@@ -7,6 +10,17 @@
 #include "sc/sng.hpp"
 
 namespace aimsc::core {
+
+std::uint32_t swScPixelThreshold(std::uint8_t v) {
+  static const auto kTable = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      t[i] = sc::quantizeProbability(static_cast<double>(i) / 255.0, 8);
+    }
+    return t;
+  }();
+  return kTable[v];
+}
 
 namespace {
 
@@ -48,19 +62,27 @@ std::unique_ptr<sc::RandomSource> swScConstantSource(const SwScConfig& config,
   return std::make_unique<sc::Sobol>(dim, skip);
 }
 
-sc::Bitstream SwScConstantPool::get(double p) {
+const sc::Bitstream& SwScConstantPool::next(double p) {
   const std::uint32_t x = sc::quantizeProbability(p, 8);
-  const std::size_t k = usedThisEpoch_[x]++;
-  auto& streams = pool_[x];
-  while (streams.size() <= k) {
-    const auto src = swScConstantSource(
-        config_, x, static_cast<std::uint32_t>(streams.size()));
-    streams.push_back(sc::generateSbs(*src, x, 8, config_.streamLength));
+  Bank& bank = pool_[x];
+  if (bank.stamp != epochStamp_) {
+    bank.stamp = epochStamp_;
+    bank.used = 0;
   }
-  return streams[k];
+  const std::size_t k = bank.used++;
+  while (bank.streams.size() <= k) {
+    const auto src = swScConstantSource(
+        config_, x, static_cast<std::uint32_t>(bank.streams.size()));
+    bank.streams.push_back(sc::generateSbs(*src, x, 8, config_.streamLength));
+  }
+  return bank.streams[k];
 }
 
-void SwScConstantPool::onNewEpoch() { usedThisEpoch_.clear(); }
+sc::Bitstream SwScConstantPool::get(double p) { return next(p); }
+
+void SwScConstantPool::getInto(sc::Bitstream& dst, double p) { dst = next(p); }
+
+void SwScConstantPool::onNewEpoch() { ++epochStamp_; }
 
 // ---------------------------------------------------------------------------
 // SwScGateBackend: the shared gate set, constants and accounting
@@ -151,11 +173,112 @@ std::vector<std::uint8_t> SwScGateBackend::decodePixels(
   return out;
 }
 
+// --- destination-passing forms ----------------------------------------------
+
+void SwScGateBackend::encodeProbInto(ScValue& dst, double p) {
+  constants_.getInto(dst.stream, p);
+}
+
+void SwScGateBackend::halfStreamInto(ScValue& dst) {
+  encodeProbInto(dst, 0.5);
+}
+
+void SwScGateBackend::multiplyInto(ScValue& dst, const ScValue& x,
+                                   const ScValue& y) {
+  ++opPasses_;
+  sc::scMultiplyInto(dst.stream, x.stream, y.stream);
+}
+
+void SwScGateBackend::scaledAddInto(ScValue& dst, const ScValue& x,
+                                    const ScValue& y, const ScValue& half) {
+  ++opPasses_;
+  sc::scScaledAddMuxInto(dst.stream, x.stream, y.stream, half.stream);
+}
+
+void SwScGateBackend::addApproxInto(ScValue& dst, const ScValue& x,
+                                    const ScValue& y) {
+  ++opPasses_;
+  sc::scAddOrInto(dst.stream, x.stream, y.stream);
+}
+
+void SwScGateBackend::absSubInto(ScValue& dst, const ScValue& x,
+                                 const ScValue& y) {
+  ++opPasses_;
+  sc::scAbsSubInto(dst.stream, x.stream, y.stream);
+}
+
+void SwScGateBackend::minimumInto(ScValue& dst, const ScValue& x,
+                                  const ScValue& y) {
+  ++opPasses_;
+  sc::scMinInto(dst.stream, x.stream, y.stream);
+}
+
+void SwScGateBackend::maximumInto(ScValue& dst, const ScValue& x,
+                                  const ScValue& y) {
+  ++opPasses_;
+  sc::scMaxInto(dst.stream, x.stream, y.stream);
+}
+
+void SwScGateBackend::majMuxInto(ScValue& dst, const ScValue& x,
+                                 const ScValue& y, const ScValue& sel) {
+  ++opPasses_;
+  sc::Bitstream::muxInto(dst.stream, x.stream, y.stream, sel.stream);
+}
+
+void SwScGateBackend::majMux4Into(ScValue& dst, const ScValue& i11,
+                                  const ScValue& i12, const ScValue& i21,
+                                  const ScValue& i22, const ScValue& sx,
+                                  const ScValue& sy) {
+  opPasses_ += 3;  // three serial MUX stages (the scMux4 tree, staged)
+  sc::Bitstream::muxInto(tmpTop_, i12.stream, i11.stream, sy.stream);
+  sc::Bitstream::muxInto(tmpBottom_, i22.stream, i21.stream, sy.stream);
+  sc::Bitstream::muxInto(dst.stream, tmpBottom_, tmpTop_, sx.stream);
+}
+
+void SwScGateBackend::divideInto(ScValue& dst, const ScValue& num,
+                                 const ScValue& den) {
+  ++opPasses_;
+  divideStreamsInto(dst.stream, num.stream, den.stream);
+}
+
+void SwScGateBackend::doBernsteinSelectInto(
+    ScValue& dst, std::span<const ScValue> xCopies,
+    std::span<const ScValue> coeffSelects) {
+  // Borrowed-pointer staging through member scratch: gamma calls the
+  // network once per pixel, so even the pointer vectors must not churn.
+  copyPtrScratch_.resize(xCopies.size());
+  for (std::size_t i = 0; i < xCopies.size(); ++i) {
+    copyPtrScratch_[i] = &xCopies[i].stream;
+  }
+  coeffPtrScratch_.resize(coeffSelects.size());
+  for (std::size_t i = 0; i < coeffSelects.size(); ++i) {
+    coeffPtrScratch_[i] = &coeffSelects[i].stream;
+  }
+  sc::scBernsteinSelectInto(
+      dst.stream, std::span<const sc::Bitstream* const>(copyPtrScratch_),
+      std::span<const sc::Bitstream* const>(coeffPtrScratch_));
+  opPasses_ += xCopies.size() + coeffSelects.size() - 1;
+}
+
+void SwScGateBackend::decodePixelsInto(std::span<ScValue> values,
+                                       std::span<std::uint8_t> out) {
+  if (values.size() != out.size()) {
+    throw std::invalid_argument(
+        "SwScGateBackend::decodePixelsInto: destination size mismatch");
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = img::Image::fromProb(values[i].stream.value());
+  }
+}
+
 // ---------------------------------------------------------------------------
 // SwScBackend: scalar stage-1 encode + serial CORDIV
 // ---------------------------------------------------------------------------
 
-SwScBackend::SwScBackend(const SwScConfig& config) : SwScGateBackend(config) {
+SwScBackend::SwScBackend(const SwScConfig& config)
+    : SwScGateBackend(config),
+      lfsrSource_(sc::Lfsr::paper8Bit(1)),
+      sobolSource_(0, 1) {
   newEpoch();
 }
 
@@ -167,11 +290,12 @@ const char* SwScBackend::name() const {
 void SwScBackend::newEpoch() {
   ++epoch_;
   if (config().sng == energy::CmosSng::Lfsr) {
-    epochSource_ = std::make_unique<sc::Lfsr>(
-        sc::Lfsr::paper8Bit(swScLfsrSeedForEpoch(config().seed, epoch_)));
+    lfsrSource_.reseed(swScLfsrSeedForEpoch(config().seed, epoch_));
+    epochSource_ = &lfsrSource_;
   } else {
     const SwScSobolEpoch p = swScSobolForEpoch(config().seed, epoch_);
-    epochSource_ = std::make_unique<sc::Sobol>(p.dimension, p.skip);
+    sobolSource_.reseat(p.dimension, p.skip);
+    epochSource_ = &sobolSource_;
   }
   SwScGateBackend::onNewEpoch();
 }
@@ -200,9 +324,56 @@ std::vector<ScValue> SwScBackend::encodePixelsCorrelated(
   return out;
 }
 
+void SwScBackend::refreshEpochCache() {
+  if (epochCacheStamp_ == epoch_) return;
+  // Every stream of an epoch replays the same restarted source, so the
+  // comparator draws R_0..R_{N-1} are an epoch invariant: draw them once
+  // (identical call sequence to one generateSbs pass) and let the packed
+  // comparator evaluate each pixel word-level.  Forcing the portable mode
+  // keeps this the CMOS-SC design point executed with sane instructions —
+  // the AVX2 path remains the SwScSimd backend's own edge.
+  const std::size_t n = config().streamLength;
+  epochSource_->reset();
+  epochBytes_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    epochBytes_[i] = static_cast<std::uint8_t>(epochSource_->next(8));
+  }
+  epochPlanes_.assign(epochBytes_.data(), n);
+  epochCacheStamp_ = epoch_;
+}
+
+void SwScBackend::encodePixelsInto(std::span<const std::uint8_t> values,
+                                   std::span<ScValue> out) {
+  if (values.size() != out.size()) {
+    throw std::invalid_argument(
+        "SwScBackend::encodePixelsInto: destination size mismatch");
+  }
+  newEpoch();
+  encodePixelsCorrelatedInto(values, out);
+}
+
+void SwScBackend::encodePixelsCorrelatedInto(
+    std::span<const std::uint8_t> values, std::span<ScValue> out) {
+  if (values.size() != out.size()) {
+    throw std::invalid_argument(
+        "SwScBackend::encodePixelsCorrelatedInto: destination size mismatch");
+  }
+  refreshEpochCache();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    epochPlanes_.encode(swScPixelThreshold(values[i]), out[i].stream,
+                        sc::SimdMode::Portable);
+  }
+}
+
 sc::Bitstream SwScBackend::divideStreams(const sc::Bitstream& num,
                                          const sc::Bitstream& den) {
   return sc::cordivDivide(num, den);
+}
+
+void SwScBackend::divideStreamsInto(sc::Bitstream& dst,
+                                    const sc::Bitstream& num,
+                                    const sc::Bitstream& den) {
+  sc::cordivDivideInto(dst, num, den);
 }
 
 }  // namespace aimsc::core

@@ -30,6 +30,7 @@
 
 #include "core/backend.hpp"
 #include "energy/cmos_baseline.hpp"
+#include "sc/bulk_sng.hpp"
 #include "sc/rng.hpp"
 
 namespace aimsc::core {
@@ -58,6 +59,12 @@ struct SwScSobolEpoch {
 };
 SwScSobolEpoch swScSobolForEpoch(std::uint64_t seed, std::uint64_t epoch);
 
+/// Comparator threshold of an 8-bit pixel value, quantized exactly like
+/// the scalar per-bit path (`generateSbsFromProb(v/255, 8, n)`).  ONE
+/// table shared by the scalar and SIMD stage-1 encodes, so the two
+/// backends cannot drift in quantization.
+std::uint32_t swScPixelThreshold(std::uint8_t v);
+
 /// Random source for the \p ordinal-th independent constant stream of
 /// comparator threshold \p threshold (see `SwScConstantPool`).  Constants
 /// draw from a seed space disjoint from the epoch derivation above.
@@ -83,13 +90,29 @@ class SwScConstantPool {
   /// (returned by value: the pool vector may grow on later requests).
   sc::Bitstream get(double p);
 
+  /// Destination-passing form: same rotation, stream copied into \p dst
+  /// (buffer reused) — allocation-free once the bank is warm.
+  void getInto(sc::Bitstream& dst, double p);
+
   /// Rewinds the per-epoch rotation (streams themselves are kept).
   void onNewEpoch();
 
  private:
+  /// One comparator threshold's bank: the cached streams plus an
+  /// epoch-stamped rotation cursor (stamping instead of clearing keeps the
+  /// per-epoch rewind free of node churn — the hot path rolls epochs once
+  /// per row).
+  struct Bank {
+    std::vector<sc::Bitstream> streams;
+    std::size_t used = 0;
+    std::uint64_t stamp = 0;
+  };
+
+  const sc::Bitstream& next(double p);
+
   SwScConfig config_;
-  std::map<std::uint32_t, std::vector<sc::Bitstream>> pool_;
-  std::map<std::uint32_t, std::size_t> usedThisEpoch_;
+  std::map<std::uint32_t, Bank> pool_;
+  std::uint64_t epochStamp_ = 1;
 };
 
 /// Common trunk of the scalar and SIMD SW-SC backends: the exact-MUX CMOS
@@ -120,16 +143,42 @@ class SwScGateBackend : public ScBackend {
 
   std::vector<std::uint8_t> decodePixels(std::span<ScValue> values) override;
 
+  // Destination-passing forms: the packed-word gate set writes its result
+  // words straight into the destination buffer (same bits, same serial-pass
+  // accounting; allocation-free on warm destinations).
+  void encodeProbInto(ScValue& dst, double p) override;
+  void halfStreamInto(ScValue& dst) override;
+  void multiplyInto(ScValue& dst, const ScValue& x, const ScValue& y) override;
+  void scaledAddInto(ScValue& dst, const ScValue& x, const ScValue& y,
+                     const ScValue& half) override;
+  void addApproxInto(ScValue& dst, const ScValue& x, const ScValue& y) override;
+  void absSubInto(ScValue& dst, const ScValue& x, const ScValue& y) override;
+  void minimumInto(ScValue& dst, const ScValue& x, const ScValue& y) override;
+  void maximumInto(ScValue& dst, const ScValue& x, const ScValue& y) override;
+  void majMuxInto(ScValue& dst, const ScValue& x, const ScValue& y,
+                  const ScValue& sel) override;
+  void majMux4Into(ScValue& dst, const ScValue& i11, const ScValue& i12,
+                   const ScValue& i21, const ScValue& i22, const ScValue& sx,
+                   const ScValue& sy) override;
+  void divideInto(ScValue& dst, const ScValue& num, const ScValue& den) override;
+  void decodePixelsInto(std::span<ScValue> values,
+                        std::span<std::uint8_t> out) override;
+
   std::uint64_t opCount() const override { return opPasses_; }
 
  protected:
   ScValue doBernsteinSelect(std::span<const ScValue> xCopies,
                             std::span<const ScValue> coeffSelects) override;
+  void doBernsteinSelectInto(ScValue& dst, std::span<const ScValue> xCopies,
+                             std::span<const ScValue> coeffSelects) override;
 
   /// CORDIV realisation (serial flip-flop or word-level scan; both emit
   /// the same bits).
   virtual sc::Bitstream divideStreams(const sc::Bitstream& num,
                                       const sc::Bitstream& den) = 0;
+  /// Destination-passing CORDIV (same bits as divideStreams).
+  virtual void divideStreamsInto(sc::Bitstream& dst, const sc::Bitstream& num,
+                                 const sc::Bitstream& den) = 0;
 
   const SwScConfig& config() const { return config_; }
   /// Rewinds the constant pool; subclasses call this from their epoch
@@ -140,6 +189,11 @@ class SwScGateBackend : public ScBackend {
   SwScConfig config_;
   SwScConstantPool constants_;
   std::uint64_t opPasses_ = 0;
+  sc::Bitstream tmpTop_;     ///< MUX-tree stage scratch (majMux4Into)
+  sc::Bitstream tmpBottom_;
+  // Borrowed-pointer staging for the per-pixel Bernstein network.
+  std::vector<const sc::Bitstream*> copyPtrScratch_;
+  std::vector<const sc::Bitstream*> coeffPtrScratch_;
 };
 
 /// Scalar software-SC execution engine (the Table III/IV "CMOS SC"
@@ -156,18 +210,45 @@ class SwScBackend final : public SwScGateBackend {
   std::vector<ScValue> encodePixelsCorrelated(
       std::span<const std::uint8_t> values) override;
 
+  /// Fused-row stage-1 forms: the epoch's comparator draw sequence
+  /// R_0..R_{N-1} is materialized ONCE per epoch (the per-stream source
+  /// restart makes every stream of the epoch replay the same draws), then
+  /// each pixel runs the word-level comparator over the cached bytes —
+  /// bit-identical to the per-bit path, without N virtual RNG calls per
+  /// pixel and without a single allocation on warm destinations.
+  void encodePixelsInto(std::span<const std::uint8_t> values,
+                        std::span<ScValue> out) override;
+  void encodePixelsCorrelatedInto(std::span<const std::uint8_t> values,
+                                  std::span<ScValue> out) override;
+
  protected:
   sc::Bitstream divideStreams(const sc::Bitstream& num,
                               const sc::Bitstream& den) override;
+  void divideStreamsInto(sc::Bitstream& dst, const sc::Bitstream& num,
+                         const sc::Bitstream& den) override;
 
  private:
-  /// Starts a fresh randomness epoch (new source).
+  /// Starts a fresh randomness epoch (source re-seeded in place).
   void newEpoch();
   /// Encodes one value against the current epoch (source restarted).
   sc::Bitstream encodeWithEpoch(double p);
+  /// Ensures the epoch byte cache + comparator planes cover the current
+  /// epoch (one pass of N draws; see encodePixelsInto).
+  void refreshEpochCache();
 
-  std::unique_ptr<sc::RandomSource> epochSource_;
+  /// Value-held randomness sources, re-seeded per epoch — the unique_ptr
+  /// churn of a source per epoch was the last steady-state allocation of
+  /// the scalar encode path.  Exactly one matches config().sng.
+  sc::Lfsr lfsrSource_;
+  sc::Sobol sobolSource_;
+  sc::RandomSource* epochSource_ = nullptr;  ///< the active one
   std::uint64_t epoch_ = 0;
+
+  /// Per-epoch comparator cache for the fused-row encode (portable
+  /// word-level packing; the SIMD backend's AVX2 path stays its own edge).
+  std::vector<std::uint8_t> epochBytes_;
+  sc::RandomPlanes epochPlanes_;
+  std::uint64_t epochCacheStamp_ = 0;  ///< epoch_ value the cache matches
 };
 
 }  // namespace aimsc::core

@@ -1,6 +1,7 @@
 #include "core/backend_swsc_simd.hpp"
 
 #include <array>
+#include <stdexcept>
 
 #include "sc/cordiv.hpp"
 #include "sc/sng.hpp"
@@ -56,27 +57,49 @@ std::vector<ScValue> SwScSimdBackend::encodePixels(
 
 std::vector<ScValue> SwScSimdBackend::encodePixelsCorrelated(
     std::span<const std::uint8_t> values) {
-  // Pixel thresholds quantize exactly like the scalar comparator path.
-  static const auto kThreshold = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::size_t v = 0; v < t.size(); ++v) {
-      t[v] = sc::quantizeProbability(static_cast<double>(v) / 255.0, 8);
-    }
-    return t;
-  }();
+  // Thresholds come from the table shared with the scalar backend
+  // (swScPixelThreshold), so the two engines cannot drift in quantization.
   std::vector<ScValue> out;
   out.reserve(values.size());
   for (const std::uint8_t v : values) {
     sc::Bitstream s;
-    planes_.encode(kThreshold[v], s, simd_);
+    planes_.encode(swScPixelThreshold(v), s, simd_);
     out.push_back(ScValue::ofStream(std::move(s)));
   }
   return out;
 }
 
+void SwScSimdBackend::encodePixelsInto(std::span<const std::uint8_t> values,
+                                       std::span<ScValue> out) {
+  if (values.size() != out.size()) {
+    throw std::invalid_argument(
+        "SwScSimdBackend::encodePixelsInto: destination size mismatch");
+  }
+  newEpoch();
+  encodePixelsCorrelatedInto(values, out);
+}
+
+void SwScSimdBackend::encodePixelsCorrelatedInto(
+    std::span<const std::uint8_t> values, std::span<ScValue> out) {
+  if (values.size() != out.size()) {
+    throw std::invalid_argument(
+        "SwScSimdBackend::encodePixelsCorrelatedInto: destination size "
+        "mismatch");
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    planes_.encode(swScPixelThreshold(values[i]), out[i].stream, simd_);
+  }
+}
+
 sc::Bitstream SwScSimdBackend::divideStreams(const sc::Bitstream& num,
                                              const sc::Bitstream& den) {
   return sc::cordivDivideWordLevel(num, den);
+}
+
+void SwScSimdBackend::divideStreamsInto(sc::Bitstream& dst,
+                                        const sc::Bitstream& num,
+                                        const sc::Bitstream& den) {
+  sc::cordivDivideWordLevelInto(dst, num, den);
 }
 
 }  // namespace aimsc::core

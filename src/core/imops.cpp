@@ -48,28 +48,8 @@ sc::Bitstream ImOps::maximum(const sc::Bitstream& x, const sc::Bitstream& y) {
 
 sc::Bitstream ImOps::divide(const sc::Bitstream& x, const sc::Bitstream& y,
                             sc::CordivVariant variant) {
-  if (x.size() != y.size()) throw std::invalid_argument("ImOps::divide: length mismatch");
-  scouting_.array().events().add(reram::EventKind::CordivIteration, x.size());
-
-  std::uniform_real_distribution<double> unit(0.0, 1.0);
-  sc::CordivUnit unit_ff(variant);
-  sc::Bitstream q(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    bool xb = x.get(i);
-    bool yb = y.get(i);
-    if (faultModel_ != nullptr) {
-      // Each iteration senses two terms: t = AND(x_i, y_i) and
-      // h = AND(d, NOT y_i); model their misdecisions as input-bit flips
-      // drawn from the corresponding AND pattern probabilities.
-      const int ones = (xb ? 1 : 0) + (yb ? 1 : 0);
-      const double pT = faultModel_->misdecisionProb(SlOp::And, ones, 2);
-      if (pT > 0.0 && unit(eng_) < pT) xb = !xb;
-      const double pH =
-          faultModel_->misdecisionProb(SlOp::And, yb ? 0 : 1, 2);
-      if (pH > 0.0 && unit(eng_) < pH) yb = !yb;
-    }
-    if (unit_ff.clock(xb, yb)) q.set(i, true);
-  }
+  sc::Bitstream q;
+  divideInto(q, x, y, variant);
   return q;
 }
 
@@ -111,6 +91,98 @@ sc::Bitstream ImOps::majMux4(const sc::Bitstream& i11, const sc::Bitstream& i12,
   const sc::Bitstream top = scouting_.op3(SlOp::Maj3, i12, i11, sy);
   const sc::Bitstream bottom = scouting_.op3(SlOp::Maj3, i22, i21, sy);
   return scouting_.op3(SlOp::Maj3, bottom, top, sx);
+}
+
+// --- destination-passing forms ----------------------------------------------
+
+void ImOps::multiplyInto(sc::Bitstream& dst, const sc::Bitstream& x,
+                         const sc::Bitstream& y) {
+  scouting_.array().events().add(reram::EventKind::LatchOp);
+  scouting_.op2Into(SlOp::And, dst, x, y);
+}
+
+void ImOps::scaledAddInto(sc::Bitstream& dst, const sc::Bitstream& x,
+                          const sc::Bitstream& y, const sc::Bitstream& half) {
+  scouting_.array().events().add(reram::EventKind::LatchOp);
+  scouting_.op3Into(SlOp::Maj3, dst, x, y, half);
+}
+
+void ImOps::addApproxInto(sc::Bitstream& dst, const sc::Bitstream& x,
+                          const sc::Bitstream& y) {
+  scouting_.array().events().add(reram::EventKind::LatchOp);
+  scouting_.op2Into(SlOp::Or, dst, x, y);
+}
+
+void ImOps::absSubInto(sc::Bitstream& dst, const sc::Bitstream& x,
+                       const sc::Bitstream& y) {
+  scouting_.array().events().add(reram::EventKind::LatchOp, 2);  // two refs
+  scouting_.op2Into(SlOp::Xor, dst, x, y);
+}
+
+void ImOps::minimumInto(sc::Bitstream& dst, const sc::Bitstream& x,
+                        const sc::Bitstream& y) {
+  scouting_.array().events().add(reram::EventKind::LatchOp);
+  scouting_.op2Into(SlOp::And, dst, x, y);
+}
+
+void ImOps::maximumInto(sc::Bitstream& dst, const sc::Bitstream& x,
+                        const sc::Bitstream& y) {
+  scouting_.array().events().add(reram::EventKind::LatchOp);
+  scouting_.op2Into(SlOp::Or, dst, x, y);
+}
+
+void ImOps::divideInto(sc::Bitstream& dst, const sc::Bitstream& x,
+                       const sc::Bitstream& y, sc::CordivVariant variant) {
+  if (x.size() != y.size()) throw std::invalid_argument("ImOps::divide: length mismatch");
+  scouting_.array().events().add(reram::EventKind::CordivIteration, x.size());
+
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  sc::CordivUnit unit_ff(variant);
+  dst.assign(x.size(), false);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    bool xb = x.get(i);
+    bool yb = y.get(i);
+    if (faultModel_ != nullptr) {
+      // Each iteration senses two terms: t = AND(x_i, y_i) and
+      // h = AND(d, NOT y_i); model their misdecisions as input-bit flips
+      // drawn from the corresponding AND pattern probabilities.
+      const int ones = (xb ? 1 : 0) + (yb ? 1 : 0);
+      const double pT = faultModel_->misdecisionProb(SlOp::And, ones, 2);
+      if (pT > 0.0 && unit(eng_) < pT) xb = !xb;
+      const double pH =
+          faultModel_->misdecisionProb(SlOp::And, yb ? 0 : 1, 2);
+      if (pH > 0.0 && unit(eng_) < pH) yb = !yb;
+    }
+    if (unit_ff.clock(xb, yb)) dst.set(i, true);
+  }
+}
+
+void ImOps::majMuxInto(sc::Bitstream& dst, const sc::Bitstream& x,
+                       const sc::Bitstream& y, const sc::Bitstream& sel) {
+  scouting_.array().events().add(reram::EventKind::LatchOp);
+  scouting_.op3Into(SlOp::Maj3, dst, x, y, sel);
+}
+
+void ImOps::majMux4Into(sc::Bitstream& dst, const sc::Bitstream& i11,
+                        const sc::Bitstream& i12, const sc::Bitstream& i21,
+                        const sc::Bitstream& i22, const sc::Bitstream& sx,
+                        const sc::Bitstream& sy) {
+  scouting_.array().events().add(reram::EventKind::LatchOp, 3);
+  scouting_.op3Into(SlOp::Maj3, tmpTop_, i12, i11, sy);
+  scouting_.op3Into(SlOp::Maj3, tmpBottom_, i22, i21, sy);
+  scouting_.op3Into(SlOp::Maj3, dst, tmpBottom_, tmpTop_, sx);
+}
+
+void ImOps::bernsteinSelectInto(sc::Bitstream& dst,
+                                std::span<const sc::Bitstream* const> xCopies,
+                                std::span<const sc::Bitstream* const> coeffs) {
+  // Select first (validates and throws on a malformed call), charge after.
+  sc::scBernsteinSelectInto(dst, xCopies, coeffs);
+  auto& log = scouting_.array().events();
+  const std::uint64_t steps =
+      static_cast<std::uint64_t>(xCopies.size() + coeffs.size()) - 1;
+  log.add(reram::EventKind::SlRead, steps);
+  log.add(reram::EventKind::LatchOp, steps);
 }
 
 }  // namespace aimsc::core

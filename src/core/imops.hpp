@@ -76,12 +76,47 @@ class ImOps {
   sc::Bitstream bernsteinSelect(std::span<const sc::Bitstream* const> xCopies,
                                 std::span<const sc::Bitstream* const> coeffs);
 
+  // --- destination-passing forms (allocation-free hot path) -----------------
+  // Same bits, fault draws and event charges as the allocating forms; \p dst
+  // is resized to the operand width (buffer reused).  \p dst may alias any
+  // operand except in divideInto / bernsteinSelectInto (serial recurrence /
+  // selection network read their inputs after output bits are written).
+
+  void multiplyInto(sc::Bitstream& dst, const sc::Bitstream& x,
+                    const sc::Bitstream& y);
+  void scaledAddInto(sc::Bitstream& dst, const sc::Bitstream& x,
+                     const sc::Bitstream& y, const sc::Bitstream& half);
+  void addApproxInto(sc::Bitstream& dst, const sc::Bitstream& x,
+                     const sc::Bitstream& y);
+  void absSubInto(sc::Bitstream& dst, const sc::Bitstream& x,
+                  const sc::Bitstream& y);
+  void minimumInto(sc::Bitstream& dst, const sc::Bitstream& x,
+                   const sc::Bitstream& y);
+  void maximumInto(sc::Bitstream& dst, const sc::Bitstream& x,
+                   const sc::Bitstream& y);
+  void divideInto(sc::Bitstream& dst, const sc::Bitstream& x,
+                  const sc::Bitstream& y,
+                  sc::CordivVariant variant = sc::CordivVariant::JkFlipFlop);
+  void majMuxInto(sc::Bitstream& dst, const sc::Bitstream& x,
+                  const sc::Bitstream& y, const sc::Bitstream& sel);
+  void majMux4Into(sc::Bitstream& dst, const sc::Bitstream& i11,
+                   const sc::Bitstream& i12, const sc::Bitstream& i21,
+                   const sc::Bitstream& i22, const sc::Bitstream& sx,
+                   const sc::Bitstream& sy);
+  void bernsteinSelectInto(sc::Bitstream& dst,
+                           std::span<const sc::Bitstream* const> xCopies,
+                           std::span<const sc::Bitstream* const> coeffs);
+
   reram::ScoutingLogic& scouting() { return scouting_; }
 
  private:
   reram::ScoutingLogic& scouting_;
   const reram::FaultModel* faultModel_;
   std::mt19937_64 eng_;
+  // MAJ-tree stage scratch (an ImOps instance is single-threaded; each
+  // tile-engine lane owns its own).
+  sc::Bitstream tmpTop_;
+  sc::Bitstream tmpBottom_;
 };
 
 }  // namespace aimsc::core

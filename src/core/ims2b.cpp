@@ -11,6 +11,16 @@ ImS2B::ImS2B(reram::CrossbarArray& array, const reram::AdcParams& adc,
 
 std::uint32_t ImS2B::convert(const sc::Bitstream& stream) {
   array_.events().add(reram::EventKind::AdcConversion);
+  if (adc_.params().noiseLsbSigma == 0 && stream.size() > 0) {
+    if (codeTableLen_ != stream.size()) {
+      codeTableLen_ = stream.size();
+      codeTable_.resize(codeTableLen_ + 1);
+      for (std::size_t pc = 0; pc <= codeTableLen_; ++pc) {
+        codeTable_[pc] = adc_.convert(pc, codeTableLen_);
+      }
+    }
+    return codeTable_[stream.popcount()];
+  }
   return adc_.convert(stream.popcount(), stream.size());
 }
 

@@ -41,6 +41,12 @@ class ImS2B {
  private:
   reram::CrossbarArray& array_;
   reram::AdcModel adc_;
+  /// Noiseless-ADC memo: code per popcount for streams of codeTableLen_
+  /// bits (the array width in practice).  The transfer function is
+  /// deterministic without noise, so the hot decode path becomes one
+  /// popcount + one table load; rebuilt lazily if the length ever differs.
+  std::vector<std::uint32_t> codeTable_;
+  std::size_t codeTableLen_ = 0;
 };
 
 }  // namespace aimsc::core

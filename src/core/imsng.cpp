@@ -32,6 +32,10 @@ Imsng::Imsng(reram::CrossbarArray& array, reram::ScoutingLogic& scouting,
       config_.outputRow < config_.randomPlaneBase + m) {
     throw std::invalid_argument("Imsng: output row overlaps random planes");
   }
+  for (std::size_t v = 0; v < pixelThreshold_.size(); ++v) {
+    pixelThreshold_[v] = sc::quantizeProbability(
+        static_cast<double>(v) / 255.0, config_.mBits);
+  }
 }
 
 void Imsng::refreshRandomness() {
@@ -120,15 +124,21 @@ sc::Bitstream Imsng::generateThreshold(std::uint32_t x) {
 }
 
 sc::Bitstream Imsng::computeThresholdStream(std::uint32_t x) {
+  sc::Bitstream result;
+  computeThresholdStreamInto(x, result);
+  return result;
+}
+
+void Imsng::computeThresholdStreamInto(std::uint32_t x, sc::Bitstream& dst) {
   // Word-level rendition of the FFlag dataflow above (Ideal sensing only):
   //   A_i = 1: result |= flag & ~RN_i ;  flag &= RN_i
   //   A_i = 0: flag &= ~RN_i
   // which is exactly what the NOR/AND scouting steps compute.
   const std::size_t n = array_.cols();
   const int m = config_.mBits;
-  sc::Bitstream result(n);
+  dst.assign(n, false);
   flagScratch_.assign(n, true);
-  auto& rw = result.mutableWords();
+  auto& rw = dst.mutableWords();
   auto& fw = flagScratch_.mutableWords();
   for (int i = 0; i < m; ++i) {
     const bool aBit = (x >> (m - 1 - i)) & 1u;
@@ -143,7 +153,7 @@ sc::Bitstream Imsng::computeThresholdStream(std::uint32_t x) {
       for (std::size_t w = 0; w < fw.size(); ++w) fw[w] &= ~rn[w];
     }
   }
-  return result;  // tail stays clear: flag's tail is zero from assign()
+  // Tail stays clear: flag's tail is zero from assign().
 }
 
 void Imsng::chargeConversion(std::uint32_t x, const sc::Bitstream& result) {
@@ -172,43 +182,13 @@ void Imsng::chargeConversion(std::uint32_t x, const sc::Bitstream& result) {
 
 std::vector<sc::Bitstream> Imsng::encodeBatch(
     std::span<const std::uint32_t> thresholds) {
-  if (!planesReady_) refreshRandomness();
-  std::vector<sc::Bitstream> out;
-  out.reserve(thresholds.size());
-
-  if (scouting_.fidelity() != reram::ScoutingLogic::Fidelity::Ideal ||
-      scouting_.votes() != 1) {
-    // Fault-injecting fidelities draw per-step misdecisions from the lane's
-    // RNG streams, and temporal-redundancy voting charges votes() reads per
-    // step; run the real dataflow so statistics and accounting stay
-    // faithful.
-    for (const std::uint32_t x : thresholds) out.push_back(generateThreshold(x));
-    return out;
-  }
-
-  const std::uint32_t full = std::uint32_t{1} << config_.mBits;
-  // One epoch shares one plane set, so a threshold seen twice yields the
-  // same stream: memoize per distinct value (the conversion is still
-  // charged — the hardware runs it — only the simulator skips the
-  // recompute).  The table is an epoch-stamped member so repeated batch
-  // calls don't re-initialize 2^M entries.
-  if (memoStamp_.size() != static_cast<std::size_t>(full) + 1) {
-    memoStamp_.assign(static_cast<std::size_t>(full) + 1, 0);
-    memoIndex_.assign(static_cast<std::size_t>(full) + 1, 0);
-  }
-  ++memoEpoch_;
-  for (const std::uint32_t x : thresholds) {
-    if (x > full) throw std::invalid_argument("Imsng: threshold exceeds 2^M");
-    if (memoStamp_[x] == memoEpoch_) {
-      out.push_back(out[memoIndex_[x]]);
-    } else {
-      memoStamp_[x] = memoEpoch_;
-      memoIndex_[x] = out.size();
-      out.push_back(x == full ? sc::Bitstream(array_.cols(), true)
-                              : computeThresholdStream(x));
-    }
-    chargeConversion(x, out.back());
-  }
+  // One implementation: the allocating form materializes destinations and
+  // delegates, so the memo/charge walk cannot drift between the two paths.
+  std::vector<sc::Bitstream> out(thresholds.size());
+  std::vector<sc::Bitstream*> ptrs;
+  ptrs.reserve(out.size());
+  for (auto& s : out) ptrs.push_back(&s);
+  encodeBatchInto(thresholds, ptrs);
   return out;
 }
 
@@ -221,6 +201,68 @@ std::vector<sc::Bitstream> Imsng::encodePixelBatch(
         static_cast<double>(v) / 255.0, config_.mBits));
   }
   return encodeBatch(thresholds);
+}
+
+void Imsng::beginMemoEpoch() {
+  const std::uint32_t full = std::uint32_t{1} << config_.mBits;
+  if (memoStamp_.size() != static_cast<std::size_t>(full) + 1) {
+    memoStamp_.assign(static_cast<std::size_t>(full) + 1, 0);
+    memoIndex_.assign(static_cast<std::size_t>(full) + 1, 0);
+  }
+  ++memoEpoch_;
+}
+
+void Imsng::encodeBatchInto(std::span<const std::uint32_t> thresholds,
+                            std::span<sc::Bitstream* const> outs) {
+  if (outs.size() != thresholds.size()) {
+    throw std::invalid_argument("Imsng::encodeBatchInto: size mismatch");
+  }
+  if (!planesReady_) refreshRandomness();
+
+  if (scouting_.fidelity() != reram::ScoutingLogic::Fidelity::Ideal ||
+      scouting_.votes() != 1) {
+    // Fault-injecting fidelities draw per-step misdecisions from the lane's
+    // RNG streams, and temporal-redundancy voting charges votes() reads per
+    // step; run the real dataflow so statistics and accounting stay
+    // faithful (allocation-freedom is not promised off the Ideal path).
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+      *outs[i] = generateThreshold(thresholds[i]);
+    }
+    return;
+  }
+
+  // One epoch shares one plane set, so a threshold seen twice yields the
+  // same stream: memoize per distinct value (the conversion is still
+  // charged — the hardware runs it — only the simulator skips the
+  // recompute).  The table is an epoch-stamped member so repeated batch
+  // calls don't re-initialize 2^M entries.
+  const std::uint32_t full = std::uint32_t{1} << config_.mBits;
+  beginMemoEpoch();
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    const std::uint32_t x = thresholds[i];
+    if (x > full) throw std::invalid_argument("Imsng: threshold exceeds 2^M");
+    if (memoStamp_[x] == memoEpoch_) {
+      *outs[i] = *outs[memoIndex_[x]];
+    } else {
+      memoStamp_[x] = memoEpoch_;
+      memoIndex_[x] = i;
+      if (x == full) {
+        outs[i]->assign(array_.cols(), true);
+      } else {
+        computeThresholdStreamInto(x, *outs[i]);
+      }
+    }
+    chargeConversion(x, *outs[i]);
+  }
+}
+
+void Imsng::encodePixelBatchInto(std::span<const std::uint8_t> values,
+                                 std::span<sc::Bitstream* const> outs) {
+  thresholdScratch_.resize(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    thresholdScratch_[i] = pixelThreshold_[values[i]];
+  }
+  encodeBatchInto(thresholdScratch_, outs);
 }
 
 sc::Bitstream Imsng::generateProb(double p) {

@@ -27,6 +27,7 @@
 /// TRNG planes for independent streams.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -101,6 +102,19 @@ class Imsng {
   /// Batched 8-bit pixel conversion (p = v / 255), same epoch semantics.
   std::vector<sc::Bitstream> encodePixelBatch(std::span<const std::uint8_t> values);
 
+  /// Destination-passing batch conversion: stream i is written into
+  /// `*outs[i]` (resized to the array width, buffer reused).  Bits, epoch
+  /// semantics and event accounting are identical to `encodeBatch`; under
+  /// Ideal sensing the call performs no heap allocation once the
+  /// destination buffers and the memo table are warm — the tile engine's
+  /// per-row hot path.
+  void encodeBatchInto(std::span<const std::uint32_t> thresholds,
+                       std::span<sc::Bitstream* const> outs);
+
+  /// Destination-passing 8-bit pixel batch (p = v / 255).
+  void encodePixelBatchInto(std::span<const std::uint8_t> values,
+                            std::span<sc::Bitstream* const> outs);
+
   std::size_t streamLength() const { return array_.cols(); }
   const ImsngConfig& config() const { return config_; }
 
@@ -110,8 +124,12 @@ class Imsng {
  private:
   /// Word-level comparator identical to the Ideal scouting dataflow.
   sc::Bitstream computeThresholdStream(std::uint32_t x);
+  /// Same bits into \p dst (resized, buffer reused).
+  void computeThresholdStreamInto(std::uint32_t x, sc::Bitstream& dst);
   /// Charges the per-conversion schedule + commit for threshold \p x.
   void chargeConversion(std::uint32_t x, const sc::Bitstream& result);
+  /// (Re)initializes the epoch-stamped memo table for a new Ideal batch.
+  void beginMemoEpoch();
 
   reram::CrossbarArray& array_;
   reram::ScoutingLogic& scouting_;
@@ -125,6 +143,11 @@ class Imsng {
   std::vector<std::uint64_t> memoStamp_;
   std::vector<std::size_t> memoIndex_;
   std::uint64_t memoEpoch_ = 0;
+  std::vector<std::uint32_t> thresholdScratch_;  ///< pixel-batch staging
+  /// Pixel-value -> comparator-threshold table (quantizeProbability(v/255,
+  /// M) is an Imsng invariant; the hot batch path looks it up instead of
+  /// re-rounding three times per pixel).
+  std::array<std::uint32_t, 256> pixelThreshold_{};
 };
 
 }  // namespace aimsc::core

@@ -1,0 +1,44 @@
+#include "core/stream_arena.hpp"
+
+namespace aimsc::core {
+
+ScValue& StreamArena::value() {
+  if (valueCursor_ == values_.size()) {
+    values_.push_back(std::make_unique<ScValue>());
+    ++stats_.valueSlots;
+  }
+  return *values_[valueCursor_++];
+}
+
+std::vector<ScValue>& StreamArena::batch(std::size_t n) {
+  if (batchCursor_ == batches_.size()) {
+    batches_.push_back(std::make_unique<std::vector<ScValue>>());
+    ++stats_.batchGrowths;
+  }
+  std::vector<ScValue>& b = *batches_[batchCursor_++];
+  if (b.capacity() < n) ++stats_.batchGrowths;
+  // Shrinking destroys tail elements (their stream buffers go with them);
+  // kernels use a fixed width per call, so the steady state never shrinks.
+  b.resize(n);
+  return b;
+}
+
+std::vector<std::uint8_t>& StreamArena::bytes(std::size_t n) {
+  if (byteCursor_ == bytes_.size()) {
+    bytes_.push_back(std::make_unique<std::vector<std::uint8_t>>());
+    ++stats_.byteGrowths;
+  }
+  std::vector<std::uint8_t>& b = *bytes_[byteCursor_++];
+  if (b.capacity() < n) ++stats_.byteGrowths;
+  b.resize(n);
+  return b;
+}
+
+void StreamArena::reset() {
+  valueCursor_ = 0;
+  batchCursor_ = 0;
+  byteCursor_ = 0;
+  ++stats_.resets;
+}
+
+}  // namespace aimsc::core

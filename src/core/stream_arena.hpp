@@ -1,0 +1,99 @@
+/// \file stream_arena.hpp
+/// \brief Per-lane pool of reusable `ScValue` storage — the memory engine
+///        of the allocation-free tiled hot path.
+///
+/// Every gate op of the original kernels paid one heap allocation per call
+/// (a fresh `Bitstream` word vector wrapped in an `ScValue`); on a 256x256
+/// compositing run that is millions of short-lived allocations and it
+/// dominated the SW-SC and ReRAM wall clock.  The arena replaces those
+/// temporaries with pooled slots handed out in acquisition order:
+///
+///  * `value()`   — one `ScValue` slot (per-pixel temporaries);
+///  * `batch(n)`  — a row-sized `std::vector<ScValue>` (encode outputs,
+///                  per-row operand families);
+///  * `bytes(n)`  — a `std::vector<std::uint8_t>` (pixel staging rows).
+///
+/// `reset()` rewinds the acquisition cursors WITHOUT freeing anything: the
+/// next kernel call re-acquires the same objects, whose stream buffers
+/// still hold their capacity, so the destination-passing `ScBackend` *Into
+/// ops run without touching the heap once the first row warmed the pool.
+///
+/// Lifetime rules (see docs/ARCHITECTURE.md, "Memory management"):
+///  * handles returned by value()/batch()/bytes() stay valid until the
+///    owning arena is destroyed — reset() only invalidates their CONTENTS;
+///  * an arena is single-threaded, like the backend it serves: the tile
+///    engine gives each lane its own arena and resets it per tile, which
+///    keeps the lane-pinned determinism contract intact (pooled buffers
+///    carry capacity across tiles, never values);
+///  * acquisition order must be deterministic per kernel (it is: kernels
+///    acquire a fixed slot set at entry), so a reset arena re-serves the
+///    same objects in the same order.
+///
+/// The counting hook (`stats()`) records every pool growth — a fresh slot,
+/// a grown batch, a grown byte row.  Steady state is reached when a kernel
+/// call leaves the counters untouched; the allocation-regression tests
+/// assert exactly that, backed by a global operator-new counter.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/backend.hpp"
+
+namespace aimsc::core {
+
+/// Pool-growth counters — the allocation-count regression hook.  Each field
+/// counts events that imply heap traffic inside the arena; all zero across
+/// a kernel call means the call ran entirely on warm pooled storage.
+struct StreamArenaStats {
+  std::uint64_t valueSlots = 0;   ///< fresh ScValue slots constructed
+  std::uint64_t batchGrowths = 0; ///< batch vectors created or grown
+  std::uint64_t byteGrowths = 0;  ///< byte rows created or grown
+  std::uint64_t resets = 0;       ///< reset() calls (free; for diagnostics)
+
+  /// Total pool-growth events (the number the regression tests pin to 0
+  /// in steady state).
+  std::uint64_t growthEvents() const {
+    return valueSlots + batchGrowths + byteGrowths;
+  }
+};
+
+class StreamArena {
+ public:
+  StreamArena() = default;
+  StreamArena(const StreamArena&) = delete;
+  StreamArena& operator=(const StreamArena&) = delete;
+
+  /// Next pooled value slot.  The slot's previous payload is semantically
+  /// dead but its buffers keep their capacity — exactly what the *Into op
+  /// forms want in a destination.
+  ScValue& value();
+
+  /// Next pooled batch, resized to \p n elements.  Element payload buffers
+  /// persist across reset() (capacity-wise), so a row-sized batch costs
+  /// nothing after the first row.
+  std::vector<ScValue>& batch(std::size_t n);
+
+  /// Next pooled byte row, resized to \p n.
+  std::vector<std::uint8_t>& bytes(std::size_t n);
+
+  /// Rewinds all acquisition cursors; handles stay valid, capacity stays.
+  void reset();
+
+  const StreamArenaStats& stats() const { return stats_; }
+  void resetStats() { stats_ = StreamArenaStats{}; }
+
+ private:
+  // unique_ptr indirection keeps handed-out references stable while the
+  // pool vectors grow.
+  std::vector<std::unique_ptr<ScValue>> values_;
+  std::vector<std::unique_ptr<std::vector<ScValue>>> batches_;
+  std::vector<std::unique_ptr<std::vector<std::uint8_t>>> bytes_;
+  std::size_t valueCursor_ = 0;
+  std::size_t batchCursor_ = 0;
+  std::size_t byteCursor_ = 0;
+  StreamArenaStats stats_;
+};
+
+}  // namespace aimsc::core

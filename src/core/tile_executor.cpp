@@ -33,6 +33,7 @@ TileExecutor::TileExecutor(const TileExecutorConfig& config)
   for (std::size_t i = 0; i < group_->size(); ++i) {
     backends_.push_back(std::make_unique<ReramScBackend>(group_->mat(i)));
   }
+  makeArenas();
   pool_ = std::make_unique<ThreadPool>(std::min(par_.threads, par_.lanes));
 }
 
@@ -44,7 +45,15 @@ TileExecutor::TileExecutor(std::vector<std::unique_ptr<ScBackend>> lanes,
   for (const auto& b : backends_) {
     if (b == nullptr) throw std::invalid_argument("TileExecutor: null lane");
   }
+  makeArenas();
   pool_ = std::make_unique<ThreadPool>(std::min(par_.threads, par_.lanes));
+}
+
+void TileExecutor::makeArenas() {
+  arenas_.reserve(backends_.size());
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    arenas_.push_back(std::make_unique<StreamArena>());
+  }
 }
 
 Accelerator& TileExecutor::lane(std::size_t i) {
@@ -91,6 +100,17 @@ void TileExecutor::forEachTile(std::size_t imageHeight,
   runTiles(imageHeight, [this, &kernel](std::size_t lane, std::size_t r0,
                                         std::size_t r1) {
     kernel(*backends_[lane], r0, r1);
+  });
+}
+
+void TileExecutor::forEachTile(std::size_t imageHeight,
+                               const ArenaTileKernel& kernel) {
+  runTiles(imageHeight, [this, &kernel](std::size_t lane, std::size_t r0,
+                                        std::size_t r1) {
+    // Reset per tile: cursors rewind, capacity stays — the kernel
+    // re-acquires the same warm slots in the same order.
+    arenas_[lane]->reset();
+    kernel(*backends_[lane], *arenas_[lane], r0, r1);
   });
 }
 

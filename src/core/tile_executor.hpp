@@ -31,6 +31,7 @@
 
 #include "core/backend.hpp"
 #include "core/mat_group.hpp"
+#include "core/stream_arena.hpp"
 #include "core/thread_pool.hpp"
 
 namespace aimsc::core {
@@ -67,6 +68,16 @@ class TileExecutor {
   using BackendTileKernel = std::function<void(
       ScBackend& lane, std::size_t rowBegin, std::size_t rowEnd)>;
 
+  /// Arena-aware kernel: \p arena is the lane's private StreamArena, reset
+  /// by the executor BEFORE each tile so the kernel re-acquires the same
+  /// warm slot set (zero steady-state allocations; see stream_arena.hpp).
+  /// Arena state never carries values between tiles — only buffer capacity
+  /// — so the lane-pinned bit-identical-at-any-thread-count contract is
+  /// untouched.
+  using ArenaTileKernel =
+      std::function<void(ScBackend& lane, StreamArena& arena,
+                         std::size_t rowBegin, std::size_t rowEnd)>;
+
   /// Accelerator-level kernel (ReRAM-SC lane fleets only; prefer the
   /// backend form for new code).
   using TileKernel =
@@ -85,6 +96,7 @@ class TileExecutor {
   /// with the lane-pinned schedule.  Rethrows the first kernel exception
   /// after all lanes have drained.
   void forEachTile(std::size_t imageHeight, const BackendTileKernel& kernel);
+  void forEachTile(std::size_t imageHeight, const ArenaTileKernel& kernel);
   void forEachTile(std::size_t imageHeight, const TileKernel& kernel);
 
   std::size_t lanes() const { return backends_.size(); }
@@ -93,6 +105,9 @@ class TileExecutor {
 
   /// Backend lane \p i (any fleet).
   ScBackend& backend(std::size_t i) { return *backends_.at(i); }
+
+  /// Stream arena of lane \p i (any fleet).
+  StreamArena& arena(std::size_t i) { return *arenas_.at(i); }
 
   /// Accelerator lane \p i; throws std::logic_error for non-ReRAM fleets.
   Accelerator& lane(std::size_t i);
@@ -114,9 +129,13 @@ class TileExecutor {
                 const std::function<void(std::size_t lane, std::size_t rowBegin,
                                          std::size_t rowEnd)>& tile);
 
+  /// Builds one arena per lane (both constructors).
+  void makeArenas();
+
   ParallelConfig par_;
   std::unique_ptr<MatGroup> group_;  ///< ReRAM fleets only
   std::vector<std::unique_ptr<ScBackend>> backends_;
+  std::vector<std::unique_ptr<StreamArena>> arenas_;  ///< one per lane
   std::unique_ptr<ThreadPool> pool_;
 };
 

@@ -28,9 +28,9 @@ void CrossbarArray::writeRow(std::size_t r, const sc::Bitstream& data) {
   }
   // Differential write: L1 masks unchanged cells (Fig. 1c).  The driver
   // latch activity is part of the write path and priced inside t_write.
-  const sc::Bitstream changed = data_[r] ^ data;
+  sc::Bitstream::xorInto(diffScratch_, data_[r], data);
   events_->add(EventKind::RowWrite);
-  events_->add(EventKind::CellWrite, changed.popcount());
+  events_->add(EventKind::CellWrite, diffScratch_.popcount());
   data_[r] = data;
   writeCycles_[r] += 1;
 }

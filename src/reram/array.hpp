@@ -67,6 +67,10 @@ class CrossbarArray {
   std::vector<std::uint64_t> writeCycles_;
   DeviceModel device_;
   std::unique_ptr<EventLog> events_;
+  /// Differential-write mask scratch (writeRow runs once per conversion on
+  /// the hot encode path; an array is single-threaded by construction —
+  /// each tile-engine lane owns its own mat).
+  sc::Bitstream diffScratch_;
 };
 
 }  // namespace aimsc::reram

@@ -1,5 +1,6 @@
 #include "reram/scouting.hpp"
 
+#include <array>
 #include <bit>
 #include <stdexcept>
 #include <unordered_set>
@@ -33,8 +34,7 @@ std::size_t selectNthSetBit(const sc::Bitstream& s, std::size_t nth) {
 /// Pattern masks: maskScratch_[k] gets a 1 in column c iff exactly k of the
 /// operands have a 1 there.  1..3 operands run word-level into the reused
 /// scratch buffers (no allocation once warm).
-void ScoutingLogic::patternMasksInto(
-    const std::vector<const sc::Bitstream*>& ops) {
+void ScoutingLogic::patternMasksInto(Operands ops) {
   using sc::Bitstream;
   const std::size_t n = ops.front()->size();
   maskScratch_.resize(ops.size() + 1);
@@ -116,20 +116,44 @@ sc::Bitstream ScoutingLogic::opStreams(
 
 sc::Bitstream ScoutingLogic::op2(SlOp op, const sc::Bitstream& a,
                                  const sc::Bitstream& b) {
-  return execute(op, {&a, &b});
+  const std::array<const sc::Bitstream*, 2> ops{&a, &b};
+  return execute(op, ops);
 }
 
 sc::Bitstream ScoutingLogic::op3(SlOp op, const sc::Bitstream& a,
                                  const sc::Bitstream& b, const sc::Bitstream& c) {
-  return execute(op, {&a, &b, &c});
+  const std::array<const sc::Bitstream*, 3> ops{&a, &b, &c};
+  return execute(op, ops);
 }
 
 sc::Bitstream ScoutingLogic::opNot(const sc::Bitstream& a) {
-  return execute(SlOp::Not, {&a});
+  const std::array<const sc::Bitstream*, 1> ops{&a};
+  return execute(SlOp::Not, ops);
 }
 
-sc::Bitstream ScoutingLogic::execute(
-    SlOp op, const std::vector<const sc::Bitstream*>& operands) {
+void ScoutingLogic::op2Into(SlOp op, sc::Bitstream& dst, const sc::Bitstream& a,
+                            const sc::Bitstream& b) {
+  const std::array<const sc::Bitstream*, 2> ops{&a, &b};
+  executeInto(op, ops, dst);
+}
+
+void ScoutingLogic::op3Into(SlOp op, sc::Bitstream& dst, const sc::Bitstream& a,
+                            const sc::Bitstream& b, const sc::Bitstream& c) {
+  const std::array<const sc::Bitstream*, 3> ops{&a, &b, &c};
+  executeInto(op, ops, dst);
+}
+
+void ScoutingLogic::opInto(SlOp op, sc::Bitstream& dst, Operands operands) {
+  executeInto(op, operands, dst);
+}
+
+sc::Bitstream ScoutingLogic::execute(SlOp op, Operands operands) {
+  sc::Bitstream out;
+  executeInto(op, operands, out);
+  return out;
+}
+
+void ScoutingLogic::executeInto(SlOp op, Operands operands, sc::Bitstream& dst) {
   if (operands.empty()) throw std::invalid_argument("ScoutingLogic: no operands");
   const std::size_t width = operands.front()->size();
   for (const auto* o : operands) {
@@ -154,53 +178,116 @@ sc::Bitstream ScoutingLogic::execute(
   array_.events().add(reram::EventKind::SlRead,
                       static_cast<std::uint64_t>(votes_));
 
+  if (fidelity_ == Fidelity::Ideal && votes_ == 1) {
+    // Fault-free single-sense fast path: the per-pattern masks exist only
+    // to localize misdecisions, and ORing the slIdeal-true masks equals the
+    // plain word-level gate — compute it directly (identical bits, one pass
+    // instead of the mask build).
+    senseIdealInto(dst, op, operands);
+    return;
+  }
+
   if (fidelity_ != Fidelity::MonteCarlo) patternMasksInto(operands);
   const std::vector<sc::Bitstream>& masks = maskScratch_;
 
   if (votes_ == 1 || fidelity_ == Fidelity::Ideal) {
-    return senseOnce(op, operands, masks, numRows, width);
+    senseOnceInto(dst, op, operands, masks, numRows, width);
+    return;
   }
 
   // Temporal redundancy: vote per column over `votes_` independent senses.
+  // Cold path (the protection-scheme ablation): stage through fresh
+  // outcome streams, then vote into dst.
   std::vector<sc::Bitstream> outcomes;
   outcomes.reserve(static_cast<std::size_t>(votes_));
   for (int v = 0; v < votes_; ++v) {
     outcomes.push_back(senseOnce(op, operands, masks, numRows, width));
   }
   if (votes_ == 3) {
-    return sc::Bitstream::majority(outcomes[0], outcomes[1], outcomes[2]);
+    sc::Bitstream::majorityInto(dst, outcomes[0], outcomes[1], outcomes[2]);
+    return;
   }
-  sc::Bitstream voted(width);
+  dst.assign(width, false);
   for (std::size_t c = 0; c < width; ++c) {
     int ones = 0;
     for (const auto& o : outcomes) ones += o.get(c) ? 1 : 0;
-    if (2 * ones > votes_) voted.set(c, true);
+    if (2 * ones > votes_) dst.set(c, true);
   }
-  return voted;
+}
+
+void ScoutingLogic::senseIdealInto(sc::Bitstream& dst, SlOp op,
+                                   Operands operands) {
+  using sc::Bitstream;
+  switch (op) {
+    case SlOp::And:
+    case SlOp::Nand:
+      Bitstream::andInto(dst, *operands[0],
+                         operands.size() > 1 ? *operands[1] : *operands[0]);
+      for (std::size_t i = 2; i < operands.size(); ++i) {
+        Bitstream::andInto(dst, dst, *operands[i]);
+      }
+      if (op == SlOp::Nand) Bitstream::notInto(dst, dst);
+      return;
+    case SlOp::Or:
+    case SlOp::Nor:
+      Bitstream::orInto(dst, *operands[0],
+                        operands.size() > 1 ? *operands[1] : *operands[0]);
+      for (std::size_t i = 2; i < operands.size(); ++i) {
+        Bitstream::orInto(dst, dst, *operands[i]);
+      }
+      if (op == SlOp::Nor) Bitstream::notInto(dst, dst);
+      return;
+    case SlOp::Xor:
+      Bitstream::xorInto(dst, *operands[0], *operands[1]);
+      return;
+    case SlOp::Xnor:
+      Bitstream::xorInto(dst, *operands[0], *operands[1]);
+      Bitstream::notInto(dst, dst);
+      return;
+    case SlOp::Maj3:
+      Bitstream::majorityInto(dst, *operands[0], *operands[1], *operands[2]);
+      return;
+    case SlOp::Not:
+      Bitstream::notInto(dst, *operands[0]);
+      return;
+  }
 }
 
 sc::Bitstream ScoutingLogic::senseOnce(
-    SlOp op, const std::vector<const sc::Bitstream*>& operands,
+    SlOp op, Operands operands,
+    const std::vector<sc::Bitstream>& masks, int numRows, std::size_t width) {
+  sc::Bitstream out;
+  senseOnceInto(out, op, operands, masks, numRows, width);
+  return out;
+}
+
+void ScoutingLogic::senseOnceInto(
+    sc::Bitstream& dst, SlOp op, Operands operands,
     const std::vector<sc::Bitstream>& masks, int numRows, std::size_t width) {
   if (fidelity_ == Fidelity::MonteCarlo) {
-    sc::Bitstream out(width);
+    // dst may alias an operand; sample into a scratch stream first.
+    tmpA_.assign(width, false);
     auto& dev = array_.device();
     for (std::size_t c = 0; c < width; ++c) {
       double current = 0.0;
       for (const auto* o : operands) current += dev.sampleCurrent(o->get(c));
-      if (senseAmp_.decide(op, numRows, current)) out.set(c, true);
+      if (senseAmp_.decide(op, numRows, current)) tmpA_.set(c, true);
     }
-    return out;
+    dst = tmpA_;
+    return;
   }
 
-  // Ideal result from per-pattern masks (word-level).
-  sc::Bitstream out(width);
+  // Ideal result from per-pattern masks (word-level); the masks were
+  // materialized by the caller, so writing dst cannot corrupt an aliased
+  // operand.
+  sc::Bitstream& out = dst;
+  out.assign(width, false);
   for (int ones = 0; ones <= numRows; ++ones) {
     if (slIdeal(op, ones, numRows)) {
       out |= masks[static_cast<std::size_t>(ones)];
     }
   }
-  if (fidelity_ == Fidelity::Ideal) return out;
+  if (fidelity_ == Fidelity::Ideal) return;
 
   // Probabilistic mode: per pattern class, flip a Binomial(count, p) number
   // of uniformly chosen columns.  Equivalent in distribution to per-column
@@ -222,7 +309,6 @@ sc::Bitstream ScoutingLogic::senseOnce(
       out.set(col, !out.get(col));
     }
   }
-  return out;
 }
 
 }  // namespace aimsc::reram

@@ -45,6 +45,9 @@ class ScoutingLogic {
                 const FaultModel* faultModel = nullptr,
                 std::uint64_t seed = 0x5c007, int votes = 1);
 
+  /// Borrowed operand list shared by every op form.
+  using Operands = std::span<const sc::Bitstream* const>;
+
   /// One sensing step over stored rows.
   sc::Bitstream opRows(SlOp op, std::span<const std::size_t> rows);
 
@@ -60,17 +63,41 @@ class ScoutingLogic {
   /// Single-row NOT (inverted read).
   sc::Bitstream opNot(const sc::Bitstream& a);
 
+  // --- destination-passing forms (allocation-free hot path) -----------------
+  // Same sensed bits, fault draws and event charges as the allocating
+  // forms; \p dst is resized to the operand width (buffer reused).  \p dst
+  // MAY alias an operand: the per-pattern masks are materialized before the
+  // destination is written (Ideal/Probabilistic fidelities; the MonteCarlo
+  // and voting paths stage through a scratch stream).
+
+  /// dst = op(a, b), one sensing step.
+  void op2Into(SlOp op, sc::Bitstream& dst, const sc::Bitstream& a,
+               const sc::Bitstream& b);
+  /// dst = op(a, b, c), one sensing step.
+  void op3Into(SlOp op, sc::Bitstream& dst, const sc::Bitstream& a,
+               const sc::Bitstream& b, const sc::Bitstream& c);
+  /// dst = op(operands), one sensing step.
+  void opInto(SlOp op, sc::Bitstream& dst, Operands operands);
+
   Fidelity fidelity() const { return fidelity_; }
   int votes() const { return votes_; }
   CrossbarArray& array() { return array_; }
 
  private:
-  sc::Bitstream execute(SlOp op, const std::vector<const sc::Bitstream*>& operands);
-  sc::Bitstream senseOnce(SlOp op, const std::vector<const sc::Bitstream*>& operands,
+  sc::Bitstream execute(SlOp op, Operands operands);
+  /// Shared trunk of the allocating and Into forms: validates, charges,
+  /// senses into \p dst.
+  void executeInto(SlOp op, Operands operands, sc::Bitstream& dst);
+  /// Ideal single-sense fast path: the plain word-level gate, no masks.
+  void senseIdealInto(sc::Bitstream& dst, SlOp op, Operands operands);
+  sc::Bitstream senseOnce(SlOp op, Operands operands,
                           const std::vector<sc::Bitstream>& masks, int numRows,
                           std::size_t width);
+  void senseOnceInto(sc::Bitstream& dst, SlOp op, Operands operands,
+                     const std::vector<sc::Bitstream>& masks, int numRows,
+                     std::size_t width);
   /// Fills maskScratch_ with the per-pattern column masks of \p operands.
-  void patternMasksInto(const std::vector<const sc::Bitstream*>& operands);
+  void patternMasksInto(Operands operands);
 
   CrossbarArray& array_;
   Fidelity fidelity_;

@@ -9,7 +9,8 @@ sc::Bitstream ReramTrng::randomRow(std::size_t width) {
 void ReramTrng::fillRows(CrossbarArray& array, std::size_t firstRow,
                          std::size_t numRows) {
   for (std::size_t r = 0; r < numRows; ++r) {
-    array.depositTrngRow(firstRow + r, randomRow(array.cols()));
+    source_.randomBitsInto(rowScratch_, array.cols());
+    array.depositTrngRow(firstRow + r, rowScratch_);
   }
 }
 

@@ -31,6 +31,10 @@ class ReramTrng {
 
  private:
   sc::TrngSource source_;
+  /// Row staging buffer: fillRows() runs per randomness epoch on the hot
+  /// encode path, so the draw goes through a reused scratch stream instead
+  /// of a fresh allocation per plane.
+  sc::Bitstream rowScratch_;
 };
 
 }  // namespace aimsc::reram

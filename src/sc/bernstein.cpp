@@ -9,6 +9,14 @@ namespace aimsc::sc {
 
 Bitstream scBernsteinSelect(std::span<const Bitstream* const> xCopies,
                             std::span<const Bitstream* const> coeffs) {
+  Bitstream out;
+  scBernsteinSelectInto(out, xCopies, coeffs);
+  return out;
+}
+
+void scBernsteinSelectInto(Bitstream& dst,
+                           std::span<const Bitstream* const> xCopies,
+                           std::span<const Bitstream* const> coeffs) {
   if (xCopies.empty()) {
     throw std::invalid_argument("scBernsteinSelect: no x copies");
   }
@@ -26,13 +34,12 @@ Bitstream scBernsteinSelect(std::span<const Bitstream* const> xCopies,
       throw std::invalid_argument("scBernsteinSelect: width mismatch");
     }
   }
-  Bitstream out(width);
+  dst.assign(width, false);
   for (std::size_t i = 0; i < width; ++i) {
     std::size_t ones = 0;
     for (const auto* s : xCopies) ones += s->get(i) ? 1 : 0;
-    if (coeffs[ones]->get(i)) out.set(i, true);
+    if (coeffs[ones]->get(i)) dst.set(i, true);
   }
-  return out;
 }
 
 namespace {

@@ -35,6 +35,12 @@ Bitstream scBernsteinSelect(const std::vector<Bitstream>& xCopies,
 Bitstream scBernsteinSelect(std::span<const Bitstream* const> xCopies,
                             std::span<const Bitstream* const> coeffs);
 
+/// Destination-passing form: same bits into \p dst (resized to the operand
+/// length, buffer reused).  \p dst must not alias an operand.
+void scBernsteinSelectInto(Bitstream& dst,
+                           std::span<const Bitstream* const> xCopies,
+                           std::span<const Bitstream* const> coeffs);
+
 /// Exact Bernstein value sum_k b_k C(n,k) x^k (1-x)^(n-k).
 double bernsteinValue(const std::vector<double>& b, double x);
 

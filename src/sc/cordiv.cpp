@@ -36,23 +36,36 @@ bool CordivUnit::clock(bool x, bool y) {
 
 Bitstream cordivDivide(const Bitstream& x, const Bitstream& y,
                        CordivVariant variant) {
+  Bitstream q;
+  cordivDivideInto(q, x, y, variant);
+  return q;
+}
+
+void cordivDivideInto(Bitstream& dst, const Bitstream& x, const Bitstream& y,
+                      CordivVariant variant) {
   if (x.size() != y.size()) {
     throw std::invalid_argument("cordivDivide: length mismatch");
   }
   CordivUnit unit(variant);
-  Bitstream q(x.size());
+  dst.assign(x.size(), false);
   for (std::size_t i = 0; i < x.size(); ++i) {
-    if (unit.clock(x.get(i), y.get(i))) q.set(i, true);
+    if (unit.clock(x.get(i), y.get(i))) dst.set(i, true);
   }
-  return q;
 }
 
 Bitstream cordivDivideWordLevel(const Bitstream& x, const Bitstream& y) {
+  Bitstream q;
+  cordivDivideWordLevelInto(q, x, y);
+  return q;
+}
+
+void cordivDivideWordLevelInto(Bitstream& dst, const Bitstream& x,
+                               const Bitstream& y) {
   if (x.size() != y.size()) {
     throw std::invalid_argument("cordivDivideWordLevel: length mismatch");
   }
-  Bitstream q(x.size());
-  auto& out = q.mutableWords();
+  dst.assign(x.size(), false);
+  auto& out = dst.mutableWords();
   const auto& xw = x.words();
   const auto& yw = y.words();
   std::uint64_t state = 0;  // flip-flop value entering the next word
@@ -74,8 +87,7 @@ Bitstream cordivDivideWordLevel(const Bitstream& x, const Bitstream& y) {
     out[w] = qw;
     state = qw >> 63;
   }
-  q.clearTail();
-  return q;
+  dst.clearTail();
 }
 
 }  // namespace aimsc::sc

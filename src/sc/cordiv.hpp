@@ -62,4 +62,17 @@ Bitstream cordivDivide(const Bitstream& x, const Bitstream& y,
 /// flip-flop state into the next word.
 Bitstream cordivDivideWordLevel(const Bitstream& x, const Bitstream& y);
 
+// --- destination-passing forms for allocation-free hot loops ----------------
+// Same quotient bits as the allocating forms; \p dst is resized to the
+// operand length (buffer reused) and must not alias an operand (the serial
+// recurrence reads every input bit after output bits are written).
+
+/// dst = cordivDivide(x, y, variant).
+void cordivDivideInto(Bitstream& dst, const Bitstream& x, const Bitstream& y,
+                      CordivVariant variant = CordivVariant::DFlipFlop);
+
+/// dst = cordivDivideWordLevel(x, y).
+void cordivDivideWordLevelInto(Bitstream& dst, const Bitstream& x,
+                               const Bitstream& y);
+
 }  // namespace aimsc::sc

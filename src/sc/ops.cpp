@@ -41,4 +41,34 @@ Bitstream scMux4Maj(const Bitstream& i11, const Bitstream& i12,
   return Bitstream::majority(bottom, top, sx);                 // sx favours bottom
 }
 
+void scMultiplyInto(Bitstream& dst, const Bitstream& x, const Bitstream& y) {
+  Bitstream::andInto(dst, x, y);
+}
+
+void scScaledAddMuxInto(Bitstream& dst, const Bitstream& x, const Bitstream& y,
+                        const Bitstream& sel) {
+  Bitstream::muxInto(dst, x, y, sel);
+}
+
+void scScaledAddMajInto(Bitstream& dst, const Bitstream& x, const Bitstream& y,
+                        const Bitstream& sel) {
+  Bitstream::majorityInto(dst, x, y, sel);
+}
+
+void scAddOrInto(Bitstream& dst, const Bitstream& x, const Bitstream& y) {
+  Bitstream::orInto(dst, x, y);
+}
+
+void scAbsSubInto(Bitstream& dst, const Bitstream& x, const Bitstream& y) {
+  Bitstream::xorInto(dst, x, y);
+}
+
+void scMinInto(Bitstream& dst, const Bitstream& x, const Bitstream& y) {
+  Bitstream::andInto(dst, x, y);
+}
+
+void scMaxInto(Bitstream& dst, const Bitstream& x, const Bitstream& y) {
+  Bitstream::orInto(dst, x, y);
+}
+
 }  // namespace aimsc::sc

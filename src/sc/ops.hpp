@@ -64,4 +64,26 @@ Bitstream scMux4Maj(const Bitstream& i11, const Bitstream& i12,
                     const Bitstream& i21, const Bitstream& i22,
                     const Bitstream& sx, const Bitstream& sy);
 
+// --- destination-passing forms for allocation-free hot loops ----------------
+// Each writes the same bits as its allocating counterpart into \p dst
+// (resized to the operand length, buffer reused).  \p dst may alias any
+// operand.
+
+/// dst = x AND y (multiplication of independent streams).
+void scMultiplyInto(Bitstream& dst, const Bitstream& x, const Bitstream& y);
+/// dst = MUX(x, y, sel) (exact scaled addition).
+void scScaledAddMuxInto(Bitstream& dst, const Bitstream& x, const Bitstream& y,
+                        const Bitstream& sel);
+/// dst = MAJ(x, y, sel) (CIM scaled addition).
+void scScaledAddMajInto(Bitstream& dst, const Bitstream& x, const Bitstream& y,
+                        const Bitstream& sel);
+/// dst = x OR y (approximate addition).
+void scAddOrInto(Bitstream& dst, const Bitstream& x, const Bitstream& y);
+/// dst = x XOR y (absolute subtraction of correlated streams).
+void scAbsSubInto(Bitstream& dst, const Bitstream& x, const Bitstream& y);
+/// dst = x AND y (minimum of correlated streams).
+void scMinInto(Bitstream& dst, const Bitstream& x, const Bitstream& y);
+/// dst = x OR y (maximum of correlated streams).
+void scMaxInto(Bitstream& dst, const Bitstream& x, const Bitstream& y);
+
 }  // namespace aimsc::sc

@@ -61,6 +61,15 @@ std::uint32_t Lfsr::next(int bits) {
 
 void Lfsr::reset() { state_ = seed_; }
 
+void Lfsr::reseed(std::uint32_t seed) {
+  const std::uint32_t mask =
+      width_ == 32 ? ~std::uint32_t{0} : (std::uint32_t{1} << width_) - 1;
+  const std::uint32_t masked = seed & mask;
+  if (masked == 0) throw std::invalid_argument("Lfsr: zero seed");
+  seed_ = masked;
+  state_ = masked;
+}
+
 std::unique_ptr<RandomSource> Lfsr::clone() const {
   auto copy = std::make_unique<Lfsr>(*this);
   copy->reset();
@@ -160,6 +169,16 @@ void Sobol::reset() {
   for (std::uint64_t i = 0; i < skip_; ++i) next32();
 }
 
+void Sobol::reseat(int dimension, std::uint64_t skip) {
+  if (dimension < 0 || dimension >= kMaxDimension) {
+    throw std::invalid_argument("Sobol: dimension out of range");
+  }
+  dimension_ = dimension;
+  skip_ = skip;
+  init();
+  reset();
+}
+
 std::unique_ptr<RandomSource> Sobol::clone() const {
   return std::make_unique<Sobol>(dimension_, skip_);
 }
@@ -206,17 +225,22 @@ bool TrngSource::nextBit() {
 }
 
 Bitstream TrngSource::randomBits(std::size_t n) {
-  Bitstream s(n);
+  Bitstream s;
+  randomBitsInto(s, n);
+  return s;
+}
+
+void TrngSource::randomBitsInto(Bitstream& dst, std::size_t n) {
+  dst.assign(n, false);
   if (onesBias_ == 0.0) {
-    auto& words = s.mutableWords();
+    auto& words = dst.mutableWords();
     for (auto& w : words) w = eng_();
-    s.clearTail();
-    return s;
+    dst.clearTail();
+    return;
   }
   for (std::size_t i = 0; i < n; ++i) {
-    if (nextBit()) s.set(i, true);
+    if (nextBit()) dst.set(i, true);
   }
-  return s;
 }
 
 std::uint32_t TrngSource::next(int bits) {

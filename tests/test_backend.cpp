@@ -454,9 +454,8 @@ TEST(BackendEquivalence, AllAppsRunOnAllDesigns) {
 }
 
 TEST(BackendEquivalence, GammaKernelBitIdenticalToSeedReramPath) {
-  // Verbatim copy of the pre-refactor ReRAM-only gammaReramSc loop: the
-  // backend-generic gammaKernel must reproduce it bit for bit (and so must
-  // the deprecated shim).
+  // Verbatim copy of the pre-refactor ReRAM-only gamma loop: the
+  // backend-generic gammaKernel must reproduce it bit for bit.
   const img::Image src = img::naturalScene(10, 8, 21);
   const double gamma = 2.2;
   const int degree = 4;
@@ -484,10 +483,6 @@ TEST(BackendEquivalence, GammaKernelBitIdenticalToSeedReramPath) {
   const img::Image out = apps::gammaKernel(src, gamma, backend, degree);
   EXPECT_EQ(out.pixels(), seed.pixels());
   EXPECT_EQ(kernelAcc.events(), seedAcc.events());
-
-  Accelerator shimAcc(cfg);
-  EXPECT_EQ(apps::gammaReramSc(src, gamma, shimAcc, degree).pixels(),
-            seed.pixels());
 }
 
 TEST(BackendEquivalence, AcceleratorBatchedDecodeMatchesScalar) {

@@ -129,7 +129,8 @@ TEST(Gamma, ReferenceDarkensMidtones) {
 TEST(Gamma, ReramScBernsteinTracksReference) {
   const img::Image src = img::gradient(16, 4, 0.0);
   core::Accelerator acc(idealAcc(2048));
-  const img::Image out = gammaReramSc(src, 2.2, acc, 4);
+  core::ReramScBackend backend(acc);
+  const img::Image out = gammaKernel(src, 2.2, backend, 4);
   const img::Image ref = gammaReference(src, 2.2);
   // Bernstein degree-4 approximation + SC noise: stays within ~8%.
   EXPECT_LE(img::meanAbsError(out, ref), 20.0);
@@ -140,9 +141,11 @@ TEST(Gamma, HigherDegreeImprovesApproximation) {
   const img::Image src = img::gradient(24, 2, 0.0);
   core::Accelerator a2(idealAcc(4096));
   core::Accelerator a6(idealAcc(4096));
+  core::ReramScBackend b2(a2);
+  core::ReramScBackend b6(a6);
   const img::Image ref = gammaReference(src, 2.2);
-  const double err2 = img::meanAbsError(gammaReramSc(src, 2.2, a2, 2), ref);
-  const double err6 = img::meanAbsError(gammaReramSc(src, 2.2, a6, 6), ref);
+  const double err2 = img::meanAbsError(gammaKernel(src, 2.2, b2, 2), ref);
+  const double err6 = img::meanAbsError(gammaKernel(src, 2.2, b6, 6), ref);
   EXPECT_LT(err6, err2 + 1.0);
 }
 
