@@ -3,13 +3,17 @@
 
 Usage:
     compare_bench.py CURRENT.json BASELINE.json [--max-drop 0.15]
-                     [--min-speedup X]
+                     [--min-speedup X] [--require-true KEY ...]
 
 Policy (documented in docs/BENCHMARKS.md):
 
 * Boolean contract keys (bit-identity, zero-steady-state-growth, ...) must
   be true in CURRENT whenever they are true in BASELINE — a contract that
   held may never regress.
+* --require-true KEY (repeatable) additionally asserts the flattened KEY is
+  present AND true in CURRENT regardless of the baseline — the schema gate
+  for newly introduced contracts (e.g. the BENCH_reliability.json
+  determinism and crossover booleans on every PR).
 * Ratio keys (any numeric key containing "speedup") are machine-normalized
   throughput signals.  When CURRENT and BASELINE were produced at the same
   image size they must not drop more than --max-drop (default 15%) below
@@ -49,6 +53,10 @@ def main():
                         help="max fractional ratio drop at matching size")
     parser.add_argument("--min-speedup", type=float, default=1.0,
                         help="ratio floor when sizes differ")
+    parser.add_argument("--require-true", action="append", default=[],
+                        metavar="KEY",
+                        help="flattened key that must be present and true in "
+                             "CURRENT (repeatable)")
     args = parser.parse_args()
 
     try:
@@ -67,6 +75,12 @@ def main():
 
     failures = []
     checked = 0
+    for key in args.require_true:
+        if current.get(key) is not True:
+            failures.append(
+                f"required contract '{key}' not true in current run: "
+                f"{current.get(key)!r}")
+        checked += 1
     # Boolean keys describing the HOST (capabilities, not contracts) are
     # never compared — e.g. "swsc.avx2" legitimately differs per machine.
     host_keys = {"swsc.avx2"}

@@ -1,7 +1,9 @@
 #include "apps/runner.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "img/metrics.hpp"
 #include "img/synth.hpp"
@@ -61,11 +63,13 @@ namespace {
 constexpr double kGammaValue = 2.2;
 
 core::AcceleratorConfig accelConfigFor(const RunConfig& cfg) {
+  const reliability::FaultPlan plan = cfg.effectiveFaultPlan();
   core::AcceleratorConfig ac;
   ac.streamLength = cfg.streamLength;
-  ac.injectFaults = cfg.injectFaults;
-  if (cfg.injectFaults) ac.device = cfg.device;
-  ac.faultModelSamples = 40000;  // per-pattern Monte-Carlo resolution
+  ac.injectFaults = plan.deviceVariability;
+  if (plan.deviceVariability) ac.device = plan.device;
+  ac.faultModelSamples = plan.faultModelSamples;
+  ac.wearWindowRows = cfg.wearWindowRows;
   ac.seed = cfg.seed;
   return ac;
 }
@@ -75,55 +79,109 @@ img::Image srcImageFor(const RunConfig& cfg) {
 }
 
 /// Runs the app's backend-generic kernel serially (\p backend) or tiled
-/// (\p exec; exactly one of the two is non-null) and scores it per the
-/// Table IV protocol.
-Quality runAppOn(AppKind app, const RunConfig& cfg, core::ScBackend* backend,
-                 core::TileExecutor* exec) {
+/// (\p exec; exactly one of the two is non-null) and returns the RAW output
+/// image (the alpha matte for matting).  Scenes derive from cfg.seed, so
+/// replicas that re-seed only their backends process the same inputs.
+img::Image runKernelOn(AppKind app, const RunConfig& cfg,
+                       core::ScBackend* backend, core::TileExecutor* exec) {
   switch (app) {
     case AppKind::Compositing: {
       const CompositingScene scene =
           makeCompositingScene(cfg.width, cfg.height, cfg.seed);
-      const img::Image out = exec != nullptr
-                                 ? compositeKernelTiled(scene, *exec)
-                                 : compositeKernel(scene, *backend);
-      return compareQuality(out, compositeReference(scene));
+      return exec != nullptr ? compositeKernelTiled(scene, *exec)
+                             : compositeKernel(scene, *backend);
     }
     case AppKind::Bilinear: {
       const img::Image src = srcImageFor(cfg);
-      const img::Image out =
-          exec != nullptr ? upscaleKernelTiled(src, cfg.upscaleFactor, *exec)
-                          : upscaleKernel(src, cfg.upscaleFactor, *backend);
-      return compareQuality(out, upscaleReference(src, cfg.upscaleFactor));
+      return exec != nullptr ? upscaleKernelTiled(src, cfg.upscaleFactor, *exec)
+                             : upscaleKernel(src, cfg.upscaleFactor, *backend);
     }
     case AppKind::Matting: {
       const MattingScene scene =
           makeMattingScene(cfg.width, cfg.height, cfg.seed);
-      const img::Image alpha = exec != nullptr
-                                   ? mattingKernelTiled(scene, *exec)
-                                   : mattingKernel(scene, *backend);
-      return compareQuality(blendWithAlpha(scene, alpha), scene.composite);
+      return exec != nullptr ? mattingKernelTiled(scene, *exec)
+                             : mattingKernel(scene, *backend);
     }
     case AppKind::Filters: {
       const img::Image src = srcImageFor(cfg);
-      const img::Image out = exec != nullptr ? smoothKernelTiled(src, *exec)
-                                             : smoothKernel(src, *backend);
-      return compareQuality(out, smoothReference(src));
+      return exec != nullptr ? smoothKernelTiled(src, *exec)
+                             : smoothKernel(src, *backend);
     }
     case AppKind::Gamma: {
       const img::Image src = srcImageFor(cfg);
-      const img::Image out =
-          exec != nullptr ? gammaKernelTiled(src, kGammaValue, *exec)
-                          : gammaKernel(src, kGammaValue, *backend);
-      return compareQuality(out, gammaReference(src, kGammaValue));
+      return exec != nullptr ? gammaKernelTiled(src, kGammaValue, *exec)
+                             : gammaKernel(src, kGammaValue, *backend);
     }
     case AppKind::Morphology: {
       const img::Image src = srcImageFor(cfg);
-      const img::Image out = exec != nullptr ? openKernelTiled(src, *exec)
-                                             : openKernel(src, *backend);
-      return compareQuality(out, openReference(src));
+      return exec != nullptr ? openKernelTiled(src, *exec)
+                             : openKernel(src, *backend);
     }
   }
   throw std::invalid_argument("runApp: bad app");
+}
+
+/// Scores a raw kernel output per the Table IV protocol (matting: blend the
+/// estimated alpha and compare composites).  References rebuild from
+/// cfg.seed, so scoring a voted image uses the same ground truth as every
+/// replica.
+Quality scoreOutput(AppKind app, const RunConfig& cfg, const img::Image& out) {
+  switch (app) {
+    case AppKind::Compositing: {
+      const CompositingScene scene =
+          makeCompositingScene(cfg.width, cfg.height, cfg.seed);
+      return compareQuality(out, compositeReference(scene));
+    }
+    case AppKind::Bilinear:
+      return compareQuality(
+          out, upscaleReference(srcImageFor(cfg), cfg.upscaleFactor));
+    case AppKind::Matting: {
+      const MattingScene scene =
+          makeMattingScene(cfg.width, cfg.height, cfg.seed);
+      return compareQuality(blendWithAlpha(scene, out), scene.composite);
+    }
+    case AppKind::Filters:
+      return compareQuality(out, smoothReference(srcImageFor(cfg)));
+    case AppKind::Gamma:
+      return compareQuality(out, gammaReference(srcImageFor(cfg), kGammaValue));
+    case AppKind::Morphology:
+      return compareQuality(out, openReference(srcImageFor(cfg)));
+  }
+  throw std::invalid_argument("runApp: bad app");
+}
+
+/// One replica: builds the substrate with \p seed (scenes stay on cfg.seed)
+/// and accumulates its cost ledgers into \p events / \p ops.
+img::Image runReplica(AppKind app, DesignKind design, const RunConfig& cfg,
+                      const ParallelConfig& par, std::uint64_t seed,
+                      reram::EventCounts& events, std::uint64_t& ops) {
+  if (design == DesignKind::ReramSc) {
+    core::TileExecutorConfig tc = tileConfigFor(cfg, par);
+    tc.mat.seed = seed;
+    core::TileExecutor exec(tc);
+    img::Image out = runKernelOn(app, cfg, nullptr, &exec);
+    events += exec.totalEvents();
+    for (std::size_t i = 0; i < exec.lanes(); ++i) {
+      ops += exec.backend(i).opCount();
+    }
+    return out;
+  }
+  core::BackendFactoryConfig bc = backendConfigFor(cfg);
+  bc.seed = seed;
+  if (par.threads > 0) {
+    core::TileExecutor exec(core::makeBackendLanes(design, bc, par.lanes), par);
+    img::Image out = runKernelOn(app, cfg, nullptr, &exec);
+    events += exec.totalEvents();
+    for (std::size_t i = 0; i < exec.lanes(); ++i) {
+      ops += exec.backend(i).opCount();
+    }
+    return out;
+  }
+  const auto backend = core::makeBackend(design, bc);
+  img::Image out = runKernelOn(app, cfg, backend.get(), nullptr);
+  events += backend->events();
+  ops += backend->opCount();
+  return out;
 }
 
 }  // namespace
@@ -132,9 +190,8 @@ core::BackendFactoryConfig backendConfigFor(const RunConfig& cfg) {
   core::BackendFactoryConfig bc;
   bc.streamLength = cfg.streamLength;
   bc.seed = cfg.seed;
-  bc.injectFaults = cfg.injectFaults;
-  bc.device = cfg.device;
-  bc.faultModelSamples = 40000;
+  bc.faults = cfg.effectiveFaultPlan();
+  bc.bincimProtection = cfg.bincimProtection;
   return bc;
 }
 
@@ -143,27 +200,43 @@ core::TileExecutorConfig tileConfigFor(const RunConfig& cfg,
   core::TileExecutorConfig tc;
   static_cast<core::ParallelConfig&>(tc) = par;
   tc.mat = accelConfigFor(cfg);
+  tc.faults = cfg.effectiveFaultPlan();
   return tc;
+}
+
+RunResult runAppDetailed(AppKind app, DesignKind design, const RunConfig& cfg,
+                         const ParallelConfig& par) {
+  const std::size_t replicas = std::max<std::size_t>(cfg.redundancy.replicas, 1);
+  RunResult result;
+
+  // Replica 0 runs on the unmodified seed, so replicas = 1 IS the old
+  // single-run path bit for bit; later replicas re-key backend randomness
+  // and fault draws while processing the same scene.
+  std::vector<std::vector<std::uint8_t>> outputs;
+  outputs.reserve(replicas);
+  img::Image shape;
+  for (std::size_t r = 0; r < replicas; ++r) {
+    img::Image out =
+        runReplica(app, design, cfg, par, reliability::replicaSeed(cfg.seed, r),
+                   result.events, result.opCount);
+    if (r == 0) shape = out;
+    outputs.push_back(std::move(out.pixels()));
+  }
+
+  const reliability::Vote vote =
+      reliability::resolveVote(cfg.redundancy.vote, design);
+  std::vector<std::uint8_t> voted = replicas == 1
+                                        ? std::move(outputs.front())
+                                        : reliability::voteImages(outputs, vote);
+  result.output = img::Image(shape.width(), shape.height());
+  result.output.pixels() = std::move(voted);
+  result.quality = scoreOutput(app, cfg, result.output);
+  return result;
 }
 
 Quality runApp(AppKind app, DesignKind design, const RunConfig& cfg,
                const ParallelConfig& par) {
-  if (design == DesignKind::ReramSc) {
-    // This work runs on the tile-parallel engine: same kernel, lane-pinned
-    // schedule, bit-identical for any thread count.
-    core::TileExecutor exec(tileConfigFor(cfg, par));
-    return runAppOn(app, cfg, nullptr, &exec);
-  }
-  if (par.threads > 0) {
-    // Any other design fans out the same way over an independently seeded
-    // backend lane fleet; results depend on lanes/rowsPerTile, never on
-    // the worker-thread count.
-    core::TileExecutor exec(
-        core::makeBackendLanes(design, backendConfigFor(cfg), par.lanes), par);
-    return runAppOn(app, cfg, nullptr, &exec);
-  }
-  const auto backend = core::makeBackend(design, backendConfigFor(cfg));
-  return runAppOn(app, cfg, backend.get(), nullptr);
+  return runAppDetailed(app, design, cfg, par).quality;
 }
 
 namespace {

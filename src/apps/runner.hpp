@@ -21,6 +21,7 @@
 #include "core/backend.hpp"
 #include "core/tile_executor.hpp"
 #include "energy/system_model.hpp"
+#include "reliability/redundancy.hpp"
 
 namespace aimsc::apps {
 
@@ -51,10 +52,40 @@ struct RunConfig {
   std::size_t width = 48;
   std::size_t height = 48;
   std::size_t streamLength = 256;  ///< N
+
+  /// The unified fault contract (docs/RELIABILITY.md): all four fault
+  /// classes, on every substrate.
+  reliability::FaultPlan faults{};
+
+  /// DEPRECATED one-release shim for the pre-FaultPlan API: with `faults`
+  /// empty, setting this reproduces the old behaviour exactly
+  /// (`FaultPlan::deviceOnly(device)` — Table IV's faulty columns).
   bool injectFaults = false;
-  reram::DeviceParams device{};    ///< used when injectFaults
+  reram::DeviceParams device{};    ///< device corner used by the shim
+
+  /// N-modular redundancy: replicas > 1 runs the app that many times on
+  /// independently re-seeded replicas and majority-votes the outputs
+  /// per pixel (replica 0 keeps `seed`, so replicas = 1 is bit-identical
+  /// to the unmitigated path).
+  reliability::Redundancy redundancy{};
+
+  /// Gate-level retry-and-vote for the binary CIM MAGIC ledger (the
+  /// op-level mitigation knob; orthogonal to image-level redundancy).
+  core::CimProtection bincimProtection = core::CimProtection::None;
+
+  /// Wear-leveling window for the ReRAM-SC TRNG plane region (rows);
+  /// 0 = fixed plane rows.  See ImsngConfig::wearWindowRows.
+  std::size_t wearWindowRows = 0;
+
   std::size_t upscaleFactor = 2;
   std::uint64_t seed = 42;
+
+  /// The plan runs act on: `faults` when it injects anything, else the
+  /// `injectFaults` shim translated to a device-only plan.
+  reliability::FaultPlan effectiveFaultPlan() const {
+    if (faults.any() || !injectFaults) return faults;
+    return reliability::FaultPlan::deviceOnly(device);
+  }
 };
 
 /// Device corner used for the Table IV fault studies: HRS-instability
@@ -66,15 +97,33 @@ reram::DeviceParams defaultFaultyDevice();
 /// source of truth for lanes/threads/rowsPerTile).
 using ParallelConfig = core::ParallelConfig;
 
+/// Everything a reliability campaign needs from one (app, design) run:
+/// the Table IV score, the raw output image (the voted image under
+/// redundancy; matting returns the alpha matte), and the mitigation cost —
+/// events and backend op count SUMMED over all replicas, so the redundancy
+/// overhead is visible as an R-fold cost increase.
+struct RunResult {
+  Quality quality;
+  img::Image output;
+  reram::EventCounts events;
+  std::uint64_t opCount = 0;
+};
+
 /// Runs one (app, design) pair through the backend-generic kernel and
 /// returns quality vs the Table IV reference.  The ReRAM-SC design always
 /// runs on the tile-parallel engine under \p par; every other design runs
 /// serially when `par.threads == 0` (the default) and on an independently
 /// seeded backend lane fleet when `par.threads > 0`.  Tiled results are
 /// bit-identical for any nonzero `threads` given fixed
-/// `lanes`/`rowsPerTile` (lane-pinned schedule; see docs/ARCHITECTURE.md).
+/// `lanes`/`rowsPerTile` (lane-pinned schedule; see docs/ARCHITECTURE.md) —
+/// including under fault injection (counter-based fault RNG) and
+/// redundancy (replicas run sequentially in replica order).
 Quality runApp(AppKind app, DesignKind design, const RunConfig& cfg,
                const ParallelConfig& par = ParallelConfig{});
+
+/// `runApp` with the output image and cost ledgers (reliability campaigns).
+RunResult runAppDetailed(AppKind app, DesignKind design, const RunConfig& cfg,
+                         const ParallelConfig& par = ParallelConfig{});
 
 /// Backend factory knobs derived from a run configuration.
 core::BackendFactoryConfig backendConfigFor(const RunConfig& cfg);

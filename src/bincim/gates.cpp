@@ -19,11 +19,17 @@ bool MagicEngine::inject(bool ideal, reram::SlOp op, int ones, int rows) {
           : faultScale_ * faultModel_->misdecisionProb(op, ones, rows);
   const bool first = injectOnce(ideal, p);
   if (protection_ == Protection::None) return first;
-  // DMR with retry: a second execution checks the first; on disagreement a
-  // third one breaks the tie.
+  if (protection_ == Protection::Dmr) {
+    // DMR with retry: a second execution checks the first; on disagreement
+    // a third one breaks the tie.
+    const bool second = injectOnce(ideal, p);
+    if (first == second) return first;
+    return injectOnce(ideal, p);
+  }
+  // TMR: unconditional triple execution, majority vote.
   const bool second = injectOnce(ideal, p);
-  if (first == second) return first;
-  return injectOnce(ideal, p);
+  const bool third = injectOnce(ideal, p);
+  return (first && second) || (first && third) || (second && third);
 }
 
 bool MagicEngine::norGate(bool a, bool b) {

@@ -32,8 +32,10 @@ class MagicEngine {
   /// Temporal-redundancy protection for binary CIM (the "costly protection
   /// scheme" discussion of Sec. IV-C / [41]): Dmr executes each gate twice
   /// and breaks disagreements with a third execution (~2.06x gate cycles,
-  /// residual error ~p^2).
-  enum class Protection { None, Dmr };
+  /// residual error ~p^2); Tmr always executes three times and takes the
+  /// majority (3x gate cycles, residual error ~3p^2 — the retry-and-vote
+  /// knob of the reliability campaign, cost-predictable unlike Dmr).
+  enum class Protection { None, Dmr, Tmr };
   void setProtection(Protection p) { protection_ = p; }
   Protection protection() const { return protection_; }
 

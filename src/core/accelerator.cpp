@@ -1,5 +1,6 @@
 #include "core/accelerator.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -15,17 +16,24 @@ Accelerator::Accelerator(const AcceleratorConfig& config) : config_(config) {
     throw std::invalid_argument("Accelerator: zero stream length");
   }
   const auto m = static_cast<std::size_t>(config_.mBits);
-  // Geometry: output row, M random planes, plus spare operand rows.
-  const std::size_t rows = kPlaneBaseOffset + m + 8;
+  // Geometry: output row, the plane region (M rows, or the wear-rotation
+  // window when one is configured), plus spare operand rows.
+  const std::size_t planeRegion = std::max(m, config_.wearWindowRows);
+  const std::size_t rows = kPlaneBaseOffset + planeRegion + 8;
   array_ = std::make_unique<reram::CrossbarArray>(
       rows, config_.streamLength, config_.device, config_.seed);
 
   if (config_.injectFaults) {
-    faultModel_ = std::make_unique<reram::FaultModel>(
-        config_.device, config_.seed ^ 0xf417, config_.faultModelSamples);
+    if (config_.sharedFaultModel != nullptr) {
+      activeFaultModel_ = config_.sharedFaultModel;
+    } else {
+      faultModel_ = std::make_unique<reram::FaultModel>(
+          config_.device, config_.seed ^ 0xf417, config_.faultModelSamples);
+      activeFaultModel_ = faultModel_.get();
+    }
     scouting_ = std::make_unique<reram::ScoutingLogic>(
         *array_, reram::ScoutingLogic::Fidelity::Probabilistic,
-        faultModel_.get(), config_.seed ^ 0x5c);
+        activeFaultModel_, config_.seed ^ 0x5c);
   } else {
     scouting_ = std::make_unique<reram::ScoutingLogic>(
         *array_, reram::ScoutingLogic::Fidelity::Ideal, nullptr,
@@ -43,9 +51,10 @@ Accelerator::Accelerator(const AcceleratorConfig& config) : config_(config) {
   ic.randomPlaneBase = kPlaneBaseOffset;
   ic.outputRow = kOutputRowOffset;
   ic.commitResult = config_.commitSbs;
+  ic.wearWindowRows = config_.wearWindowRows;
   imsng_ = std::make_unique<Imsng>(*array_, *scouting_, *periphery_, *trng_, ic);
 
-  imops_ = std::make_unique<ImOps>(*scouting_, faultModel_.get(),
+  imops_ = std::make_unique<ImOps>(*scouting_, activeFaultModel_,
                                    config_.seed ^ 0x1305);
   ims2b_ = std::make_unique<ImS2B>(*array_, config_.adc, config_.seed ^ 0x52b);
 }

@@ -39,6 +39,18 @@ struct AcceleratorConfig {
   reram::DeviceParams device{};    ///< device variability parameters
   bool injectFaults = false;       ///< probabilistic CIM misdecisions
   std::size_t faultModelSamples = 100000;
+  /// Opt-in shared misdecision table: when non-null (and injecting), this
+  /// model is used instead of constructing a per-mat one — a lane fleet
+  /// then pays the Monte-Carlo cost once (FaultModel is thread-safe).
+  /// Default stays per-mat construction, which keeps historic faulty-run
+  /// bit streams unchanged.  The pointee must outlive the Accelerator.
+  const reram::FaultModel* sharedFaultModel = nullptr;
+  /// Wear-leveling window (rows) for the TRNG plane region; 0 = planes stay
+  /// at a fixed base (historic geometry).  When >= mBits, plane deposits
+  /// rotate through the window (reram::WearLeveler), bounding the per-row
+  /// write-cycle spread without changing any stream bit — rotation only
+  /// moves WHICH rows hold the planes, never their contents.
+  std::size_t wearWindowRows = 0;
   reram::AdcParams adc{};
   double trngBias = 0.0;           ///< TRNG ones-bias (imperfection knob)
   bool commitSbs = true;           ///< write generated SBS to its row
@@ -123,12 +135,15 @@ class Accelerator {
 
   reram::CrossbarArray& array() { return *array_; }
   Imsng& imsng() { return *imsng_; }
-  const reram::FaultModel* faultModel() const { return faultModel_.get(); }
+  /// The active misdecision table: the shared one when configured, else the
+  /// owned per-mat model (nullptr when not injecting).
+  const reram::FaultModel* faultModel() const { return activeFaultModel_; }
 
  private:
   AcceleratorConfig config_;
   std::unique_ptr<reram::CrossbarArray> array_;
-  std::unique_ptr<reram::FaultModel> faultModel_;
+  std::unique_ptr<reram::FaultModel> faultModel_;  ///< owned (per-mat) model
+  const reram::FaultModel* activeFaultModel_ = nullptr;
   std::unique_ptr<reram::ScoutingLogic> scouting_;
   std::unique_ptr<reram::Periphery> periphery_;
   std::unique_ptr<reram::ReramTrng> trng_;

@@ -10,6 +10,7 @@
 #include "core/backend_reram.hpp"
 #include "core/backend_swsc.hpp"
 #include "core/backend_swsc_simd.hpp"
+#include "reliability/injector.hpp"
 
 namespace aimsc::core {
 
@@ -218,8 +219,23 @@ std::uint8_t ScBackend::decodePixelStored(ScValue v) {
   return decodePixelsStored(std::span<ScValue>(&v, 1)).front();
 }
 
-std::unique_ptr<ScBackend> makeBackend(DesignKind design,
-                                       const BackendFactoryConfig& config) {
+namespace {
+
+bincim::MagicEngine::Protection toEngineProtection(CimProtection p) {
+  switch (p) {
+    case CimProtection::None: return bincim::MagicEngine::Protection::None;
+    case CimProtection::Dmr: return bincim::MagicEngine::Protection::Dmr;
+    case CimProtection::Tmr: return bincim::MagicEngine::Protection::Tmr;
+  }
+  return bincim::MagicEngine::Protection::None;
+}
+
+/// Builds the bare substrate; device variability flows into the substrate's
+/// native fault model, the stream/word-level classes are added by the
+/// `FaultedBackend` wrap in `makeBackend`.
+std::unique_ptr<ScBackend> makeInnerBackend(
+    DesignKind design, const BackendFactoryConfig& config,
+    const reliability::FaultPlan& plan) {
   switch (design) {
     case DesignKind::Reference:
       return std::make_unique<ReferenceBackend>();
@@ -243,22 +259,32 @@ std::unique_ptr<ScBackend> makeBackend(DesignKind design,
       AcceleratorConfig ac;
       ac.streamLength = config.streamLength;
       ac.seed = config.seed;
-      ac.injectFaults = config.injectFaults;
-      if (config.injectFaults) ac.device = config.device;
-      ac.faultModelSamples = config.faultModelSamples;
+      ac.injectFaults = plan.deviceVariability;
+      if (plan.deviceVariability) ac.device = plan.device;
+      ac.faultModelSamples = plan.faultModelSamples;
       return std::make_unique<ReramScBackend>(ac);
     }
     case DesignKind::BinaryCim: {
       BinaryCimConfig bc;
       bc.seed = config.seed;
-      bc.injectFaults = config.injectFaults;
-      bc.device = config.device;
-      bc.faultModelSamples = config.faultModelSamples;
+      bc.injectFaults = plan.deviceVariability;
+      bc.device = plan.device;
+      bc.faultModelSamples = plan.faultModelSamples;
       bc.faultScale = config.bincimFaultScale;
+      bc.protection = toEngineProtection(config.bincimProtection);
       return std::make_unique<BinaryCimBackend>(bc);
     }
   }
   throw std::invalid_argument("makeBackend: bad design kind");
+}
+
+}  // namespace
+
+std::unique_ptr<ScBackend> makeBackend(DesignKind design,
+                                       const BackendFactoryConfig& config) {
+  const reliability::FaultPlan plan = config.effectiveFaultPlan();
+  return reliability::wrapWithFaults(makeInnerBackend(design, config, plan),
+                                     design, plan, config.seed);
 }
 
 std::vector<std::unique_ptr<ScBackend>> makeBackendLanes(

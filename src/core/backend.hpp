@@ -43,6 +43,7 @@
 #include <string_view>
 #include <vector>
 
+#include "reliability/fault_plan.hpp"
 #include "reram/device.hpp"
 #include "reram/events.hpp"
 #include "sc/bitstream.hpp"
@@ -329,17 +330,43 @@ class ScBackend {
                                      std::span<const ScValue> coeffSelects);
 };
 
+/// Gate-level temporal-redundancy knob for the binary CIM substrate
+/// (mirrors `bincim::MagicEngine::Protection`; an own enum keeps this
+/// header free of bincim includes).
+enum class CimProtection { None, Dmr, Tmr };
+
 /// Knobs for the backend factory; a RunConfig-independent superset so the
 /// factory serves the runner, benches and tests alike.
 struct BackendFactoryConfig {
   std::size_t streamLength = 256;  ///< N (stream backends)
   std::uint64_t seed = 0x5eed;     ///< master randomness seed
-  bool injectFaults = false;       ///< enable the ReRAM/CIM fault models
-  reram::DeviceParams device{};    ///< device corner used when injecting
-  std::size_t faultModelSamples = 40000;  ///< Monte-Carlo resolution
+
+  /// The unified fault contract (docs/RELIABILITY.md): device variability
+  /// feeds the substrate's native fault models, the stream/word-level
+  /// classes are injected by wrapping the backend in a
+  /// `reliability::FaultedBackend`.
+  reliability::FaultPlan faults{};
+
+  /// DEPRECATED one-release compatibility shim for the pre-FaultPlan API:
+  /// when set (and `faults` is empty) the factory behaves exactly as
+  /// before, i.e. as `FaultPlan::deviceOnly(device, faultModelSamples)`.
+  /// Prefer setting `faults` directly.
+  bool injectFaults = false;
+  reram::DeviceParams device{};    ///< device corner used by the shim
+  std::size_t faultModelSamples = 40000;  ///< Monte-Carlo resolution (shim)
+
   /// Equal-fault-surface scale for the binary CIM gate decomposition (see
   /// MagicEngine).
   double bincimFaultScale = 0.25;
+  /// Gate-level retry-and-vote for the binary CIM MAGIC ledger.
+  CimProtection bincimProtection = CimProtection::None;
+
+  /// The plan the factory acts on: `faults` when it injects anything,
+  /// otherwise the `injectFaults` shim translated to a device-only plan.
+  reliability::FaultPlan effectiveFaultPlan() const {
+    if (faults.any() || !injectFaults) return faults;
+    return reliability::FaultPlan::deviceOnly(device, faultModelSamples);
+  }
 };
 
 /// Creates an owning backend for \p design.

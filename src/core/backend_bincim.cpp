@@ -19,7 +19,9 @@ BinaryCimBackend::BinaryCimBackend(const BinaryCimConfig& config)
       ownedEngine_(std::make_unique<bincim::MagicEngine>(
           ownedFaults_.get(), config.seed ^ 0xe6, config.faultScale)),
       engine_(ownedEngine_.get()),
-      pim_(*ownedEngine_) {}
+      pim_(*ownedEngine_) {
+  engine_->setProtection(config.protection);
+}
 
 std::vector<ScValue> BinaryCimBackend::encodePixels(
     std::span<const std::uint8_t> values) {

@@ -26,6 +26,9 @@ struct BinaryCimConfig {
   /// Equal-fault-surface scale (the pedagogical gate decomposition issues
   /// ~4x the cycles of an optimized AritPIM mapping — see MagicEngine).
   double faultScale = 0.25;
+  /// Gate-level temporal redundancy (retry-and-vote; see MagicEngine).
+  bincim::MagicEngine::Protection protection =
+      bincim::MagicEngine::Protection::None;
 };
 
 class BinaryCimBackend final : public ScBackend {

@@ -24,14 +24,23 @@ Imsng::Imsng(reram::CrossbarArray& array, reram::ScoutingLogic& scouting,
     throw std::invalid_argument("Imsng: mBits out of range");
   }
   const std::size_t m = static_cast<std::size_t>(config_.mBits);
-  if (config_.randomPlaneBase + m > array_.rows() ||
+  // The plane region is the rotation window when wear leveling is on (every
+  // row in it may hold planes at some point), M fixed rows otherwise.
+  const std::size_t planeRegion = std::max(m, config_.wearWindowRows);
+  if (config_.randomPlaneBase + planeRegion > array_.rows() ||
       config_.outputRow >= array_.rows()) {
     throw std::invalid_argument("Imsng: rows do not fit the array");
   }
   if (config_.outputRow >= config_.randomPlaneBase &&
-      config_.outputRow < config_.randomPlaneBase + m) {
+      config_.outputRow < config_.randomPlaneBase + planeRegion) {
     throw std::invalid_argument("Imsng: output row overlaps random planes");
   }
+  if (config_.wearWindowRows >= m) {
+    wear_.emplace(config_.randomPlaneBase, config_.wearWindowRows, m);
+  } else if (config_.wearWindowRows != 0) {
+    throw std::invalid_argument("Imsng: wear window smaller than plane set");
+  }
+  planeBase_ = config_.randomPlaneBase;
   for (std::size_t v = 0; v < pixelThreshold_.size(); ++v) {
     pixelThreshold_[v] = sc::quantizeProbability(
         static_cast<double>(v) / 255.0, config_.mBits);
@@ -39,8 +48,11 @@ Imsng::Imsng(reram::CrossbarArray& array, reram::ScoutingLogic& scouting,
 }
 
 void Imsng::refreshRandomness() {
-  trng_.fillRows(array_, config_.randomPlaneBase,
-                 static_cast<std::size_t>(config_.mBits));
+  // With wear leveling, each refresh deposits at the next rotation base;
+  // the TRNG sequence is independent of WHERE the planes land, so streams
+  // stay bit-identical while refresh writes spread across the window.
+  if (wear_.has_value()) planeBase_ = wear_->nextBase();
+  trng_.fillRows(array_, planeBase_, static_cast<std::size_t>(config_.mBits));
   planesReady_ = true;
 }
 
@@ -80,7 +92,7 @@ sc::Bitstream Imsng::generateThreshold(std::uint32_t x) {
     periphery_.captureL0(sc::Bitstream(n));
     for (int i = 0; i < m; ++i) {
       const bool aBit = (x >> (m - 1 - i)) & 1u;
-      const std::size_t plane = config_.randomPlaneBase + static_cast<std::size_t>(i);
+      const std::size_t plane = planeBase_ + static_cast<std::size_t>(i);
       const sc::Bitstream& rn = array_.row(plane);
       const sc::Bitstream flag = periphery_.l1();
       if (aBit) {
@@ -143,7 +155,7 @@ void Imsng::computeThresholdStreamInto(std::uint32_t x, sc::Bitstream& dst) {
   for (int i = 0; i < m; ++i) {
     const bool aBit = (x >> (m - 1 - i)) & 1u;
     const auto& rn =
-        array_.row(config_.randomPlaneBase + static_cast<std::size_t>(i)).words();
+        array_.row(planeBase_ + static_cast<std::size_t>(i)).words();
     if (aBit) {
       for (std::size_t w = 0; w < rw.size(); ++w) {
         rw[w] |= fw[w] & ~rn[w];

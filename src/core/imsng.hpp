@@ -29,6 +29,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -37,6 +38,7 @@
 #include "reram/periphery.hpp"
 #include "reram/scouting.hpp"
 #include "reram/trng.hpp"
+#include "reram/wear.hpp"
 
 namespace aimsc::core {
 
@@ -59,6 +61,14 @@ struct ImsngConfig {
   /// reports the conversion logic alone, so the hardware-cost bench disables
   /// the commit; applications keep it on.
   bool commitResult = true;
+
+  /// Wear-leveling window starting at `randomPlaneBase`: when >= mBits, each
+  /// refreshRandomness() deposits the planes at the next WearLeveler base in
+  /// the window, spreading refresh writes across windowRows/mBits positions.
+  /// Rotation changes WHICH rows hold the planes, never their contents, so
+  /// every generated stream is bit-identical to the unrotated configuration.
+  /// 0 (default) = fixed base, historic behaviour.
+  std::size_t wearWindowRows = 0;
 };
 
 class Imsng {
@@ -118,6 +128,10 @@ class Imsng {
   std::size_t streamLength() const { return array_.cols(); }
   const ImsngConfig& config() const { return config_; }
 
+  /// Row currently holding the first random plane (rotates with wear
+  /// leveling; equals `config().randomPlaneBase` otherwise).
+  std::size_t planeBase() const { return planeBase_; }
+
   /// Sensing steps charged per conversion (5·M generic, fewer folded).
   std::size_t sensingStepsPerConversion(std::uint32_t x) const;
 
@@ -136,6 +150,8 @@ class Imsng {
   reram::Periphery& periphery_;
   reram::ReramTrng& trng_;
   ImsngConfig config_;
+  std::optional<reram::WearLeveler> wear_;  ///< plane-base rotation (opt-in)
+  std::size_t planeBase_ = 0;  ///< base row of the current plane set
   bool planesReady_ = false;
   sc::Bitstream flagScratch_;  ///< FFlag chain buffer for the batch path
   // Per-epoch threshold memo: memoStamp_[x] == memoEpoch_ marks a valid

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/backend_reram.hpp"
+#include "reliability/injector.hpp"
 
 namespace aimsc::core {
 
@@ -28,10 +29,23 @@ MatGroupConfig groupConfigFor(const TileExecutorConfig& cfg) {
 TileExecutor::TileExecutor(const TileExecutorConfig& config)
     : par_(config) {
   validate(par_);
-  group_ = std::make_unique<MatGroup>(groupConfigFor(config));
+  TileExecutorConfig cfg = config;
+  if (cfg.shareFaultModel && cfg.mat.injectFaults) {
+    // One mutex-guarded misdecision table for the whole fleet: the
+    // Monte-Carlo cost is paid once instead of once per mat.
+    sharedFaults_ = std::make_unique<reram::FaultModel>(
+        cfg.mat.device, cfg.mat.seed ^ 0xf417, cfg.mat.faultModelSamples);
+    cfg.mat.sharedFaultModel = sharedFaults_.get();
+  }
+  group_ = std::make_unique<MatGroup>(groupConfigFor(cfg));
   backends_.reserve(group_->size());
   for (std::size_t i = 0; i < group_->size(); ++i) {
-    backends_.push_back(std::make_unique<ReramScBackend>(group_->mat(i)));
+    // Stream-level fault classes wrap each lane; draws are keyed
+    // (mat seed, lane), so the schedule-independence contract extends to
+    // faulty runs.
+    backends_.push_back(reliability::wrapWithFaults(
+        std::make_unique<ReramScBackend>(group_->mat(i)), DesignKind::ReramSc,
+        cfg.faults, cfg.mat.seed, i));
   }
   makeArenas();
   pool_ = std::make_unique<ThreadPool>(std::min(par_.threads, par_.lanes));

@@ -56,6 +56,19 @@ struct TileExecutorConfig : ParallelConfig {
   /// Per-lane accelerator configuration for the default ReRAM-SC lane fleet
   /// (the seed is varied per lane, exactly as MatGroup does).
   AcceleratorConfig mat{};
+
+  /// Unified fault contract for the fleet: `faults.deviceVariability` should
+  /// be mirrored into `mat` (the runner's tileConfigFor does); the
+  /// stream-level classes wrap every lane in a reliability::FaultedBackend,
+  /// keyed (mat seed, lane index) so faulty tiled runs stay bit-identical
+  /// at any worker-thread count.
+  reliability::FaultPlan faults{};
+
+  /// Build ONE mutex-guarded FaultModel and share it across all mats
+  /// instead of the per-mat Monte-Carlo tables.  Opt-in: sharing changes
+  /// which misdecision table lanes sample (one table, seed = mat seed),
+  /// so historic per-mat faulty bit streams are preserved by default.
+  bool shareFaultModel = false;
 };
 
 class TileExecutor {
@@ -134,6 +147,7 @@ class TileExecutor {
 
   ParallelConfig par_;
   std::unique_ptr<MatGroup> group_;  ///< ReRAM fleets only
+  std::unique_ptr<reram::FaultModel> sharedFaults_;  ///< shareFaultModel
   std::vector<std::unique_ptr<ScBackend>> backends_;
   std::vector<std::unique_ptr<StreamArena>> arenas_;  ///< one per lane
   std::unique_ptr<ThreadPool> pool_;

@@ -1,0 +1,396 @@
+#include "reliability/injector.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace aimsc::reliability {
+
+namespace {
+
+/// Bits of the binary CIM integer word that carry fault sites: pixel math
+/// runs in 8/16-bit precision, so the top half of the uint32 never holds
+/// data and faulting it would model cells that do not exist.
+constexpr std::size_t kWordBits = 16;
+
+/// Site-salt separating the persistent stuck-at derivation from the
+/// per-epoch transient draws (epoch coordinates 0/1 pick mask vs polarity).
+constexpr std::uint64_t kStuckSalt = 0x57ac4a7ull;
+
+}  // namespace
+
+Domain faultDomainFor(core::DesignKind design) {
+  switch (design) {
+    case core::DesignKind::Reference: return Domain::Prob;
+    case core::DesignKind::BinaryCim: return Domain::Word;
+    case core::DesignKind::SwScLfsr:
+    case core::DesignKind::SwScSobol:
+    case core::DesignKind::SwScSimd:
+    case core::DesignKind::ReramSc: return Domain::Stream;
+  }
+  return Domain::Stream;
+}
+
+FaultedBackend::FaultedBackend(std::unique_ptr<core::ScBackend> inner,
+                               Domain domain, const FaultPlan& plan,
+                               std::uint64_t seed, std::uint64_t lane)
+    : inner_(std::move(inner)),
+      domain_(domain),
+      plan_(plan),
+      rng_(seed ^ kFaultSeedSalt, lane) {}
+
+// --- fault mechanics ---------------------------------------------------------
+
+double FaultedBackend::transientRate() const {
+  double r = plan_.transientFlipRate;
+  if (plan_.wearDriftPerMegaCycle > 0.0) {
+    r += plan_.wearDriftPerMegaCycle *
+         (static_cast<double>(wearCycles()) * 1e-6);
+  }
+  return r;
+}
+
+std::uint64_t FaultedBackend::wearCycles() const {
+  const reram::EventCounts ev = inner_->events();
+  std::uint64_t cycles = ev.rowWrites;
+  if (cycles == 0) cycles = inner_->opCount();
+  if (cycles == 0) cycles = rng_.epoch();  // reference: corrupted-value count
+  return plan_.wearPreloadCycles + cycles;
+}
+
+void FaultedBackend::ensureStuckMask(std::size_t n) {
+  if (plan_.stuckAtRate <= 0.0 || n == stuckLen_) return;
+  stuckLen_ = n;
+  const std::size_t words = (n + 63) / 64;
+  stuckMask_.assign(words, 0);
+  stuckValue_.assign(words, 0);
+  for (std::size_t site = 0; site < n; ++site) {
+    // Epoch coordinates 0 and 1 of the salted seed: mask membership and
+    // stuck polarity.  Pure functions of (seed, lane, site) — the cell set
+    // is stable for the lane's lifetime and independent across lanes.
+    if (!faultSiteBernoulli(rng_.seed() ^ kStuckSalt, rng_.lane(), 0, site,
+                            plan_.stuckAtRate)) {
+      continue;
+    }
+    stuckMask_[site / 64] |= 1ull << (site % 64);
+    if (faultSiteBernoulli(rng_.seed() ^ kStuckSalt, rng_.lane(), 1, site,
+                           plan_.stuckAtHighFraction)) {
+      stuckValue_[site / 64] |= 1ull << (site % 64);
+    }
+  }
+  // Word-domain mask over the data-carrying bits.
+  stuckMaskW_ = static_cast<std::uint32_t>(stuckMask_.empty() ? 0
+                                                              : stuckMask_[0]) &
+                ((1u << kWordBits) - 1u);
+  stuckValueW_ =
+      static_cast<std::uint32_t>(stuckValue_.empty() ? 0 : stuckValue_[0]) &
+      stuckMaskW_;
+}
+
+void FaultedBackend::corruptStream(sc::Bitstream& s) {
+  const std::uint64_t epoch = rng_.nextEpoch();
+  const std::size_t n = s.size();
+  if (n == 0) return;
+  const double p = transientRate();
+  if (p > 0.0) {
+    std::vector<std::uint64_t>& words = s.mutableWords();
+    for (std::size_t site = 0; site < n; ++site) {
+      if (rng_.bernoulli(epoch, site, p)) {
+        words[site / 64] ^= 1ull << (site % 64);
+      }
+    }
+    s.clearTail();
+  }
+  if (plan_.stuckAtRate > 0.0) {
+    ensureStuckMask(n);
+    std::vector<std::uint64_t>& words = s.mutableWords();
+    for (std::size_t w = 0; w < words.size(); ++w) {
+      words[w] = (words[w] & ~stuckMask_[w]) | stuckValue_[w];
+    }
+    s.clearTail();
+  }
+}
+
+void FaultedBackend::corruptWord(std::uint32_t& w) {
+  const std::uint64_t epoch = rng_.nextEpoch();
+  const double p = transientRate();
+  if (p > 0.0) {
+    for (std::size_t site = 0; site < kWordBits; ++site) {
+      if (rng_.bernoulli(epoch, site, p)) w ^= 1u << site;
+    }
+  }
+  if (plan_.stuckAtRate > 0.0) {
+    ensureStuckMask(kWordBits);
+    w = (w & ~stuckMaskW_) | stuckValueW_;
+  }
+}
+
+void FaultedBackend::corruptProb(double& p) {
+  // Expectation of the bit channel the stream substrates sample: symmetric
+  // flips pull toward 0.5, stuck cells mix in their polarity fraction.
+  rng_.nextEpoch();  // same epoch walk as the sampling domains
+  const double r = std::min(transientRate(), 1.0);
+  if (r > 0.0) p = p * (1.0 - r) + (1.0 - p) * r;
+  const double s = std::min(plan_.stuckAtRate, 1.0);
+  if (s > 0.0) p = p * (1.0 - s) + s * plan_.stuckAtHighFraction;
+  p = std::clamp(p, 0.0, 1.0);
+}
+
+void FaultedBackend::corrupt(core::ScValue& v) {
+  switch (domain_) {
+    case Domain::Stream: corruptStream(v.stream); return;
+    case Domain::Word: corruptWord(v.word); return;
+    case Domain::Prob: corruptProb(v.prob); return;
+  }
+}
+
+void FaultedBackend::corruptBatch(std::span<core::ScValue> batch) {
+  for (core::ScValue& v : batch) corrupt(v);
+}
+
+// --- stage 1 -----------------------------------------------------------------
+
+std::vector<core::ScValue> FaultedBackend::encodePixels(
+    std::span<const std::uint8_t> values) {
+  auto out = inner_->encodePixels(values);
+  corruptBatch(out);
+  return out;
+}
+
+std::vector<core::ScValue> FaultedBackend::encodePixelsCorrelated(
+    std::span<const std::uint8_t> values) {
+  auto out = inner_->encodePixelsCorrelated(values);
+  corruptBatch(out);
+  return out;
+}
+
+core::ScValue FaultedBackend::encodeProb(double p) {
+  core::ScValue v = inner_->encodeProb(p);
+  corrupt(v);
+  return v;
+}
+
+core::ScValue FaultedBackend::halfStream() {
+  core::ScValue v = inner_->halfStream();
+  corrupt(v);
+  return v;
+}
+
+std::vector<core::ScValue> FaultedBackend::encodeCopies(std::uint8_t v,
+                                                        std::size_t k) {
+  auto out = inner_->encodeCopies(v, k);
+  corruptBatch(out);
+  return out;
+}
+
+// --- stage 2 -----------------------------------------------------------------
+
+core::ScValue FaultedBackend::multiply(const core::ScValue& x,
+                                       const core::ScValue& y) {
+  core::ScValue v = inner_->multiply(x, y);
+  corrupt(v);
+  return v;
+}
+
+core::ScValue FaultedBackend::scaledAdd(const core::ScValue& x,
+                                        const core::ScValue& y,
+                                        const core::ScValue& half) {
+  core::ScValue v = inner_->scaledAdd(x, y, half);
+  corrupt(v);
+  return v;
+}
+
+core::ScValue FaultedBackend::addApprox(const core::ScValue& x,
+                                        const core::ScValue& y) {
+  core::ScValue v = inner_->addApprox(x, y);
+  corrupt(v);
+  return v;
+}
+
+core::ScValue FaultedBackend::absSub(const core::ScValue& x,
+                                     const core::ScValue& y) {
+  core::ScValue v = inner_->absSub(x, y);
+  corrupt(v);
+  return v;
+}
+
+core::ScValue FaultedBackend::minimum(const core::ScValue& x,
+                                      const core::ScValue& y) {
+  core::ScValue v = inner_->minimum(x, y);
+  corrupt(v);
+  return v;
+}
+
+core::ScValue FaultedBackend::maximum(const core::ScValue& x,
+                                      const core::ScValue& y) {
+  core::ScValue v = inner_->maximum(x, y);
+  corrupt(v);
+  return v;
+}
+
+core::ScValue FaultedBackend::majMux(const core::ScValue& x,
+                                     const core::ScValue& y,
+                                     const core::ScValue& sel) {
+  core::ScValue v = inner_->majMux(x, y, sel);
+  corrupt(v);
+  return v;
+}
+
+core::ScValue FaultedBackend::majMux4(const core::ScValue& i11,
+                                      const core::ScValue& i12,
+                                      const core::ScValue& i21,
+                                      const core::ScValue& i22,
+                                      const core::ScValue& sx,
+                                      const core::ScValue& sy) {
+  core::ScValue v = inner_->majMux4(i11, i12, i21, i22, sx, sy);
+  corrupt(v);
+  return v;
+}
+
+core::ScValue FaultedBackend::divide(const core::ScValue& num,
+                                     const core::ScValue& den) {
+  core::ScValue v = inner_->divide(num, den);
+  corrupt(v);
+  return v;
+}
+
+core::ScValue FaultedBackend::doBernsteinSelect(
+    std::span<const core::ScValue> xCopies,
+    std::span<const core::ScValue> coeffSelects) {
+  core::ScValue v = inner_->bernsteinSelect(xCopies, coeffSelects);
+  corrupt(v);
+  return v;
+}
+
+void FaultedBackend::doBernsteinSelectInto(
+    core::ScValue& dst, std::span<const core::ScValue> xCopies,
+    std::span<const core::ScValue> coeffSelects) {
+  inner_->bernsteinSelectInto(dst, xCopies, coeffSelects);
+  corrupt(dst);
+}
+
+// --- stage 3: decode stays clean ---------------------------------------------
+
+std::vector<std::uint8_t> FaultedBackend::decodePixels(
+    std::span<core::ScValue> values) {
+  return inner_->decodePixels(values);
+}
+
+std::vector<std::uint8_t> FaultedBackend::decodePixelsStored(
+    std::span<core::ScValue> values) {
+  return inner_->decodePixelsStored(values);
+}
+
+void FaultedBackend::decodePixelsInto(std::span<core::ScValue> values,
+                                      std::span<std::uint8_t> out) {
+  inner_->decodePixelsInto(values, out);
+}
+
+void FaultedBackend::decodePixelsStoredInto(std::span<core::ScValue> values,
+                                            std::span<std::uint8_t> out) {
+  inner_->decodePixelsStoredInto(values, out);
+}
+
+// --- destination-passing forms -----------------------------------------------
+// Each forwards to the inner Into form and then corrupts, burning exactly
+// the epochs of its allocating twin — conformance is inherited.
+
+void FaultedBackend::encodePixelsInto(std::span<const std::uint8_t> values,
+                                      std::span<core::ScValue> out) {
+  inner_->encodePixelsInto(values, out);
+  corruptBatch(out);
+}
+
+void FaultedBackend::encodePixelsCorrelatedInto(
+    std::span<const std::uint8_t> values, std::span<core::ScValue> out) {
+  inner_->encodePixelsCorrelatedInto(values, out);
+  corruptBatch(out);
+}
+
+void FaultedBackend::encodeProbInto(core::ScValue& dst, double p) {
+  inner_->encodeProbInto(dst, p);
+  corrupt(dst);
+}
+
+void FaultedBackend::halfStreamInto(core::ScValue& dst) {
+  inner_->halfStreamInto(dst);
+  corrupt(dst);
+}
+
+void FaultedBackend::encodeCopiesInto(std::uint8_t v,
+                                      std::span<core::ScValue> out) {
+  inner_->encodeCopiesInto(v, out);
+  corruptBatch(out);
+}
+
+void FaultedBackend::multiplyInto(core::ScValue& dst, const core::ScValue& x,
+                                  const core::ScValue& y) {
+  inner_->multiplyInto(dst, x, y);
+  corrupt(dst);
+}
+
+void FaultedBackend::scaledAddInto(core::ScValue& dst, const core::ScValue& x,
+                                   const core::ScValue& y,
+                                   const core::ScValue& half) {
+  inner_->scaledAddInto(dst, x, y, half);
+  corrupt(dst);
+}
+
+void FaultedBackend::addApproxInto(core::ScValue& dst, const core::ScValue& x,
+                                   const core::ScValue& y) {
+  inner_->addApproxInto(dst, x, y);
+  corrupt(dst);
+}
+
+void FaultedBackend::absSubInto(core::ScValue& dst, const core::ScValue& x,
+                                const core::ScValue& y) {
+  inner_->absSubInto(dst, x, y);
+  corrupt(dst);
+}
+
+void FaultedBackend::minimumInto(core::ScValue& dst, const core::ScValue& x,
+                                 const core::ScValue& y) {
+  inner_->minimumInto(dst, x, y);
+  corrupt(dst);
+}
+
+void FaultedBackend::maximumInto(core::ScValue& dst, const core::ScValue& x,
+                                 const core::ScValue& y) {
+  inner_->maximumInto(dst, x, y);
+  corrupt(dst);
+}
+
+void FaultedBackend::majMuxInto(core::ScValue& dst, const core::ScValue& x,
+                                const core::ScValue& y,
+                                const core::ScValue& sel) {
+  inner_->majMuxInto(dst, x, y, sel);
+  corrupt(dst);
+}
+
+void FaultedBackend::majMux4Into(core::ScValue& dst, const core::ScValue& i11,
+                                 const core::ScValue& i12,
+                                 const core::ScValue& i21,
+                                 const core::ScValue& i22,
+                                 const core::ScValue& sx,
+                                 const core::ScValue& sy) {
+  inner_->majMux4Into(dst, i11, i12, i21, i22, sx, sy);
+  corrupt(dst);
+}
+
+void FaultedBackend::divideInto(core::ScValue& dst, const core::ScValue& num,
+                                const core::ScValue& den) {
+  inner_->divideInto(dst, num, den);
+  corrupt(dst);
+}
+
+// --- factory -----------------------------------------------------------------
+
+std::unique_ptr<core::ScBackend> wrapWithFaults(
+    std::unique_ptr<core::ScBackend> inner, core::DesignKind design,
+    const FaultPlan& plan, std::uint64_t seed, std::uint64_t lane) {
+  if (!plan.anyStreamClass()) return inner;
+  return std::make_unique<FaultedBackend>(std::move(inner),
+                                          faultDomainFor(design), plan, seed,
+                                          lane);
+}
+
+}  // namespace aimsc::reliability

@@ -1,0 +1,96 @@
+#include "reliability/redundancy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "reliability/fault_rng.hpp"
+
+namespace aimsc::reliability {
+
+Vote resolveVote(Vote vote, core::DesignKind design) {
+  if (vote != Vote::Auto) return vote;
+  switch (design) {
+    case core::DesignKind::BinaryCim:
+    case core::DesignKind::Reference: return Vote::Median;
+    case core::DesignKind::SwScLfsr:
+    case core::DesignKind::SwScSobol:
+    case core::DesignKind::SwScSimd:
+    case core::DesignKind::ReramSc: return Vote::Bitwise;
+  }
+  return Vote::Median;
+}
+
+const char* voteName(Vote vote) {
+  switch (vote) {
+    case Vote::Auto: return "auto";
+    case Vote::Bitwise: return "bitwise";
+    case Vote::Median: return "median";
+  }
+  return "?";
+}
+
+std::uint64_t replicaSeed(std::uint64_t seed, std::size_t r) {
+  // Replica 0 is the unmitigated run.  Later replicas re-key through the
+  // mixer so replica randomness never collides with the additive
+  // golden-ratio lane stride of makeBackendLanes.
+  if (r == 0) return seed;
+  return mix64(seed + 0x94d049bb133111ebull * static_cast<std::uint64_t>(r));
+}
+
+std::vector<std::uint8_t> voteImages(
+    const std::vector<std::vector<std::uint8_t>>& replicas, Vote vote) {
+  if (replicas.empty()) {
+    throw std::invalid_argument("voteImages: no replicas");
+  }
+  if (vote == Vote::Auto) {
+    throw std::invalid_argument("voteImages: resolve Vote::Auto first");
+  }
+  const std::size_t n = replicas.front().size();
+  for (const auto& img : replicas) {
+    if (img.size() != n) {
+      throw std::invalid_argument("voteImages: replica size mismatch");
+    }
+  }
+  const std::size_t r = replicas.size();
+  if (r == 1) return replicas.front();
+
+  std::vector<std::uint8_t> out(n);
+  if (vote == Vote::Bitwise) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint8_t voted = 0;
+      for (int bit = 0; bit < 8; ++bit) {
+        std::size_t ones = 0;
+        for (const auto& img : replicas) ones += (img[i] >> bit) & 1u;
+        const std::size_t zeros = r - ones;
+        bool v;
+        if (ones > zeros) {
+          v = true;
+        } else if (zeros > ones) {
+          v = false;
+        } else {
+          v = ((replicas.front()[i] >> bit) & 1u) != 0;  // tie: replica 0
+        }
+        if (v) voted |= static_cast<std::uint8_t>(1u << bit);
+      }
+      out[i] = voted;
+    }
+    return out;
+  }
+
+  // Median.
+  std::vector<std::uint8_t> column(r);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < r; ++k) column[k] = replicas[k][i];
+    std::sort(column.begin(), column.end());
+    if (r % 2 == 1) {
+      out[i] = column[r / 2];
+    } else {
+      const unsigned lo = column[r / 2 - 1];
+      const unsigned hi = column[r / 2];
+      out[i] = static_cast<std::uint8_t>((lo + hi + 1) / 2);
+    }
+  }
+  return out;
+}
+
+}  // namespace aimsc::reliability

@@ -1,0 +1,70 @@
+/// \file redundancy.hpp
+/// \brief N-modular redundancy: replica configuration and per-pixel image
+///        voting (the graceful-degradation mitigation layer).
+///
+/// The cheap mitigation SC makes natural (ROADMAP "Scenario breadth (c)"):
+/// run the SAME app R times on independently seeded replica lanes and vote
+/// the decoded images per pixel.  Faults are independent across replicas
+/// (each replica shifts the master seed, so its substrate randomness AND
+/// its fault draws differ), while the signal is common — a majority vote
+/// keeps the signal and suppresses the independent errors.
+///
+/// Two vote rules, matched to how each substrate's errors look:
+///  * `Bitwise` — per-bit majority across the decoded bytes.  SC errors are
+///    small-magnitude popcount noise, so each bit of the decoded byte is an
+///    independent noisy channel and bit-majority is the natural NMR vote.
+///  * `Median` — per-pixel median.  Binary CIM errors are heavy-tailed
+///    (one flipped MSB moves a pixel by 128); the median discards outliers
+///    that a bit-majority would let poison high bits.
+/// `Auto` resolves per design: median for the word-domain substrates
+/// (Binary CIM, and the reference, where replicas agree exactly anyway),
+/// bitwise for the stream substrates.
+///
+/// Tie-breaking (even R): `Bitwise` keeps replica 0's bit, `Median` rounds
+/// the mean of the two middle values — with R=2 both reduce to "replica 0
+/// unless the others agree against it", so even counts are never worse than
+/// R=1 but the interesting configurations are odd.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/backend.hpp"
+
+namespace aimsc::reliability {
+
+/// Per-pixel vote rule for replica outputs.
+enum class Vote {
+  Auto,     ///< pick per design (stream -> Bitwise, word -> Median)
+  Bitwise,  ///< per-bit majority of the decoded bytes
+  Median,   ///< per-pixel median of the decoded bytes
+};
+
+/// N-modular redundancy knob carried by the run configuration.
+/// `replicas == 1` is the unmitigated path (replica 0 runs on the
+/// unmodified seed, so R=1 is bit-identical to not configuring redundancy).
+struct Redundancy {
+  std::size_t replicas = 1;
+  Vote vote = Vote::Auto;
+
+  bool enabled() const { return replicas > 1; }
+};
+
+/// Resolves `Vote::Auto` for \p design (identity for explicit rules).
+Vote resolveVote(Vote vote, core::DesignKind design);
+
+/// Human-readable vote-rule name ("auto" only before resolution).
+const char* voteName(Vote vote);
+
+/// Per-pixel vote across replica images (all the same size; throws
+/// std::invalid_argument on empty input, size mismatch, or `Vote::Auto`,
+/// which must be resolved first).  With one replica returns it unchanged.
+std::vector<std::uint8_t> voteImages(
+    const std::vector<std::vector<std::uint8_t>>& replicas, Vote vote);
+
+/// Seed for replica \p r of a run seeded \p seed: replica 0 keeps the run
+/// seed (R=1 stays bit-identical to the unmitigated path), later replicas
+/// take golden-ratio strides in a band disjoint from the lane stride.
+std::uint64_t replicaSeed(std::uint64_t seed, std::size_t r);
+
+}  // namespace aimsc::reliability

@@ -16,9 +16,15 @@ double FaultModel::misdecisionProb(SlOp op, int onesCount, int numRows) const {
     throw std::invalid_argument("FaultModel: bad pattern");
   }
   const auto key = std::make_tuple(op, onesCount, numRows);
-  const auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  // Compute outside the lock (Monte-Carlo is slow; the per-entry seed makes
+  // a duplicate computation by a racing lane yield the identical value).
   const double p = compute(op, onesCount, numRows);
+  const std::lock_guard<std::mutex> lock(mutex_);
   cache_.emplace(key, p);
   return p;
 }

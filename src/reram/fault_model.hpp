@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <tuple>
 
 #include "reram/device.hpp"
@@ -28,7 +29,10 @@ class FaultModel {
                       std::uint64_t seed = 0xfa017, std::size_t samples = 100000);
 
   /// Probability that the SL output for \p op is wrong when \p onesCount of
-  /// the \p numRows activated cells on a bitline store '1'.
+  /// the \p numRows activated cells on a bitline store '1'.  Thread-safe:
+  /// the memo table is mutex-guarded, so one model may be shared across
+  /// tile-executor lanes (each entry is computed from its own deterministic
+  /// seed, so results never depend on which lane queries first).
   double misdecisionProb(SlOp op, int onesCount, int numRows) const;
 
   /// Worst case over all input patterns (reported in diagnostics).
@@ -42,6 +46,7 @@ class FaultModel {
   DeviceParams params_;
   std::uint64_t seed_;
   std::size_t samples_;
+  mutable std::mutex mutex_;  ///< guards cache_ (lanes may share one model)
   mutable std::map<std::tuple<SlOp, int, int>, double> cache_;
 };
 

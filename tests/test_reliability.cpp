@@ -1,10 +1,23 @@
-// Reliability extensions: voting redundancy in scouting logic and DMR
-// protection for the binary CIM baseline (Sec. IV-C's "protection schemes
-// exist but are costly").
+// Reliability extensions: the unified FaultPlan contract (fault classes on
+// every substrate, bit-identical faulty tiled runs), N-modular redundancy
+// voting, gate-level DMR/TMR protection for the binary CIM baseline
+// (Sec. IV-C's "protection schemes exist but are costly"), and the wear
+// campaign integration.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "apps/runner.hpp"
 #include "bincim/aritpim.hpp"
+#include "core/accelerator.hpp"
+#include "reliability/fault_plan.hpp"
+#include "reliability/injector.hpp"
+#include "reliability/redundancy.hpp"
 #include "reram/scouting.hpp"
+#include "reram/wear.hpp"
 
 namespace aimsc {
 namespace {
@@ -122,6 +135,279 @@ TEST(DmrProtection, ReducesArithmeticErrors) {
   const int protectedErrs = countErrors(bincim::MagicEngine::Protection::Dmr);
   EXPECT_GT(unprotected, 0);
   EXPECT_LT(protectedErrs * 3, unprotected);
+}
+
+// --- FaultPlan contract -----------------------------------------------------
+
+TEST(FaultPlan, ShimTranslatesToDeviceOnlyPlan) {
+  apps::RunConfig cfg;
+  EXPECT_FALSE(cfg.effectiveFaultPlan().any());
+  cfg.injectFaults = true;
+  cfg.device = leakyDevice();
+  const reliability::FaultPlan plan = cfg.effectiveFaultPlan();
+  EXPECT_TRUE(plan.deviceVariability);
+  EXPECT_FALSE(plan.anyStreamClass());
+  EXPECT_DOUBLE_EQ(plan.device.sigmaHrs, leakyDevice().sigmaHrs);
+}
+
+TEST(FaultPlan, ExplicitPlanWinsOverShim) {
+  apps::RunConfig cfg;
+  cfg.injectFaults = true;  // stale shim left on
+  cfg.faults.transientFlipRate = 1e-3;
+  const reliability::FaultPlan plan = cfg.effectiveFaultPlan();
+  EXPECT_FALSE(plan.deviceVariability);
+  EXPECT_DOUBLE_EQ(plan.transientFlipRate, 1e-3);
+}
+
+// --- FaultedBackend decorator ------------------------------------------------
+
+reliability::FaultPlan streamFaultPlan() {
+  reliability::FaultPlan plan;
+  plan.transientFlipRate = 2e-3;
+  plan.stuckAtRate = 0.02;
+  return plan;
+}
+
+std::unique_ptr<core::ScBackend> faultedSwSc(std::uint64_t seed) {
+  core::BackendFactoryConfig bc;
+  bc.seed = seed;
+  bc.faults = streamFaultPlan();
+  return core::makeBackend(core::DesignKind::SwScLfsr, bc);
+}
+
+TEST(FaultedBackend, DeterministicAcrossInstancesAndActuallyInjects) {
+  const std::vector<std::uint8_t> px{0, 31, 100, 200, 255};
+  const auto a = faultedSwSc(9)->encodePixels(px);
+  const auto b = faultedSwSc(9)->encodePixels(px);
+  core::BackendFactoryConfig clean;
+  clean.seed = 9;
+  const auto c =
+      core::makeBackend(core::DesignKind::SwScLfsr, clean)->encodePixels(px);
+  bool anyCorrupted = false;
+  for (std::size_t i = 0; i < px.size(); ++i) {
+    EXPECT_EQ(a[i].stream, b[i].stream) << "fault draws not reproducible";
+    anyCorrupted = anyCorrupted || a[i].stream != c[i].stream;
+  }
+  EXPECT_TRUE(anyCorrupted) << "fault plan was a no-op";
+}
+
+TEST(FaultedBackend, IntoFormBurnsIdenticalFaultEpochs) {
+  const std::vector<std::uint8_t> px{40, 220};
+  const auto alloc = faultedSwSc(5);
+  const auto into = faultedSwSc(5);
+  const auto ax = alloc->encodePixels(px);
+  std::vector<core::ScValue> ix(px.size());
+  into->encodePixelsInto(px, ix);
+  const core::ScValue am = alloc->multiply(ax[0], ax[1]);
+  core::ScValue im;
+  into->multiplyInto(im, ix[0], ix[1]);
+  EXPECT_EQ(ax[0].stream, ix[0].stream);
+  EXPECT_EQ(am.stream, im.stream);
+}
+
+// --- faulty-run determinism across thread counts ----------------------------
+
+TEST(FaultyRuns, BitIdenticalAcrossThreadCounts) {
+  // The tentpole contract: same seed + same plan => bit-identical output at
+  // ANY worker-thread count, on every substrate (lane-pinned tiles +
+  // counter-based fault RNG).
+  reliability::FaultPlan plan = streamFaultPlan();
+  plan.deviceVariability = true;
+  plan.device = apps::defaultFaultyDevice();
+  plan.faultModelSamples = 4000;  // keep the Monte-Carlo tables test-cheap
+
+  for (const auto design :
+       {apps::DesignKind::SwScLfsr, apps::DesignKind::SwScSobol,
+        apps::DesignKind::SwScSimd, apps::DesignKind::ReramSc,
+        apps::DesignKind::BinaryCim}) {
+    apps::RunConfig cfg;
+    cfg.width = 12;
+    cfg.height = 12;
+    cfg.faults = plan;
+    std::vector<std::uint8_t> reference;
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      apps::ParallelConfig par;
+      par.lanes = 4;
+      par.rowsPerTile = 2;
+      par.threads = threads;
+      const img::Image out =
+          apps::runAppDetailed(apps::AppKind::Gamma, design, cfg, par).output;
+      if (reference.empty()) {
+        reference = out.pixels();
+      } else {
+        EXPECT_EQ(out.pixels(), reference)
+            << core::designKindName(design) << " at " << threads << " threads";
+      }
+    }
+  }
+}
+
+// --- N-modular redundancy ----------------------------------------------------
+
+TEST(Redundancy, VoteImagesRules) {
+  using reliability::Vote;
+  const std::vector<std::vector<std::uint8_t>> odd{{10}, {200}, {210}};
+  EXPECT_EQ(reliability::voteImages(odd, Vote::Median)[0], 200);
+  // Bitwise majority: 0b11110000, 0b00001111, 0b11111111 -> 0b11111111.
+  const std::vector<std::vector<std::uint8_t>> bits{{0xF0}, {0x0F}, {0xFF}};
+  EXPECT_EQ(reliability::voteImages(bits, Vote::Bitwise)[0], 0xFF);
+  // Even-count ties: bitwise keeps replica 0's bit, median rounds the mean.
+  const std::vector<std::vector<std::uint8_t>> even{{5}, {9}};
+  EXPECT_EQ(reliability::voteImages(even, Vote::Bitwise)[0], 5);
+  EXPECT_EQ(reliability::voteImages(even, Vote::Median)[0], 7);
+  EXPECT_THROW(reliability::voteImages({}, Vote::Median),
+               std::invalid_argument);
+  EXPECT_THROW(reliability::voteImages(odd, Vote::Auto),
+               std::invalid_argument);
+  EXPECT_THROW(reliability::voteImages({{1}, {2, 3}}, Vote::Median),
+               std::invalid_argument);
+}
+
+double cimGammaSsim(std::size_t replicas, core::CimProtection prot) {
+  apps::RunConfig cfg;
+  cfg.width = 16;
+  cfg.height = 16;
+  cfg.faults =
+      reliability::FaultPlan::deviceOnly(apps::defaultFaultyDevice(), 4000);
+  cfg.redundancy.replicas = replicas;
+  cfg.bincimProtection = prot;
+  return apps::runApp(apps::AppKind::Gamma, apps::DesignKind::BinaryCim, cfg)
+      .ssimPct;
+}
+
+TEST(Redundancy, VoteMonotoneOnBinaryCim) {
+  // The median vote kills heavy-tailed word-bit outliers, so quality is
+  // non-decreasing in the replica count at the Table IV faulty corner.
+  const double r1 = cimGammaSsim(1, core::CimProtection::None);
+  const double r3 = cimGammaSsim(3, core::CimProtection::None);
+  const double r5 = cimGammaSsim(5, core::CimProtection::None);
+  EXPECT_GT(r3, r1);
+  EXPECT_GT(r5, r3);
+}
+
+TEST(Redundancy, TmrRecoversBinaryCimGamma) {
+  // Gate-level retry-and-vote restores the exact design at the corner where
+  // it otherwise collapses (the acceptance criterion's SSIM > 80).
+  EXPECT_LT(cimGammaSsim(1, core::CimProtection::None), 50.0);
+  EXPECT_GT(cimGammaSsim(1, core::CimProtection::Tmr), 80.0);
+}
+
+// --- TMR gate protection -----------------------------------------------------
+
+TEST(TmrProtection, FaultFreeBehaviourUnchangedAtTripleCost) {
+  bincim::MagicEngine plain(nullptr);
+  bincim::MagicEngine tmr(nullptr);
+  tmr.setProtection(bincim::MagicEngine::Protection::Tmr);
+  bincim::AritPim pPlain(plain);
+  bincim::AritPim pTmr(tmr);
+  EXPECT_EQ(pPlain.mul(123, 45, 8), pTmr.mul(123, 45, 8));
+  EXPECT_EQ(tmr.gateOps(), 3 * plain.gateOps());
+}
+
+TEST(TmrProtection, SuppressesArithmeticErrors) {
+  const reram::DeviceParams dev = leakyDevice();
+  reram::FaultModel fm(dev, 11, 30000);
+  auto countErrors = [&](bincim::MagicEngine::Protection prot) {
+    bincim::MagicEngine eng(&fm, 13);
+    eng.setProtection(prot);
+    bincim::AritPim pim(eng);
+    int errors = 0;
+    for (int i = 0; i < 300; ++i) {
+      if (pim.mul(200, 200, 8) != 40000u) ++errors;
+    }
+    return errors;
+  };
+  const int unprotected = countErrors(bincim::MagicEngine::Protection::None);
+  const int tmrErrs = countErrors(bincim::MagicEngine::Protection::Tmr);
+  EXPECT_GT(unprotected, 0);
+  // Residual ~3p^2 per gate: at least an order of magnitude better.
+  EXPECT_LT(tmrErrs * 10, unprotected);
+}
+
+// --- shared FaultModel thread safety ----------------------------------------
+
+TEST(FaultModelSharing, ConcurrentQueriesMatchSerial) {
+  const reram::DeviceParams dev = leakyDevice();
+  std::vector<std::tuple<reram::SlOp, int, int>> queries;
+  for (const auto op : {reram::SlOp::And, reram::SlOp::Or, reram::SlOp::Xor,
+                        reram::SlOp::Nor}) {
+    for (int rows = 2; rows <= 4; ++rows) {
+      for (int ones = 0; ones <= rows; ++ones) {
+        queries.emplace_back(op, ones, rows);
+      }
+    }
+  }
+
+  reram::FaultModel serial(dev, 21, 2000);
+  std::map<std::tuple<reram::SlOp, int, int>, double> expected;
+  for (const auto& [op, ones, rows] : queries) {
+    expected[{op, ones, rows}] = serial.misdecisionProb(op, ones, rows);
+  }
+
+  // Hammer one shared model from 8 threads; every entry's seed is derived
+  // from its key, so whoever computes first must land on the same value.
+  reram::FaultModel shared(dev, 21, 2000);
+  std::vector<std::thread> workers;
+  std::vector<int> mismatches(8, 0);
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&, t] {
+      for (int rep = 0; rep < 20; ++rep) {
+        for (const auto& [op, ones, rows] : queries) {
+          if (shared.misdecisionProb(op, ones, rows) !=
+              expected[{op, ones, rows}]) {
+            ++mismatches[t];
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (int t = 0; t < 8; ++t) EXPECT_EQ(mismatches[t], 0);
+}
+
+// --- wear-leveling campaign integration --------------------------------------
+
+TEST(WearCampaign, RotationKeepsSpreadBoundedUnderSustainedRefresh) {
+  core::AcceleratorConfig ac;
+  ac.streamLength = 64;
+  ac.wearWindowRows = 16;  // two 8-row plane positions
+  core::Accelerator acc(ac);
+  for (int i = 0; i < 25; ++i) acc.refreshRandomness();
+  // Every refresh deposits at the next rotation base, so the window rows
+  // differ by at most one pass while both halves absorb traffic.
+  EXPECT_LE(reram::WearLeveler::wearSpread(acc.array(), 1, 16), 1u);
+  EXPECT_GT(acc.array().rowWriteCycles(1), 0u);
+  EXPECT_GT(acc.array().rowWriteCycles(9), 0u);
+}
+
+TEST(WearCampaign, RotationNeverChangesOutputBits) {
+  apps::RunConfig plain;
+  plain.width = 8;
+  plain.height = 8;
+  apps::RunConfig rotated = plain;
+  rotated.wearWindowRows = 16;
+  const img::Image a = apps::runAppDetailed(apps::AppKind::Gamma,
+                                            apps::DesignKind::ReramSc, plain)
+                           .output;
+  const img::Image b = apps::runAppDetailed(apps::AppKind::Gamma,
+                                            apps::DesignKind::ReramSc, rotated)
+                           .output;
+  EXPECT_EQ(a.pixels(), b.pixels());
+}
+
+TEST(WearCampaign, WearDriftDegradesAgedDevices) {
+  auto ssimAt = [](std::uint64_t preload) {
+    apps::RunConfig cfg;
+    cfg.width = 12;
+    cfg.height = 12;
+    cfg.faults.wearDriftPerMegaCycle = 1e-3;
+    cfg.faults.wearPreloadCycles = preload;
+    cfg.wearWindowRows = 16;
+    return apps::runApp(apps::AppKind::Gamma, apps::DesignKind::ReramSc, cfg)
+        .ssimPct;
+  };
+  // A fresh device is unaffected; 80M preloaded cycles cost real quality.
+  EXPECT_GT(ssimAt(0), ssimAt(80'000'000) + 5.0);
 }
 
 TEST(DmrProtection, GateCostApproximatelyDoubles) {
