@@ -58,7 +58,7 @@ BENCHMARK(BM_ImsngConversion)->Arg(256)->Arg(1024);
 void BM_ImsngConversionFaulty(benchmark::State& state) {
   core::AcceleratorConfig cfg;
   cfg.streamLength = 256;
-  cfg.injectFaults = true;
+  cfg.deviceVariability = true;
   cfg.device.sigmaLrs = 0.12;
   cfg.device.sigmaHrs = 1.1;
   cfg.faultModelSamples = 20000;

@@ -71,33 +71,6 @@ struct VocabIdentity {
   bool reramGammaFused = false;
 };
 
-/// The faulty columns now run on the unified `FaultPlan` contract
-/// (reliability/fault_plan.hpp).  This guard proves the migration is exact:
-/// the explicit device-only plan and the deprecated `injectFaults` shim must
-/// produce BIT-IDENTICAL outputs on the device-variability substrates, which
-/// in turn pins every committed BENCH_quality.json SSIM number (a stronger
-/// regression assertion than comparing the scores themselves).
-bool checkShimEquivalence(std::size_t size) {
-  apps::RunConfig legacy;
-  legacy.width = size;
-  legacy.height = size;
-  legacy.injectFaults = true;
-  legacy.device = apps::defaultFaultyDevice();
-  legacy.seed = 77;
-  apps::RunConfig plan = legacy;
-  plan.injectFaults = false;
-  plan.faults =
-      reliability::FaultPlan::deviceOnly(apps::defaultFaultyDevice());
-  for (const auto design :
-       {apps::DesignKind::ReramSc, apps::DesignKind::BinaryCim}) {
-    const img::Image a =
-        apps::runAppDetailed(apps::AppKind::Gamma, design, legacy).output;
-    const img::Image b =
-        apps::runAppDetailed(apps::AppKind::Gamma, design, plan).output;
-    if (a.pixels() != b.pixels()) return false;
-  }
-  return true;
-}
 
 VocabIdentity checkVocabIdentity() {
   VocabIdentity id;
@@ -301,15 +274,13 @@ int main(int argc, char** argv) {
   std::fputs(vt.toString().c_str(), stdout);
 
   const VocabIdentity vid = checkVocabIdentity();
-  const bool shimEquivalent = checkShimEquivalence(std::min<std::size_t>(size, 16));
   std::printf(
       "bit-identity: SwScSimd==SwScLfsr min %s max %s addApprox %s "
-      "bernstein %s gamma %s morphology %s; ReRAM fused gamma %s; "
-      "FaultPlan==injectFaults shim %s\n",
+      "bernstein %s gamma %s morphology %s; ReRAM fused gamma %s\n",
       vid.simdMinimum ? "yes" : "NO", vid.simdMaximum ? "yes" : "NO",
       vid.simdAddApprox ? "yes" : "NO", vid.simdBernstein ? "yes" : "NO",
       vid.simdGamma ? "yes" : "NO", vid.simdMorphology ? "yes" : "NO",
-      vid.reramGammaFused ? "yes" : "NO", shimEquivalent ? "yes" : "NO");
+      vid.reramGammaFused ? "yes" : "NO");
 
   // Machine-readable block for CI (see docs/BENCHMARKS.md).
   if (FILE* f = std::fopen("BENCH_quality.json", "w")) {
@@ -327,12 +298,10 @@ int main(int argc, char** argv) {
                  "    \"simd_gamma_bit_identical\": %s,\n"
                  "    \"simd_morphology_bit_identical\": %s,\n"
                  "    \"reram_gamma_fused_bit_identical\": %s,\n"
-                 "    \"fault_plan_shim_equivalent\": %s,\n"
                  "    \"quality\": [\n",
                  runs, size, size, b(vid.simdMinimum), b(vid.simdMaximum),
                  b(vid.simdAddApprox), b(vid.simdBernstein), b(vid.simdGamma),
-                 b(vid.simdMorphology), b(vid.reramGammaFused),
-                 b(shimEquivalent));
+                 b(vid.simdMorphology), b(vid.reramGammaFused));
     for (std::size_t i = 0; i < vocabRows.size(); ++i) {
       const VocabRow& vr = vocabRows[i];
       std::fprintf(

@@ -34,8 +34,7 @@ int main(int argc, char** argv) {
     cfg.width = size;
     cfg.height = size;
     cfg.streamLength = 128;
-    cfg.injectFaults = true;
-    cfg.device = dev;
+    cfg.faults = reliability::FaultPlan::deviceOnly(dev);
     const apps::Quality sc =
         apps::runApp(apps::AppKind::Compositing, apps::DesignKind::ReramSc, cfg);
     const apps::Quality bin = apps::runApp(apps::AppKind::Compositing,

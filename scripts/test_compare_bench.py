@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Tests for compare_bench.py: the ratio-drop rule, the boolean-contract
+rule, and the --require-true schema gate.
+
+Runs standalone (``python3 scripts/test_compare_bench.py``) and under
+pytest (the CI job) — each ``test_*`` function is independent and uses only
+the standard library.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "compare_bench.py")
+
+
+def run_compare(current, baseline, *extra):
+    """Writes the two dicts to temp files and runs compare_bench on them."""
+    with tempfile.TemporaryDirectory() as tmp:
+        cur_path = os.path.join(tmp, "current.json")
+        base_path = os.path.join(tmp, "baseline.json")
+        with open(cur_path, "w") as f:
+            json.dump(current, f)
+        with open(base_path, "w") as f:
+            json.dump(baseline, f)
+        return subprocess.run(
+            [sys.executable, SCRIPT, cur_path, base_path, *extra],
+            capture_output=True, text=True)
+
+
+BASELINE = {
+    "width": 64, "height": 64,
+    "service_batched_speedup": 2.0,
+    "deterministic_under_batching": True,
+}
+
+
+def test_identical_runs_pass():
+    proc = run_compare(dict(BASELINE), dict(BASELINE))
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_ratio_drop_within_15_percent_passes():
+    current = dict(BASELINE, service_batched_speedup=1.75)  # -12.5%
+    proc = run_compare(current, BASELINE)
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_ratio_drop_beyond_15_percent_fails():
+    current = dict(BASELINE, service_batched_speedup=1.6)  # -20%
+    proc = run_compare(current, BASELINE)
+    assert proc.returncode == 1
+    assert "dropped" in proc.stderr
+
+
+def test_mismatched_size_uses_floor_not_drop():
+    # A big drop is fine at a different image size; sinking below the 1.0
+    # floor is not.
+    current = dict(BASELINE, width=16, height=16,
+                   service_batched_speedup=1.2)
+    assert run_compare(current, BASELINE).returncode == 0
+    current["service_batched_speedup"] = 0.9
+    proc = run_compare(current, BASELINE)
+    assert proc.returncode == 1
+    assert "below floor" in proc.stderr
+
+
+def test_boolean_contract_regression_fails():
+    current = dict(BASELINE, deterministic_under_batching=False)
+    proc = run_compare(current, BASELINE)
+    assert proc.returncode == 1
+    assert "boolean contract" in proc.stderr
+
+
+def test_require_true_gates_missing_key():
+    proc = run_compare(dict(BASELINE), dict(BASELINE),
+                       "--require-true", "batched_speedup_ge_1p5")
+    assert proc.returncode == 1
+    assert "required contract" in proc.stderr
+
+
+def test_require_true_passes_when_present_and_true():
+    current = dict(BASELINE, batched_speedup_ge_1p5=True)
+    proc = run_compare(current, BASELINE,
+                       "--require-true", "batched_speedup_ge_1p5")
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_require_true_rejects_false():
+    current = dict(BASELINE, batched_speedup_ge_1p5=False)
+    proc = run_compare(current, BASELINE,
+                       "--require-true", "batched_speedup_ge_1p5")
+    assert proc.returncode == 1
+
+
+def test_nested_keys_flatten_with_dots():
+    baseline = dict(BASELINE, alloc={"swsc_fused_speedup": 10.0})
+    current = dict(BASELINE, alloc={"swsc_fused_speedup": 2.0})
+    proc = run_compare(current, baseline)
+    assert proc.returncode == 1
+    assert "alloc.swsc_fused_speedup" in proc.stderr
+
+
+def main():
+    tests = [(name, fn) for name, fn in sorted(globals().items())
+             if name.startswith("test_") and callable(fn)]
+    failed = 0
+    for name, fn in tests:
+        try:
+            fn()
+            print(f"PASS {name}")
+        except AssertionError as e:
+            failed += 1
+            print(f"FAIL {name}: {e}")
+    print(f"{len(tests) - failed}/{len(tests)} passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,9 +23,9 @@ SampleCoord mapCoord(std::size_t outIndex, std::size_t outSize,
                      static_cast<std::uint8_t>(std::lround(frac * 255.0))};
 }
 
-void upscaleKernelRows(const img::Image& src, std::size_t factor,
+void upscaleKernelRows(img::ImageView src, std::size_t factor,
                        core::ScBackend& b, core::StreamArena& arena,
-                       img::Image& out, std::size_t rowBegin,
+                       img::ImageSpan out, std::size_t rowBegin,
                        std::size_t rowEnd) {
   if (factor < 1) throw std::invalid_argument("upscale: bad factor");
   const std::size_t W = out.width();
@@ -65,14 +65,14 @@ void upscaleKernelRows(const img::Image& src, std::size_t factor,
   }
 }
 
-void upscaleKernelRows(const img::Image& src, std::size_t factor,
-                       core::ScBackend& b, img::Image& out,
+void upscaleKernelRows(img::ImageView src, std::size_t factor,
+                       core::ScBackend& b, img::ImageSpan out,
                        std::size_t rowBegin, std::size_t rowEnd) {
   core::StreamArena arena;
   upscaleKernelRows(src, factor, b, arena, out, rowBegin, rowEnd);
 }
 
-img::Image upscaleKernel(const img::Image& src, std::size_t factor,
+img::Image upscaleKernel(img::ImageView src, std::size_t factor,
                          core::ScBackend& b) {
   if (factor < 1) throw std::invalid_argument("upscale: bad factor");
   img::Image out(src.width() * factor, src.height() * factor);
@@ -80,7 +80,7 @@ img::Image upscaleKernel(const img::Image& src, std::size_t factor,
   return out;
 }
 
-img::Image upscaleKernelTiled(const img::Image& src, std::size_t factor,
+img::Image upscaleKernelTiled(img::ImageView src, std::size_t factor,
                               core::TileExecutor& exec) {
   if (factor < 1) throw std::invalid_argument("upscale: bad factor");
   img::Image out(src.width() * factor, src.height() * factor);
@@ -92,7 +92,7 @@ img::Image upscaleKernelTiled(const img::Image& src, std::size_t factor,
   return out;
 }
 
-img::Image upscaleReference(const img::Image& src, std::size_t factor) {
+img::Image upscaleReference(img::ImageView src, std::size_t factor) {
   core::ReferenceBackend b;
   return upscaleKernel(src, factor, b);
 }

@@ -39,27 +39,27 @@ SampleCoord mapCoord(std::size_t outIndex, std::size_t outSize,
 ///
 /// FUSED: walks a fixed arena slot set through the *Into ops —
 /// bit-identical to the allocating call sequence, allocation-free when warm.
-void upscaleKernelRows(const img::Image& src, std::size_t factor,
+void upscaleKernelRows(img::ImageView src, std::size_t factor,
                        core::ScBackend& b, core::StreamArena& arena,
-                       img::Image& out, std::size_t rowBegin,
+                       img::ImageSpan out, std::size_t rowBegin,
                        std::size_t rowEnd);
 
 /// Convenience overload with a call-local arena.
-void upscaleKernelRows(const img::Image& src, std::size_t factor,
-                       core::ScBackend& b, img::Image& out,
+void upscaleKernelRows(img::ImageView src, std::size_t factor,
+                       core::ScBackend& b, img::ImageSpan out,
                        std::size_t rowBegin, std::size_t rowEnd);
 
 /// Whole-image form on a single backend.
-img::Image upscaleKernel(const img::Image& src, std::size_t factor,
+img::Image upscaleKernel(img::ImageView src, std::size_t factor,
                          core::ScBackend& b);
 
 /// Tile-parallel form: the SAME kernel sharded over the executor's lanes.
-img::Image upscaleKernelTiled(const img::Image& src, std::size_t factor,
+img::Image upscaleKernelTiled(img::ImageView src, std::size_t factor,
                               core::TileExecutor& exec);
 
 // --- reference (quality oracle) -------------------------------------------
 
 /// Floating-point reference up-scaling by integer \p factor.
-img::Image upscaleReference(const img::Image& src, std::size_t factor);
+img::Image upscaleReference(img::ImageView src, std::size_t factor);
 
 }  // namespace aimsc::apps

@@ -20,8 +20,8 @@ CompositingScene makeCompositingScene(std::size_t w, std::size_t h,
   return scene;
 }
 
-void compositeKernelRows(const CompositingScene& scene, core::ScBackend& b,
-                         core::StreamArena& arena, img::Image& out,
+void compositeKernelRows(const CompositingFrames& scene, core::ScBackend& b,
+                         core::StreamArena& arena, img::ImageSpan out,
                          std::size_t rowBegin, std::size_t rowEnd) {
   const std::size_t w = scene.background.width();
   // Fixed arena slot set, acquired once per call and walked per row.
@@ -57,20 +57,20 @@ void compositeKernelRows(const CompositingScene& scene, core::ScBackend& b,
   }
 }
 
-void compositeKernelRows(const CompositingScene& scene, core::ScBackend& b,
-                         img::Image& out, std::size_t rowBegin,
+void compositeKernelRows(const CompositingFrames& scene, core::ScBackend& b,
+                         img::ImageSpan out, std::size_t rowBegin,
                          std::size_t rowEnd) {
   core::StreamArena arena;
   compositeKernelRows(scene, b, arena, out, rowBegin, rowEnd);
 }
 
-img::Image compositeKernel(const CompositingScene& scene, core::ScBackend& b) {
+img::Image compositeKernel(const CompositingFrames& scene, core::ScBackend& b) {
   img::Image out(scene.background.width(), scene.background.height());
   compositeKernelRows(scene, b, out, 0, out.height());
   return out;
 }
 
-img::Image compositeKernelTiled(const CompositingScene& scene,
+img::Image compositeKernelTiled(const CompositingFrames& scene,
                                 core::TileExecutor& exec) {
   img::Image out(scene.background.width(), scene.background.height());
   exec.forEachTile(

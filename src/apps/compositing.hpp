@@ -30,6 +30,22 @@ struct CompositingScene {
 CompositingScene makeCompositingScene(std::size_t w, std::size_t h,
                                       std::uint64_t seed);
 
+/// Zero-copy view bundle over the three compositing frames: what the
+/// kernels actually consume.  Implicit from an owning `CompositingScene`;
+/// the accelerator service builds one straight over client buffers, so a
+/// queued frame is never copied on its way into the kernels.
+struct CompositingFrames {
+  img::ImageView background;
+  img::ImageView foreground;
+  img::ImageView alpha;
+
+  CompositingFrames() = default;
+  CompositingFrames(const CompositingScene& s)  // NOLINT: implicit by design
+      : background(s.background), foreground(s.foreground), alpha(s.alpha) {}
+  CompositingFrames(img::ImageView bg, img::ImageView fg, img::ImageView a)
+      : background(bg), foreground(fg), alpha(a) {}
+};
+
 // --- the backend-generic kernel -------------------------------------------
 
 /// Row-range form: composites rows [rowBegin, rowEnd) into \p out.  Per row
@@ -40,21 +56,21 @@ CompositingScene makeCompositingScene(std::size_t w, std::size_t h,
 /// FUSED: the row loop walks a fixed set of \p arena slots through the
 /// backend's destination-passing *Into ops — bit-identical to the
 /// allocating call sequence, zero heap traffic once the arena is warm.
-void compositeKernelRows(const CompositingScene& scene, core::ScBackend& b,
-                         core::StreamArena& arena, img::Image& out,
+void compositeKernelRows(const CompositingFrames& scene, core::ScBackend& b,
+                         core::StreamArena& arena, img::ImageSpan out,
                          std::size_t rowBegin, std::size_t rowEnd);
 
 /// Convenience overload with a call-local arena (warm within the call).
-void compositeKernelRows(const CompositingScene& scene, core::ScBackend& b,
-                         img::Image& out, std::size_t rowBegin,
+void compositeKernelRows(const CompositingFrames& scene, core::ScBackend& b,
+                         img::ImageSpan out, std::size_t rowBegin,
                          std::size_t rowEnd);
 
 /// Whole-image form on a single backend.
-img::Image compositeKernel(const CompositingScene& scene, core::ScBackend& b);
+img::Image compositeKernel(const CompositingFrames& scene, core::ScBackend& b);
 
 /// Tile-parallel form: the SAME kernel sharded over the executor's lanes;
 /// bit-identical for any thread count.
-img::Image compositeKernelTiled(const CompositingScene& scene,
+img::Image compositeKernelTiled(const CompositingFrames& scene,
                                 core::TileExecutor& exec);
 
 // --- reference (quality oracle) -------------------------------------------

@@ -19,8 +19,8 @@ constexpr int kNeighbour[8][2] = {{-1, -1}, {1, 1}, {-1, 1}, {1, -1},
 
 }  // namespace
 
-void smoothKernelRows(const img::Image& src, core::ScBackend& b,
-                      core::StreamArena& arena, img::Image& out,
+void smoothKernelRows(img::ImageView src, core::ScBackend& b,
+                      core::StreamArena& arena, img::ImageSpan out,
                       std::size_t rowBegin, std::size_t rowEnd) {
   if (src.width() < 3 || src.height() < 3) return;
   const std::size_t iw = src.width() - 2;  // interior columns [1, w-1)
@@ -64,21 +64,21 @@ void smoothKernelRows(const img::Image& src, core::ScBackend& b,
   }
 }
 
-void smoothKernelRows(const img::Image& src, core::ScBackend& b,
-                      img::Image& out, std::size_t rowBegin,
+void smoothKernelRows(img::ImageView src, core::ScBackend& b,
+                      img::ImageSpan out, std::size_t rowBegin,
                       std::size_t rowEnd) {
   core::StreamArena arena;
   smoothKernelRows(src, b, arena, out, rowBegin, rowEnd);
 }
 
-img::Image smoothKernel(const img::Image& src, core::ScBackend& b) {
-  img::Image out = src;  // borders copy through
+img::Image smoothKernel(img::ImageView src, core::ScBackend& b) {
+  img::Image out = src.toImage();  // borders copy through
   smoothKernelRows(src, b, out, 0, src.height());
   return out;
 }
 
-img::Image smoothKernelTiled(const img::Image& src, core::TileExecutor& exec) {
-  img::Image out = src;
+img::Image smoothKernelTiled(img::ImageView src, core::TileExecutor& exec) {
+  img::Image out = src.toImage();
   if (src.width() < 3 || src.height() < 3) return out;
   exec.forEachTile(
       src.height(), [&](core::ScBackend& lane, core::StreamArena& arena,
@@ -88,8 +88,8 @@ img::Image smoothKernelTiled(const img::Image& src, core::TileExecutor& exec) {
   return out;
 }
 
-void edgeKernelRows(const img::Image& src, core::ScBackend& b,
-                    core::StreamArena& arena, img::Image& out,
+void edgeKernelRows(img::ImageView src, core::ScBackend& b,
+                    core::StreamArena& arena, img::ImageSpan out,
                     std::size_t rowBegin, std::size_t rowEnd) {
   if (src.width() < 2 || src.height() < 2) return;
   const std::size_t iw = src.width() - 1;  // windows start at x in [0, w-1)
@@ -122,19 +122,19 @@ void edgeKernelRows(const img::Image& src, core::ScBackend& b,
   }
 }
 
-void edgeKernelRows(const img::Image& src, core::ScBackend& b, img::Image& out,
+void edgeKernelRows(img::ImageView src, core::ScBackend& b, img::ImageSpan out,
                     std::size_t rowBegin, std::size_t rowEnd) {
   core::StreamArena arena;
   edgeKernelRows(src, b, arena, out, rowBegin, rowEnd);
 }
 
-img::Image edgeKernel(const img::Image& src, core::ScBackend& b) {
+img::Image edgeKernel(img::ImageView src, core::ScBackend& b) {
   img::Image out(src.width(), src.height(), 0);
   edgeKernelRows(src, b, out, 0, src.height());
   return out;
 }
 
-img::Image edgeKernelTiled(const img::Image& src, core::TileExecutor& exec) {
+img::Image edgeKernelTiled(img::ImageView src, core::TileExecutor& exec) {
   img::Image out(src.width(), src.height(), 0);
   if (src.width() < 2 || src.height() < 2) return out;
   exec.forEachTile(
@@ -145,8 +145,8 @@ img::Image edgeKernelTiled(const img::Image& src, core::TileExecutor& exec) {
   return out;
 }
 
-void gammaKernelRows(const img::Image& src, double gamma, core::ScBackend& b,
-                     core::StreamArena& arena, img::Image& out,
+void gammaKernelRows(img::ImageView src, double gamma, core::ScBackend& b,
+                     core::StreamArena& arena, img::ImageSpan out,
                      std::size_t rowBegin, std::size_t rowEnd, int degree) {
   const std::vector<double> coeffValues = sc::bernsteinCoefficientsOf(
       [gamma](double t) { return std::pow(t, gamma); }, degree);
@@ -172,21 +172,21 @@ void gammaKernelRows(const img::Image& src, double gamma, core::ScBackend& b,
   }
 }
 
-void gammaKernelRows(const img::Image& src, double gamma, core::ScBackend& b,
-                     img::Image& out, std::size_t rowBegin, std::size_t rowEnd,
+void gammaKernelRows(img::ImageView src, double gamma, core::ScBackend& b,
+                     img::ImageSpan out, std::size_t rowBegin, std::size_t rowEnd,
                      int degree) {
   core::StreamArena arena;
   gammaKernelRows(src, gamma, b, arena, out, rowBegin, rowEnd, degree);
 }
 
-img::Image gammaKernel(const img::Image& src, double gamma, core::ScBackend& b,
+img::Image gammaKernel(img::ImageView src, double gamma, core::ScBackend& b,
                        int degree) {
   img::Image out(src.width(), src.height());
   gammaKernelRows(src, gamma, b, out, 0, src.height(), degree);
   return out;
 }
 
-img::Image gammaKernelTiled(const img::Image& src, double gamma,
+img::Image gammaKernelTiled(img::ImageView src, double gamma,
                             core::TileExecutor& exec, int degree) {
   img::Image out(src.width(), src.height());
   exec.forEachTile(
@@ -197,17 +197,17 @@ img::Image gammaKernelTiled(const img::Image& src, double gamma,
   return out;
 }
 
-img::Image smoothReference(const img::Image& src) {
+img::Image smoothReference(img::ImageView src) {
   core::ReferenceBackend b;
   return smoothKernel(src, b);
 }
 
-img::Image edgeReference(const img::Image& src) {
+img::Image edgeReference(img::ImageView src) {
   core::ReferenceBackend b;
   return edgeKernel(src, b);
 }
 
-img::Image gammaReference(const img::Image& src, double gamma) {
+img::Image gammaReference(img::ImageView src, double gamma) {
   img::Image out(src.width(), src.height());
   for (std::size_t i = 0; i < out.size(); ++i) {
     out[i] = img::Image::fromProb(std::pow(src[i] / 255.0, gamma));

@@ -30,71 +30,71 @@ namespace aimsc::apps {
 ///
 /// FUSED: walks a fixed arena slot set through the *Into ops —
 /// bit-identical to the allocating call sequence, allocation-free when warm.
-void smoothKernelRows(const img::Image& src, core::ScBackend& b,
-                      core::StreamArena& arena, img::Image& out,
+void smoothKernelRows(img::ImageView src, core::ScBackend& b,
+                      core::StreamArena& arena, img::ImageSpan out,
                       std::size_t rowBegin, std::size_t rowEnd);
 
 /// Convenience overload with a call-local arena.
-void smoothKernelRows(const img::Image& src, core::ScBackend& b,
-                      img::Image& out, std::size_t rowBegin,
+void smoothKernelRows(img::ImageView src, core::ScBackend& b,
+                      img::ImageSpan out, std::size_t rowBegin,
                       std::size_t rowEnd);
 
 /// Whole-image smoothing (border pixels copy through).
-img::Image smoothKernel(const img::Image& src, core::ScBackend& b);
+img::Image smoothKernel(img::ImageView src, core::ScBackend& b);
 
 /// Tile-parallel smoothing: the SAME kernel over the executor's lanes.
-img::Image smoothKernelTiled(const img::Image& src, core::TileExecutor& exec);
+img::Image smoothKernelTiled(img::ImageView src, core::TileExecutor& exec);
 
 /// Row-range Roberts-cross edge magnitude
 /// (|I(x,y)-I(x+1,y+1)| + |I(x+1,y)-I(x,y+1)|)/2: per row one epoch for the
 /// correlated 4-pixel window family plus one fresh select epoch.  FUSED
 /// (see smoothKernelRows).
-void edgeKernelRows(const img::Image& src, core::ScBackend& b,
-                    core::StreamArena& arena, img::Image& out,
+void edgeKernelRows(img::ImageView src, core::ScBackend& b,
+                    core::StreamArena& arena, img::ImageSpan out,
                     std::size_t rowBegin, std::size_t rowEnd);
 
 /// Convenience overload with a call-local arena.
-void edgeKernelRows(const img::Image& src, core::ScBackend& b, img::Image& out,
+void edgeKernelRows(img::ImageView src, core::ScBackend& b, img::ImageSpan out,
                     std::size_t rowBegin, std::size_t rowEnd);
 
 /// Whole-image edge magnitude (last row/column are zero).
-img::Image edgeKernel(const img::Image& src, core::ScBackend& b);
+img::Image edgeKernel(img::ImageView src, core::ScBackend& b);
 
 /// Tile-parallel edge detection: the SAME kernel over the executor's lanes.
-img::Image edgeKernelTiled(const img::Image& src, core::TileExecutor& exec);
+img::Image edgeKernelTiled(img::ImageView src, core::TileExecutor& exec);
 
 /// Row-range gamma correction v' = v^gamma via Bernstein synthesis
 /// (sc/bernstein.hpp): per pixel, `degree` independent encodings of the
 /// pixel (`encodeCopies`) select among degree+1 coefficient streams
 /// b_k = (k/n)^gamma through the backend's `bernsteinSelect` network.
 /// FUSED (see smoothKernelRows).
-void gammaKernelRows(const img::Image& src, double gamma, core::ScBackend& b,
-                     core::StreamArena& arena, img::Image& out,
+void gammaKernelRows(img::ImageView src, double gamma, core::ScBackend& b,
+                     core::StreamArena& arena, img::ImageSpan out,
                      std::size_t rowBegin, std::size_t rowEnd, int degree = 4);
 
 /// Convenience overload with a call-local arena.
-void gammaKernelRows(const img::Image& src, double gamma, core::ScBackend& b,
-                     img::Image& out, std::size_t rowBegin, std::size_t rowEnd,
+void gammaKernelRows(img::ImageView src, double gamma, core::ScBackend& b,
+                     img::ImageSpan out, std::size_t rowBegin, std::size_t rowEnd,
                      int degree = 4);
 
 /// Whole-image gamma correction on any backend.
-img::Image gammaKernel(const img::Image& src, double gamma, core::ScBackend& b,
+img::Image gammaKernel(img::ImageView src, double gamma, core::ScBackend& b,
                        int degree = 4);
 
 /// Tile-parallel gamma correction: the SAME kernel over the executor's
 /// lanes.
-img::Image gammaKernelTiled(const img::Image& src, double gamma,
+img::Image gammaKernelTiled(img::ImageView src, double gamma,
                             core::TileExecutor& exec, int degree = 4);
 
 // --- references (quality oracles) -----------------------------------------
 
 /// 8-neighbour mean smoothing (border pixels are copied through).
-img::Image smoothReference(const img::Image& src);
+img::Image smoothReference(img::ImageView src);
 
 /// Roberts-cross edge magnitude.
-img::Image edgeReference(const img::Image& src);
+img::Image edgeReference(img::ImageView src);
 
 /// Exact gamma correction v' = v^gamma.
-img::Image gammaReference(const img::Image& src, double gamma);
+img::Image gammaReference(img::ImageView src, double gamma);
 
 }  // namespace aimsc::apps

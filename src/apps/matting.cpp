@@ -16,8 +16,8 @@ MattingScene makeMattingScene(std::size_t w, std::size_t h, std::uint64_t seed) 
   return scene;
 }
 
-void mattingKernelRows(const MattingScene& scene, core::ScBackend& b,
-                       core::StreamArena& arena, img::Image& out,
+void mattingKernelRows(const MattingFrames& scene, core::ScBackend& b,
+                       core::StreamArena& arena, img::ImageSpan out,
                        std::size_t rowBegin, std::size_t rowEnd) {
   const std::size_t w = scene.composite.width();
   auto& irow = arena.bytes(w);
@@ -51,20 +51,20 @@ void mattingKernelRows(const MattingScene& scene, core::ScBackend& b,
   }
 }
 
-void mattingKernelRows(const MattingScene& scene, core::ScBackend& b,
-                       img::Image& out, std::size_t rowBegin,
+void mattingKernelRows(const MattingFrames& scene, core::ScBackend& b,
+                       img::ImageSpan out, std::size_t rowBegin,
                        std::size_t rowEnd) {
   core::StreamArena arena;
   mattingKernelRows(scene, b, arena, out, rowBegin, rowEnd);
 }
 
-img::Image mattingKernel(const MattingScene& scene, core::ScBackend& b) {
+img::Image mattingKernel(const MattingFrames& scene, core::ScBackend& b) {
   img::Image out(scene.composite.width(), scene.composite.height());
   mattingKernelRows(scene, b, out, 0, out.height());
   return out;
 }
 
-img::Image mattingKernelTiled(const MattingScene& scene,
+img::Image mattingKernelTiled(const MattingFrames& scene,
                               core::TileExecutor& exec) {
   img::Image out(scene.composite.width(), scene.composite.height());
   exec.forEachTile(

@@ -30,6 +30,22 @@ struct MattingScene {
 
 MattingScene makeMattingScene(std::size_t w, std::size_t h, std::uint64_t seed);
 
+/// Zero-copy view bundle over the frames the matting kernel consumes
+/// (truth stays behind for evaluation).  Implicit from an owning
+/// `MattingScene`; the accelerator service builds one over client buffers.
+struct MattingFrames {
+  img::ImageView composite;   ///< I
+  img::ImageView background;  ///< B
+  img::ImageView foreground;  ///< F
+
+  MattingFrames() = default;
+  MattingFrames(const MattingScene& s)  // NOLINT: implicit by design
+      : composite(s.composite), background(s.background),
+        foreground(s.foreground) {}
+  MattingFrames(img::ImageView i, img::ImageView b, img::ImageView f)
+      : composite(i), background(b), foreground(f) {}
+};
+
 // --- the backend-generic kernel -------------------------------------------
 
 /// Row-range form: estimates alpha for rows [rowBegin, rowEnd).  Per row
@@ -40,20 +56,20 @@ MattingScene makeMattingScene(std::size_t w, std::size_t h, std::uint64_t seed);
 /// FUSED: walks a fixed arena slot set through the *Into ops —
 /// bit-identical to the allocating call sequence, allocation-free when warm
 /// (the serial CORDIV recurrence itself writes into a warm slot too).
-void mattingKernelRows(const MattingScene& scene, core::ScBackend& b,
-                       core::StreamArena& arena, img::Image& out,
+void mattingKernelRows(const MattingFrames& scene, core::ScBackend& b,
+                       core::StreamArena& arena, img::ImageSpan out,
                        std::size_t rowBegin, std::size_t rowEnd);
 
 /// Convenience overload with a call-local arena.
-void mattingKernelRows(const MattingScene& scene, core::ScBackend& b,
-                       img::Image& out, std::size_t rowBegin,
+void mattingKernelRows(const MattingFrames& scene, core::ScBackend& b,
+                       img::ImageSpan out, std::size_t rowBegin,
                        std::size_t rowEnd);
 
 /// Whole-image form on a single backend.
-img::Image mattingKernel(const MattingScene& scene, core::ScBackend& b);
+img::Image mattingKernel(const MattingFrames& scene, core::ScBackend& b);
 
 /// Tile-parallel form: the SAME kernel sharded over the executor's lanes.
-img::Image mattingKernelTiled(const MattingScene& scene,
+img::Image mattingKernelTiled(const MattingFrames& scene,
                               core::TileExecutor& exec);
 
 // --- reference (quality oracle) -------------------------------------------

@@ -19,8 +19,8 @@ constexpr int kWindow[9][2] = {{0, 0},  {-1, -1}, {0, -1}, {1, -1}, {-1, 0},
 /// output slot (the *Into ops allow destination/operand aliasing), so a
 /// warm arena row is allocation-free.
 template <typename FoldOp>
-void morphKernelRows(const img::Image& src, core::ScBackend& b,
-                     core::StreamArena& arena, img::Image& out,
+void morphKernelRows(img::ImageView src, core::ScBackend& b,
+                     core::StreamArena& arena, img::ImageSpan out,
                      std::size_t rowBegin, std::size_t rowEnd, FoldOp&& fold) {
   if (src.width() < 3 || src.height() < 3) return;
   const std::size_t iw = src.width() - 2;  // interior columns [1, w-1)
@@ -63,16 +63,16 @@ const auto kMaxFold = [](core::ScBackend& b, core::ScValue& dst,
 };
 
 template <typename RowsFn>
-img::Image wholeImage(const img::Image& src, RowsFn&& rows) {
-  img::Image out = src;  // borders copy through
+img::Image wholeImage(img::ImageView src, RowsFn&& rows) {
+  img::Image out = src.toImage();  // borders copy through
   rows(out, std::size_t{0}, src.height());
   return out;
 }
 
 template <typename RowsFn>
-img::Image tiled(const img::Image& src, core::TileExecutor& exec,
+img::Image tiled(img::ImageView src, core::TileExecutor& exec,
                  RowsFn&& rows) {
-  img::Image out = src;
+  img::Image out = src.toImage();
   if (src.width() < 3 || src.height() < 3) return out;
   exec.forEachTile(src.height(),
                    [&](core::ScBackend& lane, core::StreamArena& arena,
@@ -84,8 +84,8 @@ img::Image tiled(const img::Image& src, core::TileExecutor& exec,
 
 /// Integer reference fold over the 3×3 window.
 template <typename Fold>
-img::Image morphReference(const img::Image& src, Fold&& fold) {
-  img::Image out = src;
+img::Image morphReference(img::ImageView src, Fold&& fold) {
+  img::Image out = src.toImage();
   if (src.width() < 3 || src.height() < 3) return out;
   for (std::size_t y = 1; y + 1 < src.height(); ++y) {
     for (std::size_t x = 1; x + 1 < src.width(); ++x) {
@@ -102,69 +102,69 @@ img::Image morphReference(const img::Image& src, Fold&& fold) {
 
 }  // namespace
 
-void erodeKernelRows(const img::Image& src, core::ScBackend& b,
-                     core::StreamArena& arena, img::Image& out,
+void erodeKernelRows(img::ImageView src, core::ScBackend& b,
+                     core::StreamArena& arena, img::ImageSpan out,
                      std::size_t rowBegin, std::size_t rowEnd) {
   morphKernelRows(src, b, arena, out, rowBegin, rowEnd, kMinFold);
 }
 
-void erodeKernelRows(const img::Image& src, core::ScBackend& b,
-                     img::Image& out, std::size_t rowBegin,
+void erodeKernelRows(img::ImageView src, core::ScBackend& b,
+                     img::ImageSpan out, std::size_t rowBegin,
                      std::size_t rowEnd) {
   core::StreamArena arena;
   erodeKernelRows(src, b, arena, out, rowBegin, rowEnd);
 }
 
-void dilateKernelRows(const img::Image& src, core::ScBackend& b,
-                      core::StreamArena& arena, img::Image& out,
+void dilateKernelRows(img::ImageView src, core::ScBackend& b,
+                      core::StreamArena& arena, img::ImageSpan out,
                       std::size_t rowBegin, std::size_t rowEnd) {
   morphKernelRows(src, b, arena, out, rowBegin, rowEnd, kMaxFold);
 }
 
-void dilateKernelRows(const img::Image& src, core::ScBackend& b,
-                      img::Image& out, std::size_t rowBegin,
+void dilateKernelRows(img::ImageView src, core::ScBackend& b,
+                      img::ImageSpan out, std::size_t rowBegin,
                       std::size_t rowEnd) {
   core::StreamArena arena;
   dilateKernelRows(src, b, arena, out, rowBegin, rowEnd);
 }
 
-img::Image erodeKernel(const img::Image& src, core::ScBackend& b) {
-  return wholeImage(src, [&](img::Image& out, std::size_t r0, std::size_t r1) {
+img::Image erodeKernel(img::ImageView src, core::ScBackend& b) {
+  return wholeImage(src, [&](img::ImageSpan out, std::size_t r0, std::size_t r1) {
     erodeKernelRows(src, b, out, r0, r1);
   });
 }
 
-img::Image dilateKernel(const img::Image& src, core::ScBackend& b) {
-  return wholeImage(src, [&](img::Image& out, std::size_t r0, std::size_t r1) {
+img::Image dilateKernel(img::ImageView src, core::ScBackend& b) {
+  return wholeImage(src, [&](img::ImageSpan out, std::size_t r0, std::size_t r1) {
     dilateKernelRows(src, b, out, r0, r1);
   });
 }
 
-img::Image openKernel(const img::Image& src, core::ScBackend& b) {
+img::Image openKernel(img::ImageView src, core::ScBackend& b) {
   return dilateKernel(erodeKernel(src, b), b);
 }
 
-img::Image closeKernel(const img::Image& src, core::ScBackend& b) {
+img::Image closeKernel(img::ImageView src, core::ScBackend& b) {
   return erodeKernel(dilateKernel(src, b), b);
 }
 
-img::Image erodeKernelTiled(const img::Image& src, core::TileExecutor& exec) {
+img::Image erodeKernelTiled(img::ImageView src, core::TileExecutor& exec) {
   return tiled(src, exec,
                [&](core::ScBackend& lane, core::StreamArena& arena,
-                   img::Image& out, std::size_t r0, std::size_t r1) {
+                   img::ImageSpan out, std::size_t r0, std::size_t r1) {
                  erodeKernelRows(src, lane, arena, out, r0, r1);
                });
 }
 
-img::Image dilateKernelTiled(const img::Image& src, core::TileExecutor& exec) {
+img::Image dilateKernelTiled(img::ImageView src, core::TileExecutor& exec) {
   return tiled(src, exec,
                [&](core::ScBackend& lane, core::StreamArena& arena,
-                   img::Image& out, std::size_t r0, std::size_t r1) {
+                   img::ImageSpan out, std::size_t r0, std::size_t r1) {
                  dilateKernelRows(src, lane, arena, out, r0, r1);
                });
 }
 
-img::Image openKernelTiled(const img::Image& src, core::TileExecutor& exec) {
+img::Image openKernelTiled(img::ImageView src, core::TileExecutor& exec) {
   const img::Image eroded = erodeKernelTiled(src, exec);
   img::Image out = eroded;
   if (src.width() < 3 || src.height() < 3) return out;
@@ -176,7 +176,7 @@ img::Image openKernelTiled(const img::Image& src, core::TileExecutor& exec) {
   return out;
 }
 
-img::Image closeKernelTiled(const img::Image& src, core::TileExecutor& exec) {
+img::Image closeKernelTiled(img::ImageView src, core::TileExecutor& exec) {
   const img::Image dilated = dilateKernelTiled(src, exec);
   img::Image out = dilated;
   if (src.width() < 3 || src.height() < 3) return out;
@@ -188,21 +188,21 @@ img::Image closeKernelTiled(const img::Image& src, core::TileExecutor& exec) {
   return out;
 }
 
-img::Image erodeReference(const img::Image& src) {
+img::Image erodeReference(img::ImageView src) {
   return morphReference(
       src, [](std::uint8_t a, std::uint8_t v) { return std::min(a, v); });
 }
 
-img::Image dilateReference(const img::Image& src) {
+img::Image dilateReference(img::ImageView src) {
   return morphReference(
       src, [](std::uint8_t a, std::uint8_t v) { return std::max(a, v); });
 }
 
-img::Image openReference(const img::Image& src) {
+img::Image openReference(img::ImageView src) {
   return dilateReference(erodeReference(src));
 }
 
-img::Image closeReference(const img::Image& src) {
+img::Image closeReference(img::ImageView src) {
   return erodeReference(dilateReference(src));
 }
 

@@ -31,47 +31,47 @@ namespace aimsc::apps {
 /// FUSED: the fold runs in place on a fixed arena slot set through the
 /// *Into ops (dst aliasing its first operand) — bit-identical to the
 /// allocating chain, allocation-free when warm.
-void erodeKernelRows(const img::Image& src, core::ScBackend& b,
-                     core::StreamArena& arena, img::Image& out,
+void erodeKernelRows(img::ImageView src, core::ScBackend& b,
+                     core::StreamArena& arena, img::ImageSpan out,
                      std::size_t rowBegin, std::size_t rowEnd);
 
 /// Convenience overload with a call-local arena.
-void erodeKernelRows(const img::Image& src, core::ScBackend& b,
-                     img::Image& out, std::size_t rowBegin,
+void erodeKernelRows(img::ImageView src, core::ScBackend& b,
+                     img::ImageSpan out, std::size_t rowBegin,
                      std::size_t rowEnd);
 
 /// Row-range 3×3 dilation (window maximum): the mirrored `maximum` chain.
-void dilateKernelRows(const img::Image& src, core::ScBackend& b,
-                      core::StreamArena& arena, img::Image& out,
+void dilateKernelRows(img::ImageView src, core::ScBackend& b,
+                      core::StreamArena& arena, img::ImageSpan out,
                       std::size_t rowBegin, std::size_t rowEnd);
 
 /// Convenience overload with a call-local arena.
-void dilateKernelRows(const img::Image& src, core::ScBackend& b,
-                      img::Image& out, std::size_t rowBegin,
+void dilateKernelRows(img::ImageView src, core::ScBackend& b,
+                      img::ImageSpan out, std::size_t rowBegin,
                       std::size_t rowEnd);
 
 /// Whole-image erosion / dilation (border pixels copy through).
-img::Image erodeKernel(const img::Image& src, core::ScBackend& b);
-img::Image dilateKernel(const img::Image& src, core::ScBackend& b);
+img::Image erodeKernel(img::ImageView src, core::ScBackend& b);
+img::Image dilateKernel(img::ImageView src, core::ScBackend& b);
 
 /// Morphological opening (dilate(erode(src))) and closing
 /// (erode(dilate(src))) on a single backend.
-img::Image openKernel(const img::Image& src, core::ScBackend& b);
-img::Image closeKernel(const img::Image& src, core::ScBackend& b);
+img::Image openKernel(img::ImageView src, core::ScBackend& b);
+img::Image closeKernel(img::ImageView src, core::ScBackend& b);
 
 /// Tile-parallel forms: the SAME kernels over the executor's lanes (the
 /// compositions run two lane-pinned passes with a full barrier between).
-img::Image erodeKernelTiled(const img::Image& src, core::TileExecutor& exec);
-img::Image dilateKernelTiled(const img::Image& src, core::TileExecutor& exec);
-img::Image openKernelTiled(const img::Image& src, core::TileExecutor& exec);
-img::Image closeKernelTiled(const img::Image& src, core::TileExecutor& exec);
+img::Image erodeKernelTiled(img::ImageView src, core::TileExecutor& exec);
+img::Image dilateKernelTiled(img::ImageView src, core::TileExecutor& exec);
+img::Image openKernelTiled(img::ImageView src, core::TileExecutor& exec);
+img::Image closeKernelTiled(img::ImageView src, core::TileExecutor& exec);
 
 // --- integer references (quality oracles) ---------------------------------
 
 /// Exact integer window min / max (border pixels copy through).
-img::Image erodeReference(const img::Image& src);
-img::Image dilateReference(const img::Image& src);
-img::Image openReference(const img::Image& src);
-img::Image closeReference(const img::Image& src);
+img::Image erodeReference(img::ImageView src);
+img::Image dilateReference(img::ImageView src);
+img::Image openReference(img::ImageView src);
+img::Image closeReference(img::ImageView src);
 
 }  // namespace aimsc::apps

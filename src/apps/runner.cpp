@@ -63,10 +63,10 @@ namespace {
 constexpr double kGammaValue = 2.2;
 
 core::AcceleratorConfig accelConfigFor(const RunConfig& cfg) {
-  const reliability::FaultPlan plan = cfg.effectiveFaultPlan();
+  const reliability::FaultPlan& plan = cfg.faults;
   core::AcceleratorConfig ac;
   ac.streamLength = cfg.streamLength;
-  ac.injectFaults = plan.deviceVariability;
+  ac.deviceVariability = plan.deviceVariability;
   if (plan.deviceVariability) ac.device = plan.device;
   ac.faultModelSamples = plan.faultModelSamples;
   ac.wearWindowRows = cfg.wearWindowRows;
@@ -190,7 +190,7 @@ core::BackendFactoryConfig backendConfigFor(const RunConfig& cfg) {
   core::BackendFactoryConfig bc;
   bc.streamLength = cfg.streamLength;
   bc.seed = cfg.seed;
-  bc.faults = cfg.effectiveFaultPlan();
+  bc.faults = cfg.faults;
   bc.bincimProtection = cfg.bincimProtection;
   return bc;
 }
@@ -200,7 +200,7 @@ core::TileExecutorConfig tileConfigFor(const RunConfig& cfg,
   core::TileExecutorConfig tc;
   static_cast<core::ParallelConfig&>(tc) = par;
   tc.mat = accelConfigFor(cfg);
-  tc.faults = cfg.effectiveFaultPlan();
+  tc.faults = cfg.faults;
   return tc;
 }
 

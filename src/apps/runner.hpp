@@ -54,14 +54,9 @@ struct RunConfig {
   std::size_t streamLength = 256;  ///< N
 
   /// The unified fault contract (docs/RELIABILITY.md): all four fault
-  /// classes, on every substrate.
+  /// classes, on every substrate.  Table IV's faulty columns are
+  /// `FaultPlan::deviceOnly(defaultFaultyDevice())`.
   reliability::FaultPlan faults{};
-
-  /// DEPRECATED one-release shim for the pre-FaultPlan API: with `faults`
-  /// empty, setting this reproduces the old behaviour exactly
-  /// (`FaultPlan::deviceOnly(device)` — Table IV's faulty columns).
-  bool injectFaults = false;
-  reram::DeviceParams device{};    ///< device corner used by the shim
 
   /// N-modular redundancy: replicas > 1 runs the app that many times on
   /// independently re-seeded replicas and majority-votes the outputs
@@ -79,13 +74,6 @@ struct RunConfig {
 
   std::size_t upscaleFactor = 2;
   std::uint64_t seed = 42;
-
-  /// The plan runs act on: `faults` when it injects anything, else the
-  /// `injectFaults` shim translated to a device-only plan.
-  reliability::FaultPlan effectiveFaultPlan() const {
-    if (faults.any() || !injectFaults) return faults;
-    return reliability::FaultPlan::deviceOnly(device);
-  }
 };
 
 /// Device corner used for the Table IV fault studies: HRS-instability

@@ -23,9 +23,13 @@ Accelerator::Accelerator(const AcceleratorConfig& config) : config_(config) {
   array_ = std::make_unique<reram::CrossbarArray>(
       rows, config_.streamLength, config_.device, config_.seed);
 
-  if (config_.injectFaults) {
+  if (config_.deviceVariability) {
     if (config_.sharedFaultModel != nullptr) {
       activeFaultModel_ = config_.sharedFaultModel;
+    } else if (config_.faultModelProvider) {
+      cachedFaultModel_ = config_.faultModelProvider(
+          config_.device, config_.seed ^ 0xf417, config_.faultModelSamples);
+      activeFaultModel_ = cachedFaultModel_.get();
     } else {
       faultModel_ = std::make_unique<reram::FaultModel>(
           config_.device, config_.seed ^ 0xf417, config_.faultModelSamples);

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -31,13 +32,24 @@
 
 namespace aimsc::core {
 
+/// Supplier of misdecision tables for mats that would otherwise build their
+/// own: called with exactly the (device, seed, samples) triple the mat's
+/// per-mat `FaultModel` constructor would receive.  A FaultModel's entries
+/// are a pure function of that triple, so a provider that memoizes models by
+/// it (service::FaultModelCache) is bit-identical to per-mat construction —
+/// it only skips repeating the Monte-Carlo.
+using FaultModelProvider =
+    std::function<std::shared_ptr<const reram::FaultModel>(
+        const reram::DeviceParams& device, std::uint64_t seed,
+        std::size_t samples)>;
+
 struct AcceleratorConfig {
   std::size_t streamLength = 256;  ///< N = array columns
   int mBits = 8;                   ///< TRNG segment size M
   ImsngConfig::Variant imsngVariant = ImsngConfig::Variant::Opt;
   bool foldedNetwork = false;      ///< charge folded XAG schedule (ablation)
   reram::DeviceParams device{};    ///< device variability parameters
-  bool injectFaults = false;       ///< probabilistic CIM misdecisions
+  bool deviceVariability = false;       ///< probabilistic CIM misdecisions
   std::size_t faultModelSamples = 100000;
   /// Opt-in shared misdecision table: when non-null (and injecting), this
   /// model is used instead of constructing a per-mat one — a lane fleet
@@ -45,6 +57,12 @@ struct AcceleratorConfig {
   /// Default stays per-mat construction, which keeps historic faulty-run
   /// bit streams unchanged.  The pointee must outlive the Accelerator.
   const reram::FaultModel* sharedFaultModel = nullptr;
+  /// Optional memoizing supplier for the per-mat model (lower priority than
+  /// sharedFaultModel).  Unlike sharing, the provider preserves per-mat
+  /// tables bit-for-bit: it is invoked with this mat's own (device, seed ^
+  /// 0xf417, samples) key and must return a model constructed from exactly
+  /// those arguments.  The Accelerator keeps the returned model alive.
+  FaultModelProvider faultModelProvider;
   /// Wear-leveling window (rows) for the TRNG plane region; 0 = planes stay
   /// at a fixed base (historic geometry).  When >= mBits, plane deposits
   /// rotate through the window (reram::WearLeveler), bounding the per-row
@@ -143,6 +161,7 @@ class Accelerator {
   AcceleratorConfig config_;
   std::unique_ptr<reram::CrossbarArray> array_;
   std::unique_ptr<reram::FaultModel> faultModel_;  ///< owned (per-mat) model
+  std::shared_ptr<const reram::FaultModel> cachedFaultModel_;  ///< provider's
   const reram::FaultModel* activeFaultModel_ = nullptr;
   std::unique_ptr<reram::ScoutingLogic> scouting_;
   std::unique_ptr<reram::Periphery> periphery_;

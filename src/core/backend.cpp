@@ -259,7 +259,7 @@ std::unique_ptr<ScBackend> makeInnerBackend(
       AcceleratorConfig ac;
       ac.streamLength = config.streamLength;
       ac.seed = config.seed;
-      ac.injectFaults = plan.deviceVariability;
+      ac.deviceVariability = plan.deviceVariability;
       if (plan.deviceVariability) ac.device = plan.device;
       ac.faultModelSamples = plan.faultModelSamples;
       return std::make_unique<ReramScBackend>(ac);
@@ -267,7 +267,7 @@ std::unique_ptr<ScBackend> makeInnerBackend(
     case DesignKind::BinaryCim: {
       BinaryCimConfig bc;
       bc.seed = config.seed;
-      bc.injectFaults = plan.deviceVariability;
+      bc.deviceVariability = plan.deviceVariability;
       bc.device = plan.device;
       bc.faultModelSamples = plan.faultModelSamples;
       bc.faultScale = config.bincimFaultScale;
@@ -282,7 +282,7 @@ std::unique_ptr<ScBackend> makeInnerBackend(
 
 std::unique_ptr<ScBackend> makeBackend(DesignKind design,
                                        const BackendFactoryConfig& config) {
-  const reliability::FaultPlan plan = config.effectiveFaultPlan();
+  const reliability::FaultPlan& plan = config.faults;
   return reliability::wrapWithFaults(makeInnerBackend(design, config, plan),
                                      design, plan, config.seed);
 }

@@ -344,29 +344,15 @@ struct BackendFactoryConfig {
   /// The unified fault contract (docs/RELIABILITY.md): device variability
   /// feeds the substrate's native fault models, the stream/word-level
   /// classes are injected by wrapping the backend in a
-  /// `reliability::FaultedBackend`.
+  /// `reliability::FaultedBackend`.  Device-variability-only runs are
+  /// `FaultPlan::deviceOnly(device, samples)`.
   reliability::FaultPlan faults{};
-
-  /// DEPRECATED one-release compatibility shim for the pre-FaultPlan API:
-  /// when set (and `faults` is empty) the factory behaves exactly as
-  /// before, i.e. as `FaultPlan::deviceOnly(device, faultModelSamples)`.
-  /// Prefer setting `faults` directly.
-  bool injectFaults = false;
-  reram::DeviceParams device{};    ///< device corner used by the shim
-  std::size_t faultModelSamples = 40000;  ///< Monte-Carlo resolution (shim)
 
   /// Equal-fault-surface scale for the binary CIM gate decomposition (see
   /// MagicEngine).
   double bincimFaultScale = 0.25;
   /// Gate-level retry-and-vote for the binary CIM MAGIC ledger.
   CimProtection bincimProtection = CimProtection::None;
-
-  /// The plan the factory acts on: `faults` when it injects anything,
-  /// otherwise the `injectFaults` shim translated to a device-only plan.
-  reliability::FaultPlan effectiveFaultPlan() const {
-    if (faults.any() || !injectFaults) return faults;
-    return reliability::FaultPlan::deviceOnly(device, faultModelSamples);
-  }
 };
 
 /// Creates an owning backend for \p design.

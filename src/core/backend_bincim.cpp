@@ -11,7 +11,7 @@ BinaryCimBackend::BinaryCimBackend(bincim::MagicEngine& engine)
     : engine_(&engine), pim_(engine) {}
 
 BinaryCimBackend::BinaryCimBackend(const BinaryCimConfig& config)
-    : ownedFaults_(config.injectFaults
+    : ownedFaults_(config.deviceVariability
                        ? std::make_unique<reram::FaultModel>(
                              config.device, config.seed ^ 0xb1f,
                              config.faultModelSamples)

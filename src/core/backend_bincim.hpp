@@ -20,7 +20,7 @@ namespace aimsc::core {
 
 struct BinaryCimConfig {
   std::uint64_t seed = 0x5eed;
-  bool injectFaults = false;
+  bool deviceVariability = false;
   reram::DeviceParams device{};
   std::size_t faultModelSamples = 40000;
   /// Equal-fault-surface scale (the pedagogical gate decomposition issues

@@ -54,6 +54,34 @@ void Imsng::refreshRandomness() {
   if (wear_.has_value()) planeBase_ = wear_->nextBase();
   trng_.fillRows(array_, planeBase_, static_cast<std::size_t>(config_.mBits));
   planesReady_ = true;
+  epochBytesReady_ = false;  // plane contents changed; cache is stale
+}
+
+void Imsng::buildEpochBytes() {
+  // Untranspose the M = 8 plane rows into the per-column bytes R_j (plane i
+  // holds bit M-1-i of every column).  One pass per epoch, amortized over
+  // every distinct threshold encoded against these planes.
+  const std::size_t n = array_.cols();
+  epochByteScratch_.assign(n, 0);
+  for (int i = 0; i < config_.mBits; ++i) {
+    const auto& rn =
+        array_.row(planeBase_ + static_cast<std::size_t>(i)).words();
+    const int bit = config_.mBits - 1 - i;
+    for (std::size_t w = 0; w < rn.size(); ++w) {
+      std::uint64_t word = rn[w];
+      const std::size_t base = w * 64;
+      while (word != 0) {
+        const auto j = static_cast<std::size_t>(std::countr_zero(word));
+        word &= word - 1;
+        if (base + j < n) {
+          epochByteScratch_[base + j] |=
+              static_cast<std::uint8_t>(1u << bit);
+        }
+      }
+    }
+  }
+  epochPlanes_.assign(epochByteScratch_.data(), n);
+  epochBytesReady_ = true;
 }
 
 std::size_t Imsng::sensingStepsPerConversion(std::uint32_t x) const {
@@ -249,6 +277,11 @@ void Imsng::encodeBatchInto(std::span<const std::uint32_t> thresholds,
   // recompute).  The table is an epoch-stamped member so repeated batch
   // calls don't re-initialize 2^M entries.
   const std::uint32_t full = std::uint32_t{1} << config_.mBits;
+  // M = 8 serves distinct thresholds from the per-epoch comparator byte
+  // cache (bit-identical: R_j < x evaluated word/AVX2-parallel instead of
+  // the M-plane flag-chain walk per value); other widths keep the walk.
+  const bool useByteCache = config_.mBits == 8;
+  if (useByteCache && !epochBytesReady_) buildEpochBytes();
   beginMemoEpoch();
   for (std::size_t i = 0; i < thresholds.size(); ++i) {
     const std::uint32_t x = thresholds[i];
@@ -260,6 +293,8 @@ void Imsng::encodeBatchInto(std::span<const std::uint32_t> thresholds,
       memoIndex_[x] = i;
       if (x == full) {
         outs[i]->assign(array_.cols(), true);
+      } else if (useByteCache) {
+        epochPlanes_.encode(x, *outs[i]);
       } else {
         computeThresholdStreamInto(x, *outs[i]);
       }

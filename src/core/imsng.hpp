@@ -39,6 +39,7 @@
 #include "reram/scouting.hpp"
 #include "reram/trng.hpp"
 #include "reram/wear.hpp"
+#include "sc/bulk_sng.hpp"
 
 namespace aimsc::core {
 
@@ -145,6 +146,10 @@ class Imsng {
   /// (Re)initializes the epoch-stamped memo table for a new Ideal batch.
   void beginMemoEpoch();
 
+  /// Rebuilds the per-epoch comparator byte cache from the current plane
+  /// rows (M = 8 only): column j's random number R_j, MSB = plane 0.
+  void buildEpochBytes();
+
   reram::CrossbarArray& array_;
   reram::ScoutingLogic& scouting_;
   reram::Periphery& periphery_;
@@ -154,6 +159,15 @@ class Imsng {
   std::size_t planeBase_ = 0;  ///< base row of the current plane set
   bool planesReady_ = false;
   sc::Bitstream flagScratch_;  ///< FFlag chain buffer for the batch path
+  // Per-epoch comparator byte cache (M = 8, Ideal sensing): the plane rows
+  // untransposed into the per-column random numbers R_j, served through the
+  // packed RandomPlanes comparator (x > R_j == R_j < x, the identical
+  // predicate word/AVX2-parallel).  One untranspose pass per epoch replaces
+  // an M-plane flag-chain walk per DISTINCT threshold — the dominant cost
+  // of the encode stage (the "shared epoch derivation" serializer).
+  sc::RandomPlanes epochPlanes_;
+  std::vector<std::uint8_t> epochByteScratch_;
+  bool epochBytesReady_ = false;
   // Per-epoch threshold memo: memoStamp_[x] == memoEpoch_ marks a valid
   // entry, so batch calls reuse the table without clearing 2^M slots.
   std::vector<std::uint64_t> memoStamp_;

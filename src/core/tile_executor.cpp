@@ -30,7 +30,7 @@ TileExecutor::TileExecutor(const TileExecutorConfig& config)
     : par_(config) {
   validate(par_);
   TileExecutorConfig cfg = config;
-  if (cfg.shareFaultModel && cfg.mat.injectFaults) {
+  if (cfg.shareFaultModel && cfg.mat.deviceVariability) {
     // One mutex-guarded misdecision table for the whole fleet: the
     // Monte-Carlo cost is paid once instead of once per mat.
     sharedFaults_ = std::make_unique<reram::FaultModel>(
@@ -84,29 +84,52 @@ MatGroup& TileExecutor::group() {
   return *group_;
 }
 
-void TileExecutor::runTiles(
+std::vector<std::function<void()>> TileExecutor::buildLaneTasks(
     std::size_t imageHeight,
-    const std::function<void(std::size_t, std::size_t, std::size_t)>& tile) {
-  if (imageHeight == 0) return;
+    std::function<void(std::size_t, std::size_t, std::size_t)> tile) {
+  std::vector<std::function<void()>> tasks;
+  if (imageHeight == 0) return tasks;
   const std::size_t numTiles =
       (imageHeight + par_.rowsPerTile - 1) / par_.rowsPerTile;
 
-  std::vector<std::function<void()>> laneTasks;
-  laneTasks.reserve(backends_.size());
+  // The kernel is shared by value across the closures so the task vector
+  // stays valid after the caller's kernel object dies (laneTasks callers
+  // run the wave later, on their own pool).
+  auto shared =
+      std::make_shared<std::function<void(std::size_t, std::size_t,
+                                          std::size_t)>>(std::move(tile));
+  tasks.reserve(backends_.size());
   for (std::size_t laneIdx = 0; laneIdx < backends_.size(); ++laneIdx) {
     if (laneIdx >= numTiles) break;  // more lanes than tiles
-    laneTasks.push_back([this, laneIdx, numTiles, imageHeight, &tile] {
+    tasks.push_back([this, laneIdx, numTiles, imageHeight, shared] {
       // Ascending tile order per lane: the lane's TRNG/fault/ADC streams
       // advance in a schedule-independent sequence.
       for (std::size_t t = laneIdx; t < numTiles; t += backends_.size()) {
         const std::size_t rowBegin = t * par_.rowsPerTile;
         const std::size_t rowEnd =
             std::min(rowBegin + par_.rowsPerTile, imageHeight);
-        tile(laneIdx, rowBegin, rowEnd);
+        (*shared)(laneIdx, rowBegin, rowEnd);
       }
     });
   }
-  pool_->run(std::move(laneTasks));
+  return tasks;
+}
+
+void TileExecutor::runTiles(
+    std::size_t imageHeight,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& tile) {
+  pool_->run(buildLaneTasks(imageHeight, tile));
+}
+
+std::vector<std::function<void()>> TileExecutor::laneTasks(
+    std::size_t imageHeight, ArenaTileKernel kernel) {
+  return buildLaneTasks(
+      imageHeight,
+      [this, kernel = std::move(kernel)](std::size_t lane, std::size_t r0,
+                                         std::size_t r1) {
+        arenas_[lane]->reset();
+        kernel(*backends_[lane], *arenas_[lane], r0, r1);
+      });
 }
 
 void TileExecutor::forEachTile(std::size_t imageHeight,

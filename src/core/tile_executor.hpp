@@ -112,6 +112,17 @@ class TileExecutor {
   void forEachTile(std::size_t imageHeight, const ArenaTileKernel& kernel);
   void forEachTile(std::size_t imageHeight, const TileKernel& kernel);
 
+  /// Builds the lane-pinned task closures WITHOUT running them — the
+  /// cross-request batching hook.  Each closure is one lane's full tile
+  /// sequence (arena reset before every tile, ascending tile order) and is
+  /// self-contained: lanes of different executors never share state, so a
+  /// caller may merge many executors' tasks into one shared-pool wave
+  /// (service::AcceleratorService does) and the bits each executor produces
+  /// are identical to a private forEachTile run at any thread count.  The
+  /// kernel is copied into the closures; the executor must outlive them.
+  std::vector<std::function<void()>> laneTasks(std::size_t imageHeight,
+                                               ArenaTileKernel kernel);
+
   std::size_t lanes() const { return backends_.size(); }
   std::size_t threads() const { return pool_->threadCount(); }
   std::size_t rowsPerTile() const { return par_.rowsPerTile; }
@@ -141,6 +152,14 @@ class TileExecutor {
   void runTiles(std::size_t imageHeight,
                 const std::function<void(std::size_t lane, std::size_t rowBegin,
                                          std::size_t rowEnd)>& tile);
+
+  /// Builds the per-lane closures runTiles executes (shared with
+  /// laneTasks); \p tile is copied into each closure.
+  std::vector<std::function<void()>> buildLaneTasks(
+      std::size_t imageHeight,
+      std::function<void(std::size_t lane, std::size_t rowBegin,
+                         std::size_t rowEnd)>
+          tile);
 
   /// Builds one arena per lane (both constructors).
   void makeArenas();

@@ -1,9 +1,13 @@
 /// \file image.hpp
 /// \brief 8-bit grayscale image container used by the paper's three
-///        image-processing applications (Sec. IV-A).
+///        image-processing applications (Sec. IV-A), plus the non-owning
+///        views (`ImageView`/`ImageSpan`) the serving layer passes across
+///        the client/daemon boundary without copying frames.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 namespace aimsc::img {
@@ -41,6 +45,92 @@ class Image {
   std::size_t width_ = 0;
   std::size_t height_ = 0;
   std::vector<std::uint8_t> pixels_;
+};
+
+/// Non-owning read-only view of an 8-bit frame: the zero-copy input half of
+/// the service API (`service::Request` carries views, never frame copies).
+/// Implicitly constructible from `Image` (and from a raw pointer for client
+/// buffers that never materialize an `Image`).  The caller guarantees the
+/// underlying pixels outlive the view — for service requests, until the
+/// ticket resolves.
+class ImageView {
+ public:
+  ImageView() = default;
+  ImageView(const Image& image)  // NOLINT: implicit by design
+      : data_(image.pixels().data()),
+        width_(image.width()),
+        height_(image.height()) {}
+  ImageView(const std::uint8_t* data, std::size_t width, std::size_t height)
+      : data_(data), width_(width), height_(height) {}
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+  std::size_t size() const { return width_ * height_; }
+  bool empty() const { return size() == 0; }
+  const std::uint8_t* data() const { return data_; }
+
+  std::uint8_t at(std::size_t x, std::size_t y) const {
+    return data_[y * width_ + x];
+  }
+  std::uint8_t operator[](std::size_t i) const { return data_[i]; }
+
+  /// Pixel as probability in [0,1] (v / 255).
+  double prob(std::size_t x, std::size_t y) const {
+    return static_cast<double>(at(x, y)) / 255.0;
+  }
+
+  /// Deep copy into an owning Image (boundary crossings that must outlive
+  /// the client buffer, e.g. queued service requests in copy-in mode).
+  Image toImage() const {
+    Image out(width_, height_);
+    if (data_) std::copy(data_, data_ + size(), out.pixels().begin());
+    return out;
+  }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+};
+
+/// Non-owning mutable view: the zero-copy output half of the service API.
+/// A request resolved into an `ImageSpan` writes the voted pixels straight
+/// into the client's buffer at join time (no daemon-side copy survives).
+class ImageSpan {
+ public:
+  ImageSpan() = default;
+  ImageSpan(Image& image)  // NOLINT: implicit by design
+      : data_(image.pixels().data()),
+        width_(image.width()),
+        height_(image.height()) {}
+  ImageSpan(std::uint8_t* data, std::size_t width, std::size_t height)
+      : data_(data), width_(width), height_(height) {}
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+  std::size_t size() const { return width_ * height_; }
+  bool empty() const { return size() == 0; }
+  std::uint8_t* data() const { return data_; }
+
+  std::uint8_t& at(std::size_t x, std::size_t y) const {
+    return data_[y * width_ + x];
+  }
+  std::uint8_t& operator[](std::size_t i) const { return data_[i]; }
+
+  operator ImageView() const { return ImageView(data_, width_, height_); }
+
+  /// Copies \p pixels (must match the span's size) into the client buffer.
+  void assign(const std::vector<std::uint8_t>& pixels) const {
+    if (pixels.size() != size()) {
+      throw std::invalid_argument("ImageSpan::assign: size mismatch");
+    }
+    std::copy(pixels.begin(), pixels.end(), data_);
+  }
+
+ private:
+  std::uint8_t* data_ = nullptr;
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
 };
 
 }  // namespace aimsc::img

@@ -1,7 +1,7 @@
 /// \file fault_plan.hpp
 /// \brief The unified, sweepable fault-injection contract (`FaultPlan`).
 ///
-/// The Table IV fault study used a single boolean (`injectFaults`) wired to
+/// The Table IV fault study used a single device-corner boolean wired to
 /// one ReRAM device corner.  A `FaultPlan` replaces it with four independent
 /// fault classes, each with its own rate knob, so the failure space can be
 /// swept systematically on EVERY substrate (docs/RELIABILITY.md):
@@ -79,8 +79,7 @@ struct FaultPlan {
   /// The fault-free plan.
   static FaultPlan none() { return FaultPlan{}; }
 
-  /// Device-variability-only plan — the semantics of the legacy
-  /// `injectFaults` boolean (Table IV's faulty columns).
+  /// Device-variability-only plan (Table IV's faulty columns).
   static FaultPlan deviceOnly(const reram::DeviceParams& device,
                               std::size_t samples = 40000) {
     FaultPlan p;

@@ -1,0 +1,458 @@
+#include "service/accelerator_service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "apps/bilinear.hpp"
+#include "apps/compositing.hpp"
+#include "apps/filters.hpp"
+#include "apps/matting.hpp"
+#include "apps/morphology.hpp"
+#include "core/tile_executor.hpp"
+#include "reliability/fault_rng.hpp"
+
+namespace aimsc::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double microsSince(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+/// Per-replica lane fleet for one request — the exact configuration
+/// apps::runReplica builds, so a service request is bit-identical to the
+/// equivalent runApp call (tests assert this).  The daemon-only difference
+/// is warm state: device-variability mats draw their misdecision tables
+/// from \p faultCache instead of re-running the Monte-Carlo per call (a
+/// bit-preserving memoization — see fault_model_cache.hpp).
+std::unique_ptr<core::TileExecutor> makeExecutor(const ServiceConfig& sc,
+                                                 const Request& q,
+                                                 std::uint64_t seed,
+                                                 FaultModelCache& faultCache) {
+  if (q.design == core::DesignKind::ReramSc) {
+    core::TileExecutorConfig tc;
+    tc.lanes = sc.lanes;
+    tc.threads = 0;  // the service pool runs the wave, not the executor
+    tc.rowsPerTile = sc.rowsPerTile;
+    tc.mat.streamLength = q.streamLength;
+    tc.mat.deviceVariability = q.faults.deviceVariability;
+    if (q.faults.deviceVariability) tc.mat.device = q.faults.device;
+    tc.mat.faultModelSamples = q.faults.faultModelSamples;
+    tc.mat.seed = seed;
+    tc.mat.faultModelProvider = faultCache.provider();
+    tc.faults = q.faults;
+    return std::make_unique<core::TileExecutor>(tc);
+  }
+  core::BackendFactoryConfig bc;
+  bc.streamLength = q.streamLength;
+  bc.seed = seed;
+  bc.faults = q.faults;
+  core::ParallelConfig par;
+  par.lanes = sc.lanes;
+  par.threads = 0;
+  par.rowsPerTile = sc.rowsPerTile;
+  return std::make_unique<core::TileExecutor>(
+      core::makeBackendLanes(q.design, bc, sc.lanes), par);
+}
+
+}  // namespace
+
+/// Everything one queued request carries through the pipeline.  The frame
+/// views alias client memory; replica outputs are service-owned staging
+/// that dies with the batch (the voted bytes leave through `request.out`).
+struct AcceleratorService::Pending {
+  TenantId tenant = 0;
+  Request request;
+  std::uint64_t effectiveSeed = 0;
+  std::uint64_t id = 0;
+  Clock::time_point submitTime;
+
+  // Batch-local execution state (dispatcher only).
+  std::vector<std::unique_ptr<core::TileExecutor>> execs;  // one per replica
+  std::vector<img::Image> replicaOut;                      // one per replica
+  std::vector<img::Image> morphTmp;  // morphology stage-0 intermediates
+
+  // Completion (guarded by the service ticket mutex).
+  bool done = false;
+  std::string error;
+  RequestResult result;
+};
+
+namespace {
+
+/// Stage-0 tile kernel for \p q writing \p out (for morphology: the erode
+/// pass into the intermediate).  Views and spans are captured by value —
+/// they are pointers into client/staging memory that outlives the wave.
+core::TileExecutor::ArenaTileKernel stage0Kernel(const Request& q,
+                                                 img::Image& out) {
+  const img::ImageSpan dst(out);
+  switch (q.app) {
+    case apps::AppKind::Compositing: {
+      const apps::CompositingFrames frames(q.src, q.aux1, q.aux2);
+      return [frames, dst](core::ScBackend& b, core::StreamArena& arena,
+                           std::size_t r0, std::size_t r1) {
+        apps::compositeKernelRows(frames, b, arena, dst, r0, r1);
+      };
+    }
+    case apps::AppKind::Matting: {
+      const apps::MattingFrames frames(q.src, q.aux1, q.aux2);
+      return [frames, dst](core::ScBackend& b, core::StreamArena& arena,
+                           std::size_t r0, std::size_t r1) {
+        apps::mattingKernelRows(frames, b, arena, dst, r0, r1);
+      };
+    }
+    case apps::AppKind::Bilinear: {
+      const img::ImageView src = q.src;
+      const std::size_t factor = q.upscaleFactor;
+      return [src, factor, dst](core::ScBackend& b, core::StreamArena& arena,
+                                std::size_t r0, std::size_t r1) {
+        apps::upscaleKernelRows(src, factor, b, arena, dst, r0, r1);
+      };
+    }
+    case apps::AppKind::Filters: {
+      const img::ImageView src = q.src;
+      return [src, dst](core::ScBackend& b, core::StreamArena& arena,
+                        std::size_t r0, std::size_t r1) {
+        apps::smoothKernelRows(src, b, arena, dst, r0, r1);
+      };
+    }
+    case apps::AppKind::Gamma: {
+      const img::ImageView src = q.src;
+      const double gamma = q.gamma;
+      return [src, gamma, dst](core::ScBackend& b, core::StreamArena& arena,
+                               std::size_t r0, std::size_t r1) {
+        apps::gammaKernelRows(src, gamma, b, arena, dst, r0, r1);
+      };
+    }
+    case apps::AppKind::Morphology: {
+      const img::ImageView src = q.src;
+      return [src, dst](core::ScBackend& b, core::StreamArena& arena,
+                        std::size_t r0, std::size_t r1) {
+        apps::erodeKernelRows(src, b, arena, dst, r0, r1);
+      };
+    }
+  }
+  throw std::invalid_argument("service: bad app");
+}
+
+/// Stage-1 kernel (morphology only): the dilate pass over the eroded
+/// intermediate, mirroring openKernelTiled's second forEachTile on the
+/// SAME lane fleet.
+core::TileExecutor::ArenaTileKernel stage1Kernel(const img::Image& tmp,
+                                                 img::Image& out) {
+  const img::ImageView src(tmp);
+  const img::ImageSpan dst(out);
+  return [src, dst](core::ScBackend& b, core::StreamArena& arena,
+                    std::size_t r0, std::size_t r1) {
+    apps::dilateKernelRows(src, b, arena, dst, r0, r1);
+  };
+}
+
+}  // namespace
+
+AcceleratorService::AcceleratorService(const ServiceConfig& config)
+    : config_(config),
+      queue_(config.queueCapacity),
+      pool_(config.workerThreads),
+      paused_(config.startPaused) {
+  if (config_.lanes == 0 || config_.rowsPerTile == 0 ||
+      config_.maxBatch == 0 || config_.queueCapacity == 0) {
+    throw std::invalid_argument("ServiceConfig: zero-sized knob");
+  }
+  dispatcher_ = std::thread([this] { dispatchLoop(); });
+}
+
+AcceleratorService::~AcceleratorService() { shutdown(); }
+
+std::uint64_t AcceleratorService::namespacedSeed(TenantId tenant,
+                                                 std::uint64_t seed) const {
+  std::uint64_t ns = 0;
+  {
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    const auto it = ledgers_.find(tenant);
+    if (it != ledgers_.end()) ns = it->second.seedNamespace;
+  }
+  if (ns == 0) return seed;
+  // Re-key through the mixer so tenant universes never collide with each
+  // other or with the lane/replica seed strides.
+  return reliability::mix64(ns ^ (seed + 0x9e3779b97f4a7c15ull));
+}
+
+std::shared_ptr<AcceleratorService::Pending> AcceleratorService::makePending(
+    TenantId tenant, const Request& request) {
+  auto p = std::make_shared<Pending>();
+  p->tenant = tenant;
+  p->request = request;
+  p->effectiveSeed = namespacedSeed(tenant, request.seed);
+  p->submitTime = Clock::now();
+  return p;
+}
+
+Ticket AcceleratorService::registerTicket(
+    const std::shared_ptr<Pending>& pending) {
+  std::lock_guard<std::mutex> lock(ticketMutex_);
+  const std::uint64_t id = nextTicket_++;
+  pending->id = id;
+  tickets_.emplace(id, pending);
+  return Ticket{id};
+}
+
+Ticket AcceleratorService::submit(TenantId tenant, const Request& request) {
+  validateRequest(request);
+  auto pending = makePending(tenant, request);
+  const Ticket ticket = registerTicket(pending);
+  if (!queue_.push(pending)) {
+    std::lock_guard<std::mutex> lock(ticketMutex_);
+    tickets_.erase(ticket.id);
+    throw std::runtime_error("AcceleratorService: stopped");
+  }
+  return ticket;
+}
+
+std::optional<Ticket> AcceleratorService::trySubmit(TenantId tenant,
+                                                    const Request& request) {
+  validateRequest(request);
+  auto pending = makePending(tenant, request);
+  const Ticket ticket = registerTicket(pending);
+  if (!queue_.tryPush(pending)) {
+    std::lock_guard<std::mutex> lock(ticketMutex_);
+    tickets_.erase(ticket.id);
+    return std::nullopt;
+  }
+  return ticket;
+}
+
+bool AcceleratorService::poll(const Ticket& ticket) const {
+  std::lock_guard<std::mutex> lock(ticketMutex_);
+  const auto it = tickets_.find(ticket.id);
+  return it == tickets_.end() || it->second->done;
+}
+
+RequestResult AcceleratorService::wait(const Ticket& ticket) {
+  std::shared_ptr<Pending> pending;
+  {
+    std::unique_lock<std::mutex> lock(ticketMutex_);
+    const auto it = tickets_.find(ticket.id);
+    if (it == tickets_.end()) {
+      throw std::invalid_argument(
+          "AcceleratorService: unknown or already-redeemed ticket");
+    }
+    pending = it->second;
+    ticketCv_.wait(lock, [&] { return pending->done; });
+    tickets_.erase(ticket.id);
+  }
+  if (!pending->error.empty()) throw std::runtime_error(pending->error);
+  return pending->result;
+}
+
+RequestResult AcceleratorService::run(TenantId tenant, const Request& request) {
+  return wait(submit(tenant, request));
+}
+
+void AcceleratorService::setTenantSeedNamespace(TenantId tenant,
+                                                std::uint64_t ns) {
+  std::lock_guard<std::mutex> lock(statsMutex_);
+  ledgers_[tenant].seedNamespace = ns;
+}
+
+TenantLedger AcceleratorService::tenantLedger(TenantId tenant) const {
+  std::lock_guard<std::mutex> lock(statsMutex_);
+  const auto it = ledgers_.find(tenant);
+  return it == ledgers_.end() ? TenantLedger{} : it->second;
+}
+
+ServiceStats AcceleratorService::stats() const {
+  std::lock_guard<std::mutex> lock(statsMutex_);
+  ServiceStats s = stats_;
+  s.faultModelCacheHits = faultCache_.hits();
+  s.faultModelCacheMisses = faultCache_.misses();
+  s.faultModelCacheSize = faultCache_.size();
+  return s;
+}
+
+void AcceleratorService::pause() {
+  std::lock_guard<std::mutex> lock(pauseMutex_);
+  paused_ = true;
+}
+
+void AcceleratorService::resume() {
+  std::lock_guard<std::mutex> lock(pauseMutex_);
+  paused_ = false;
+  pauseCv_.notify_all();
+}
+
+void AcceleratorService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(pauseMutex_);
+    stopping_ = true;
+    paused_ = false;  // a paused dispatcher must wake to drain
+    pauseCv_.notify_all();
+  }
+  queue_.close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void AcceleratorService::dispatchLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(pauseMutex_);
+      pauseCv_.wait(lock, [this] { return !paused_ || stopping_; });
+    }
+    auto batch = queue_.popBatch(config_.maxBatch, config_.flushDeadline);
+    if (batch.empty()) return;  // queue closed and drained
+    executeBatch(batch);
+  }
+}
+
+void AcceleratorService::executeBatch(
+    std::vector<std::shared_ptr<Pending>>& batch) {
+  const auto batchStart = Clock::now();
+
+  // Stage 0: every request builds its per-replica lane fleets and
+  // contributes its lane tasks to ONE merged wave.  Tasks are
+  // self-contained (own backends/arenas, disjoint rows of the request's
+  // own staging image), so wave composition cannot change any bit.
+  std::vector<std::function<void()>> wave;
+  for (auto& p : batch) {
+    try {
+      const Request& q = p->request;
+      const OutputShape shape = outputShapeFor(q);
+      const std::size_t replicas = std::max<std::size_t>(
+          q.redundancy.replicas, 1);
+      p->execs.reserve(replicas);
+      p->replicaOut.reserve(replicas);
+      if (q.app == apps::AppKind::Morphology) p->morphTmp.reserve(replicas);
+      for (std::size_t r = 0; r < replicas; ++r) {
+        p->execs.push_back(
+            makeExecutor(config_, q,
+                         reliability::replicaSeed(p->effectiveSeed, r),
+                         faultCache_));
+        // Staging init mirrors each app's whole-image form: smoothing and
+        // morphology copy the source through (borders), the rest start
+        // blank and are fully overwritten.
+        if (q.app == apps::AppKind::Filters) {
+          p->replicaOut.push_back(q.src.toImage());
+        } else if (q.app == apps::AppKind::Morphology) {
+          p->morphTmp.push_back(q.src.toImage());
+          p->replicaOut.push_back(img::Image(shape.width, shape.height));
+        } else {
+          p->replicaOut.push_back(img::Image(shape.width, shape.height));
+        }
+        img::Image& stage0Out = q.app == apps::AppKind::Morphology
+                                    ? p->morphTmp[r]
+                                    : p->replicaOut[r];
+        auto tasks = p->execs[r]->laneTasks(stage0Out.height(),
+                                            stage0Kernel(q, stage0Out));
+        for (auto& t : tasks) wave.push_back(std::move(t));
+      }
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lock(ticketMutex_);
+      p->error = e.what();
+      p->done = true;
+      ticketCv_.notify_all();
+    }
+  }
+
+  try {
+    pool_.run(std::move(wave));
+
+    // Stage 1 (morphology riders only): seed the dilate staging from the
+    // eroded intermediate, then run the second merged wave on the SAME
+    // lane fleets — exactly openKernelTiled's two-pass schedule.
+    std::vector<std::function<void()>> wave1;
+    for (auto& p : batch) {
+      if (p->done || p->request.app != apps::AppKind::Morphology) continue;
+      for (std::size_t r = 0; r < p->execs.size(); ++r) {
+        p->replicaOut[r].pixels() = p->morphTmp[r].pixels();
+        auto tasks = p->execs[r]->laneTasks(
+            p->replicaOut[r].height(),
+            stage1Kernel(p->morphTmp[r], p->replicaOut[r]));
+        for (auto& t : tasks) wave1.push_back(std::move(t));
+      }
+    }
+    if (!wave1.empty()) pool_.run(std::move(wave1));
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(ticketMutex_);
+    for (auto& p : batch) {
+      if (p->done) continue;
+      p->error = std::string("batch execution failed: ") + e.what();
+      p->done = true;
+    }
+    ticketCv_.notify_all();
+    return;
+  }
+
+  const auto batchEnd = Clock::now();
+  const double execMicros = microsSince(batchStart, batchEnd);
+  std::size_t served = 0;
+
+  // Join: vote, write through the client span, bill the tenant.
+  for (auto& p : batch) {
+    if (p->done) continue;  // failed in setup
+    const Request& q = p->request;
+    RequestResult res;
+    try {
+      std::vector<std::vector<std::uint8_t>> outputs;
+      outputs.reserve(p->replicaOut.size());
+      for (auto& image : p->replicaOut) {
+        outputs.push_back(std::move(image.pixels()));
+      }
+      const reliability::Vote vote =
+          reliability::resolveVote(q.redundancy.vote, q.design);
+      const std::vector<std::uint8_t> voted =
+          outputs.size() == 1 ? std::move(outputs.front())
+                              : reliability::voteImages(outputs, vote);
+      q.out.assign(voted);
+
+      for (auto& exec : p->execs) {
+        res.events += exec->totalEvents();
+        for (std::size_t i = 0; i < exec->lanes(); ++i) {
+          res.opCount += exec->backend(i).opCount();
+        }
+      }
+      res.queueMicros = microsSince(p->submitTime, batchStart);
+      res.execMicros = execMicros;
+      res.batchSize = batch.size();
+
+      {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        TenantLedger& ledger = ledgers_[p->tenant];
+        ledger.requests += 1;
+        ledger.pixels += voted.size();
+        ledger.replicasRun += p->execs.size();
+        ledger.opCount += res.opCount;
+        ledger.events += res.events;
+      }
+      ++served;
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lock(ticketMutex_);
+      p->error = e.what();
+      p->done = true;
+      ticketCv_.notify_all();
+      continue;
+    }
+
+    // Free the batch-local execution state before handing the result over.
+    p->execs.clear();
+    p->replicaOut.clear();
+    p->morphTmp.clear();
+
+    std::lock_guard<std::mutex> lock(ticketMutex_);
+    p->result = res;
+    p->done = true;
+    ticketCv_.notify_all();
+  }
+
+  std::lock_guard<std::mutex> lock(statsMutex_);
+  stats_.requestsServed += served;
+  stats_.batches += 1;
+  if (stats_.batchOccupancy.size() <= batch.size()) {
+    stats_.batchOccupancy.resize(batch.size() + 1, 0);
+  }
+  stats_.batchOccupancy[batch.size()] += 1;
+}
+
+}  // namespace aimsc::service

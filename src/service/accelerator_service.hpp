@@ -1,0 +1,153 @@
+/// \file accelerator_service.hpp
+/// \brief The always-on accelerator daemon: a persistent in-process service
+///        that owns the worker pool and serves concurrent tenants through a
+///        bounded queue with cross-request batching.
+///
+/// Serving model (docs/SERVICE.md):
+///
+///   clients --submit/trySubmit--> [BoundedQueue] --popBatch--> dispatcher
+///        <--poll/wait-- tickets <--join/vote/bill-- [one pool wave/batch]
+///
+/// * **Queue**: bounded MPMC; `submit` blocks while full (backpressure),
+///   `trySubmit` refuses.  The dispatcher drains up to `maxBatch` requests,
+///   waiting at most `flushDeadline` past the first for stragglers.
+/// * **Batching**: each request builds its own independently-seeded lane
+///   fleet (a `TileExecutor` per replica), but the lane *tasks* of every
+///   request in the batch are merged into ONE worker-pool wave, so a
+///   2-request batch fills the pool twice as densely as two solo runs.
+/// * **Determinism**: a lane task is self-contained (own backends, own
+///   arenas, disjoint output rows in its own request's buffer), so which
+///   pool thread runs it — and which strangers share the wave — cannot
+///   change any bit.  Output bytes are a pure function of (request fields,
+///   tenant seed namespace).  `tests/test_service.cpp` hammers this.
+/// * **Accounting**: at join the request's replica outputs are voted
+///   (reliability::voteImages), written into the client's `ImageSpan`, and
+///   the replica-summed event/op ledgers are billed to the tenant.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+
+#include "core/thread_pool.hpp"
+#include "service/accounting.hpp"
+#include "service/fault_model_cache.hpp"
+#include "service/request.hpp"
+#include "service/request_queue.hpp"
+#include "service/ticket.hpp"
+
+namespace aimsc::service {
+
+struct ServiceConfig {
+  /// Admission-queue capacity; submit() blocks when this many requests are
+  /// already queued (backpressure).
+  std::size_t queueCapacity = 64;
+
+  /// Worker threads executing the merged lane waves; 0 = the dispatcher
+  /// thread runs every lane inline (still fully asynchronous to clients).
+  std::size_t workerThreads = 0;
+
+  /// Lane fleet size per request replica, and the tile height.  These are
+  /// part of each request's bit contract (same role as ParallelConfig in
+  /// apps::runApp), so they are service-wide, not per request.
+  std::size_t lanes = 4;
+  std::size_t rowsPerTile = 4;
+
+  /// Cross-request batching: coalesce up to maxBatch requests per wave,
+  /// flushing a partial batch flushDeadline after its first request.
+  std::size_t maxBatch = 8;
+  std::chrono::microseconds flushDeadline{200};
+
+  /// Start with the dispatcher paused (tests: fill the queue, observe
+  /// backpressure/occupancy deterministically, then resume()).
+  bool startPaused = false;
+};
+
+class AcceleratorService {
+ public:
+  explicit AcceleratorService(const ServiceConfig& config = ServiceConfig{});
+  ~AcceleratorService();
+
+  AcceleratorService(const AcceleratorService&) = delete;
+  AcceleratorService& operator=(const AcceleratorService&) = delete;
+
+  /// Validates and enqueues; blocks while the queue is full.  The frame
+  /// views and the output span must stay valid until the ticket resolves.
+  /// Throws std::invalid_argument on a malformed request,
+  /// std::runtime_error after shutdown().
+  Ticket submit(TenantId tenant, const Request& request);
+
+  /// Non-blocking admission: nullopt when the queue is full (or stopped).
+  std::optional<Ticket> trySubmit(TenantId tenant, const Request& request);
+
+  /// True once the ticket's request has resolved (result ready or failed).
+  bool poll(const Ticket& ticket) const;
+
+  /// Blocks until resolved, then redeems the ticket (single use).  Throws
+  /// std::runtime_error if the request failed in execution,
+  /// std::invalid_argument for an unknown/already-redeemed ticket.
+  RequestResult wait(const Ticket& ticket);
+
+  /// Blocking convenience wrapper: submit + wait.
+  RequestResult run(TenantId tenant, const Request& request);
+
+  /// Gives \p tenant its own seed universe (see TenantLedger::seedNamespace;
+  /// affects only requests submitted afterwards).
+  void setTenantSeedNamespace(TenantId tenant, std::uint64_t ns);
+
+  /// Snapshot of the tenant's bill (default ledger for unknown tenants).
+  TenantLedger tenantLedger(TenantId tenant) const;
+
+  /// Snapshot of service-wide batching statistics.
+  ServiceStats stats() const;
+
+  /// Pause/resume the dispatcher (admission stays open — the queue fills
+  /// and backpressure becomes observable).
+  void pause();
+  void resume();
+
+  /// Stops admission, drains every queued request, joins the dispatcher.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  std::size_t queueDepth() const { return queue_.size(); }
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Pending;
+
+  std::uint64_t namespacedSeed(TenantId tenant, std::uint64_t seed) const;
+  void dispatchLoop();
+  void executeBatch(std::vector<std::shared_ptr<Pending>>& batch);
+  std::shared_ptr<Pending> makePending(TenantId tenant, const Request& request);
+  Ticket registerTicket(const std::shared_ptr<Pending>& pending);
+
+  ServiceConfig config_;
+  BoundedQueue<std::shared_ptr<Pending>> queue_;
+  core::ThreadPool pool_;
+
+  /// Warm misdecision tables shared across requests (bit-preserving memo;
+  /// outlives every per-request executor — they are batch-scoped).
+  FaultModelCache faultCache_;
+
+  mutable std::mutex ticketMutex_;
+  std::condition_variable ticketCv_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Pending>> tickets_;
+  std::uint64_t nextTicket_ = 1;
+
+  mutable std::mutex statsMutex_;
+  std::unordered_map<TenantId, TenantLedger> ledgers_;
+  ServiceStats stats_;
+
+  std::mutex pauseMutex_;
+  std::condition_variable pauseCv_;
+  bool paused_ = false;
+  bool stopping_ = false;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace aimsc::service

@@ -1,0 +1,51 @@
+#include "service/fault_model_cache.hpp"
+
+namespace aimsc::service {
+
+FaultModelCache::Key FaultModelCache::keyFor(const reram::DeviceParams& device,
+                                             std::uint64_t seed,
+                                             std::size_t samples) {
+  return Key{device.rLrsOhm, device.rHrsOhm,  device.sigmaLrs,
+             device.sigmaHrs, device.vRead,   device.enduranceCycles,
+             seed,            samples};
+}
+
+std::shared_ptr<const reram::FaultModel> FaultModelCache::get(
+    const reram::DeviceParams& device, std::uint64_t seed,
+    std::size_t samples) {
+  const Key key = keyFor(device, seed, samples);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = models_.find(key);
+  if (it != models_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  // Constructing is cheap — the Monte-Carlo happens lazily per queried
+  // pattern inside the model, memoized there for the model's lifetime.
+  auto model = std::make_shared<const reram::FaultModel>(device, seed, samples);
+  models_.emplace(key, model);
+  return model;
+}
+
+core::FaultModelProvider FaultModelCache::provider() {
+  return [this](const reram::DeviceParams& device, std::uint64_t seed,
+                std::size_t samples) { return get(device, seed, samples); };
+}
+
+std::uint64_t FaultModelCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t FaultModelCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::size_t FaultModelCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return models_.size();
+}
+
+}  // namespace aimsc::service

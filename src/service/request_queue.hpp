@@ -1,0 +1,102 @@
+/// \file request_queue.hpp
+/// \brief Bounded MPMC queue with blocking backpressure and deadline-batched
+///        draining — the admission layer in front of the tile engine.
+///
+/// Producers are client threads (`submit` blocks while the queue is full —
+/// that IS the backpressure contract; `trySubmit` refuses instead).  The
+/// consumer is the dispatcher thread, which drains in *batches*:
+/// `popBatch(max, flushDeadline)` blocks for the first item, then keeps
+/// collecting until the batch is full or the deadline since the first item
+/// expires — the flush-on-deadline policy that trades a bounded latency
+/// increment for cross-request coalescing.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace aimsc::service {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Blocks while full (backpressure); returns false iff the queue closed.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    notFull_.wait(lock,
+                  [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    notEmpty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking admission; false when full or closed.
+  bool tryPush(T item) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    notEmpty_.notify_one();
+    return true;
+  }
+
+  /// Blocks for the first item, then collects up to \p max items, waiting
+  /// at most \p flushDeadline past the first pop for stragglers.  Empty
+  /// result means closed-and-drained.
+  std::vector<T> popBatch(std::size_t max,
+                          std::chrono::microseconds flushDeadline) {
+    std::vector<T> batch;
+    std::unique_lock<std::mutex> lock(mutex_);
+    notEmpty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return batch;  // closed and drained
+
+    const auto deadline = std::chrono::steady_clock::now() + flushDeadline;
+    for (;;) {
+      while (!items_.empty() && batch.size() < max) {
+        batch.push_back(std::move(items_.front()));
+        items_.pop_front();
+        notFull_.notify_one();
+      }
+      if (batch.size() >= max || closed_) break;
+      if (notEmpty_.wait_until(lock, deadline, [this] {
+            return closed_ || !items_.empty();
+          })) {
+        continue;  // more arrived (or closed) before the deadline
+      }
+      break;  // deadline expired: flush what we have
+    }
+    return batch;
+  }
+
+  /// Wakes every producer/consumer; push() fails from now on, popBatch()
+  /// keeps draining what is already queued.
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    notFull_.notify_all();
+    notEmpty_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable notFull_;
+  std::condition_variable notEmpty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace aimsc::service

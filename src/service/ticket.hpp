@@ -1,0 +1,20 @@
+/// \file ticket.hpp
+/// \brief Async handle for a submitted service request.
+///
+/// A `Ticket` is the whole client-side state: an opaque id minted by
+/// `AcceleratorService::submit`.  Clients poll or wait on it; the service
+/// drops its side of the bookkeeping when `wait` resolves, so a ticket is
+/// single-redemption.
+#pragma once
+
+#include <cstdint>
+
+namespace aimsc::service {
+
+struct Ticket {
+  std::uint64_t id = 0;
+
+  bool valid() const { return id != 0; }
+};
+
+}  // namespace aimsc::service

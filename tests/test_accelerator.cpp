@@ -88,7 +88,7 @@ TEST(Accelerator, NoCommitConfig) {
 
 TEST(Accelerator, FaultInjectionProducesNoisierStreams) {
   AcceleratorConfig faulty = idealConfig(4096);
-  faulty.injectFaults = true;
+  faulty.deviceVariability = true;
   faulty.device.sigmaLrs = 0.12;
   faulty.device.sigmaHrs = 1.2;
   faulty.faultModelSamples = 20000;

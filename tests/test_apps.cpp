@@ -217,8 +217,7 @@ TEST(Runner, FaultsHurtBinaryCimMoreThanSc) {
   const Quality scClean = runApp(AppKind::Compositing, DesignKind::ReramSc, cfg);
   const Quality binClean =
       runApp(AppKind::Compositing, DesignKind::BinaryCim, cfg);
-  cfg.injectFaults = true;
-  cfg.device = defaultFaultyDevice();
+  cfg.faults = reliability::FaultPlan::deviceOnly(defaultFaultyDevice());
   const Quality scFaulty =
       runApp(AppKind::Compositing, DesignKind::ReramSc, cfg);
   const Quality binFaulty =

@@ -239,7 +239,7 @@ TileExecutorConfig tileCfg(std::size_t threads, bool faults = false) {
   cfg.rowsPerTile = 2;
   cfg.mat.streamLength = 256;
   if (faults) {
-    cfg.mat.injectFaults = true;
+    cfg.mat.deviceVariability = true;
     cfg.mat.device = apps::defaultFaultyDevice();
     cfg.mat.faultModelSamples = 20000;
   } else {

@@ -153,7 +153,7 @@ TEST(Filters, FaultyExecutionStaysBounded) {
   const img::Image src = img::naturalScene(10, 10, 9);
   core::AcceleratorConfig cfg;
   cfg.streamLength = 128;
-  cfg.injectFaults = true;
+  cfg.deviceVariability = true;
   cfg.device.sigmaLrs = 0.15;
   cfg.device.sigmaHrs = 1.2;
   cfg.faultModelSamples = 20000;

@@ -111,8 +111,8 @@ TEST(Integration, FaultyFlowStillConverges) {
   cfg.width = 16;
   cfg.height = 16;
   cfg.streamLength = 64;
-  cfg.injectFaults = true;
-  cfg.device = apps::defaultFaultyDevice();
+  cfg.faults =
+      reliability::FaultPlan::deviceOnly(apps::defaultFaultyDevice());
   const apps::Quality q =
       apps::runApp(apps::AppKind::Matting, apps::DesignKind::ReramSc, cfg);
   EXPECT_GT(q.ssimPct, 40.0);  // degraded but far from destroyed

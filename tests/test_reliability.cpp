@@ -139,24 +139,17 @@ TEST(DmrProtection, ReducesArithmeticErrors) {
 
 // --- FaultPlan contract -----------------------------------------------------
 
-TEST(FaultPlan, ShimTranslatesToDeviceOnlyPlan) {
+TEST(FaultPlan, DefaultRunConfigInjectsNothing) {
   apps::RunConfig cfg;
-  EXPECT_FALSE(cfg.effectiveFaultPlan().any());
-  cfg.injectFaults = true;
-  cfg.device = leakyDevice();
-  const reliability::FaultPlan plan = cfg.effectiveFaultPlan();
+  EXPECT_FALSE(cfg.faults.any());
+}
+
+TEST(FaultPlan, DeviceOnlyBuildsVariabilityOnlyPlan) {
+  const reliability::FaultPlan plan =
+      reliability::FaultPlan::deviceOnly(leakyDevice());
   EXPECT_TRUE(plan.deviceVariability);
   EXPECT_FALSE(plan.anyStreamClass());
   EXPECT_DOUBLE_EQ(plan.device.sigmaHrs, leakyDevice().sigmaHrs);
-}
-
-TEST(FaultPlan, ExplicitPlanWinsOverShim) {
-  apps::RunConfig cfg;
-  cfg.injectFaults = true;  // stale shim left on
-  cfg.faults.transientFlipRate = 1e-3;
-  const reliability::FaultPlan plan = cfg.effectiveFaultPlan();
-  EXPECT_FALSE(plan.deviceVariability);
-  EXPECT_DOUBLE_EQ(plan.transientFlipRate, 1e-3);
 }
 
 // --- FaultedBackend decorator ------------------------------------------------
@@ -261,6 +254,60 @@ TEST(Redundancy, VoteImagesRules) {
                std::invalid_argument);
   EXPECT_THROW(reliability::voteImages({{1}, {2, 3}}, Vote::Median),
                std::invalid_argument);
+}
+
+TEST(Redundancy, VoteImagesSingleReplicaIsPassthrough) {
+  using reliability::Vote;
+  const std::vector<std::vector<std::uint8_t>> one{{0, 37, 128, 255}};
+  EXPECT_EQ(reliability::voteImages(one, Vote::Bitwise), one[0]);
+  EXPECT_EQ(reliability::voteImages(one, Vote::Median), one[0]);
+}
+
+TEST(Redundancy, VoteImagesEvenReplicaCounts) {
+  using reliability::Vote;
+  // R = 4, per-bit 2-2 ties: bitwise keeps replica 0's bit, so a split
+  // vote can never be worse than trusting replica 0 alone.
+  const std::vector<std::vector<std::uint8_t>> four{
+      {0b1010'0001}, {0b0101'0001}, {0b1010'1110}, {0b0101'1110}};
+  EXPECT_EQ(reliability::voteImages(four, Vote::Bitwise)[0], 0b1010'0001);
+  // R = 4 median: mean of the two middle values (20, 30) -> 25.
+  const std::vector<std::vector<std::uint8_t>> spread{{10}, {20}, {30}, {250}};
+  EXPECT_EQ(reliability::voteImages(spread, Vote::Median)[0], 25);
+  // Rounding: middle pair (20, 31) has mean 25.5 -> rounds to 26.
+  const std::vector<std::vector<std::uint8_t>> round{{10}, {20}, {31}, {250}};
+  EXPECT_EQ(reliability::voteImages(round, Vote::Median)[0], 26);
+}
+
+TEST(Redundancy, VoteImagesMixedSizeRejected) {
+  using reliability::Vote;
+  const std::vector<std::vector<std::uint8_t>> mixed{{1, 2}, {3, 4}, {5}};
+  EXPECT_THROW(reliability::voteImages(mixed, Vote::Bitwise),
+               std::invalid_argument);
+  EXPECT_THROW(reliability::voteImages(mixed, Vote::Median),
+               std::invalid_argument);
+}
+
+TEST(Redundancy, AutoVoteResolvesPerDesign) {
+  using reliability::Vote;
+  // Word-domain substrates vote median (heavy-tailed bit-weighted errors);
+  // stream substrates vote bitwise (popcount noise).
+  EXPECT_EQ(reliability::resolveVote(Vote::Auto, core::DesignKind::BinaryCim),
+            Vote::Median);
+  EXPECT_EQ(reliability::resolveVote(Vote::Auto, core::DesignKind::Reference),
+            Vote::Median);
+  EXPECT_EQ(reliability::resolveVote(Vote::Auto, core::DesignKind::SwScLfsr),
+            Vote::Bitwise);
+  EXPECT_EQ(reliability::resolveVote(Vote::Auto, core::DesignKind::SwScSobol),
+            Vote::Bitwise);
+  EXPECT_EQ(reliability::resolveVote(Vote::Auto, core::DesignKind::SwScSimd),
+            Vote::Bitwise);
+  EXPECT_EQ(reliability::resolveVote(Vote::Auto, core::DesignKind::ReramSc),
+            Vote::Bitwise);
+  // Explicit rules pass through untouched.
+  EXPECT_EQ(reliability::resolveVote(Vote::Median, core::DesignKind::ReramSc),
+            Vote::Median);
+  EXPECT_EQ(reliability::resolveVote(Vote::Bitwise, core::DesignKind::BinaryCim),
+            Vote::Bitwise);
 }
 
 double cimGammaSsim(std::size_t replicas, core::CimProtection prot) {

@@ -1,0 +1,395 @@
+// Always-on accelerator service: the determinism-under-batching contract
+// (a request's output bytes are a pure function of the request + tenant
+// namespace — solo vs batched, any worker-thread count, any tenant
+// interleaving), queue backpressure, flush-on-deadline batching, per-tenant
+// accounting, and bit-equality with the one-shot apps::runApp path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "apps/runner.hpp"
+#include "img/synth.hpp"
+#include "service/accelerator_service.hpp"
+
+namespace aimsc {
+namespace {
+
+using service::AcceleratorService;
+using service::Request;
+using service::ServiceConfig;
+using service::TenantId;
+using service::Ticket;
+
+/// Client-side frame storage for one request (what a real caller owns).
+struct ClientJob {
+  Request request;
+  img::Image out;
+
+  // Owned frames (the request's views alias these).
+  apps::CompositingScene compositing;
+  apps::MattingScene matting;
+  img::Image src;
+};
+
+/// Builds a job whose frames reproduce exactly what apps::runApp
+/// synthesizes for (app, cfg) — the cross-check oracle.
+ClientJob makeJob(apps::AppKind app, core::DesignKind design,
+                  std::size_t size, std::uint64_t seed,
+                  std::size_t replicas = 1) {
+  ClientJob job;
+  Request& q = job.request;
+  q.app = app;
+  q.design = design;
+  q.streamLength = 64;
+  q.seed = seed;
+  q.redundancy.replicas = replicas;
+  switch (app) {
+    case apps::AppKind::Compositing:
+      job.compositing = apps::makeCompositingScene(size, size, seed);
+      q.src = job.compositing.background;
+      q.aux1 = job.compositing.foreground;
+      q.aux2 = job.compositing.alpha;
+      job.out = img::Image(size, size);
+      break;
+    case apps::AppKind::Matting:
+      job.matting = apps::makeMattingScene(size, size, seed);
+      q.src = job.matting.composite;
+      q.aux1 = job.matting.background;
+      q.aux2 = job.matting.foreground;
+      job.out = img::Image(size, size);
+      break;
+    case apps::AppKind::Bilinear:
+      job.src = img::naturalScene(size, size, seed ^ 0xb111);
+      q.src = job.src;
+      q.upscaleFactor = 2;
+      job.out = img::Image(size * 2, size * 2);
+      break;
+    default:  // Filters / Gamma / Morphology
+      job.src = img::naturalScene(size, size, seed ^ 0xb111);
+      q.src = job.src;
+      job.out = img::Image(size, size);
+      break;
+  }
+  q.out = job.out;
+  return job;
+}
+
+ServiceConfig smallServiceConfig() {
+  ServiceConfig sc;
+  sc.lanes = 4;
+  sc.rowsPerTile = 4;
+  sc.maxBatch = 8;
+  sc.flushDeadline = std::chrono::microseconds(2000);
+  return sc;
+}
+
+TEST(Service, MatchesOneShotRunnerBitExactly) {
+  // A service request must produce the SAME bytes as the equivalent
+  // one-shot runApp call on a matching lane fleet — the serving layer adds
+  // queueing and batching, never a different answer.
+  const struct {
+    apps::AppKind app;
+    core::DesignKind design;
+    std::size_t replicas;
+  } cases[] = {
+      {apps::AppKind::Gamma, core::DesignKind::SwScLfsr, 1},
+      {apps::AppKind::Compositing, core::DesignKind::ReramSc, 1},
+      {apps::AppKind::Matting, core::DesignKind::SwScSobol, 1},
+      {apps::AppKind::Morphology, core::DesignKind::SwScSimd, 1},
+      {apps::AppKind::Bilinear, core::DesignKind::BinaryCim, 1},
+      {apps::AppKind::Filters, core::DesignKind::SwScLfsr, 3},
+  };
+  AcceleratorService svc(smallServiceConfig());
+  for (const auto& c : cases) {
+    apps::RunConfig cfg;
+    cfg.width = 16;
+    cfg.height = 16;
+    cfg.streamLength = 64;
+    cfg.seed = 99;
+    cfg.redundancy.replicas = c.replicas;
+    apps::ParallelConfig par;
+    par.lanes = 4;
+    par.threads = 1;  // forces the lane-fleet path on every design
+    par.rowsPerTile = 4;
+    const apps::RunResult oracle =
+        apps::runAppDetailed(c.app, c.design, cfg, par);
+
+    ClientJob job = makeJob(c.app, c.design, 16, 99, c.replicas);
+    const service::RequestResult res = svc.run(7, job.request);
+
+    EXPECT_EQ(job.out.pixels(), oracle.output.pixels())
+        << apps::appName(c.app) << " on " << core::designKindName(c.design);
+    EXPECT_EQ(res.opCount, oracle.opCount) << apps::appName(c.app);
+    EXPECT_EQ(res.events.slReads, oracle.events.slReads);
+    EXPECT_EQ(res.events.rowWrites, oracle.events.rowWrites)
+        << apps::appName(c.app);
+  }
+}
+
+TEST(Service, FaultModelCacheIsBitPreservingAndWarm) {
+  // Device-variability requests draw their misdecision tables from the
+  // service's FaultModelCache.  A cold request (cache miss) must still be
+  // bit-identical to the one-shot runner, and an identical follow-up must
+  // hit the cache (skipping the Monte-Carlo) without changing a byte.
+  const reliability::FaultPlan plan =
+      reliability::FaultPlan::deviceOnly(apps::defaultFaultyDevice(), 2000);
+
+  apps::RunConfig cfg;
+  cfg.width = 12;
+  cfg.height = 12;
+  cfg.streamLength = 64;
+  cfg.seed = 5;
+  cfg.faults = plan;
+  apps::ParallelConfig par;
+  par.lanes = 4;
+  par.threads = 1;
+  par.rowsPerTile = 4;
+  const apps::RunResult oracle = apps::runAppDetailed(
+      apps::AppKind::Compositing, core::DesignKind::ReramSc, cfg, par);
+
+  AcceleratorService svc(smallServiceConfig());
+  ClientJob job = makeJob(apps::AppKind::Compositing, core::DesignKind::ReramSc,
+                          12, 5);
+  job.request.faults = plan;
+
+  svc.run(1, job.request);
+  EXPECT_EQ(job.out.pixels(), oracle.output.pixels()) << "cold (cache miss)";
+  const service::ServiceStats cold = svc.stats();
+  EXPECT_EQ(cold.faultModelCacheMisses, 4u);  // one table per mat seed
+  EXPECT_EQ(cold.faultModelCacheHits, 0u);
+  EXPECT_EQ(cold.faultModelCacheSize, 4u);
+
+  std::fill(job.out.pixels().begin(), job.out.pixels().end(), 0);
+  svc.run(1, job.request);
+  EXPECT_EQ(job.out.pixels(), oracle.output.pixels()) << "warm (cache hit)";
+  const service::ServiceStats warm = svc.stats();
+  EXPECT_EQ(warm.faultModelCacheMisses, 4u);
+  EXPECT_EQ(warm.faultModelCacheHits, 4u);
+
+  // A different device corner is a different key, never a stale hit.
+  ClientJob other = makeJob(apps::AppKind::Compositing,
+                            core::DesignKind::ReramSc, 12, 5);
+  reram::DeviceParams corner = apps::defaultFaultyDevice();
+  corner.sigmaHrs *= 1.5;
+  other.request.faults = reliability::FaultPlan::deviceOnly(corner, 2000);
+  svc.run(2, other.request);
+  EXPECT_NE(other.out.pixels(), oracle.output.pixels());
+  EXPECT_EQ(svc.stats().faultModelCacheSize, 8u);
+}
+
+/// The hammer's mixed workload: apps × designs × tenants × sizes, some
+/// redundant, some faulty.
+std::vector<ClientJob> hammerJobs() {
+  std::vector<ClientJob> jobs;
+  jobs.push_back(makeJob(apps::AppKind::Gamma, core::DesignKind::SwScLfsr,
+                         12, 1));
+  jobs.push_back(makeJob(apps::AppKind::Compositing,
+                         core::DesignKind::SwScSimd, 16, 2));
+  jobs.push_back(makeJob(apps::AppKind::Matting, core::DesignKind::SwScSobol,
+                         12, 3));
+  jobs.push_back(makeJob(apps::AppKind::Filters, core::DesignKind::SwScLfsr,
+                         16, 4, 3));
+  jobs.push_back(makeJob(apps::AppKind::Bilinear, core::DesignKind::BinaryCim,
+                         8, 5));
+  jobs.push_back(makeJob(apps::AppKind::Morphology,
+                         core::DesignKind::SwScSimd, 12, 6));
+  jobs.push_back(makeJob(apps::AppKind::Compositing,
+                         core::DesignKind::ReramSc, 12, 7));
+  jobs.push_back(makeJob(apps::AppKind::Gamma, core::DesignKind::SwScLfsr,
+                         12, 8));
+  // Fault injection must stay deterministic under batching too.
+  jobs.push_back(makeJob(apps::AppKind::Gamma, core::DesignKind::SwScLfsr,
+                         12, 9));
+  jobs.back().request.faults.transientFlipRate = 1e-3;
+  jobs.back().request.faults.stuckAtRate = 0.01;
+  return jobs;
+}
+
+TEST(Service, DeterministicUnderBatchingAndTenantInterleaving) {
+  // Solo outputs: every request in its own batch, inline execution.
+  std::vector<std::vector<std::uint8_t>> solo;
+  {
+    ServiceConfig sc = smallServiceConfig();
+    sc.maxBatch = 1;
+    sc.flushDeadline = std::chrono::microseconds(0);
+    AcceleratorService svc(sc);
+    auto jobs = hammerJobs();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      svc.run(static_cast<TenantId>(i % 3), jobs[i].request);
+      solo.push_back(jobs[i].out.pixels());
+    }
+  }
+
+  // Batched: several client threads hammer the same workload concurrently,
+  // at different worker-thread counts.  Every output must match its solo
+  // bytes exactly.
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{3}}) {
+    ServiceConfig sc = smallServiceConfig();
+    sc.workerThreads = workers;
+    AcceleratorService svc(sc);
+    auto jobs = hammerJobs();
+
+    constexpr std::size_t kSubmitters = 3;
+    std::vector<std::thread> clients;
+    std::vector<std::vector<Ticket>> tickets(kSubmitters);
+    for (std::size_t t = 0; t < kSubmitters; ++t) {
+      clients.emplace_back([&, t] {
+        // Tenant t submits every (i % kSubmitters == t) job, interleaving
+        // with the other tenants' submissions.
+        for (std::size_t i = t; i < jobs.size(); i += kSubmitters) {
+          tickets[t].push_back(
+              svc.submit(static_cast<TenantId>(i % 3), jobs[i].request));
+        }
+      });
+    }
+    for (auto& c : clients) c.join();
+    for (std::size_t t = 0; t < kSubmitters; ++t) {
+      for (const Ticket& ticket : tickets[t]) svc.wait(ticket);
+    }
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      EXPECT_EQ(jobs[i].out.pixels(), solo[i])
+          << "job " << i << " at " << workers << " worker threads";
+    }
+  }
+}
+
+TEST(Service, BackpressureBoundsTheQueue) {
+  ServiceConfig sc = smallServiceConfig();
+  sc.queueCapacity = 2;
+  sc.startPaused = true;
+  AcceleratorService svc(sc);
+
+  auto a = makeJob(apps::AppKind::Gamma, core::DesignKind::SwScLfsr, 8, 1);
+  auto b = makeJob(apps::AppKind::Gamma, core::DesignKind::SwScLfsr, 8, 2);
+  auto c = makeJob(apps::AppKind::Gamma, core::DesignKind::SwScLfsr, 8, 3);
+
+  const auto ta = svc.trySubmit(1, a.request);
+  const auto tb = svc.trySubmit(1, b.request);
+  ASSERT_TRUE(ta.has_value());
+  ASSERT_TRUE(tb.has_value());
+  EXPECT_EQ(svc.queueDepth(), 2u);
+  // Queue full and the dispatcher paused: admission refuses.
+  EXPECT_FALSE(svc.trySubmit(1, c.request).has_value());
+
+  svc.resume();
+  svc.wait(*ta);
+  svc.wait(*tb);
+  // Drained: admission works again.
+  const auto tc = svc.trySubmit(1, c.request);
+  ASSERT_TRUE(tc.has_value());
+  svc.wait(*tc);
+}
+
+TEST(Service, BatchingCoalescesQueuedRequests) {
+  ServiceConfig sc = smallServiceConfig();
+  sc.startPaused = true;
+  AcceleratorService svc(sc);
+
+  std::vector<ClientJob> jobs;
+  std::vector<Ticket> tickets;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    jobs.push_back(
+        makeJob(apps::AppKind::Gamma, core::DesignKind::SwScLfsr, 8, i));
+  }
+  for (auto& job : jobs) tickets.push_back(svc.submit(1, job.request));
+  svc.resume();
+  for (const auto& t : tickets) {
+    const service::RequestResult res = svc.wait(t);
+    EXPECT_EQ(res.batchSize, 4u);  // all four rode one wave
+  }
+
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.requestsServed, 4u);
+  EXPECT_EQ(stats.batches, 1u);
+  ASSERT_GT(stats.batchOccupancy.size(), 4u);
+  EXPECT_EQ(stats.batchOccupancy[4], 1u);
+  EXPECT_DOUBLE_EQ(stats.meanOccupancy(), 4.0);
+}
+
+TEST(Service, TenantLedgersBillCostAndNamespacesReseed) {
+  AcceleratorService svc(smallServiceConfig());
+
+  auto a = makeJob(apps::AppKind::Gamma, core::DesignKind::SwScLfsr, 12, 5);
+  auto b = makeJob(apps::AppKind::Gamma, core::DesignKind::SwScLfsr, 12, 5);
+  auto c = makeJob(apps::AppKind::Gamma, core::DesignKind::SwScLfsr, 12, 5, 3);
+
+  svc.setTenantSeedNamespace(2, 0xfeedULL);
+  svc.run(1, a.request);
+  svc.run(2, b.request);  // same request, different seed universe
+  svc.run(1, c.request);  // redundancy bills 3 replicas
+
+  EXPECT_NE(a.out.pixels(), b.out.pixels());
+
+  const service::TenantLedger one = svc.tenantLedger(1);
+  const service::TenantLedger two = svc.tenantLedger(2);
+  EXPECT_EQ(one.requests, 2u);
+  EXPECT_EQ(one.replicasRun, 4u);  // 1 + 3
+  EXPECT_EQ(one.pixels, 2u * 12 * 12);
+  EXPECT_GT(one.opCount, 0u);
+  EXPECT_EQ(two.requests, 1u);
+  EXPECT_EQ(two.seedNamespace, 0xfeedULL);
+  // Unknown tenants read as a blank bill.
+  EXPECT_EQ(svc.tenantLedger(99).requests, 0u);
+}
+
+TEST(Service, ValidationRejectsMalformedRequests) {
+  AcceleratorService svc(smallServiceConfig());
+
+  // Missing frames.
+  Request empty;
+  EXPECT_THROW(svc.submit(1, empty), std::invalid_argument);
+
+  // Compositing without aux frames.
+  auto solo = makeJob(apps::AppKind::Compositing, core::DesignKind::SwScLfsr,
+                      8, 1);
+  Request q = solo.request;
+  q.aux2 = img::ImageView{};
+  EXPECT_THROW(svc.submit(1, q), std::invalid_argument);
+
+  // Output buffer of the wrong shape.
+  auto bad = makeJob(apps::AppKind::Bilinear, core::DesignKind::SwScLfsr, 8, 1);
+  img::Image wrong(8, 8);  // upscale x2 needs 16x16
+  bad.request.out = wrong;
+  EXPECT_THROW(svc.submit(1, bad.request), std::invalid_argument);
+
+  // Zero replicas.
+  auto z = makeJob(apps::AppKind::Gamma, core::DesignKind::SwScLfsr, 8, 1);
+  z.request.redundancy.replicas = 0;
+  EXPECT_THROW(svc.submit(1, z.request), std::invalid_argument);
+
+  // Tickets are single-redemption; unknown ids throw.
+  auto ok = makeJob(apps::AppKind::Gamma, core::DesignKind::SwScLfsr, 8, 1);
+  const Ticket t = svc.submit(1, ok.request);
+  svc.wait(t);
+  EXPECT_THROW(svc.wait(t), std::invalid_argument);
+  EXPECT_THROW(svc.wait(Ticket{123456}), std::invalid_argument);
+  EXPECT_TRUE(svc.poll(t));  // resolved/redeemed polls as done
+}
+
+TEST(Service, PollTransitionsAndShutdownDrains) {
+  ServiceConfig sc = smallServiceConfig();
+  sc.startPaused = true;
+  AcceleratorService svc(sc);
+
+  auto job = makeJob(apps::AppKind::Gamma, core::DesignKind::SwScLfsr, 8, 1);
+  const Ticket t = svc.submit(1, job.request);
+  EXPECT_FALSE(svc.poll(t));  // queued behind a paused dispatcher
+
+  // shutdown() must resume and drain the queued request, not drop it.
+  svc.shutdown();
+  EXPECT_TRUE(svc.poll(t));
+  svc.wait(t);
+  EXPECT_EQ(job.out.width(), 8u);
+
+  // Admission after shutdown fails loudly.
+  auto late = makeJob(apps::AppKind::Gamma, core::DesignKind::SwScLfsr, 8, 2);
+  EXPECT_THROW(svc.submit(1, late.request), std::runtime_error);
+  EXPECT_FALSE(svc.trySubmit(1, late.request).has_value());
+}
+
+}  // namespace
+}  // namespace aimsc

@@ -169,7 +169,6 @@ TEST(TileExecutor, RunnerTiledAppsLandInQualityClass) {
   apps::RunConfig cfg;
   cfg.width = 16;
   cfg.height = 16;
-  cfg.device = reram::DeviceParams::ideal();
   apps::ParallelConfig par;
   par.lanes = 4;
   par.threads = 2;
@@ -296,7 +295,7 @@ TEST(TileExecutor, CorrelatedBatchSharesEpoch) {
 TEST(TileExecutor, EncodeBatchFaultyFidelityFallsBackFaithfully) {
   AcceleratorConfig cfg;
   cfg.streamLength = 256;
-  cfg.injectFaults = true;
+  cfg.deviceVariability = true;
   cfg.device = apps::defaultFaultyDevice();
   cfg.faultModelSamples = 20000;
   Accelerator acc(cfg);
