@@ -1,0 +1,312 @@
+// Sharded MatGroup fan-out under measurement: the multi-process
+// ShardCoordinator (fork()ed workers over socketpairs, byte-exact wire
+// codec) against the one-shot runner oracle, at shard counts {1, 2, 4}.
+//
+// The headline numbers here are CONTRACTS, not speedups: on a 1-CPU host
+// the fan-out buys resilience and address-space isolation, not wall-clock.
+// What the JSON gates (scripts/compare_bench.py --require-true in CI) is
+// the determinism theorem of docs/SHARDING.md — merged output bytes and
+// cost ledgers are a pure function of the request, identical for every
+// shard count and equal to one-shot apps::runApp.
+//
+// Phases:
+//   0. codec check    — every traffic request encode/decode round-trips
+//                       bit-exactly; mean wire frame size recorded
+//   1. solo oracle    — apps::runAppDetailed on the matching lane fleet
+//                       (lanes=4, threads=1, rowsPerTile=4)
+//   2. shard sweep    — subprocess coordinators with 1, 2, 4 workers;
+//                       every output byte-compared to the oracle
+//   3. sharded daemon — AcceleratorService with shards=2; outputs
+//                       byte-compared to the oracle again
+//
+// Results land in BENCH_shard.json (schema: docs/BENCHMARKS.md).
+//
+// Usage: bench_shard [size] [rounds]   (default 64 4; CI smoke uses 32 2)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "apps/runner.hpp"
+#include "img/synth.hpp"
+#include "service/accelerator_service.hpp"
+#include "shard/coordinator.hpp"
+#include "shard/transport.hpp"
+#include "shard/wire.hpp"
+
+namespace {
+
+using namespace aimsc;
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// One request shape in the traffic mix (client-owned frames).
+struct TrafficItem {
+  apps::AppKind app;
+  core::DesignKind design;
+  std::size_t size = 64;
+  std::uint64_t seed = 0;
+  reliability::FaultPlan faults{};
+  std::size_t replicas = 1;
+
+  apps::CompositingScene compositing;
+  apps::MattingScene matting;
+  img::Image src;
+  std::size_t outWidth = 0, outHeight = 0;
+};
+
+service::Request requestFor(const TrafficItem& it, img::Image& out) {
+  service::Request q;
+  q.app = it.app;
+  q.design = it.design;
+  q.streamLength = 128;
+  q.seed = it.seed;
+  q.faults = it.faults;
+  q.redundancy.replicas = it.replicas;
+  switch (it.app) {
+    case apps::AppKind::Compositing:
+      q.src = it.compositing.background;
+      q.aux1 = it.compositing.foreground;
+      q.aux2 = it.compositing.alpha;
+      break;
+    case apps::AppKind::Matting:
+      q.src = it.matting.composite;
+      q.aux1 = it.matting.background;
+      q.aux2 = it.matting.foreground;
+      break;
+    default:
+      q.src = it.src;
+      break;
+  }
+  q.out = out;
+  return q;
+}
+
+/// Mixed traffic: all substrate families, including the paper's faulty
+/// device corner with triple-modular redundancy riding the wire.
+std::vector<TrafficItem> makeTraffic(std::size_t size) {
+  std::vector<TrafficItem> items;
+  auto add = [&](apps::AppKind app, core::DesignKind design,
+                 std::uint64_t seed) -> TrafficItem& {
+    TrafficItem it;
+    it.app = app;
+    it.design = design;
+    it.size = size;
+    it.seed = seed;
+    items.push_back(std::move(it));
+    return items.back();
+  };
+  add(apps::AppKind::Gamma, core::DesignKind::SwScLfsr, 201);
+  add(apps::AppKind::Morphology, core::DesignKind::SwScSimd, 202);
+  add(apps::AppKind::Compositing, core::DesignKind::ReramSc, 203);
+  {
+    auto& faulty = add(apps::AppKind::Compositing, core::DesignKind::ReramSc,
+                       204);
+    faulty.faults = reliability::FaultPlan::deviceOnly(
+        apps::defaultFaultyDevice(), 2000);
+    faulty.replicas = 3;
+  }
+  add(apps::AppKind::Matting, core::DesignKind::SwScSobol, 205);
+  add(apps::AppKind::Filters, core::DesignKind::BinaryCim, 206);
+  for (auto& it : items) {
+    it.outWidth = it.size;
+    it.outHeight = it.size;
+    switch (it.app) {
+      case apps::AppKind::Compositing:
+        it.compositing = apps::makeCompositingScene(it.size, it.size, it.seed);
+        break;
+      case apps::AppKind::Matting:
+        it.matting = apps::makeMattingScene(it.size, it.size, it.seed);
+        break;
+      default:
+        it.src = img::naturalScene(it.size, it.size, it.seed ^ 0xb111);
+        break;
+    }
+  }
+  return items;
+}
+
+/// The one-shot oracle on the matching lane fleet.
+apps::RunResult oracleRun(const TrafficItem& it) {
+  apps::RunConfig cfg;
+  cfg.width = it.size;
+  cfg.height = it.size;
+  cfg.streamLength = 128;
+  cfg.seed = it.seed;
+  cfg.faults = it.faults;
+  cfg.redundancy.replicas = it.replicas;
+  apps::ParallelConfig par;
+  par.lanes = 4;
+  par.threads = 1;  // forces the lane-fleet path on every design
+  par.rowsPerTile = 4;
+  return apps::runAppDetailed(it.app, it.design, cfg, par);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const long sizeArg = argc > 1 ? std::atol(argv[1]) : 64;
+  const long roundsArg = argc > 2 ? std::atol(argv[2]) : 4;
+  if (sizeArg < 8 || sizeArg > 1024 || roundsArg < 1 || roundsArg > 1000) {
+    std::fprintf(stderr,
+                 "usage: bench_shard [size in 8..1024] [rounds in 1..1000]\n");
+    return 1;
+  }
+  const auto size = static_cast<std::size_t>(sizeArg);
+  const auto rounds = static_cast<std::size_t>(roundsArg);
+  constexpr std::size_t kLanes = 4;
+  constexpr std::size_t kRowsPerTile = 4;
+
+  std::vector<TrafficItem> items = makeTraffic(size);
+  const std::size_t total = items.size() * rounds;
+  std::printf(
+      "Shard bench: %zu traffic items x %zu rounds at %zux%zu (N=128), "
+      "fleet %zux%zu\n\n",
+      items.size(), rounds, size, size, kLanes, kRowsPerTile);
+
+  // --- phase 0: wire codec round-trip on the real traffic ------------------
+  bool codecOk = true;
+  std::size_t wireBytes = 0;
+  for (const auto& it : items) {
+    img::Image out(it.outWidth, it.outHeight);
+    const service::Request q = requestFor(it, out);
+    shard::TileAssignment assign;
+    assign.laneSeedBase = q.seed;
+    assign.laneStride = 2;
+    assign.laneBegin = 1;
+    assign.rowEnd = static_cast<std::uint32_t>(it.outHeight);
+    const shard::WireRequest wq = shard::makeWireRequest(
+        q, /*tenant=*/7, /*seedNamespace=*/0, q.seed, kLanes, kRowsPerTile,
+        assign);
+    const std::vector<std::uint8_t> bytes = shard::encodeRequest(wq);
+    wireBytes += bytes.size();
+    if (!(shard::decodeRequest(bytes) == wq)) codecOk = false;
+  }
+  const std::size_t wireBytesMean = wireBytes / items.size();
+  std::printf("  codec round-trip: %s (mean request frame %zu bytes)\n",
+              codecOk ? "bit-exact" : "MISMATCH (BUG)", wireBytesMean);
+
+  // --- phase 1: solo one-shot oracle ---------------------------------------
+  std::vector<apps::RunResult> oracle;
+  oracle.reserve(items.size());
+  Clock::time_point t0 = Clock::now();
+  for (const auto& it : items) oracle.push_back(oracleRun(it));
+  const double soloSecs = secondsSince(t0);
+  std::printf("  solo one-shot oracle: %zu requests in %.2fs\n", items.size(),
+              soloSecs);
+
+  // --- phase 2: subprocess shard sweep -------------------------------------
+  const std::size_t shardCounts[] = {1, 2, 4};
+  double shardRps[3] = {0, 0, 0};
+  bool matchesOneShot = codecOk;
+  bool crossShardIdentical = true;
+  std::vector<std::vector<std::uint8_t>> firstSweepBytes(items.size());
+  for (std::size_t si = 0; si < 3; ++si) {
+    const std::size_t shards = shardCounts[si];
+    shard::ShardCoordinator coord(
+        shard::makeShardChannels(shard::ShardTransportKind::Subprocess,
+                                 shards),
+        kLanes, kRowsPerTile);
+    t0 = Clock::now();
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        img::Image out(items[i].outWidth, items[i].outHeight);
+        const service::Request q = requestFor(items[i], out);
+        coord.runReplicated(/*tenant=*/1, q, /*seedNamespace=*/0, q.seed);
+        if (r == 0) {
+          if (out.pixels() != oracle[i].output.pixels()) {
+            matchesOneShot = false;
+          }
+          if (si == 0) {
+            firstSweepBytes[i] = out.pixels();
+          } else if (out.pixels() != firstSweepBytes[i]) {
+            crossShardIdentical = false;
+          }
+        }
+      }
+    }
+    const double secs = secondsSince(t0);
+    shardRps[si] = static_cast<double>(total) / secs;
+    std::printf("  %zu subprocess shard%s: %zu requests in %.2fs (%.2f "
+                "req/s)\n",
+                shards, shards == 1 ? " " : "s", total, secs, shardRps[si]);
+  }
+  std::printf("  shard sweep vs one-shot bytes: %s; across shard counts: "
+              "%s\n",
+              matchesOneShot ? "identical" : "DIFFER (BUG)",
+              crossShardIdentical ? "identical" : "DIFFER (BUG)");
+
+  // --- phase 3: sharded daemon (shards=2 behind the request queue) ---------
+  bool serviceMatches = true;
+  double serviceRps = 0.0;
+  {
+    service::ServiceConfig sc;
+    sc.lanes = kLanes;
+    sc.rowsPerTile = kRowsPerTile;
+    sc.maxBatch = 4;
+    sc.shards = 2;
+    sc.shardTransport = shard::ShardTransportKind::Subprocess;
+    service::AcceleratorService svc(sc);
+    std::vector<img::Image> outs;
+    outs.reserve(total);
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (const auto& it : items) outs.emplace_back(it.outWidth, it.outHeight);
+    }
+    t0 = Clock::now();
+    std::vector<service::Ticket> tickets;
+    tickets.reserve(total);
+    for (std::size_t g = 0; g < total; ++g) {
+      tickets.push_back(
+          svc.submit(1, requestFor(items[g % items.size()], outs[g])));
+    }
+    for (const service::Ticket& t : tickets) svc.wait(t);
+    const double secs = secondsSince(t0);
+    serviceRps = static_cast<double>(total) / secs;
+    for (std::size_t g = 0; g < total; ++g) {
+      if (outs[g].pixels() != oracle[g % items.size()].output.pixels()) {
+        serviceMatches = false;
+      }
+    }
+    std::printf("  sharded daemon (2 shards): %zu requests in %.2fs (%.2f "
+                "req/s), bytes %s\n",
+                total, secs, serviceRps,
+                serviceMatches ? "identical" : "DIFFER (BUG)");
+  }
+
+  const bool deterministic =
+      codecOk && crossShardIdentical && matchesOneShot && serviceMatches;
+  FILE* f = std::fopen("BENCH_shard.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"width\": %zu,\n"
+                 "  \"height\": %zu,\n"
+                 "  \"stream_length\": 128,\n"
+                 "  \"lanes\": %zu,\n"
+                 "  \"rows_per_tile\": %zu,\n"
+                 "  \"rounds\": %zu,\n"
+                 "  \"requests\": %zu,\n"
+                 "  \"wire_request_bytes_mean\": %zu,\n"
+                 "  \"codec_round_trip_ok\": %s,\n"
+                 "  \"shard1_rps\": %.3f,\n"
+                 "  \"shard2_rps\": %.3f,\n"
+                 "  \"shard4_rps\": %.3f,\n"
+                 "  \"service_sharded_rps\": %.3f,\n"
+                 "  \"deterministic_across_shards\": %s,\n"
+                 "  \"matches_one_shot\": %s,\n"
+                 "  \"service_sharded_matches_one_shot\": %s\n"
+                 "}\n",
+                 size, size, kLanes, kRowsPerTile, rounds, total,
+                 wireBytesMean, codecOk ? "true" : "false", shardRps[0],
+                 shardRps[1], shardRps[2], serviceRps,
+                 (crossShardIdentical && matchesOneShot) ? "true" : "false",
+                 matchesOneShot ? "true" : "false",
+                 serviceMatches ? "true" : "false");
+    std::fclose(f);
+    std::puts("  wrote BENCH_shard.json");
+  }
+  return deterministic ? 0 : 1;
+}

@@ -70,6 +70,22 @@ void TileExecutor::makeArenas() {
   }
 }
 
+void TileExecutor::adoptArenas(std::vector<std::unique_ptr<StreamArena>> pool) {
+  const std::size_t n = std::min(pool.size(), arenas_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pool[i] == nullptr) continue;
+    pool[i]->reset();
+    arenas_[i] = std::move(pool[i]);
+  }
+}
+
+std::vector<std::unique_ptr<StreamArena>> TileExecutor::releaseArenas() {
+  std::vector<std::unique_ptr<StreamArena>> pool = std::move(arenas_);
+  arenas_.clear();
+  makeArenas();
+  return pool;
+}
+
 Accelerator& TileExecutor::lane(std::size_t i) {
   if (group_ == nullptr) {
     throw std::logic_error("TileExecutor: lane() needs a ReRAM fleet");

@@ -133,6 +133,18 @@ class TileExecutor {
   /// Stream arena of lane \p i (any fleet).
   StreamArena& arena(std::size_t i) { return *arenas_.at(i); }
 
+  /// Donates a pre-warmed arena pool: entry i replaces lane i's arena
+  /// (reset on adoption — cursors rewind, capacity stays, so donated
+  /// buffers are bit-inert warm capacity; see stream_arena.hpp).  Missing
+  /// entries keep their fresh arenas; null and surplus entries are dropped.
+  /// Shard workers pool arenas across requests so per-request executor
+  /// rebuilds stop paying the allocation ramp.
+  void adoptArenas(std::vector<std::unique_ptr<StreamArena>> pool);
+
+  /// Surrenders the lane arenas for pooling; fresh empty arenas take their
+  /// place so the executor stays usable.
+  std::vector<std::unique_ptr<StreamArena>> releaseArenas();
+
   /// Accelerator lane \p i; throws std::logic_error for non-ReRAM fleets.
   Accelerator& lane(std::size_t i);
 

@@ -1,58 +1,105 @@
 #include "img/pgm.hpp"
 
+#include <cctype>
 #include <fstream>
-#include <sstream>
+#include <istream>
 #include <stdexcept>
 
 namespace aimsc::img {
 
 namespace {
 
+/// Refuse absurd header dimensions before allocating (a corrupt or hostile
+/// header must not turn into a multi-gigabyte Image).
+constexpr unsigned long kMaxPgmDim = 1ul << 16;
+
 /// Reads the next whitespace/comment-delimited token of a PGM header.
+/// The terminating delimiter is left in the stream so the binary-payload
+/// separator after maxval can be consumed exactly once.  '\r' counts as
+/// whitespace (via isspace), so CRLF headers parse cleanly.
 std::string nextToken(std::istream& in) {
   std::string tok;
-  while (in) {
-    const int c = in.get();
+  while (true) {
+    const int c = in.peek();
     if (c == EOF) break;
     if (c == '#') {
+      in.get();
       std::string line;
       std::getline(in, line);
       continue;
     }
     if (std::isspace(c)) {
-      if (!tok.empty()) break;
+      if (!tok.empty()) break;  // delimiter stays for the caller
+      in.get();
       continue;
     }
-    tok.push_back(static_cast<char>(c));
+    tok.push_back(static_cast<char>(in.get()));
   }
   if (tok.empty()) throw std::runtime_error("PGM: truncated header");
   return tok;
 }
 
+/// Consumes the single whitespace separating maxval from binary pixel
+/// data.  A CRLF pair counts as one separator (files written on Windows),
+/// so a payload byte of 0x0a is not eaten by header parsing.
+void skipPayloadSeparator(std::istream& in) {
+  const int c = in.get();
+  if (c == '\r' && in.peek() == '\n') in.get();
+}
+
+/// Strict decimal parse.  Unlike std::stoul this rejects signs, garbage
+/// prefixes/suffixes, and overflow — everything maps to the same
+/// runtime_error so callers see one failure mode for corrupt files.
+unsigned long parseNumber(const std::string& tok, unsigned long max,
+                          const char* what) {
+  if (tok.empty()) throw std::runtime_error("PGM: truncated header");
+  unsigned long value = 0;
+  for (const char ch : tok) {
+    if (ch < '0' || ch > '9') {
+      throw std::runtime_error(std::string("PGM: bad ") + what + " token '" +
+                               tok + "'");
+    }
+    value = value * 10 + static_cast<unsigned long>(ch - '0');
+    if (value > max) {
+      throw std::runtime_error(std::string("PGM: ") + what + " out of range");
+    }
+  }
+  return value;
+}
+
+unsigned long nextNumber(std::istream& in, unsigned long max,
+                         const char* what) {
+  return parseNumber(nextToken(in), max, what);
+}
+
 }  // namespace
 
-Image readPgm(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("PGM: cannot open " + path);
+Image readPgm(std::istream& in) {
   const std::string magic = nextToken(in);
   if (magic != "P5" && magic != "P2") {
     throw std::runtime_error("PGM: unsupported magic " + magic);
   }
-  const auto width = static_cast<std::size_t>(std::stoul(nextToken(in)));
-  const auto height = static_cast<std::size_t>(std::stoul(nextToken(in)));
-  const auto maxval = static_cast<unsigned long>(std::stoul(nextToken(in)));
-  if (width == 0 || height == 0 || maxval == 0 || maxval > 65535) {
+  const auto width =
+      static_cast<std::size_t>(nextNumber(in, kMaxPgmDim, "width"));
+  const auto height =
+      static_cast<std::size_t>(nextNumber(in, kMaxPgmDim, "height"));
+  const unsigned long maxval = nextNumber(in, 65535, "maxval");
+  if (width == 0 || height == 0 || maxval == 0) {
     throw std::runtime_error("PGM: bad dimensions/maxval");
   }
   Image img(width, height);
   const std::size_t count = width * height;
   if (magic == "P2") {
     for (std::size_t i = 0; i < count; ++i) {
-      const auto v = std::stoul(nextToken(in));
+      const unsigned long v = nextNumber(in, 65535, "sample");
+      if (v > maxval) {
+        throw std::runtime_error("PGM: sample exceeds maxval");
+      }
       img[i] = static_cast<std::uint8_t>(v * 255 / maxval);
     }
     return img;
   }
+  skipPayloadSeparator(in);
   if (maxval < 256) {
     std::vector<unsigned char> buf(count);
     in.read(reinterpret_cast<char*>(buf.data()),
@@ -64,6 +111,7 @@ Image readPgm(const std::string& path) {
       img[i] = static_cast<std::uint8_t>(buf[i] * 255ul / maxval);
     }
   } else {
+    // 16-bit samples are big-endian per the Netpbm spec.
     std::vector<unsigned char> buf(count * 2);
     in.read(reinterpret_cast<char*>(buf.data()),
             static_cast<std::streamsize>(count * 2));
@@ -73,10 +121,19 @@ Image readPgm(const std::string& path) {
     for (std::size_t i = 0; i < count; ++i) {
       const unsigned long v =
           (static_cast<unsigned long>(buf[2 * i]) << 8) | buf[2 * i + 1];
+      if (v > maxval) {
+        throw std::runtime_error("PGM: sample exceeds maxval");
+      }
       img[i] = static_cast<std::uint8_t>(v * 255ul / maxval);
     }
   }
   return img;
+}
+
+Image readPgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("PGM: cannot open " + path);
+  return readPgm(in);
 }
 
 void writePgm(const std::string& path, const Image& image) {

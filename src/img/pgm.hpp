@@ -3,14 +3,21 @@
 ///        their own images and inspect the SC outputs.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 
 #include "img/image.hpp"
 
 namespace aimsc::img {
 
-/// Reads a binary (P5) or ASCII (P2) PGM file.  Throws std::runtime_error
-/// on malformed input; 16-bit maxval is rescaled to 8 bits.
+/// Reads a binary (P5) or ASCII (P2) PGM image from a stream.  Throws
+/// std::runtime_error on ANY malformed input (bad magic, garbage or
+/// out-of-range header numbers, P2 samples above maxval, truncated pixel
+/// payload); maxval != 255 (including 16-bit) is rescaled to 8 bits.
+/// Comments and CRLF line endings in the header are accepted.
+Image readPgm(std::istream& in);
+
+/// Reads a PGM file (see the stream overload for the accepted dialect).
 Image readPgm(const std::string& path);
 
 /// Writes a binary (P5) PGM file.

@@ -88,6 +88,10 @@ struct FaultPlan {
     p.faultModelSamples = samples;
     return p;
   }
+
+  /// Field-wise equality (plans travel on the shard wire; the codec tests
+  /// assert decode(encode(p)) == p).
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
 };
 
 }  // namespace aimsc::reliability

@@ -36,6 +36,9 @@ struct DeviceParams {
   double nominalCurrent(bool lrs) const {
     return vRead / (lrs ? rLrsOhm : rHrsOhm);
   }
+
+  /// Field-wise equality (device corners key caches and wire messages).
+  friend bool operator==(const DeviceParams&, const DeviceParams&) = default;
 };
 
 /// Samples per-read resistance/current realisations.

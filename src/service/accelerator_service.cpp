@@ -4,13 +4,10 @@
 #include <stdexcept>
 #include <utility>
 
-#include "apps/bilinear.hpp"
-#include "apps/compositing.hpp"
-#include "apps/filters.hpp"
-#include "apps/matting.hpp"
-#include "apps/morphology.hpp"
 #include "core/tile_executor.hpp"
 #include "reliability/fault_rng.hpp"
+#include "service/request_kernels.hpp"
+#include "shard/coordinator.hpp"
 
 namespace aimsc::service {
 
@@ -22,40 +19,23 @@ double microsSince(Clock::time_point t0, Clock::time_point t1) {
   return std::chrono::duration<double, std::micro>(t1 - t0).count();
 }
 
-/// Per-replica lane fleet for one request — the exact configuration
-/// apps::runReplica builds, so a service request is bit-identical to the
-/// equivalent runApp call (tests assert this).  The daemon-only difference
-/// is warm state: device-variability mats draw their misdecision tables
-/// from \p faultCache instead of re-running the Monte-Carlo per call (a
-/// bit-preserving memoization — see fault_model_cache.hpp).
-std::unique_ptr<core::TileExecutor> makeExecutor(const ServiceConfig& sc,
-                                                 const Request& q,
-                                                 std::uint64_t seed,
-                                                 FaultModelCache& faultCache) {
-  if (q.design == core::DesignKind::ReramSc) {
-    core::TileExecutorConfig tc;
-    tc.lanes = sc.lanes;
-    tc.threads = 0;  // the service pool runs the wave, not the executor
-    tc.rowsPerTile = sc.rowsPerTile;
-    tc.mat.streamLength = q.streamLength;
-    tc.mat.deviceVariability = q.faults.deviceVariability;
-    if (q.faults.deviceVariability) tc.mat.device = q.faults.device;
-    tc.mat.faultModelSamples = q.faults.faultModelSamples;
-    tc.mat.seed = seed;
-    tc.mat.faultModelProvider = faultCache.provider();
-    tc.faults = q.faults;
-    return std::make_unique<core::TileExecutor>(tc);
+const ServiceConfig& validated(const ServiceConfig& config) {
+  if (config.lanes == 0 || config.rowsPerTile == 0 || config.maxBatch == 0 ||
+      config.queueCapacity == 0) {
+    throw std::invalid_argument("ServiceConfig: zero-sized knob");
   }
-  core::BackendFactoryConfig bc;
-  bc.streamLength = q.streamLength;
-  bc.seed = seed;
-  bc.faults = q.faults;
-  core::ParallelConfig par;
-  par.lanes = sc.lanes;
-  par.threads = 0;
-  par.rowsPerTile = sc.rowsPerTile;
-  return std::make_unique<core::TileExecutor>(
-      core::makeBackendLanes(q.design, bc, sc.lanes), par);
+  return config;
+}
+
+/// Builds the shard fan-out when configured.  Runs in the member-init list
+/// BEFORE the worker pool / dispatcher threads exist: fork()ing subprocess
+/// workers from a multi-threaded parent would be unsafe.
+std::unique_ptr<shard::ShardCoordinator> makeCoordinator(
+    const ServiceConfig& config) {
+  if (config.shards == 0) return nullptr;
+  return std::make_unique<shard::ShardCoordinator>(
+      shard::makeShardChannels(config.shardTransport, config.shards),
+      config.lanes, config.rowsPerTile);
 }
 
 }  // namespace
@@ -81,87 +61,12 @@ struct AcceleratorService::Pending {
   RequestResult result;
 };
 
-namespace {
-
-/// Stage-0 tile kernel for \p q writing \p out (for morphology: the erode
-/// pass into the intermediate).  Views and spans are captured by value —
-/// they are pointers into client/staging memory that outlives the wave.
-core::TileExecutor::ArenaTileKernel stage0Kernel(const Request& q,
-                                                 img::Image& out) {
-  const img::ImageSpan dst(out);
-  switch (q.app) {
-    case apps::AppKind::Compositing: {
-      const apps::CompositingFrames frames(q.src, q.aux1, q.aux2);
-      return [frames, dst](core::ScBackend& b, core::StreamArena& arena,
-                           std::size_t r0, std::size_t r1) {
-        apps::compositeKernelRows(frames, b, arena, dst, r0, r1);
-      };
-    }
-    case apps::AppKind::Matting: {
-      const apps::MattingFrames frames(q.src, q.aux1, q.aux2);
-      return [frames, dst](core::ScBackend& b, core::StreamArena& arena,
-                           std::size_t r0, std::size_t r1) {
-        apps::mattingKernelRows(frames, b, arena, dst, r0, r1);
-      };
-    }
-    case apps::AppKind::Bilinear: {
-      const img::ImageView src = q.src;
-      const std::size_t factor = q.upscaleFactor;
-      return [src, factor, dst](core::ScBackend& b, core::StreamArena& arena,
-                                std::size_t r0, std::size_t r1) {
-        apps::upscaleKernelRows(src, factor, b, arena, dst, r0, r1);
-      };
-    }
-    case apps::AppKind::Filters: {
-      const img::ImageView src = q.src;
-      return [src, dst](core::ScBackend& b, core::StreamArena& arena,
-                        std::size_t r0, std::size_t r1) {
-        apps::smoothKernelRows(src, b, arena, dst, r0, r1);
-      };
-    }
-    case apps::AppKind::Gamma: {
-      const img::ImageView src = q.src;
-      const double gamma = q.gamma;
-      return [src, gamma, dst](core::ScBackend& b, core::StreamArena& arena,
-                               std::size_t r0, std::size_t r1) {
-        apps::gammaKernelRows(src, gamma, b, arena, dst, r0, r1);
-      };
-    }
-    case apps::AppKind::Morphology: {
-      const img::ImageView src = q.src;
-      return [src, dst](core::ScBackend& b, core::StreamArena& arena,
-                        std::size_t r0, std::size_t r1) {
-        apps::erodeKernelRows(src, b, arena, dst, r0, r1);
-      };
-    }
-  }
-  throw std::invalid_argument("service: bad app");
-}
-
-/// Stage-1 kernel (morphology only): the dilate pass over the eroded
-/// intermediate, mirroring openKernelTiled's second forEachTile on the
-/// SAME lane fleet.
-core::TileExecutor::ArenaTileKernel stage1Kernel(const img::Image& tmp,
-                                                 img::Image& out) {
-  const img::ImageView src(tmp);
-  const img::ImageSpan dst(out);
-  return [src, dst](core::ScBackend& b, core::StreamArena& arena,
-                    std::size_t r0, std::size_t r1) {
-    apps::dilateKernelRows(src, b, arena, dst, r0, r1);
-  };
-}
-
-}  // namespace
-
 AcceleratorService::AcceleratorService(const ServiceConfig& config)
-    : config_(config),
+    : config_(validated(config)),
       queue_(config.queueCapacity),
+      coordinator_(makeCoordinator(config_)),
       pool_(config.workerThreads),
       paused_(config.startPaused) {
-  if (config_.lanes == 0 || config_.rowsPerTile == 0 ||
-      config_.maxBatch == 0 || config_.queueCapacity == 0) {
-    throw std::invalid_argument("ServiceConfig: zero-sized knob");
-  }
   dispatcher_ = std::thread([this] { dispatchLoop(); });
 }
 
@@ -229,6 +134,26 @@ bool AcceleratorService::poll(const Ticket& ticket) const {
   std::lock_guard<std::mutex> lock(ticketMutex_);
   const auto it = tickets_.find(ticket.id);
   return it == tickets_.end() || it->second->done;
+}
+
+std::optional<RequestResult> AcceleratorService::waitFor(
+    const Ticket& ticket, std::chrono::microseconds timeout) {
+  std::shared_ptr<Pending> pending;
+  {
+    std::unique_lock<std::mutex> lock(ticketMutex_);
+    const auto it = tickets_.find(ticket.id);
+    if (it == tickets_.end()) {
+      throw std::invalid_argument(
+          "AcceleratorService: unknown or already-redeemed ticket");
+    }
+    pending = it->second;
+    if (!ticketCv_.wait_for(lock, timeout, [&] { return pending->done; })) {
+      return std::nullopt;  // still pending; ticket stays redeemable
+    }
+    tickets_.erase(ticket.id);
+  }
+  if (!pending->error.empty()) throw std::runtime_error(pending->error);
+  return pending->result;
 }
 
 RequestResult AcceleratorService::wait(const Ticket& ticket) {
@@ -307,8 +232,62 @@ void AcceleratorService::dispatchLoop() {
   }
 }
 
+void AcceleratorService::executeBatchSharded(
+    std::vector<std::shared_ptr<Pending>>& batch) {
+  const auto batchStart = Clock::now();
+  std::size_t served = 0;
+  for (auto& p : batch) {
+    const Request& q = p->request;
+    RequestResult res;
+    try {
+      std::uint64_t ns = 0;
+      {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        const auto it = ledgers_.find(p->tenant);
+        if (it != ledgers_.end()) ns = it->second.seedNamespace;
+      }
+      res = coordinator_->runReplicated(p->tenant, q, ns, p->effectiveSeed);
+      res.queueMicros = microsSince(p->submitTime, batchStart);
+      res.execMicros = microsSince(batchStart, Clock::now());
+      res.batchSize = batch.size();
+
+      const OutputShape shape = outputShapeFor(q);
+      std::lock_guard<std::mutex> lock(statsMutex_);
+      TenantLedger& ledger = ledgers_[p->tenant];
+      ledger.requests += 1;
+      ledger.pixels += shape.width * shape.height;
+      ledger.replicasRun += std::max<std::size_t>(q.redundancy.replicas, 1);
+      ledger.opCount += res.opCount;
+      ledger.events += res.events;
+      ++served;
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lock(ticketMutex_);
+      p->error = e.what();
+      p->done = true;
+      ticketCv_.notify_all();
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(ticketMutex_);
+    p->result = res;
+    p->done = true;
+    ticketCv_.notify_all();
+  }
+
+  std::lock_guard<std::mutex> lock(statsMutex_);
+  stats_.requestsServed += served;
+  stats_.batches += 1;
+  if (stats_.batchOccupancy.size() <= batch.size()) {
+    stats_.batchOccupancy.resize(batch.size() + 1, 0);
+  }
+  stats_.batchOccupancy[batch.size()] += 1;
+}
+
 void AcceleratorService::executeBatch(
     std::vector<std::shared_ptr<Pending>>& batch) {
+  if (coordinator_ != nullptr) {
+    executeBatchSharded(batch);
+    return;
+  }
   const auto batchStart = Clock::now();
 
   // Stage 0: every request builds its per-replica lane fleets and
@@ -325,21 +304,19 @@ void AcceleratorService::executeBatch(
       p->execs.reserve(replicas);
       p->replicaOut.reserve(replicas);
       if (q.app == apps::AppKind::Morphology) p->morphTmp.reserve(replicas);
+      const ExecShape es{config_.lanes, config_.rowsPerTile};
       for (std::size_t r = 0; r < replicas; ++r) {
-        p->execs.push_back(
-            makeExecutor(config_, q,
-                         reliability::replicaSeed(p->effectiveSeed, r),
-                         faultCache_));
-        // Staging init mirrors each app's whole-image form: smoothing and
-        // morphology copy the source through (borders), the rest start
-        // blank and are fully overwritten.
-        if (q.app == apps::AppKind::Filters) {
-          p->replicaOut.push_back(q.src.toImage());
-        } else if (q.app == apps::AppKind::Morphology) {
-          p->morphTmp.push_back(q.src.toImage());
+        p->execs.push_back(makeRequestExecutor(
+            es, q, reliability::replicaSeed(p->effectiveSeed, r),
+            faultCache_));
+        // Staging init mirrors each app's whole-image form (shared with the
+        // shard worker — see request_kernels.hpp): morphology's source copy
+        // is the erode intermediate, its output starts blank.
+        if (q.app == apps::AppKind::Morphology) {
+          p->morphTmp.push_back(makeStage0Staging(q, shape));
           p->replicaOut.push_back(img::Image(shape.width, shape.height));
         } else {
-          p->replicaOut.push_back(img::Image(shape.width, shape.height));
+          p->replicaOut.push_back(makeStage0Staging(q, shape));
         }
         img::Image& stage0Out = q.app == apps::AppKind::Morphology
                                     ? p->morphTmp[r]

@@ -38,6 +38,11 @@
 #include "service/request.hpp"
 #include "service/request_queue.hpp"
 #include "service/ticket.hpp"
+#include "shard/transport.hpp"
+
+namespace aimsc::shard {
+class ShardCoordinator;
+}
 
 namespace aimsc::service {
 
@@ -64,6 +69,17 @@ struct ServiceConfig {
   /// Start with the dispatcher paused (tests: fill the queue, observe
   /// backpressure/occupancy deterministically, then resume()).
   bool startPaused = false;
+
+  /// Shard fan-out: 0 = in-process execution (the PR-7 daemon path);
+  /// N > 0 builds N shard workers at construction and executes every
+  /// request through the shard coordinator (wire codec + transport;
+  /// docs/SHARDING.md).  Output bytes are identical either way — sharding
+  /// is a deployment knob, not part of the bit contract.  Subprocess
+  /// workers are fork()ed in the constructor BEFORE any service thread
+  /// starts (fork-safety).
+  std::size_t shards = 0;
+  shard::ShardTransportKind shardTransport =
+      shard::ShardTransportKind::Subprocess;
 };
 
 class AcceleratorService {
@@ -91,6 +107,12 @@ class AcceleratorService {
   /// std::invalid_argument for an unknown/already-redeemed ticket.
   RequestResult wait(const Ticket& ticket);
 
+  /// wait() with a deadline: nullopt when the ticket is still unresolved
+  /// after \p timeout (the ticket stays live and redeemable later); the
+  /// same exceptions as wait() otherwise.
+  std::optional<RequestResult> waitFor(const Ticket& ticket,
+                                       std::chrono::microseconds timeout);
+
   /// Blocking convenience wrapper: submit + wait.
   RequestResult run(TenantId tenant, const Request& request);
 
@@ -116,17 +138,27 @@ class AcceleratorService {
   std::size_t queueDepth() const { return queue_.size(); }
   const ServiceConfig& config() const { return config_; }
 
+  /// The shard fan-out, nullptr when `config.shards == 0`.  Exposed for
+  /// tests and ops tooling (fault injection, shard introspection).
+  shard::ShardCoordinator* shardCoordinator() { return coordinator_.get(); }
+
  private:
   struct Pending;
 
   std::uint64_t namespacedSeed(TenantId tenant, std::uint64_t seed) const;
   void dispatchLoop();
   void executeBatch(std::vector<std::shared_ptr<Pending>>& batch);
+  void executeBatchSharded(std::vector<std::shared_ptr<Pending>>& batch);
   std::shared_ptr<Pending> makePending(TenantId tenant, const Request& request);
   Ticket registerTicket(const std::shared_ptr<Pending>& pending);
 
   ServiceConfig config_;
   BoundedQueue<std::shared_ptr<Pending>> queue_;
+
+  /// Shard fan-out (config.shards > 0).  Declared BEFORE pool_ so
+  /// subprocess workers fork while the service is still single-threaded.
+  std::unique_ptr<shard::ShardCoordinator> coordinator_;
+
   core::ThreadPool pool_;
 
   /// Warm misdecision tables shared across requests (bit-preserving memo;

@@ -1,0 +1,133 @@
+#include "shard/coordinator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "reliability/redundancy.hpp"
+
+namespace aimsc::shard {
+
+ShardCoordinator::ShardCoordinator(
+    std::vector<std::unique_ptr<ShardChannel>> channels, std::size_t lanes,
+    std::size_t rowsPerTile)
+    : channels_(std::move(channels)), lanes_(lanes), rowsPerTile_(rowsPerTile) {
+  if (channels_.empty()) {
+    throw std::invalid_argument("ShardCoordinator: no channels");
+  }
+  if (lanes_ == 0 || rowsPerTile_ == 0) {
+    throw std::invalid_argument("ShardCoordinator: zero-sized fleet shape");
+  }
+  for (const auto& c : channels_) {
+    if (c == nullptr) {
+      throw std::invalid_argument("ShardCoordinator: null channel");
+    }
+  }
+}
+
+ShardCoordinator::ReplicaRun ShardCoordinator::runReplica(
+    const service::Request& q, service::TenantId tenant,
+    std::uint64_t seedNamespace, std::uint64_t replicaSeed) {
+  const service::OutputShape shape = service::outputShapeFor(q);
+
+  // Surplus shards idle: a lane is the indivisible unit of work, so at
+  // most `lanes` shards can own one.
+  const std::size_t active = std::min(channels_.size(), lanes_);
+
+  // Fan out: every active shard gets one frame naming its lane slice.
+  // Each channel carries at most one in-flight frame per replica and the
+  // socketpairs are independent, so this send-all-then-collect-in-order
+  // schedule cannot deadlock on socket buffers.
+  for (std::size_t s = 0; s < active; ++s) {
+    TileAssignment assignment;
+    assignment.laneSeedBase = replicaSeed;
+    assignment.laneBegin = static_cast<std::uint32_t>(s);
+    assignment.laneStride = static_cast<std::uint32_t>(active);
+    assignment.rowBegin = 0;
+    assignment.rowEnd = static_cast<std::uint32_t>(shape.height);
+    const WireRequest wq = makeWireRequest(
+        q, tenant, seedNamespace, replicaSeed,
+        static_cast<std::uint32_t>(lanes_),
+        static_cast<std::uint32_t>(rowsPerTile_), assignment);
+    channels_[s]->send(encodeRequest(wq));
+  }
+
+  // Join: merge row segments into the full image, verifying every row
+  // lands exactly once, and sum the per-lane ledgers, verifying every lane
+  // bills exactly once.
+  ReplicaRun run;
+  run.pixels.assign(shape.width * shape.height, 0);
+  std::vector<std::uint8_t> rowSeen(shape.height, 0);
+  std::vector<std::uint8_t> laneSeen(lanes_, 0);
+  for (std::size_t s = 0; s < active; ++s) {
+    const WireReply reply = decodeReply(channels_[s]->receive());
+    if (!reply.ok) {
+      throw std::runtime_error("shard " + std::to_string(s) +
+                               " failed: " + reply.error);
+    }
+    if (reply.width != shape.width || reply.height != shape.height) {
+      throw std::runtime_error("shard " + std::to_string(s) +
+                               " replied with a mismatched output shape");
+    }
+    for (const RowSegment& seg : reply.segments) {
+      for (std::size_t r = seg.rowBegin; r < seg.rowEnd; ++r) {
+        if (rowSeen[r]) {
+          throw std::runtime_error("shard merge: row " + std::to_string(r) +
+                                   " covered twice");
+        }
+        rowSeen[r] = 1;
+      }
+      std::copy(seg.pixels.begin(), seg.pixels.end(),
+                run.pixels.begin() + seg.rowBegin * shape.width);
+    }
+    for (const LaneStats& ls : reply.laneStats) {
+      if (ls.lane >= lanes_ || laneSeen[ls.lane]) {
+        throw std::runtime_error("shard merge: bad or duplicate lane ledger");
+      }
+      laneSeen[ls.lane] = 1;
+      run.events += ls.events;
+      run.opCount += ls.opCount;
+    }
+  }
+  if (std::find(rowSeen.begin(), rowSeen.end(), 0) != rowSeen.end()) {
+    throw std::runtime_error("shard merge: incomplete row coverage");
+  }
+  if (std::find(laneSeen.begin(), laneSeen.end(), 0) != laneSeen.end()) {
+    throw std::runtime_error("shard merge: lane ledger missing");
+  }
+  return run;
+}
+
+service::RequestResult ShardCoordinator::runReplicated(
+    service::TenantId tenant, const service::Request& q,
+    std::uint64_t seedNamespace, std::uint64_t effectiveSeed) {
+  const std::size_t replicas =
+      std::max<std::size_t>(q.redundancy.replicas, 1);
+
+  service::RequestResult res;
+  std::vector<std::vector<std::uint8_t>> outputs;
+  outputs.reserve(replicas);
+  for (std::size_t r = 0; r < replicas; ++r) {
+    ReplicaRun run = runReplica(q, tenant, seedNamespace,
+                                reliability::replicaSeed(effectiveSeed, r));
+    res.events += run.events;
+    res.opCount += run.opCount;
+    outputs.push_back(std::move(run.pixels));
+  }
+
+  const reliability::Vote vote =
+      reliability::resolveVote(q.redundancy.vote, q.design);
+  const std::vector<std::uint8_t> voted =
+      outputs.size() == 1 ? std::move(outputs.front())
+                          : reliability::voteImages(outputs, vote);
+  q.out.assign(voted);
+  return res;
+}
+
+void ShardCoordinator::injectCrash(std::size_t shard) {
+  WireRequest crash;
+  crash.kind = MessageKind::Crash;
+  channels_.at(shard)->send(encodeRequest(crash));
+}
+
+}  // namespace aimsc::shard

@@ -1,0 +1,78 @@
+/// \file coordinator.hpp
+/// \brief The shard coordinator: fans one request's lane fleet out across
+///        worker channels and merges row slices + cost ledgers at join.
+///
+/// Partitioning rule (docs/SHARDING.md): with `activeShards =
+/// min(channels, lanes)`, shard s owns lanes `{l : l % activeShards == s}`
+/// — the SAME modular pinning `TileExecutor` uses for tiles, one level up.
+/// Every lane is owned by exactly one shard, every tile is pinned to
+/// exactly one lane, so the union of the shards' row segments covers every
+/// output row exactly once and the merged ledger bills every lane exactly
+/// once.  Because a lane's bits depend only on its seed and its ascending
+/// tile sequence, the merged bytes are identical for ANY shard count —
+/// including 1 — and equal to the in-process dispatcher and one-shot
+/// apps::runApp (tests/test_shard.cpp proves this differentially over the
+/// real subprocess transport).
+///
+/// Failure semantics: a worker that dies, misframes, or rejects a request
+/// surfaces as std::runtime_error out of the run calls (the channel is
+/// poisoned; later runs keep failing fast).  The coordinator never hangs
+/// on a crashed worker and never returns partially-merged output.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "service/request.hpp"
+#include "shard/transport.hpp"
+#include "shard/wire.hpp"
+
+namespace aimsc::shard {
+
+class ShardCoordinator {
+ public:
+  /// Takes ownership of the worker \p channels; \p lanes / \p rowsPerTile
+  /// are the fleet shape of every request (ServiceConfig's role — part of
+  /// the bit contract, carried on the wire).
+  ShardCoordinator(std::vector<std::unique_ptr<ShardChannel>> channels,
+                   std::size_t lanes, std::size_t rowsPerTile);
+
+  /// One replica execution fanned across the shards.
+  struct ReplicaRun {
+    std::vector<std::uint8_t> pixels;  ///< full output image, row-major
+    reram::EventCounts events;         ///< summed over all lanes
+    std::uint64_t opCount = 0;         ///< summed over all lanes
+  };
+
+  /// Executes ONE replica of \p q (fleet master seed \p replicaSeed, which
+  /// must already be namespaced and replica-strided) across all shards and
+  /// merges the row segments into the full output image.  Throws
+  /// std::runtime_error on worker failure or incomplete row coverage.
+  ReplicaRun runReplica(const service::Request& q, service::TenantId tenant,
+                        std::uint64_t seedNamespace,
+                        std::uint64_t replicaSeed);
+
+  /// Full request execution equal to the solo path: runs every replica
+  /// through runReplica, votes (reliability::voteImages), writes the voted
+  /// bytes through `q.out`, and returns the replica-summed ledgers.
+  /// \p effectiveSeed is the tenant-namespaced request seed.
+  service::RequestResult runReplicated(service::TenantId tenant,
+                                       const service::Request& q,
+                                       std::uint64_t seedNamespace,
+                                       std::uint64_t effectiveSeed);
+
+  /// Sends a Crash frame to shard \p shard (fault-injection hook for the
+  /// crash-handling tests; the next receive on that channel throws).
+  void injectCrash(std::size_t shard);
+
+  std::size_t shardCount() const { return channels_.size(); }
+  std::size_t lanes() const { return lanes_; }
+  std::size_t rowsPerTile() const { return rowsPerTile_; }
+
+ private:
+  std::vector<std::unique_ptr<ShardChannel>> channels_;
+  std::size_t lanes_;
+  std::size_t rowsPerTile_;
+};
+
+}  // namespace aimsc::shard

@@ -1,0 +1,172 @@
+#include "shard/transport.hpp"
+
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "shard/worker.hpp"
+
+namespace aimsc::shard {
+
+namespace {
+
+/// Parent-side fds of every live SubprocessChannel.  A newly fork()ed
+/// worker inherits copies of these and MUST close them: otherwise it holds
+/// a sibling's socket write-end open, that sibling never sees EOF when its
+/// channel closes, and shutdown deadlocks in waitpid.  The child iterates
+/// its fork-time copy without locking (it is single-threaded); parent-side
+/// mutations are mutex-guarded.
+std::mutex parentFdsMutex;
+std::vector<int>& liveParentFds() {
+  static std::vector<int> fds;
+  return fds;
+}
+
+bool readFully(int fd, std::uint8_t* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return false;  // EOF or hard error
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool writeFully(int fd, const std::uint8_t* buf, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a dead peer yields EPIPE here instead of killing the
+    // process with SIGPIPE — the caller turns it into an error ticket.
+    const ssize_t r = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool readFrame(int fd, std::vector<std::uint8_t>& frame) {
+  std::uint8_t len[4];
+  if (!readFully(fd, len, sizeof(len))) return false;
+  std::uint32_t n = 0;
+  for (int i = 0; i < 4; ++i) n |= static_cast<std::uint32_t>(len[i]) << (8 * i);
+  if (n > kMaxFrameBytes) return false;
+  frame.resize(n);
+  return n == 0 || readFully(fd, frame.data(), n);
+}
+
+bool writeFrame(int fd, std::span<const std::uint8_t> frame) {
+  if (frame.size() > kMaxFrameBytes) return false;
+  const std::uint32_t n = static_cast<std::uint32_t>(frame.size());
+  std::uint8_t len[4];
+  for (int i = 0; i < 4; ++i) len[i] = (n >> (8 * i)) & 0xff;
+  return writeFully(fd, len, sizeof(len)) &&
+         (frame.empty() || writeFully(fd, frame.data(), frame.size()));
+}
+
+struct LoopbackChannel::Impl {
+  ShardWorker worker{/*exitOnCrashRequest=*/false};
+};
+
+LoopbackChannel::LoopbackChannel() : impl_(std::make_unique<Impl>()) {}
+LoopbackChannel::~LoopbackChannel() = default;
+
+void LoopbackChannel::send(std::span<const std::uint8_t> frame) {
+  replies_.push_back(impl_->worker.serve(frame));
+}
+
+std::vector<std::uint8_t> LoopbackChannel::receive() {
+  if (replies_.empty()) {
+    throw std::runtime_error("LoopbackChannel: receive() with no pending reply");
+  }
+  std::vector<std::uint8_t> reply = std::move(replies_.front());
+  replies_.pop_front();
+  return reply;
+}
+
+SubprocessChannel::SubprocessChannel() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw std::runtime_error("SubprocessChannel: socketpair failed");
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    throw std::runtime_error("SubprocessChannel: fork failed");
+  }
+  if (pid == 0) {
+    // Worker child: serve frames until the parent closes its end.  _exit,
+    // never return — unwinding into a fork()ed copy of the parent's state
+    // (atexit handlers, buffered streams) must not happen.
+    for (const int inherited : liveParentFds()) ::close(inherited);
+    ::close(fds[0]);
+    ::_exit(shardWorkerMain(fds[1]));
+  }
+  ::close(fds[1]);
+  fd_ = fds[0];
+  pid_ = pid;
+  std::lock_guard<std::mutex> lock(parentFdsMutex);
+  liveParentFds().push_back(fd_);
+}
+
+SubprocessChannel::~SubprocessChannel() {
+  if (fd_ >= 0) {
+    {
+      std::lock_guard<std::mutex> lock(parentFdsMutex);
+      auto& fds = liveParentFds();
+      fds.erase(std::remove(fds.begin(), fds.end(), fd_), fds.end());
+    }
+    ::close(fd_);  // worker sees EOF and exits cleanly
+  }
+  if (pid_ > 0) {
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+  }
+}
+
+void SubprocessChannel::poison(const char* what) {
+  poisoned_ = true;
+  throw std::runtime_error(std::string("SubprocessChannel: ") + what);
+}
+
+void SubprocessChannel::send(std::span<const std::uint8_t> frame) {
+  if (poisoned_) poison("worker previously failed");
+  if (!writeFrame(fd_, frame)) poison("worker unreachable (send failed)");
+}
+
+std::vector<std::uint8_t> SubprocessChannel::receive() {
+  if (poisoned_) poison("worker previously failed");
+  std::vector<std::uint8_t> frame;
+  if (!readFrame(fd_, frame)) poison("worker died before replying");
+  return frame;
+}
+
+std::vector<std::unique_ptr<ShardChannel>> makeShardChannels(
+    ShardTransportKind kind, std::size_t count) {
+  std::vector<std::unique_ptr<ShardChannel>> channels;
+  channels.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (kind == ShardTransportKind::Subprocess) {
+      channels.push_back(std::make_unique<SubprocessChannel>());
+    } else {
+      channels.push_back(std::make_unique<LoopbackChannel>());
+    }
+  }
+  return channels;
+}
+
+}  // namespace aimsc::shard

@@ -1,0 +1,107 @@
+/// \file transport.hpp
+/// \brief Pluggable shard transports: a framed byte channel to one worker.
+///
+/// A `ShardChannel` moves opaque wire frames (see wire.hpp) between the
+/// coordinator and ONE worker, preserving frame boundaries and order.  Two
+/// implementations ship:
+///
+///  * `LoopbackChannel` — an in-process worker behind the same codec path
+///    (every byte still round-trips through encode/decode, so loopback runs
+///    exercise the full wire contract without a process boundary);
+///  * `SubprocessChannel` — `fork()` + `socketpair(AF_UNIX, SOCK_STREAM)`
+///    with u32 length-prefixed framing: a REAL process boundary, the
+///    configuration CI's differential tests run.
+///
+/// Failure semantics (docs/SHARDING.md): a dead or misbehaving worker
+/// surfaces as `std::runtime_error` from send()/receive() — callers turn
+/// that into an error ticket, never a hang.  A channel that has thrown is
+/// poisoned; subsequent calls keep failing fast.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace aimsc::shard {
+
+/// Transport selector for `makeShardChannels` / `ServiceConfig`.
+enum class ShardTransportKind : std::uint8_t {
+  Subprocess,  ///< fork()ed worker per shard over a socketpair
+  Loopback,    ///< in-process worker (same codec path, no fork)
+};
+
+/// Largest frame a channel will carry (a corrupt peer cannot make the
+/// receiver allocate unboundedly).
+constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// One ordered, framed byte channel to one shard worker.
+class ShardChannel {
+ public:
+  virtual ~ShardChannel() = default;
+
+  /// Delivers one wire frame to the worker.  Throws std::runtime_error if
+  /// the worker is unreachable (dead process, closed socket, poisoned
+  /// channel).
+  virtual void send(std::span<const std::uint8_t> frame) = 0;
+
+  /// Blocks for the worker's next reply frame.  Throws std::runtime_error
+  /// if the worker dies or misframes instead of replying.
+  virtual std::vector<std::uint8_t> receive() = 0;
+};
+
+/// In-process worker: send() serves the frame immediately through a
+/// `ShardWorker` and queues the reply for receive().  The worker's warm
+/// state (fault-model cache, arena pool) persists across frames exactly as
+/// a subprocess worker's does.
+class LoopbackChannel final : public ShardChannel {
+ public:
+  LoopbackChannel();
+  ~LoopbackChannel() override;
+
+  void send(std::span<const std::uint8_t> frame) override;
+  std::vector<std::uint8_t> receive() override;
+
+ private:
+  struct Impl;  ///< owns the ShardWorker (kept out of this header)
+  std::unique_ptr<Impl> impl_;
+  std::deque<std::vector<std::uint8_t>> replies_;
+};
+
+/// A fork()ed worker process over a socketpair.  MUST be constructed before
+/// the parent spawns threads (fork-safety); AcceleratorService orders its
+/// members so the coordinator forks ahead of the worker pool.  The
+/// destructor closes the socket (worker sees EOF and exits) and reaps the
+/// child.
+class SubprocessChannel final : public ShardChannel {
+ public:
+  SubprocessChannel();
+  ~SubprocessChannel() override;
+
+  SubprocessChannel(const SubprocessChannel&) = delete;
+  SubprocessChannel& operator=(const SubprocessChannel&) = delete;
+
+  void send(std::span<const std::uint8_t> frame) override;
+  std::vector<std::uint8_t> receive() override;
+
+ private:
+  void poison(const char* what);
+
+  int fd_ = -1;
+  int pid_ = -1;
+  bool poisoned_ = false;
+};
+
+/// Builds \p count channels of \p kind (the coordinator's worker set).
+std::vector<std::unique_ptr<ShardChannel>> makeShardChannels(
+    ShardTransportKind kind, std::size_t count);
+
+/// Low-level u32-length-framed I/O over a POSIX fd — the worker side of the
+/// subprocess transport (shardWorkerMain's read/write loop).  readFrame
+/// returns false on EOF, an oversized length, or a short read; writeFrame
+/// returns false when the peer is gone (SIGPIPE is suppressed).
+bool readFrame(int fd, std::vector<std::uint8_t>& frame);
+bool writeFrame(int fd, std::span<const std::uint8_t> frame);
+
+}  // namespace aimsc::shard

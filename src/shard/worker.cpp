@@ -1,0 +1,132 @@
+#include "shard/worker.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <exception>
+
+#include "service/request_kernels.hpp"
+#include "shard/transport.hpp"
+
+namespace aimsc::shard {
+
+ShardWorker::ShardWorker(bool exitOnCrashRequest)
+    : exitOnCrashRequest_(exitOnCrashRequest) {}
+
+std::vector<std::uint8_t> ShardWorker::serve(
+    std::span<const std::uint8_t> frame) {
+  WireReply reply;
+  try {
+    const WireRequest wq = decodeRequest(frame);
+    if (wq.kind == MessageKind::Crash) {
+      if (exitOnCrashRequest_) ::_exit(42);
+      reply.ok = false;
+      reply.error = "shard worker: crash requested (loopback refuses)";
+    } else {
+      reply = execute(wq);
+    }
+  } catch (const std::exception& e) {
+    reply = WireReply{};
+    reply.ok = false;
+    reply.error = e.what();
+  }
+  return encodeReply(reply);
+}
+
+WireReply ShardWorker::execute(const WireRequest& wq) {
+  const service::Request q = wq.toRequest();
+  const service::OutputShape shape = service::outputShapeFor(q);
+
+  const service::ExecShape es{wq.lanes, wq.rowsPerTile};
+  auto exec = service::makeRequestExecutor(es, q, wq.assignment.laneSeedBase,
+                                           faultCache_);
+  // Re-adopt the warm arena pool: capacity survives the executor rebuild,
+  // bits do not change (reset rewinds cursors only).
+  exec->adoptArenas(std::move(arenaPool_));
+  arenaPool_.clear();
+
+  const std::uint32_t stride = wq.assignment.laneStride;
+  const std::uint32_t begin = wq.assignment.laneBegin;
+  const auto owned = [stride, begin](std::size_t lane) {
+    return lane % stride == begin;
+  };
+
+  img::Image staging = service::makeStage0Staging(q, shape);
+  auto stage0 = exec->laneTasks(staging.height(),
+                                service::stage0Kernel(q, staging));
+
+  img::Image morphOut;
+  const img::Image* output = &staging;
+  if (q.app == apps::AppKind::Morphology) {
+    // Dilate reads the FULL eroded intermediate, so stage 0 runs for every
+    // lane (deterministic — identical in every worker); stage 1 runs for
+    // owned lanes only, and ledgers are reported for owned lanes only, so
+    // the merged bill equals the solo fleet sum exactly.
+    for (auto& task : stage0) task();
+    morphOut = img::Image(shape.width, shape.height);
+    morphOut.pixels() = staging.pixels();
+    auto stage1 = exec->laneTasks(morphOut.height(),
+                                  service::stage1Kernel(staging, morphOut));
+    for (std::size_t lane = 0; lane < stage1.size(); ++lane) {
+      if (owned(lane)) stage1[lane]();
+    }
+    output = &morphOut;
+  } else {
+    for (std::size_t lane = 0; lane < stage0.size(); ++lane) {
+      if (owned(lane)) stage0[lane]();
+    }
+  }
+
+  WireReply reply;
+  reply.width = static_cast<std::uint32_t>(shape.width);
+  reply.height = static_cast<std::uint32_t>(shape.height);
+
+  // One segment per owned tile (tile t is pinned to lane t % lanes, the
+  // executor's schedule) clipped to the assignment's row window.
+  const std::size_t height = output->height();
+  const std::size_t rpt = wq.rowsPerTile;
+  const std::size_t numTiles = (height + rpt - 1) / rpt;
+  const std::size_t winBegin = wq.assignment.rowBegin;
+  const std::size_t winEnd =
+      wq.assignment.rowEnd == 0 ? height
+                                : std::min<std::size_t>(wq.assignment.rowEnd,
+                                                        height);
+  for (std::size_t t = 0; t < numTiles; ++t) {
+    if (!owned(t % wq.lanes)) continue;
+    const std::size_t r0 = std::max(t * rpt, winBegin);
+    const std::size_t r1 = std::min(t * rpt + rpt, winEnd);
+    if (r0 >= r1) continue;
+    RowSegment s;
+    s.rowBegin = static_cast<std::uint32_t>(r0);
+    s.rowEnd = static_cast<std::uint32_t>(r1);
+    const std::uint8_t* base = output->pixels().data() + r0 * shape.width;
+    s.pixels.assign(base, base + (r1 - r0) * shape.width);
+    reply.segments.push_back(std::move(s));
+  }
+
+  // Ledger for every owned lane — including tile-less idle lanes, whose
+  // construction may still have cost events (the solo path bills them too).
+  for (std::size_t lane = 0; lane < exec->lanes(); ++lane) {
+    if (!owned(lane)) continue;
+    LaneStats ls;
+    ls.lane = static_cast<std::uint32_t>(lane);
+    ls.opCount = exec->backend(lane).opCount();
+    ls.events = exec->backend(lane).events();
+    reply.laneStats.push_back(std::move(ls));
+  }
+
+  arenaPool_ = exec->releaseArenas();
+  return reply;
+}
+
+int shardWorkerMain(int fd) {
+  ShardWorker worker(/*exitOnCrashRequest=*/true);
+  std::vector<std::uint8_t> frame;
+  for (;;) {
+    if (!readFrame(fd, frame)) return 0;  // coordinator closed: clean exit
+    const std::vector<std::uint8_t> reply = worker.serve(frame);
+    if (!writeFrame(fd, reply)) return 2;  // coordinator vanished mid-reply
+  }
+}
+
+}  // namespace aimsc::shard

@@ -1,0 +1,69 @@
+/// \file worker.hpp
+/// \brief The shard worker: decodes wire requests, executes its assigned
+///        lane slice bit-identically to the in-process dispatcher, and
+///        encodes the owned rows + per-lane cost ledgers as a reply.
+///
+/// Execution contract (docs/SHARDING.md): the worker rebuilds the request's
+/// full lane fleet through the SAME construction path as the in-process
+/// service (`service::makeRequestExecutor` — lane i's seed derives from the
+/// wire `laneSeedBase` exactly as `core::MatGroup` does), then runs ONLY
+/// the tile tasks of the lanes its `TileAssignment` names.  Because lane
+/// l's bits depend only on lane l's seed and its ascending tile sequence —
+/// never on which other lanes run, or in which process — the rows this
+/// worker produces are byte-identical to the rows lane l produces in a solo
+/// run.  Morphology is the one cross-lane app: its dilate stage reads the
+/// FULL eroded intermediate, so the worker runs stage 0 for every lane
+/// (deterministic, identical in every worker) and stage 1 for owned lanes
+/// only; ledgers are reported for owned lanes only, so the merged bill
+/// still equals the solo fleet sum exactly.
+///
+/// Warm state mirrors the PR-7 daemon: a per-worker
+/// `service::FaultModelCache` memoizes Monte-Carlo misdecision tables
+/// (bit-preserving) and a per-worker arena pool is re-adopted by each
+/// request's executor so stream-buffer capacity survives rebuilds (PR-5
+/// arenas; reset rewinds cursors, keeps capacity).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/stream_arena.hpp"
+#include "service/fault_model_cache.hpp"
+#include "shard/wire.hpp"
+
+namespace aimsc::shard {
+
+class ShardWorker {
+ public:
+  /// \p exitOnCrashRequest: a `MessageKind::Crash` frame calls `_exit(42)`
+  /// (the subprocess fault-injection hook); false (loopback) answers it
+  /// with an error reply instead.
+  explicit ShardWorker(bool exitOnCrashRequest = false);
+
+  /// Serves one wire frame: decode -> execute -> encoded reply.  Malformed
+  /// frames and execution failures come back as error replies (the frame
+  /// layer never throws out of serve), so a coordinator always gets an
+  /// answer from a live worker.
+  std::vector<std::uint8_t> serve(std::span<const std::uint8_t> frame);
+
+  /// Warm-state observability (tests assert cache reuse across requests).
+  std::size_t faultCacheHits() const { return faultCache_.hits(); }
+  std::size_t faultCacheSize() const { return faultCache_.size(); }
+
+ private:
+  WireReply execute(const WireRequest& wq);
+
+  bool exitOnCrashRequest_;
+  service::FaultModelCache faultCache_;
+  std::vector<std::unique_ptr<core::StreamArena>> arenaPool_;
+};
+
+/// Subprocess entry point: serve length-prefixed frames from \p fd until
+/// EOF (coordinator closed the socket) or a fatal I/O error.  Returns the
+/// process exit code (0 on clean EOF).  Called in the fork()ed child by
+/// SubprocessChannel; never returns on a Crash frame (`_exit(42)`).
+int shardWorkerMain(int fd);
+
+}  // namespace aimsc::shard

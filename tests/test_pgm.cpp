@@ -1,0 +1,124 @@
+// PGM ingestion edge cases: the reader accepts the messy-but-legal corners
+// of the format (header comments, CRLF line endings, maxval != 255, ASCII
+// P2, 16-bit samples) and throws std::runtime_error — never crashes or
+// silently mis-scales — on corrupt input.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "img/pgm.hpp"
+
+namespace aimsc {
+namespace {
+
+img::Image readFromString(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  return img::readPgm(in);
+}
+
+TEST(Pgm, ReadsBinaryWithCommentsAndOddWhitespace) {
+  const std::string header =
+      "P5 # magic then a comment\n"
+      "# a full-line comment\n"
+      "  2\t2 # trailing comment after width/height\n"
+      "255\n";
+  const img::Image im = readFromString(
+      header + std::string({'\x0a', '\x80', '\xff', '\x00'}));
+  ASSERT_EQ(im.width(), 2u);
+  ASSERT_EQ(im.height(), 2u);
+  EXPECT_EQ(im[0], 0x0a);
+  EXPECT_EQ(im[1], 0x80);
+  EXPECT_EQ(im[2], 0xff);
+  EXPECT_EQ(im[3], 0x00);
+}
+
+TEST(Pgm, ReadsCrlfHeaders) {
+  const std::string bytes = "P5\r\n2 1\r\n255\r\n\x11\x22";
+  const img::Image im = readFromString(bytes);
+  ASSERT_EQ(im.width(), 2u);
+  EXPECT_EQ(im[0], 0x11);
+  EXPECT_EQ(im[1], 0x22);
+}
+
+TEST(Pgm, RescalesSmallMaxvalTo8Bits) {
+  // maxval 15: sample v maps to v * 255 / 15 = v * 17.
+  const std::string bytes = std::string("P5\n3 1\n15\n") + '\x00' + '\x07' +
+                            '\x0f';
+  const img::Image im = readFromString(bytes);
+  EXPECT_EQ(im[0], 0);
+  EXPECT_EQ(im[1], 7 * 17);
+  EXPECT_EQ(im[2], 255);
+}
+
+TEST(Pgm, Reads16BitBigEndianAndRescales) {
+  // maxval 65535, big-endian sample pairs: 0x0000, 0x8000, 0xffff.
+  const std::string bytes =
+      std::string("P5\n3 1\n65535\n") +
+      std::string({'\x00', '\x00', '\x80', '\x00', '\xff', '\xff'});
+  const img::Image im = readFromString(bytes);
+  EXPECT_EQ(im[0], 0);
+  EXPECT_EQ(im[1], 0x8000ul * 255 / 65535);
+  EXPECT_EQ(im[2], 255);
+}
+
+TEST(Pgm, ReadsAsciiP2WithCommentsAndRescale) {
+  const img::Image im = readFromString(
+      "P2\n# ascii variant\n2 2\n100\n0 50\n# mid-data comment\n100 25\n");
+  EXPECT_EQ(im[0], 0);
+  EXPECT_EQ(im[1], 50 * 255 / 100);
+  EXPECT_EQ(im[2], 255);
+  EXPECT_EQ(im[3], 25 * 255 / 100);
+}
+
+TEST(Pgm, TruncatedInputsThrow) {
+  EXPECT_THROW(readFromString(""), std::runtime_error);
+  EXPECT_THROW(readFromString("P5"), std::runtime_error);             // no dims
+  EXPECT_THROW(readFromString("P5\n2 2\n"), std::runtime_error);      // no maxval
+  EXPECT_THROW(readFromString("P5\n2 2\n255\n\x01\x02"),              // 2 of 4 px
+               std::runtime_error);
+  EXPECT_THROW(readFromString("P2\n2 2\n255\n1 2 3"),                 // 3 of 4
+               std::runtime_error);
+  EXPECT_THROW(readFromString(std::string("P5\n2 1\n65535\n") +      // 3 of 4 B
+                              std::string({'\x00', '\x01', '\x02'})),
+               std::runtime_error);
+}
+
+TEST(Pgm, GarbageHeadersThrowRuntimeErrorNotCrash) {
+  EXPECT_THROW(readFromString("P6\n2 2\n255\n....."), std::runtime_error);
+  EXPECT_THROW(readFromString("P5\nab 2\n255\n...."), std::runtime_error);
+  EXPECT_THROW(readFromString("P5\n-2 2\n255\n...."), std::runtime_error);
+  EXPECT_THROW(readFromString("P5\n2 2\n2x5\n...."), std::runtime_error);
+  EXPECT_THROW(readFromString("P5\n0 2\n255\n"), std::runtime_error);
+  EXPECT_THROW(readFromString("P5\n2 2\n0\n...."), std::runtime_error);
+  EXPECT_THROW(readFromString("P5\n2 2\n70000\n...."), std::runtime_error);
+  // Overflow-sized dimensions are refused before allocation.
+  EXPECT_THROW(readFromString("P5\n99999999999999999999 2\n255\n"),
+               std::runtime_error);
+  EXPECT_THROW(readFromString("P2\n1 1\n255\nzz\n"), std::runtime_error);
+}
+
+TEST(Pgm, SamplesAboveMaxvalAreRejected) {
+  EXPECT_THROW(readFromString("P2\n2 1\n100\n50 101\n"), std::runtime_error);
+  // 16-bit binary sample 0x0200 exceeds maxval 256.
+  EXPECT_THROW(readFromString(std::string("P5\n1 1\n256\n") +
+                              std::string({'\x02', '\x00'})),
+               std::runtime_error);
+}
+
+TEST(Pgm, WriteReadRoundTripsThroughAFile) {
+  img::Image im(5, 3);
+  for (std::size_t i = 0; i < im.size(); ++i) {
+    im[i] = static_cast<std::uint8_t>(i * 19);
+  }
+  const std::string path = testing::TempDir() + "/aimsc_roundtrip.pgm";
+  img::writePgm(path, im);
+  const img::Image back = img::readPgm(path);
+  ASSERT_EQ(back.width(), im.width());
+  ASSERT_EQ(back.height(), im.height());
+  EXPECT_EQ(back.pixels(), im.pixels());
+  EXPECT_THROW(img::readPgm(path + ".does-not-exist"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace aimsc

@@ -391,5 +391,119 @@ TEST(Service, PollTransitionsAndShutdownDrains) {
   EXPECT_FALSE(svc.trySubmit(1, late.request).has_value());
 }
 
+TEST(Service, SubmitAfterShutdownFailsOnEveryAdmissionPath) {
+  AcceleratorService svc(smallServiceConfig());
+  auto before = makeJob(apps::AppKind::Gamma, core::DesignKind::SwScLfsr, 8, 7);
+  svc.run(1, before.request);
+  svc.shutdown();
+  svc.shutdown();  // idempotent
+
+  auto late = makeJob(apps::AppKind::Gamma, core::DesignKind::SwScLfsr, 8, 8);
+  EXPECT_THROW(svc.submit(1, late.request), std::runtime_error);
+  EXPECT_FALSE(svc.trySubmit(1, late.request).has_value());
+  EXPECT_THROW(svc.run(1, late.request), std::runtime_error);
+  // A rejected submission must not leak a redeemable ticket, and the
+  // pre-shutdown bill stays readable.
+  EXPECT_THROW(svc.wait(Ticket{before.request.seed}), std::invalid_argument);
+  EXPECT_EQ(svc.tenantLedger(1).requests, 1u);
+  EXPECT_EQ(svc.stats().requestsServed, 1u);
+}
+
+TEST(Service, MidRunPauseBackpressuresAtFullQueue) {
+  // Unlike BackpressureBoundsTheQueue (which starts paused), this pauses a
+  // service that has already executed work.  pause() gates the NEXT batch:
+  // a single popBatch already in flight may drain one more job, so the
+  // bound while paused is queueCapacity admitted + at most one slipped.
+  ServiceConfig sc = smallServiceConfig();
+  sc.queueCapacity = 2;
+  sc.maxBatch = 1;
+  AcceleratorService svc(sc);
+
+  auto warm = makeJob(apps::AppKind::Gamma, core::DesignKind::SwScLfsr, 8, 1);
+  svc.run(1, warm.request);
+
+  svc.pause();
+  std::vector<ClientJob> jobs;
+  std::vector<Ticket> accepted;
+  int refusedAt = -1;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back(
+        makeJob(apps::AppKind::Gamma, core::DesignKind::SwScLfsr, 8, 2 + i));
+    const auto t = svc.trySubmit(1, jobs.back().request);
+    if (!t.has_value()) {
+      refusedAt = i;
+      break;
+    }
+    accepted.push_back(*t);
+  }
+  // Backpressure MUST engage: capacity 2, at most 1 slipped past the gate.
+  ASSERT_GE(refusedAt, 2);
+  ASSERT_LE(refusedAt, 3);
+  EXPECT_LE(svc.queueDepth(), 2u);
+
+  // Nothing accepted is lost: resume drains every admitted ticket, and the
+  // refused job admits cleanly afterwards.
+  svc.resume();
+  for (const Ticket& t : accepted) svc.wait(t);
+  const auto tc = svc.trySubmit(1, jobs.back().request);
+  ASSERT_TRUE(tc.has_value());
+  svc.wait(*tc);
+  svc.shutdown();  // join the dispatcher so the served counter is final
+  EXPECT_EQ(svc.stats().requestsServed, 2u + accepted.size());
+}
+
+TEST(Service, ZeroPixelRequestsAreRejectedAtAdmission) {
+  AcceleratorService svc(smallServiceConfig());
+
+  // A zero-pixel frame (non-null pointer, 0x0 geometry) is not a
+  // degenerate success — it is refused up front on every admission path,
+  // without touching the queue or the ledgers.
+  std::uint8_t px = 0;
+  Request q;
+  q.app = apps::AppKind::Gamma;
+  q.design = core::DesignKind::SwScLfsr;
+  q.streamLength = 64;
+  q.src = img::ImageView(&px, 0, 0);
+  q.out = img::ImageSpan(&px, 0, 0);
+  EXPECT_THROW(svc.submit(1, q), std::invalid_argument);
+  EXPECT_THROW(svc.trySubmit(1, q), std::invalid_argument);
+  EXPECT_THROW(svc.run(1, q), std::invalid_argument);
+
+  // Zero-pixel output against a real source is a shape error, same path.
+  auto ok = makeJob(apps::AppKind::Gamma, core::DesignKind::SwScLfsr, 8, 1);
+  Request bad = ok.request;
+  bad.out = img::ImageSpan(&px, 0, 0);
+  EXPECT_THROW(svc.submit(1, bad), std::invalid_argument);
+
+  EXPECT_EQ(svc.queueDepth(), 0u);
+  EXPECT_EQ(svc.tenantLedger(1).requests, 0u);
+  EXPECT_EQ(svc.stats().requestsServed, 0u);
+}
+
+TEST(Service, WaitForTimesOutWithoutRedeemingTheTicket) {
+  ServiceConfig sc = smallServiceConfig();
+  sc.startPaused = true;
+  AcceleratorService svc(sc);
+
+  auto job = makeJob(apps::AppKind::Gamma, core::DesignKind::SwScLfsr, 8, 9);
+  const Ticket t = svc.submit(1, job.request);
+
+  // Timing out leaves the ticket redeemable — callers can poll with short
+  // deadlines and still collect later.
+  EXPECT_FALSE(svc.waitFor(t, std::chrono::microseconds(500)).has_value());
+  EXPECT_FALSE(svc.waitFor(t, std::chrono::microseconds(500)).has_value());
+  EXPECT_FALSE(svc.poll(t));
+
+  svc.resume();
+  const auto res = svc.waitFor(t, std::chrono::seconds(30));
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->batchSize, 1u);
+
+  // A successful waitFor redeems the ticket exactly like wait().
+  EXPECT_THROW(svc.waitFor(t, std::chrono::seconds(1)), std::invalid_argument);
+  EXPECT_THROW(svc.waitFor(Ticket{424242}, std::chrono::microseconds(1)),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace aimsc

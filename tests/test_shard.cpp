@@ -1,0 +1,500 @@
+// Sharded MatGroup service: the shard-count-invariance contract (output
+// bytes are a pure function of the request — identical for shards in
+// {1,2,4,8}, over loopback AND real fork()ed subprocess workers, equal to
+// one-shot apps::runApp on every substrate including faulty ReRAM + TMR),
+// wire-codec round-trip/rejection properties, worker warm state, and
+// crash -> error-ticket-not-hang failure semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "apps/runner.hpp"
+#include "img/synth.hpp"
+#include "service/accelerator_service.hpp"
+#include "shard/coordinator.hpp"
+#include "shard/transport.hpp"
+#include "shard/wire.hpp"
+#include "shard/worker.hpp"
+
+namespace aimsc {
+namespace {
+
+using service::Request;
+using shard::DecodeError;
+using shard::ShardCoordinator;
+using shard::ShardTransportKind;
+using shard::TileAssignment;
+using shard::WireReply;
+using shard::WireRequest;
+
+/// Client-side frame storage for one request (mirrors tests/test_service).
+struct ClientJob {
+  Request request;
+  img::Image out;
+  apps::CompositingScene compositing;
+  apps::MattingScene matting;
+  img::Image src;
+};
+
+ClientJob makeJob(apps::AppKind app, core::DesignKind design, std::size_t size,
+                  std::uint64_t seed, std::size_t replicas = 1) {
+  ClientJob job;
+  Request& q = job.request;
+  q.app = app;
+  q.design = design;
+  q.streamLength = 64;
+  q.seed = seed;
+  q.redundancy.replicas = replicas;
+  switch (app) {
+    case apps::AppKind::Compositing:
+      job.compositing = apps::makeCompositingScene(size, size, seed);
+      q.src = job.compositing.background;
+      q.aux1 = job.compositing.foreground;
+      q.aux2 = job.compositing.alpha;
+      job.out = img::Image(size, size);
+      break;
+    case apps::AppKind::Matting:
+      job.matting = apps::makeMattingScene(size, size, seed);
+      q.src = job.matting.composite;
+      q.aux1 = job.matting.background;
+      q.aux2 = job.matting.foreground;
+      job.out = img::Image(size, size);
+      break;
+    case apps::AppKind::Bilinear:
+      job.src = img::naturalScene(size, size, seed ^ 0xb111);
+      q.src = job.src;
+      q.upscaleFactor = 2;
+      job.out = img::Image(size * 2, size * 2);
+      break;
+    default:  // Filters / Gamma / Morphology
+      job.src = img::naturalScene(size, size, seed ^ 0xb111);
+      q.src = job.src;
+      job.out = img::Image(size, size);
+      break;
+  }
+  q.out = job.out;
+  return job;
+}
+
+/// The oracle every sharded run must match byte-for-byte: the one-shot
+/// runner on a matching lane fleet (lanes=4, rowsPerTile=4 — the shard
+/// tests' fleet shape).
+apps::RunResult oracleRun(const ClientJob& job, std::size_t size) {
+  apps::RunConfig cfg;
+  cfg.width = size;
+  cfg.height = size;
+  cfg.streamLength = job.request.streamLength;
+  cfg.seed = job.request.seed;
+  cfg.faults = job.request.faults;
+  cfg.redundancy = job.request.redundancy;
+  cfg.upscaleFactor = job.request.upscaleFactor;
+  apps::ParallelConfig par;
+  par.lanes = 4;
+  par.threads = 1;  // forces the lane-fleet path on every design
+  par.rowsPerTile = 4;
+  return apps::runAppDetailed(job.request.app, job.request.design, cfg, par);
+}
+
+/// Builds a randomized-but-valid wire request (property-test generator).
+WireRequest randomRequest(std::mt19937_64& rng) {
+  WireRequest wq;
+  wq.tenant = static_cast<std::uint32_t>(rng());
+  wq.seedNamespace = rng();
+  wq.app = static_cast<apps::AppKind>(rng() % 6);
+  wq.design = static_cast<core::DesignKind>(rng() % 6);
+  wq.gamma = 0.5 + (rng() % 400) / 100.0;
+  wq.upscaleFactor = 1 + rng() % 4;
+  wq.streamLength = 16u << (rng() % 5);
+  wq.seed = rng();
+  wq.faults.deviceVariability = (rng() & 1) != 0;
+  wq.faults.device.sigmaHrs = 0.45 + (rng() % 100) / 100.0;
+  wq.faults.faultModelSamples = 1000 + rng() % 9000;
+  wq.faults.stuckAtRate = (rng() % 100) / 1e4;
+  wq.faults.transientFlipRate = (rng() % 100) / 1e5;
+  wq.faults.wearDriftPerMegaCycle = (rng() % 100) / 1e3;
+  wq.faults.wearPreloadCycles = rng() % (1u << 20);
+  wq.replicas = 1 + rng() % 5;
+  wq.vote = static_cast<reliability::Vote>(rng() % 3);
+  wq.lanes = 1 + rng() % 16;
+  wq.rowsPerTile = 1 + rng() % 8;
+  wq.assignment.laneSeedBase = rng();
+  wq.assignment.laneStride = 1 + rng() % wq.lanes;
+  wq.assignment.laneBegin = rng() % wq.assignment.laneStride;
+  const std::uint32_t w = 1 + rng() % 32;
+  const std::uint32_t h = 1 + rng() % 32;
+  wq.assignment.rowBegin = 0;
+  wq.assignment.rowEnd = h;
+  const auto frame = [&](std::uint32_t fw, std::uint32_t fh) {
+    shard::WireFrame f;
+    f.width = fw;
+    f.height = fh;
+    f.pixels.resize(static_cast<std::size_t>(fw) * fh);
+    for (auto& px : f.pixels) px = static_cast<std::uint8_t>(rng());
+    return f;
+  };
+  wq.src = frame(w, h);
+  if ((rng() & 1) != 0) {
+    wq.aux1 = frame(w, h);
+    wq.aux2 = frame(w, h);
+  }
+  return wq;
+}
+
+WireReply randomReply(std::mt19937_64& rng) {
+  WireReply reply;
+  if (rng() % 4 == 0) {
+    reply.ok = false;
+    reply.error = "synthetic failure " + std::to_string(rng() % 1000);
+    return reply;
+  }
+  reply.width = 1 + rng() % 48;
+  reply.height = 1 + rng() % 48;
+  std::uint32_t row = 0;
+  while (row < reply.height && rng() % 8 != 0) {
+    shard::RowSegment s;
+    s.rowBegin = row;
+    s.rowEnd = std::min<std::uint32_t>(row + 1 + rng() % 4, reply.height);
+    s.pixels.resize(static_cast<std::size_t>(s.rowEnd - s.rowBegin) *
+                    reply.width);
+    for (auto& px : s.pixels) px = static_cast<std::uint8_t>(rng());
+    row = s.rowEnd + rng() % 3;
+    reply.segments.push_back(std::move(s));
+  }
+  const std::size_t lanes = rng() % 8;
+  for (std::size_t i = 0; i < lanes; ++i) {
+    shard::LaneStats ls;
+    ls.lane = static_cast<std::uint32_t>(i);
+    ls.opCount = rng();
+    ls.events.slReads = rng() % 100000;
+    ls.events.rowWrites = rng() % 100000;
+    ls.events.adcConversions = rng() % 100000;
+    reply.laneStats.push_back(std::move(ls));
+  }
+  return reply;
+}
+
+TEST(ShardWire, RequestRoundTripsBitExactly) {
+  std::mt19937_64 rng(0x5eed0001);
+  for (int i = 0; i < 200; ++i) {
+    const WireRequest wq = randomRequest(rng);
+    const std::vector<std::uint8_t> bytes = shard::encodeRequest(wq);
+    const WireRequest back = shard::decodeRequest(bytes);
+    ASSERT_EQ(back, wq) << "round-trip " << i;
+    // Re-encode is byte-stable (canonical form).
+    ASSERT_EQ(shard::encodeRequest(back), bytes) << "re-encode " << i;
+  }
+}
+
+TEST(ShardWire, ReplyRoundTripsBitExactly) {
+  std::mt19937_64 rng(0x5eed0002);
+  for (int i = 0; i < 200; ++i) {
+    const WireReply reply = randomReply(rng);
+    const std::vector<std::uint8_t> bytes = shard::encodeReply(reply);
+    ASSERT_EQ(shard::decodeReply(bytes), reply) << "round-trip " << i;
+  }
+}
+
+TEST(ShardWire, ToRequestPreservesFields) {
+  std::mt19937_64 rng(0x5eed0003);
+  const WireRequest wq = randomRequest(rng);
+  const Request q = wq.toRequest();
+  EXPECT_EQ(q.app, wq.app);
+  EXPECT_EQ(q.design, wq.design);
+  EXPECT_EQ(q.streamLength, wq.streamLength);
+  EXPECT_EQ(q.seed, wq.seed);
+  EXPECT_EQ(q.redundancy.replicas, wq.replicas);
+  EXPECT_EQ(q.gamma, wq.gamma);
+  EXPECT_EQ(q.faults.stuckAtRate, wq.faults.stuckAtRate);
+  ASSERT_FALSE(q.src.empty());
+  EXPECT_EQ(q.src.width(), wq.src.width);
+  EXPECT_EQ(q.src.data(), wq.src.pixels.data());  // zero-copy view
+}
+
+TEST(ShardWire, EveryTruncationIsRejected) {
+  std::mt19937_64 rng(0x5eed0004);
+  const std::vector<std::uint8_t> bytes =
+      shard::encodeRequest(randomRequest(rng));
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    EXPECT_THROW(
+        shard::decodeRequest(std::span(bytes.data(), n)), DecodeError)
+        << "prefix length " << n;
+  }
+  const std::vector<std::uint8_t> reply =
+      shard::encodeReply(randomReply(rng));
+  for (std::size_t n = 0; n < reply.size(); ++n) {
+    EXPECT_THROW(shard::decodeReply(std::span(reply.data(), n)), DecodeError)
+        << "reply prefix length " << n;
+  }
+}
+
+TEST(ShardWire, EverySingleBitFlipIsRejected) {
+  // The trailing FNV-1a 64 checksum catches every single-bit corruption of
+  // these frames (deterministic: fixed seed, fixed frames).
+  std::mt19937_64 rng(0x5eed0005);
+  std::vector<std::uint8_t> bytes = shard::encodeRequest(randomRequest(rng));
+  for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+    bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_THROW(shard::decodeRequest(bytes), DecodeError) << "bit " << bit;
+    bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+}
+
+TEST(ShardWire, ChecksumIsFnv1a64) {
+  // Spot-check the checksum primitive against the published FNV-1a test
+  // vectors so the wire format stays interoperable.
+  const std::uint8_t empty[] = {0};
+  EXPECT_EQ(shard::fnv1a64(std::span(empty, std::size_t{0})),
+            0xcbf29ce484222325ull);
+  const std::uint8_t a[] = {'a'};
+  EXPECT_EQ(shard::fnv1a64(std::span(a, 1)), 0xaf63dc4c8601ec8cull);
+}
+
+/// The headline differential matrix: every substrate (including faulty
+/// ReRAM under TMR), sharded over REAL fork()ed subprocess workers at
+/// shard counts {1, 2, 4, 8}, must reproduce the one-shot runner's bytes
+/// and ledgers exactly.  Case list covers all six apps.
+TEST(ShardDifferential, ByteIdenticalAcrossShardCountsOnAllSubstrates) {
+  struct Case {
+    apps::AppKind app;
+    core::DesignKind design;
+    std::size_t replicas;
+    bool faulty;
+  };
+  const Case cases[] = {
+      {apps::AppKind::Gamma, core::DesignKind::Reference, 1, false},
+      {apps::AppKind::Compositing, core::DesignKind::SwScLfsr, 1, false},
+      {apps::AppKind::Matting, core::DesignKind::SwScSobol, 1, false},
+      {apps::AppKind::Morphology, core::DesignKind::SwScSimd, 1, false},
+      {apps::AppKind::Bilinear, core::DesignKind::BinaryCim, 1, false},
+      {apps::AppKind::Filters, core::DesignKind::ReramSc, 1, false},
+      // Faulty ReRAM + TMR: the full reliability stack over the wire.
+      {apps::AppKind::Compositing, core::DesignKind::ReramSc, 3, true},
+  };
+  const std::size_t size = 16;
+  for (const Case& c : cases) {
+    ClientJob job = makeJob(c.app, c.design, size, 77, c.replicas);
+    if (c.faulty) {
+      job.request.faults = reliability::FaultPlan::deviceOnly(
+          apps::defaultFaultyDevice(), 2000);
+      job.request.faults.transientFlipRate = 1e-3;
+    }
+    const apps::RunResult oracle = oracleRun(job, size);
+
+    for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+      ShardCoordinator coord(
+          shard::makeShardChannels(ShardTransportKind::Subprocess, shards),
+          /*lanes=*/4, /*rowsPerTile=*/4);
+      std::fill(job.out.pixels().begin(), job.out.pixels().end(), 0);
+      const service::RequestResult res =
+          coord.runReplicated(1, job.request, 0, job.request.seed);
+
+      EXPECT_EQ(job.out.pixels(), oracle.output.pixels())
+          << apps::appName(c.app) << " on "
+          << core::designKindName(c.design) << " at " << shards << " shards";
+      EXPECT_EQ(res.opCount, oracle.opCount)
+          << apps::appName(c.app) << " at " << shards << " shards";
+      EXPECT_TRUE(res.events == oracle.events)
+          << apps::appName(c.app) << " at " << shards << " shards";
+    }
+  }
+}
+
+TEST(ShardDifferential, LoopbackAndSubprocessAgree) {
+  ClientJob job = makeJob(apps::AppKind::Compositing, core::DesignKind::ReramSc,
+                          12, 5);
+  std::vector<std::uint8_t> subprocessBytes;
+  for (const ShardTransportKind kind :
+       {ShardTransportKind::Subprocess, ShardTransportKind::Loopback}) {
+    ShardCoordinator coord(shard::makeShardChannels(kind, 2), 4, 4);
+    std::fill(job.out.pixels().begin(), job.out.pixels().end(), 0);
+    coord.runReplicated(1, job.request, 0, job.request.seed);
+    if (subprocessBytes.empty()) {
+      subprocessBytes = job.out.pixels();
+    } else {
+      EXPECT_EQ(job.out.pixels(), subprocessBytes);
+    }
+  }
+}
+
+TEST(ShardDifferential, SurplusShardsIdleWithoutChangingBytes) {
+  // More shards than lanes: the extra workers idle, bytes never change.
+  ClientJob job = makeJob(apps::AppKind::Gamma, core::DesignKind::SwScLfsr,
+                          12, 9);
+  const apps::RunResult oracle = oracleRun(job, 12);
+  ShardCoordinator coord(
+      shard::makeShardChannels(ShardTransportKind::Subprocess, 6), 4, 4);
+  coord.runReplicated(1, job.request, 0, job.request.seed);
+  EXPECT_EQ(job.out.pixels(), oracle.output.pixels());
+}
+
+TEST(ShardWorker, WarmFaultCachePersistsAcrossRequestsBitExactly) {
+  // A worker's FaultModelCache memoizes Monte-Carlo misdecision tables
+  // across requests (the PR-7 warm-state thesis, now per shard process):
+  // the second identical request must hit the cache and reproduce the
+  // first reply byte-for-byte.
+  ClientJob job = makeJob(apps::AppKind::Compositing, core::DesignKind::ReramSc,
+                          12, 5);
+  job.request.faults = reliability::FaultPlan::deviceOnly(
+      apps::defaultFaultyDevice(), 2000);
+  TileAssignment assignment;
+  assignment.laneSeedBase = job.request.seed;
+  assignment.laneBegin = 0;
+  assignment.laneStride = 1;
+  assignment.rowBegin = 0;
+  assignment.rowEnd = 12;
+  const std::vector<std::uint8_t> frame = shard::encodeRequest(
+      shard::makeWireRequest(job.request, 1, 0, job.request.seed, 4, 4,
+                             assignment));
+
+  shard::ShardWorker worker;
+  const std::vector<std::uint8_t> first = worker.serve(frame);
+  EXPECT_EQ(worker.faultCacheHits(), 0u);
+  EXPECT_EQ(worker.faultCacheSize(), 4u);  // one table per lane seed
+  const std::vector<std::uint8_t> second = worker.serve(frame);
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(worker.faultCacheHits(), 4u);
+
+  const WireReply reply = shard::decodeReply(first);
+  ASSERT_TRUE(reply.ok);
+  EXPECT_EQ(reply.width, 12u);
+  EXPECT_EQ(reply.laneStats.size(), 4u);
+}
+
+TEST(ShardWorker, MalformedAndInvalidFramesGetErrorReplies) {
+  shard::ShardWorker worker;
+  // Garbage bytes: decode fails, worker answers with an error reply.
+  const std::vector<std::uint8_t> garbage = {1, 2, 3, 4, 5};
+  const WireReply bad = shard::decodeReply(worker.serve(garbage));
+  EXPECT_FALSE(bad.ok);
+  EXPECT_FALSE(bad.error.empty());
+
+  // Structurally valid frame with an invalid request (compositing without
+  // aux frames): execution fails, still an error reply, worker stays up.
+  ClientJob job = makeJob(apps::AppKind::Gamma, core::DesignKind::SwScLfsr,
+                          8, 1);
+  job.request.app = apps::AppKind::Compositing;  // aux frames missing
+  TileAssignment assignment;
+  assignment.laneSeedBase = 1;
+  assignment.rowEnd = 8;
+  const WireReply err = shard::decodeReply(worker.serve(shard::encodeRequest(
+      shard::makeWireRequest(job.request, 1, 0, 1, 4, 4, assignment))));
+  EXPECT_FALSE(err.ok);
+
+  // The same worker still serves good requests afterwards.
+  job.request.app = apps::AppKind::Gamma;
+  const WireReply ok = shard::decodeReply(worker.serve(shard::encodeRequest(
+      shard::makeWireRequest(job.request, 1, 0, 1, 4, 4, assignment))));
+  EXPECT_TRUE(ok.ok);
+}
+
+TEST(ShardFailure, CrashedWorkerRaisesErrorNotHang) {
+  ShardCoordinator coord(
+      shard::makeShardChannels(ShardTransportKind::Subprocess, 2), 4, 4);
+  ClientJob job = makeJob(apps::AppKind::Gamma, core::DesignKind::SwScLfsr,
+                          8, 1);
+  // Healthy first: proves the fixture works before the crash.
+  coord.runReplicated(1, job.request, 0, job.request.seed);
+
+  coord.injectCrash(0);  // worker 0 _exit(42)s on its next frame
+  EXPECT_THROW(coord.runReplicated(1, job.request, 0, job.request.seed),
+               std::runtime_error);
+  // The dead channel stays poisoned: later runs fail fast, never hang.
+  EXPECT_THROW(coord.runReplicated(1, job.request, 0, job.request.seed),
+               std::runtime_error);
+}
+
+TEST(ShardFailure, ServiceTurnsWorkerCrashIntoErrorTickets) {
+  service::ServiceConfig sc;
+  sc.lanes = 4;
+  sc.rowsPerTile = 4;
+  sc.shards = 2;
+  sc.shardTransport = ShardTransportKind::Subprocess;
+  service::AcceleratorService svc(sc);
+
+  ClientJob ok = makeJob(apps::AppKind::Gamma, core::DesignKind::SwScLfsr,
+                         8, 1);
+  svc.run(1, ok.request);  // healthy baseline through the sharded service
+
+  ASSERT_NE(svc.shardCoordinator(), nullptr);
+  svc.shardCoordinator()->injectCrash(0);
+  ClientJob doomed = makeJob(apps::AppKind::Gamma, core::DesignKind::SwScLfsr,
+                             8, 2);
+  EXPECT_THROW(svc.run(1, doomed.request), std::runtime_error);
+  // Error tickets, not hangs — and the service itself survives shutdown.
+  EXPECT_THROW(svc.run(1, doomed.request), std::runtime_error);
+  svc.shutdown();
+}
+
+TEST(ShardService, ShardedServiceMatchesUnshardedBitExactly) {
+  // The ServiceConfig::shards knob is a deployment choice, not a bit
+  // contract: the same mixed workload through 0 (in-process), loopback and
+  // subprocess shard fan-outs must produce identical bytes and bills.
+  const auto runAll = [](std::size_t shards, ShardTransportKind kind) {
+    service::ServiceConfig sc;
+    sc.lanes = 4;
+    sc.rowsPerTile = 4;
+    sc.shards = shards;
+    sc.shardTransport = kind;
+    service::AcceleratorService svc(sc);
+    svc.setTenantSeedNamespace(2, 0xfeed);
+    struct Outcome {
+      std::vector<std::vector<std::uint8_t>> bytes;
+      std::uint64_t opCount = 0;
+      std::uint64_t slReads = 0;
+    } outcome;
+    std::vector<ClientJob> jobs;
+    jobs.push_back(makeJob(apps::AppKind::Gamma, core::DesignKind::SwScLfsr,
+                           12, 1));
+    jobs.push_back(makeJob(apps::AppKind::Morphology,
+                           core::DesignKind::SwScSimd, 12, 2));
+    jobs.push_back(makeJob(apps::AppKind::Compositing,
+                           core::DesignKind::ReramSc, 12, 3));
+    jobs.push_back(makeJob(apps::AppKind::Filters, core::DesignKind::SwScLfsr,
+                           12, 4, 3));
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const service::RequestResult res =
+          svc.run(static_cast<service::TenantId>(i % 3), jobs[i].request);
+      outcome.bytes.push_back(jobs[i].out.pixels());
+      outcome.opCount += res.opCount;
+      outcome.slReads += res.events.slReads;
+    }
+    return outcome;
+  };
+
+  const auto solo = runAll(0, ShardTransportKind::Loopback);
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}}) {
+    for (const ShardTransportKind kind :
+         {ShardTransportKind::Loopback, ShardTransportKind::Subprocess}) {
+      const auto sharded = runAll(shards, kind);
+      EXPECT_EQ(sharded.bytes, solo.bytes)
+          << shards << " shards, kind " << static_cast<int>(kind);
+      EXPECT_EQ(sharded.opCount, solo.opCount);
+      EXPECT_EQ(sharded.slReads, solo.slReads);
+    }
+  }
+}
+
+TEST(ShardService, WaitForTimesOutThenRedeems) {
+  service::ServiceConfig sc;
+  sc.lanes = 4;
+  sc.rowsPerTile = 4;
+  sc.startPaused = true;  // the ticket cannot resolve while paused
+  service::AcceleratorService svc(sc);
+  ClientJob job = makeJob(apps::AppKind::Gamma, core::DesignKind::SwScLfsr,
+                          8, 1);
+  const service::Ticket t = svc.submit(1, job.request);
+  EXPECT_FALSE(
+      svc.waitFor(t, std::chrono::microseconds(1000)).has_value());
+  svc.resume();
+  const auto res = svc.waitFor(t, std::chrono::microseconds(10'000'000));
+  ASSERT_TRUE(res.has_value());
+  EXPECT_GT(res->opCount, 0u);
+  // Redeemed: the ticket is gone.
+  EXPECT_THROW(svc.waitFor(t, std::chrono::microseconds(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aimsc
