@@ -50,11 +50,23 @@ struct SweepPoint {
   double speedup;
 };
 
+struct WidthPoint {
+  aimsc::sc::SimdMode mode;
+  double pps = 0;
+  bool bitIdentical = false;  ///< vs the forced-portable run
+};
+
 struct SwScResult {
   double scalarPps = 0;
-  double simdPps = 0;
+  double simdPps = 0;  ///< Auto = the widest supported path
   double simdTiledPps = 0;
   bool bitIdentical = false;
+  const char* simdWidth = "portable";  ///< what Auto resolved to
+  std::vector<WidthPoint> widths;      ///< portable..avx512 sweep
+  double sfmtScalarPps = 0;
+  double sfmtSimdPps = 0;
+  bool sfmtBitIdenticalToScalar = false;
+  bool sfmtBitIdenticalToPortable = false;
 };
 
 struct AllocResult {
@@ -132,7 +144,7 @@ AllocResult measuredAllocVsFused(std::size_t size,
                                  const aimsc::apps::RunConfig& cfg) {
   using namespace aimsc;
   const auto kPixels = static_cast<double>(size * size);
-  const int reps = size <= 96 ? 5 : 2;
+  const int reps = size <= 96 ? 5 : 3;  // the alloc loop is the slow rep
   AllocResult r;
 
   core::SwScConfig swCfg;
@@ -196,28 +208,78 @@ AllocResult measuredAllocVsFused(std::size_t size,
   return r;
 }
 
-/// Part 3: the software-SC substrate, scalar vs SIMD-batched (same design
-/// point, same seed, bit-identical output by contract).
+/// Part 3: the software-SC substrate — scalar vs SIMD-batched (same design
+/// point, same seed, bit-identical output by contract), the full width
+/// ladder (each explicit request clamps down on weak hosts, so every entry
+/// is measurable everywhere), and the SFMT epoch-source family.
 SwScResult measuredSwScSweep(std::size_t size,
                              const aimsc::apps::CompositingScene& scene) {
   using namespace aimsc;
   const auto kPixels = static_cast<double>(size * size);
+  const int reps = 5;  // ~10-20ms per rep even at 256; best-of damps CI noise
   SwScResult r;
+  r.simdWidth = sc::simdModeName(sc::resolveSimd(sc::SimdMode::Auto));
 
   core::SwScConfig scalarCfg;
   scalarCfg.streamLength = 256;
-  core::SwScBackend scalar(scalarCfg);
-  auto t0 = std::chrono::steady_clock::now();
-  const img::Image scalarOut = apps::compositeKernel(scene, scalar);
-  r.scalarPps = kPixels / secondsSince(t0);
+  img::Image scalarOut;
+  r.scalarPps = kPixels / bestSeconds(reps, [&] {
+    core::SwScBackend b(scalarCfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    scalarOut = apps::compositeKernel(scene, b);
+    return secondsSince(t0);
+  });
 
-  core::SwScSimdConfig simdCfg;
-  simdCfg.streamLength = 256;
-  core::SwScSimdBackend simd(simdCfg);
-  t0 = std::chrono::steady_clock::now();
-  const img::Image simdOut = apps::compositeKernel(scene, simd);
-  r.simdPps = kPixels / secondsSince(t0);
+  const auto runSimd = [&](core::SwScSng sng, sc::SimdMode mode,
+                           img::Image& out) {
+    core::SwScSimdConfig cfg;
+    cfg.streamLength = 256;
+    cfg.sng = sng;
+    cfg.simd = mode;
+    return kPixels / bestSeconds(reps, [&] {
+      core::SwScSimdBackend b(cfg);
+      const auto t0 = std::chrono::steady_clock::now();
+      out = apps::compositeKernel(scene, b);
+      return secondsSince(t0);
+    });
+  };
+
+  img::Image simdOut;
+  r.simdPps = runSimd(core::SwScSng::Lfsr, sc::SimdMode::Auto, simdOut);
   r.bitIdentical = simdOut.pixels() == scalarOut.pixels();
+
+  // Width ladder, each rung against the forced-portable bits.
+  img::Image portableOut;
+  for (const sc::SimdMode mode :
+       {sc::SimdMode::Portable, sc::SimdMode::Sse2, sc::SimdMode::Avx2,
+        sc::SimdMode::Avx512}) {
+    WidthPoint p;
+    p.mode = mode;
+    img::Image out;
+    p.pps = runSimd(core::SwScSng::Lfsr, mode, out);
+    if (mode == sc::SimdMode::Portable) portableOut = out;
+    p.bitIdentical = out.pixels() == portableOut.pixels();
+    r.widths.push_back(p);
+  }
+
+  // SFMT family: scalar reference vs the BulkSfmt-prefetching SIMD engine.
+  core::SwScConfig sfmtCfg;
+  sfmtCfg.streamLength = 256;
+  sfmtCfg.sng = core::SwScSng::Sfmt;
+  img::Image sfmtScalarOut;
+  r.sfmtScalarPps = kPixels / bestSeconds(reps, [&] {
+    core::SwScBackend b(sfmtCfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    sfmtScalarOut = apps::compositeKernel(scene, b);
+    return secondsSince(t0);
+  });
+  img::Image sfmtSimdOut;
+  r.sfmtSimdPps = runSimd(core::SwScSng::Sfmt, sc::SimdMode::Auto, sfmtSimdOut);
+  r.sfmtBitIdenticalToScalar = sfmtSimdOut.pixels() == sfmtScalarOut.pixels();
+  img::Image sfmtPortableOut;
+  runSimd(core::SwScSng::Sfmt, sc::SimdMode::Portable, sfmtPortableOut);
+  r.sfmtBitIdenticalToPortable =
+      sfmtSimdOut.pixels() == sfmtPortableOut.pixels();
 
   // SIMD x tile-parallel: the two speedup axes compose.
   core::ParallelConfig par;
@@ -228,19 +290,33 @@ SwScResult measuredSwScSweep(std::size_t size,
   core::TileExecutor exec(
       core::makeBackendLanes(core::DesignKind::SwScSimd, fleetCfg, par.lanes),
       par);
-  t0 = std::chrono::steady_clock::now();
+  const auto t0 = std::chrono::steady_clock::now();
   apps::compositeKernelTiled(scene, exec);
   r.simdTiledPps = kPixels / secondsSince(t0);
 
   std::printf(
-      "\nSoftware-SC substrate: %zux%zu compositing, N=256 (AVX2 %s)\n"
+      "\nSoftware-SC substrate: %zux%zu compositing, N=256 "
+      "(auto width: %s; AVX2 %s, AVX-512BW %s)\n"
       "  SwScLfsr scalar backend:  %10.0f pixels/s\n"
       "  SwScSimd serial backend:  %10.0f pixels/s (%.1fx scalar)\n"
       "  SwScSimd tiled, 4 threads:%10.0f pixels/s (%.1fx scalar)\n"
       "  SIMD bit-identical to scalar: %s\n",
-      size, size, sc::cpuHasAvx2() ? "available" : "absent", r.scalarPps,
-      r.simdPps, r.simdPps / r.scalarPps, r.simdTiledPps,
-      r.simdTiledPps / r.scalarPps, r.bitIdentical ? "yes" : "NO (BUG)");
+      size, size, r.simdWidth, sc::cpuHasAvx2() ? "available" : "absent",
+      sc::cpuHasAvx512bw() ? "available" : "absent", r.scalarPps, r.simdPps,
+      r.simdPps / r.scalarPps, r.simdTiledPps, r.simdTiledPps / r.scalarPps,
+      r.bitIdentical ? "yes" : "NO (BUG)");
+  for (const WidthPoint& p : r.widths) {
+    std::printf("  width %-8s: %10.0f pixels/s (%.1fx scalar), %s portable\n",
+                sc::simdModeName(p.mode), p.pps, p.pps / r.scalarPps,
+                p.bitIdentical ? "bit-identical to" : "DIVERGES FROM (BUG)");
+  }
+  std::printf(
+      "  SFMT scalar backend:      %10.0f pixels/s\n"
+      "  SFMT SIMD backend:        %10.0f pixels/s (%.1fx SFMT scalar)\n"
+      "  SFMT bit-identical: scalar %s, portable %s\n",
+      r.sfmtScalarPps, r.sfmtSimdPps, r.sfmtSimdPps / r.sfmtScalarPps,
+      r.sfmtBitIdenticalToScalar ? "yes" : "NO (BUG)",
+      r.sfmtBitIdenticalToPortable ? "yes" : "NO (BUG)");
   return r;
 }
 
@@ -326,15 +402,36 @@ void measuredSweep(std::size_t size) {
                  "  ],\n"
                  "  \"swsc\": {\n"
                  "    \"avx2\": %s,\n"
+                 "    \"avx512\": %s,\n"
+                 "    \"simd_width\": \"%s\",\n"
                  "    \"scalar_pixels_per_sec\": %.1f,\n"
                  "    \"simd_pixels_per_sec\": %.1f,\n"
                  "    \"simd_speedup_vs_scalar\": %.2f,\n"
                  "    \"simd_tiled4_pixels_per_sec\": %.1f,\n"
-                 "    \"simd_bit_identical_to_scalar\": %s\n"
+                 "    \"simd_bit_identical_to_scalar\": %s,\n",
+                 aimsc::sc::cpuHasAvx2() ? "true" : "false",
+                 aimsc::sc::cpuHasAvx512bw() ? "true" : "false", sw.simdWidth,
+                 sw.scalarPps, sw.simdPps, sw.simdPps / sw.scalarPps,
+                 sw.simdTiledPps, sw.bitIdentical ? "true" : "false");
+    for (const WidthPoint& p : sw.widths) {
+      std::fprintf(f,
+                   "    \"width_pixels_per_sec_%s\": %.1f,\n"
+                   "    \"width_bit_identical_%s\": %s,\n",
+                   aimsc::sc::simdModeName(p.mode), p.pps,
+                   aimsc::sc::simdModeName(p.mode),
+                   p.bitIdentical ? "true" : "false");
+    }
+    std::fprintf(f,
+                 "    \"sfmt_scalar_pixels_per_sec\": %.1f,\n"
+                 "    \"sfmt_simd_pixels_per_sec\": %.1f,\n"
+                 "    \"sfmt_simd_speedup_vs_scalar\": %.2f,\n"
+                 "    \"sfmt_bit_identical_to_scalar\": %s,\n"
+                 "    \"sfmt_bit_identical_to_portable\": %s\n"
                  "  },\n",
-                 aimsc::sc::cpuHasAvx2() ? "true" : "false", sw.scalarPps,
-                 sw.simdPps, sw.simdPps / sw.scalarPps, sw.simdTiledPps,
-                 sw.bitIdentical ? "true" : "false");
+                 sw.sfmtScalarPps, sw.sfmtSimdPps,
+                 sw.sfmtSimdPps / sw.sfmtScalarPps,
+                 sw.sfmtBitIdenticalToScalar ? "true" : "false",
+                 sw.sfmtBitIdenticalToPortable ? "true" : "false");
     std::fprintf(f,
                  "  \"alloc\": {\n"
                  "    \"swsc_alloc_pixels_per_sec\": %.1f,\n"

@@ -83,7 +83,9 @@ def main():
         checked += 1
     # Boolean keys describing the HOST (capabilities, not contracts) are
     # never compared — e.g. "swsc.avx2" legitimately differs per machine.
-    host_keys = {"swsc.avx2"}
+    # (The width_bit_identical_* keys are NOT host keys: explicit width
+    # requests clamp down the ladder, so they are contracts everywhere.)
+    host_keys = {"swsc.avx2", "swsc.avx512"}
     for key, base in sorted(baseline.items()):
         if key in host_keys:
             continue

@@ -96,6 +96,22 @@ def test_require_true_rejects_false():
     assert proc.returncode == 1
 
 
+def test_host_capability_booleans_are_never_contracts():
+    # swsc.avx2 / swsc.avx512 describe the machine the baseline was made
+    # on; losing them on a weaker CI host must not fail the comparison.
+    baseline = dict(BASELINE, swsc={"avx2": True, "avx512": True,
+                                    "width_bit_identical_avx512": True})
+    current = dict(BASELINE, swsc={"avx2": False, "avx512": False,
+                                   "width_bit_identical_avx512": True})
+    proc = run_compare(current, baseline)
+    assert proc.returncode == 0, proc.stderr
+    # ...but the clamped width contracts ARE portable contracts.
+    current["swsc"]["width_bit_identical_avx512"] = False
+    proc = run_compare(current, baseline)
+    assert proc.returncode == 1
+    assert "width_bit_identical_avx512" in proc.stderr
+
+
 def test_nested_keys_flatten_with_dots():
     baseline = dict(BASELINE, alloc={"swsc_fused_speedup": 10.0})
     current = dict(BASELINE, alloc={"swsc_fused_speedup": 2.0})

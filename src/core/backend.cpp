@@ -22,6 +22,7 @@ const char* designKindName(DesignKind design) {
     case DesignKind::SwScSimd: return "SW-SC (SIMD)";
     case DesignKind::ReramSc: return "ReRAM-SC";
     case DesignKind::BinaryCim: return "Binary CIM";
+    case DesignKind::SwScSfmt: return "SW-SC (SFMT)";
   }
   return "?";
 }
@@ -44,7 +45,8 @@ DesignKind parseDesignKind(std::string_view name) {
   std::string valid;
   for (const DesignKind d :
        {DesignKind::Reference, DesignKind::SwScLfsr, DesignKind::SwScSobol,
-        DesignKind::SwScSimd, DesignKind::ReramSc, DesignKind::BinaryCim}) {
+        DesignKind::SwScSfmt, DesignKind::SwScSimd, DesignKind::ReramSc,
+        DesignKind::BinaryCim}) {
     if (wanted == normalizeSelector(designKindName(d))) return d;
     if (!valid.empty()) valid += ", ";
     valid += designKindName(d);
@@ -240,19 +242,22 @@ std::unique_ptr<ScBackend> makeInnerBackend(
     case DesignKind::Reference:
       return std::make_unique<ReferenceBackend>();
     case DesignKind::SwScLfsr:
-    case DesignKind::SwScSobol: {
+    case DesignKind::SwScSobol:
+    case DesignKind::SwScSfmt: {
       SwScConfig sw;
       sw.streamLength = config.streamLength;
-      sw.sng = design == DesignKind::SwScLfsr ? energy::CmosSng::Lfsr
-                                              : energy::CmosSng::Sobol;
+      sw.sng = design == DesignKind::SwScLfsr    ? SwScSng::Lfsr
+               : design == DesignKind::SwScSobol ? SwScSng::Sobol
+                                                 : SwScSng::Sfmt;
       sw.seed = config.seed;
       return std::make_unique<SwScBackend>(sw);
     }
     case DesignKind::SwScSimd: {
       SwScSimdConfig sw;
       sw.streamLength = config.streamLength;
-      sw.sng = energy::CmosSng::Lfsr;  // the SwScLfsr design point, batched
+      sw.sng = SwScSng::Lfsr;  // the SwScLfsr design point, batched
       sw.seed = config.seed;
+      sw.simd = config.simd;
       return std::make_unique<SwScSimdBackend>(sw);
     }
     case DesignKind::ReramSc: {

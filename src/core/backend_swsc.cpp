@@ -11,6 +11,15 @@
 
 namespace aimsc::core {
 
+const char* swScSngName(SwScSng sng) {
+  switch (sng) {
+    case SwScSng::Lfsr: return "LFSR";
+    case SwScSng::Sobol: return "Sobol";
+    case SwScSng::Sfmt: return "SFMT";
+  }
+  return "?";
+}
+
 std::uint32_t swScPixelThreshold(std::uint8_t v) {
   static const auto kTable = [] {
     std::array<std::uint32_t, 256> t{};
@@ -28,6 +37,14 @@ constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ull;
 /// Offset separating the constant-stream seed space from the epoch space.
 constexpr std::uint64_t kConstSpace = 0x517ec0de'0000'0000ull;
 
+/// splitmix64 finalizer (Steele et al.): full-avalanche mix so nearby
+/// epoch indices yield unrelated SFMT seeds.
+std::uint64_t splitmix64Fin(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
 
 std::uint32_t swScLfsrSeedForEpoch(std::uint64_t seed, std::uint64_t epoch) {
@@ -44,6 +61,12 @@ SwScSobolEpoch swScSobolForEpoch(std::uint64_t seed, std::uint64_t epoch) {
   return SwScSobolEpoch{dim, skip};
 }
 
+std::uint32_t swScSfmtSeedForEpoch(std::uint64_t seed, std::uint64_t epoch) {
+  // Unlike the LFSR's 254-seed space, the SFMT accepts any 32-bit seed, so
+  // the golden stride can be finalized into a full-width value.
+  return static_cast<std::uint32_t>(splitmix64Fin(seed + kGolden * epoch));
+}
+
 std::unique_ptr<sc::RandomSource> swScConstantSource(const SwScConfig& config,
                                                      std::uint32_t threshold,
                                                      std::uint32_t ordinal) {
@@ -51,9 +74,14 @@ std::unique_ptr<sc::RandomSource> swScConstantSource(const SwScConfig& config,
   // from the epoch indices (the master seed is remixed with kConstSpace),
   // so constants are independent of every data epoch and of each other.
   const std::uint64_t slot = std::uint64_t{threshold} * 64 + ordinal;
-  if (config.sng == energy::CmosSng::Lfsr) {
-    return std::make_unique<sc::Lfsr>(sc::Lfsr::paper8Bit(
-        swScLfsrSeedForEpoch(config.seed ^ kConstSpace, slot)));
+  switch (config.sng) {
+    case SwScSng::Lfsr:
+      return std::make_unique<sc::Lfsr>(sc::Lfsr::paper8Bit(
+          swScLfsrSeedForEpoch(config.seed ^ kConstSpace, slot)));
+    case SwScSng::Sfmt:
+      return std::make_unique<sc::Sfmt>(
+          swScSfmtSeedForEpoch(config.seed ^ kConstSpace, slot));
+    case SwScSng::Sobol: break;
   }
   // Keep the Sobol skip moderate: reset() replays `skip` points.
   const auto dim = static_cast<int>(slot % sc::Sobol::kMaxDimension);
@@ -278,24 +306,37 @@ void SwScGateBackend::decodePixelsInto(std::span<ScValue> values,
 SwScBackend::SwScBackend(const SwScConfig& config)
     : SwScGateBackend(config),
       lfsrSource_(sc::Lfsr::paper8Bit(1)),
-      sobolSource_(0, 1) {
+      sobolSource_(0, 1),
+      sfmtSource_(1) {
   newEpoch();
 }
 
 const char* SwScBackend::name() const {
-  return config().sng == energy::CmosSng::Lfsr ? "SW-SC (LFSR)"
-                                               : "SW-SC (Sobol)";
+  switch (config().sng) {
+    case SwScSng::Lfsr: return "SW-SC (LFSR)";
+    case SwScSng::Sobol: return "SW-SC (Sobol)";
+    case SwScSng::Sfmt: return "SW-SC (SFMT)";
+  }
+  return "SW-SC (?)";
 }
 
 void SwScBackend::newEpoch() {
   ++epoch_;
-  if (config().sng == energy::CmosSng::Lfsr) {
-    lfsrSource_.reseed(swScLfsrSeedForEpoch(config().seed, epoch_));
-    epochSource_ = &lfsrSource_;
-  } else {
-    const SwScSobolEpoch p = swScSobolForEpoch(config().seed, epoch_);
-    sobolSource_.reseat(p.dimension, p.skip);
-    epochSource_ = &sobolSource_;
+  switch (config().sng) {
+    case SwScSng::Lfsr:
+      lfsrSource_.reseed(swScLfsrSeedForEpoch(config().seed, epoch_));
+      epochSource_ = &lfsrSource_;
+      break;
+    case SwScSng::Sobol: {
+      const SwScSobolEpoch p = swScSobolForEpoch(config().seed, epoch_);
+      sobolSource_.reseat(p.dimension, p.skip);
+      epochSource_ = &sobolSource_;
+      break;
+    }
+    case SwScSng::Sfmt:
+      sfmtSource_.reseed(swScSfmtSeedForEpoch(config().seed, epoch_));
+      epochSource_ = &sfmtSource_;
+      break;
   }
   SwScGateBackend::onNewEpoch();
 }
@@ -338,7 +379,7 @@ void SwScBackend::refreshEpochCache() {
   for (std::size_t i = 0; i < n; ++i) {
     epochBytes_[i] = static_cast<std::uint8_t>(epochSource_->next(8));
   }
-  epochPlanes_.assign(epochBytes_.data(), n);
+  epochPlanes_.assign(epochBytes_.data(), n, sc::SimdMode::Portable);
   epochCacheStamp_ = epoch_;
 }
 

@@ -29,18 +29,28 @@
 #include <vector>
 
 #include "core/backend.hpp"
-#include "energy/cmos_baseline.hpp"
 #include "sc/bulk_sng.hpp"
 #include "sc/rng.hpp"
+#include "sc/sfmt.hpp"
 
 namespace aimsc::core {
+
+/// SNG randomness family of the software-SC backends.  `Lfsr` and `Sobol`
+/// are the paper's Table III CMOS baselines (they map onto
+/// `energy::CmosSng` for cost accounting); `Sfmt` is the SIMD-native
+/// SFMT-style source of sc/sfmt.hpp, whose 128-bit recurrence vectorizes
+/// across epochs in the word-parallel backend.
+enum class SwScSng { Lfsr, Sobol, Sfmt };
+
+/// Human-readable family name ("LFSR" / "Sobol" / "SFMT").
+const char* swScSngName(SwScSng sng);
 
 /// Knobs shared by the scalar (`SwScBackend`) and SIMD (`SwScSimdBackend`)
 /// software-SC backends; identical configs yield bit-identical streams.
 struct SwScConfig {
-  std::size_t streamLength = 256;              ///< N (bits per stream)
-  energy::CmosSng sng = energy::CmosSng::Lfsr; ///< SNG randomness source
-  std::uint64_t seed = 0x5eed;                 ///< master seed
+  std::size_t streamLength = 256;  ///< N (bits per stream)
+  SwScSng sng = SwScSng::Lfsr;     ///< SNG randomness family
+  std::uint64_t seed = 0x5eed;     ///< master seed
 };
 
 // --- seed derivation shared with the SIMD backend ---------------------------
@@ -58,6 +68,13 @@ struct SwScSobolEpoch {
   std::uint64_t skip;
 };
 SwScSobolEpoch swScSobolForEpoch(std::uint64_t seed, std::uint64_t epoch);
+
+/// SFMT seed for randomness epoch \p epoch: the golden-ratio stride mixed
+/// through a splitmix64 finalizer, so every epoch gets a well-spread 32-bit
+/// seed (the SFMT initializer accepts any value, zero included).  Shared by
+/// the scalar source and every `BulkSfmt` lane, which is what keeps the
+/// scalar and SIMD epoch numbering in sync.
+std::uint32_t swScSfmtSeedForEpoch(std::uint64_t seed, std::uint64_t epoch);
 
 /// Comparator threshold of an 8-bit pixel value, quantized exactly like
 /// the scalar per-bit path (`generateSbsFromProb(v/255, 8, n)`).  ONE
@@ -241,6 +258,7 @@ class SwScBackend final : public SwScGateBackend {
   /// the scalar encode path.  Exactly one matches config().sng.
   sc::Lfsr lfsrSource_;
   sc::Sobol sobolSource_;
+  sc::Sfmt sfmtSource_;
   sc::RandomSource* epochSource_ = nullptr;  ///< the active one
   std::uint64_t epoch_ = 0;
 

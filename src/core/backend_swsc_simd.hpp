@@ -12,15 +12,20 @@
 /// flip-flop.  "SIMD" therefore changes only the instructions per bit:
 ///
 ///  * stage-1 encode: one `RandomPlanes` comparator pass per pixel
-///    (64 bits per word op, 32 bits per AVX2 compare) instead of N calls
-///    of `RandomSource::next`;
-///  * LFSR epochs are *prefetched in blocks*: one `BulkLfsr8` pass advances
-///    32 future epochs' registers in lock-step (stream-major state, the
-///    MT19937-SIMD layout idiom);
+///    (64 bits per word op, 32 per AVX2 compare, 64 per single AVX-512BW
+///    `vpcmpub`) instead of N calls of `RandomSource::next`;
+///  * LFSR epochs are *prefetched in blocks*: one bulk pass advances 32
+///    (64 on AVX-512 hosts) future epochs' registers in lock-step
+///    (stream-major state, the MT19937-SIMD layout idiom);
+///  * SFMT epochs prefetch through `BulkSfmt`: 16 generators whose 128-bit
+///    recurrences run fused two (AVX2) or four (AVX-512) per register;
 ///  * stage-3 decode and the op vocabulary were already word-parallel.
 ///
-/// The AVX2 paths are runtime-dispatched; forcing `SimdMode::Portable`
-/// exercises the `uint64_t` fallback, which produces the same bits.
+/// All width paths are runtime-dispatched through `sc::resolveSimd` —
+/// `SimdMode::Auto` honours the `AIMSC_SIMD` override, explicit requests
+/// clamp down to what the host supports — and every path produces the
+/// same bits; width (and the prefetch depth it implies) is a pure perf
+/// knob, which is why it is never carried on the shard wire protocol.
 #pragma once
 
 #include <vector>
@@ -69,18 +74,23 @@ class SwScSimdBackend final : public SwScGateBackend {
  private:
   /// Starts a fresh randomness epoch and rebuilds the comparator planes.
   void newEpoch();
-  /// Refills the LFSR prefetch block so it covers \p epoch.
-  void refillLfsrBlock(std::uint64_t epoch);
+  /// Refills the epoch prefetch block (LFSR or SFMT family) so lane 0
+  /// corresponds to \p epoch.
+  void refillBlock(std::uint64_t epoch);
 
-  sc::SimdMode simd_;
+  sc::SimdMode simd_;      ///< as configured (Auto = dispatch per call)
+  sc::SimdMode resolved_;  ///< resolveSimd(simd_): prefetch-depth choice
   std::uint64_t epoch_ = 0;
 
   sc::RandomPlanes planes_;  ///< current epoch's packed comparator state
 
-  /// LFSR epoch prefetch: comparator sequences for epochs
-  /// [blockBase_, blockBase_ + kLanes), stream-major (lane k = epoch
-  /// blockBase_ + k), produced by one BulkLfsr8 pass.
-  std::vector<std::uint8_t> lfsrBlock_;
+  /// Bulk epoch prefetch (LFSR and SFMT families): comparator sequences
+  /// for epochs [blockBase_, blockBase_ + blockLanes_), stream-major
+  /// (lane k = epoch blockBase_ + k), produced by one bulk-generator pass.
+  /// blockLanes_ is 32 LFSR lanes (64 when the resolved width is AVX-512 —
+  /// one 512-bit register per SWAR word pass) or BulkSfmt::kLanes.
+  std::vector<std::uint8_t> block_;
+  std::size_t blockLanes_ = 0;
   std::uint64_t blockBase_ = 0;  ///< 0 = block not yet generated
 
   std::vector<std::uint8_t> sobolBytes_;  ///< scratch for Sobol epochs

@@ -24,6 +24,7 @@ Domain faultDomainFor(core::DesignKind design) {
     case core::DesignKind::BinaryCim: return Domain::Word;
     case core::DesignKind::SwScLfsr:
     case core::DesignKind::SwScSobol:
+    case core::DesignKind::SwScSfmt:
     case core::DesignKind::SwScSimd:
     case core::DesignKind::ReramSc: return Domain::Stream;
   }

@@ -14,6 +14,7 @@ Vote resolveVote(Vote vote, core::DesignKind design) {
     case core::DesignKind::Reference: return Vote::Median;
     case core::DesignKind::SwScLfsr:
     case core::DesignKind::SwScSobol:
+    case core::DesignKind::SwScSfmt:
     case core::DesignKind::SwScSimd:
     case core::DesignKind::ReramSc: return Vote::Bitwise;
   }

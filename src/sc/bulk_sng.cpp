@@ -32,49 +32,50 @@ inline std::uint64_t stepWord(std::uint64_t w) {
 
 }  // namespace
 
-bool cpuHasAvx2() {
-#if AIMSC_X86
-  return __builtin_cpu_supports("avx2") != 0;
-#else
-  return false;
-#endif
-}
-
-BulkLfsr8::BulkLfsr8(const std::array<std::uint8_t, kLanes>& seeds) {
+template <std::size_t Lanes>
+BulkLfsr<Lanes>::BulkLfsr(const std::array<std::uint8_t, kLanes>& seeds) {
   state_.fill(0);
   for (std::size_t k = 0; k < kLanes; ++k) {
     if (seeds[k] == 0) {
-      throw std::invalid_argument("BulkLfsr8: zero seed locks the register");
+      throw std::invalid_argument("BulkLfsr: zero seed locks the register");
     }
     state_[k / 8] |= static_cast<std::uint64_t>(seeds[k]) << (8 * (k % 8));
   }
 }
 
-void BulkLfsr8::step() {
+template <std::size_t Lanes>
+void BulkLfsr<Lanes>::step() {
   for (auto& w : state_) w = stepWord(w);
 }
 
-std::uint8_t BulkLfsr8::lane(std::size_t k) const {
+template <std::size_t Lanes>
+std::uint8_t BulkLfsr<Lanes>::lane(std::size_t k) const {
   return static_cast<std::uint8_t>(state_[k / 8] >> (8 * (k % 8)));
 }
 
-void BulkLfsr8::generate(std::size_t n, std::uint8_t* out) {
+template <std::size_t Lanes>
+void BulkLfsr<Lanes>::generate(std::size_t n, std::uint8_t* out) {
   for (std::size_t i = 0; i < n; ++i) {
     step();
     for (std::size_t k = 0; k < kLanes; ++k) out[k * n + i] = lane(k);
   }
 }
 
+template class BulkLfsr<32>;
+template class BulkLfsr<64>;
+
 // ---------------------------------------------------------------------------
 // RandomPlanes
 // ---------------------------------------------------------------------------
 
-void RandomPlanes::assign(const std::uint8_t* r, std::size_t n) {
+void RandomPlanes::assign(const std::uint8_t* r, std::size_t n,
+                          SimdMode mode) {
   n_ = n;
   words_ = (n + 63) / 64;
   bytes_.assign(words_ * 64, 0xFF);
   for (std::size_t i = 0; i < n; ++i) bytes_[i] = r[i];
   planesBuilt_ = false;
+  if (resolveSimd(mode) == SimdMode::Portable) buildPlanes();
 }
 
 void RandomPlanes::buildPlanes() const {
@@ -95,9 +96,30 @@ namespace {
 
 #if AIMSC_X86
 
-/// AVX2 comparator: 32 stream bits per vpcmpgtb+vpmovmskb pair.  R < x
-/// (unsigned) is evaluated as (x ^ 0x80) > (R ^ 0x80) (signed), the
-/// standard bias trick.
+/// SSE2 comparator: 16 stream bits per pcmpgtb+pmovmskb pair, four pairs
+/// per output word.  R < x (unsigned) is evaluated as (x ^ 0x80) >
+/// (R ^ 0x80) (signed), the standard bias trick.
+__attribute__((target("sse2"))) void encodeSse2(const std::uint8_t* bytes,
+                                                std::size_t words,
+                                                std::uint32_t x,
+                                                std::uint64_t* out) {
+  const __m128i bias = _mm_set1_epi8(static_cast<char>(0x80));
+  const __m128i xs = _mm_set1_epi8(static_cast<char>(x ^ 0x80u));
+  for (std::size_t w = 0; w < words; ++w) {
+    const auto* p = reinterpret_cast<const __m128i*>(bytes + w * 64);
+    std::uint64_t m = 0;
+    for (int q = 0; q < 4; ++q) {
+      const __m128i r = _mm_xor_si128(_mm_loadu_si128(p + q), bias);
+      m |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+               _mm_movemask_epi8(_mm_cmpgt_epi8(xs, r))))
+           << (16 * q);
+    }
+    out[w] = m;
+  }
+}
+
+/// AVX2 comparator: 32 stream bits per vpcmpgtb+vpmovmskb pair (same bias
+/// trick as SSE2).
 __attribute__((target("avx2"))) void encodeAvx2(const std::uint8_t* bytes,
                                                 std::size_t words,
                                                 std::uint32_t x,
@@ -114,6 +136,18 @@ __attribute__((target("avx2"))) void encodeAvx2(const std::uint8_t* bytes,
         _mm256_movemask_epi8(_mm256_cmpgt_epi8(xs, hi)));
     out[w] = static_cast<std::uint64_t>(mlo) |
              (static_cast<std::uint64_t>(mhi) << 32);
+  }
+}
+
+/// AVX-512BW comparator: 64 stream bits per single vpcmpub — the unsigned
+/// compare writes a native 64-bit mask, so no bias trick and no movemask.
+__attribute__((target("avx512f,avx512bw"))) void encodeAvx512(
+    const std::uint8_t* bytes, std::size_t words, std::uint32_t x,
+    std::uint64_t* out) {
+  const __m512i xs = _mm512_set1_epi8(static_cast<char>(x));
+  for (std::size_t w = 0; w < words; ++w) {
+    const __m512i r = _mm512_loadu_si512(bytes + w * 64);
+    out[w] = _mm512_cmplt_epu8_mask(r, xs);
   }
 }
 
@@ -152,17 +186,23 @@ void RandomPlanes::encode(std::uint32_t x, Bitstream& out,
     return;
   }
   if (x == 0) return;  // nothing beats a zero threshold
+  switch (resolveSimd(mode)) {
 #if AIMSC_X86
-  if (mode == SimdMode::Auto && cpuHasAvx2()) {
-    encodeAvx2(bytes_.data(), words_, x, words.data());
-    out.clearTail();
-    return;
-  }
-#else
-  (void)mode;
+    case SimdMode::Avx512:
+      encodeAvx512(bytes_.data(), words_, x, words.data());
+      break;
+    case SimdMode::Avx2:
+      encodeAvx2(bytes_.data(), words_, x, words.data());
+      break;
+    case SimdMode::Sse2:
+      encodeSse2(bytes_.data(), words_, x, words.data());
+      break;
 #endif
-  if (!planesBuilt_) buildPlanes();
-  encodePortable(planes_.data(), words_, x, words.data());
+    default:
+      if (!planesBuilt_) buildPlanes();
+      encodePortable(planes_.data(), words_, x, words.data());
+      break;
+  }
   out.clearTail();
 }
 

@@ -1,0 +1,113 @@
+#include "sc/simd_caps.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define AIMSC_X86 1
+#else
+#define AIMSC_X86 0
+#endif
+
+namespace aimsc::sc {
+
+namespace {
+
+/// Rank on the width ladder (Auto is not a level and has no rank).
+int rankOf(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::Portable: return 0;
+    case SimdMode::Sse2: return 1;
+    case SimdMode::Avx2: return 2;
+    case SimdMode::Avx512: return 3;
+    case SimdMode::Auto: break;
+  }
+  throw std::invalid_argument("simd_caps: Auto has no ladder rank");
+}
+
+bool cpuHasSse2() {
+#if AIMSC_X86
+  return __builtin_cpu_supports("sse2") != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool cpuHasAvx2() {
+#if AIMSC_X86
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool cpuHasAvx512bw() {
+#if AIMSC_X86
+  return __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512bw") != 0;
+#else
+  return false;
+#endif
+}
+
+SimdMode detectBestSimd() {
+  static const SimdMode best = [] {
+    if (cpuHasAvx512bw()) return SimdMode::Avx512;
+    if (cpuHasAvx2()) return SimdMode::Avx2;
+    if (cpuHasSse2()) return SimdMode::Sse2;
+    return SimdMode::Portable;
+  }();
+  return best;
+}
+
+SimdMode simdEnvOverride() {
+  static const SimdMode override = [] {
+    const char* env = std::getenv("AIMSC_SIMD");
+    if (env == nullptr || *env == '\0') return SimdMode::Auto;
+    return parseSimdMode(env);
+  }();
+  return override;
+}
+
+SimdMode resolveSimd(SimdMode requested) {
+  if (requested == SimdMode::Auto) {
+    const SimdMode forced = simdEnvOverride();
+    requested = forced == SimdMode::Auto ? detectBestSimd() : forced;
+  }
+  // Clamp down the ladder to the widest supported level <= the request.
+  const int want = rankOf(requested);
+  const int have = rankOf(detectBestSimd());
+  const int use = want < have ? want : have;
+  switch (use) {
+    case 3: return SimdMode::Avx512;
+    case 2: return SimdMode::Avx2;
+    case 1: return SimdMode::Sse2;
+    default: return SimdMode::Portable;
+  }
+}
+
+const char* simdModeName(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::Auto: return "auto";
+    case SimdMode::Portable: return "portable";
+    case SimdMode::Sse2: return "sse2";
+    case SimdMode::Avx2: return "avx2";
+    case SimdMode::Avx512: return "avx512";
+  }
+  return "?";
+}
+
+SimdMode parseSimdMode(std::string_view name) {
+  for (const SimdMode m : {SimdMode::Auto, SimdMode::Portable, SimdMode::Sse2,
+                           SimdMode::Avx2, SimdMode::Avx512}) {
+    if (name == simdModeName(m)) return m;
+  }
+  throw std::invalid_argument(
+      "AIMSC_SIMD / parseSimdMode: unknown level '" + std::string(name) +
+      "' (valid: auto, portable, sse2, avx2, avx512)");
+}
+
+}  // namespace aimsc::sc

@@ -1,0 +1,70 @@
+/// \file simd_caps.hpp
+/// \brief Central SIMD capability model for the bulk SNG layer: one
+///        instruction-set ladder (portable u64 -> SSE2 -> AVX2 ->
+///        AVX-512BW), one runtime detector, and one `AIMSC_SIMD`
+///        environment override consulted by every `SimdMode::Auto` user.
+///
+/// Every width-dispatched path in the repository resolves its instruction
+/// set through `resolveSimd`, so exactly one module decides what runs:
+///
+///  * `SimdMode::Auto` resolves to the `AIMSC_SIMD` override when the
+///    variable is set (`portable`, `sse2`, `avx2`, `avx512` — the CI
+///    forced-portable lane sets `AIMSC_SIMD=portable` and re-runs the whole
+///    conformance suite on the fallback paths), else to the widest level
+///    the CPU supports.
+///  * An explicit request (`SimdMode::Avx512` etc.) is clamped DOWN the
+///    ladder to the widest supported level at or below it, so forcing a
+///    width on a host that lacks it degrades gracefully instead of
+///    faulting.  Tests that compare two explicit widths therefore compare
+///    trivially-equal paths on weak hosts and real ones where available.
+///
+/// Because every dispatched path computes the exact same predicate, width
+/// selection NEVER changes output bits — it is a pure performance knob,
+/// which is why it is not carried on the shard wire protocol: a request's
+/// bytes are identical no matter which instruction set any worker resolves.
+#pragma once
+
+#include <string_view>
+
+namespace aimsc::sc {
+
+/// Instruction-set selector for the batched SNG paths.  Values above
+/// `Portable` are ordered by register width, which is what makes the
+/// clamp-down resolution well-defined.
+enum class SimdMode {
+  Auto,      ///< env override if set, else the widest supported level
+  Portable,  ///< force the `uint64_t` word fallback (testing / non-x86)
+  Sse2,      ///< 128-bit compares (x86-64 baseline)
+  Avx2,      ///< 256-bit compares
+  Avx512,    ///< 512-bit compares + native 64-bit masks (AVX-512BW)
+};
+
+/// True when the running CPU supports AVX2 (always false off x86).
+bool cpuHasAvx2();
+
+/// True when the running CPU supports AVX-512F + AVX-512BW (the byte
+/// compare/mask subset the comparator path uses; always false off x86).
+bool cpuHasAvx512bw();
+
+/// Widest level the running CPU supports (ignores the env override).
+SimdMode detectBestSimd();
+
+/// The cached `AIMSC_SIMD` override; `SimdMode::Auto` when the variable is
+/// unset or empty.  Throws std::invalid_argument on an unrecognized value
+/// (fail fast: a typo must not silently un-force a CI lane).
+SimdMode simdEnvOverride();
+
+/// Resolves \p requested to the concrete level that will execute (never
+/// returns `Auto`): `Auto` -> env override else `detectBestSimd()`;
+/// explicit levels are clamped down to the widest supported one at or
+/// below the request.
+SimdMode resolveSimd(SimdMode requested);
+
+/// Lowercase selector name ("auto", "portable", "sse2", "avx2", "avx512").
+const char* simdModeName(SimdMode mode);
+
+/// Inverse of `simdModeName` (the `AIMSC_SIMD` grammar).  Throws
+/// std::invalid_argument listing the valid spellings on no match.
+SimdMode parseSimdMode(std::string_view name);
+
+}  // namespace aimsc::sc

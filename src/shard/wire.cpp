@@ -203,7 +203,7 @@ apps::AppKind readAppKind(WireReader& r) {
 
 core::DesignKind readDesignKind(WireReader& r) {
   const std::uint8_t v = r.u8();
-  if (v > static_cast<std::uint8_t>(core::DesignKind::BinaryCim)) {
+  if (v > static_cast<std::uint8_t>(core::DesignKind::SwScSfmt)) {
     throw DecodeError("wire: unknown DesignKind");
   }
   return static_cast<core::DesignKind>(v);

@@ -75,7 +75,7 @@ TEST(Compositing, ReramScTracksReference) {
 TEST(Compositing, SwScLfsrAndSobolWork) {
   const CompositingScene s = makeCompositingScene(16, 16, 5);
   const img::Image ref = compositeReference(s);
-  auto swsc = [&](energy::CmosSng sng) {
+  auto swsc = [&](core::SwScSng sng) {
     core::SwScConfig cfg;
     cfg.streamLength = 256;
     cfg.sng = sng;
@@ -83,8 +83,8 @@ TEST(Compositing, SwScLfsrAndSobolWork) {
     core::SwScBackend b(cfg);
     return compositeKernel(s, b);
   };
-  const img::Image lfsr = swsc(energy::CmosSng::Lfsr);
-  const img::Image sobol = swsc(energy::CmosSng::Sobol);
+  const img::Image lfsr = swsc(core::SwScSng::Lfsr);
+  const img::Image sobol = swsc(core::SwScSng::Sobol);
   EXPECT_GT(img::psnrDb(lfsr, ref), 17.0);
   // Sobol streams are far more accurate (Table I).
   EXPECT_GT(img::psnrDb(sobol, ref), img::psnrDb(lfsr, ref));

@@ -200,12 +200,14 @@ INSTANTIATE_TEST_SUITE_P(
                       BackendCase{DesignKind::ReramSc, 0.05, 0.07},
                       BackendCase{DesignKind::SwScSobol, 0.05, 0.07},
                       BackendCase{DesignKind::SwScLfsr, 0.08, 0.30},
+                      BackendCase{DesignKind::SwScSfmt, 0.08, 0.30},
                       BackendCase{DesignKind::SwScSimd, 0.08, 0.30}),
     [](const ::testing::TestParamInfo<BackendCase>& info) {
       switch (info.param.design) {
         case DesignKind::Reference: return "Reference";
         case DesignKind::SwScLfsr: return "SwScLfsr";
         case DesignKind::SwScSobol: return "SwScSobol";
+        case DesignKind::SwScSfmt: return "SwScSfmt";
         case DesignKind::SwScSimd: return "SwScSimd";
         case DesignKind::ReramSc: return "ReramSc";
         case DesignKind::BinaryCim: return "BinaryCim";
@@ -218,7 +220,8 @@ TEST(BackendFactory, NamesAndKinds) {
   cfg.streamLength = 64;
   for (const DesignKind d :
        {DesignKind::Reference, DesignKind::SwScLfsr, DesignKind::SwScSobol,
-        DesignKind::SwScSimd, DesignKind::ReramSc, DesignKind::BinaryCim}) {
+        DesignKind::SwScSfmt, DesignKind::SwScSimd, DesignKind::ReramSc,
+        DesignKind::BinaryCim}) {
     const auto b = makeBackend(d, cfg);
     ASSERT_NE(b, nullptr);
     EXPECT_STREQ(b->name(), designKindName(d));
@@ -445,7 +448,8 @@ TEST(BackendEquivalence, AllAppsRunOnAllDesigns) {
         apps::AppKind::Morphology}) {
     for (const DesignKind d :
          {DesignKind::Reference, DesignKind::SwScLfsr, DesignKind::SwScSobol,
-          DesignKind::SwScSimd, DesignKind::ReramSc, DesignKind::BinaryCim}) {
+          DesignKind::SwScSfmt, DesignKind::SwScSimd, DesignKind::ReramSc,
+          DesignKind::BinaryCim}) {
       const apps::Quality q = apps::runApp(app, d, cfg);
       EXPECT_GT(q.psnrDb, 5.0) << apps::appName(app) << " / "
                                << designKindName(d);

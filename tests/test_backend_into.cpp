@@ -169,13 +169,15 @@ TEST_P(IntoConformance, SizeMismatchThrows) {
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, IntoConformance,
     ::testing::Values(DesignKind::Reference, DesignKind::SwScLfsr,
-                      DesignKind::SwScSobol, DesignKind::SwScSimd,
-                      DesignKind::ReramSc, DesignKind::BinaryCim),
+                      DesignKind::SwScSobol, DesignKind::SwScSfmt,
+                      DesignKind::SwScSimd, DesignKind::ReramSc,
+                      DesignKind::BinaryCim),
     [](const ::testing::TestParamInfo<DesignKind>& info) {
       switch (info.param) {
         case DesignKind::Reference: return "Reference";
         case DesignKind::SwScLfsr: return "SwScLfsr";
         case DesignKind::SwScSobol: return "SwScSobol";
+        case DesignKind::SwScSfmt: return "SwScSfmt";
         case DesignKind::SwScSimd: return "SwScSimd";
         case DesignKind::ReramSc: return "ReramSc";
         case DesignKind::BinaryCim: return "BinaryCim";
@@ -464,13 +466,15 @@ TEST_P(FusedKernelConformance, AllSevenKernelsMatchAllocatingOracles) {
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, FusedKernelConformance,
     ::testing::Values(DesignKind::Reference, DesignKind::SwScLfsr,
-                      DesignKind::SwScSobol, DesignKind::SwScSimd,
-                      DesignKind::ReramSc, DesignKind::BinaryCim),
+                      DesignKind::SwScSobol, DesignKind::SwScSfmt,
+                      DesignKind::SwScSimd, DesignKind::ReramSc,
+                      DesignKind::BinaryCim),
     [](const ::testing::TestParamInfo<DesignKind>& info) {
       switch (info.param) {
         case DesignKind::Reference: return "Reference";
         case DesignKind::SwScLfsr: return "SwScLfsr";
         case DesignKind::SwScSobol: return "SwScSobol";
+        case DesignKind::SwScSfmt: return "SwScSfmt";
         case DesignKind::SwScSimd: return "SwScSimd";
         case DesignKind::ReramSc: return "ReramSc";
         case DesignKind::BinaryCim: return "BinaryCim";

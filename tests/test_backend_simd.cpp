@@ -1,8 +1,9 @@
 // SIMD-batched SW-SC backend suite: the bulk SNG layer reproduces the
 // scalar sources bit for bit, the word-level CORDIV equals the serial
 // flip-flop, SwScSimd is bit-identical to the scalar SW-SC backends on all
-// four apps, AVX2 and the portable fallback agree, and tiled runs are
-// deterministic across worker-thread counts.
+// four apps, every width on the SSE2/AVX2/AVX-512 ladder agrees with the
+// portable fallback, and tiled runs are deterministic across worker-thread
+// counts.
 #include <gtest/gtest.h>
 
 #include <array>
@@ -61,6 +62,26 @@ TEST(BulkLfsr8, ZeroSeedThrows) {
   EXPECT_THROW(sc::BulkLfsr8 bulk(seeds), std::invalid_argument);
 }
 
+TEST(BulkLfsr8Wide, EveryLaneMatchesScalarLfsr) {
+  // The deep (64-lane, one AVX-512 register per word pass) prefetch shape
+  // must reproduce the scalar source exactly like the 32-lane default.
+  std::array<std::uint8_t, sc::BulkLfsr8Wide::kLanes> seeds;
+  for (std::size_t k = 0; k < seeds.size(); ++k) {
+    seeds[k] = static_cast<std::uint8_t>((k * 41 + 3) % 254 + 1);
+  }
+  const std::size_t n = 300;
+  std::vector<std::uint8_t> bulkOut(seeds.size() * n);
+  sc::BulkLfsr8Wide bulk(seeds);
+  bulk.generate(n, bulkOut.data());
+  for (std::size_t k = 0; k < seeds.size(); ++k) {
+    sc::Lfsr scalar = sc::Lfsr::paper8Bit(seeds[k]);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(bulkOut[k * n + i], scalar.next(8))
+          << "lane " << k << " step " << i;
+    }
+  }
+}
+
 // --- packed comparator ------------------------------------------------------
 
 TEST(RandomPlanes, EncodeMatchesGenerateSbsForAllThresholds) {
@@ -81,8 +102,10 @@ TEST(RandomPlanes, EncodeMatchesGenerateSbsForAllThresholds) {
   }
 }
 
-TEST(RandomPlanes, Avx2AndPortableAreBitIdentical) {
-  if (!sc::cpuHasAvx2()) GTEST_SKIP() << "host lacks AVX2";
+TEST(RandomPlanes, EveryWidthBitIdenticalToPortable) {
+  // The full ladder: explicit requests clamp down on weak hosts, so every
+  // level is safe to run everywhere — on this host it may alias a narrower
+  // path, in which case the assertion is trivially (still correctly) true.
   std::mt19937 rng(123);
   for (const std::size_t n : {std::size_t{64}, std::size_t{100},
                               std::size_t{256}, std::size_t{1000}}) {
@@ -90,14 +113,58 @@ TEST(RandomPlanes, Avx2AndPortableAreBitIdentical) {
     for (auto& b : r) b = static_cast<std::uint8_t>(rng());
     sc::RandomPlanes planes;
     planes.assign(r.data(), n);
-    for (std::uint32_t x = 0; x <= 256; ++x) {
-      sc::Bitstream fast;
-      sc::Bitstream slow;
-      planes.encode(x, fast, sc::SimdMode::Auto);
-      planes.encode(x, slow, sc::SimdMode::Portable);
-      ASSERT_EQ(fast, slow) << "n=" << n << " threshold " << x;
+    for (const sc::SimdMode mode :
+         {sc::SimdMode::Auto, sc::SimdMode::Sse2, sc::SimdMode::Avx2,
+          sc::SimdMode::Avx512}) {
+      for (std::uint32_t x = 0; x <= 256; ++x) {
+        sc::Bitstream fast;
+        sc::Bitstream slow;
+        planes.encode(x, fast, mode);
+        planes.encode(x, slow, sc::SimdMode::Portable);
+        ASSERT_EQ(fast, slow) << "n=" << n << " mode "
+                              << sc::simdModeName(mode) << " threshold " << x;
+      }
     }
   }
+}
+
+TEST(RandomPlanes, PortableAssignBuildsPlanesEagerly) {
+  // Regression for the mutable lazy-cache hazard: a portable-mode assign
+  // must materialize the bit-planes up front, so a later encode (possibly
+  // from another thread adopting the arena) never writes shared state.
+  std::vector<std::uint8_t> r(100, 42);
+  sc::RandomPlanes planes;
+  planes.assign(r.data(), r.size(), sc::SimdMode::Portable);
+  EXPECT_TRUE(planes.planesReady());
+
+  // Auto mirrors the resolved width: planes are pre-built exactly when the
+  // host (or AIMSC_SIMD) resolves Auto to the portable path.
+  sc::RandomPlanes autoPlanes;
+  autoPlanes.assign(r.data(), r.size(), sc::SimdMode::Auto);
+  EXPECT_EQ(autoPlanes.planesReady(),
+            sc::resolveSimd(sc::SimdMode::Auto) == sc::SimdMode::Portable);
+
+  // The eager build is the one the portable encode uses.
+  sc::Bitstream eager;
+  planes.encode(7, eager, sc::SimdMode::Portable);
+  sc::Bitstream lazy;
+  autoPlanes.encode(7, lazy, sc::SimdMode::Portable);
+  EXPECT_EQ(eager, lazy);
+}
+
+TEST(SimdCaps, ResolveClampsDownAndAutoIsConcrete) {
+  const sc::SimdMode best = sc::detectBestSimd();
+  EXPECT_NE(sc::resolveSimd(sc::SimdMode::Auto), sc::SimdMode::Auto);
+  EXPECT_EQ(sc::resolveSimd(sc::SimdMode::Portable), sc::SimdMode::Portable);
+  // An explicit request never resolves above host support.
+  if (best != sc::SimdMode::Avx512) {
+    EXPECT_NE(sc::resolveSimd(sc::SimdMode::Avx512), sc::SimdMode::Avx512);
+  } else {
+    EXPECT_EQ(sc::resolveSimd(sc::SimdMode::Avx512), sc::SimdMode::Avx512);
+  }
+  EXPECT_THROW(sc::parseSimdMode("avx1024"), std::invalid_argument);
+  EXPECT_EQ(sc::parseSimdMode("avx512"), sc::SimdMode::Avx512);
+  EXPECT_STREQ(sc::simdModeName(sc::SimdMode::Sse2), "sse2");
 }
 
 // --- word-level CORDIV ------------------------------------------------------
@@ -123,7 +190,7 @@ TEST(CordivWordLevel, MatchesSerialFlipFlop) {
 
 // --- SwScSimd vs scalar SW-SC: bit-identical apps ---------------------------
 
-std::unique_ptr<ScBackend> scalarBackend(energy::CmosSng sng,
+std::unique_ptr<ScBackend> scalarBackend(core::SwScSng sng,
                                          std::uint64_t seed, std::size_t n) {
   SwScConfig cfg;
   cfg.streamLength = n;
@@ -132,7 +199,7 @@ std::unique_ptr<ScBackend> scalarBackend(energy::CmosSng sng,
   return std::make_unique<core::SwScBackend>(cfg);
 }
 
-std::unique_ptr<ScBackend> simdBackend(energy::CmosSng sng, std::uint64_t seed,
+std::unique_ptr<ScBackend> simdBackend(core::SwScSng sng, std::uint64_t seed,
                                        std::size_t n,
                                        sc::SimdMode mode = sc::SimdMode::Auto) {
   SwScSimdConfig cfg;
@@ -144,7 +211,7 @@ std::unique_ptr<ScBackend> simdBackend(energy::CmosSng sng, std::uint64_t seed,
 }
 
 class SimdScalarEquivalence
-    : public ::testing::TestWithParam<energy::CmosSng> {};
+    : public ::testing::TestWithParam<core::SwScSng> {};
 
 TEST_P(SimdScalarEquivalence, AllFourAppsBitIdenticalAt64) {
   const auto sng = GetParam();
@@ -167,30 +234,34 @@ TEST_P(SimdScalarEquivalence, AllFourAppsBitIdenticalAt64) {
             apps::smoothKernel(src, *scalarBackend(sng, seed, n)).pixels());
 }
 
-INSTANTIATE_TEST_SUITE_P(LfsrAndSobol, SimdScalarEquivalence,
-                         ::testing::Values(energy::CmosSng::Lfsr,
-                                           energy::CmosSng::Sobol),
+INSTANTIATE_TEST_SUITE_P(AllSngFamilies, SimdScalarEquivalence,
+                         ::testing::Values(core::SwScSng::Lfsr,
+                                           core::SwScSng::Sobol,
+                                           core::SwScSng::Sfmt),
                          [](const auto& info) {
-                           return info.param == energy::CmosSng::Lfsr
-                                      ? "Lfsr"
-                                      : "Sobol";
+                           switch (info.param) {
+                             case core::SwScSng::Lfsr: return "Lfsr";
+                             case core::SwScSng::Sobol: return "Sobol";
+                             case core::SwScSng::Sfmt: return "Sfmt";
+                           }
+                           return "?";
                          });
 
 TEST(SwScSimdBackend, PortableFallbackBitIdenticalOnAnApp) {
   const apps::CompositingScene scene = apps::makeCompositingScene(32, 32, 3);
   const auto fast = apps::compositeKernel(
-      scene, *simdBackend(energy::CmosSng::Lfsr, 11, 256, sc::SimdMode::Auto));
+      scene, *simdBackend(core::SwScSng::Lfsr, 11, 256, sc::SimdMode::Auto));
   const auto slow = apps::compositeKernel(
       scene,
-      *simdBackend(energy::CmosSng::Lfsr, 11, 256, sc::SimdMode::Portable));
+      *simdBackend(core::SwScSng::Lfsr, 11, 256, sc::SimdMode::Portable));
   EXPECT_EQ(fast.pixels(), slow.pixels());
 }
 
 TEST(SwScSimdBackend, EpochPrefetchSurvivesManyEpochs) {
   // > BulkLfsr8::kLanes fresh epochs forces at least two block refills.
   const std::size_t n = 128;
-  const auto simd = simdBackend(energy::CmosSng::Lfsr, 5, n);
-  const auto scalar = scalarBackend(energy::CmosSng::Lfsr, 5, n);
+  const auto simd = simdBackend(core::SwScSng::Lfsr, 5, n);
+  const auto scalar = scalarBackend(core::SwScSng::Lfsr, 5, n);
   for (int e = 0; e < 80; ++e) {
     const std::vector<std::uint8_t> v{static_cast<std::uint8_t>(e * 3)};
     auto a = simd->encodePixels(v);
@@ -199,10 +270,46 @@ TEST(SwScSimdBackend, EpochPrefetchSurvivesManyEpochs) {
   }
 }
 
+TEST(SwScSimdBackend, SfmtEpochNumberingStaysInSyncAcrossBlocks) {
+  // SFMT epoch-numbering conformance: > BulkSfmt::kLanes fresh epochs per
+  // width forces multiple prefetch-block refills, and every epoch's stream
+  // must equal the scalar SFMT backend's — for each width on the ladder.
+  const std::size_t n = 96;
+  for (const sc::SimdMode mode :
+       {sc::SimdMode::Auto, sc::SimdMode::Portable, sc::SimdMode::Sse2,
+        sc::SimdMode::Avx2, sc::SimdMode::Avx512}) {
+    const auto simd = simdBackend(core::SwScSng::Sfmt, 5, n, mode);
+    const auto scalar = scalarBackend(core::SwScSng::Sfmt, 5, n);
+    for (int e = 0; e < 40; ++e) {
+      const std::vector<std::uint8_t> v{static_cast<std::uint8_t>(e * 7)};
+      auto a = simd->encodePixels(v);
+      auto b = scalar->encodePixels(v);
+      ASSERT_EQ(a[0].stream, b[0].stream)
+          << "mode " << sc::simdModeName(mode) << " epoch " << e;
+    }
+  }
+}
+
+TEST(SwScSimdBackend, EveryWidthBitIdenticalOnAnApp) {
+  // Width sweep at the app level: each explicit rung (clamped down on weak
+  // hosts) reproduces the portable run bit for bit.
+  const apps::CompositingScene scene = apps::makeCompositingScene(32, 32, 9);
+  const auto base = apps::compositeKernel(
+      scene,
+      *simdBackend(core::SwScSng::Lfsr, 13, 256, sc::SimdMode::Portable));
+  for (const sc::SimdMode mode :
+       {sc::SimdMode::Sse2, sc::SimdMode::Avx2, sc::SimdMode::Avx512}) {
+    const auto got = apps::compositeKernel(
+        scene, *simdBackend(core::SwScSng::Lfsr, 13, 256, mode));
+    EXPECT_EQ(got.pixels(), base.pixels())
+        << "mode " << sc::simdModeName(mode);
+  }
+}
+
 TEST(SwScSimdBackend, OpCountMatchesScalar) {
   const apps::CompositingScene scene = apps::makeCompositingScene(16, 16, 2);
-  const auto simd = simdBackend(energy::CmosSng::Lfsr, 7, 128);
-  const auto scalar = scalarBackend(energy::CmosSng::Lfsr, 7, 128);
+  const auto simd = simdBackend(core::SwScSng::Lfsr, 7, 128);
+  const auto scalar = scalarBackend(core::SwScSng::Lfsr, 7, 128);
   apps::compositeKernel(scene, *simd);
   apps::compositeKernel(scene, *scalar);
   EXPECT_GT(simd->opCount(), 0u);
@@ -215,7 +322,8 @@ TEST(SwScConstants, HalfStreamDoesNotDesynchronizeEpochs) {
   // Constants between a fresh encode and its correlated follow-up must not
   // advance the epoch: the pair stays maximally correlated and XOR still
   // measures the exact difference.
-  for (const auto sng : {energy::CmosSng::Lfsr, energy::CmosSng::Sobol}) {
+  for (const auto sng :
+       {core::SwScSng::Lfsr, core::SwScSng::Sobol, core::SwScSng::Sfmt}) {
     const auto b = scalarBackend(sng, 0x44, 2048);
     const auto x = b->encodePixels(std::vector<std::uint8_t>{204});
     (void)b->halfStream();
@@ -229,7 +337,7 @@ TEST(SwScConstants, HalfStreamDoesNotDesynchronizeEpochs) {
 TEST(SwScConstants, RepeatedHalvesAreIndependentWithinAnEpoch) {
   // The smoothing kernel draws seven halves per row; they must be mutually
   // independent (a shared select stream would collapse the MUX tree).
-  const auto b = scalarBackend(energy::CmosSng::Lfsr, 0x7a, 2048);
+  const auto b = scalarBackend(core::SwScSng::Lfsr, 0x7a, 2048);
   const auto h1 = b->halfStream();
   const auto h2 = b->halfStream();
   EXPECT_NE(h1.stream, h2.stream);
@@ -238,8 +346,8 @@ TEST(SwScConstants, RepeatedHalvesAreIndependentWithinAnEpoch) {
 }
 
 TEST(SwScConstants, PoolRewindsAcrossEpochsAndMatchesSimd) {
-  const auto scalar = scalarBackend(energy::CmosSng::Lfsr, 0x31, 512);
-  const auto simd = simdBackend(energy::CmosSng::Lfsr, 0x31, 512);
+  const auto scalar = scalarBackend(core::SwScSng::Lfsr, 0x31, 512);
+  const auto simd = simdBackend(core::SwScSng::Lfsr, 0x31, 512);
   const auto a1 = scalar->halfStream();
   (void)scalar->encodePixels(std::vector<std::uint8_t>{9});  // new epoch
   const auto a2 = scalar->halfStream();
@@ -262,6 +370,26 @@ TEST(SwScSimdBackend, MakeBackendCoverage) {
 
   // Factory-built SwScSimd is the batched SwScLfsr design point.
   const auto scalar = core::makeBackend(DesignKind::SwScLfsr, cfg);
+  auto a = b->encodePixels(std::vector<std::uint8_t>{10, 100, 250});
+  auto s = scalar->encodePixels(std::vector<std::uint8_t>{10, 100, 250});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].stream, s[i].stream);
+  }
+}
+
+TEST(SwScSfmtBackend, MakeBackendCoverage) {
+  core::BackendFactoryConfig cfg;
+  cfg.streamLength = 128;
+  cfg.seed = 0xabc;
+  const auto b = core::makeBackend(DesignKind::SwScSfmt, cfg);
+  ASSERT_NE(b, nullptr);
+  EXPECT_STREQ(b->name(), core::designKindName(DesignKind::SwScSfmt));
+  EXPECT_STREQ(b->name(), "SW-SC (SFMT)");
+  EXPECT_EQ(core::parseDesignKind("SW-SC (SFMT)"), DesignKind::SwScSfmt);
+  EXPECT_EQ(core::parseDesignKind("swsc-sfmt"), DesignKind::SwScSfmt);
+
+  // The factory design point matches a hand-built scalar SFMT backend.
+  const auto scalar = scalarBackend(core::SwScSng::Sfmt, cfg.seed, 128);
   auto a = b->encodePixels(std::vector<std::uint8_t>{10, 100, 250});
   auto s = scalar->encodePixels(std::vector<std::uint8_t>{10, 100, 250});
   for (std::size_t i = 0; i < a.size(); ++i) {

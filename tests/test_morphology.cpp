@@ -89,7 +89,7 @@ TEST(MorphologyKernel, CorrelatedWindowMakesMinExact) {
 core::SwScConfig swCfg(std::size_t n = 512) {
   core::SwScConfig cfg;
   cfg.streamLength = n;
-  cfg.sng = energy::CmosSng::Lfsr;
+  cfg.sng = core::SwScSng::Lfsr;
   cfg.seed = 0xfeed;
   return cfg;
 }

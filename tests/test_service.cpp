@@ -98,6 +98,7 @@ TEST(Service, MatchesOneShotRunnerBitExactly) {
       {apps::AppKind::Gamma, core::DesignKind::SwScLfsr, 1},
       {apps::AppKind::Compositing, core::DesignKind::ReramSc, 1},
       {apps::AppKind::Matting, core::DesignKind::SwScSobol, 1},
+      {apps::AppKind::Matting, core::DesignKind::SwScSfmt, 1},
       {apps::AppKind::Morphology, core::DesignKind::SwScSimd, 1},
       {apps::AppKind::Bilinear, core::DesignKind::BinaryCim, 1},
       {apps::AppKind::Filters, core::DesignKind::SwScLfsr, 3},

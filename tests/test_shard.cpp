@@ -103,7 +103,7 @@ WireRequest randomRequest(std::mt19937_64& rng) {
   wq.tenant = static_cast<std::uint32_t>(rng());
   wq.seedNamespace = rng();
   wq.app = static_cast<apps::AppKind>(rng() % 6);
-  wq.design = static_cast<core::DesignKind>(rng() % 6);
+  wq.design = static_cast<core::DesignKind>(rng() % 7);  // incl. SwScSfmt
   wq.gamma = 0.5 + (rng() % 400) / 100.0;
   wq.upscaleFactor = 1 + rng() % 4;
   wq.streamLength = 16u << (rng() % 5);
@@ -266,6 +266,7 @@ TEST(ShardDifferential, ByteIdenticalAcrossShardCountsOnAllSubstrates) {
       {apps::AppKind::Gamma, core::DesignKind::Reference, 1, false},
       {apps::AppKind::Compositing, core::DesignKind::SwScLfsr, 1, false},
       {apps::AppKind::Matting, core::DesignKind::SwScSobol, 1, false},
+      {apps::AppKind::Matting, core::DesignKind::SwScSfmt, 1, false},
       {apps::AppKind::Morphology, core::DesignKind::SwScSimd, 1, false},
       {apps::AppKind::Bilinear, core::DesignKind::BinaryCim, 1, false},
       {apps::AppKind::Filters, core::DesignKind::ReramSc, 1, false},

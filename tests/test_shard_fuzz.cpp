@@ -24,7 +24,7 @@ std::vector<std::uint8_t> seedRequestFrame(std::mt19937_64& rng) {
   wq.tenant = static_cast<std::uint32_t>(rng());
   wq.seedNamespace = rng();
   wq.app = static_cast<apps::AppKind>(rng() % 6);
-  wq.design = static_cast<core::DesignKind>(rng() % 6);
+  wq.design = static_cast<core::DesignKind>(rng() % 7);  // incl. SwScSfmt
   wq.gamma = 1.0 + (rng() % 300) / 100.0;
   wq.streamLength = 32;
   wq.seed = rng();
