@@ -18,10 +18,24 @@
 //                       every output byte-compared to the oracle
 //   3. sharded daemon — AcceleratorService with shards=2; outputs
 //                       byte-compared to the oracle again
+//   4. chaos recovery — supervised 2-shard fabric under a ShardFaultPlan
+//                       firing every site (drop/crash/hang/garbage) on a
+//                       quarter of all dispatches; every recovered output
+//                       byte-compared to the oracle, recovery latency and
+//                       retry counts recorded, a hard per-request wall
+//                       bound proving "error, never hang"
+//   5. degraded mode  — shard 0's worker SIGKILLed with zero retry budget;
+//                       its frames re-dispatch to the survivor and the
+//                       bytes must STILL equal the oracle
 //
-// Results land in BENCH_shard.json (schema: docs/BENCHMARKS.md).
+// Results land in BENCH_shard.json (schema: docs/BENCHMARKS.md).  The
+// recovery booleans are CI contracts (compare_bench.py --require-true);
+// the recovery-latency percentiles measure the host and are informational.
 //
 // Usage: bench_shard [size] [rounds]   (default 64 4; CI smoke uses 32 2)
+#include <signal.h>
+
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +45,8 @@
 #include "img/synth.hpp"
 #include "service/accelerator_service.hpp"
 #include "shard/coordinator.hpp"
+#include "shard/fault_plan.hpp"
+#include "shard/supervisor.hpp"
 #include "shard/transport.hpp"
 #include "shard/wire.hpp"
 
@@ -143,6 +159,36 @@ apps::RunResult oracleRun(const TrafficItem& it) {
   par.threads = 1;  // forces the lane-fleet path on every design
   par.rowsPerTile = 4;
   return apps::runAppDetailed(it.app, it.design, cfg, par);
+}
+
+/// Tight budgets for the chaos phases: an injected hang costs one 250ms
+/// recv deadline, not the 5s default, and backoffs stay in single-digit ms.
+shard::ChannelDeadlines chaosDeadlines() {
+  shard::ChannelDeadlines d;
+  d.connect = std::chrono::milliseconds(2000);
+  d.send = std::chrono::milliseconds(1000);
+  d.recv = std::chrono::milliseconds(250);
+  return d;
+}
+
+shard::RetryPolicy chaosRetry() {
+  shard::RetryPolicy rp;
+  rp.initialBackoff = std::chrono::milliseconds(1);
+  rp.maxBackoff = std::chrono::milliseconds(8);
+  // maxRespawns is a LIFETIME budget per shard; sustained chaos burns one
+  // respawn per injected fault, so the default (8) would declare shards
+  // dead mid-sweep.  The sweep measures recovery, not the death budget.
+  rp.maxRespawns = 100000;
+  return rp;
+}
+
+/// Nearest-rank percentile over an unsorted sample (0 when empty).
+double percentileMs(std::vector<double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sample.size() - 1) + 0.5);
+  return sample[std::min(rank, sample.size() - 1)];
 }
 
 }  // namespace
@@ -276,8 +322,94 @@ int main(int argc, char** argv) {
                 serviceMatches ? "identical" : "DIFFER (BUG)");
   }
 
-  const bool deterministic =
-      codecOk && crossShardIdentical && matchesOneShot && serviceMatches;
+  // --- phase 4: chaos recovery (every fault site on 25% of dispatches) -----
+  // With five sites at 0.25 each, ~76% of original dispatches suffer a
+  // drop/crash/hang/garbage fault; the supervisor's deadline + retry +
+  // respawn machinery must still deliver oracle bytes for every request,
+  // and — the "error, never hang" contract — every request must complete
+  // inside a hard wall bound derived from the budgets (30s here dwarfs
+  // maxAttempts * (recv deadline + backoff) + execution).
+  bool recoveredIdentical = true;
+  bool noHang = true;
+  std::uint64_t chaosRetries = 0, chaosRespawns = 0, chaosFaults = 0;
+  double recoveryP50 = 0.0, recoveryP95 = 0.0;
+  {
+    shard::ShardCoordinator coord(
+        shard::makeSupervisedFabric(shard::ShardTransportKind::Subprocess, 2,
+                                    chaosDeadlines(), chaosRetry(),
+                                    shard::ShardFaultPlan::uniform(0xc4a05,
+                                                                   0.25)),
+        kLanes, kRowsPerTile);
+    std::vector<double> recoveryMs;  // latency of requests that recovered
+    t0 = Clock::now();
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        img::Image out(items[i].outWidth, items[i].outHeight);
+        const service::Request q = requestFor(items[i], out);
+        const std::uint64_t retriesBefore = coord.fabric().stats().retries;
+        const Clock::time_point q0 = Clock::now();
+        coord.runReplicated(/*tenant=*/1, q, /*seedNamespace=*/0, q.seed);
+        const double ms = secondsSince(q0) * 1e3;
+        if (ms > 30000.0) noHang = false;
+        if (coord.fabric().stats().retries > retriesBefore) {
+          recoveryMs.push_back(ms);
+        }
+        if (out.pixels() != oracle[i].output.pixels()) {
+          recoveredIdentical = false;
+        }
+      }
+    }
+    const double secs = secondsSince(t0);
+    const shard::FabricStats& fs = coord.fabric().stats();
+    chaosRetries = fs.retries;
+    chaosRespawns = fs.respawns;
+    chaosFaults = fs.faultsInjected;
+    if (fs.deadShards != 0) recoveredIdentical = false;  // budget too small
+    recoveryP50 = percentileMs(recoveryMs, 0.50);
+    recoveryP95 = percentileMs(recoveryMs, 0.95);
+    std::printf(
+        "  chaos sweep (2 shards, all sites @ 0.25): %zu requests in %.2fs; "
+        "%llu faults, %llu retries, %llu respawns; recovered latency "
+        "p50 %.1fms p95 %.1fms; bytes %s, %s\n",
+        total, secs, static_cast<unsigned long long>(chaosFaults),
+        static_cast<unsigned long long>(chaosRetries),
+        static_cast<unsigned long long>(chaosRespawns), recoveryP50,
+        recoveryP95, recoveredIdentical ? "identical" : "DIFFER (BUG)",
+        noHang ? "no hangs" : "HANG (BUG)");
+  }
+
+  // --- phase 5: degraded mode (dead shard's frames served by survivor) -----
+  bool degradedIdentical = true;
+  {
+    shard::RetryPolicy rp = chaosRetry();
+    rp.maxAttempts = 1;   // first failure -> dead
+    rp.maxRespawns = 0;
+    shard::ShardCoordinator coord(
+        shard::makeSupervisedFabric(shard::ShardTransportKind::Subprocess, 2,
+                                    chaosDeadlines(), rp),
+        kLanes, kRowsPerTile);
+    const int pid = coord.fabric().workerPid(0);
+    if (pid > 0) ::kill(pid, SIGKILL);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      img::Image out(items[i].outWidth, items[i].outHeight);
+      const service::Request q = requestFor(items[i], out);
+      coord.runReplicated(/*tenant=*/1, q, /*seedNamespace=*/0, q.seed);
+      if (out.pixels() != oracle[i].output.pixels()) degradedIdentical = false;
+    }
+    if (coord.fabric().stats().deadShards != 1 ||
+        coord.reassignedDispatches() == 0) {
+      degradedIdentical = false;  // the scenario itself failed to happen
+    }
+    std::printf("  degraded sweep (shard 0 dead, survivor serves both): %zu "
+                "requests, %llu re-dispatches, bytes %s\n",
+                items.size(),
+                static_cast<unsigned long long>(coord.reassignedDispatches()),
+                degradedIdentical ? "identical" : "DIFFER (BUG)");
+  }
+
+  const bool deterministic = codecOk && crossShardIdentical &&
+                             matchesOneShot && serviceMatches &&
+                             recoveredIdentical && degradedIdentical && noHang;
   FILE* f = std::fopen("BENCH_shard.json", "w");
   if (f != nullptr) {
     std::fprintf(f,
@@ -297,14 +429,29 @@ int main(int argc, char** argv) {
                  "  \"service_sharded_rps\": %.3f,\n"
                  "  \"deterministic_across_shards\": %s,\n"
                  "  \"matches_one_shot\": %s,\n"
-                 "  \"service_sharded_matches_one_shot\": %s\n"
+                 "  \"service_sharded_matches_one_shot\": %s,\n"
+                 "  \"recovered_byte_identical\": %s,\n"
+                 "  \"degraded_byte_identical\": %s,\n"
+                 "  \"no_hang_under_chaos\": %s,\n"
+                 "  \"chaos_faults_injected\": %llu,\n"
+                 "  \"chaos_retries\": %llu,\n"
+                 "  \"chaos_respawns\": %llu,\n"
+                 "  \"recovery_latency_ms_p50\": %.3f,\n"
+                 "  \"recovery_latency_ms_p95\": %.3f\n"
                  "}\n",
                  size, size, kLanes, kRowsPerTile, rounds, total,
                  wireBytesMean, codecOk ? "true" : "false", shardRps[0],
                  shardRps[1], shardRps[2], serviceRps,
                  (crossShardIdentical && matchesOneShot) ? "true" : "false",
                  matchesOneShot ? "true" : "false",
-                 serviceMatches ? "true" : "false");
+                 serviceMatches ? "true" : "false",
+                 recoveredIdentical ? "true" : "false",
+                 degradedIdentical ? "true" : "false",
+                 noHang ? "true" : "false",
+                 static_cast<unsigned long long>(chaosFaults),
+                 static_cast<unsigned long long>(chaosRetries),
+                 static_cast<unsigned long long>(chaosRespawns), recoveryP50,
+                 recoveryP95);
     std::fclose(f);
     std::puts("  wrote BENCH_shard.json");
   }

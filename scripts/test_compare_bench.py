@@ -112,6 +112,41 @@ def test_host_capability_booleans_are_never_contracts():
     assert "width_bit_identical_avx512" in proc.stderr
 
 
+def test_recovery_booleans_gate_like_any_contract():
+    # The chaos-smoke job schema-gates the shard recovery contracts: all
+    # three must be present AND true in the current run regardless of the
+    # baseline's vintage.
+    gates = ("--require-true", "recovered_byte_identical",
+             "--require-true", "degraded_byte_identical",
+             "--require-true", "no_hang_under_chaos")
+    current = dict(BASELINE, recovered_byte_identical=True,
+                   degraded_byte_identical=True, no_hang_under_chaos=True)
+    proc = run_compare(current, dict(BASELINE), *gates)
+    assert proc.returncode == 0, proc.stderr
+    # A hang (or any false/missing recovery boolean) fails the gate.
+    current["no_hang_under_chaos"] = False
+    proc = run_compare(current, dict(BASELINE), *gates)
+    assert proc.returncode == 1
+    assert "no_hang_under_chaos" in proc.stderr
+    del current["recovered_byte_identical"]
+    current["no_hang_under_chaos"] = True
+    proc = run_compare(current, dict(BASELINE), *gates)
+    assert proc.returncode == 1
+    assert "recovered_byte_identical" in proc.stderr
+
+
+def test_recovery_latency_percentiles_are_host_variant():
+    # recovery_latency_ms_* and the chaos retry counters measure the host
+    # (and the sweep length), not the code: huge swings must not fail, in
+    # either direction — only "speedup" keys are ratio-compared.
+    baseline = dict(BASELINE, recovery_latency_ms_p50=14.0,
+                    recovery_latency_ms_p95=270.0, chaos_retries=50)
+    current = dict(BASELINE, recovery_latency_ms_p50=900.0,
+                   recovery_latency_ms_p95=4000.0, chaos_retries=3)
+    assert run_compare(current, baseline).returncode == 0
+    assert run_compare(baseline, current).returncode == 0
+
+
 def test_nested_keys_flatten_with_dots():
     baseline = dict(BASELINE, alloc={"swsc_fused_speedup": 10.0})
     current = dict(BASELINE, alloc={"swsc_fused_speedup": 2.0})

@@ -34,7 +34,9 @@ std::unique_ptr<shard::ShardCoordinator> makeCoordinator(
     const ServiceConfig& config) {
   if (config.shards == 0) return nullptr;
   return std::make_unique<shard::ShardCoordinator>(
-      shard::makeShardChannels(config.shardTransport, config.shards),
+      shard::makeSupervisedFabric(config.shardTransport, config.shards,
+                                  config.shardDeadlines, config.shardRetry,
+                                  config.shardFaults),
       config.lanes, config.rowsPerTile);
 }
 
@@ -173,6 +175,59 @@ RequestResult AcceleratorService::wait(const Ticket& ticket) {
   return pending->result;
 }
 
+TicketOutcome AcceleratorService::waitOutcome(const Ticket& ticket) {
+  std::shared_ptr<Pending> pending;
+  {
+    std::unique_lock<std::mutex> lock(ticketMutex_);
+    const auto it = tickets_.find(ticket.id);
+    if (it == tickets_.end()) {
+      throw std::invalid_argument(
+          "AcceleratorService: unknown or already-redeemed ticket");
+    }
+    pending = it->second;
+    ticketCv_.wait(lock, [&] { return pending->done; });
+    tickets_.erase(ticket.id);
+  }
+  TicketOutcome outcome;
+  if (!pending->error.empty()) {
+    outcome.status = TicketStatus::Failed;
+    outcome.error = pending->error;
+    return outcome;
+  }
+  outcome.result = pending->result;
+  outcome.status = pending->result.degraded ? TicketStatus::Degraded
+                                            : TicketStatus::Ok;
+  return outcome;
+}
+
+std::optional<TicketOutcome> AcceleratorService::waitOutcomeFor(
+    const Ticket& ticket, std::chrono::microseconds timeout) {
+  std::shared_ptr<Pending> pending;
+  {
+    std::unique_lock<std::mutex> lock(ticketMutex_);
+    const auto it = tickets_.find(ticket.id);
+    if (it == tickets_.end()) {
+      throw std::invalid_argument(
+          "AcceleratorService: unknown or already-redeemed ticket");
+    }
+    pending = it->second;
+    if (!ticketCv_.wait_for(lock, timeout, [&] { return pending->done; })) {
+      return std::nullopt;  // still pending; ticket stays redeemable
+    }
+    tickets_.erase(ticket.id);
+  }
+  TicketOutcome outcome;
+  if (!pending->error.empty()) {
+    outcome.status = TicketStatus::Failed;
+    outcome.error = pending->error;
+    return outcome;
+  }
+  outcome.result = pending->result;
+  outcome.status = pending->result.degraded ? TicketStatus::Degraded
+                                            : TicketStatus::Ok;
+  return outcome;
+}
+
 RequestResult AcceleratorService::run(TenantId tenant, const Request& request) {
   return wait(submit(tenant, request));
 }
@@ -236,6 +291,21 @@ void AcceleratorService::executeBatchSharded(
     std::vector<std::shared_ptr<Pending>>& batch) {
   const auto batchStart = Clock::now();
   std::size_t served = 0;
+  // Publish the fabric's cumulative counters.  The supervisor is
+  // dispatcher-thread-only, so copying under statsMutex_ is the one place
+  // they become visible to concurrent stats() readers; it runs BEFORE each
+  // ticket resolves so a client that waits on a ticket and then reads
+  // stats() sees the recovery work its own request caused.
+  const auto snapshotFabricLocked = [this]() {
+    const shard::FabricStats& fs = coordinator_->fabric().stats();
+    stats_.shardRetries = fs.retries;
+    stats_.shardRespawns = fs.respawns;
+    stats_.shardTimeouts = fs.timeouts;
+    stats_.shardGarbageReplies = fs.garbageReplies;
+    stats_.shardFaultsInjected = fs.faultsInjected;
+    stats_.deadShards = fs.deadShards;
+    stats_.reassignedDispatches = coordinator_->reassignedDispatches();
+  };
   for (auto& p : batch) {
     const Request& q = p->request;
     RequestResult res;
@@ -259,8 +329,14 @@ void AcceleratorService::executeBatchSharded(
       ledger.replicasRun += std::max<std::size_t>(q.redundancy.replicas, 1);
       ledger.opCount += res.opCount;
       ledger.events += res.events;
+      if (res.degraded) ++stats_.degradedRequests;
+      snapshotFabricLocked();
       ++served;
     } catch (const std::exception& e) {
+      {
+        std::lock_guard<std::mutex> slock(statsMutex_);
+        snapshotFabricLocked();
+      }
       std::lock_guard<std::mutex> lock(ticketMutex_);
       p->error = e.what();
       p->done = true;
@@ -280,6 +356,7 @@ void AcceleratorService::executeBatchSharded(
     stats_.batchOccupancy.resize(batch.size() + 1, 0);
   }
   stats_.batchOccupancy[batch.size()] += 1;
+  snapshotFabricLocked();
 }
 
 void AcceleratorService::executeBatch(

@@ -38,6 +38,8 @@
 #include "service/request.hpp"
 #include "service/request_queue.hpp"
 #include "service/ticket.hpp"
+#include "shard/fault_plan.hpp"
+#include "shard/supervisor.hpp"
 #include "shard/transport.hpp"
 
 namespace aimsc::shard {
@@ -80,6 +82,13 @@ struct ServiceConfig {
   std::size_t shards = 0;
   shard::ShardTransportKind shardTransport =
       shard::ShardTransportKind::Subprocess;
+
+  /// Fabric resilience knobs (shards > 0 only): per-operation channel
+  /// deadlines, the retry/backoff/respawn budgets, and the chaos-injection
+  /// plan (all-zero rates = injection off; chaos tests and bench only).
+  shard::ChannelDeadlines shardDeadlines{};
+  shard::RetryPolicy shardRetry{};
+  shard::ShardFaultPlan shardFaults{};
 };
 
 class AcceleratorService {
@@ -112,6 +121,18 @@ class AcceleratorService {
   /// same exceptions as wait() otherwise.
   std::optional<RequestResult> waitFor(const Ticket& ticket,
                                        std::chrono::microseconds timeout);
+
+  /// Typed redemption: NEVER throws on execution failure — a Failed
+  /// outcome carries the error string instead, and Degraded marks a
+  /// request that recovered onto stand-in shards (bytes identical either
+  /// way).  Still throws std::invalid_argument for an unknown or
+  /// already-redeemed ticket.
+  TicketOutcome waitOutcome(const Ticket& ticket);
+
+  /// waitOutcome() with a deadline: nullopt while unresolved (the ticket
+  /// stays live and redeemable later).
+  std::optional<TicketOutcome> waitOutcomeFor(
+      const Ticket& ticket, std::chrono::microseconds timeout);
 
   /// Blocking convenience wrapper: submit + wait.
   RequestResult run(TenantId tenant, const Request& request);

@@ -42,6 +42,20 @@ struct ServiceStats {
   std::uint64_t faultModelCacheMisses = 0;
   std::size_t faultModelCacheSize = 0;
 
+  /// Shard-fabric resilience counters (docs/SHARDING.md "Failure semantics
+  /// & recovery"; all zero on the in-process path).  The shard* counters
+  /// snapshot the supervisor's FabricStats; degradedRequests counts
+  /// requests that completed on stand-in shards (bytes still identical),
+  /// reassignedDispatches the lane slices those stand-ins served.
+  std::uint64_t shardRetries = 0;
+  std::uint64_t shardRespawns = 0;
+  std::uint64_t shardTimeouts = 0;
+  std::uint64_t shardGarbageReplies = 0;
+  std::uint64_t shardFaultsInjected = 0;
+  std::uint64_t deadShards = 0;
+  std::uint64_t degradedRequests = 0;
+  std::uint64_t reassignedDispatches = 0;
+
   double meanOccupancy() const {
     std::uint64_t total = 0, weighted = 0;
     for (std::size_t k = 1; k < batchOccupancy.size(); ++k) {

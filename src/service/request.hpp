@@ -87,6 +87,11 @@ struct RequestResult {
   double queueMicros = 0;  ///< submit -> batch formation
   double execMicros = 0;   ///< batch wall time (shared by all riders)
   std::size_t batchSize = 1;  ///< occupancy of the batch this request rode
+
+  /// True when some lane slice ran on a stand-in shard because its owner
+  /// was dead (shard fabric only).  The output bytes are identical either
+  /// way — degraded mode is a capacity statement, not a quality one.
+  bool degraded = false;
 };
 
 }  // namespace aimsc::service

@@ -1,5 +1,11 @@
 #include "shard/transport.hpp"
 
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -8,7 +14,6 @@
 #include <cerrno>
 #include <mutex>
 #include <stdexcept>
-#include <string>
 
 #include "shard/worker.hpp"
 
@@ -16,7 +21,9 @@ namespace aimsc::shard {
 
 namespace {
 
-/// Parent-side fds of every live SubprocessChannel.  A newly fork()ed
+using SteadyClock = std::chrono::steady_clock;
+
+/// Parent-side fds of every live process-backed channel.  A newly fork()ed
 /// worker inherits copies of these and MUST close them: otherwise it holds
 /// a sibling's socket write-end open, that sibling never sees EOF when its
 /// channel closes, and shutdown deadlocks in waitpid.  The child iterates
@@ -26,6 +33,31 @@ std::mutex parentFdsMutex;
 std::vector<int>& liveParentFds() {
   static std::vector<int> fds;
   return fds;
+}
+
+void registerParentFd(int fd) {
+  std::lock_guard<std::mutex> lock(parentFdsMutex);
+  liveParentFds().push_back(fd);
+}
+
+void unregisterParentFd(int fd) {
+  std::lock_guard<std::mutex> lock(parentFdsMutex);
+  auto& fds = liveParentFds();
+  fds.erase(std::remove(fds.begin(), fds.end(), fd), fds.end());
+}
+
+void closeInheritedParentFds() {
+  for (const int inherited : liveParentFds()) ::close(inherited);
+}
+
+/// Remaining milliseconds until \p deadline for poll(), clamped to >= 1 so
+/// a deadline a few microseconds away still polls instead of spinning.
+int pollBudgetMs(SteadyClock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - SteadyClock::now());
+  return std::max<long long>(1, left.count()) > 0x7fffffff
+             ? 0x7fffffff
+             : static_cast<int>(std::max<long long>(1, left.count()));
 }
 
 bool readFully(int fd, std::uint8_t* buf, std::size_t n) {
@@ -56,13 +88,100 @@ bool writeFully(int fd, const std::uint8_t* buf, std::size_t n) {
   return true;
 }
 
+/// Deadline-bounded reads: poll for readability against the shared frame
+/// deadline before every recv, so a wedged peer costs at most the budget.
+IoResult readFullyWithin(int fd, std::uint8_t* buf, std::size_t n,
+                         SteadyClock::time_point deadline) {
+  std::size_t got = 0;
+  while (got < n) {
+    if (SteadyClock::now() >= deadline) return IoResult::Timeout;
+    struct pollfd p = {fd, POLLIN, 0};
+    const int pr = ::poll(&p, 1, pollBudgetMs(deadline));
+    if (pr == 0) return IoResult::Timeout;
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return IoResult::Closed;
+    }
+    const ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r <= 0) {
+      if (r < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      return IoResult::Closed;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return IoResult::Ok;
+}
+
+IoResult writeFullyWithin(int fd, const std::uint8_t* buf, std::size_t n,
+                          SteadyClock::time_point deadline) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    if (SteadyClock::now() >= deadline) return IoResult::Timeout;
+    struct pollfd p = {fd, POLLOUT, 0};
+    const int pr = ::poll(&p, 1, pollBudgetMs(deadline));
+    if (pr == 0) return IoResult::Timeout;
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return IoResult::Closed;
+    }
+    const ssize_t r = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return IoResult::Closed;
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+  return IoResult::Ok;
+}
+
+void encodeLen(std::uint32_t n, std::uint8_t len[4]) {
+  for (int i = 0; i < 4; ++i) len[i] = (n >> (8 * i)) & 0xff;
+}
+
+std::uint32_t decodeLen(const std::uint8_t len[4]) {
+  std::uint32_t n = 0;
+  for (int i = 0; i < 4; ++i) n |= static_cast<std::uint32_t>(len[i]) << (8 * i);
+  return n;
+}
+
+/// Connects \p fd (blocking socket) within \p budget via the non-blocking
+/// connect + poll(POLLOUT) + SO_ERROR dance.  Returns false on timeout or
+/// connection failure; the socket is left in blocking mode on success.
+bool connectWithin(int fd, const sockaddr* addr, socklen_t len,
+                   std::chrono::milliseconds budget) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return false;
+  int rc = ::connect(fd, addr, len);
+  if (rc != 0 && errno != EINPROGRESS) return false;
+  if (rc != 0) {
+    const auto deadline = SteadyClock::now() + budget;
+    for (;;) {
+      if (SteadyClock::now() >= deadline) return false;
+      struct pollfd p = {fd, POLLOUT, 0};
+      const int pr = ::poll(&p, 1, pollBudgetMs(deadline));
+      if (pr == 0) return false;
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      break;
+    }
+    int err = 0;
+    socklen_t errLen = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &errLen) != 0 ||
+        err != 0) {
+      return false;
+    }
+  }
+  return ::fcntl(fd, F_SETFL, flags) == 0;
+}
+
 }  // namespace
 
 bool readFrame(int fd, std::vector<std::uint8_t>& frame) {
   std::uint8_t len[4];
   if (!readFully(fd, len, sizeof(len))) return false;
-  std::uint32_t n = 0;
-  for (int i = 0; i < 4; ++i) n |= static_cast<std::uint32_t>(len[i]) << (8 * i);
+  const std::uint32_t n = decodeLen(len);
   if (n > kMaxFrameBytes) return false;
   frame.resize(n);
   return n == 0 || readFully(fd, frame.data(), n);
@@ -70,11 +189,41 @@ bool readFrame(int fd, std::vector<std::uint8_t>& frame) {
 
 bool writeFrame(int fd, std::span<const std::uint8_t> frame) {
   if (frame.size() > kMaxFrameBytes) return false;
-  const std::uint32_t n = static_cast<std::uint32_t>(frame.size());
   std::uint8_t len[4];
-  for (int i = 0; i < 4; ++i) len[i] = (n >> (8 * i)) & 0xff;
+  encodeLen(static_cast<std::uint32_t>(frame.size()), len);
   return writeFully(fd, len, sizeof(len)) &&
          (frame.empty() || writeFully(fd, frame.data(), frame.size()));
+}
+
+IoResult readFrameWithin(int fd, std::vector<std::uint8_t>& frame,
+                         std::chrono::milliseconds deadline) {
+  if (deadline.count() <= 0) {
+    return readFrame(fd, frame) ? IoResult::Ok : IoResult::Closed;
+  }
+  const auto limit = SteadyClock::now() + deadline;
+  std::uint8_t len[4];
+  IoResult r = readFullyWithin(fd, len, sizeof(len), limit);
+  if (r != IoResult::Ok) return r;
+  const std::uint32_t n = decodeLen(len);
+  if (n > kMaxFrameBytes) return IoResult::Closed;
+  frame.resize(n);
+  return n == 0 ? IoResult::Ok : readFullyWithin(fd, frame.data(), n, limit);
+}
+
+IoResult writeFrameWithin(int fd, std::span<const std::uint8_t> frame,
+                          std::chrono::milliseconds deadline) {
+  if (deadline.count() <= 0) {
+    return writeFrame(fd, frame) ? IoResult::Ok : IoResult::Closed;
+  }
+  if (frame.size() > kMaxFrameBytes) return IoResult::Closed;
+  const auto limit = SteadyClock::now() + deadline;
+  std::uint8_t len[4];
+  encodeLen(static_cast<std::uint32_t>(frame.size()), len);
+  IoResult r = writeFullyWithin(fd, len, sizeof(len), limit);
+  if (r != IoResult::Ok) return r;
+  return frame.empty()
+             ? IoResult::Ok
+             : writeFullyWithin(fd, frame.data(), frame.size(), limit);
 }
 
 struct LoopbackChannel::Impl {
@@ -85,7 +234,10 @@ LoopbackChannel::LoopbackChannel() : impl_(std::make_unique<Impl>()) {}
 LoopbackChannel::~LoopbackChannel() = default;
 
 void LoopbackChannel::send(std::span<const std::uint8_t> frame) {
-  replies_.push_back(impl_->worker.serve(frame));
+  std::vector<std::uint8_t> reply = impl_->worker.serve(frame);
+  // Reply-less frames (Misbehave arming) queue nothing, mirroring the
+  // subprocess worker's silent arm.
+  if (!reply.empty()) replies_.push_back(std::move(reply));
 }
 
 std::vector<std::uint8_t> LoopbackChannel::receive() {
@@ -97,7 +249,8 @@ std::vector<std::uint8_t> LoopbackChannel::receive() {
   return reply;
 }
 
-SubprocessChannel::SubprocessChannel() {
+SubprocessChannel::SubprocessChannel(ChannelDeadlines deadlines)
+    : deadlines_(deadlines) {
   int fds[2];
   if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
     throw std::runtime_error("SubprocessChannel: socketpair failed");
@@ -112,29 +265,39 @@ SubprocessChannel::SubprocessChannel() {
     // Worker child: serve frames until the parent closes its end.  _exit,
     // never return — unwinding into a fork()ed copy of the parent's state
     // (atexit handlers, buffered streams) must not happen.
-    for (const int inherited : liveParentFds()) ::close(inherited);
+    closeInheritedParentFds();
     ::close(fds[0]);
     ::_exit(shardWorkerMain(fds[1]));
   }
   ::close(fds[1]);
   fd_ = fds[0];
   pid_ = pid;
-  std::lock_guard<std::mutex> lock(parentFdsMutex);
-  liveParentFds().push_back(fd_);
+  registerParentFd(fd_);
 }
 
 SubprocessChannel::~SubprocessChannel() {
   if (fd_ >= 0) {
-    {
-      std::lock_guard<std::mutex> lock(parentFdsMutex);
-      auto& fds = liveParentFds();
-      fds.erase(std::remove(fds.begin(), fds.end(), fd_), fds.end());
-    }
+    unregisterParentFd(fd_);
     ::close(fd_);  // worker sees EOF and exits cleanly
   }
   if (pid_ > 0) {
     int status = 0;
     ::waitpid(pid_, &status, 0);
+  }
+}
+
+void SubprocessChannel::terminate() {
+  poisoned_ = true;
+  if (pid_ > 0) {
+    ::kill(pid_, SIGKILL);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+  }
+  if (fd_ >= 0) {
+    unregisterParentFd(fd_);
+    ::close(fd_);
+    fd_ = -1;
   }
 }
 
@@ -145,25 +308,188 @@ void SubprocessChannel::poison(const char* what) {
 
 void SubprocessChannel::send(std::span<const std::uint8_t> frame) {
   if (poisoned_) poison("worker previously failed");
-  if (!writeFrame(fd_, frame)) poison("worker unreachable (send failed)");
+  switch (writeFrameWithin(fd_, frame, deadlines_.send)) {
+    case IoResult::Ok:
+      return;
+    case IoResult::Timeout:
+      // A partial frame may be in flight: the stream is suspect but the
+      // worker may only be slow.  Not poisoned; the supervisor decides.
+      throw ChannelTimeout("SubprocessChannel: send deadline expired");
+    case IoResult::Closed:
+      break;
+  }
+  poison("worker unreachable (send failed)");
 }
 
 std::vector<std::uint8_t> SubprocessChannel::receive() {
   if (poisoned_) poison("worker previously failed");
   std::vector<std::uint8_t> frame;
-  if (!readFrame(fd_, frame)) poison("worker died before replying");
-  return frame;
+  switch (readFrameWithin(fd_, frame, deadlines_.recv)) {
+    case IoResult::Ok:
+      return frame;
+    case IoResult::Timeout:
+      throw ChannelTimeout("SubprocessChannel: recv deadline expired");
+    case IoResult::Closed:
+      break;
+  }
+  poison("worker died before replying");
+}
+
+TcpChannel::TcpChannel(int connectedFd, int pid, ChannelDeadlines deadlines)
+    : deadlines_(deadlines), fd_(connectedFd), pid_(pid) {
+  registerParentFd(fd_);
+}
+
+TcpChannel::TcpChannel(const std::string& host, std::uint16_t port,
+                       ChannelDeadlines deadlines)
+    : deadlines_(deadlines) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("TcpChannel: bad IPv4 address " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("TcpChannel: socket failed");
+  if (!connectWithin(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr), deadlines_.connect)) {
+    ::close(fd);
+    throw std::runtime_error("TcpChannel: connect to " + host + " timed out "
+                             "or was refused");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  registerParentFd(fd_);
+}
+
+TcpChannel::~TcpChannel() {
+  if (fd_ >= 0) {
+    unregisterParentFd(fd_);
+    ::close(fd_);
+  }
+  if (pid_ > 0) {
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+  }
+}
+
+void TcpChannel::terminate() {
+  poisoned_ = true;
+  if (pid_ > 0) {
+    ::kill(pid_, SIGKILL);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+  }
+  if (fd_ >= 0) {
+    unregisterParentFd(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void TcpChannel::poison(const char* what) {
+  poisoned_ = true;
+  throw std::runtime_error(std::string("TcpChannel: ") + what);
+}
+
+void TcpChannel::send(std::span<const std::uint8_t> frame) {
+  if (poisoned_) poison("worker previously failed");
+  switch (writeFrameWithin(fd_, frame, deadlines_.send)) {
+    case IoResult::Ok:
+      return;
+    case IoResult::Timeout:
+      throw ChannelTimeout("TcpChannel: send deadline expired");
+    case IoResult::Closed:
+      break;
+  }
+  poison("worker unreachable (send failed)");
+}
+
+std::vector<std::uint8_t> TcpChannel::receive() {
+  if (poisoned_) poison("worker previously failed");
+  std::vector<std::uint8_t> frame;
+  switch (readFrameWithin(fd_, frame, deadlines_.recv)) {
+    case IoResult::Ok:
+      return frame;
+    case IoResult::Timeout:
+      throw ChannelTimeout("TcpChannel: recv deadline expired");
+    case IoResult::Closed:
+      break;
+  }
+  poison("worker died before replying");
+}
+
+std::unique_ptr<ShardChannel> spawnTcpWorker(ChannelDeadlines deadlines) {
+  const int listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listenFd < 0) throw std::runtime_error("spawnTcpWorker: socket failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(listenFd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listenFd, 1) != 0) {
+    ::close(listenFd);
+    throw std::runtime_error("spawnTcpWorker: bind/listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listenFd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(listenFd);
+    throw std::runtime_error("spawnTcpWorker: getsockname failed");
+  }
+  const std::uint16_t port = ntohs(addr.sin_port);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(listenFd);
+    throw std::runtime_error("spawnTcpWorker: fork failed");
+  }
+  if (pid == 0) {
+    closeInheritedParentFds();
+    const int conn = ::accept(listenFd, nullptr, nullptr);
+    ::close(listenFd);
+    if (conn < 0) ::_exit(3);
+    const int one = 1;
+    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::_exit(shardWorkerMain(conn));
+  }
+  ::close(listenFd);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const auto fail = [&](const char* what) {
+    if (fd >= 0) ::close(fd);
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    throw std::runtime_error(std::string("spawnTcpWorker: ") + what);
+  };
+  if (fd < 0) fail("socket failed");
+  if (!connectWithin(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr), deadlines.connect)) {
+    fail("connect deadline expired");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<ShardChannel>(new TcpChannel(fd, pid, deadlines));
 }
 
 std::vector<std::unique_ptr<ShardChannel>> makeShardChannels(
-    ShardTransportKind kind, std::size_t count) {
+    ShardTransportKind kind, std::size_t count, ChannelDeadlines deadlines) {
   std::vector<std::unique_ptr<ShardChannel>> channels;
   channels.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    if (kind == ShardTransportKind::Subprocess) {
-      channels.push_back(std::make_unique<SubprocessChannel>());
-    } else {
-      channels.push_back(std::make_unique<LoopbackChannel>());
+    switch (kind) {
+      case ShardTransportKind::Subprocess:
+        channels.push_back(std::make_unique<SubprocessChannel>(deadlines));
+        break;
+      case ShardTransportKind::Tcp:
+        channels.push_back(spawnTcpWorker(deadlines));
+        break;
+      case ShardTransportKind::Loopback:
+        channels.push_back(std::make_unique<LoopbackChannel>());
+        break;
     }
   }
   return channels;

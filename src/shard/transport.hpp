@@ -2,26 +2,41 @@
 /// \brief Pluggable shard transports: a framed byte channel to one worker.
 ///
 /// A `ShardChannel` moves opaque wire frames (see wire.hpp) between the
-/// coordinator and ONE worker, preserving frame boundaries and order.  Two
-/// implementations ship:
+/// coordinator and ONE worker, preserving frame boundaries and order.
+/// Three implementations ship:
 ///
 ///  * `LoopbackChannel` — an in-process worker behind the same codec path
 ///    (every byte still round-trips through encode/decode, so loopback runs
 ///    exercise the full wire contract without a process boundary);
 ///  * `SubprocessChannel` — `fork()` + `socketpair(AF_UNIX, SOCK_STREAM)`
 ///    with u32 length-prefixed framing: a REAL process boundary, the
-///    configuration CI's differential tests run.
+///    configuration CI's differential tests run;
+///  * `TcpChannel` — the same framing over TCP.  `spawnTcpWorker` forks a
+///    worker that serves one accepted connection on an ephemeral loopback
+///    port (the single-host deployment); the host:port constructor reaches
+///    a worker anywhere (`shardWorkerTcpMain` is the remote serve loop).
+///
+/// Every process-backed channel takes `ChannelDeadlines`: connect, send and
+/// recv are bounded by `poll()`-based deadlines, so a wedged worker
+/// surfaces as `ChannelTimeout` instead of blocking the coordinator
+/// forever — the hook `ShardSupervisor` (supervisor.hpp) turns into
+/// kill-respawn-replay.
 ///
 /// Failure semantics (docs/SHARDING.md): a dead or misbehaving worker
 /// surfaces as `std::runtime_error` from send()/receive() — callers turn
-/// that into an error ticket, never a hang.  A channel that has thrown is
-/// poisoned; subsequent calls keep failing fast.
+/// that into a retry or an error ticket, never a hang.  A channel that has
+/// hit a hard I/O error is poisoned (`healthy()` false) and keeps failing
+/// fast; a timeout does NOT poison (the supervisor decides whether to kill
+/// and respawn via `terminate()`).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace aimsc::shard {
@@ -30,25 +45,56 @@ namespace aimsc::shard {
 enum class ShardTransportKind : std::uint8_t {
   Subprocess,  ///< fork()ed worker per shard over a socketpair
   Loopback,    ///< in-process worker (same codec path, no fork)
+  Tcp,         ///< fork()ed worker per shard over a loopback TCP socket
 };
 
 /// Largest frame a channel will carry (a corrupt peer cannot make the
 /// receiver allocate unboundedly).
 constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
 
+/// Deadline budget for one channel operation.  Zero disables the bound for
+/// that operation (blocking I/O — workers waiting for their next request
+/// use that form).
+struct ChannelDeadlines {
+  std::chrono::milliseconds connect{2000};
+  std::chrono::milliseconds send{2000};
+  std::chrono::milliseconds recv{5000};
+};
+
+/// A deadline expired before the operation completed.  The worker may be
+/// wedged, not dead: the channel is NOT poisoned — the caller chooses
+/// between waiting again and `terminate()`.
+class ChannelTimeout : public std::runtime_error {
+ public:
+  explicit ChannelTimeout(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 /// One ordered, framed byte channel to one shard worker.
 class ShardChannel {
  public:
   virtual ~ShardChannel() = default;
 
-  /// Delivers one wire frame to the worker.  Throws std::runtime_error if
-  /// the worker is unreachable (dead process, closed socket, poisoned
-  /// channel).
+  /// Delivers one wire frame to the worker.  Throws ChannelTimeout when the
+  /// send deadline expires, std::runtime_error if the worker is unreachable
+  /// (dead process, closed socket, poisoned channel).
   virtual void send(std::span<const std::uint8_t> frame) = 0;
 
-  /// Blocks for the worker's next reply frame.  Throws std::runtime_error
+  /// Blocks for the worker's next reply frame.  Throws ChannelTimeout when
+  /// the recv deadline expires (channel stays usable), std::runtime_error
   /// if the worker dies or misframes instead of replying.
   virtual std::vector<std::uint8_t> receive() = 0;
+
+  /// Forcibly kills the backing worker (SIGKILL) and poisons the channel.
+  /// The supervisor's answer to a hung worker; a no-op for loopback.
+  virtual void terminate() {}
+
+  /// Pid of the backing worker process, -1 when in-process (chaos tests
+  /// kill -9 through this).
+  virtual int workerPid() const { return -1; }
+
+  /// False once the channel has hit a hard failure (poisoned).
+  virtual bool healthy() const { return true; }
 };
 
 /// In-process worker: send() serves the frame immediately through a
@@ -69,14 +115,16 @@ class LoopbackChannel final : public ShardChannel {
   std::deque<std::vector<std::uint8_t>> replies_;
 };
 
-/// A fork()ed worker process over a socketpair.  MUST be constructed before
-/// the parent spawns threads (fork-safety); AcceleratorService orders its
-/// members so the coordinator forks ahead of the worker pool.  The
-/// destructor closes the socket (worker sees EOF and exits) and reaps the
-/// child.
+/// A fork()ed worker process over a socketpair.  SHOULD be constructed
+/// before the parent spawns threads (fork-safety); AcceleratorService
+/// orders its members so the initial coordinator forks ahead of the worker
+/// pool.  (Supervisor respawns fork later by necessity — glibc's fork
+/// handlers make the child's allocator usable, and the child only runs the
+/// self-contained worker loop.)  The destructor closes the socket (worker
+/// sees EOF and exits) and reaps the child.
 class SubprocessChannel final : public ShardChannel {
  public:
-  SubprocessChannel();
+  explicit SubprocessChannel(ChannelDeadlines deadlines = {});
   ~SubprocessChannel() override;
 
   SubprocessChannel(const SubprocessChannel&) = delete;
@@ -84,24 +132,75 @@ class SubprocessChannel final : public ShardChannel {
 
   void send(std::span<const std::uint8_t> frame) override;
   std::vector<std::uint8_t> receive() override;
+  void terminate() override;
+  int workerPid() const override { return pid_; }
+  bool healthy() const override { return !poisoned_; }
 
  private:
-  void poison(const char* what);
+  [[noreturn]] void poison(const char* what);
 
+  ChannelDeadlines deadlines_;
   int fd_ = -1;
   int pid_ = -1;
   bool poisoned_ = false;
 };
 
+/// A worker over TCP.  Two forms:
+///  * `spawnTcpWorker()` — binds an ephemeral loopback port, forks a worker
+///    child that accepts ONE connection and serves it, then connects (with
+///    the connect deadline).  The single-host deployment and the form the
+///    differential tests run.
+///  * `TcpChannel(host, port)` — connects to an already-listening worker
+///    (`shardWorkerTcpMain`); `workerPid()` is -1 and `terminate()` only
+///    closes the connection (the remote supervisor owns the process).
+class TcpChannel final : public ShardChannel {
+ public:
+  TcpChannel(const std::string& host, std::uint16_t port,
+             ChannelDeadlines deadlines = {});
+  ~TcpChannel() override;
+
+  TcpChannel(const TcpChannel&) = delete;
+  TcpChannel& operator=(const TcpChannel&) = delete;
+
+  void send(std::span<const std::uint8_t> frame) override;
+  std::vector<std::uint8_t> receive() override;
+  void terminate() override;
+  int workerPid() const override { return pid_; }
+  bool healthy() const override { return !poisoned_; }
+
+ private:
+  friend std::unique_ptr<ShardChannel> spawnTcpWorker(ChannelDeadlines);
+  TcpChannel(int connectedFd, int pid, ChannelDeadlines deadlines);
+
+  [[noreturn]] void poison(const char* what);
+
+  ChannelDeadlines deadlines_;
+  int fd_ = -1;
+  int pid_ = -1;  ///< -1 for remote (host:port) workers
+  bool poisoned_ = false;
+};
+
+/// Forks a local worker serving one TCP connection on an ephemeral loopback
+/// port and connects to it (see TcpChannel).
+std::unique_ptr<ShardChannel> spawnTcpWorker(ChannelDeadlines deadlines = {});
+
 /// Builds \p count channels of \p kind (the coordinator's worker set).
 std::vector<std::unique_ptr<ShardChannel>> makeShardChannels(
-    ShardTransportKind kind, std::size_t count);
+    ShardTransportKind kind, std::size_t count,
+    ChannelDeadlines deadlines = {});
 
 /// Low-level u32-length-framed I/O over a POSIX fd — the worker side of the
-/// subprocess transport (shardWorkerMain's read/write loop).  readFrame
-/// returns false on EOF, an oversized length, or a short read; writeFrame
-/// returns false when the peer is gone (SIGPIPE is suppressed).
+/// transports (shardWorkerMain's read/write loop).  readFrame returns false
+/// on EOF, an oversized length, or a short read; writeFrame returns false
+/// when the peer is gone (SIGPIPE is suppressed).
 bool readFrame(int fd, std::vector<std::uint8_t>& frame);
 bool writeFrame(int fd, std::span<const std::uint8_t> frame);
+
+/// Deadline-bounded variants (coordinator side).
+enum class IoResult : std::uint8_t { Ok, Closed, Timeout };
+IoResult readFrameWithin(int fd, std::vector<std::uint8_t>& frame,
+                         std::chrono::milliseconds deadline);
+IoResult writeFrameWithin(int fd, std::span<const std::uint8_t> frame,
+                          std::chrono::milliseconds deadline);
 
 }  // namespace aimsc::shard

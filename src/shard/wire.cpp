@@ -304,11 +304,27 @@ WireRequest makeWireRequest(const service::Request& q,
   return wq;
 }
 
+std::vector<std::uint8_t> encodePing() {
+  WireRequest ping;
+  ping.kind = MessageKind::Ping;
+  return encodeRequest(ping);
+}
+
+std::vector<std::uint8_t> encodeMisbehave(WorkerFault fault) {
+  WireRequest arm;
+  arm.kind = MessageKind::Misbehave;
+  arm.fault = fault;
+  return encodeRequest(arm);
+}
+
 std::vector<std::uint8_t> encodeRequest(const WireRequest& q) {
   WireWriter w;
   w.u32(kRequestMagic);
   w.u16(kWireVersion);
   w.u8(static_cast<std::uint8_t>(q.kind));
+  if (q.kind == MessageKind::Misbehave) {
+    w.u8(static_cast<std::uint8_t>(q.fault));
+  }
   if (q.kind == MessageKind::Execute) {
     w.u32(q.tenant);
     w.u64(q.seedNamespace);
@@ -345,12 +361,22 @@ WireRequest decodeRequest(std::span<const std::uint8_t> bytes) {
   }
   WireRequest q;
   const std::uint8_t kind = r.u8();
-  if (kind != static_cast<std::uint8_t>(MessageKind::Execute) &&
-      kind != static_cast<std::uint8_t>(MessageKind::Crash)) {
+  if (kind < static_cast<std::uint8_t>(MessageKind::Execute) ||
+      kind > static_cast<std::uint8_t>(MessageKind::Misbehave)) {
     throw DecodeError("wire: unknown message kind");
   }
   q.kind = static_cast<MessageKind>(kind);
-  if (q.kind == MessageKind::Crash) {
+  if (q.kind == MessageKind::Crash || q.kind == MessageKind::Ping) {
+    r.expectExhausted();
+    return q;
+  }
+  if (q.kind == MessageKind::Misbehave) {
+    const std::uint8_t fault = r.u8();
+    if (fault < static_cast<std::uint8_t>(WorkerFault::CrashBeforeReply) ||
+        fault > static_cast<std::uint8_t>(WorkerFault::DropConnection)) {
+      throw DecodeError("wire: unknown worker fault");
+    }
+    q.fault = static_cast<WorkerFault>(fault);
     r.expectExhausted();
     return q;
   }
@@ -389,6 +415,11 @@ std::vector<std::uint8_t> encodeReply(const WireReply& reply) {
   WireWriter w;
   w.u32(kReplyMagic);
   w.u16(kWireVersion);
+  w.u8(static_cast<std::uint8_t>(reply.kind));
+  if (reply.kind == ReplyKind::Pong) {
+    w.u64(reply.served);
+    return w.finish();
+  }
   w.u8(reply.ok ? 0 : 1);
   if (!reply.ok) {
     const std::size_t n = std::min(reply.error.size(), kMaxErrorLength);
@@ -428,6 +459,17 @@ WireReply decodeReply(std::span<const std::uint8_t> bytes) {
                       std::to_string(version));
   }
   WireReply reply;
+  const std::uint8_t kind = r.u8();
+  if (kind < static_cast<std::uint8_t>(ReplyKind::Result) ||
+      kind > static_cast<std::uint8_t>(ReplyKind::Pong)) {
+    throw DecodeError("wire: unknown reply kind");
+  }
+  reply.kind = static_cast<ReplyKind>(kind);
+  if (reply.kind == ReplyKind::Pong) {
+    reply.served = r.u64();
+    r.expectExhausted();
+    return reply;
+  }
   const std::uint8_t status = r.u8();
   if (status > 1) throw DecodeError("wire: bad reply status");
   reply.ok = status == 0;

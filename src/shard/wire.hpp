@@ -48,12 +48,38 @@ class DecodeError : public std::runtime_error {
 
 constexpr std::uint32_t kRequestMagic = 0x41575251u;  ///< "AWRQ" (LE bytes)
 constexpr std::uint32_t kReplyMagic = 0x41575250u;    ///< "AWRP"
-constexpr std::uint16_t kWireVersion = 1;
+/// Version 2 added the supervision frames: `Ping`/`Pong` heartbeats and
+/// `Misbehave` fault-arming (docs/SHARDING.md "Failure semantics").
+constexpr std::uint16_t kWireVersion = 2;
 
-/// Shard request kinds.  `Crash` aborts the worker process mid-protocol —
-/// the fault-injection hook the worker-crash tests use (a loopback worker
-/// treats it as an error reply instead).
-enum class MessageKind : std::uint8_t { Execute = 1, Crash = 2 };
+/// Shard request kinds.  `Crash` aborts the worker process immediately;
+/// `Ping` asks for a `Pong` heartbeat reply; `Misbehave` arms a
+/// `WorkerFault` that fires on the worker's NEXT Execute frame (the chaos
+/// suite's injection hooks — a loopback worker answers Crash and the
+/// process-level faults with error replies instead).
+enum class MessageKind : std::uint8_t {
+  Execute = 1,
+  Crash = 2,
+  Ping = 3,
+  Misbehave = 4,
+};
+
+/// A misbehavior a `Misbehave` frame arms for the worker's next Execute.
+/// Each models one real failure: a crash after the work but before the
+/// reply, a wedged worker that never replies, a corrupted reply frame, and
+/// a dropped connection.  `ShardFaultPlan` (fault_plan.hpp) drives these
+/// from counter-based randomness; the supervisor recovers from all of them.
+enum class WorkerFault : std::uint8_t {
+  None = 0,
+  CrashBeforeReply = 1,  ///< execute, then _exit without replying
+  HangBeforeReply = 2,   ///< execute, then sleep forever (needs SIGKILL)
+  GarbageReply = 3,      ///< reply with a junk frame, stay alive
+  DropConnection = 4,    ///< close the socket and exit
+};
+
+/// Reply kinds: a `Result` carries an execution outcome; a `Pong` answers a
+/// `Ping` heartbeat with liveness metadata only.
+enum class ReplyKind : std::uint8_t { Result = 1, Pong = 2 };
 
 /// The lane slice a worker executes: lanes `laneBegin, laneBegin +
 /// laneStride, ...` of the request's `lanes`-wide fleet, over image rows
@@ -92,6 +118,9 @@ struct WireFrame {
 /// The decoded (owning) form of a shard request.
 struct WireRequest {
   MessageKind kind = MessageKind::Execute;
+
+  /// The armed misbehavior (Misbehave frames only; None otherwise).
+  WorkerFault fault = WorkerFault::None;
 
   // Accounting metadata (the worker echoes nothing back; carried so a shard
   // log line can attribute work without the coordinator's ledger).
@@ -147,6 +176,7 @@ struct LaneStats {
 
 /// The decoded (owning) form of a shard reply.
 struct WireReply {
+  ReplyKind kind = ReplyKind::Result;
   bool ok = true;
   std::string error;  ///< set when !ok
 
@@ -155,8 +185,19 @@ struct WireReply {
   std::vector<RowSegment> segments;
   std::vector<LaneStats> laneStats;
 
+  /// Pong payload: Execute frames this worker has served since it started
+  /// (a respawned worker restarts from 0 — the supervisor's liveness and
+  /// warm-state signal).
+  std::uint64_t served = 0;
+
   friend bool operator==(const WireReply&, const WireReply&) = default;
 };
+
+/// Builds a Ping heartbeat request frame.
+std::vector<std::uint8_t> encodePing();
+
+/// Builds a Misbehave frame arming \p fault on the worker's next Execute.
+std::vector<std::uint8_t> encodeMisbehave(WorkerFault fault);
 
 /// Builds the owning wire form of \p q for one replica execution: frame
 /// bytes are copied out of the request's views, \p effectiveSeed is the

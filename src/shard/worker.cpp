@@ -1,8 +1,12 @@
 #include "shard/worker.hpp"
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <exception>
 
 #include "service/request_kernels.hpp"
@@ -13,17 +17,57 @@ namespace aimsc::shard {
 ShardWorker::ShardWorker(bool exitOnCrashRequest)
     : exitOnCrashRequest_(exitOnCrashRequest) {}
 
+std::vector<std::uint8_t> garbageReplyFrame() {
+  // Deterministic junk: wrong magic, plausible length.  decodeReply throws
+  // DecodeError on byte 0; the supervisor's retry path takes it from there.
+  std::vector<std::uint8_t> junk(48);
+  for (std::size_t i = 0; i < junk.size(); ++i) {
+    junk[i] = static_cast<std::uint8_t>(0x5A ^ (i * 7));
+  }
+  return junk;
+}
+
 std::vector<std::uint8_t> ShardWorker::serve(
     std::span<const std::uint8_t> frame) {
   WireReply reply;
   try {
     const WireRequest wq = decodeRequest(frame);
-    if (wq.kind == MessageKind::Crash) {
-      if (exitOnCrashRequest_) ::_exit(42);
-      reply.ok = false;
-      reply.error = "shard worker: crash requested (loopback refuses)";
-    } else {
-      reply = execute(wq);
+    switch (wq.kind) {
+      case MessageKind::Crash:
+        if (exitOnCrashRequest_) ::_exit(42);
+        reply.ok = false;
+        reply.error = "shard worker: crash requested (loopback refuses)";
+        break;
+      case MessageKind::Ping:
+        reply.kind = ReplyKind::Pong;
+        reply.served = served_;
+        break;
+      case MessageKind::Misbehave:
+        armedFault_ = wq.fault;
+        return {};  // arming frames get no reply (Execute pairing stays 1:1)
+      case MessageKind::Execute: {
+        ++served_;
+        const WorkerFault fault = armedFault_;
+        armedFault_ = WorkerFault::None;  // one-shot: retries are fault-free
+        if (fault == WorkerFault::GarbageReply) return garbageReplyFrame();
+        if (fault == WorkerFault::CrashBeforeReply ||
+            fault == WorkerFault::HangBeforeReply ||
+            fault == WorkerFault::DropConnection) {
+          if (!exitOnCrashRequest_) {
+            reply.ok = false;
+            reply.error = "shard worker: process fault armed (loopback "
+                          "cannot crash/hang/drop)";
+            break;
+          }
+          // Do the work first — the modeled failure is a worker dying
+          // BETWEEN computing and replying, the worst replay case.
+          (void)execute(wq);
+          postAction_ = fault;
+          return {};
+        }
+        reply = execute(wq);
+        break;
+      }
     }
   } catch (const std::exception& e) {
     reply = WireReply{};
@@ -125,7 +169,47 @@ int shardWorkerMain(int fd) {
   for (;;) {
     if (!readFrame(fd, frame)) return 0;  // coordinator closed: clean exit
     const std::vector<std::uint8_t> reply = worker.serve(frame);
+    switch (worker.takePostServeAction()) {
+      case WorkerFault::CrashBeforeReply:
+        ::_exit(43);
+      case WorkerFault::HangBeforeReply:
+        for (;;) ::pause();  // wedged until the supervisor SIGKILLs us
+      case WorkerFault::DropConnection:
+        ::close(fd);
+        ::_exit(44);
+      default:
+        break;
+    }
+    if (reply.empty()) continue;  // Misbehave arming frames get no reply
     if (!writeFrame(fd, reply)) return 2;  // coordinator vanished mid-reply
+  }
+}
+
+int shardWorkerTcpMain(std::uint16_t port) {
+  const int listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listenFd < 0) return 3;
+  const int one = 1;
+  ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(listenFd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listenFd, 4) != 0) {
+    ::close(listenFd);
+    return 3;
+  }
+  for (;;) {
+    const int conn = ::accept(listenFd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      ::close(listenFd);
+      return 3;
+    }
+    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    shardWorkerMain(conn);  // one connection at a time, fresh warm state
+    ::close(conn);
   }
 }
 

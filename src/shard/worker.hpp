@@ -45,8 +45,25 @@ class ShardWorker {
   /// Serves one wire frame: decode -> execute -> encoded reply.  Malformed
   /// frames and execution failures come back as error replies (the frame
   /// layer never throws out of serve), so a coordinator always gets an
-  /// answer from a live worker.
+  /// answer from a live worker.  Two frame kinds break that rule by design:
+  /// `Misbehave` arms a fault and returns an EMPTY vector (no reply — the
+  /// request/reply pairing of Execute frames stays 1:1), and an Execute
+  /// that fires an armed process-level fault returns empty while recording
+  /// the action in `takePostServeAction()` for the serve loop to perform.
   std::vector<std::uint8_t> serve(std::span<const std::uint8_t> frame);
+
+  /// The process-level fault the last serve() fired (CrashBeforeReply,
+  /// HangBeforeReply or DropConnection), cleared by the call.  The serve
+  /// loop performs it AFTER serve returns — the work has already been done,
+  /// modeling a worker that dies between computing and replying.
+  WorkerFault takePostServeAction() {
+    const WorkerFault a = postAction_;
+    postAction_ = WorkerFault::None;
+    return a;
+  }
+
+  /// Execute frames served since construction (the Pong liveness payload).
+  std::uint64_t served() const { return served_; }
 
   /// Warm-state observability (tests assert cache reuse across requests).
   std::size_t faultCacheHits() const { return faultCache_.hits(); }
@@ -58,12 +75,28 @@ class ShardWorker {
   bool exitOnCrashRequest_;
   service::FaultModelCache faultCache_;
   std::vector<std::unique_ptr<core::StreamArena>> arenaPool_;
+  WorkerFault armedFault_ = WorkerFault::None;  ///< fires on next Execute
+  WorkerFault postAction_ = WorkerFault::None;  ///< fired, process-level
+  std::uint64_t served_ = 0;
 };
+
+/// The deterministic junk frame a `GarbageReply` fault emits (exposed so
+/// tests can assert the coordinator rejects exactly this frame).  Framing
+/// stays aligned — the junk is length-prefixed like any reply — but its
+/// content fails decodeReply's magic check.
+std::vector<std::uint8_t> garbageReplyFrame();
 
 /// Subprocess entry point: serve length-prefixed frames from \p fd until
 /// EOF (coordinator closed the socket) or a fatal I/O error.  Returns the
 /// process exit code (0 on clean EOF).  Called in the fork()ed child by
-/// SubprocessChannel; never returns on a Crash frame (`_exit(42)`).
+/// SubprocessChannel / spawnTcpWorker; never returns on a Crash frame
+/// (`_exit(42)`) or a fired crash/hang/drop fault (43 / hang / 44).
 int shardWorkerMain(int fd);
+
+/// Standalone TCP worker: binds 0.0.0.0:\p port and serves one accepted
+/// connection at a time (fresh warm state per connection), forever.  The
+/// remote end of `TcpChannel(host, port)`.  Returns nonzero only on
+/// bind/listen failure.
+int shardWorkerTcpMain(std::uint16_t port);
 
 }  // namespace aimsc::shard
